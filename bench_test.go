@@ -1,0 +1,303 @@
+package repro
+
+// One testing.B benchmark per experiment in EXPERIMENTS.md. These exercise
+// the same code paths as cmd/benchvqi at reduced sizes so `go test
+// -bench=.` finishes in minutes; the harness regenerates the full tables.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/layout"
+	"repro/internal/midas"
+	"repro/internal/modular"
+	"repro/internal/pattern"
+	"repro/internal/simulate"
+	"repro/internal/summary"
+	"repro/internal/tattoo"
+	"repro/internal/timeseries"
+	"repro/internal/truss"
+	"repro/internal/vqi"
+)
+
+func benchCorpus(n int) *graph.Corpus {
+	return datagen.ChemicalCorpus(1, n, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 20})
+}
+
+func benchBudget() pattern.Budget {
+	return pattern.Budget{Count: 8, MinSize: 4, MaxSize: 10}
+}
+
+// BenchmarkE1SelectionTimeCorpus measures CATAPULT end-to-end selection
+// time per corpus size (experiment E1).
+func BenchmarkE1SelectionTimeCorpus(b *testing.B) {
+	for _, n := range []int{100, 200, 400} {
+		corpus := benchCorpus(n)
+		b.Run(fmt.Sprintf("graphs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := catapult.Select(corpus, catapult.Config{Budget: benchBudget(), Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2CoverageVsBudget measures pattern-set edge-coverage
+// computation, the dominant cost of the E2 quality sweep.
+func BenchmarkE2CoverageVsBudget(b *testing.B) {
+	corpus := benchCorpus(150)
+	res, err := catapult.Select(corpus, catapult.Config{Budget: benchBudget(), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := pattern.MatchOptions()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pattern.SetEdgeCoverage(res.Patterns, corpus, opts)
+	}
+}
+
+// BenchmarkE3DiversityCogload measures the diversity and cognitive-load
+// scoring of a selected set (experiment E3).
+func BenchmarkE3DiversityCogload(b *testing.B) {
+	corpus := benchCorpus(150)
+	res, err := catapult.Select(corpus, catapult.Config{Budget: benchBudget(), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pattern.SetDiversity(res.Patterns)
+		pattern.SetCognitiveLoad(res.Patterns, benchBudget())
+	}
+}
+
+// BenchmarkE4FormulationSteps measures the simulated-user workload
+// evaluation comparing manual and data-driven panels (experiment E4).
+func BenchmarkE4FormulationSteps(b *testing.B) {
+	corpus := benchCorpus(100)
+	spec, _, err := vqi.BuildFromCorpus(corpus, catapult.Config{Budget: benchBudget(), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	panel, err := spec.AllPatterns()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := simulate.CorpusWorkload(corpus, 30, 5, 9, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm := simulate.DefaultCostModel()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		simulate.Evaluate(wl, panel, cm)
+		simulate.Evaluate(wl, nil, cm)
+	}
+}
+
+// BenchmarkE5TattooScale measures TATTOO end-to-end selection per network
+// size (experiment E5).
+func BenchmarkE5TattooScale(b *testing.B) {
+	for _, n := range []int{2000, 8000} {
+		g := datagen.BarabasiAlbert(1, n, 3)
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tattoo.Select(g, tattoo.Config{Budget: benchBudget(), Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6TrussSplit measures the k-truss decomposition underlying the
+// G_T/G_O split (experiment E6).
+func BenchmarkE6TrussSplit(b *testing.B) {
+	for _, n := range []int{5000, 20000} {
+		g := datagen.WattsStrogatz(1, n, 6, 0.1)
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				truss.Decompose(g)
+			}
+		})
+	}
+}
+
+// BenchmarkE7MidasVsRerun measures one MIDAS batch maintenance against the
+// CATAPULT re-run it replaces (experiment E7).
+func BenchmarkE7MidasVsRerun(b *testing.B) {
+	cfg := catapult.Config{Budget: benchBudget(), Seed: 1}
+	b.Run("midas-apply", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			corpus := benchCorpus(150)
+			st, err := midas.Build(corpus, midas.Config{Catapult: cfg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(i)))
+			var added []*graph.Graph
+			for j := 0; j < 15; j++ {
+				added = append(added, datagen.Chemical(rng, fmt.Sprintf("b%d-%d", i, j),
+					datagen.ChemicalOptions{MinNodes: 10, MaxNodes: 22, RingBias: 0.9}))
+			}
+			removed := corpus.Names()[:5]
+			b.StartTimer()
+			if _, err := st.Apply(added, removed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rerun-from-scratch", func(b *testing.B) {
+		corpus := benchCorpus(160)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := catapult.Select(corpus, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8MinorMajor measures the graphlet-frequency-distribution
+// computation that classifies batch updates (experiment E8).
+func BenchmarkE8MinorMajor(b *testing.B) {
+	corpus := benchCorpus(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graphlet.CorpusGFD(corpus)
+	}
+}
+
+// BenchmarkE9AblationScore measures CATAPULT under each scoring variant
+// (experiment E9).
+func BenchmarkE9AblationScore(b *testing.B) {
+	corpus := benchCorpus(120)
+	for _, row := range []struct {
+		name string
+		wt   pattern.Weights
+	}{
+		{"coverage-only", pattern.Weights{Coverage: 1}},
+		{"full-score", pattern.DefaultWeights()},
+	} {
+		b.Run(row.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := catapult.Select(corpus, catapult.Config{Budget: benchBudget(), Weights: row.wt, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10ModularSwap measures two modular pipeline configurations
+// (experiment E10).
+func BenchmarkE10ModularSwap(b *testing.B) {
+	corpus := benchCorpus(120)
+	for _, row := range []struct {
+		name string
+		p    modular.Pipeline
+	}{
+		{"catapult-equivalent", modular.CatapultEquivalent(benchBudget(), 1)},
+		{"label+single+union", modular.Pipeline{
+			Similarity: modular.LabelSimilarity{}, Clusterer: modular.SingleCluster{},
+			Merger: modular.UnionMerger{}, Extractor: modular.WalkExtractor{Walks: 120},
+			Budget: benchBudget(), Seed: 1}},
+	} {
+		b.Run(row.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := row.p.Run(corpus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11Aesthetics measures layout computation plus aesthetic metric
+// extraction for a pattern panel (experiment E11).
+func BenchmarkE11Aesthetics(b *testing.B) {
+	corpus := benchCorpus(100)
+	res, err := catapult.Select(corpus, catapult.Config{Budget: benchBudget(), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j, p := range res.Patterns {
+			l := layout.FruchtermanReingold(p.G, vqi.ThumbSize, vqi.ThumbSize, 120, int64(j))
+			layout.Measure(p.G, l, 0)
+		}
+	}
+}
+
+// BenchmarkE12SketchPanel measures data-driven sketch-panel construction
+// for time series (experiment E12).
+func BenchmarkE12SketchPanel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	col := &timeseries.Collection{}
+	for s := 0; s < 30; s++ {
+		vals := make([]float64, 480)
+		for i := range vals {
+			vals[i] = float64((i+s)%48)/48 + 0.1*rng.NormFloat64()
+		}
+		col.Add(fmt.Sprintf("s%d", s), vals)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timeseries.BuildSketchPanel(col, timeseries.Config{Budget: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13Summarize measures pattern-based graph summarization
+// (experiment E13).
+func BenchmarkE13Summarize(b *testing.B) {
+	g := datagen.WattsStrogatz(1, 1500, 6, 0.08)
+	res, err := tattoo.Select(g, tattoo.Config{Budget: benchBudget(), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := summary.Summarize(g, res.Patterns, summary.Options{MaxInstancesPerPattern: 300}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineTopFrequent measures the frequent-subgraph baseline E1
+// compares against.
+func BenchmarkBaselineTopFrequent(b *testing.B) {
+	corpus := benchCorpus(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.TopFrequent(corpus, benchBudget(), 1, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

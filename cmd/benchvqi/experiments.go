@@ -1,0 +1,203 @@
+package main
+
+// Experiments E1-E4: CATAPULT efficiency and quality, and the usability
+// comparison between manual and data-driven VQIs.
+
+import (
+	"fmt"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/simulate"
+	"repro/internal/tattoo"
+	"repro/internal/vqi"
+)
+
+func chemOpts() datagen.ChemicalOptions {
+	return datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 24}
+}
+
+func stdBudget(count int) pattern.Budget {
+	return pattern.Budget{Count: count, MinSize: 4, MaxSize: 12}
+}
+
+func init() {
+	register("E1", "CATAPULT selection time vs corpus size (vs frequent-mining baseline)", runE1)
+	register("E2", "coverage vs pattern budget: CATAPULT vs random vs top-frequent", runE2)
+	register("E3", "diversity and cognitive load of selected pattern sets", runE3)
+	register("E4", "query formulation steps/time: manual vs data-driven VQI", runE4)
+}
+
+func runE1(cfg runConfig, w *tabwriter.Writer) {
+	sizes := []int{250, 500, 1000, 2000}
+	fsmLimit := 60 * time.Second
+	if cfg.full {
+		sizes = []int{1000, 2000, 4000, 8000}
+		fsmLimit = 300 * time.Second
+	}
+	fmt.Fprintln(w, "|D|\tCATAPULT (s)\texhaustive FSM (s)\tFSM timed out?\tcatapult coverage\tFSM coverage")
+	for _, n := range sizes {
+		corpus := datagen.ChemicalCorpus(cfg.seed, n, chemOpts())
+		b := stdBudget(10)
+
+		t0 := time.Now()
+		res, err := catapult.Select(corpus, catapult.Config{Budget: b, Seed: cfg.seed})
+		if err != nil {
+			fmt.Fprintf(w, "%d\terror: %v\n", n, err)
+			continue
+		}
+		catTime := time.Since(t0)
+
+		t1 := time.Now()
+		fsm, truncated, err := baseline.ExhaustiveFSM(corpus, b, 0.1, fsmLimit)
+		if err != nil {
+			fmt.Fprintf(w, "%d\terror: %v\n", n, err)
+			continue
+		}
+		fsmTime := time.Since(t1)
+		fsmCov := pattern.SetEdgeCoverage(fsm, corpus, pattern.MatchOptions())
+
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%v\t%.3f\t%.3f\n",
+			n, catTime.Seconds(), fsmTime.Seconds(), truncated, res.Coverage, fsmCov)
+	}
+}
+
+func runE2(cfg runConfig, w *tabwriter.Writer) {
+	n := 300
+	if cfg.full {
+		n = 1000
+	}
+	corpus := datagen.ChemicalCorpus(cfg.seed, n, chemOpts())
+	opts := pattern.MatchOptions()
+	fmt.Fprintln(w, "budget b\tCATAPULT\trandom\ttop-frequent\tmanual(chemistry)")
+	manual, _ := vqi.BuildManual(vqi.PresetChemistry, corpus)
+	manualPats, _ := manual.AllPatterns()
+	var manualCanned []*pattern.Pattern
+	for _, p := range manualPats {
+		if !p.IsBasic() {
+			manualCanned = append(manualCanned, p)
+		}
+	}
+	manualCov := pattern.SetEdgeCoverage(manualCanned, corpus, opts)
+	for _, b := range []int{5, 10, 15, 20} {
+		budget := stdBudget(b)
+		res, err := catapult.Select(corpus, catapult.Config{Budget: budget, Seed: cfg.seed})
+		if err != nil {
+			fmt.Fprintf(w, "%d\terror: %v\n", b, err)
+			continue
+		}
+		rnd, _ := baseline.Random(corpus, budget, cfg.seed)
+		frq, _ := baseline.TopFrequent(corpus, budget, cfg.seed, 0)
+		fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			b,
+			res.Coverage,
+			pattern.SetEdgeCoverage(rnd, corpus, opts),
+			pattern.SetEdgeCoverage(frq, corpus, opts),
+			manualCov)
+	}
+}
+
+func runE3(cfg runConfig, w *tabwriter.Writer) {
+	n := 300
+	if cfg.full {
+		n = 1000
+	}
+	corpus := datagen.ChemicalCorpus(cfg.seed, n, chemOpts())
+	fmt.Fprintln(w, "budget b\tselector\tdiversity\tmean cognitive load")
+	for _, b := range []int{5, 10, 15} {
+		budget := stdBudget(b)
+		res, err := catapult.Select(corpus, catapult.Config{Budget: budget, Seed: cfg.seed})
+		if err != nil {
+			continue
+		}
+		rnd, _ := baseline.Random(corpus, budget, cfg.seed)
+		frq, _ := baseline.TopFrequent(corpus, budget, cfg.seed, 0)
+		for _, row := range []struct {
+			name string
+			set  []*pattern.Pattern
+		}{
+			{"catapult", res.Patterns},
+			{"random", rnd},
+			{"top-frequent", frq},
+		} {
+			fmt.Fprintf(w, "%d\t%s\t%.3f\t%.3f\n", b, row.name,
+				pattern.SetDiversity(row.set),
+				pattern.SetCognitiveLoad(row.set, budget))
+		}
+	}
+}
+
+func runE4(cfg runConfig, w *tabwriter.Writer) {
+	n, queries := 200, 60
+	if cfg.full {
+		n, queries = 1000, 200
+	}
+	corpus := datagen.ChemicalCorpus(cfg.seed, n, chemOpts())
+	// Error-aware cost model: slips cost undo+redo, so the "Errors"
+	// usability criterion is reported alongside steps and time.
+	cm := simulate.ErrorAwareCostModel()
+
+	ddSpec, _, err := vqi.BuildFromCorpus(corpus, catapult.Config{Budget: stdBudget(10), Seed: cfg.seed})
+	if err != nil {
+		fmt.Fprintf(w, "error: %v\n", err)
+		return
+	}
+	manBasic, _ := vqi.BuildManual(vqi.PresetBasicOnly, corpus)
+	manChem, _ := vqi.BuildManual(vqi.PresetChemistry, corpus)
+
+	fmt.Fprintln(w, "query size (nodes)\tVQI\tmean steps\tmean time (s)\texp. errors\tpattern edge share")
+	for _, qsize := range [][2]int{{4, 6}, {7, 9}, {10, 12}} {
+		wl, err := simulate.CorpusWorkload(corpus, queries, qsize[0], qsize[1], cfg.seed)
+		if err != nil {
+			continue
+		}
+		for _, row := range []struct {
+			name string
+			spec *vqi.Spec
+		}{
+			{"manual basic-only", manBasic},
+			{"manual chemistry", manChem},
+			{"data-driven (CATAPULT)", ddSpec},
+		} {
+			panel, _ := row.spec.AllPatterns()
+			s := simulate.Evaluate(wl, panel, cm)
+			fmt.Fprintf(w, "%d-%d\t%s\t%.1f\t%.1f\t%.2f\t%.2f\n",
+				qsize[0], qsize[1], row.name, s.MeanSteps, s.MeanTime, s.MeanErrors, s.PatternEdgeShare)
+		}
+	}
+
+	// Network-side comparison (TATTOO vs basic-only), one row each.
+	g := datagen.BarabasiAlbert(cfg.seed, 2000, 3)
+	netSpec, _, err := vqi.BuildFromNetwork(g, tattoo.Config{Budget: stdBudget(10), Seed: cfg.seed})
+	if err != nil {
+		return
+	}
+	wl, err := simulate.NetworkWorkload(g, queries, 5, 10, cfg.seed)
+	if err != nil {
+		return
+	}
+	for _, row := range []struct {
+		name string
+		spec *vqi.Spec
+	}{
+		{"network manual basic-only", manBasic},
+		{"network data-driven (TATTOO)", netSpec},
+	} {
+		panel, _ := row.spec.AllPatterns()
+		s := simulate.Evaluate(wl, panel, cm)
+		fmt.Fprintf(w, "5-10\t%s\t%.1f\t%.1f\t%.2f\t%.2f\n",
+			row.name, s.MeanSteps, s.MeanTime, s.MeanErrors, s.PatternEdgeShare)
+	}
+}
+
+// singletonCorpus builds a 1-graph corpus (helper shared by experiments).
+func singletonCorpus(g *graph.Graph) *graph.Corpus {
+	c := graph.NewCorpus()
+	c.MustAdd(g)
+	return c
+}

@@ -1,0 +1,153 @@
+package main
+
+// Experiments E9-E11 and T1: the score-component ablation, the modular
+// pipeline comparison, the aesthetics measurements, and the tutorial's own
+// Table 1 inventory.
+
+import (
+	"fmt"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/layout"
+	"repro/internal/modular"
+	"repro/internal/pattern"
+	"repro/internal/vqi"
+)
+
+func init() {
+	register("E9", "ablation: coverage-only vs +diversity vs +cognitive-load scoring", runE9)
+	register("E10", "modular architecture: stage swaps, quality and time", runE10)
+	register("E11", "aesthetics: layout metrics of pattern panels", runE11)
+	register("T1", "tutorial Table 1 inventory cross-check", runT1)
+}
+
+func runE9(cfg runConfig, w *tabwriter.Writer) {
+	n := 300
+	if cfg.full {
+		n = 1000
+	}
+	corpus := datagen.ChemicalCorpus(cfg.seed, n, chemOpts())
+	budget := stdBudget(10)
+	opts := pattern.MatchOptions()
+	fmt.Fprintln(w, "scoring variant\tcoverage\tdiversity\tmean cognitive load")
+	for _, row := range []struct {
+		name string
+		wt   pattern.Weights
+	}{
+		{"coverage only", pattern.Weights{Coverage: 1}},
+		{"+ diversity", pattern.Weights{Coverage: 1, Diversity: 1}},
+		{"+ cognitive load (full)", pattern.Weights{Coverage: 1, Diversity: 1, CogLoad: 1}},
+		{"diversity only", pattern.Weights{Diversity: 1}},
+	} {
+		res, err := catapult.Select(corpus, catapult.Config{Budget: budget, Weights: row.wt, Seed: cfg.seed})
+		if err != nil {
+			fmt.Fprintf(w, "%s\terror: %v\n", row.name, err)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\n", row.name,
+			pattern.SetEdgeCoverage(res.Patterns, corpus, opts),
+			pattern.SetDiversity(res.Patterns),
+			pattern.SetCognitiveLoad(res.Patterns, budget))
+	}
+}
+
+func runE10(cfg runConfig, w *tabwriter.Writer) {
+	n := 200
+	if cfg.full {
+		n = 600
+	}
+	corpus := datagen.ChemicalCorpus(cfg.seed, n, chemOpts())
+	budget := stdBudget(8)
+	opts := pattern.MatchOptions()
+	pipelines := []modular.Pipeline{
+		modular.CatapultEquivalent(budget, cfg.seed),
+		{Similarity: modular.GraphletSimilarity{}, Clusterer: modular.KMedoidsClusterer{},
+			Merger: modular.ClosureMerger{}, Extractor: modular.WalkExtractor{Walks: 120},
+			Budget: budget, Seed: cfg.seed},
+		{Similarity: modular.LabelSimilarity{}, Clusterer: modular.AgglomerativeClusterer{},
+			Merger: modular.ClosureMerger{}, Extractor: modular.WalkExtractor{Walks: 120},
+			Budget: budget, Seed: cfg.seed},
+		{Similarity: modular.LabelSimilarity{}, Clusterer: modular.SingleCluster{},
+			Merger: modular.UnionMerger{}, Extractor: modular.WalkExtractor{Walks: 120},
+			Budget: budget, Seed: cfg.seed},
+		{Similarity: modular.GraphletSimilarity{}, Clusterer: modular.KMedoidsClusterer{},
+			Merger: modular.ClosureMerger{}, Extractor: modular.HeaviestSubgraphExtractor{},
+			Budget: budget, Seed: cfg.seed},
+	}
+	fmt.Fprintln(w, "similarity\tclustering\tmerging\textraction\ttime (s)\tcoverage\tdiversity")
+	for _, p := range pipelines {
+		t0 := time.Now()
+		res, err := p.Run(corpus)
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.2f\t%.3f\t%.3f\n",
+			res.Stages[0], res.Stages[1], res.Stages[2], res.Stages[3],
+			time.Since(t0).Seconds(),
+			pattern.SetEdgeCoverage(res.Patterns, corpus, opts),
+			pattern.SetDiversity(res.Patterns))
+	}
+}
+
+func runE11(cfg runConfig, w *tabwriter.Writer) {
+	n := 200
+	if cfg.full {
+		n = 600
+	}
+	corpus := datagen.ChemicalCorpus(cfg.seed, n, chemOpts())
+	budget := stdBudget(10)
+	res, err := catapult.Select(corpus, catapult.Config{Budget: budget, Seed: cfg.seed})
+	if err != nil {
+		fmt.Fprintf(w, "error: %v\n", err)
+		return
+	}
+	manual, _ := vqi.BuildManual(vqi.PresetChemistry, corpus)
+	manualPats, _ := manual.AllPatterns()
+	rnd, _ := baseline.Random(corpus, budget, cfg.seed)
+
+	fmt.Fprintln(w, "panel\tpatterns\tmean crossings\tmean overlaps\tmean angular res\tmean visual complexity")
+	for _, row := range []struct {
+		name string
+		set  []*pattern.Pattern
+	}{
+		{"data-driven (CATAPULT)", res.Patterns},
+		{"manual chemistry", manualPats},
+		{"random baseline", rnd},
+	} {
+		if len(row.set) == 0 {
+			continue
+		}
+		var crossings, overlaps, angular, complexity float64
+		for i, p := range row.set {
+			l := layout.FruchtermanReingold(p.G, vqi.ThumbSize, vqi.ThumbSize, 120, cfg.seed+int64(i))
+			m := layout.Measure(p.G, l, 0)
+			crossings += float64(m.Crossings)
+			overlaps += float64(m.Overlaps)
+			angular += m.AngularResolution
+			complexity += m.VisualComplexity
+		}
+		k := float64(len(row.set))
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\t%.3f\n",
+			row.name, len(row.set), crossings/k, overlaps/k, angular/k, complexity/k)
+	}
+}
+
+func runT1(_ runConfig, w *tabwriter.Writer) {
+	fmt.Fprintln(w, "tutorial topic\tminutes\tthis repository")
+	rows := [][3]string{
+		{"Introduction", "5", "README.md, DESIGN.md"},
+		{"Usability of manual VQI", "15", "internal/vqi (manual presets), internal/simulate (usability model)"},
+		{"The concept of data-driven VQI", "10", "internal/vqi (data-driven builders), internal/core facade"},
+		{"Data-driven construction of VQIs", "30", "internal/catapult, internal/tattoo, internal/modular + substrates (fct, cluster, closure, truss, isomorph, canon)"},
+		{"Data-driven maintenance of VQIs", "10", "internal/midas (+ graphlet trigger, FCT maintenance)"},
+		{"Future research direction", "15", "internal/layout (aesthetics, E11), internal/timeseries (beyond graphs, E12), internal/summary (beyond VQIs, E13); distributed/massive left open as in the tutorial"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", r[0], r[1], r[2])
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+// Experiments E12-E13: the tutorial's "beyond" future directions made
+// concrete — data-driven sketch panels for time series, and pattern-based
+// graph summarization.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/summary"
+	"repro/internal/tattoo"
+	"repro/internal/timeseries"
+)
+
+func init() {
+	register("E12", "beyond graphs: data-driven sketch panel for time series", runE12)
+	register("E13", "beyond VQIs: pattern-based graph summarization", runE13)
+}
+
+func runE12(cfg runConfig, w *tabwriter.Writer) {
+	seriesCount := 40
+	length := 960
+	if cfg.full {
+		seriesCount, length = 200, 2880
+	}
+	col := syntheticArchive(cfg.seed, seriesCount, length)
+	fmt.Fprintln(w, "budget\tmining+selection (s)\tmean series-coverage\tmean complexity\tdistinct words")
+	for _, b := range []int{4, 8, 12} {
+		t0 := time.Now()
+		panel, err := timeseries.BuildSketchPanel(col, timeseries.Config{
+			Window: 48, Segments: 8, Alphabet: 4, Budget: b})
+		if err != nil {
+			fmt.Fprintf(w, "%d\terror: %v\n", b, err)
+			continue
+		}
+		elapsed := time.Since(t0)
+		cov, cplx := 0.0, 0.0
+		for _, m := range panel.Sketches {
+			cov += m.SeriesCoverage
+			cplx += m.Complexity()
+		}
+		k := float64(len(panel.Sketches))
+		fmt.Fprintf(w, "%d\t%.2f\t%.3f\t%.3f\t%d\n",
+			b, elapsed.Seconds(), cov/k, cplx/k, len(panel.Sketches))
+	}
+}
+
+func syntheticArchive(seed int64, count, length int) *timeseries.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	col := &timeseries.Collection{}
+	for s := 0; s < count; s++ {
+		vals := make([]float64, length)
+		switch s % 3 {
+		case 0: // seasonal
+			for i := range vals {
+				vals[i] = math.Sin(2*math.Pi*float64(i)/48) + 0.1*rng.NormFloat64()
+			}
+		case 1: // drift
+			level := 0.0
+			for i := range vals {
+				level += 0.02 + 0.05*rng.NormFloat64()
+				vals[i] = level
+			}
+		default: // spiky
+			for i := range vals {
+				vals[i] = 0.1 * rng.NormFloat64()
+			}
+			for k := 0; k < length/60; k++ {
+				c := 10 + rng.Intn(length-20)
+				for i := -6; i <= 6 && c+i < length; i++ {
+					if c+i >= 0 {
+						vals[c+i] += 3 * math.Exp(-math.Pow(float64(i)/3, 2))
+					}
+				}
+			}
+		}
+		col.Add(fmt.Sprintf("s%d", s), vals)
+	}
+	return col
+}
+
+func runE13(cfg runConfig, w *tabwriter.Writer) {
+	n := 2000
+	if cfg.full {
+		n = 10000
+	}
+	fmt.Fprintln(w, "network\tsupernodes\tnode reduction\tedge reduction\tpattern coverage\ttime (s)")
+	for _, net := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"watts-strogatz", datagen.WattsStrogatz(cfg.seed, n, 6, 0.08)},
+		{"barabasi-albert", datagen.BarabasiAlbert(cfg.seed, n, 3)},
+	} {
+		g := net.g
+		res, err := tattoo.Select(g, tattoo.Config{Budget: stdBudget(8), Seed: cfg.seed})
+		if err != nil {
+			fmt.Fprintf(w, "%s\terror: %v\n", net.name, err)
+			continue
+		}
+		t0 := time.Now()
+		sum, err := summary.Summarize(g, res.Patterns, summary.Options{MaxInstancesPerPattern: n / 5})
+		if err != nil {
+			fmt.Fprintf(w, "%s\terror: %v\n", net.name, err)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.1f%%\t%.1f%%\t%.2f\n",
+			net.name, len(sum.Supernodes),
+			100*sum.NodeReduction, 100*sum.EdgeReduction, 100*sum.Coverage(g),
+			time.Since(t0).Seconds())
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+// Experiment E14: formulation effort broken down by query topology, with
+// the workload shaped after the published query-log distribution that
+// TATTOO's candidate taxonomy is built on.
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/simulate"
+	"repro/internal/vqi"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E14", "formulation effort by query topology (query-log mix)", runE14)
+}
+
+func runE14(cfg runConfig, w *tabwriter.Writer) {
+	n, queries := 200, 400
+	if cfg.full {
+		n, queries = 800, 1200
+	}
+	corpus := datagen.ChemicalCorpus(cfg.seed, n, chemOpts())
+	ddSpec, _, err := vqi.BuildFromCorpus(corpus, catapult.Config{Budget: stdBudget(10), Seed: cfg.seed})
+	if err != nil {
+		fmt.Fprintf(w, "error: %v\n", err)
+		return
+	}
+	ddPanel, _ := ddSpec.AllPatterns()
+	qs, err := workload.Generate(queries, workload.FromCorpus(corpus), workload.Options{MinNodes: 4, MaxNodes: 9}, cfg.seed)
+	if err != nil {
+		fmt.Fprintf(w, "error: %v\n", err)
+		return
+	}
+	cm := simulate.DefaultCostModel()
+
+	type accum struct {
+		n                    int
+		manSteps, ddSteps    float64
+		manTime, ddTime      float64
+		patternEdges, totalE int
+	}
+	byClass := map[workload.Topology]*accum{}
+	for _, q := range qs {
+		a, ok := byClass[q.Class]
+		if !ok {
+			a = &accum{}
+			byClass[q.Class] = a
+		}
+		man := simulate.Formulate(q.G, nil, cm)
+		dd := simulate.Formulate(q.G, ddPanel, cm)
+		a.n++
+		a.manSteps += float64(man.Steps)
+		a.ddSteps += float64(dd.Steps)
+		a.manTime += man.Time
+		a.ddTime += dd.Time
+		a.patternEdges += dd.EdgesViaPatterns
+		a.totalE += q.G.NumEdges()
+	}
+	fmt.Fprintln(w, "topology\tqueries\tmanual steps\tdata-driven steps\tstep reduction\tpattern edge share")
+	for _, cls := range []workload.Topology{workload.Chain, workload.Star, workload.Tree,
+		workload.Cycle, workload.Petal, workload.Flower} {
+		a := byClass[cls]
+		if a == nil || a.n == 0 {
+			continue
+		}
+		k := float64(a.n)
+		reduction := 0.0
+		if a.manSteps > 0 {
+			reduction = 1 - a.ddSteps/a.manSteps
+		}
+		share := 0.0
+		if a.totalE > 0 {
+			share = float64(a.patternEdges) / float64(a.totalE)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.0f%%\t%.2f\n",
+			cls, a.n, a.manSteps/k, a.ddSteps/k, 100*reduction, share)
+	}
+}

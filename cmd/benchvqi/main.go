@@ -1,0 +1,83 @@
+// Command benchvqi regenerates every experiment in EXPERIMENTS.md: the
+// headline results of the frameworks the tutorial surveys (CATAPULT,
+// TATTOO, MIDAS, the modular architecture) plus the usability and
+// aesthetics measurements, printed as paper-style tables.
+//
+// Usage:
+//
+//	benchvqi -exp all          # run everything (quick sizes)
+//	benchvqi -exp E1           # one experiment
+//	benchvqi -exp E5 -full     # full paper-scale sizes
+//	benchvqi -list             # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// experiment is one reproducible table/figure.
+type experiment struct {
+	id    string
+	title string
+	run   func(cfg runConfig, w *tabwriter.Writer)
+}
+
+// runConfig carries global harness settings.
+type runConfig struct {
+	full bool
+	seed int64
+}
+
+var experiments []experiment
+
+func register(id, title string, run func(runConfig, *tabwriter.Writer)) {
+	experiments = append(experiments, experiment{id: id, title: title, run: run})
+}
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id (E1..E11, T1) or 'all'")
+		full = flag.Bool("full", false, "paper-scale sizes (slower)")
+		seed = flag.Int64("seed", 1, "random seed")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+	sort.Slice(experiments, func(i, j int) bool { return experimentOrder(experiments[i].id) < experimentOrder(experiments[j].id) })
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	cfg := runConfig{full: *full, seed: *seed}
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		fmt.Printf("\n=== %s: %s ===\n", e.id, e.title)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		e.run(cfg, w)
+		w.Flush()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchvqi: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func experimentOrder(id string) int {
+	// E1..E11 first, then T1.
+	if strings.HasPrefix(id, "E") {
+		n := 0
+		fmt.Sscanf(id[1:], "%d", &n)
+		return n
+	}
+	return 100
+}

@@ -1,0 +1,82 @@
+// Command datagen generates the synthetic datasets used throughout the
+// repository: chemical-compound-like corpora (CATAPULT/MIDAS experiments)
+// and large networks of several topologies (TATTOO experiments), in the
+// .lg corpus format.
+//
+// Examples:
+//
+//	datagen -kind chemical -n 1000 -out corpus.lg -seed 1
+//	datagen -kind ba -n 100000 -k 3 -out network.lg
+//	datagen -kind ws -n 50000 -k 6 -beta 0.1 -out smallworld.lg
+//	datagen -kind er -n 10000 -m 40000 -out random.lg
+//	datagen -kind pp -communities 20 -size 500 -pin 0.05 -pout 0.0005 -out comm.lg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/gio"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		kind        = flag.String("kind", "chemical", "dataset kind: chemical|ba|ws|er|pp")
+		n           = flag.Int("n", 1000, "graphs (chemical) or nodes (networks)")
+		out         = flag.String("out", "", "output .lg file (required)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		minN        = flag.Int("min", 8, "chemical: min compound size")
+		maxN        = flag.Int("max", 40, "chemical: max compound size")
+		k           = flag.Int("k", 3, "ba: edges per new node; ws: lattice degree")
+		m           = flag.Int("m", 0, "er: edge count (default 3n)")
+		beta        = flag.Float64("beta", 0.1, "ws: rewiring probability")
+		communities = flag.Int("communities", 10, "pp: community count")
+		size        = flag.Int("size", 100, "pp: community size")
+		pin         = flag.Float64("pin", 0.05, "pp: intra-community edge probability")
+		pout        = flag.Float64("pout", 0.001, "pp: inter-community edge probability")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var corpus *graph.Corpus
+	switch *kind {
+	case "chemical":
+		corpus = datagen.ChemicalCorpus(*seed, *n, datagen.ChemicalOptions{MinNodes: *minN, MaxNodes: *maxN})
+	case "ba":
+		corpus = single(datagen.BarabasiAlbert(*seed, *n, *k))
+	case "ws":
+		corpus = single(datagen.WattsStrogatz(*seed, *n, *k, *beta))
+	case "er":
+		edges := *m
+		if edges == 0 {
+			edges = 3 * *n
+		}
+		corpus = single(datagen.ErdosRenyi(*seed, *n, edges))
+	case "pp":
+		corpus = single(datagen.PlantedPartition(*seed, *communities, *size, *pin, *pout))
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if err := gio.SaveCorpus(*out, corpus); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	stats := corpus.Stats()
+	fmt.Printf("wrote %s: %d graphs, %d nodes, %d edges total\n",
+		*out, stats.Graphs, stats.TotalNodes, stats.TotalEdges)
+}
+
+func single(g *graph.Graph) *graph.Corpus {
+	c := graph.NewCorpus()
+	c.MustAdd(g)
+	return c
+}

@@ -1,0 +1,164 @@
+// Command vqimaintain demonstrates MIDAS maintenance: it builds a VQI over
+// a base corpus, applies one or more daily batch updates, and reports the
+// minor/major classification and swap statistics of each batch alongside
+// the cost of the naive alternative (re-running CATAPULT from scratch).
+//
+// Example:
+//
+//	vqimaintain -base base.lg -add day1.lg -add day2.lg -remove mol3,mol7 \
+//	            -out maintained.json -count 10
+//
+// Each -add file contributes one batch; -remove names are deleted in the
+// first batch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gio"
+	"repro/internal/graph"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var adds multiFlag
+	var (
+		base    = flag.String("base", "", "base corpus .lg file (required)")
+		remove  = flag.String("remove", "", "comma-separated graph names to delete in the first batch")
+		out     = flag.String("out", "maintained.json", "output spec file")
+		count   = flag.Int("count", 10, "canned pattern budget")
+		minSize = flag.Int("minsize", 4, "min pattern size (edges)")
+		maxSize = flag.Int("maxsize", 12, "max pattern size (edges)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		rerun   = flag.Bool("compare-rerun", false, "also time a from-scratch rebuild per batch")
+		state   = flag.String("state", "", "maintenance state file: loaded if present, saved after the run (with the updated corpus alongside as <state>.lg)")
+	)
+	flag.Var(&adds, "add", ".lg file of graphs to insert (repeatable; one batch each)")
+	flag.Parse()
+	if *base == "" {
+		fmt.Fprintln(os.Stderr, "vqimaintain: -base is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	corpus, err := gio.LoadCorpus(*base)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{
+		Budget: core.Budget{Count: *count, MinSize: *minSize, MaxSize: *maxSize},
+		Seed:   *seed,
+	}
+	start := time.Now()
+	var m *core.Maintainer
+	if *state != "" {
+		if data, err := os.ReadFile(*state); err == nil {
+			m, err = core.LoadMaintainer(data, corpus, opts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("resumed maintenance state from %s (%d graphs)\n", *state, m.Corpus().Len())
+		}
+	}
+	if m == nil {
+		var err error
+		m, err = core.NewMaintainer(corpus, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("initial build over %d graphs in %v\n", m.Corpus().Len(), time.Since(start).Round(time.Millisecond))
+	}
+
+	removals := splitNames(*remove)
+	for bi, addFile := range adds {
+		batchCorpus, err := gio.LoadCorpus(addFile)
+		if err != nil {
+			fatal(err)
+		}
+		var added []*graph.Graph
+		batchCorpus.Each(func(_ int, g *graph.Graph) { added = append(added, g) })
+		var rm []string
+		if bi == 0 {
+			rm = removals
+		}
+		t0 := time.Now()
+		rep, err := m.ApplyBatch(added, rm)
+		if err != nil {
+			fatal(err)
+		}
+		maintainTime := time.Since(t0)
+		kind := "minor"
+		if rep.Major {
+			kind = "major"
+		}
+		fmt.Printf("batch %d (%s): +%d -%d graphs, GFD distance %.4f (%s), %d candidates, %d swaps, score %.3f -> %.3f, %v\n",
+			bi+1, addFile, rep.Added, rep.Removed, rep.GFDDistance, kind,
+			rep.Candidates, rep.Swaps, rep.ScoreBefore, rep.ScoreAfter,
+			maintainTime.Round(time.Millisecond))
+		if *rerun {
+			t1 := time.Now()
+			if _, err := core.BuildCorpusVQI(m.Corpus().Clone(), opts); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  from-scratch rebuild would take %v (%.1fx maintenance)\n",
+				time.Since(t1).Round(time.Millisecond),
+				float64(time.Since(t1))/float64(maintainTime))
+		}
+	}
+	if len(adds) == 0 && len(removals) > 0 {
+		rep, err := m.ApplyBatch(nil, removals)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("removal-only batch: -%d graphs, GFD distance %.4f\n", rep.Removed, rep.GFDDistance)
+	}
+
+	payload, err := m.Spec().Encode()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		fatal(err)
+	}
+	if *state != "" {
+		stData, err := m.MarshalState()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*state, stData, 0o644); err != nil {
+			fatal(err)
+		}
+		if err := gio.SaveCorpus(*state+".lg", m.Corpus()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved maintenance state to %s (corpus: %s.lg)\n", *state, *state)
+	}
+	fmt.Printf("final: %s\nwrote %s\n", core.Describe(m.Spec()), *out)
+}
+
+func splitNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vqimaintain: %v\n", err)
+	os.Exit(1)
+}

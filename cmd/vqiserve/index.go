@@ -1,0 +1,189 @@
+package main
+
+// indexHTML is the data-driven front end. It contains zero knowledge of
+// the data source: every label and pattern is fetched from /api/spec and
+// rendered at runtime.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>Data-driven VQI</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 0; display: grid;
+         grid-template-columns: 220px 1fr 260px; grid-template-rows: 42px 1fr 180px;
+         height: 100vh; }
+  header { grid-column: 1 / 4; background: #1c2733; color: #fff;
+           display: flex; align-items: center; padding: 0 14px; font-size: 15px; }
+  header .mode { margin-left: auto; font-size: 12px; opacity: .8; }
+  #attrs  { grid-row: 2 / 4; border-right: 1px solid #ddd; overflow-y: auto; padding: 8px; }
+  #query  { position: relative; }
+  #patterns { grid-row: 2 / 4; border-left: 1px solid #ddd; overflow-y: auto; padding: 8px; }
+  #results { grid-column: 2; border-top: 1px solid #ddd; overflow-y: auto; padding: 8px; font-size: 13px; }
+  h3 { font-size: 12px; text-transform: uppercase; letter-spacing: .06em; color: #667; margin: 8px 0 4px; }
+  .label-chip { display: inline-block; margin: 2px; padding: 2px 8px; border: 1px solid #bcd;
+                border-radius: 10px; font-size: 12px; cursor: pointer; background: #f4f8ff; }
+  .label-chip.sel { background: #2266cc; color: #fff; }
+  .thumb { border: 1px solid #ccd; border-radius: 6px; margin: 6px 0; cursor: pointer; background: #fff; }
+  .thumb:hover { border-color: #26c; }
+  .thumb .cap { font-size: 11px; color: #556; padding: 2px 6px; }
+  svg.canvas { width: 100%; height: 100%; background: #fafbfc; }
+  button { margin: 4px; }
+  #toolbar { position: absolute; top: 6px; left: 6px; z-index: 2; background: #ffffffcc; border-radius: 6px; }
+</style>
+</head>
+<body>
+<header>Data-driven Visual Query Interface<span class="mode" id="mode"></span></header>
+<div id="attrs"><h3>Attribute Panel</h3><div id="nodeLabels"></div><h3>Edge labels</h3><div id="edgeLabels"></div></div>
+<div id="query">
+  <div id="toolbar">
+    <button onclick="setTool('node')">+ node</button>
+    <button onclick="setTool('edge')">+ edge</button>
+    <button onclick="runQuery()">Run ▶</button>
+    <button onclick="suggest()">Suggest</button>
+    <button onclick="clearQuery()">Clear</button>
+    <span id="tool" style="font-size:12px;color:#667"></span>
+  </div>
+  <svg class="canvas" id="canvas"></svg>
+</div>
+<div id="patterns"><h3>Pattern Panel — basic</h3><div id="basic"></div><h3>Pattern Panel — canned (data-driven)</h3><div id="canned"></div></div>
+<div id="results"><h3>Results Panel</h3><div id="resultBody">Draw a query and press Run.</div></div>
+<script>
+let spec = null, tool = 'node', selLabel = '', selEdgeLabel = '';
+let q = { nodes: [], edges: [] }, pos = [], pendingEdge = -1;
+
+fetch('/api/spec').then(r => r.json()).then(s => { spec = s; render(); });
+
+function render() {
+  document.getElementById('mode').textContent = spec.mode + ' · ' + spec.name;
+  const nl = document.getElementById('nodeLabels');
+  spec.attribute_panel.node_labels.forEach(l => nl.appendChild(chip(l, 'node')));
+  const el = document.getElementById('edgeLabels');
+  spec.attribute_panel.edge_labels.forEach(l => el.appendChild(chip(l, 'edge')));
+  drawPanel('basic', spec.pattern_panel.basic, 0);
+  drawPanel('canned', spec.pattern_panel.canned, spec.pattern_panel.basic.length);
+}
+function chip(label, kind) {
+  const d = document.createElement('span');
+  d.className = 'label-chip'; d.textContent = label || '*';
+  d.onclick = () => {
+    if (kind === 'node') { selLabel = label;
+      document.querySelectorAll('#nodeLabels .label-chip').forEach(c => c.classList.remove('sel'));
+    } else { selEdgeLabel = label;
+      document.querySelectorAll('#edgeLabels .label-chip').forEach(c => c.classList.remove('sel'));
+    }
+    d.classList.add('sel');
+  };
+  return d;
+}
+function drawPanel(id, patterns, offset) {
+  const host = document.getElementById(id);
+  patterns.forEach((p, i) => {
+    const div = document.createElement('div'); div.className = 'thumb';
+    div.appendChild(thumbSVG(p));
+    const cap = document.createElement('div'); cap.className = 'cap';
+    cap.textContent = p.name + ' (load ' + p.cognitive_load.toFixed(1) + ')';
+    div.appendChild(cap);
+    div.onclick = () => stamp(p);
+    host.appendChild(div);
+  });
+}
+function thumbSVG(p) {
+  const s = document.createElementNS('http://www.w3.org/2000/svg', 'svg');
+  s.setAttribute('viewBox', '0 0 120 120'); s.setAttribute('width', '100%'); s.setAttribute('height', '90');
+  p.edges.forEach(e => {
+    const l = document.createElementNS(s.namespaceURI, 'line');
+    l.setAttribute('x1', p.positions[e.u].x); l.setAttribute('y1', p.positions[e.u].y);
+    l.setAttribute('x2', p.positions[e.v].x); l.setAttribute('y2', p.positions[e.v].y);
+    l.setAttribute('stroke', '#789'); s.appendChild(l);
+  });
+  p.nodes.forEach((label, i) => {
+    const c = document.createElementNS(s.namespaceURI, 'circle');
+    c.setAttribute('cx', p.positions[i].x); c.setAttribute('cy', p.positions[i].y);
+    c.setAttribute('r', 7); c.setAttribute('fill', '#2266cc'); s.appendChild(c);
+    const t = document.createElementNS(s.namespaceURI, 'text');
+    t.setAttribute('x', p.positions[i].x); t.setAttribute('y', p.positions[i].y + 3);
+    t.setAttribute('text-anchor', 'middle'); t.setAttribute('font-size', '8'); t.setAttribute('fill', '#fff');
+    t.textContent = label || '*'; s.appendChild(t);
+  });
+  return s;
+}
+function setTool(t) { tool = t; pendingEdge = -1; info(); }
+function info() { document.getElementById('tool').textContent =
+  tool === 'node' ? 'click canvas to add "' + (selLabel || '*') + '"' : 'click two nodes to connect'; }
+document.getElementById('canvas').addEventListener('click', ev => {
+  const r = ev.currentTarget.getBoundingClientRect();
+  const x = ev.clientX - r.left, y = ev.clientY - r.top;
+  if (tool === 'node') { q.nodes.push(selLabel); pos.push({x, y}); redraw(); return; }
+  const hit = pos.findIndex(p => (p.x - x) ** 2 + (p.y - y) ** 2 < 144);
+  if (hit < 0) return;
+  if (pendingEdge < 0) { pendingEdge = hit; }
+  else if (pendingEdge !== hit) {
+    q.edges.push({u: pendingEdge, v: hit, label: selEdgeLabel}); pendingEdge = -1; redraw();
+  }
+});
+function stamp(p) {
+  const base = q.nodes.length, cx = 120 + Math.random() * 200, cy = 80 + Math.random() * 160;
+  p.nodes.forEach((label, i) => { q.nodes.push(label); pos.push({x: cx + (p.positions[i].x - 60) * 0.8, y: cy + (p.positions[i].y - 60) * 0.8}); });
+  p.edges.forEach(e => q.edges.push({u: base + e.u, v: base + e.v, label: e.label}));
+  redraw();
+}
+function redraw() {
+  const s = document.getElementById('canvas');
+  while (s.firstChild) s.removeChild(s.firstChild);
+  q.edges.forEach(e => {
+    const l = document.createElementNS(s.namespaceURI, 'line');
+    l.setAttribute('x1', pos[e.u].x); l.setAttribute('y1', pos[e.u].y);
+    l.setAttribute('x2', pos[e.v].x); l.setAttribute('y2', pos[e.v].y);
+    l.setAttribute('stroke', '#456'); l.setAttribute('stroke-width', '2'); s.appendChild(l);
+  });
+  q.nodes.forEach((label, i) => {
+    const c = document.createElementNS(s.namespaceURI, 'circle');
+    c.setAttribute('cx', pos[i].x); c.setAttribute('cy', pos[i].y);
+    c.setAttribute('r', 12); c.setAttribute('fill', '#2266cc'); s.appendChild(c);
+    const t = document.createElementNS(s.namespaceURI, 'text');
+    t.setAttribute('x', pos[i].x); t.setAttribute('y', pos[i].y + 4);
+    t.setAttribute('text-anchor', 'middle'); t.setAttribute('font-size', '10'); t.setAttribute('fill', '#fff');
+    t.textContent = label || '*'; s.appendChild(t);
+  });
+}
+function clearQuery() { q = {nodes: [], edges: []}; pos = []; pendingEdge = -1; redraw(); }
+function runQuery() {
+  fetch('/api/query', {method: 'POST', body: JSON.stringify(q)}).then(r => r.json()).then(res => {
+    const host = document.getElementById('resultBody');
+    if (res.error) { host.textContent = 'error: ' + res.error; return; }
+    if (res.matched && res.matched.length) {
+      host.textContent = res.matched.length + ' matching graphs: ' + res.matched.slice(0, 50).join(', ');
+      if (res.facets && res.facets.length) {
+        const ul = document.createElement('ul');
+        res.facets.forEach(f => {
+          const li = document.createElement('li');
+          li.textContent = 'contains ' + f.pattern + ': ' + f.graphs.length + ' graphs';
+          ul.appendChild(li);
+        });
+        host.appendChild(ul);
+      }
+    } else if (res.embeddings) {
+      host.textContent = res.embeddings + ' embeddings in the network';
+    } else { host.textContent = 'no matches'; }
+  });
+}
+function suggest() {
+  fetch('/api/suggest', {method: 'POST', body: JSON.stringify(q)}).then(r => r.json()).then(res => {
+    const host = document.getElementById('resultBody');
+    if (res.error) { host.textContent = 'error: ' + res.error; return; }
+    if (!res.suggestions || !res.suggestions.length) { host.textContent = 'no suggested continuations'; return; }
+    host.textContent = 'suggested continuations (click a pattern in the panel to stamp):';
+    const ul = document.createElement('ul');
+    res.suggestions.forEach(sg => {
+      const li = document.createElement('li');
+      li.textContent = sg.name + ' (+' + sg.new_edges + ' edges)';
+      ul.appendChild(li);
+    });
+    host.appendChild(ul);
+  });
+}
+info();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,229 @@
+// Command vqiserve serves a built VQI spec over HTTP with a minimal
+// data-driven front end: every panel (attributes, patterns, query,
+// results) is rendered from the spec JSON at runtime — nothing about the
+// data source is hard-coded in the page, which is the whole point of the
+// data-driven paradigm.
+//
+// Endpoints:
+//
+//	GET  /           the interface
+//	GET  /api/spec   the VQI spec JSON
+//	POST /api/query  {"nodes":["C",...],"edges":[{"u":0,"v":1,"label":"s"}]}
+//	                 → {"matched":[...names...],"embeddings":N}
+//
+// Example:
+//
+//	vqiserve -spec vqi.json -data corpus.lg -addr :8080
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/gindex"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+	"repro/internal/results"
+	"repro/internal/vqi"
+
+	"flag"
+
+	"repro/internal/gio"
+)
+
+type server struct {
+	spec    *vqi.Spec
+	corpus  *graph.Corpus
+	network bool
+	index   *gindex.Index // filter-verify index for corpus queries
+}
+
+func main() {
+	var (
+		specPath = flag.String("spec", "vqi.json", "VQI spec JSON file")
+		dataPath = flag.String("data", "", "data source .lg file (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "vqiserve: -data is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		log.Fatalf("vqiserve: %v", err)
+	}
+	spec, err := vqi.Decode(raw)
+	if err != nil {
+		log.Fatalf("vqiserve: %v", err)
+	}
+	if err := spec.Validate(); err != nil {
+		log.Fatalf("vqiserve: invalid spec: %v", err)
+	}
+	corpus, err := gio.LoadCorpus(*dataPath)
+	if err != nil {
+		log.Fatalf("vqiserve: %v", err)
+	}
+	s := &server{spec: spec, corpus: corpus, network: corpus.Len() == 1}
+	if !s.network {
+		s.index = gindex.Build(corpus)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /api/spec", s.handleSpec)
+	mux.HandleFunc("POST /api/query", s.handleQuery)
+	mux.HandleFunc("POST /api/suggest", s.handleSuggest)
+	log.Printf("vqiserve: %d data graphs, %d canned patterns, listening on %s",
+		corpus.Len(), len(spec.Patterns.Canned), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+func (s *server) handleSpec(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	payload, err := s.spec.Encode()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(payload)
+}
+
+type queryRequest struct {
+	Nodes []string `json:"nodes"`
+	Edges []struct {
+		U     int    `json:"u"`
+		V     int    `json:"v"`
+		Label string `json:"label"`
+	} `json:"edges"`
+}
+
+type queryResponse struct {
+	Matched    []string     `json:"matched"`
+	Facets     []facetEntry `json:"facets,omitempty"`
+	Embeddings int          `json:"embeddings"`
+	Error      string       `json:"error,omitempty"`
+}
+
+// facetEntry groups matches by the canned pattern they contain, so the
+// front end can offer drill-down instead of a flat list.
+type facetEntry struct {
+	Pattern string   `json:"pattern"`
+	Graphs  []string `json:"graphs"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		json.NewEncoder(w).Encode(queryResponse{Error: err.Error()})
+		return
+	}
+	q := graph.New("query")
+	for _, l := range req.Nodes {
+		q.AddNode(l)
+	}
+	for _, e := range req.Edges {
+		if _, err := q.AddEdge(e.U, e.V, e.Label); err != nil {
+			json.NewEncoder(w).Encode(queryResponse{Error: err.Error()})
+			return
+		}
+	}
+	var resp queryResponse
+	if s.network {
+		res := isomorph.Count(q, s.corpus.Graph(0), isomorph.Options{MaxEmbeddings: 1000, MaxSteps: 2_000_000})
+		resp.Embeddings = res.Embeddings
+	} else if s.index != nil {
+		resp.Matched = s.index.Search(q, pattern.MatchOptions()).Matches
+		resp.Facets = s.facets(resp.Matched)
+	} else {
+		opts := pattern.MatchOptions()
+		s.corpus.Each(func(_ int, g *graph.Graph) {
+			if isomorph.Exists(q, g, opts) {
+				resp.Matched = append(resp.Matched, g.Name())
+			}
+		})
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// facets groups matched graphs by the spec's canned patterns.
+func (s *server) facets(matched []string) []facetEntry {
+	if len(matched) == 0 {
+		return nil
+	}
+	panel, err := s.spec.AllPatterns()
+	if err != nil {
+		return nil
+	}
+	// Only canned patterns facet usefully; basics match almost everything.
+	canned := panel[len(s.spec.Patterns.Basic):]
+	fs, _ := results.Facets(matched, s.corpus, canned, pattern.MatchOptions())
+	var out []facetEntry
+	for _, f := range fs {
+		out = append(out, facetEntry{
+			Pattern: s.spec.Patterns.Canned[f.PatternIndex].Name,
+			Graphs:  f.Graphs,
+		})
+	}
+	return out
+}
+
+type suggestResponse struct {
+	Suggestions []suggestEntry `json:"suggestions"`
+	Error       string         `json:"error,omitempty"`
+}
+
+type suggestEntry struct {
+	PatternIndex int    `json:"pattern_index"`
+	Name         string `json:"name"`
+	NewEdges     int    `json:"new_edges"`
+}
+
+// handleSuggest proposes panel patterns that continue the posted partial
+// query (VIIQ-style auto-suggestion).
+func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		json.NewEncoder(w).Encode(suggestResponse{Error: err.Error()})
+		return
+	}
+	q := graph.New("partial")
+	for _, l := range req.Nodes {
+		q.AddNode(l)
+	}
+	for _, e := range req.Edges {
+		if _, err := q.AddEdge(e.U, e.V, e.Label); err != nil {
+			json.NewEncoder(w).Encode(suggestResponse{Error: err.Error()})
+			return
+		}
+	}
+	sugs, err := vqi.SuggestForSpec(s.spec, q, 8)
+	if err != nil {
+		json.NewEncoder(w).Encode(suggestResponse{Error: err.Error()})
+		return
+	}
+	var resp suggestResponse
+	for _, sg := range sugs {
+		resp.Suggestions = append(resp.Suggestions, suggestEntry{
+			PatternIndex: sg.PatternIndex,
+			Name:         sg.Pattern.Name,
+			NewEdges:     sg.NewEdges,
+		})
+	}
+	json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/gindex"
+	"repro/internal/pattern"
+	"repro/internal/tattoo"
+	"repro/internal/vqi"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	corpus := datagen.ChemicalCorpus(2, 20, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14})
+	spec, _, err := vqi.BuildFromCorpus(corpus, catapult.Config{
+		Budget: pattern.Budget{Count: 3, MinSize: 4, MaxSize: 7}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{spec: spec, corpus: corpus}
+}
+
+func TestHandleIndex(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleIndex(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "Pattern Panel") || !strings.Contains(body, "/api/spec") {
+		t.Fatal("front end incomplete")
+	}
+	// The page must not hard-code any data-source content.
+	if strings.Contains(body, "benzene") || strings.Contains(body, "mol0") {
+		t.Fatal("front end contains data-source specifics")
+	}
+	// Unknown paths 404.
+	rec404 := httptest.NewRecorder()
+	s.handleIndex(rec404, httptest.NewRequest("GET", "/nope", nil))
+	if rec404.Code != 404 {
+		t.Fatalf("status = %d", rec404.Code)
+	}
+}
+
+func TestHandleSpec(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleSpec(rec, httptest.NewRequest("GET", "/api/spec", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	spec, err := vqi.Decode(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Patterns.Basic) != 3 {
+		t.Fatal("spec payload wrong")
+	}
+}
+
+func TestHandleQuery(t *testing.T) {
+	s := testServer(t)
+	body := `{"nodes":["C","C"],"edges":[{"u":0,"v":1,"label":"s"}]}`
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(body)))
+	var resp queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("error = %q", resp.Error)
+	}
+	if len(resp.Matched) == 0 {
+		t.Fatal("C-C must match compounds")
+	}
+}
+
+func TestHandleQueryErrors(t *testing.T) {
+	s := testServer(t)
+	for name, body := range map[string]string{
+		"bad-json":  `{`,
+		"bad-edge":  `{"nodes":["C"],"edges":[{"u":0,"v":5,"label":"s"}]}`,
+		"self-loop": `{"nodes":["C"],"edges":[{"u":0,"v":0,"label":"s"}]}`,
+	} {
+		rec := httptest.NewRecorder()
+		s.handleQuery(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(body)))
+		var resp queryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if resp.Error == "" {
+			t.Fatalf("%s: expected error in response", name)
+		}
+	}
+}
+
+func TestHandleQueryFacets(t *testing.T) {
+	// With an index attached, corpus queries return facets grouping
+	// matches by canned pattern.
+	corpus := datagen.ChemicalCorpus(2, 30, datagen.ChemicalOptions{MinNodes: 10, MaxNodes: 18})
+	spec, _, err := vqi.BuildFromCorpus(corpus, catapult.Config{
+		Budget: pattern.Budget{Count: 4, MinSize: 4, MaxSize: 8}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{spec: spec, corpus: corpus, index: gindex.Build(corpus)}
+	body := `{"nodes":["C","C"],"edges":[{"u":0,"v":1,"label":"s"}]}`
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(body)))
+	var resp queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matched) == 0 {
+		t.Fatal("no matches")
+	}
+	if len(resp.Facets) == 0 {
+		t.Fatal("no facets despite canned patterns and matches")
+	}
+	for _, f := range resp.Facets {
+		if f.Pattern == "" || len(f.Graphs) == 0 {
+			t.Fatalf("malformed facet %+v", f)
+		}
+	}
+}
+
+func TestHandleSuggest(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleSuggest(rec, httptest.NewRequest("POST", "/api/suggest",
+		strings.NewReader(`{"nodes":[],"edges":[]}`)))
+	var resp suggestResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" || len(resp.Suggestions) == 0 {
+		t.Fatalf("suggest = %+v", resp)
+	}
+	if len(resp.Suggestions) > 8 {
+		t.Fatal("suggestion cap ignored")
+	}
+	// Malformed body yields a JSON error, not a 500.
+	rec2 := httptest.NewRecorder()
+	s.handleSuggest(rec2, httptest.NewRequest("POST", "/api/suggest", strings.NewReader("{")))
+	var resp2 suggestResponse
+	if err := json.Unmarshal(rec2.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Error == "" {
+		t.Fatal("malformed suggest body accepted")
+	}
+}
+
+func TestHandleQueryNetworkMode(t *testing.T) {
+	g := datagen.WattsStrogatz(3, 100, 4, 0.1)
+	spec, _, err := vqi.BuildFromNetwork(g, tattoo.Config{
+		Budget: pattern.Budget{Count: 3, MinSize: 4, MaxSize: 7}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{spec: spec, corpus: pattern.SingletonCorpus(g), network: true}
+	body := `{"nodes":["",""],"edges":[{"u":0,"v":1,"label":""}]}`
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(body)))
+	var resp queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Embeddings == 0 {
+		t.Fatal("network mode must report embeddings")
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of the systems surveyed
+// in "Data-driven Visual Query Interfaces for Graphs: Past, Present, and
+// (Near) Future" (Bhowmick & Choi, SIGMOD 2022): the CATAPULT and TATTOO
+// canned-pattern selection frameworks, the MIDAS maintenance framework,
+// the Tzanikos et al. modular selection architecture, and the data-driven
+// visual query interface model they plug into, together with every
+// substrate they need (labeled graphs, subgraph isomorphism, canonical
+// forms, graphlet censuses, k-truss decomposition, frequent closed trees,
+// clustering, graph closure, force-directed layout and aesthetic metrics,
+// and a usability simulator).
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced tables and figures. The top-level
+// bench_test.go holds one testing.B benchmark per experiment; cmd/benchvqi
+// regenerates the full paper-style tables.
+package repro

@@ -1,0 +1,76 @@
+// Evolving-database walkthrough: the MIDAS scenario from the tutorial's
+// Section 2.4 — a compound database receiving daily batch updates (as
+// PubChem and DrugBank do), with the VQI's canned patterns maintained
+// incrementally instead of re-selected from scratch.
+//
+//	go run ./examples/evolving
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+func main() {
+	corpus := datagen.ChemicalCorpus(3, 200, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 20})
+	opts := core.Options{Budget: core.Budget{Count: 8, MinSize: 4, MaxSize: 10}, Seed: 3}
+
+	start := time.Now()
+	m, err := core.NewMaintainer(corpus, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 0: built VQI over %d compounds in %v\n",
+		m.Corpus().Len(), time.Since(start).Round(time.Millisecond))
+	fmt.Println(core.Describe(m.Spec()))
+
+	rng := rand.New(rand.NewSource(99))
+	// Simulate a week: days 1-3 receive routine batches (same structural
+	// regime); days 4-5 receive a surge of ring-heavy compounds, shifting
+	// the graphlet distribution.
+	for day := 1; day <= 5; day++ {
+		var batch []*graph.Graph
+		gen := datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 20}
+		n := 8
+		if day >= 4 {
+			gen.RingBias = 0.95
+			gen.MinNodes, gen.MaxNodes = 12, 28
+			n = 50
+		}
+		for i := 0; i < n; i++ {
+			batch = append(batch, datagen.Chemical(rng, fmt.Sprintf("day%d-%d", day, i), gen))
+		}
+		// A few deletions, like a curated database retiring entries.
+		removals := m.Corpus().Names()[:3]
+
+		t0 := time.Now()
+		rep, err := m.ApplyBatch(batch, removals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "minor — clusters/CSGs maintained, patterns untouched"
+		if rep.Major {
+			kind = fmt.Sprintf("MAJOR — %d candidates, %d swaps, score %.3f → %.3f",
+				rep.Candidates, rep.Swaps, rep.ScoreBefore, rep.ScoreAfter)
+		}
+		fmt.Printf("day %d: +%d/-%d compounds, GFD distance %.4f, %s (%v)\n",
+			day, rep.Added, rep.Removed, rep.GFDDistance, kind,
+			time.Since(t0).Round(time.Millisecond))
+	}
+
+	// Final quality check: the maintained pattern set against the final
+	// corpus state.
+	q, err := core.EvaluateQuality(m.Spec(), m.Corpus(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal corpus: %d compounds; maintained pattern set quality: coverage=%.3f diversity=%.3f cogload=%.3f\n",
+		m.Corpus().Len(), q.Coverage, q.Diversity, q.CognitiveLoad)
+	fmt.Println("(MIDAS's guarantee: the maintained set scores at least as high as the stale one)")
+}

@@ -1,0 +1,63 @@
+// Modular-architecture walkthrough: the Tzanikos et al. scenario from the
+// tutorial's Section 2.3 — the canned pattern selection problem decomposed
+// into four swappable stages (similarity, clustering, merging, extraction),
+// compared across configurations on the same corpus.
+//
+//	go run ./examples/modular
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/modular"
+	"repro/internal/pattern"
+)
+
+func main() {
+	corpus := datagen.ChemicalCorpus(5, 250, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 20})
+	budget := pattern.Budget{Count: 8, MinSize: 4, MaxSize: 10}
+	opts := pattern.MatchOptions()
+
+	configs := []struct {
+		name string
+		p    modular.Pipeline
+	}{
+		{"CATAPULT-equivalent", modular.CatapultEquivalent(budget, 5)},
+		{"graphlet features", modular.Pipeline{
+			Similarity: modular.GraphletSimilarity{}, Clusterer: modular.KMedoidsClusterer{},
+			Merger: modular.ClosureMerger{}, Extractor: modular.WalkExtractor{Walks: 120},
+			Budget: budget, Seed: 5}},
+		{"cheap labels + agglomerative", modular.Pipeline{
+			Similarity: modular.LabelSimilarity{}, Clusterer: modular.AgglomerativeClusterer{},
+			Merger: modular.ClosureMerger{}, Extractor: modular.WalkExtractor{Walks: 120},
+			Budget: budget, Seed: 5}},
+		{"no clustering, no closure", modular.Pipeline{
+			Similarity: modular.LabelSimilarity{}, Clusterer: modular.SingleCluster{},
+			Merger: modular.UnionMerger{}, Extractor: modular.WalkExtractor{Walks: 120},
+			Budget: budget, Seed: 5}},
+		{"deterministic heaviest-subgraph", modular.Pipeline{
+			Similarity: modular.GraphletSimilarity{}, Clusterer: modular.KMedoidsClusterer{},
+			Merger: modular.ClosureMerger{}, Extractor: modular.HeaviestSubgraphExtractor{},
+			Budget: budget, Seed: 5}},
+	}
+
+	fmt.Println("pipeline                          time     coverage  diversity  patterns")
+	for _, cfg := range configs {
+		t0 := time.Now()
+		res, err := cfg.p.Run(corpus)
+		if err != nil {
+			log.Fatalf("%s: %v", cfg.name, err)
+		}
+		fmt.Printf("%-32s  %-7v  %.3f     %.3f      %d\n",
+			cfg.name, time.Since(t0).Round(time.Millisecond),
+			pattern.SetEdgeCoverage(res.Patterns, corpus, opts),
+			pattern.SetDiversity(res.Patterns),
+			len(res.Patterns))
+	}
+	fmt.Println("\nThe architectural point: each stage can be swapped independently —")
+	fmt.Println("cheaper similarity trades quality for speed; skipping clustering and")
+	fmt.Println("closure (disjoint union) loses the weight signal the walks rely on.")
+}

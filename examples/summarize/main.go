@@ -1,0 +1,56 @@
+// Beyond VQIs: the tutorial's Section 2.5 suggests that canned patterns —
+// high-coverage, diverse, cognitively light — make good building blocks
+// for visualization-friendly graph summaries. This example mines canned
+// patterns from a network with TATTOO and then uses them to contract the
+// network into a readable summary.
+//
+//	go run ./examples/summarize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/summary"
+	"repro/internal/tattoo"
+)
+
+func main() {
+	g := datagen.WattsStrogatz(13, 2000, 6, 0.08)
+	fmt.Printf("network: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	res, err := tattoo.Select(g, tattoo.Config{
+		Budget: pattern.Budget{Count: 8, MinSize: 4, MaxSize: 10},
+		Seed:   13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TATTOO selected %d canned patterns (classes: %v)\n",
+		len(res.Patterns), res.SelectedClasses)
+
+	sum, err := summary.Summarize(g, res.Patterns, summary.Options{MaxInstancesPerPattern: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsummary: %d nodes, %d edges (%d supernodes)\n",
+		sum.Summary.NumNodes(), sum.Summary.NumEdges(), len(sum.Supernodes))
+	fmt.Printf("node reduction %.1f%%, edge reduction %.1f%%, pattern coverage %.1f%%\n",
+		100*sum.NodeReduction, 100*sum.EdgeReduction, 100*sum.Coverage(g))
+
+	perPattern := map[int]int{}
+	for _, sn := range sum.Supernodes {
+		perPattern[sn.Pattern]++
+	}
+	fmt.Println("\ncontractions per pattern:")
+	for pi, p := range res.Patterns {
+		if perPattern[pi] > 0 {
+			fmt.Printf("  %-24s ×%d (%d nodes each)\n",
+				res.SelectedClasses[pi], perPattern[pi], p.Nodes())
+		}
+	}
+	fmt.Println("\nIn contrast to classical topological summaries, every supernode here")
+	fmt.Println("is a shape an end user already knows from the VQI's Pattern Panel.")
+}

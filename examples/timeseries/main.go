@@ -1,0 +1,122 @@
+// Beyond graphs: the tutorial's Section 2.5 argues the data-driven VQI
+// paradigm transfers to sketch-based time-series querying — instead of
+// making users browse a huge series collection for shapes worth sketching,
+// mine the collection for representative motifs and expose them as canned
+// sketches. This example builds such a Sketch Panel over a synthetic
+// sensor archive and answers a sketch query with it.
+//
+//	go run ./examples/timeseries
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/timeseries"
+)
+
+func main() {
+	col := buildArchive()
+	fmt.Printf("archive: %d series of %d points each\n",
+		len(col.Series), len(col.Series[0].Values))
+
+	cfg := timeseries.Config{Window: 48, Segments: 8, Alphabet: 4, Budget: 6}
+	panel, err := timeseries.BuildSketchPanel(col, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSketch Panel (window %d):\n", panel.Window)
+	for i, m := range panel.Sketches {
+		fmt.Printf("  %d. word=%s occurrences=%d series-coverage=%.0f%% complexity=%.2f\n     %s\n",
+			i+1, m.Word, m.Count, 100*m.SeriesCoverage, m.Complexity(), sparkline(m.Shape))
+	}
+
+	// Bottom-up search: the user picks the first canned sketch instead of
+	// drawing from scratch, exactly like stamping a canned pattern.
+	best := panel.Sketches[0]
+	matches := timeseries.QuerySketch(col, best.Shape, 0.35, 0)
+	perSeries := map[string]int{}
+	for _, m := range matches {
+		perSeries[m.Series]++
+	}
+	fmt.Printf("\nquerying with canned sketch %q: %d matches across %d series\n",
+		best.Word, len(matches), len(perSeries))
+
+	// Top-down search: the user sketches a spike by hand.
+	spike := make([]float64, 48)
+	for i := range spike {
+		spike[i] = math.Exp(-math.Pow(float64(i-24)/4, 2))
+	}
+	spikes := timeseries.QuerySketch(col, spike, 0.4, 10)
+	fmt.Printf("hand-drawn spike sketch: %d matches (first in %q at offset %d)\n",
+		len(spikes), first(spikes).Series, first(spikes).Offset)
+}
+
+func first(m []timeseries.Match) timeseries.Match {
+	if len(m) == 0 {
+		return timeseries.Match{Series: "none"}
+	}
+	return m[0]
+}
+
+// buildArchive mixes seasonal, trending, and spiky sensors.
+func buildArchive() *timeseries.Collection {
+	rng := rand.New(rand.NewSource(4))
+	col := &timeseries.Collection{}
+	for s := 0; s < 8; s++ { // daily-cycle sensors
+		vals := make([]float64, 480)
+		for i := range vals {
+			vals[i] = math.Sin(2*math.Pi*float64(i)/48) + 0.1*rng.NormFloat64()
+		}
+		col.Add(fmt.Sprintf("seasonal-%d", s), vals)
+	}
+	for s := 0; s < 6; s++ { // drifting sensors
+		vals := make([]float64, 480)
+		level := 0.0
+		for i := range vals {
+			level += 0.02 + 0.05*rng.NormFloat64()
+			vals[i] = level
+		}
+		col.Add(fmt.Sprintf("drift-%d", s), vals)
+	}
+	for s := 0; s < 6; s++ { // spiky sensors
+		vals := make([]float64, 480)
+		for i := range vals {
+			vals[i] = 0.1 * rng.NormFloat64()
+		}
+		for k := 0; k < 8; k++ {
+			c := 30 + rng.Intn(420)
+			for i := -6; i <= 6; i++ {
+				vals[c+i] += 3 * math.Exp(-math.Pow(float64(i)/3, 2))
+			}
+		}
+		col.Add(fmt.Sprintf("spiky-%d", s), vals)
+	}
+	return col
+}
+
+// sparkline renders a shape as a tiny ASCII curve.
+func sparkline(shape []float64) string {
+	levels := []byte("_.-~^")
+	min, max := shape[0], shape[0]
+	for _, v := range shape {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range shape {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(levels)-1))
+		}
+		b.WriteByte(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,188 @@
+package repro
+
+// End-to-end integration tests spanning the full stack: data generation →
+// VQI construction (both frameworks) → JSON round trip → interactive
+// sessions → usability simulation → maintenance under updates.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+	"repro/internal/simulate"
+	"repro/internal/vqi"
+)
+
+func TestIntegrationCorpusPipeline(t *testing.T) {
+	// 1. Generate a corpus and persist it through the .lg format.
+	corpus := datagen.ChemicalCorpus(21, 60, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 18})
+	dir := t.TempDir()
+	path := dir + "/corpus.lg"
+	if err := gio.SaveCorpus(path, corpus); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := gio.LoadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != corpus.Len() {
+		t.Fatalf("corpus round trip lost graphs: %d vs %d", loaded.Len(), corpus.Len())
+	}
+
+	// 2. Build the data-driven VQI over the loaded corpus.
+	opts := core.Options{Budget: core.Budget{Count: 5, MinSize: 4, MaxSize: 8}, Seed: 21}
+	spec, err := core.BuildCorpusVQI(loaded, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Spec JSON round trip.
+	payload, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := vqi.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Patterns.Canned) != len(spec.Patterns.Canned) {
+		t.Fatal("spec JSON round trip lost patterns")
+	}
+
+	// 4. Every canned pattern must actually occur somewhere in the corpus
+	// (they were selected for coverage).
+	covered := 0
+	for _, ps := range back.Patterns.Canned {
+		pg, err := ps.PatternGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		loaded.Each(func(_ int, g *graph.Graph) {
+			if !found && isomorph.Exists(pg, g, pattern.MatchOptions()) {
+				found = true
+			}
+		})
+		if found {
+			covered++
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no canned pattern embeds in the corpus")
+	}
+
+	// 5. A session over the decoded spec: stamp the first canned pattern
+	// and run it; it must match whatever it covers.
+	session := core.OpenSession(back, loaded)
+	if _, err := session.StampPattern(3); err != nil {
+		t.Fatal(err)
+	}
+	res := session.Run()
+	if res.Truncated {
+		t.Log("session run truncated (budget) — acceptable")
+	}
+
+	// 6. Usability: the data-driven panel must beat pattern-less manual
+	// formulation on a workload drawn from the same corpus.
+	u, err := core.EvaluateUsability(back, loaded, 25, 5, 9, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, _ := simulate.CorpusWorkload(loaded, 25, 5, 9, 21)
+	manual := simulate.Evaluate(wl, nil, simulate.DefaultCostModel())
+	if u.MeanSteps > manual.MeanSteps {
+		t.Fatalf("data-driven steps %.1f worse than manual %.1f", u.MeanSteps, manual.MeanSteps)
+	}
+}
+
+func TestIntegrationNetworkPipeline(t *testing.T) {
+	g := datagen.WattsStrogatz(33, 500, 6, 0.1)
+	spec, err := core.BuildNetworkVQI(g, core.Options{
+		Budget: core.Budget{Count: 6, MinSize: 4, MaxSize: 9}, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Patterns.Canned) == 0 {
+		t.Fatal("no canned patterns for network")
+	}
+	// Stamp + run: every TATTOO pattern was cut out of the network, so it
+	// must have at least one embedding.
+	session := core.OpenNetworkSession(spec, g)
+	if _, err := session.StampPattern(3); err != nil {
+		t.Fatal(err)
+	}
+	res := session.Run()
+	if res.Embeddings == 0 && !res.Truncated {
+		t.Fatal("stamped network pattern found no embeddings")
+	}
+}
+
+func TestIntegrationMaintenanceConvergence(t *testing.T) {
+	// Repeated batches through the maintainer keep the corpus, spec, and
+	// quality in a consistent state; quality never collapses to zero.
+	corpus := datagen.ChemicalCorpus(55, 50, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+	opts := core.Options{Budget: core.Budget{Count: 4, MinSize: 4, MaxSize: 8}, Seed: 55}
+	m, err := core.NewMaintainer(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(55))
+	for round := 0; round < 3; round++ {
+		var batch []*graph.Graph
+		for i := 0; i < 10; i++ {
+			batch = append(batch, datagen.Chemical(rng, fmt.Sprintf("r%d-%d", round, i),
+				datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16}))
+		}
+		removed := m.Corpus().Names()[:5]
+		rep, err := m.ApplyBatch(batch, removed)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if rep.Major && rep.ScoreAfter+1e-9 < rep.ScoreBefore {
+			t.Fatalf("round %d: maintenance guarantee violated", round)
+		}
+		if m.Corpus().Len() != 50+5*(round+1) {
+			t.Fatalf("round %d: corpus len %d", round, m.Corpus().Len())
+		}
+	}
+	q, err := core.EvaluateQuality(m.Spec(), m.Corpus(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Coverage <= 0 {
+		t.Fatalf("maintained coverage collapsed: %+v", q)
+	}
+}
+
+func TestIntegrationManualVsDataDrivenQuality(t *testing.T) {
+	// The tutorial's core comparison, end to end: on the same corpus, the
+	// data-driven VQI's canned set must out-cover both manual presets.
+	corpus := datagen.ChemicalCorpus(77, 60, datagen.ChemicalOptions{MinNodes: 10, MaxNodes: 20})
+	opts := core.Options{Budget: core.Budget{Count: 6, MinSize: 4, MaxSize: 10}, Seed: 77}
+	dd, err := core.BuildCorpusVQI(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chem, err := core.BuildManualVQI("chemistry", corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qdd, err := core.EvaluateQuality(dd, corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qchem, err := core.EvaluateQuality(chem, corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qdd.Coverage <= qchem.Coverage {
+		t.Fatalf("data-driven coverage %.3f must beat manual chemistry %.3f",
+			qdd.Coverage, qchem.Coverage)
+	}
+}

@@ -1,0 +1,204 @@
+// Package baseline implements the comparison selectors the surveyed
+// evaluations measure data-driven frameworks against:
+//
+//   - Random: canned patterns are random connected subgraphs of random data
+//     graphs — what a VQI designer with database access but no method might
+//     expose.
+//   - TopFrequent: the classical frequent-subgraph approach — sample
+//     candidate subgraphs, rank by corpus support, take the most frequent.
+//     High coverage, but poor diversity (frequent patterns are similar) and
+//     it ignores cognitive load.
+//   - DegreeBiased: patterns grown around high-degree nodes — a common
+//     heuristic for "important" structures in large networks.
+//
+// All selectors respect the same pattern.Budget as the data-driven
+// frameworks and are deterministic per seed.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+// sizeToNodes converts an edge budget to a node count for the connected-
+// subgraph sampler: a connected subgraph with n nodes has ≥ n-1 edges.
+func sampleSized(rng *rand.Rand, g *graph.Graph, b pattern.Budget) *pattern.Pattern {
+	// Target nodes between MinSize+1 (a tree with MinSize edges) and
+	// MaxSize+1, then verify the edge budget.
+	nodes := b.MinSize + 1 + rng.Intn(b.MaxSize-b.MinSize+1)
+	sub := datagen.RandomConnectedSubgraph(rng, g, nodes)
+	if sub == nil {
+		return nil
+	}
+	p := pattern.New(sub, "baseline")
+	if !b.Admits(p) {
+		return nil
+	}
+	return p
+}
+
+// Random selects up to b.Count random connected subgraphs from the corpus.
+func Random(c *graph.Corpus, b pattern.Budget, seed int64) ([]*pattern.Pattern, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("baseline: empty corpus")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []*pattern.Pattern
+	for attempt := 0; attempt < 50*b.Count && len(out) < b.Count; attempt++ {
+		g := c.Graph(rng.Intn(c.Len()))
+		p := sampleSized(rng, g, b)
+		if p == nil {
+			continue
+		}
+		p.Source = "baseline:random"
+		out = append(out, p)
+		out = pattern.Dedup(out)
+	}
+	return out, nil
+}
+
+// TopFrequent samples candidate subgraphs from the corpus, counts each
+// candidate's corpus support (graphs containing it), and returns the
+// b.Count most frequent. samples controls the candidate pool size (0 =
+// 30·b.Count).
+func TopFrequent(c *graph.Corpus, b pattern.Budget, seed int64, samples int) ([]*pattern.Pattern, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("baseline: empty corpus")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if samples == 0 {
+		samples = 30 * b.Count
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byCanon := make(map[string]*pattern.Pattern)
+	for i := 0; i < samples; i++ {
+		g := c.Graph(rng.Intn(c.Len()))
+		p := sampleSized(rng, g, b)
+		if p == nil {
+			continue
+		}
+		if _, dup := byCanon[p.Canon()]; !dup {
+			p.Source = "baseline:frequent"
+			byCanon[p.Canon()] = p
+		}
+	}
+	cands := make([]*pattern.Pattern, 0, len(byCanon))
+	for _, p := range byCanon {
+		cands = append(cands, p)
+	}
+	// Exact support per candidate.
+	opts := pattern.MatchOptions()
+	for _, p := range cands {
+		sup := 0
+		c.Each(func(_ int, g *graph.Graph) {
+			if isomorph.Exists(p.G, g, opts) {
+				sup++
+			}
+		})
+		p.Support = sup
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Support != cands[j].Support {
+			return cands[i].Support > cands[j].Support
+		}
+		return cands[i].Canon() < cands[j].Canon()
+	})
+	if len(cands) > b.Count {
+		cands = cands[:b.Count]
+	}
+	return cands, nil
+}
+
+// DegreeBiased grows patterns around the highest-degree nodes of a single
+// network: for each hub, a breadth-first ball is truncated to the budget's
+// edge range. Used as the network-side baseline against TATTOO.
+func DegreeBiased(g *graph.Graph, b pattern.Budget, seed int64) ([]*pattern.Pattern, error) {
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("baseline: network has no edges")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Rank nodes by degree.
+	order := make([]graph.NodeID, g.NumNodes())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	var out []*pattern.Pattern
+	for _, hub := range order {
+		if len(out) >= b.Count {
+			break
+		}
+		target := b.MinSize + rng.Intn(b.MaxSize-b.MinSize+1)
+		var edges []graph.EdgeID
+		seen := map[graph.EdgeID]bool{}
+		g.BFS(hub, func(v graph.NodeID, _ int) bool {
+			ok := true
+			g.VisitNeighbors(v, func(_ graph.NodeID, e graph.EdgeID) bool {
+				if !seen[e] {
+					seen[e] = true
+					edges = append(edges, e)
+					if len(edges) >= target {
+						ok = false
+						return false
+					}
+				}
+				return true
+			})
+			return ok
+		})
+		if len(edges) < b.MinSize {
+			continue
+		}
+		sub, _ := g.SubgraphFromEdges(edges)
+		sub.SetName(fmt.Sprintf("hub-%d", hub))
+		p := pattern.New(sub, "baseline:degree")
+		if b.Admits(p) && sub.IsConnected() {
+			out = append(out, p)
+			out = pattern.Dedup(out)
+		}
+	}
+	return out, nil
+}
+
+// RandomNetwork selects random connected subgraphs from a single network —
+// the network-side analogue of Random.
+func RandomNetwork(g *graph.Graph, b pattern.Budget, seed int64) ([]*pattern.Pattern, error) {
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("baseline: network has no edges")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []*pattern.Pattern
+	for attempt := 0; attempt < 50*b.Count && len(out) < b.Count; attempt++ {
+		p := sampleSized(rng, g, b)
+		if p == nil {
+			continue
+		}
+		p.Source = "baseline:random-network"
+		out = append(out, p)
+		out = pattern.Dedup(out)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func corpus() *graph.Corpus {
+	return datagen.ChemicalCorpus(2, 25, datagen.ChemicalOptions{MinNodes: 10, MaxNodes: 20})
+}
+
+func budget() pattern.Budget {
+	return pattern.Budget{Count: 6, MinSize: 4, MaxSize: 9}
+}
+
+func TestRandom(t *testing.T) {
+	out, err := Random(corpus(), budget(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || len(out) > 6 {
+		t.Fatalf("selected %d", len(out))
+	}
+	seen := map[string]bool{}
+	for _, p := range out {
+		if p.Size() < 4 || p.Size() > 9 {
+			t.Fatalf("size %d outside budget", p.Size())
+		}
+		if !p.G.IsConnected() {
+			t.Fatal("disconnected pattern")
+		}
+		if seen[p.Canon()] {
+			t.Fatal("duplicate pattern")
+		}
+		seen[p.Canon()] = true
+		if p.Source != "baseline:random" {
+			t.Fatalf("source = %q", p.Source)
+		}
+	}
+	// Determinism.
+	again, _ := Random(corpus(), budget(), 1)
+	if len(again) != len(out) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range out {
+		if out[i].Canon() != again[i].Canon() {
+			t.Fatal("nondeterministic pattern")
+		}
+	}
+}
+
+func TestRandomErrors(t *testing.T) {
+	if _, err := Random(graph.NewCorpus(), budget(), 1); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	if _, err := Random(corpus(), pattern.Budget{}, 1); err == nil {
+		t.Fatal("invalid budget accepted")
+	}
+}
+
+func TestTopFrequent(t *testing.T) {
+	out, err := TopFrequent(corpus(), budget(), 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("nothing selected")
+	}
+	// Supports are non-increasing.
+	for i := 1; i < len(out); i++ {
+		if out[i].Support > out[i-1].Support {
+			t.Fatalf("supports not sorted: %d after %d", out[i].Support, out[i-1].Support)
+		}
+	}
+	for _, p := range out {
+		if p.Support < 1 {
+			t.Fatalf("selected pattern with support %d", p.Support)
+		}
+	}
+}
+
+func TestTopFrequentBeatsRandomOnSupport(t *testing.T) {
+	c := corpus()
+	freq, err := TopFrequent(c, budget(), 5, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := Random(c, budget(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanSupport := func(ps []*pattern.Pattern) float64 {
+		opts := pattern.MatchOptions()
+		total := 0.0
+		for _, p := range ps {
+			total += pattern.GraphCoverage(p, c, opts)
+		}
+		return total / float64(len(ps))
+	}
+	if meanSupport(freq) < meanSupport(rnd) {
+		t.Fatalf("frequent baseline (%v) must beat random (%v) on mean graph coverage",
+			meanSupport(freq), meanSupport(rnd))
+	}
+}
+
+func TestDegreeBiased(t *testing.T) {
+	g := datagen.BarabasiAlbert(1, 300, 3)
+	out, err := DegreeBiased(g, budget(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("nothing selected")
+	}
+	for _, p := range out {
+		if !strings.HasPrefix(p.Source, "baseline:degree") {
+			t.Fatalf("source = %q", p.Source)
+		}
+		if p.Size() < 4 || p.Size() > 9 {
+			t.Fatalf("size %d outside budget", p.Size())
+		}
+	}
+	if _, err := DegreeBiased(graph.New("e"), budget(), 1); err == nil {
+		t.Fatal("edgeless network accepted")
+	}
+}
+
+func TestRandomNetwork(t *testing.T) {
+	g := datagen.WattsStrogatz(2, 200, 4, 0.1)
+	out, err := RandomNetwork(g, budget(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || len(out) > 6 {
+		t.Fatalf("selected %d", len(out))
+	}
+	for _, p := range out {
+		if !p.G.IsConnected() {
+			t.Fatal("disconnected")
+		}
+	}
+	if _, err := RandomNetwork(graph.New("e"), budget(), 1); err == nil {
+		t.Fatal("edgeless network accepted")
+	}
+	if _, err := RandomNetwork(g, pattern.Budget{Count: -1}, 1); err == nil {
+		t.Fatal("invalid budget accepted")
+	}
+}

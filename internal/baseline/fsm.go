@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+// ExhaustiveFSM mines frequent subgraphs level-wise (Apriori/FSG-style):
+// level 1 is the frequent labeled edges; each level extends every frequent
+// subgraph by one edge in all label-compatible ways (new pendant node, or
+// closing an edge between existing nodes), deduplicates by canonical form,
+// and keeps candidates whose exact corpus support meets minSupFrac.
+// It returns the b.Count most frequent subgraphs within the budget's size
+// range.
+//
+// This is the classical pattern-selection substrate that pre-CATAPULT
+// data-driven VQIs relied on. Its candidate lattice grows combinatorially
+// with pattern size — the cost CATAPULT's cluster-summarize-walk design
+// exists to avoid — so the miner takes a time limit; when the limit
+// expires it returns what it has found with truncated = true.
+func ExhaustiveFSM(c *graph.Corpus, b pattern.Budget, minSupFrac float64, timeLimit time.Duration) (selected []*pattern.Pattern, truncated bool, err error) {
+	if err := b.Validate(); err != nil {
+		return nil, false, err
+	}
+	minSup := int(minSupFrac * float64(c.Len()))
+	if minSup < 1 {
+		minSup = 1
+	}
+	deadline := time.Now().Add(timeLimit)
+	expired := func() bool { return timeLimit > 0 && time.Now().After(deadline) }
+
+	// Level 1: frequent labeled edges.
+	type triple struct{ a, e, b string }
+	counts := make(map[triple]int)
+	c.Each(func(_ int, g *graph.Graph) {
+		seen := make(map[triple]bool)
+		for _, ed := range g.Edges() {
+			a, bb := g.NodeLabel(ed.U), g.NodeLabel(ed.V)
+			if a > bb {
+				a, bb = bb, a
+			}
+			seen[triple{a, ed.Label, bb}] = true
+		}
+		for tr := range seen {
+			counts[tr]++
+		}
+	})
+	var freqTriples []triple
+	var level []*pattern.Pattern
+	for tr, sup := range counts {
+		if sup < minSup {
+			continue
+		}
+		freqTriples = append(freqTriples, tr)
+		g := graph.New("fsm")
+		u := g.AddNode(tr.a)
+		v := g.AddNode(tr.b)
+		g.MustAddEdge(u, v, tr.e)
+		p := pattern.New(g, "baseline:fsm")
+		p.Support = sup
+		level = append(level, p)
+	}
+	sort.Slice(freqTriples, func(i, j int) bool {
+		if freqTriples[i].a != freqTriples[j].a {
+			return freqTriples[i].a < freqTriples[j].a
+		}
+		if freqTriples[i].e != freqTriples[j].e {
+			return freqTriples[i].e < freqTriples[j].e
+		}
+		return freqTriples[i].b < freqTriples[j].b
+	})
+	edgeLabels := make(map[string]bool)
+	for _, tr := range freqTriples {
+		edgeLabels[tr.e] = true
+	}
+	var frequentAll []*pattern.Pattern
+	frequentAll = append(frequentAll, level...)
+
+	opts := isomorph.Options{MaxEmbeddings: 1, MaxSteps: 200000}
+	for size := 2; size <= b.MaxSize && len(level) > 0; size++ {
+		if expired() {
+			truncated = true
+			break
+		}
+		cands := make(map[string]*graph.Graph)
+		for _, p := range level {
+			if expired() {
+				truncated = true
+				break
+			}
+			g := p.G
+			// Extension (a): pendant node via a frequent triple.
+			for v := 0; v < g.NumNodes(); v++ {
+				vl := g.NodeLabel(v)
+				for _, tr := range freqTriples {
+					var leaves []string
+					if tr.a == vl {
+						leaves = append(leaves, tr.b)
+					}
+					if tr.b == vl && tr.b != tr.a {
+						leaves = append(leaves, tr.a)
+					}
+					for _, ll := range leaves {
+						ext := g.Clone()
+						leaf := ext.AddNode(ll)
+						ext.MustAddEdge(v, leaf, tr.e)
+						key := canon.String(ext)
+						if _, dup := cands[key]; !dup {
+							cands[key] = ext
+						}
+					}
+				}
+			}
+			// Extension (b): close an edge between existing nodes.
+			for u := 0; u < g.NumNodes(); u++ {
+				for v := u + 1; v < g.NumNodes(); v++ {
+					if g.HasEdge(u, v) {
+						continue
+					}
+					for el := range edgeLabels {
+						ext := g.Clone()
+						ext.MustAddEdge(u, v, el)
+						key := canon.String(ext)
+						if _, dup := cands[key]; !dup {
+							cands[key] = ext
+						}
+					}
+				}
+			}
+		}
+		// Exact support counting — the expensive part.
+		level = level[:0]
+		for _, g := range cands {
+			if expired() {
+				truncated = true
+				break
+			}
+			sup := 0
+			c.Each(func(_ int, dg *graph.Graph) {
+				if isomorph.Exists(g, dg, opts) {
+					sup++
+				}
+			})
+			if sup >= minSup {
+				p := pattern.New(g, "baseline:fsm")
+				p.Support = sup
+				level = append(level, p)
+			}
+		}
+		sort.Slice(level, func(i, j int) bool { return level[i].Canon() < level[j].Canon() })
+		frequentAll = append(frequentAll, level...)
+	}
+
+	// Top-b.Count by support within the budget range.
+	var admissible []*pattern.Pattern
+	for _, p := range frequentAll {
+		if b.Admits(p) {
+			admissible = append(admissible, p)
+		}
+	}
+	sort.Slice(admissible, func(i, j int) bool {
+		if admissible[i].Support != admissible[j].Support {
+			return admissible[i].Support > admissible[j].Support
+		}
+		return admissible[i].Canon() < admissible[j].Canon()
+	})
+	if len(admissible) > b.Count {
+		admissible = admissible[:b.Count]
+	}
+	return admissible, truncated, nil
+}

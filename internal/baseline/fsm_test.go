@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+func chainCorpus(copies int, labels ...string) *graph.Corpus {
+	c := graph.NewCorpus()
+	for i := 0; i < copies; i++ {
+		g := graph.New(string(rune('a' + i)))
+		for _, l := range labels {
+			g.AddNode(l)
+		}
+		for j := 0; j+1 < len(labels); j++ {
+			g.MustAddEdge(j, j+1, "-")
+		}
+		c.MustAdd(g)
+	}
+	return c
+}
+
+func TestExhaustiveFSMFindsCommonPattern(t *testing.T) {
+	// Every graph is the chain A-B-C-D; the 3-edge chain must be found
+	// with full support.
+	c := chainCorpus(5, "A", "B", "C", "D")
+	b := pattern.Budget{Count: 3, MinSize: 3, MaxSize: 3}
+	out, truncated, err := ExhaustiveFSM(c, b, 0.9, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("tiny corpus must not time out")
+	}
+	if len(out) != 1 {
+		t.Fatalf("mined %d patterns, want exactly the full chain", len(out))
+	}
+	if out[0].Support != 5 || out[0].Size() != 3 {
+		t.Fatalf("pattern = %+v", out[0])
+	}
+	if !isomorph.Exists(out[0].G, c.Graph(0), isomorph.Options{}) {
+		t.Fatal("mined pattern does not embed")
+	}
+}
+
+func TestExhaustiveFSMSupportThreshold(t *testing.T) {
+	c := chainCorpus(4, "A", "B", "C")
+	// One outlier with different labels.
+	g := graph.New("outlier")
+	g.AddNode("X")
+	g.AddNode("Y")
+	g.AddNode("Z")
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(1, 2, "-")
+	c.MustAdd(g)
+	b := pattern.Budget{Count: 10, MinSize: 2, MaxSize: 2}
+	out, _, err := ExhaustiveFSM(c, b, 0.5, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only A-B-C reaches 50% support (4/5); X-Y-Z has 1/5.
+	if len(out) != 1 || out[0].Support != 4 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestExhaustiveFSMTimeLimit(t *testing.T) {
+	// A degenerate limit must truncate immediately but still return
+	// (level-1 results may or may not be present — just no panic and the
+	// truncated flag set when the lattice was cut).
+	c := chainCorpus(3, "A", "B", "C", "D", "E")
+	b := pattern.Budget{Count: 5, MinSize: 2, MaxSize: 6}
+	_, truncated, err := ExhaustiveFSM(c, b, 0.5, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("nanosecond budget must truncate")
+	}
+}
+
+func TestExhaustiveFSMInvalidBudget(t *testing.T) {
+	if _, _, err := ExhaustiveFSM(chainCorpus(2, "A", "B"), pattern.Budget{}, 0.5, time.Second); err == nil {
+		t.Fatal("invalid budget accepted")
+	}
+}
+
+func TestExhaustiveFSMClosesCycles(t *testing.T) {
+	// Corpus of triangles: extension (b) must discover the triangle.
+	c := graph.NewCorpus()
+	for i := 0; i < 3; i++ {
+		g := graph.New(string(rune('a' + i)))
+		g.AddNodes(3, "A")
+		g.MustAddEdge(0, 1, "-")
+		g.MustAddEdge(1, 2, "-")
+		g.MustAddEdge(0, 2, "-")
+		c.MustAdd(g)
+	}
+	b := pattern.Budget{Count: 5, MinSize: 3, MaxSize: 3}
+	out, _, err := ExhaustiveFSM(c, b, 0.9, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range out {
+		if p.G.NumNodes() == 3 && p.G.NumEdges() == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("triangle not mined: %v", out)
+	}
+}

@@ -1,0 +1,245 @@
+package canon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+)
+
+func cycle(n int, label string) *graph.Graph {
+	g := graph.New("c")
+	g.AddNodes(n, label)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n, "-")
+	}
+	return g
+}
+
+func path(n int, label string) *graph.Graph {
+	g := graph.New("p")
+	g.AddNodes(n, label)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, "-")
+	}
+	return g
+}
+
+func clique(n int, label string) *graph.Graph {
+	g := graph.New("k")
+	g.AddNodes(n, label)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j, "-")
+		}
+	}
+	return g
+}
+
+func star(leaves int) *graph.Graph {
+	g := graph.New("s")
+	c := g.AddNode("A")
+	for i := 0; i < leaves; i++ {
+		l := g.AddNode("A")
+		g.MustAddEdge(c, l, "-")
+	}
+	return g
+}
+
+func permuted(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	n := g.NumNodes()
+	perm := rng.Perm(n)
+	out := graph.New(g.Name() + "-perm")
+	inv := make([]int, n)
+	for i, p := range perm {
+		inv[p] = i
+	}
+	for i := 0; i < n; i++ {
+		out.AddNode(g.NodeLabel(inv[i]))
+	}
+	for _, e := range g.Edges() {
+		out.MustAddEdge(perm[e.U], perm[e.V], e.Label)
+	}
+	return out
+}
+
+func TestCanonicalInvariantUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fixtures := []*graph.Graph{
+		path(5, "A"), cycle(6, "A"), clique(5, "A"), star(7),
+	}
+	for _, g := range fixtures {
+		want := String(g)
+		for trial := 0; trial < 10; trial++ {
+			if got := String(permuted(g, rng)); got != want {
+				t.Fatalf("%s: permutation changed canonical string", g)
+			}
+		}
+	}
+}
+
+func TestCanonicalDistinguishes(t *testing.T) {
+	pairs := []struct {
+		name string
+		a, b *graph.Graph
+	}{
+		{"P4-vs-star3", path(4, "A"), star(3)},
+		{"C6-vs-2C3", cycle(6, "A"), disjointTriangles()},
+		{"C4-vs-P4", cycle(4, "A"), path(4, "A")},
+	}
+	for _, tc := range pairs {
+		if String(tc.a) == String(tc.b) {
+			t.Errorf("%s: non-isomorphic graphs share canonical string", tc.name)
+		}
+	}
+}
+
+func disjointTriangles() *graph.Graph {
+	g := graph.New("2c3")
+	g.AddNodes(6, "A")
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(1, 2, "-")
+	g.MustAddEdge(0, 2, "-")
+	g.MustAddEdge(3, 4, "-")
+	g.MustAddEdge(4, 5, "-")
+	g.MustAddEdge(3, 5, "-")
+	return g
+}
+
+func TestLabelsAffectCanonicalForm(t *testing.T) {
+	a := path(3, "A")
+	b := path(3, "A")
+	b.SetNodeLabel(0, "B")
+	c := path(3, "A")
+	c.SetNodeLabel(2, "B") // isomorphic to b (mirror)
+	if String(a) == String(b) {
+		t.Fatal("node label must change canonical string")
+	}
+	if String(b) != String(c) {
+		t.Fatal("mirror-labeled paths must share canonical string")
+	}
+	d := path(3, "A")
+	d.SetEdgeLabel(0, "double")
+	if String(a) == String(d) {
+		t.Fatal("edge label must change canonical string")
+	}
+	e := path(3, "A")
+	e.SetEdgeLabel(1, "double") // mirror of d
+	if String(d) != String(e) {
+		t.Fatal("mirror edge-labeled paths must share canonical string")
+	}
+}
+
+func TestEqualAgreesWithIsomorph(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	labels := []string{"C", "N"}
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(7)
+		mk := func() *graph.Graph {
+			g := graph.New("r")
+			for i := 0; i < n; i++ {
+				g.AddNode(labels[rng.Intn(2)])
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if rng.Float64() < 0.4 {
+						g.MustAddEdge(i, j, "-")
+					}
+				}
+			}
+			return g
+		}
+		a, b := mk(), mk()
+		if got, want := Equal(a, b), isomorph.Isomorphic(a, b); got != want {
+			t.Fatalf("trial %d: canon.Equal=%v isomorph=%v\n%s\n%s", trial, got, want, a.Dump(), b.Dump())
+		}
+	}
+}
+
+func TestSymmetricGraphsFast(t *testing.T) {
+	// These all have huge automorphism groups; individualization-refinement
+	// plus twin pruning must keep them fast.
+	cases := []*graph.Graph{
+		clique(12, "A"),
+		star(20),
+		cycle(16, "A"),
+		completeBipartite(6, 6),
+	}
+	for _, g := range cases {
+		start := time.Now()
+		s := String(g)
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("%s: canonical form took %v", g, d)
+		}
+		if s == "" {
+			t.Fatalf("%s: empty canonical string", g)
+		}
+	}
+}
+
+func completeBipartite(a, b int) *graph.Graph {
+	g := graph.New("kab")
+	g.AddNodes(a+b, "A")
+	for i := 0; i < a; i++ {
+		for j := a; j < a+b; j++ {
+			g.MustAddEdge(i, j, "-")
+		}
+	}
+	return g
+}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	if String(graph.New("e")) != "n0;" {
+		t.Fatal("empty graph canonical string")
+	}
+	one := graph.New("1")
+	one.AddNode("X")
+	if String(one) == String(graph.New("e")) {
+		t.Fatal("1-node graph must differ from empty")
+	}
+	if Equal(path(3, "A"), path(4, "A")) {
+		t.Fatal("different sizes cannot be equal")
+	}
+}
+
+func TestHashConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := cycle(7, "A")
+	h := Hash(g)
+	for i := 0; i < 5; i++ {
+		if Hash(permuted(g, rng)) != h {
+			t.Fatal("hash not invariant under permutation")
+		}
+	}
+	if Hash(path(7, "A")) == h {
+		t.Fatal("P7 and C7 hash collision (expected distinct)")
+	}
+}
+
+// TestPropertyPermutationInvariance is the core contract, checked over
+// random graphs and random permutations via testing/quick.
+func TestPropertyPermutationInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		labels := []string{"C", "N", "O"}
+		g := graph.New("q")
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[rng.Intn(3)])
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.45 {
+					g.MustAddEdge(i, j, labels[rng.Intn(2)])
+				}
+			}
+		}
+		return String(g) == String(permuted(g, rng))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+// Package catapult implements the CATAPULT framework: data-driven selection
+// of canned patterns from a large collection of small- or medium-sized data
+// graphs (SIGMOD 2019, as reviewed in the tutorial's Section 2.3).
+//
+// The pipeline has three steps:
+//
+//  1. Cluster the corpus: each data graph is embedded as a frequent-tree
+//     feature vector (package fct) and the corpus is partitioned with
+//     k-medoids (package cluster).
+//  2. Summarize each cluster into a cluster summary graph by iterated
+//     graph closure (package closure); shared motifs accumulate weight.
+//  3. Generate candidate patterns by weighted random walks over the CSGs
+//     (transition probability proportional to edge weight, so walks follow
+//     substructures common across the cluster), then greedily select the
+//     canned pattern set: each step picks the candidate maximizing a
+//     pattern score combining marginal coverage gain, marginal structural
+//     diversity, and (negatively) cognitive load, until the user budget is
+//     met or candidates are exhausted.
+package catapult
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/closure"
+	"repro/internal/cluster"
+	"repro/internal/fct"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+// Config parameterizes a CATAPULT run.
+type Config struct {
+	// Budget is the user-specified pattern budget (count and size range).
+	Budget pattern.Budget
+	// Weights balance coverage, diversity and cognitive load in the greedy
+	// pattern score.
+	Weights pattern.Weights
+	// Clusters is the number of corpus clusters: 0 = the ~√N heuristic
+	// (capped at 16); -1 = silhouette-based selection (cluster.SelectK,
+	// slower but data-driven); otherwise the explicit count.
+	Clusters int
+	// WalksPerCSG is the number of candidate-generating random walks per
+	// cluster summary graph (0 = 120).
+	WalksPerCSG int
+	// MinSupportFrac is the frequent-tree support threshold as a fraction
+	// of the corpus size (0 = 0.1).
+	MinSupportFrac float64
+	// FeatureMaxEdges bounds the mined feature trees (0 = 2).
+	FeatureMaxEdges int
+	// Seed drives all randomized stages; runs are deterministic per seed.
+	Seed int64
+	// Match bounds embedding searches during scoring (zero value =
+	// pattern.MatchOptions()).
+	Match isomorph.Options
+}
+
+func (c *Config) defaults(corpusLen int) {
+	if c.Clusters == 0 {
+		c.Clusters = 1
+		for c.Clusters*c.Clusters < corpusLen && c.Clusters < 16 {
+			c.Clusters++
+		}
+	}
+	if c.WalksPerCSG == 0 {
+		c.WalksPerCSG = 120
+	}
+	if c.MinSupportFrac == 0 {
+		c.MinSupportFrac = 0.1
+	}
+	if c.FeatureMaxEdges == 0 {
+		c.FeatureMaxEdges = 2
+	}
+	if c.Weights == (pattern.Weights{}) {
+		c.Weights = pattern.DefaultWeights()
+	}
+	if c.Match == (isomorph.Options{}) {
+		c.Match = pattern.MatchOptions()
+	}
+}
+
+// Result carries the selected patterns and every intermediate artifact
+// (MIDAS maintains these rather than recomputing them).
+type Result struct {
+	Patterns   []*pattern.Pattern
+	FCT        *fct.Set
+	Vectors    [][]float64 // feature vector per corpus position
+	Clustering *cluster.Clustering
+	CSGs       []*closure.CSG // one per cluster
+	Candidates int            // distinct candidates generated
+	Coverage   float64        // corpus edge coverage of the selected set
+}
+
+// Select runs the full CATAPULT pipeline over the corpus.
+func Select(c *graph.Corpus, cfg Config) (*Result, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("catapult: empty corpus")
+	}
+	if err := cfg.Budget.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.defaults(c.Len())
+
+	res := &Result{}
+	// Step 1: features and clustering.
+	minSup := int(cfg.MinSupportFrac * float64(c.Len()))
+	if minSup < 1 {
+		minSup = 1
+	}
+	set, err := fct.Miner{MinSupport: minSup, MaxEdges: cfg.FeatureMaxEdges}.Mine(c)
+	if err != nil {
+		return nil, err
+	}
+	res.FCT = set
+	res.Vectors = make([][]float64, c.Len())
+	c.Each(func(i int, g *graph.Graph) {
+		res.Vectors[i] = set.FeatureVector(g)
+	})
+	var cl *cluster.Clustering
+	if cfg.Clusters == -1 {
+		maxK := 2
+		for maxK*maxK < c.Len() && maxK < 16 {
+			maxK++
+		}
+		_, selected, err := cluster.SelectK(res.Vectors, maxK, cluster.Jaccard, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cl = selected
+	} else {
+		var err error
+		cl, err = cluster.KMedoids(res.Vectors, cfg.Clusters, cluster.Jaccard, cfg.Seed, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Clustering = cl
+
+	// Step 2: one CSG per cluster.
+	res.CSGs = BuildCSGs(c, cl)
+
+	// Step 3: candidates and greedy selection.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var candidates []*pattern.Pattern
+	for _, csg := range res.CSGs {
+		candidates = append(candidates, SampleCandidates(csg, cfg.Budget, cfg.WalksPerCSG, rng)...)
+	}
+	candidates = pattern.Dedup(candidates)
+	res.Candidates = len(candidates)
+
+	res.Patterns, res.Coverage = GreedySelect(candidates, c, cfg.Budget, cfg.Weights, cfg.Match)
+	return res, nil
+}
+
+// BuildCSGs merges each cluster's member graphs into a cluster summary
+// graph, in cluster order.
+func BuildCSGs(c *graph.Corpus, cl *cluster.Clustering) []*closure.CSG {
+	csgs := make([]*closure.CSG, cl.K)
+	for ci := 0; ci < cl.K; ci++ {
+		var members []*graph.Graph
+		for _, idx := range cl.Members(ci) {
+			members = append(members, c.Graph(idx))
+		}
+		csgs[ci] = closure.Merge(members)
+	}
+	return csgs
+}
+
+// SampleCandidates generates candidate patterns from a CSG by weighted
+// random walks: a walk starts at an edge drawn proportionally to its
+// weight, repeatedly extends across frontier edges (again weight-
+// proportional) until a target size drawn from the budget's range, and
+// emits the walked subgraph as a candidate. Only candidates within the
+// budget's size range survive.
+func SampleCandidates(csg *closure.CSG, b pattern.Budget, walks int, rng *rand.Rand) []*pattern.Pattern {
+	g := csg.G
+	if g.NumEdges() == 0 {
+		return nil
+	}
+	// Cumulative weights for start-edge sampling.
+	cum := make([]int, g.NumEdges())
+	total := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		total += csg.EdgeWeight[e]
+		cum[e] = total
+	}
+	pickStart := func() graph.EdgeID {
+		x := rng.Intn(total)
+		lo := sort.SearchInts(cum, x+1)
+		return graph.EdgeID(lo)
+	}
+	var out []*pattern.Pattern
+	for w := 0; w < walks; w++ {
+		target := b.MinSize + rng.Intn(b.MaxSize-b.MinSize+1)
+		inWalk := map[graph.EdgeID]bool{}
+		inNodes := map[graph.NodeID]bool{}
+		var nodeList []graph.NodeID // insertion-ordered for determinism
+		addNode := func(v graph.NodeID) {
+			if !inNodes[v] {
+				inNodes[v] = true
+				nodeList = append(nodeList, v)
+			}
+		}
+		start := pickStart()
+		walkEdges := []graph.EdgeID{start}
+		inWalk[start] = true
+		se := g.Edge(start)
+		addNode(se.U)
+		addNode(se.V)
+		for len(walkEdges) < target {
+			// Frontier: edges incident to walked nodes, not yet in walk.
+			var frontier []graph.EdgeID
+			fTotal := 0
+			inFrontier := map[graph.EdgeID]bool{}
+			for _, v := range nodeList {
+				g.VisitNeighbors(v, func(_ graph.NodeID, e graph.EdgeID) bool {
+					if !inWalk[e] && !inFrontier[e] {
+						inFrontier[e] = true
+						frontier = append(frontier, e)
+						fTotal += csg.EdgeWeight[e]
+					}
+					return true
+				})
+			}
+			if len(frontier) == 0 || fTotal == 0 {
+				break
+			}
+			x := rng.Intn(fTotal)
+			var next graph.EdgeID
+			for _, e := range frontier {
+				x -= csg.EdgeWeight[e]
+				if x < 0 {
+					next = e
+					break
+				}
+			}
+			inWalk[next] = true
+			walkEdges = append(walkEdges, next)
+			ne := g.Edge(next)
+			addNode(ne.U)
+			addNode(ne.V)
+		}
+		if len(walkEdges) < b.MinSize {
+			continue
+		}
+		sub, _ := g.SubgraphFromEdges(walkEdges)
+		sub.SetName(fmt.Sprintf("catapult-w%d", w))
+		p := pattern.New(sub, "catapult")
+		p.Support = csg.Members
+		if b.Admits(p) && sub.IsConnected() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// GreedySelect repeatedly picks the candidate with the highest pattern
+// score — weighted normalized marginal coverage gain plus marginal
+// diversity minus normalized cognitive load — until the budget count is
+// reached or candidates run out. It returns the selection and its corpus
+// edge coverage. Each candidate's covered-edge bitset is computed exactly
+// once (one bounded VF2 sweep over the corpus); the greedy rounds are then
+// pure bitset arithmetic, which is what keeps selection time linear-ish in
+// corpus size. The same loop serves CATAPULT, the modular extractor, and
+// (via swapping) MIDAS.
+func GreedySelect(candidates []*pattern.Pattern, c *graph.Corpus, b pattern.Budget, w pattern.Weights, opts isomorph.Options) ([]*pattern.Pattern, float64) {
+	pool := make([]*pattern.Pattern, 0, len(candidates))
+	for _, p := range candidates {
+		if b.Admits(p) {
+			pool = append(pool, p)
+		}
+	}
+	u := pattern.NewUniverse(c)
+	covers := pattern.CoverBitsets(pool, c, u, opts, 0)
+	covered := pattern.NewBitset(u.Total())
+	total := float64(u.Total())
+	var selected []*pattern.Pattern
+	alive := make([]bool, len(pool))
+	for i := range alive {
+		alive[i] = true
+	}
+	for len(selected) < b.Count {
+		bestI := -1
+		bestScore := 0.0
+		for i, p := range pool {
+			if !alive[i] {
+				continue
+			}
+			covGain := 0.0
+			if total > 0 {
+				covGain = float64(covers[i].AndNotCount(covered)) / total
+			}
+			score := w.Coverage*covGain +
+				w.Diversity*pattern.MarginalDiversity(selected, p) -
+				w.CogLoad*pattern.NormalizedCognitiveLoad(p, b)
+			if bestI == -1 || score > bestScore {
+				bestI, bestScore = i, score
+			}
+		}
+		if bestI == -1 {
+			break
+		}
+		alive[bestI] = false
+		covered.Or(covers[bestI])
+		selected = append(selected, pool[bestI])
+	}
+	coverage := 0.0
+	if u.Total() > 0 {
+		coverage = float64(covered.Popcount()) / total
+	}
+	return selected, coverage
+}

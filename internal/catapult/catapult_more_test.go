@@ -1,0 +1,114 @@
+package catapult
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+)
+
+// Additional behavioural tests: budget/weight edge cases and cross-run
+// monotonicity properties of the selection.
+
+func TestCoverageMonotoneInBudget(t *testing.T) {
+	c := smallCorpus()
+	prev := -1.0
+	for _, count := range []int{2, 5, 10} {
+		res, err := Select(c, Config{
+			Budget: pattern.Budget{Count: count, MinSize: 4, MaxSize: 8},
+			Seed:   3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coverage < prev-1e-9 {
+			t.Fatalf("coverage shrank with budget: %v after %v", res.Coverage, prev)
+		}
+		prev = res.Coverage
+	}
+}
+
+func TestCoverageOnlyWeightsMaximizeCoverage(t *testing.T) {
+	c := smallCorpus()
+	b := pattern.Budget{Count: 6, MinSize: 4, MaxSize: 8}
+	covOnly, err := Select(c, Config{Budget: b, Weights: pattern.Weights{Coverage: 1}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	divOnly, err := Select(c, Config{Budget: b, Weights: pattern.Weights{Diversity: 1}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covOnly.Coverage < divOnly.Coverage-1e-9 {
+		t.Fatalf("coverage-only run (%v) must not cover less than diversity-only (%v)",
+			covOnly.Coverage, divOnly.Coverage)
+	}
+	if pattern.SetDiversity(divOnly.Patterns)+1e-9 < pattern.SetDiversity(covOnly.Patterns) {
+		t.Fatalf("diversity-only run must not be less diverse")
+	}
+}
+
+func TestTightSizeRange(t *testing.T) {
+	c := smallCorpus()
+	res, err := Select(c, Config{
+		Budget: pattern.Budget{Count: 4, MinSize: 6, MaxSize: 6},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		if p.Size() != 6 {
+			t.Fatalf("pattern size %d, want exactly 6", p.Size())
+		}
+	}
+}
+
+func TestSingleGraphCorpus(t *testing.T) {
+	// CATAPULT degenerates gracefully on a 1-graph corpus: one cluster,
+	// the CSG is the graph itself.
+	c := datagen.ChemicalCorpus(9, 1, datagen.ChemicalOptions{MinNodes: 20, MaxNodes: 30})
+	res, err := Select(c, Config{Budget: pattern.Budget{Count: 3, MinSize: 4, MaxSize: 7}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clustering.K != 1 || len(res.CSGs) != 1 {
+		t.Fatalf("degenerate corpus: K=%d", res.Clustering.K)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns from single graph")
+	}
+}
+
+func TestSilhouetteClusterSelection(t *testing.T) {
+	c := smallCorpus()
+	res, err := Select(c, Config{
+		Budget:   pattern.Budget{Count: 3, MinSize: 4, MaxSize: 8},
+		Clusters: -1,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clustering.K < 2 {
+		t.Fatalf("silhouette selection chose K=%d", res.Clustering.K)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+}
+
+func TestExplicitClusterCount(t *testing.T) {
+	c := smallCorpus()
+	res, err := Select(c, Config{
+		Budget:   pattern.Budget{Count: 3, MinSize: 4, MaxSize: 8},
+		Clusters: 3,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clustering.K != 3 {
+		t.Fatalf("K = %d, want 3", res.Clustering.K)
+	}
+}

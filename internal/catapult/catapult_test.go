@@ -1,0 +1,208 @@
+package catapult
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/closure"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func smallCorpus() *graph.Corpus {
+	return datagen.ChemicalCorpus(5, 40, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 20})
+}
+
+func TestSelectEndToEnd(t *testing.T) {
+	c := smallCorpus()
+	cfg := Config{Budget: pattern.Budget{Count: 6, MinSize: 4, MaxSize: 10}, Seed: 1}
+	res, err := Select(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns selected")
+	}
+	if len(res.Patterns) > 6 {
+		t.Fatalf("budget exceeded: %d", len(res.Patterns))
+	}
+	for _, p := range res.Patterns {
+		if p.Size() < 4 || p.Size() > 10 {
+			t.Fatalf("pattern %s outside budget size range", p)
+		}
+		if !p.G.IsConnected() {
+			t.Fatalf("pattern %s not connected", p)
+		}
+		if p.IsBasic() {
+			t.Fatalf("canned pattern %s is basic-sized", p)
+		}
+	}
+	if res.Coverage <= 0 || res.Coverage > 1 {
+		t.Fatalf("coverage = %v", res.Coverage)
+	}
+	if res.Candidates == 0 {
+		t.Fatal("no candidates generated")
+	}
+	if res.Clustering == nil || len(res.CSGs) != res.Clustering.K {
+		t.Fatal("intermediate artifacts missing")
+	}
+	if res.FCT == nil || len(res.Vectors) != c.Len() {
+		t.Fatal("feature artifacts missing")
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	cfg := Config{Budget: pattern.Budget{Count: 5, MinSize: 4, MaxSize: 8}, Seed: 9}
+	a, err := Select(smallCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(smallCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatalf("pattern counts differ: %d vs %d", len(a.Patterns), len(b.Patterns))
+	}
+	for i := range a.Patterns {
+		if a.Patterns[i].Canon() != b.Patterns[i].Canon() {
+			t.Fatalf("pattern %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	if _, err := Select(graph.NewCorpus(), Config{Budget: pattern.DefaultBudget()}); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	if _, err := Select(smallCorpus(), Config{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestSelectedPatternsOccurInCorpus(t *testing.T) {
+	// Patterns walked from CSGs are not guaranteed to embed in any single
+	// member (closure mixes members), but in practice high-weight walks
+	// do; verify that the selected set achieves real coverage, which can
+	// only come from actual embeddings.
+	c := smallCorpus()
+	res, err := Select(c, Config{Budget: pattern.Budget{Count: 8, MinSize: 4, MaxSize: 8}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage == 0 {
+		t.Fatal("selected set covers nothing — patterns never embed")
+	}
+}
+
+func TestGreedyPrefersCoverage(t *testing.T) {
+	// Corpus: many copies of a square with one diagonal-ish tail plus a
+	// rare pentagon. The square pattern should be picked before the
+	// pentagon when coverage dominates.
+	c := graph.NewCorpus()
+	square := func(name string) *graph.Graph {
+		g := graph.New(name)
+		g.AddNodes(4, "A")
+		g.MustAddEdge(0, 1, "-")
+		g.MustAddEdge(1, 2, "-")
+		g.MustAddEdge(2, 3, "-")
+		g.MustAddEdge(3, 0, "-")
+		return g
+	}
+	for i := 0; i < 9; i++ {
+		c.MustAdd(square("sq" + string(rune('0'+i))))
+	}
+	pent := graph.New("pent")
+	pent.AddNodes(5, "B")
+	for i := 0; i < 5; i++ {
+		pent.MustAddEdge(i, (i+1)%5, "-")
+	}
+	c.MustAdd(pent)
+
+	sqPat := pattern.New(square("p-sq"), "cand")
+	pentPat := pattern.New(func() *graph.Graph {
+		g := graph.New("p-pent")
+		g.AddNodes(5, "B")
+		for i := 0; i < 5; i++ {
+			g.MustAddEdge(i, (i+1)%5, "-")
+		}
+		return g
+	}(), "cand")
+
+	b := pattern.Budget{Count: 1, MinSize: 4, MaxSize: 6}
+	sel, cov := GreedySelect([]*pattern.Pattern{pentPat, sqPat}, c, b, pattern.Weights{Coverage: 1}, pattern.MatchOptions())
+	if len(sel) != 1 || sel[0] != sqPat {
+		t.Fatal("coverage-weighted greedy must pick the square")
+	}
+	if cov <= 0 {
+		t.Fatalf("coverage = %v", cov)
+	}
+}
+
+func TestGreedyDiversityAvoidsDuplicates(t *testing.T) {
+	c := smallCorpus()
+	mk := func() *pattern.Pattern {
+		g := graph.New("p")
+		g.AddNodes(5, "C")
+		for i := 0; i+1 < 5; i++ {
+			g.MustAddEdge(i, i+1, "s")
+		}
+		return pattern.New(g, "cand")
+	}
+	star := graph.New("s")
+	ctr := star.AddNode("C")
+	for i := 0; i < 4; i++ {
+		l := star.AddNode("C")
+		star.MustAddEdge(ctr, l, "s")
+	}
+	starPat := pattern.New(star, "cand")
+	b := pattern.Budget{Count: 2, MinSize: 4, MaxSize: 6}
+	// Two identical chains plus one star: with diversity weighting, the
+	// second pick must be the star even if the duplicate chain has equal
+	// coverage structure.
+	sel, _ := GreedySelect([]*pattern.Pattern{mk(), mk(), starPat}, c, b,
+		pattern.Weights{Coverage: 1, Diversity: 2}, pattern.MatchOptions())
+	if len(sel) != 2 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	if sel[1].Canon() == sel[0].Canon() {
+		t.Fatal("diversity weighting failed to avoid the duplicate")
+	}
+}
+
+func TestSampleCandidatesRespectBudget(t *testing.T) {
+	corpus := smallCorpus()
+	var graphs []*graph.Graph
+	corpus.Each(func(_ int, g *graph.Graph) { graphs = append(graphs, g) })
+	csg := closure.Merge(graphs[:10])
+	rng := rand.New(rand.NewSource(3))
+	b := pattern.Budget{Count: 10, MinSize: 4, MaxSize: 7}
+	cands := SampleCandidates(csg, b, 200, rng)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, p := range cands {
+		if p.Size() < 4 || p.Size() > 7 {
+			t.Fatalf("candidate size %d outside [4,7]", p.Size())
+		}
+		if !p.G.IsConnected() {
+			t.Fatal("candidate not connected")
+		}
+	}
+	// Empty CSG yields nothing.
+	if SampleCandidates(closure.Merge(nil), b, 10, rng) != nil {
+		t.Fatal("empty CSG must yield no candidates")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Budget: pattern.DefaultBudget()}
+	cfg.defaults(100)
+	if cfg.Clusters < 2 || cfg.WalksPerCSG == 0 || cfg.MinSupportFrac == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Weights == (pattern.Weights{}) {
+		t.Fatal("weights default missing")
+	}
+}

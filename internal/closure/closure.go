@@ -1,0 +1,222 @@
+// Package closure builds cluster summary graphs (CSGs) by iterated
+// approximate graph closure, CATAPULT's second stage.
+//
+// A closure graph integrates graphs of varying sizes into a single graph
+// such that every vertex and edge of every member is represented (He &
+// Singh's closure-tree construction). Exact closure requires optimal graph
+// alignment, which is itself NP-hard; like the original system this package
+// uses a greedy label/degree/neighborhood alignment, which preserves the
+// property that matters downstream: motifs shared by many cluster members
+// accumulate high weight in the summary, so weighted random walks gravitate
+// toward representative substructures.
+//
+// Every CSG node and edge carries a weight — the number of member graphs
+// mapped onto it — and a label histogram from which the majority label is
+// exposed.
+package closure
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// CSG is a cluster summary graph.
+type CSG struct {
+	// G is the summary structure. Node and edge labels are the current
+	// majority labels over the merged members.
+	G *graph.Graph
+	// NodeWeight[i] is the number of member graphs with a node mapped to
+	// summary node i; EdgeWeight likewise for edges.
+	NodeWeight []int
+	EdgeWeight []int
+	// Members is the number of graphs merged into the summary.
+	Members int
+
+	nodeLabels []map[string]int
+	edgeLabels []map[string]int
+}
+
+// Merge builds a CSG over the given graphs by folding them in one at a
+// time. An empty input yields an empty summary.
+func Merge(graphs []*graph.Graph) *CSG {
+	c := &CSG{G: graph.New("csg")}
+	for _, g := range graphs {
+		c.Fold(g)
+	}
+	return c
+}
+
+// Fold merges one more graph into the summary.
+func (c *CSG) Fold(g *graph.Graph) {
+	mapping := c.align(g)
+	// Ensure mapped/new nodes.
+	for v := 0; v < g.NumNodes(); v++ {
+		if mapping[v] < 0 {
+			id := c.G.AddNode(g.NodeLabel(v))
+			c.NodeWeight = append(c.NodeWeight, 0)
+			c.nodeLabels = append(c.nodeLabels, make(map[string]int))
+			mapping[v] = id
+		}
+		sv := mapping[v]
+		c.NodeWeight[sv]++
+		c.nodeLabels[sv][g.NodeLabel(v)]++
+		c.G.SetNodeLabel(sv, majority(c.nodeLabels[sv]))
+	}
+	for _, e := range g.Edges() {
+		su, sv := mapping[e.U], mapping[e.V]
+		id, ok := c.G.EdgeBetween(su, sv)
+		if !ok {
+			id = c.G.MustAddEdge(su, sv, e.Label)
+			c.EdgeWeight = append(c.EdgeWeight, 0)
+			c.edgeLabels = append(c.edgeLabels, make(map[string]int))
+		}
+		c.EdgeWeight[id]++
+		c.edgeLabels[id][e.Label]++
+		c.G.SetEdgeLabel(id, majority(c.edgeLabels[id]))
+	}
+	c.Members++
+}
+
+// align greedily maps g's nodes onto distinct summary nodes, preferring
+// equal labels, then similar degrees and overlapping neighbor label sets.
+// Unmatchable nodes map to -1 (the caller appends them as new summary
+// nodes). Matches below a minimal affinity are rejected so dissimilar
+// regions don't collapse together.
+func (c *CSG) align(g *graph.Graph) []graph.NodeID {
+	n := g.NumNodes()
+	mapping := make([]graph.NodeID, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	if c.G.NumNodes() == 0 {
+		return mapping
+	}
+	type cand struct {
+		gv    graph.NodeID
+		sv    graph.NodeID
+		score float64
+	}
+	var cands []cand
+	for gv := 0; gv < n; gv++ {
+		gl := g.NodeLabel(gv)
+		gNbrLabels := neighborLabels(g, gv)
+		for sv := 0; sv < c.G.NumNodes(); sv++ {
+			if c.G.NodeLabel(sv) != gl {
+				continue // label mismatch: never merge
+			}
+			score := 1.0
+			// Degree affinity.
+			dg, ds := g.Degree(gv), c.G.Degree(sv)
+			diff := dg - ds
+			if diff < 0 {
+				diff = -diff
+			}
+			score += 1.0 / float64(1+diff)
+			// Neighbor label overlap.
+			score += overlap(gNbrLabels, neighborLabels(c.G, sv))
+			// Prefer heavy summary nodes: they represent common motifs.
+			score += float64(c.NodeWeight[sv]) / float64(c.Members+1)
+			cands = append(cands, cand{gv, sv, score})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if cands[i].gv != cands[j].gv {
+			return cands[i].gv < cands[j].gv
+		}
+		return cands[i].sv < cands[j].sv
+	})
+	usedS := make(map[graph.NodeID]bool)
+	for _, cd := range cands {
+		if mapping[cd.gv] >= 0 || usedS[cd.sv] {
+			continue
+		}
+		mapping[cd.gv] = cd.sv
+		usedS[cd.sv] = true
+	}
+	return mapping
+}
+
+func neighborLabels(g *graph.Graph, v graph.NodeID) map[string]int {
+	m := make(map[string]int)
+	g.VisitNeighbors(v, func(nbr graph.NodeID, _ graph.EdgeID) bool {
+		m[g.NodeLabel(nbr)]++
+		return true
+	})
+	return m
+}
+
+// overlap returns the multiset Jaccard overlap of two label histograms.
+func overlap(a, b map[string]int) float64 {
+	inter, union := 0, 0
+	for l, ka := range a {
+		kb := b[l]
+		if ka < kb {
+			inter += ka
+		} else {
+			inter += kb
+		}
+		if ka > kb {
+			union += ka
+		} else {
+			union += kb
+		}
+	}
+	for l, kb := range b {
+		if _, seen := a[l]; !seen {
+			union += kb
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func majority(m map[string]int) string {
+	best, bestK := "", -1
+	for l, k := range m {
+		if k > bestK || (k == bestK && l < best) {
+			best, bestK = l, k
+		}
+	}
+	return best
+}
+
+// AppendDisjoint adds g to the summary as a disjoint component with all
+// weights 1, skipping alignment entirely. It is the degenerate merge used
+// by the modular pipeline's disjoint-union stage.
+func (c *CSG) AppendDisjoint(g *graph.Graph) {
+	offset := c.G.NumNodes()
+	for v := 0; v < g.NumNodes(); v++ {
+		label := g.NodeLabel(v)
+		c.G.AddNode(label)
+		c.NodeWeight = append(c.NodeWeight, 1)
+		c.nodeLabels = append(c.nodeLabels, map[string]int{label: 1})
+	}
+	for _, e := range g.Edges() {
+		c.G.MustAddEdge(offset+e.U, offset+e.V, e.Label)
+		c.EdgeWeight = append(c.EdgeWeight, 1)
+		c.edgeLabels = append(c.edgeLabels, map[string]int{e.Label: 1})
+	}
+	c.Members++
+}
+
+// String summarizes the CSG.
+func (c *CSG) String() string {
+	return fmt.Sprintf("csg(members=%d,n=%d,m=%d)", c.Members, c.G.NumNodes(), c.G.NumEdges())
+}
+
+// EdgeFrequency returns EdgeWeight[e] / Members: the fraction of member
+// graphs containing edge e's aligned image. CATAPULT's random walks use
+// this as the transition bias.
+func (c *CSG) EdgeFrequency(e graph.EdgeID) float64 {
+	if c.Members == 0 {
+		return 0
+	}
+	return float64(c.EdgeWeight[e]) / float64(c.Members)
+}

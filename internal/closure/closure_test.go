@@ -1,0 +1,162 @@
+package closure
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+func chain(name string, labels ...string) *graph.Graph {
+	g := graph.New(name)
+	for _, l := range labels {
+		g.AddNode(l)
+	}
+	for i := 0; i+1 < len(labels); i++ {
+		g.MustAddEdge(i, i+1, "-")
+	}
+	return g
+}
+
+func TestMergeIdenticalGraphs(t *testing.T) {
+	a := chain("a", "A", "B", "C")
+	b := chain("b", "A", "B", "C")
+	c := Merge([]*graph.Graph{a, b})
+	if c.Members != 2 {
+		t.Fatalf("members = %d", c.Members)
+	}
+	// Identical graphs align perfectly: summary keeps the same shape.
+	if c.G.NumNodes() != 3 || c.G.NumEdges() != 2 {
+		t.Fatalf("summary = %s, want 3 nodes / 2 edges", c.G)
+	}
+	for _, w := range c.NodeWeight {
+		if w != 2 {
+			t.Fatalf("node weights = %v, want all 2", c.NodeWeight)
+		}
+	}
+	for e := range c.EdgeWeight {
+		if c.EdgeWeight[e] != 2 {
+			t.Fatalf("edge weights = %v", c.EdgeWeight)
+		}
+		if c.EdgeFrequency(e) != 1 {
+			t.Fatalf("edge freq = %v", c.EdgeFrequency(e))
+		}
+	}
+}
+
+func TestMergeDisjointLabels(t *testing.T) {
+	a := chain("a", "A", "A")
+	b := chain("b", "X", "X")
+	c := Merge([]*graph.Graph{a, b})
+	// No label overlap: nothing merges.
+	if c.G.NumNodes() != 4 || c.G.NumEdges() != 2 {
+		t.Fatalf("summary = %s, want disjoint union", c.G)
+	}
+	for _, w := range c.NodeWeight {
+		if w != 1 {
+			t.Fatalf("weights = %v", c.NodeWeight)
+		}
+	}
+}
+
+func TestMergeOverlappingGraphs(t *testing.T) {
+	// Both share the A-B edge; b adds a C branch.
+	a := chain("a", "A", "B")
+	b := chain("b", "A", "B", "C")
+	c := Merge([]*graph.Graph{a, b})
+	if c.Members != 2 {
+		t.Fatal("members")
+	}
+	// A and B align; C is appended → 3 nodes, 2 edges.
+	if c.G.NumNodes() != 3 || c.G.NumEdges() != 2 {
+		t.Fatalf("summary = %s", c.G)
+	}
+	// The shared A-B edge has weight 2, the B-C edge weight 1.
+	weights := map[int]int{}
+	for e := range c.EdgeWeight {
+		weights[c.EdgeWeight[e]]++
+	}
+	if weights[2] != 1 || weights[1] != 1 {
+		t.Fatalf("edge weights = %v", c.EdgeWeight)
+	}
+}
+
+func TestEveryMemberEdgeRepresented(t *testing.T) {
+	// The closure property: total edge weight equals the total number of
+	// member edges (every member edge maps somewhere).
+	corpus := datagen.ChemicalCorpus(3, 10, datagen.ChemicalOptions{MinNodes: 6, MaxNodes: 16})
+	var graphs []*graph.Graph
+	totalEdges, totalNodes := 0, 0
+	corpus.Each(func(_ int, g *graph.Graph) {
+		graphs = append(graphs, g)
+		totalEdges += g.NumEdges()
+		totalNodes += g.NumNodes()
+	})
+	c := Merge(graphs)
+	sumE := 0
+	for _, w := range c.EdgeWeight {
+		sumE += w
+	}
+	if sumE != totalEdges {
+		t.Fatalf("edge weight sum = %d, member edges = %d", sumE, totalEdges)
+	}
+	sumN := 0
+	for _, w := range c.NodeWeight {
+		sumN += w
+	}
+	if sumN != totalNodes {
+		t.Fatalf("node weight sum = %d, member nodes = %d", sumN, totalNodes)
+	}
+	// Compression: the summary should be far smaller than the disjoint
+	// union (shared motifs align).
+	if c.G.NumNodes() >= totalNodes {
+		t.Fatalf("no compression: %d summary nodes vs %d member nodes", c.G.NumNodes(), totalNodes)
+	}
+}
+
+func TestMajorityLabels(t *testing.T) {
+	// Three graphs; the same aligned edge carries label "s" twice and "d"
+	// once → majority "s".
+	mk := func(name, el string) *graph.Graph {
+		g := graph.New(name)
+		g.AddNode("A")
+		g.AddNode("B")
+		g.MustAddEdge(0, 1, el)
+		return g
+	}
+	c := Merge([]*graph.Graph{mk("a", "s"), mk("b", "d"), mk("c", "s")})
+	if c.G.NumEdges() != 1 {
+		t.Fatalf("summary = %s", c.G)
+	}
+	if c.G.EdgeLabel(0) != "s" {
+		t.Fatalf("majority edge label = %q", c.G.EdgeLabel(0))
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	c := Merge(nil)
+	if c.Members != 0 || c.G.NumNodes() != 0 {
+		t.Fatal("empty merge must be empty")
+	}
+	if c.EdgeFrequency(0) != 0 {
+		// Index 0 doesn't exist, but Members==0 short-circuits first.
+		t.Fatal("empty CSG edge frequency must be 0")
+	}
+	single := Merge([]*graph.Graph{chain("a", "A", "B", "C")})
+	if single.Members != 1 || single.G.NumNodes() != 3 {
+		t.Fatalf("single merge = %s", single)
+	}
+}
+
+func TestFoldAccumulates(t *testing.T) {
+	c := Merge(nil)
+	for i := 0; i < 5; i++ {
+		c.Fold(chain("x", "A", "B"))
+	}
+	if c.Members != 5 || c.G.NumNodes() != 2 {
+		t.Fatalf("fold result = %s", c)
+	}
+	if c.EdgeFrequency(0) != 1 {
+		t.Fatalf("freq = %v", c.EdgeFrequency(0))
+	}
+}

@@ -1,0 +1,346 @@
+// Package cluster groups data graphs by feature-vector similarity.
+//
+// CATAPULT's first stage partitions the corpus into clusters of
+// structurally similar graphs (each later summarized into a cluster summary
+// graph). Graphs are embedded as frequent-tree feature vectors (package
+// fct) and clustered here. Two algorithms are provided — k-medoids (PAM
+// -style alternation) and average-linkage agglomerative clustering — plus
+// the incremental nearest-medoid assignment MIDAS uses to absorb batch
+// insertions without re-clustering.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Distance is a dissimilarity on feature vectors; 0 means identical.
+type Distance func(a, b []float64) float64
+
+// Euclidean is the L2 distance.
+func Euclidean(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine is 1 minus cosine similarity; two zero vectors have distance 0, a
+// zero vector against a non-zero one has distance 1.
+func Cosine(a, b []float64) float64 {
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/(math.Sqrt(na)*math.Sqrt(nb))
+}
+
+// Jaccard treats vectors as binary sets (non-zero = member) and returns 1
+// minus the Jaccard index. Natural for the binary frequent-tree features.
+func Jaccard(a, b []float64) float64 {
+	inter, union := 0, 0
+	for i := range a {
+		x, y := a[i] != 0, b[i] != 0
+		if x && y {
+			inter++
+		}
+		if x || y {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// Clustering is the result of a clustering run.
+type Clustering struct {
+	// Assignments maps item index -> cluster index in [0, K).
+	Assignments []int
+	// Medoids maps cluster index -> item index of the cluster's medoid.
+	Medoids []int
+	// K is the number of clusters.
+	K int
+}
+
+// Members returns the item indices of the given cluster, ascending.
+func (c *Clustering) Members(cluster int) []int {
+	var out []int
+	for i, a := range c.Assignments {
+		if a == cluster {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sizes returns the size of every cluster.
+func (c *Clustering) Sizes() []int {
+	s := make([]int, c.K)
+	for _, a := range c.Assignments {
+		s[a]++
+	}
+	return s
+}
+
+// KMedoids clusters the vectors into k groups using PAM-style alternation:
+// greedy farthest-point seeding, then repeated (assign to nearest medoid,
+// recompute medoid as the member minimizing total intra-cluster distance)
+// until stable or maxIter rounds. Deterministic for a given seed.
+func KMedoids(vectors [][]float64, k int, dist Distance, seed int64, maxIter int) (*Clustering, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no vectors")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k=%d must be positive", k)
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Farthest-point seeding from a random start.
+	medoids := []int{rng.Intn(n)}
+	for len(medoids) < k {
+		best, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			d := math.Inf(1)
+			for _, m := range medoids {
+				if dm := dist(vectors[i], vectors[m]); dm < d {
+					d = dm
+				}
+			}
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		medoids = append(medoids, best)
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		// Assignment step.
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for ci, m := range medoids {
+				if d := dist(vectors[i], vectors[m]); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Medoid update step.
+		for ci := range medoids {
+			var members []int
+			for i, a := range assign {
+				if a == ci {
+					members = append(members, i)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			best, bestCost := medoids[ci], math.Inf(1)
+			for _, cand := range members {
+				cost := 0.0
+				for _, m := range members {
+					cost += dist(vectors[cand], vectors[m])
+				}
+				if cost < bestCost {
+					best, bestCost = cand, cost
+				}
+			}
+			if medoids[ci] != best {
+				medoids[ci] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return &Clustering{Assignments: assign, Medoids: medoids, K: k}, nil
+}
+
+// Agglomerative performs average-linkage agglomerative clustering down to k
+// clusters, then reports each cluster's medoid. Deterministic.
+func Agglomerative(vectors [][]float64, k int, dist Distance) (*Clustering, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no vectors")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k=%d must be positive", k)
+	}
+	if k > n {
+		k = n
+	}
+	// Precompute pairwise distances.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = dist(vectors[i], vectors[j])
+		}
+	}
+	// Active clusters as member lists.
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	linkage := func(a, b []int) float64 {
+		s := 0.0
+		for _, x := range a {
+			for _, y := range b {
+				s += d[x][y]
+			}
+		}
+		return s / float64(len(a)*len(b))
+	}
+	for len(clusters) > k {
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if l := linkage(clusters[i], clusters[j]); l < bd {
+					bi, bj, bd = i, j, l
+				}
+			}
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	out := &Clustering{Assignments: make([]int, n), Medoids: make([]int, len(clusters)), K: len(clusters)}
+	for ci, members := range clusters {
+		sort.Ints(members)
+		for _, m := range members {
+			out.Assignments[m] = ci
+		}
+		out.Medoids[ci] = medoidOf(members, d)
+	}
+	return out, nil
+}
+
+func medoidOf(members []int, d [][]float64) int {
+	best, bestCost := members[0], math.Inf(1)
+	for _, cand := range members {
+		cost := 0.0
+		for _, m := range members {
+			cost += d[cand][m]
+		}
+		if cost < bestCost {
+			best, bestCost = cand, cost
+		}
+	}
+	return best
+}
+
+// AssignNearest returns the cluster whose medoid is closest to vec — the
+// incremental assignment MIDAS performs for each newly added graph.
+func (c *Clustering) AssignNearest(vec []float64, vectors [][]float64, dist Distance) int {
+	best, bestD := 0, math.Inf(1)
+	for ci, m := range c.Medoids {
+		if d := dist(vec, vectors[m]); d < bestD {
+			best, bestD = ci, d
+		}
+	}
+	return best
+}
+
+// SelectK picks a cluster count in [2, maxK] by maximizing the silhouette
+// score of a k-medoids clustering at each k — the data-driven alternative
+// to the √N heuristic for CATAPULT's first stage. Returns the chosen k and
+// its clustering. maxK is clamped to len(vectors).
+func SelectK(vectors [][]float64, maxK int, dist Distance, seed int64) (int, *Clustering, error) {
+	if len(vectors) < 2 {
+		return 0, nil, fmt.Errorf("cluster: need at least 2 vectors to select k")
+	}
+	if maxK > len(vectors) {
+		maxK = len(vectors)
+	}
+	if maxK < 2 {
+		maxK = 2
+	}
+	bestK, bestScore := -1, math.Inf(-1)
+	var bestC *Clustering
+	for k := 2; k <= maxK; k++ {
+		c, err := KMedoids(vectors, k, dist, seed, 0)
+		if err != nil {
+			return 0, nil, err
+		}
+		if s := SilhouetteScore(c, vectors, dist); s > bestScore {
+			bestK, bestScore, bestC = k, s, c
+		}
+	}
+	return bestK, bestC, nil
+}
+
+// SilhouetteScore computes the mean silhouette coefficient of the
+// clustering, a standard internal quality measure in [-1, 1]; higher means
+// tighter, better-separated clusters. Single-member clusters contribute 0.
+func SilhouetteScore(c *Clustering, vectors [][]float64, dist Distance) float64 {
+	n := len(vectors)
+	if n == 0 || c.K < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		own := c.Assignments[i]
+		var a float64
+		ownCount := 0
+		bScores := make([]float64, c.K)
+		bCounts := make([]int, c.K)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dij := dist(vectors[i], vectors[j])
+			if c.Assignments[j] == own {
+				a += dij
+				ownCount++
+			} else {
+				bScores[c.Assignments[j]] += dij
+				bCounts[c.Assignments[j]]++
+			}
+		}
+		if ownCount == 0 {
+			continue // singleton: silhouette 0
+		}
+		a /= float64(ownCount)
+		b := math.Inf(1)
+		for ci := 0; ci < c.K; ci++ {
+			if bCounts[ci] > 0 {
+				if avg := bScores[ci] / float64(bCounts[ci]); avg < b {
+					b = avg
+				}
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// twoBlobs returns 10 vectors: 5 near the origin, 5 near (10, 10).
+func twoBlobs() [][]float64 {
+	return [][]float64{
+		{0, 0}, {0.5, 0}, {0, 0.5}, {0.4, 0.4}, {0.1, 0.2},
+		{10, 10}, {10.5, 10}, {10, 10.5}, {10.2, 10.3}, {9.8, 9.9},
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{1, 0, 1}
+	b := []float64{1, 1, 0}
+	if d := Euclidean(a, a); d != 0 {
+		t.Fatalf("Euclidean self = %v", d)
+	}
+	if d := Euclidean(a, b); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("Euclidean = %v", d)
+	}
+	if d := Cosine(a, a); math.Abs(d) > 1e-12 {
+		t.Fatalf("Cosine self = %v", d)
+	}
+	if d := Cosine(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("Cosine = %v, want 0.5", d)
+	}
+	if d := Cosine([]float64{0, 0}, []float64{0, 0}); d != 0 {
+		t.Fatalf("Cosine zero-zero = %v", d)
+	}
+	if d := Cosine([]float64{0, 0}, []float64{1, 0}); d != 1 {
+		t.Fatalf("Cosine zero-nonzero = %v", d)
+	}
+	// Jaccard: sets {0,2} and {0,1} → intersection 1, union 3.
+	if d := Jaccard(a, b); math.Abs(d-(1-1.0/3)) > 1e-12 {
+		t.Fatalf("Jaccard = %v", d)
+	}
+	if d := Jaccard([]float64{0}, []float64{0}); d != 0 {
+		t.Fatalf("Jaccard empty-empty = %v", d)
+	}
+}
+
+func TestKMedoidsSeparatesBlobs(t *testing.T) {
+	vecs := twoBlobs()
+	c, err := KMedoids(vecs, 2, Euclidean, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 2 {
+		t.Fatalf("K = %d", c.K)
+	}
+	// All of the first five must share a cluster, all of the last five the
+	// other.
+	first := c.Assignments[0]
+	for i := 1; i < 5; i++ {
+		if c.Assignments[i] != first {
+			t.Fatalf("blob 1 split: %v", c.Assignments)
+		}
+	}
+	second := c.Assignments[5]
+	if second == first {
+		t.Fatalf("blobs merged: %v", c.Assignments)
+	}
+	for i := 6; i < 10; i++ {
+		if c.Assignments[i] != second {
+			t.Fatalf("blob 2 split: %v", c.Assignments)
+		}
+	}
+	// Medoids are members of their own clusters.
+	for ci, m := range c.Medoids {
+		if c.Assignments[m] != ci {
+			t.Fatalf("medoid %d not in its own cluster", ci)
+		}
+	}
+}
+
+func TestKMedoidsEdgeCases(t *testing.T) {
+	if _, err := KMedoids(nil, 2, Euclidean, 1, 0); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := KMedoids(twoBlobs(), 0, Euclidean, 1, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	// k > n clamps to n.
+	c, err := KMedoids([][]float64{{0}, {1}}, 5, Euclidean, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 2 {
+		t.Fatalf("clamped K = %d", c.K)
+	}
+	// k = 1 puts everything together.
+	c, _ = KMedoids(twoBlobs(), 1, Euclidean, 1, 0)
+	for _, a := range c.Assignments {
+		if a != 0 {
+			t.Fatal("k=1 must assign everything to cluster 0")
+		}
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	vecs := twoBlobs()
+	a, _ := KMedoids(vecs, 3, Euclidean, 7, 0)
+	b, _ := KMedoids(vecs, 3, Euclidean, 7, 0)
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+func TestAgglomerativeSeparatesBlobs(t *testing.T) {
+	c, err := Agglomerative(twoBlobs(), 2, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := c.Assignments[0]
+	for i := 1; i < 5; i++ {
+		if c.Assignments[i] != first {
+			t.Fatalf("blob 1 split: %v", c.Assignments)
+		}
+	}
+	if c.Assignments[5] == first {
+		t.Fatal("blobs merged")
+	}
+	if _, err := Agglomerative(nil, 2, Euclidean); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Agglomerative(twoBlobs(), -1, Euclidean); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestMembersAndSizes(t *testing.T) {
+	c, _ := KMedoids(twoBlobs(), 2, Euclidean, 1, 0)
+	sizes := c.Sizes()
+	if sizes[0]+sizes[1] != 10 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	total := 0
+	for ci := 0; ci < c.K; ci++ {
+		total += len(c.Members(ci))
+	}
+	if total != 10 {
+		t.Fatalf("Members total = %d", total)
+	}
+}
+
+func TestAssignNearest(t *testing.T) {
+	vecs := twoBlobs()
+	c, _ := KMedoids(vecs, 2, Euclidean, 1, 0)
+	nearOrigin := c.AssignNearest([]float64{0.2, 0.1}, vecs, Euclidean)
+	nearFar := c.AssignNearest([]float64{9.9, 10.1}, vecs, Euclidean)
+	if nearOrigin == nearFar {
+		t.Fatal("new points must land in different clusters")
+	}
+	if nearOrigin != c.Assignments[0] {
+		t.Fatal("origin-ish point must join the origin blob")
+	}
+}
+
+func TestSelectK(t *testing.T) {
+	// Two clean blobs: silhouette must pick k=2.
+	k, c, err := SelectK(twoBlobs(), 5, Euclidean, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("SelectK = %d, want 2", k)
+	}
+	if c == nil || c.K != 2 {
+		t.Fatal("clustering missing")
+	}
+	// Three blobs → k=3.
+	three := append(twoBlobs(),
+		[]float64{-10, 10}, []float64{-10.2, 10.1}, []float64{-9.9, 9.8},
+		[]float64{-10.1, 10.3}, []float64{-9.8, 10.2})
+	k3, _, err := SelectK(three, 6, Euclidean, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 != 3 {
+		t.Fatalf("SelectK = %d, want 3", k3)
+	}
+	if _, _, err := SelectK([][]float64{{1}}, 3, Euclidean, 1); err == nil {
+		t.Fatal("single vector accepted")
+	}
+}
+
+func TestSilhouette(t *testing.T) {
+	vecs := twoBlobs()
+	good, _ := KMedoids(vecs, 2, Euclidean, 1, 0)
+	if s := SilhouetteScore(good, vecs, Euclidean); s < 0.8 {
+		t.Fatalf("well-separated blobs silhouette = %v, want high", s)
+	}
+	// A deliberately bad clustering scores worse.
+	bad := &Clustering{Assignments: []int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}, Medoids: []int{0, 5}, K: 2}
+	if SilhouetteScore(bad, vecs, Euclidean) >= SilhouetteScore(good, vecs, Euclidean) {
+		t.Fatal("bad clustering must score below good one")
+	}
+	if SilhouetteScore(good, nil, Euclidean) != 0 {
+		t.Fatal("empty vectors silhouette must be 0")
+	}
+	one, _ := KMedoids(vecs, 1, Euclidean, 1, 0)
+	if SilhouetteScore(one, vecs, Euclidean) != 0 {
+		t.Fatal("k=1 silhouette must be 0")
+	}
+}

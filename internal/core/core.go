@@ -1,0 +1,265 @@
+// Package core is the high-level facade of the data-driven visual graph
+// query interface (VQI) library. It stitches the subsystem packages into
+// the handful of operations a downstream application performs:
+//
+//	build      — construct a data-driven VQI from a graph repository
+//	            (CATAPULT for corpora of data graphs, TATTOO for a single
+//	            large network) or a manual preset for comparison;
+//	maintain   — keep a corpus-backed VQI's canned patterns fresh under
+//	            batch updates (MIDAS);
+//	interact   — open a session (Query/Results panels) over a built VQI;
+//	evaluate   — measure usability (formulation steps/time) and pattern-set
+//	            quality (coverage, diversity, cognitive load) of any VQI.
+//
+// Everything is deterministic per seed and stdlib-only.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/catapult"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/midas"
+	"repro/internal/pattern"
+	"repro/internal/simulate"
+	"repro/internal/tattoo"
+	"repro/internal/vqi"
+)
+
+// Budget re-exports the canned-pattern budget: how many patterns the
+// Pattern Panel shows and their permissible size range in edges.
+type Budget = pattern.Budget
+
+// Weights re-exports the coverage/diversity/cognitive-load weighting.
+type Weights = pattern.Weights
+
+// Spec re-exports the serializable VQI description.
+type Spec = vqi.Spec
+
+// Options configures VQI construction.
+type Options struct {
+	// Budget for the canned pattern set; zero value = 10 patterns of 4-12
+	// edges.
+	Budget Budget
+	// Weights for pattern selection; zero value = equal weights.
+	Weights Weights
+	// Seed drives all randomized stages.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Budget == (Budget{}) {
+		o.Budget = pattern.DefaultBudget()
+	}
+	if o.Weights == (Weights{}) {
+		o.Weights = pattern.DefaultWeights()
+	}
+}
+
+// BuildCorpusVQI constructs a data-driven VQI over a corpus of small- or
+// medium-sized data graphs using the CATAPULT pipeline.
+func BuildCorpusVQI(c *graph.Corpus, opts Options) (*Spec, error) {
+	opts.defaults()
+	spec, _, err := vqi.BuildFromCorpus(c, catapult.Config{
+		Budget:  opts.Budget,
+		Weights: opts.Weights,
+		Seed:    opts.Seed,
+	})
+	return spec, err
+}
+
+// BuildNetworkVQI constructs a data-driven VQI over a single large network
+// using the TATTOO pipeline.
+func BuildNetworkVQI(g *graph.Graph, opts Options) (*Spec, error) {
+	opts.defaults()
+	spec, _, err := vqi.BuildFromNetwork(g, tattoo.Config{
+		Budget:  opts.Budget,
+		Weights: opts.Weights,
+		Seed:    opts.Seed,
+	})
+	return spec, err
+}
+
+// BuildManualVQI constructs a manual (hard-coded pattern set) VQI for
+// comparison: preset "basic-only" or "chemistry".
+func BuildManualVQI(preset string, c *graph.Corpus) (*Spec, error) {
+	return vqi.BuildManual(vqi.ManualPreset(preset), c)
+}
+
+// Maintainer keeps a corpus-backed VQI fresh under batch updates using
+// MIDAS.
+type Maintainer struct {
+	state *midas.State
+	spec  *Spec
+	seed  int64
+}
+
+// NewMaintainer builds the VQI and its maintenance state in one pass. The
+// corpus is subsequently owned by the maintainer: mutate it only through
+// ApplyBatch.
+func NewMaintainer(c *graph.Corpus, opts Options) (*Maintainer, error) {
+	opts.defaults()
+	st, err := midas.Build(c, midas.Config{Catapult: catapult.Config{
+		Budget:  opts.Budget,
+		Weights: opts.Weights,
+		Seed:    opts.Seed,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	stats := c.Stats()
+	spec := &Spec{
+		Name: "maintained-corpus-vqi",
+		Mode: vqi.DataDriven,
+		Attribute: vqi.AttributePanel{
+			NodeLabels: stats.SortedNodeLabels(),
+			EdgeLabels: stats.SortedEdgeLabels(),
+		},
+	}
+	m := &Maintainer{state: st, spec: spec, seed: opts.Seed}
+	m.refreshSpec()
+	return m, nil
+}
+
+func (m *Maintainer) refreshSpec() {
+	// Rebuild the basic panel alongside the canned one so a fresh spec is
+	// complete.
+	if len(m.spec.Patterns.Basic) == 0 {
+		for i, p := range pattern.Basic() {
+			m.spec.Patterns.Basic = append(m.spec.Patterns.Basic, vqiPatternSpec(p, m.seed+int64(i)))
+		}
+	}
+	m.spec.RefreshPatterns(m.state.Patterns(), m.seed+100)
+	stats := m.state.Corpus().Stats()
+	m.spec.Attribute = vqi.AttributePanel{
+		NodeLabels: stats.SortedNodeLabels(),
+		EdgeLabels: stats.SortedEdgeLabels(),
+	}
+}
+
+// vqiPatternSpec adapts the unexported spec constructor via RefreshPatterns
+// on a scratch spec.
+func vqiPatternSpec(p *pattern.Pattern, seed int64) vqi.PatternSpec {
+	var scratch Spec
+	scratch.RefreshPatterns([]*pattern.Pattern{p}, seed)
+	return scratch.Patterns.Canned[0]
+}
+
+// Spec returns the current VQI spec (valid until the next ApplyBatch).
+func (m *Maintainer) Spec() *Spec { return m.spec }
+
+// Corpus returns the maintained corpus.
+func (m *Maintainer) Corpus() *graph.Corpus { return m.state.Corpus() }
+
+// BatchReport re-exports MIDAS's per-batch report.
+type BatchReport = midas.Report
+
+// ApplyBatch ingests added graphs and removes the named ones, maintains
+// the canned pattern set, and refreshes the spec.
+func (m *Maintainer) ApplyBatch(added []*graph.Graph, removedNames []string) (*BatchReport, error) {
+	rep, err := m.state.Apply(added, removedNames)
+	if err != nil {
+		return nil, err
+	}
+	m.refreshSpec()
+	return rep, nil
+}
+
+// MarshalState serializes the maintenance state (cluster membership,
+// features, patterns, GFD) for persistence between runs. The corpus is
+// persisted separately (gio.SaveCorpus).
+func (m *Maintainer) MarshalState() ([]byte, error) { return m.state.Marshal() }
+
+// LoadMaintainer restores a maintainer from a serialized state and the
+// corpus it was saved against.
+func LoadMaintainer(data []byte, c *graph.Corpus, opts Options) (*Maintainer, error) {
+	opts.defaults()
+	st, err := midas.Load(data, c)
+	if err != nil {
+		return nil, err
+	}
+	spec := &Spec{Name: "maintained-corpus-vqi", Mode: vqi.DataDriven}
+	m := &Maintainer{state: st, spec: spec, seed: opts.Seed}
+	m.refreshSpec()
+	return m, nil
+}
+
+// Quality summarizes a VQI's canned-pattern quality over its data source.
+type Quality struct {
+	Coverage      float64 // fraction of source edges covered by the canned set
+	Diversity     float64 // 1 - mean pairwise similarity
+	CognitiveLoad float64 // mean normalized load (lower is better)
+	SetScore      float64 // weighted combination
+}
+
+// EvaluateQuality measures a spec's canned patterns against a corpus.
+func EvaluateQuality(spec *Spec, c *graph.Corpus, opts Options) (Quality, error) {
+	opts.defaults()
+	var canned []*pattern.Pattern
+	for _, ps := range spec.Patterns.Canned {
+		g, err := ps.PatternGraph()
+		if err != nil {
+			return Quality{}, err
+		}
+		canned = append(canned, pattern.New(g, ps.Source))
+	}
+	mo := pattern.MatchOptions()
+	q := Quality{
+		Coverage:      pattern.SetEdgeCoverage(canned, c, mo),
+		Diversity:     pattern.SetDiversity(canned),
+		CognitiveLoad: pattern.SetCognitiveLoad(canned, opts.Budget),
+	}
+	q.SetScore = opts.Weights.Coverage*q.Coverage +
+		opts.Weights.Diversity*q.Diversity -
+		opts.Weights.CogLoad*q.CognitiveLoad
+	return q, nil
+}
+
+// Usability re-exports the simulated usability summary.
+type Usability = simulate.Summary
+
+// EvaluateUsability simulates a query workload against the spec's full
+// pattern panel and reports mean formulation steps and time.
+func EvaluateUsability(spec *Spec, c *graph.Corpus, queries, minNodes, maxNodes int, seed int64) (Usability, error) {
+	w, err := simulate.CorpusWorkload(c, queries, minNodes, maxNodes, seed)
+	if err != nil {
+		return Usability{}, err
+	}
+	panel, err := spec.AllPatterns()
+	if err != nil {
+		return Usability{}, err
+	}
+	return simulate.Evaluate(w, panel, simulate.DefaultCostModel()), nil
+}
+
+// OpenSession opens an interactive Query/Results session over a corpus.
+func OpenSession(spec *Spec, c *graph.Corpus) *vqi.Session {
+	return vqi.NewSession(spec, vqi.DataSource{Corpus: c})
+}
+
+// OpenNetworkSession opens a session over a single network.
+func OpenNetworkSession(spec *Spec, g *graph.Graph) *vqi.Session {
+	return vqi.NewSession(spec, vqi.DataSource{Corpus: pattern.SingletonCorpus(g), Network: true})
+}
+
+// QueryCorpus runs a one-off subgraph query against a corpus and returns
+// the names of matching graphs — the programmatic equivalent of the
+// Results Panel.
+func QueryCorpus(q *graph.Graph, c *graph.Corpus) []string {
+	var out []string
+	c.Each(func(_ int, g *graph.Graph) {
+		if isomorph.Exists(q, g, isomorph.Options{MaxEmbeddings: 1, MaxSteps: 500000}) {
+			out = append(out, g.Name())
+		}
+	})
+	return out
+}
+
+// Describe returns a one-paragraph summary of a spec for CLI output.
+func Describe(spec *Spec) string {
+	return fmt.Sprintf("%s (%s): %d node labels, %d edge labels, %d basic + %d canned patterns",
+		spec.Name, spec.Mode,
+		len(spec.Attribute.NodeLabels), len(spec.Attribute.EdgeLabels),
+		len(spec.Patterns.Basic), len(spec.Patterns.Canned))
+}

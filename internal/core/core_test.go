@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+func corpus() *graph.Corpus {
+	return datagen.ChemicalCorpus(6, 25, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+}
+
+func smallOpts() Options {
+	return Options{Budget: Budget{Count: 4, MinSize: 4, MaxSize: 8}, Seed: 1}
+}
+
+func TestBuildCorpusVQI(t *testing.T) {
+	spec, err := BuildCorpusVQI(corpus(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Patterns.Canned) == 0 {
+		t.Fatal("no canned patterns")
+	}
+	d := Describe(spec)
+	if !strings.Contains(d, "data-driven") {
+		t.Fatalf("Describe = %q", d)
+	}
+}
+
+func TestBuildNetworkVQI(t *testing.T) {
+	g := datagen.WattsStrogatz(4, 250, 6, 0.1)
+	spec, err := BuildNetworkVQI(g, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Patterns.Canned) == 0 {
+		t.Fatal("no canned patterns")
+	}
+}
+
+func TestBuildManualVQI(t *testing.T) {
+	spec, err := BuildManualVQI("chemistry", corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Mode != "manual" {
+		t.Fatalf("mode = %s", spec.Mode)
+	}
+	if _, err := BuildManualVQI("bogus", corpus()); err == nil {
+		t.Fatal("bogus preset accepted")
+	}
+}
+
+func TestMaintainerLifecycle(t *testing.T) {
+	m, err := NewMaintainer(corpus(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Spec().Patterns.Basic) != 3 {
+		t.Fatal("basic panel missing")
+	}
+	before := len(m.Spec().Patterns.Canned)
+	if before == 0 {
+		t.Fatal("no canned patterns")
+	}
+	rng := rand.New(rand.NewSource(2))
+	var batch []*graph.Graph
+	for i := 0; i < 8; i++ {
+		batch = append(batch, datagen.Chemical(rng, fmt.Sprintf("b-%d", i),
+			datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16}))
+	}
+	rep, err := m.ApplyBatch(batch, m.Corpus().Names()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Added != 8 || rep.Removed != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if m.Corpus().Len() != 30 {
+		t.Fatalf("corpus len = %d", m.Corpus().Len())
+	}
+	// Attribute panel refreshed from the updated corpus.
+	if len(m.Spec().Attribute.NodeLabels) == 0 {
+		t.Fatal("attribute panel lost")
+	}
+}
+
+func TestEvaluateQuality(t *testing.T) {
+	c := corpus()
+	ddSpec, err := BuildCorpusVQI(c, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manSpec, err := BuildManualVQI("basic-only", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := EvaluateQuality(ddSpec, c, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := EvaluateQuality(manSpec, c, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Coverage <= man.Coverage {
+		t.Fatalf("data-driven coverage %v must beat manual %v", dd.Coverage, man.Coverage)
+	}
+	if dd.Coverage <= 0 || dd.Coverage > 1 || dd.Diversity < 0 || dd.Diversity > 1 {
+		t.Fatalf("quality out of range: %+v", dd)
+	}
+}
+
+func TestEvaluateUsability(t *testing.T) {
+	c := corpus()
+	spec, err := BuildCorpusVQI(c, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := EvaluateUsability(spec, c, 15, 4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Queries != 15 || u.MeanSteps <= 0 || u.MeanTime <= 0 {
+		t.Fatalf("usability = %+v", u)
+	}
+	if _, err := EvaluateUsability(spec, graph.NewCorpus(), 5, 4, 8, 1); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+}
+
+func TestSessionsAndQuery(t *testing.T) {
+	c := corpus()
+	spec, err := BuildCorpusVQI(c, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := OpenSession(spec, c)
+	a := s.AddNode("C")
+	b := s.AddNode("C")
+	if err := s.AddEdge(a, b, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if res := s.Run(); len(res.MatchedGraphs) == 0 {
+		t.Fatal("C-C query must match")
+	}
+	if names := QueryCorpus(s.Query, c); len(names) == 0 {
+		t.Fatal("QueryCorpus must match")
+	}
+	g := datagen.BarabasiAlbert(3, 100, 2)
+	ns := OpenNetworkSession(spec, g)
+	na := ns.AddNode("")
+	nb := ns.AddNode("")
+	ns.AddEdge(na, nb, "")
+	if res := ns.Run(); res.Embeddings == 0 {
+		t.Fatal("network session must find embeddings")
+	}
+}

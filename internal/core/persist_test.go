@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+func TestMaintainerPersistenceRoundTrip(t *testing.T) {
+	c := corpus()
+	opts := smallOpts()
+	m, err := NewMaintainer(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMaintainer(data, m.Corpus(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spec().Patterns.Canned) != len(m.Spec().Patterns.Canned) {
+		t.Fatal("restored spec differs")
+	}
+	if len(back.Spec().Patterns.Basic) != 3 {
+		t.Fatal("basic panel not rebuilt after load")
+	}
+	// The restored maintainer keeps working.
+	rng := rand.New(rand.NewSource(8))
+	var batch []*graph.Graph
+	for i := 0; i < 6; i++ {
+		batch = append(batch, datagen.Chemical(rng, fmt.Sprintf("pl-%d", i),
+			datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16}))
+	}
+	rep, err := back.ApplyBatch(batch, back.Corpus().Names()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Added != 6 || rep.Removed != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestLoadMaintainerRejectsWrongCorpus(t *testing.T) {
+	m, err := NewMaintainer(corpus(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := graph.NewCorpus()
+	g := graph.New("x")
+	g.AddNode("C")
+	wrong.MustAdd(g)
+	if _, err := LoadMaintainer(data, wrong, smallOpts()); err == nil {
+		t.Fatal("wrong corpus accepted")
+	}
+}

@@ -1,0 +1,332 @@
+// Package datagen generates synthetic graph data standing in for the
+// proprietary datasets used by the surveyed papers.
+//
+// Two regimes matter for data-driven VQI research:
+//
+//   - Corpora of small/medium data graphs (CATAPULT, MIDAS): chemical-
+//     compound-like graphs built from fused rings and chains with skewed
+//     atom/bond label distributions, mirroring AIDS/PubChem statistics
+//     (tens of nodes, average degree ≈ 2, shared ring motifs).
+//
+//   - Single large networks (TATTOO): Erdős–Rényi, Barabási–Albert
+//     preferential attachment, Watts–Strogatz small world, and planted-
+//     partition community graphs, spanning the sparse-triangle-poor to
+//     dense-triangle-rich spectrum that the truss split separates.
+//
+// All generators are deterministic given a seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Atom labels with an AIDS-like skew: carbon dominates, then N/O, then the
+// long tail. Weights are relative.
+var atomLabels = []struct {
+	label  string
+	weight int
+}{
+	{"C", 70}, {"N", 10}, {"O", 10}, {"S", 4}, {"P", 2}, {"Cl", 2}, {"F", 1}, {"Br", 1},
+}
+
+// Bond labels: single bonds dominate.
+var bondLabels = []struct {
+	label  string
+	weight int
+}{
+	{"s", 75}, {"d", 15}, {"a", 10}, // single, double, aromatic
+}
+
+func pickWeighted(rng *rand.Rand, items []struct {
+	label  string
+	weight int
+}) string {
+	total := 0
+	for _, it := range items {
+		total += it.weight
+	}
+	x := rng.Intn(total)
+	for _, it := range items {
+		x -= it.weight
+		if x < 0 {
+			return it.label
+		}
+	}
+	return items[len(items)-1].label
+}
+
+// ChemicalOptions configure the compound generator.
+type ChemicalOptions struct {
+	MinNodes int     // minimum compound size (default 8)
+	MaxNodes int     // maximum compound size (default 40)
+	RingBias float64 // probability a growth step starts a ring, in [0,1] (default 0.4)
+}
+
+func (o *ChemicalOptions) defaults() {
+	if o.MinNodes == 0 {
+		o.MinNodes = 8
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 40
+	}
+	if o.RingBias == 0 {
+		o.RingBias = 0.4
+	}
+}
+
+// Chemical generates one compound-like connected graph with the given name.
+// Structure grows by attaching rings (5- or 6-cycles, benzene-like) and
+// chains to a random existing atom, which yields the fused-ring topology
+// and motif sharing that CATAPULT's clustering exploits.
+func Chemical(rng *rand.Rand, name string, opts ChemicalOptions) *graph.Graph {
+	opts.defaults()
+	target := opts.MinNodes + rng.Intn(opts.MaxNodes-opts.MinNodes+1)
+	g := graph.New(name)
+	g.AddNode(pickWeighted(rng, atomLabels))
+	for g.NumNodes() < target {
+		anchor := graph.NodeID(rng.Intn(g.NumNodes()))
+		if rng.Float64() < opts.RingBias {
+			attachRing(rng, g, anchor)
+		} else {
+			attachChain(rng, g, anchor)
+		}
+	}
+	return g
+}
+
+// attachRing fuses a new 5- or 6-ring onto the anchor atom. With
+// probability 1/2 the ring is aromatic (uniform "a" bonds and carbon
+// atoms), modeling benzene and furan-like motifs.
+func attachRing(rng *rand.Rand, g *graph.Graph, anchor graph.NodeID) {
+	size := 5 + rng.Intn(2)
+	aromatic := rng.Float64() < 0.5
+	bond := func() string {
+		if aromatic {
+			return "a"
+		}
+		return pickWeighted(rng, bondLabels)
+	}
+	atom := func() string {
+		if aromatic {
+			return "C"
+		}
+		return pickWeighted(rng, atomLabels)
+	}
+	prev := anchor
+	first := anchor
+	for i := 0; i < size-1; i++ {
+		n := g.AddNode(atom())
+		g.MustAddEdge(prev, n, bond())
+		prev = n
+	}
+	if !g.HasEdge(prev, first) {
+		g.MustAddEdge(prev, first, bond())
+	}
+}
+
+// attachChain grows a short chain (1-4 atoms) from the anchor.
+func attachChain(rng *rand.Rand, g *graph.Graph, anchor graph.NodeID) {
+	length := 1 + rng.Intn(4)
+	prev := anchor
+	for i := 0; i < length; i++ {
+		n := g.AddNode(pickWeighted(rng, atomLabels))
+		g.MustAddEdge(prev, n, pickWeighted(rng, bondLabels))
+		prev = n
+	}
+}
+
+// ChemicalCorpus generates a corpus of count compound-like graphs named
+// "mol<i>". Deterministic for a given seed.
+func ChemicalCorpus(seed int64, count int, opts ChemicalOptions) *graph.Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := graph.NewCorpus()
+	for i := 0; i < count; i++ {
+		c.MustAdd(Chemical(rng, fmt.Sprintf("mol%d", i), opts))
+	}
+	return c
+}
+
+// networkLabels are the node labels for large networks, Zipf-skewed over a
+// small vocabulary (entity types in a property graph).
+var networkLabels = []struct {
+	label  string
+	weight int
+}{
+	{"person", 50}, {"org", 20}, {"place", 15}, {"event", 10}, {"item", 5},
+}
+
+func networkNodeLabel(rng *rand.Rand) string { return pickWeighted(rng, networkLabels) }
+
+// ErdosRenyi generates G(n, m) with exactly m uniformly random edges.
+func ErdosRenyi(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(fmt.Sprintf("er-%d-%d", n, m))
+	for i := 0; i < n; i++ {
+		g.AddNode(networkNodeLabel(rng))
+	}
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	for g.NumEdges() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, "knows")
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert generates a preferential-attachment network: each new node
+// attaches to k existing nodes chosen proportionally to degree. Produces
+// the heavy-tailed degree distributions (hubs → stars, petals) that TATTOO
+// mines from real social networks.
+func BarabasiAlbert(seed int64, n, k int) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(fmt.Sprintf("ba-%d-%d", n, k))
+	if n == 0 {
+		return g
+	}
+	// Seed clique of k+1 nodes.
+	seedN := k + 1
+	if seedN > n {
+		seedN = n
+	}
+	for i := 0; i < seedN; i++ {
+		g.AddNode(networkNodeLabel(rng))
+	}
+	// Degree-proportional sampling via the repeated-endpoints trick.
+	var endpoints []graph.NodeID
+	for i := 0; i < seedN; i++ {
+		for j := i + 1; j < seedN; j++ {
+			g.MustAddEdge(i, j, "knows")
+			endpoints = append(endpoints, i, j)
+		}
+	}
+	for v := seedN; v < n; v++ {
+		id := g.AddNode(networkNodeLabel(rng))
+		attached := 0
+		for attempt := 0; attached < k && attempt < 20*k; attempt++ {
+			var u graph.NodeID
+			if len(endpoints) == 0 {
+				u = graph.NodeID(rng.Intn(v))
+			} else {
+				u = endpoints[rng.Intn(len(endpoints))]
+			}
+			if u != id && !g.HasEdge(id, u) {
+				g.MustAddEdge(id, u, "knows")
+				endpoints = append(endpoints, id, u)
+				attached++
+			}
+		}
+	}
+	return g
+}
+
+// WattsStrogatz generates a small-world network: a ring lattice where each
+// node connects to its k nearest neighbors (k even), with each edge rewired
+// to a random endpoint with probability beta. High clustering at low beta
+// exercises the triangle-rich G_T region.
+func WattsStrogatz(seed int64, n, k int, beta float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(fmt.Sprintf("ws-%d-%d", n, k))
+	for i := 0; i < n; i++ {
+		g.AddNode(networkNodeLabel(rng))
+	}
+	if n < 3 {
+		return g
+	}
+	half := k / 2
+	if half < 1 {
+		half = 1
+	}
+	for v := 0; v < n; v++ {
+		for j := 1; j <= half; j++ {
+			u := (v + j) % n
+			target := u
+			if rng.Float64() < beta {
+				target = rng.Intn(n)
+			}
+			if target != v && !g.HasEdge(v, target) {
+				g.MustAddEdge(v, target, "knows")
+			} else if u != v && !g.HasEdge(v, u) {
+				g.MustAddEdge(v, u, "knows")
+			}
+		}
+	}
+	return g
+}
+
+// PlantedPartition generates a community graph with the given number of
+// communities of the given size; node pairs inside a community are joined
+// with probability pIn, across communities with probability pOut.
+func PlantedPartition(seed int64, communities, size int, pIn, pOut float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := communities * size
+	g := graph.New(fmt.Sprintf("pp-%dx%d", communities, size))
+	for i := 0; i < n; i++ {
+		g.AddNode(networkNodeLabel(rng))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if u/size == v/size {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v, "knows")
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnectedSubgraph extracts a connected subgraph of g with exactly
+// size nodes via a random BFS-style expansion, or nil if g has fewer than
+// size nodes reachable from the chosen start. Used by the query-workload
+// generator: visual subgraph queries are, by construction, connected
+// subgraphs of the data.
+func RandomConnectedSubgraph(rng *rand.Rand, g *graph.Graph, size int) *graph.Graph {
+	if g.NumNodes() == 0 || size <= 0 {
+		return nil
+	}
+	for attempt := 0; attempt < 30; attempt++ {
+		start := graph.NodeID(rng.Intn(g.NumNodes()))
+		picked := []graph.NodeID{start}
+		inPicked := map[graph.NodeID]bool{start: true}
+		var frontier []graph.NodeID
+		g.VisitNeighbors(start, func(nbr graph.NodeID, _ graph.EdgeID) bool {
+			frontier = append(frontier, nbr)
+			return true
+		})
+		for len(picked) < size && len(frontier) > 0 {
+			i := rng.Intn(len(frontier))
+			next := frontier[i]
+			frontier = append(frontier[:i], frontier[i+1:]...)
+			if inPicked[next] {
+				continue
+			}
+			picked = append(picked, next)
+			inPicked[next] = true
+			g.VisitNeighbors(next, func(nbr graph.NodeID, _ graph.EdgeID) bool {
+				if !inPicked[nbr] {
+					frontier = append(frontier, nbr)
+				}
+				return true
+			})
+		}
+		if len(picked) == size {
+			sub, _ := g.InducedSubgraph(picked)
+			sub.SetName(fmt.Sprintf("%s#q%d", g.Name(), size))
+			return sub
+		}
+	}
+	return nil
+}

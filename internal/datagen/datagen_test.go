@@ -1,0 +1,168 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestChemicalDeterministic(t *testing.T) {
+	a := ChemicalCorpus(42, 20, ChemicalOptions{})
+	b := ChemicalCorpus(42, 20, ChemicalOptions{})
+	if a.Len() != 20 || b.Len() != 20 {
+		t.Fatalf("lens = %d, %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Graph(i).Dump() != b.Graph(i).Dump() {
+			t.Fatalf("graph %d differs between identical seeds", i)
+		}
+	}
+	c := ChemicalCorpus(43, 20, ChemicalOptions{})
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if a.Graph(i).Dump() != c.Graph(i).Dump() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestChemicalShape(t *testing.T) {
+	opts := ChemicalOptions{MinNodes: 10, MaxNodes: 30}
+	c := ChemicalCorpus(7, 50, opts)
+	stats := c.Stats()
+	if stats.MinNodes < 10 {
+		t.Fatalf("min nodes = %d, want ≥ 10", stats.MinNodes)
+	}
+	carbons := stats.NodeLabels["C"]
+	if carbons*2 < stats.TotalNodes {
+		t.Fatalf("carbon should dominate: %d of %d", carbons, stats.TotalNodes)
+	}
+	rings := 0
+	c.Each(func(_ int, g *graph.Graph) {
+		if !g.IsConnected() {
+			t.Fatalf("compound %s not connected", g.Name())
+		}
+		if g.NumEdges() >= g.NumNodes() {
+			rings++ // cyclomatic number ≥ 1 means at least one ring
+		}
+	})
+	if rings < 25 {
+		t.Fatalf("too few ring-bearing compounds: %d/50", rings)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(1, 100, 300)
+	if g.NumNodes() != 100 || g.NumEdges() != 300 {
+		t.Fatalf("ER = %s", g)
+	}
+	// Requesting more edges than possible caps at the maximum.
+	small := ErdosRenyi(1, 5, 100)
+	if small.NumEdges() != 10 {
+		t.Fatalf("capped ER edges = %d, want 10", small.NumEdges())
+	}
+	if ErdosRenyi(2, 100, 300).Dump() == g.Dump() {
+		t.Fatal("different seeds must differ")
+	}
+	if ErdosRenyi(1, 100, 300).Dump() != g.Dump() {
+		t.Fatal("same seed must reproduce")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(5, 500, 3)
+	if g.NumNodes() != 500 {
+		t.Fatalf("BA nodes = %d", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Fatal("BA graph must be connected")
+	}
+	// Heavy tail: max degree well above the attachment parameter.
+	if g.MaxDegree() < 10 {
+		t.Fatalf("BA max degree = %d, expected a hub", g.MaxDegree())
+	}
+	// Mean degree ≈ 2k.
+	mean := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	if mean < 4 || mean > 8 {
+		t.Fatalf("BA mean degree = %v, want ≈ 6", mean)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(3, 200, 4, 0.1)
+	if g.NumNodes() != 200 {
+		t.Fatalf("WS nodes = %d", g.NumNodes())
+	}
+	// Low rewiring keeps high clustering: a ring lattice with k=4 has many
+	// triangles.
+	if g.CountTriangles() < 50 {
+		t.Fatalf("WS triangles = %d, want many", g.CountTriangles())
+	}
+	if WattsStrogatz(3, 200, 4, 0.1).Dump() != g.Dump() {
+		t.Fatal("WS must be deterministic")
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g := PlantedPartition(11, 4, 25, 0.3, 0.01)
+	if g.NumNodes() != 100 {
+		t.Fatalf("PP nodes = %d", g.NumNodes())
+	}
+	in, out := 0, 0
+	for _, e := range g.Edges() {
+		if e.U/25 == e.V/25 {
+			in++
+		} else {
+			out++
+		}
+	}
+	if in <= out {
+		t.Fatalf("communities not denser inside: in=%d out=%d", in, out)
+	}
+}
+
+func TestRandomConnectedSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := BarabasiAlbert(1, 200, 3)
+	for size := 2; size <= 10; size++ {
+		q := RandomConnectedSubgraph(rng, g, size)
+		if q == nil {
+			t.Fatalf("size %d: no subgraph extracted", size)
+		}
+		if q.NumNodes() != size {
+			t.Fatalf("size %d: got %d nodes", size, q.NumNodes())
+		}
+		if !q.IsConnected() {
+			t.Fatalf("size %d: subgraph not connected", size)
+		}
+	}
+	if RandomConnectedSubgraph(rng, graph.New("e"), 3) != nil {
+		t.Fatal("empty graph must yield nil")
+	}
+	if RandomConnectedSubgraph(rng, g, 0) != nil {
+		t.Fatal("size 0 must yield nil")
+	}
+	// Impossible size: a 5-node graph cannot yield a 10-node subgraph.
+	tiny := ErdosRenyi(1, 5, 4)
+	if RandomConnectedSubgraph(rng, tiny, 10) != nil {
+		t.Fatal("oversized request must yield nil")
+	}
+}
+
+func TestPickWeightedCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[pickWeighted(rng, atomLabels)] = true
+	}
+	for _, it := range atomLabels {
+		if !seen[it.label] {
+			t.Errorf("label %q never drawn", it.label)
+		}
+	}
+}

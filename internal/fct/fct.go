@@ -1,0 +1,335 @@
+// Package fct mines frequent trees from a corpus of data graphs and
+// maintains them incrementally under batch updates.
+//
+// CATAPULT clusters a corpus by representing each data graph as a feature
+// vector over frequent subtrees; MIDAS replaces plain frequent subtrees
+// with frequent closed trees (FCTs) because closedness makes the feature
+// set compact and efficiently maintainable as the corpus evolves. A tree is
+// closed if no frequent supertree has the same support.
+//
+// The miner is Apriori-style pattern growth: level 1 is the frequent
+// single-edge trees (label triples); level k+1 extends level-k trees by one
+// labeled edge at any node, deduplicates by canonical form, and keeps those
+// meeting the support threshold. Downward closure of subtree containment
+// makes this complete.
+//
+// Incremental maintenance exploits a simple exactness argument: additions
+// only increase a tree's support and deletions only decrease it, so every
+// tree that is frequent after a batch update either was frequent before or
+// occurs in an added graph. The maintained candidate set is therefore the
+// stored frequent trees plus the trees mined from the added graphs, each
+// re-counted exactly.
+package fct
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+)
+
+// Tree is a frequent tree with its support (number of corpus graphs
+// containing it).
+type Tree struct {
+	G       *graph.Graph
+	Support int
+	Canon   string
+}
+
+// Edges returns the tree size in edges.
+func (t *Tree) Edges() int { return t.G.NumEdges() }
+
+// Miner configures frequent-tree mining.
+type Miner struct {
+	// MinSupport is the absolute support threshold: a tree is frequent if
+	// at least this many corpus graphs contain it. Must be ≥ 1.
+	MinSupport int
+	// MaxEdges bounds tree size; level-wise growth stops there. Typical
+	// feature mining uses 3.
+	MaxEdges int
+}
+
+// Validate returns an error for nonsensical parameters.
+func (m Miner) Validate() error {
+	if m.MinSupport < 1 {
+		return fmt.Errorf("fct: MinSupport %d must be ≥ 1", m.MinSupport)
+	}
+	if m.MaxEdges < 1 {
+		return fmt.Errorf("fct: MaxEdges %d must be ≥ 1", m.MaxEdges)
+	}
+	return nil
+}
+
+// Set is a mined collection of frequent trees plus the parameters needed to
+// maintain it.
+type Set struct {
+	Miner   Miner
+	Trees   []*Tree
+	byCanon map[string]*Tree
+}
+
+// NewSet returns an empty set with the given mining parameters, ready for
+// Insert — used when restoring a persisted set.
+func NewSet(m Miner) *Set {
+	return &Set{Miner: m, byCanon: make(map[string]*Tree)}
+}
+
+// Insert adds a tree (with its precomputed support and canonical form) to
+// the set, keeping the stable order. Duplicate canonical forms are ignored.
+func (s *Set) Insert(t *Tree) {
+	if _, dup := s.byCanon[t.Canon]; dup {
+		return
+	}
+	s.byCanon[t.Canon] = t
+	s.Trees = append(s.Trees, t)
+	s.sort()
+}
+
+// matchOpts bounds containment checks; trees are tiny so generous budgets
+// suffice and results stay exact in practice.
+func matchOpts() isomorph.Options {
+	return isomorph.Options{MaxEmbeddings: 1, MaxSteps: 100000}
+}
+
+// contains reports whether graph g contains tree t.
+func contains(t *graph.Graph, g *graph.Graph) bool {
+	return isomorph.Exists(t, g, matchOpts())
+}
+
+// Mine runs the level-wise miner over the corpus.
+func (m Miner) Mine(c *graph.Corpus) (*Set, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Set{Miner: m, byCanon: make(map[string]*Tree)}
+
+	// Level 1: frequent labeled edges, counted directly.
+	counts := make(map[labelTriple]int)
+	c.Each(func(_ int, g *graph.Graph) {
+		seen := make(map[labelTriple]bool)
+		for _, ed := range g.Edges() {
+			a, b := g.NodeLabel(ed.U), g.NodeLabel(ed.V)
+			if a > b {
+				a, b = b, a
+			}
+			seen[labelTriple{a, ed.Label, b}] = true
+		}
+		for tr := range seen {
+			counts[tr]++
+		}
+	})
+	var level []*Tree
+	for tr, sup := range counts {
+		if sup < m.MinSupport {
+			continue
+		}
+		g := graph.New(fmt.Sprintf("fct-%s-%s-%s", tr.a, tr.e, tr.b))
+		u := g.AddNode(tr.a)
+		v := g.AddNode(tr.b)
+		g.MustAddEdge(u, v, tr.e)
+		level = append(level, &Tree{G: g, Support: sup, Canon: canon.String(g)})
+	}
+	s.addAll(level)
+
+	// Extension alphabet: the frequent label triples.
+	alphabet := frequentTriples(counts, m.MinSupport)
+
+	for size := 2; size <= m.MaxEdges && len(level) > 0; size++ {
+		candidates := make(map[string]*Tree)
+		for _, t := range level {
+			for _, ext := range extendTree(t.G, alphabet) {
+				key := canon.String(ext)
+				if _, dup := candidates[key]; dup {
+					continue
+				}
+				if _, known := s.byCanon[key]; known {
+					continue
+				}
+				candidates[key] = &Tree{G: ext, Canon: key}
+			}
+		}
+		level = level[:0]
+		for _, cand := range candidates {
+			cand.Support = countSupport(cand.G, c)
+			if cand.Support >= m.MinSupport {
+				level = append(level, cand)
+			}
+		}
+		s.addAll(level)
+	}
+	s.sort()
+	return s, nil
+}
+
+type labelTriple struct{ a, e, b string }
+
+func frequentTriples(counts map[labelTriple]int, minSup int) []labelTriple {
+	var out []labelTriple
+	for tr, sup := range counts {
+		if sup >= minSup {
+			out = append(out, tr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].a != out[j].a {
+			return out[i].a < out[j].a
+		}
+		if out[i].e != out[j].e {
+			return out[i].e < out[j].e
+		}
+		return out[i].b < out[j].b
+	})
+	return out
+}
+
+// extendTree returns all one-edge extensions of t: for every node and every
+// alphabet triple whose endpoint label matches the node, attach a fresh
+// leaf. Extensions remain trees by construction.
+func extendTree(t *graph.Graph, alphabet []labelTriple) []*graph.Graph {
+	var out []*graph.Graph
+	for v := 0; v < t.NumNodes(); v++ {
+		vl := t.NodeLabel(v)
+		for _, tr := range alphabet {
+			var leafLabels []string
+			if tr.a == vl {
+				leafLabels = append(leafLabels, tr.b)
+			}
+			if tr.b == vl && tr.b != tr.a {
+				leafLabels = append(leafLabels, tr.a)
+			}
+			for _, ll := range leafLabels {
+				ext := t.Clone()
+				ext.SetName(t.Name() + "+")
+				leaf := ext.AddNode(ll)
+				ext.MustAddEdge(v, leaf, tr.e)
+				out = append(out, ext)
+			}
+		}
+	}
+	return out
+}
+
+func countSupport(t *graph.Graph, c *graph.Corpus) int {
+	sup := 0
+	c.Each(func(_ int, g *graph.Graph) {
+		if contains(t, g) {
+			sup++
+		}
+	})
+	return sup
+}
+
+func (s *Set) addAll(trees []*Tree) {
+	for _, t := range trees {
+		if _, dup := s.byCanon[t.Canon]; !dup {
+			s.byCanon[t.Canon] = t
+			s.Trees = append(s.Trees, t)
+		}
+	}
+}
+
+func (s *Set) sort() {
+	sort.Slice(s.Trees, func(i, j int) bool {
+		if s.Trees[i].Edges() != s.Trees[j].Edges() {
+			return s.Trees[i].Edges() < s.Trees[j].Edges()
+		}
+		return s.Trees[i].Canon < s.Trees[j].Canon
+	})
+}
+
+// Len returns the number of frequent trees.
+func (s *Set) Len() int { return len(s.Trees) }
+
+// Closed returns the frequent closed trees: trees with no frequent
+// supertree of equal support. MIDAS clusters on these.
+func (s *Set) Closed() []*Tree {
+	var out []*Tree
+	for _, t := range s.Trees {
+		closed := true
+		for _, u := range s.Trees {
+			if u.Edges() != t.Edges()+1 || u.Support != t.Support {
+				continue
+			}
+			if contains(t.G, u.G) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// FeatureVector returns the binary presence vector of g over the set's
+// trees, in the set's stable order. Graphs are clustered on these vectors.
+func (s *Set) FeatureVector(g *graph.Graph) []float64 {
+	v := make([]float64, len(s.Trees))
+	for i, t := range s.Trees {
+		if contains(t.G, g) {
+			v[i] = 1
+		}
+	}
+	return v
+}
+
+// Update maintains the set after a batch update. updated is the corpus
+// after the update; added and removed are the graphs that were inserted and
+// deleted (removed graphs must be the pre-deletion copies). The result is
+// identical to re-mining the updated corpus from scratch.
+func (s *Set) Update(updated *graph.Corpus, added, removed []*graph.Graph) error {
+	// Phase 1: adjust supports of stored trees.
+	for _, t := range s.Trees {
+		for _, g := range added {
+			if contains(t.G, g) {
+				t.Support++
+			}
+		}
+		for _, g := range removed {
+			if contains(t.G, g) {
+				t.Support--
+			}
+		}
+	}
+	// Phase 2: discover new candidates from added graphs. Any tree that
+	// newly becomes frequent must occur in an added graph.
+	if len(added) > 0 {
+		addedCorpus := graph.NewCorpus()
+		for i, g := range added {
+			cp := g.Clone()
+			cp.SetName(fmt.Sprintf("added-%d", i))
+			addedCorpus.MustAdd(cp)
+		}
+		local := Miner{MinSupport: 1, MaxEdges: s.Miner.MaxEdges}
+		mined, err := local.Mine(addedCorpus)
+		if err != nil {
+			return err
+		}
+		for _, cand := range mined.Trees {
+			if _, known := s.byCanon[cand.Canon]; known {
+				continue
+			}
+			sup := countSupport(cand.G, updated)
+			if sup >= s.Miner.MinSupport {
+				t := &Tree{G: cand.G, Support: sup, Canon: cand.Canon}
+				s.byCanon[t.Canon] = t
+				s.Trees = append(s.Trees, t)
+			}
+		}
+	}
+	// Phase 3: evict trees that fell below the threshold.
+	kept := s.Trees[:0]
+	for _, t := range s.Trees {
+		if t.Support >= s.Miner.MinSupport {
+			kept = append(kept, t)
+		} else {
+			delete(s.byCanon, t.Canon)
+		}
+	}
+	s.Trees = kept
+	s.sort()
+	return nil
+}

@@ -1,0 +1,255 @@
+package fct
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+// chainGraph builds a labeled path A-B-C-... with "-" edges.
+func chainGraph(name string, labels ...string) *graph.Graph {
+	g := graph.New(name)
+	for _, l := range labels {
+		g.AddNode(l)
+	}
+	for i := 0; i+1 < len(labels); i++ {
+		g.MustAddEdge(i, i+1, "-")
+	}
+	return g
+}
+
+func TestMinerValidate(t *testing.T) {
+	if err := (Miner{MinSupport: 0, MaxEdges: 3}).Validate(); err == nil {
+		t.Fatal("MinSupport 0 accepted")
+	}
+	if err := (Miner{MinSupport: 1, MaxEdges: 0}).Validate(); err == nil {
+		t.Fatal("MaxEdges 0 accepted")
+	}
+	if _, err := (Miner{}).Mine(graph.NewCorpus()); err == nil {
+		t.Fatal("invalid miner must error")
+	}
+}
+
+func TestMineSingleEdges(t *testing.T) {
+	c := graph.NewCorpus()
+	c.MustAdd(chainGraph("g0", "A", "B"))
+	c.MustAdd(chainGraph("g1", "A", "B"))
+	c.MustAdd(chainGraph("g2", "A", "C"))
+	s, err := Miner{MinSupport: 2, MaxEdges: 1}.Mine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only A-B is frequent (support 2).
+	if s.Len() != 1 || s.Trees[0].Support != 2 {
+		t.Fatalf("mined %d trees: %+v", s.Len(), s.Trees)
+	}
+}
+
+func TestMineLevelTwo(t *testing.T) {
+	c := graph.NewCorpus()
+	// Both graphs contain the path A-B-C.
+	c.MustAdd(chainGraph("g0", "A", "B", "C"))
+	c.MustAdd(chainGraph("g1", "A", "B", "C", "D"))
+	s, err := Miner{MinSupport: 2, MaxEdges: 2}.Mine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequent 1-edge: A-B, B-C (support 2 each). C-D support 1.
+	// Frequent 2-edge: A-B-C (support 2).
+	var sizes []int
+	for _, tr := range s.Trees {
+		sizes = append(sizes, tr.Edges())
+	}
+	if !reflect.DeepEqual(sizes, []int{1, 1, 2}) {
+		t.Fatalf("tree sizes = %v", sizes)
+	}
+	for _, tr := range s.Trees {
+		if tr.Support != 2 {
+			t.Fatalf("tree %s support = %d", tr.G.Name(), tr.Support)
+		}
+	}
+}
+
+func TestMineStarTrees(t *testing.T) {
+	// A star with three B-leaves in both graphs: the claw A(B,B,B) must be
+	// found at level 3.
+	mkStar := func(name string) *graph.Graph {
+		g := graph.New(name)
+		c := g.AddNode("A")
+		for i := 0; i < 3; i++ {
+			l := g.AddNode("B")
+			g.MustAddEdge(c, l, "-")
+		}
+		return g
+	}
+	c := graph.NewCorpus()
+	c.MustAdd(mkStar("g0"))
+	c.MustAdd(mkStar("g1"))
+	s, err := Miner{MinSupport: 2, MaxEdges: 3}.Mine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range s.Trees {
+		if tr.Edges() == 3 && tr.G.MaxDegree() == 3 {
+			found = true
+			if tr.Support != 2 {
+				t.Fatalf("claw support = %d", tr.Support)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("claw not mined")
+	}
+}
+
+func TestClosed(t *testing.T) {
+	// g0,g1 contain A-B-C; g2 contains only A-B. So A-B has support 3 and
+	// B-C support 2; A-B-C support 2. B-C (support 2) has supertree A-B-C
+	// with equal support → B-C is NOT closed. A-B (support 3) is closed.
+	c := graph.NewCorpus()
+	c.MustAdd(chainGraph("g0", "A", "B", "C"))
+	c.MustAdd(chainGraph("g1", "A", "B", "C"))
+	c.MustAdd(chainGraph("g2", "A", "B"))
+	s, err := Miner{MinSupport: 2, MaxEdges: 2}.Mine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := s.Closed()
+	if len(closed) != 2 {
+		for _, tr := range closed {
+			t.Logf("closed: %s sup=%d m=%d", tr.Canon, tr.Support, tr.Edges())
+		}
+		t.Fatalf("closed count = %d, want 2 (A-B and A-B-C)", len(closed))
+	}
+}
+
+func TestFeatureVector(t *testing.T) {
+	c := graph.NewCorpus()
+	c.MustAdd(chainGraph("g0", "A", "B", "C"))
+	c.MustAdd(chainGraph("g1", "A", "B"))
+	s, err := Miner{MinSupport: 1, MaxEdges: 2}.Mine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := s.FeatureVector(c.Graph(0))
+	v1 := s.FeatureVector(c.Graph(1))
+	if len(v0) != s.Len() || len(v1) != s.Len() {
+		t.Fatal("feature vector length mismatch")
+	}
+	// g0 contains everything mined; g1 contains only A-B.
+	sum0, sum1 := 0.0, 0.0
+	for i := range v0 {
+		sum0 += v0[i]
+		sum1 += v1[i]
+	}
+	if sum0 != float64(s.Len()) {
+		t.Fatalf("g0 features = %v", v0)
+	}
+	if sum1 != 1 {
+		t.Fatalf("g1 features = %v", v1)
+	}
+}
+
+// minesEqual compares two sets by (canon, support).
+func minesEqual(a, b *Set) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Trees {
+		if a.Trees[i].Canon != b.Trees[i].Canon || a.Trees[i].Support != b.Trees[i].Support {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUpdateMatchesRemine(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	base := datagen.ChemicalCorpus(1, 30, datagen.ChemicalOptions{MinNodes: 6, MaxNodes: 14})
+	miner := Miner{MinSupport: 5, MaxEdges: 2}
+	s, err := miner.Mine(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		// Batch: remove 3 random graphs, add 5 new ones.
+		var removed []*graph.Graph
+		names := base.Names()
+		for i := 0; i < 3; i++ {
+			name := names[rng.Intn(len(names))]
+			if g, ok := base.ByName(name); ok {
+				removed = append(removed, g)
+				base.Remove(name)
+			}
+		}
+		var added []*graph.Graph
+		for i := 0; i < 5; i++ {
+			g := datagen.Chemical(rng, fmt.Sprintf("new-%d-%d", round, i), datagen.ChemicalOptions{MinNodes: 6, MaxNodes: 14})
+			added = append(added, g)
+			base.MustAdd(g)
+		}
+		if err := s.Update(base, added, removed); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := miner.Mine(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !minesEqual(s, fresh) {
+			t.Fatalf("round %d: incremental update diverged from re-mining (%d vs %d trees)",
+				round, s.Len(), fresh.Len())
+		}
+	}
+}
+
+func TestUpdateDeletionsOnly(t *testing.T) {
+	c := graph.NewCorpus()
+	c.MustAdd(chainGraph("g0", "A", "B"))
+	c.MustAdd(chainGraph("g1", "A", "B"))
+	c.MustAdd(chainGraph("g2", "A", "B"))
+	miner := Miner{MinSupport: 2, MaxEdges: 1}
+	s, _ := miner.Mine(c)
+	if s.Len() != 1 {
+		t.Fatalf("initial trees = %d", s.Len())
+	}
+	// Remove two of the three graphs: A-B drops below threshold.
+	g1, _ := c.ByName("g1")
+	g2, _ := c.ByName("g2")
+	c.Remove("g1")
+	c.Remove("g2")
+	if err := s.Update(c, nil, []*graph.Graph{g1, g2}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("after deletion: %d trees, want 0", s.Len())
+	}
+}
+
+func TestUpdateAdditionsIntroduceNewTrees(t *testing.T) {
+	c := graph.NewCorpus()
+	c.MustAdd(chainGraph("g0", "A", "B"))
+	miner := Miner{MinSupport: 2, MaxEdges: 2}
+	s, _ := miner.Mine(c)
+	if s.Len() != 0 {
+		t.Fatalf("initial trees = %d, want 0", s.Len())
+	}
+	// Add two graphs containing X-Y: new frequent tree not stored before.
+	a1 := chainGraph("a1", "X", "Y")
+	a2 := chainGraph("a2", "X", "Y", "Z")
+	c.MustAdd(a1)
+	c.MustAdd(a2)
+	if err := s.Update(c, []*graph.Graph{a1, a2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("after additions: %d trees, want 1 (X-Y)", s.Len())
+	}
+	if s.Trees[0].Support != 2 {
+		t.Fatalf("X-Y support = %d", s.Trees[0].Support)
+	}
+}

@@ -1,0 +1,171 @@
+// Package gindex accelerates subgraph search over a corpus with the
+// classical filter-then-verify strategy used by graph-database query
+// processors: cheap per-graph features (node labels, labeled edge
+// triples, size bounds) prune graphs that cannot contain the query, and
+// only the surviving candidates pay for a subgraph-isomorphism check.
+//
+// A VQI's Results Panel issues exactly this kind of query every time the
+// user presses Run, so the index is what makes interactive response times
+// possible on corpora of thousands of graphs — the "powerful graph query
+// processing engines" the tutorial's introduction says visual interfaces
+// democratize.
+package gindex
+
+import (
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+type triple struct{ a, e, b string }
+
+// Index is an immutable filter index over a corpus snapshot. Rebuild after
+// corpus changes (construction is linear and cheap relative to one
+// unfiltered scan).
+type Index struct {
+	corpus    *graph.Corpus
+	nodeLabel map[string]pattern.Bitset
+	edgeLabel map[string]pattern.Bitset
+	triples   map[triple]pattern.Bitset
+	numNodes  []int
+	numEdges  []int
+}
+
+// Build indexes the corpus.
+func Build(c *graph.Corpus) *Index {
+	idx := &Index{
+		corpus:    c,
+		nodeLabel: make(map[string]pattern.Bitset),
+		edgeLabel: make(map[string]pattern.Bitset),
+		triples:   make(map[triple]pattern.Bitset),
+		numNodes:  make([]int, c.Len()),
+		numEdges:  make([]int, c.Len()),
+	}
+	n := c.Len()
+	bs := func(m map[string]pattern.Bitset, key string) pattern.Bitset {
+		b, ok := m[key]
+		if !ok {
+			b = pattern.NewBitset(n)
+			m[key] = b
+		}
+		return b
+	}
+	c.Each(func(gi int, g *graph.Graph) {
+		idx.numNodes[gi] = g.NumNodes()
+		idx.numEdges[gi] = g.NumEdges()
+		for l := range g.NodeLabels() {
+			bs(idx.nodeLabel, l).Set(gi)
+		}
+		for l := range g.EdgeLabels() {
+			bs(idx.edgeLabel, l).Set(gi)
+		}
+		for _, e := range g.Edges() {
+			a, b := g.NodeLabel(e.U), g.NodeLabel(e.V)
+			if a > b {
+				a, b = b, a
+			}
+			tr := triple{a, e.Label, b}
+			tb, ok := idx.triples[tr]
+			if !ok {
+				tb = pattern.NewBitset(n)
+				idx.triples[tr] = tb
+			}
+			tb.Set(gi)
+		}
+	})
+	return idx
+}
+
+// Candidates returns the corpus positions that pass every filter for q —
+// a superset of the true matches (no false dismissals). Wildcard labels
+// contribute no constraint.
+func (idx *Index) Candidates(q *graph.Graph) []int {
+	n := idx.corpus.Len()
+	// Start from all-ones and intersect constraint bitsets.
+	cand := pattern.NewBitset(n)
+	for i := 0; i < n; i++ {
+		if idx.numNodes[i] >= q.NumNodes() && idx.numEdges[i] >= q.NumEdges() {
+			cand.Set(i)
+		}
+	}
+	intersect := func(b pattern.Bitset, ok bool) {
+		if !ok {
+			// Constraint label absent from the whole corpus: no matches.
+			for i := range cand {
+				cand[i] = 0
+			}
+			return
+		}
+		for i := range cand {
+			cand[i] &= b[i]
+		}
+	}
+	for l := range q.NodeLabels() {
+		if l == isomorph.Wildcard {
+			continue
+		}
+		b, ok := idx.nodeLabel[l]
+		intersect(b, ok)
+	}
+	for l := range q.EdgeLabels() {
+		if l == isomorph.Wildcard {
+			continue
+		}
+		b, ok := idx.edgeLabel[l]
+		intersect(b, ok)
+	}
+	for _, e := range q.Edges() {
+		a, b := q.NodeLabel(e.U), q.NodeLabel(e.V)
+		if a == isomorph.Wildcard || b == isomorph.Wildcard || e.Label == isomorph.Wildcard {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		tb, ok := idx.triples[triple{a, e.Label, b}]
+		intersect(tb, ok)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if cand.Get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Result reports a search outcome.
+type Result struct {
+	// Matches are the names of graphs containing the query.
+	Matches []string
+	// Candidates is how many graphs survived filtering (verification
+	// cost); Scanned is the corpus size.
+	Candidates int
+	Scanned    int
+}
+
+// Search runs filter-then-verify for query q.
+func (idx *Index) Search(q *graph.Graph, opts isomorph.Options) Result {
+	res := Result{Scanned: idx.corpus.Len()}
+	if q.NumNodes() == 0 {
+		return res
+	}
+	cands := idx.Candidates(q)
+	res.Candidates = len(cands)
+	for _, gi := range cands {
+		g := idx.corpus.Graph(gi)
+		if isomorph.Exists(q, g, opts) {
+			res.Matches = append(res.Matches, g.Name())
+		}
+	}
+	return res
+}
+
+// FilterRatio returns the fraction of the corpus pruned without
+// verification for query q, in [0,1]; higher is better.
+func (idx *Index) FilterRatio(q *graph.Graph) float64 {
+	if idx.corpus.Len() == 0 {
+		return 0
+	}
+	return 1 - float64(len(idx.Candidates(q)))/float64(idx.corpus.Len())
+}

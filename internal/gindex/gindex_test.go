@@ -1,0 +1,145 @@
+package gindex
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+func testCorpus() *graph.Corpus {
+	return datagen.ChemicalCorpus(3, 80, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 18})
+}
+
+// bruteSearch scans every graph with VF2.
+func bruteSearch(c *graph.Corpus, q *graph.Graph, opts isomorph.Options) []string {
+	var out []string
+	c.Each(func(_ int, g *graph.Graph) {
+		if isomorph.Exists(q, g, opts) {
+			out = append(out, g.Name())
+		}
+	})
+	return out
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	c := testCorpus()
+	idx := Build(c)
+	rng := rand.New(rand.NewSource(5))
+	opts := pattern.MatchOptions()
+	for trial := 0; trial < 30; trial++ {
+		src := c.Graph(rng.Intn(c.Len()))
+		q := datagen.RandomConnectedSubgraph(rng, src, 3+rng.Intn(5))
+		if q == nil {
+			continue
+		}
+		got := idx.Search(q, opts)
+		want := bruteSearch(c, q, opts)
+		sort.Strings(got.Matches)
+		sort.Strings(want)
+		if !reflect.DeepEqual(got.Matches, want) {
+			t.Fatalf("trial %d: index %v vs brute %v\nquery:\n%s", trial, got.Matches, want, q.Dump())
+		}
+		if got.Candidates > got.Scanned {
+			t.Fatal("more candidates than corpus graphs")
+		}
+	}
+}
+
+func TestCandidatesAreSuperset(t *testing.T) {
+	c := testCorpus()
+	idx := Build(c)
+	rng := rand.New(rand.NewSource(9))
+	opts := pattern.MatchOptions()
+	for trial := 0; trial < 20; trial++ {
+		src := c.Graph(rng.Intn(c.Len()))
+		q := datagen.RandomConnectedSubgraph(rng, src, 4)
+		if q == nil {
+			continue
+		}
+		candSet := map[int]bool{}
+		for _, gi := range idx.Candidates(q) {
+			candSet[gi] = true
+		}
+		c.Each(func(gi int, g *graph.Graph) {
+			if isomorph.Exists(q, g, opts) && !candSet[gi] {
+				t.Fatalf("false dismissal: %s matches but filtered out", g.Name())
+			}
+		})
+	}
+}
+
+func TestFilteringIsEffective(t *testing.T) {
+	c := testCorpus()
+	idx := Build(c)
+	// A query with a rare label (Br) should prune most of the corpus.
+	q := graph.New("q")
+	q.AddNode("Br")
+	q.AddNode("C")
+	q.MustAddEdge(0, 1, "s")
+	ratio := idx.FilterRatio(q)
+	if ratio < 0.3 {
+		t.Fatalf("rare-label filter ratio = %v, expected substantial pruning", ratio)
+	}
+	// A wildcard-only query prunes nothing beyond size bounds.
+	wq := graph.New("w")
+	wq.AddNode(isomorph.Wildcard)
+	wq.AddNode(isomorph.Wildcard)
+	wq.MustAddEdge(0, 1, isomorph.Wildcard)
+	if idx.FilterRatio(wq) > 0.1 {
+		t.Fatalf("wildcard query over-pruned: %v", idx.FilterRatio(wq))
+	}
+}
+
+func TestAbsentLabelShortCircuits(t *testing.T) {
+	c := testCorpus()
+	idx := Build(c)
+	q := graph.New("q")
+	q.AddNode("Xe") // not in the generator's alphabet
+	q.AddNode("C")
+	q.MustAddEdge(0, 1, "s")
+	if cands := idx.Candidates(q); len(cands) != 0 {
+		t.Fatalf("absent label produced %d candidates", len(cands))
+	}
+	res := idx.Search(q, pattern.MatchOptions())
+	if len(res.Matches) != 0 || res.Candidates != 0 {
+		t.Fatalf("search = %+v", res)
+	}
+}
+
+func TestEmptyQueryAndCorpus(t *testing.T) {
+	idx := Build(testCorpus())
+	res := idx.Search(graph.New("empty"), pattern.MatchOptions())
+	if len(res.Matches) != 0 {
+		t.Fatal("empty query must match nothing")
+	}
+	emptyIdx := Build(graph.NewCorpus())
+	if emptyIdx.FilterRatio(graph.New("q")) != 0 {
+		t.Fatal("empty corpus ratio")
+	}
+}
+
+func BenchmarkIndexedVsScan(b *testing.B) {
+	c := datagen.ChemicalCorpus(1, 400, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 18})
+	idx := Build(c)
+	rng := rand.New(rand.NewSource(1))
+	q := datagen.RandomConnectedSubgraph(rng, c.Graph(0), 5)
+	opts := pattern.MatchOptions()
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx.Search(q, opts)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bruteSearch(c, q, opts)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteDOT writes g in Graphviz DOT format, for eyeballing patterns,
+// cluster summary graphs, and summaries with standard tooling
+// (`dot -Tsvg`). Labels are quoted and escaped.
+func WriteDOT(w io.Writer, g *graph.Graph) error {
+	return WriteDOTHighlighted(w, g, nil, nil)
+}
+
+// WriteDOTHighlighted is WriteDOT with optional emphasis: the given nodes
+// and edges (e.g. a query match from package results) are drawn bold and
+// colored. Either slice may be nil.
+func WriteDOTHighlighted(w io.Writer, g *graph.Graph, hiNodes []graph.NodeID, hiEdges []graph.EdgeID) error {
+	bw := bufio.NewWriter(w)
+	hn := make(map[graph.NodeID]bool, len(hiNodes))
+	for _, n := range hiNodes {
+		hn[n] = true
+	}
+	he := make(map[graph.EdgeID]bool, len(hiEdges))
+	for _, e := range hiEdges {
+		he[e] = true
+	}
+	fmt.Fprintf(bw, "graph %s {\n", dotID(g.Name()))
+	fmt.Fprintln(bw, "  node [shape=circle fontsize=10];")
+	for v := 0; v < g.NumNodes(); v++ {
+		attrs := fmt.Sprintf("label=%s", dotID(g.NodeLabel(v)))
+		if hn[v] {
+			attrs += " style=bold color=crimson"
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", v, attrs)
+	}
+	for id, e := range g.Edges() {
+		attrs := ""
+		if e.Label != "" {
+			attrs = fmt.Sprintf(" [label=%s", dotID(e.Label))
+			if he[id] {
+				attrs += " style=bold color=crimson"
+			}
+			attrs += "]"
+		} else if he[id] {
+			attrs = " [style=bold color=crimson]"
+		}
+		fmt.Fprintf(bw, "  n%d -- n%d%s;\n", e.U, e.V, attrs)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// dotID quotes a string as a DOT identifier.
+func dotID(s string) string {
+	if s == "" {
+		return `"?"`
+	}
+	return `"` + strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s) + `"`
+}

@@ -1,0 +1,52 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := graph.New("mol")
+	g.AddNode("C")
+	g.AddNode(`N"quote`)
+	g.MustAddEdge(0, 1, "single")
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "mol" {`, `n0 [label="C"]`, `n0 -- n1 [label="single"]`, `\"quote`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTHighlighted(t *testing.T) {
+	g := graph.New("g")
+	g.AddNodes(3, "A")
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(1, 2, "-")
+	var buf bytes.Buffer
+	if err := WriteDOTHighlighted(&buf, g, []graph.NodeID{0, 1}, []graph.EdgeID{0}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "crimson") != 3 { // 2 nodes + 1 edge
+		t.Fatalf("highlight count wrong:\n%s", out)
+	}
+	// Unlabeled edges with no highlight get no attribute list.
+	g2 := graph.New("g2")
+	g2.AddNodes(2, "A")
+	g2.MustAddEdge(0, 1, "")
+	buf.Reset()
+	if err := WriteDOT(&buf, g2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "n0 -- n1;") {
+		t.Fatalf("bare edge rendering wrong:\n%s", buf.String())
+	}
+}

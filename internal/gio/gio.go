@@ -1,0 +1,283 @@
+// Package gio implements graph serialization for the repository.
+//
+// Two encodings are supported:
+//
+//   - The ".lg" line-oriented text format, the de-facto standard for graph
+//     corpora in the subgraph-mining literature (AIDS, PubChem exports):
+//
+//     t # <name>
+//     v <id> <label>
+//     e <u> <v> <label>
+//
+//     A file may contain any number of graphs; node IDs restart at 0 for
+//     every graph and must be dense.
+//
+//   - JSON, used by the VQI specs served to the front end and by the
+//     experiment harness.
+//
+// Both encodings round-trip exactly for simple labeled graphs.
+package gio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteLG writes the graphs of a corpus to w in .lg format, in corpus order.
+func WriteLG(w io.Writer, c *graph.Corpus) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	c.Each(func(_ int, g *graph.Graph) {
+		if err != nil {
+			return
+		}
+		err = writeOneLG(bw, g)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteGraphLG writes a single graph to w in .lg format.
+func WriteGraphLG(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if err := writeOneLG(bw, g); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeOneLG(w *bufio.Writer, g *graph.Graph) error {
+	if _, err := fmt.Fprintf(w, "t # %s\n", g.Name()); err != nil {
+		return err
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if _, err := fmt.Fprintf(w, "v %d %s\n", i, g.NodeLabel(i)); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if _, err := fmt.Fprintf(w, "e %d %d %s\n", u, v, e.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLG parses a corpus from r in .lg format. Blank lines and lines
+// starting with "//" are ignored. Labels may not contain whitespace.
+func ReadLG(r io.Reader) (*graph.Corpus, error) {
+	c := graph.NewCorpus()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var cur *graph.Graph
+	lineNo := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := c.Add(cur); err != nil {
+			return err
+		}
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "t":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			name := ""
+			if len(fields) >= 3 && fields[1] == "#" {
+				name = strings.Join(fields[2:], " ")
+			} else if len(fields) >= 2 {
+				name = strings.Join(fields[1:], " ")
+			}
+			if name == "" {
+				name = fmt.Sprintf("graph%d", c.Len())
+			}
+			cur = graph.New(name)
+		case "v":
+			if cur == nil {
+				return nil, fmt.Errorf("gio: line %d: vertex before graph header", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("gio: line %d: malformed vertex line %q", lineNo, line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("gio: line %d: bad vertex id: %v", lineNo, err)
+			}
+			if id != cur.NumNodes() {
+				return nil, fmt.Errorf("gio: line %d: vertex id %d not dense (expected %d)", lineNo, id, cur.NumNodes())
+			}
+			cur.AddNode(fields[2])
+		case "e":
+			if cur == nil {
+				return nil, fmt.Errorf("gio: line %d: edge before graph header", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("gio: line %d: malformed edge line %q", lineNo, line)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("gio: line %d: bad edge endpoint: %v", lineNo, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("gio: line %d: bad edge endpoint: %v", lineNo, err)
+			}
+			if _, err := cur.AddEdge(u, v, fields[3]); err != nil {
+				return nil, fmt.Errorf("gio: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("gio: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ReadGraphLG parses exactly one graph from r; it is an error if r contains
+// zero or more than one graph.
+func ReadGraphLG(r io.Reader) (*graph.Graph, error) {
+	c, err := ReadLG(r)
+	if err != nil {
+		return nil, err
+	}
+	if c.Len() != 1 {
+		return nil, fmt.Errorf("gio: expected exactly 1 graph, found %d", c.Len())
+	}
+	return c.Graph(0), nil
+}
+
+// LoadCorpus reads a .lg corpus from the named file.
+func LoadCorpus(path string) (*graph.Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadLG(f)
+}
+
+// SaveCorpus writes a corpus to the named file in .lg format.
+func SaveCorpus(path string, c *graph.Corpus) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteLG(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// jsonGraph is the JSON wire form of a graph.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []string   `json:"nodes"` // index = node id, value = label
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonEdge struct {
+	U     int    `json:"u"`
+	V     int    `json:"v"`
+	Label string `json:"label"`
+}
+
+// MarshalGraphJSON encodes g as JSON.
+func MarshalGraphJSON(g *graph.Graph) ([]byte, error) {
+	return json.Marshal(toJSONGraph(g))
+}
+
+func toJSONGraph(g *graph.Graph) jsonGraph {
+	jg := jsonGraph{Name: g.Name(), Nodes: make([]string, g.NumNodes())}
+	for i := 0; i < g.NumNodes(); i++ {
+		jg.Nodes[i] = g.NodeLabel(i)
+	}
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		jg.Edges = append(jg.Edges, jsonEdge{U: u, V: v, Label: e.Label})
+	}
+	return jg
+}
+
+// UnmarshalGraphJSON decodes a graph from JSON produced by
+// MarshalGraphJSON.
+func UnmarshalGraphJSON(data []byte) (*graph.Graph, error) {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return nil, err
+	}
+	return fromJSONGraph(jg)
+}
+
+func fromJSONGraph(jg jsonGraph) (*graph.Graph, error) {
+	g := graph.New(jg.Name)
+	for _, label := range jg.Nodes {
+		g.AddNode(label)
+	}
+	for _, e := range jg.Edges {
+		if _, err := g.AddEdge(e.U, e.V, e.Label); err != nil {
+			return nil, fmt.Errorf("gio: json graph %q: %v", jg.Name, err)
+		}
+	}
+	return g, nil
+}
+
+// MarshalCorpusJSON encodes a whole corpus as a JSON array of graphs.
+func MarshalCorpusJSON(c *graph.Corpus) ([]byte, error) {
+	arr := make([]jsonGraph, 0, c.Len())
+	c.Each(func(_ int, g *graph.Graph) {
+		arr = append(arr, toJSONGraph(g))
+	})
+	return json.Marshal(arr)
+}
+
+// UnmarshalCorpusJSON decodes a corpus from a JSON array of graphs.
+func UnmarshalCorpusJSON(data []byte) (*graph.Corpus, error) {
+	var arr []jsonGraph
+	if err := json.Unmarshal(data, &arr); err != nil {
+		return nil, err
+	}
+	c := graph.NewCorpus()
+	for _, jg := range arr {
+		g, err := fromJSONGraph(jg)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Add(g); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

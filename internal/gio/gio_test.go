@@ -1,0 +1,216 @@
+package gio
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func sampleCorpus() *graph.Corpus {
+	c := graph.NewCorpus()
+	g1 := graph.New("mol1")
+	g1.AddNode("C")
+	g1.AddNode("N")
+	g1.AddNode("O")
+	g1.MustAddEdge(0, 1, "single")
+	g1.MustAddEdge(1, 2, "double")
+	c.MustAdd(g1)
+	g2 := graph.New("mol2")
+	g2.AddNode("C")
+	c.MustAdd(g2)
+	return c
+}
+
+func TestLGRoundTrip(t *testing.T) {
+	c := sampleCorpus()
+	var buf bytes.Buffer
+	if err := WriteLG(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip lost graphs: %d", back.Len())
+	}
+	for _, name := range c.Names() {
+		a, _ := c.ByName(name)
+		b, ok := back.ByName(name)
+		if !ok {
+			t.Fatalf("graph %q missing after round trip", name)
+		}
+		if a.Dump() != b.Dump() {
+			t.Fatalf("graph %q changed:\n%s\nvs\n%s", name, a.Dump(), b.Dump())
+		}
+	}
+}
+
+func TestLGRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := graph.NewCorpus()
+	labels := []string{"C", "N", "O", "S"}
+	for gi := 0; gi < 40; gi++ {
+		g := graph.New(strings.Repeat("g", 1) + "-" + string(rune('a'+gi%26)) + string(rune('0'+gi/26)))
+		n := 1 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[rng.Intn(len(labels))])
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					g.MustAddEdge(i, j, "b")
+				}
+			}
+		}
+		c.MustAdd(g)
+	}
+	var buf bytes.Buffer
+	if err := WriteLG(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("len %d vs %d", back.Len(), c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		if c.Graph(i).Dump() != back.Graph(i).Dump() {
+			t.Fatalf("graph %d changed", i)
+		}
+	}
+}
+
+func TestReadLGTolerance(t *testing.T) {
+	in := `
+// a comment
+t # first
+
+v 0 C
+v 1 N
+e 0 1 -
+t second
+v 0 O
+`
+	c, err := ReadLG(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	g, _ := c.ByName("first")
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("first = %s", g)
+	}
+	if _, ok := c.ByName("second"); !ok {
+		t.Fatal("bare 't name' header not accepted")
+	}
+}
+
+func TestReadLGErrors(t *testing.T) {
+	cases := map[string]string{
+		"vertex-before-header": "v 0 C\n",
+		"edge-before-header":   "e 0 1 -\n",
+		"sparse-ids":           "t # a\nv 1 C\n",
+		"bad-vertex":           "t # a\nv x C\n",
+		"short-vertex":         "t # a\nv 0\n",
+		"bad-edge":             "t # a\nv 0 C\nv 1 C\ne 0 x -\n",
+		"short-edge":           "t # a\nv 0 C\nv 1 C\ne 0 1\n",
+		"self-loop":            "t # a\nv 0 C\ne 0 0 -\n",
+		"dup-edge":             "t # a\nv 0 C\nv 1 C\ne 0 1 -\ne 1 0 -\n",
+		"unknown-record":       "t # a\nz 1 2\n",
+		"dup-name":             "t # a\nv 0 C\nt # a\nv 0 C\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadLG(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadLG accepted invalid input", name)
+		}
+	}
+}
+
+func TestReadGraphLG(t *testing.T) {
+	g, err := ReadGraphLG(strings.NewReader("t # x\nv 0 C\n"))
+	if err != nil || g.Name() != "x" {
+		t.Fatalf("ReadGraphLG = %v, %v", g, err)
+	}
+	if _, err := ReadGraphLG(strings.NewReader("")); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	if _, err := ReadGraphLG(strings.NewReader("t # a\nv 0 C\nt # b\nv 0 C\n")); err == nil {
+		t.Fatal("two graphs must fail")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.lg")
+	c := sampleCorpus()
+	if err := SaveCorpus(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("Len = %d", back.Len())
+	}
+	if _, err := LoadCorpus(filepath.Join(dir, "missing.lg")); err == nil {
+		t.Fatal("loading missing file must fail")
+	}
+}
+
+func TestJSONGraphRoundTrip(t *testing.T) {
+	g := sampleCorpus().Graph(0)
+	data, err := MarshalGraphJSON(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalGraphJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dump() != back.Dump() {
+		t.Fatalf("JSON round trip changed graph:\n%s\nvs\n%s", g.Dump(), back.Dump())
+	}
+}
+
+func TestJSONCorpusRoundTrip(t *testing.T) {
+	c := sampleCorpus()
+	data, err := MarshalCorpusJSON(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCorpusJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("Len = %d", back.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		if c.Graph(i).Dump() != back.Graph(i).Dump() {
+			t.Fatalf("graph %d changed", i)
+		}
+	}
+}
+
+func TestJSONInvalid(t *testing.T) {
+	if _, err := UnmarshalGraphJSON([]byte(`{`)); err == nil {
+		t.Fatal("syntactically invalid JSON must fail")
+	}
+	// Structurally invalid: edge endpoint out of range.
+	if _, err := UnmarshalGraphJSON([]byte(`{"name":"x","nodes":["C"],"edges":[{"u":0,"v":5,"label":"-"}]}`)); err == nil {
+		t.Fatal("out-of-range edge must fail")
+	}
+	if _, err := UnmarshalCorpusJSON([]byte(`[{"name":"a","nodes":["C"],"edges":[]},{"name":"a","nodes":["C"],"edges":[]}]`)); err == nil {
+		t.Fatal("duplicate names must fail")
+	}
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Corpus is an ordered collection of data graphs — the "large collection of
+// small- or medium-sized data graphs" (chemical compounds, protein
+// structures) that CATAPULT and MIDAS operate over. Graphs are addressable
+// both by position and by name; names must be unique within a corpus.
+type Corpus struct {
+	graphs []*Graph
+	byName map[string]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{byName: make(map[string]int)}
+}
+
+// Len returns the number of graphs in the corpus.
+func (c *Corpus) Len() int { return len(c.graphs) }
+
+// Add appends g to the corpus. It returns an error if a graph with the same
+// name is already present or if g is nil.
+func (c *Corpus) Add(g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("corpus: Add: nil graph")
+	}
+	if _, dup := c.byName[g.Name()]; dup {
+		return fmt.Errorf("corpus: Add: duplicate graph name %q", g.Name())
+	}
+	c.byName[g.Name()] = len(c.graphs)
+	c.graphs = append(c.graphs, g)
+	return nil
+}
+
+// MustAdd is Add but panics on error; for fixtures and generators.
+func (c *Corpus) MustAdd(g *Graph) {
+	if err := c.Add(g); err != nil {
+		panic(err)
+	}
+}
+
+// Graph returns the graph at position i.
+func (c *Corpus) Graph(i int) *Graph { return c.graphs[i] }
+
+// ByName returns the graph with the given name, if present.
+func (c *Corpus) ByName(name string) (*Graph, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return c.graphs[i], true
+}
+
+// Remove deletes the graph with the given name, preserving the relative
+// order of the remaining graphs. It reports whether a graph was removed.
+func (c *Corpus) Remove(name string) bool {
+	i, ok := c.byName[name]
+	if !ok {
+		return false
+	}
+	c.graphs = append(c.graphs[:i], c.graphs[i+1:]...)
+	delete(c.byName, name)
+	for j := i; j < len(c.graphs); j++ {
+		c.byName[c.graphs[j].Name()] = j
+	}
+	return true
+}
+
+// Names returns the graph names in corpus order.
+func (c *Corpus) Names() []string {
+	out := make([]string, len(c.graphs))
+	for i, g := range c.graphs {
+		out[i] = g.Name()
+	}
+	return out
+}
+
+// Clone returns a deep copy of the corpus.
+func (c *Corpus) Clone() *Corpus {
+	out := NewCorpus()
+	for _, g := range c.graphs {
+		out.MustAdd(g.Clone())
+	}
+	return out
+}
+
+// Each calls fn for every graph in corpus order.
+func (c *Corpus) Each(fn func(i int, g *Graph)) {
+	for i, g := range c.graphs {
+		fn(i, g)
+	}
+}
+
+// CorpusStats summarizes a corpus; it backs the data-driven population of a
+// VQI's Attribute Panel and the reporting in the experiment harness.
+type CorpusStats struct {
+	Graphs     int
+	TotalNodes int
+	TotalEdges int
+	MinNodes   int
+	MaxNodes   int
+	MeanNodes  float64
+	MeanEdges  float64
+	NodeLabels map[string]int // label -> number of occurrences corpus-wide
+	EdgeLabels map[string]int
+}
+
+// Stats computes summary statistics over the corpus.
+func (c *Corpus) Stats() CorpusStats {
+	s := CorpusStats{
+		Graphs:     len(c.graphs),
+		NodeLabels: make(map[string]int),
+		EdgeLabels: make(map[string]int),
+	}
+	if len(c.graphs) == 0 {
+		return s
+	}
+	s.MinNodes = c.graphs[0].NumNodes()
+	for _, g := range c.graphs {
+		n, m := g.NumNodes(), g.NumEdges()
+		s.TotalNodes += n
+		s.TotalEdges += m
+		if n < s.MinNodes {
+			s.MinNodes = n
+		}
+		if n > s.MaxNodes {
+			s.MaxNodes = n
+		}
+		for l, k := range g.NodeLabels() {
+			s.NodeLabels[l] += k
+		}
+		for l, k := range g.EdgeLabels() {
+			s.EdgeLabels[l] += k
+		}
+	}
+	s.MeanNodes = float64(s.TotalNodes) / float64(len(c.graphs))
+	s.MeanEdges = float64(s.TotalEdges) / float64(len(c.graphs))
+	return s
+}
+
+// SortedNodeLabels returns the corpus's node labels sorted by descending
+// frequency, ties broken alphabetically. This ordering is exactly what a
+// data-driven Attribute Panel displays.
+func (s CorpusStats) SortedNodeLabels() []string {
+	return sortLabelsByFreq(s.NodeLabels)
+}
+
+// SortedEdgeLabels is SortedNodeLabels for edge labels.
+func (s CorpusStats) SortedEdgeLabels() []string {
+	return sortLabelsByFreq(s.EdgeLabels)
+}
+
+func sortLabelsByFreq(m map[string]int) []string {
+	labels := make([]string, 0, len(m))
+	for l := range m {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if m[labels[i]] != m[labels[j]] {
+			return m[labels[i]] > m[labels[j]]
+		}
+		return labels[i] < labels[j]
+	})
+	return labels
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func makeCorpus(t *testing.T, n int) *Corpus {
+	t.Helper()
+	c := NewCorpus()
+	for i := 0; i < n; i++ {
+		g := New(fmt.Sprintf("g%d", i))
+		g.AddNode("C")
+		g.AddNode("N")
+		g.MustAddEdge(0, 1, "-")
+		c.MustAdd(g)
+	}
+	return c
+}
+
+func TestCorpusAddAndLookup(t *testing.T) {
+	c := makeCorpus(t, 3)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	g, ok := c.ByName("g1")
+	if !ok || g.Name() != "g1" {
+		t.Fatalf("ByName(g1) = %v, %v", g, ok)
+	}
+	if _, ok := c.ByName("missing"); ok {
+		t.Fatal("ByName(missing) must fail")
+	}
+	if c.Graph(2).Name() != "g2" {
+		t.Fatal("positional access broken")
+	}
+}
+
+func TestCorpusDuplicateAndNil(t *testing.T) {
+	c := makeCorpus(t, 1)
+	dup := New("g0")
+	if err := c.Add(dup); err == nil {
+		t.Fatal("duplicate Add must fail")
+	}
+	if err := c.Add(nil); err == nil {
+		t.Fatal("nil Add must fail")
+	}
+}
+
+func TestCorpusRemoveReindexes(t *testing.T) {
+	c := makeCorpus(t, 4)
+	if !c.Remove("g1") {
+		t.Fatal("Remove(g1) failed")
+	}
+	if c.Remove("g1") {
+		t.Fatal("second Remove(g1) must report false")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after removal", c.Len())
+	}
+	// Remaining graphs keep order and lookups stay consistent.
+	if !reflect.DeepEqual(c.Names(), []string{"g0", "g2", "g3"}) {
+		t.Fatalf("Names = %v", c.Names())
+	}
+	for _, name := range c.Names() {
+		g, ok := c.ByName(name)
+		if !ok || g.Name() != name {
+			t.Fatalf("lookup of %q broken after removal", name)
+		}
+	}
+}
+
+func TestCorpusCloneIsDeep(t *testing.T) {
+	c := makeCorpus(t, 2)
+	cl := c.Clone()
+	g, _ := cl.ByName("g0")
+	g.SetNodeLabel(0, "X")
+	orig, _ := c.ByName("g0")
+	if orig.NodeLabel(0) != "C" {
+		t.Fatal("Clone shares graph storage")
+	}
+}
+
+func TestCorpusStats(t *testing.T) {
+	c := NewCorpus()
+	g1 := New("a")
+	g1.AddNode("C")
+	g1.AddNode("C")
+	g1.MustAddEdge(0, 1, "single")
+	c.MustAdd(g1)
+	g2 := New("b")
+	g2.AddNode("N")
+	g2.AddNode("O")
+	g2.AddNode("C")
+	g2.MustAddEdge(0, 1, "double")
+	g2.MustAddEdge(1, 2, "single")
+	c.MustAdd(g2)
+
+	s := c.Stats()
+	if s.Graphs != 2 || s.TotalNodes != 5 || s.TotalEdges != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MinNodes != 2 || s.MaxNodes != 3 {
+		t.Fatalf("min/max = %d/%d", s.MinNodes, s.MaxNodes)
+	}
+	if s.MeanNodes != 2.5 || s.MeanEdges != 1.5 {
+		t.Fatalf("means = %v/%v", s.MeanNodes, s.MeanEdges)
+	}
+	if s.NodeLabels["C"] != 3 {
+		t.Fatalf("node label counts = %v", s.NodeLabels)
+	}
+	// C(3) first, then N and O alphabetical (1 each).
+	if got := s.SortedNodeLabels(); !reflect.DeepEqual(got, []string{"C", "N", "O"}) {
+		t.Fatalf("SortedNodeLabels = %v", got)
+	}
+	if got := s.SortedEdgeLabels(); !reflect.DeepEqual(got, []string{"single", "double"}) {
+		t.Fatalf("SortedEdgeLabels = %v", got)
+	}
+}
+
+func TestCorpusStatsEmpty(t *testing.T) {
+	s := NewCorpus().Stats()
+	if s.Graphs != 0 || s.MeanNodes != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestCorpusEachOrder(t *testing.T) {
+	c := makeCorpus(t, 3)
+	var names []string
+	c.Each(func(i int, g *Graph) {
+		names = append(names, fmt.Sprintf("%d:%s", i, g.Name()))
+	})
+	if !reflect.DeepEqual(names, []string{"0:g0", "1:g1", "2:g2"}) {
+		t.Fatalf("Each order = %v", names)
+	}
+}

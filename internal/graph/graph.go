@@ -1,0 +1,295 @@
+// Package graph provides the labeled undirected graph type that underpins
+// every subsystem in this repository: graph corpora of small data graphs
+// (chemical compounds, protein structures), single large networks (social,
+// coauthorship), visual query patterns, and query graphs drawn on a VQI.
+//
+// Graphs are simple (no self-loops, no parallel edges), undirected, and
+// carry string labels on both nodes and edges. Node identifiers are dense
+// integer indices assigned in insertion order, which keeps adjacency
+// representations compact and makes the type cheap enough to use for
+// 200k-node networks as well as 10-node patterns.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within a single Graph. IDs are dense indices in
+// [0, NumNodes()).
+type NodeID = int
+
+// EdgeID identifies an edge within a single Graph. IDs are dense indices in
+// [0, NumEdges()).
+type EdgeID = int
+
+// Node is a labeled vertex.
+type Node struct {
+	Label string
+}
+
+// Edge is an undirected labeled edge between nodes U and V (U < V is not
+// required; the pair is unordered).
+type Edge struct {
+	U, V  NodeID
+	Label string
+}
+
+// Other returns the endpoint of e that is not n. It panics if n is not an
+// endpoint of e.
+func (e Edge) Other(n NodeID) NodeID {
+	switch n {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", n, e))
+}
+
+type adjEntry struct {
+	to   NodeID
+	edge EdgeID
+}
+
+// Graph is a simple undirected labeled graph.
+//
+// The zero value is an empty graph ready for use. Graph is not safe for
+// concurrent mutation; concurrent reads are safe.
+type Graph struct {
+	name  string
+	nodes []Node
+	edges []Edge
+	adj   [][]adjEntry
+}
+
+// New returns an empty graph with the given name. The name is carried
+// through I/O and is used by corpora to identify member graphs.
+func New(name string) *Graph {
+	return &Graph{name: name}
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// SetName sets the graph's name.
+func (g *Graph) SetName(name string) { g.name = name }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode appends a node with the given label and returns its ID.
+func (g *Graph) AddNode(label string) NodeID {
+	g.nodes = append(g.nodes, Node{Label: label})
+	g.adj = append(g.adj, nil)
+	return len(g.nodes) - 1
+}
+
+// AddNodes appends n nodes all carrying the same label and returns the ID of
+// the first. The IDs are contiguous.
+func (g *Graph) AddNodes(n int, label string) NodeID {
+	first := len(g.nodes)
+	for i := 0; i < n; i++ {
+		g.AddNode(label)
+	}
+	return first
+}
+
+// AddEdge inserts an undirected edge between u and v with the given label
+// and returns its ID. It returns an error if either endpoint is out of
+// range, if u == v (self-loop), or if the edge already exists.
+func (g *Graph) AddEdge(u, v NodeID, label string) (EdgeID, error) {
+	if u < 0 || u >= len(g.nodes) {
+		return -1, fmt.Errorf("graph %q: AddEdge: node %d out of range [0,%d)", g.name, u, len(g.nodes))
+	}
+	if v < 0 || v >= len(g.nodes) {
+		return -1, fmt.Errorf("graph %q: AddEdge: node %d out of range [0,%d)", g.name, v, len(g.nodes))
+	}
+	if u == v {
+		return -1, fmt.Errorf("graph %q: AddEdge: self-loop on node %d not allowed", g.name, u)
+	}
+	if g.HasEdge(u, v) {
+		return -1, fmt.Errorf("graph %q: AddEdge: edge (%d,%d) already exists", g.name, u, v)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Label: label})
+	g.adj[u] = append(g.adj[u], adjEntry{to: v, edge: id})
+	g.adj[v] = append(g.adj[v], adjEntry{to: u, edge: id})
+	return id, nil
+}
+
+// MustAddEdge is AddEdge but panics on error. It is intended for
+// construction of fixed test fixtures and generated graphs whose validity is
+// guaranteed by construction.
+func (g *Graph) MustAddEdge(u, v NodeID, label string) EdgeID {
+	id, err := g.AddEdge(u, v, label)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// HasEdge reports whether an edge between u and v exists. Out-of-range
+// arguments report false.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.EdgeBetween(u, v)
+	return ok
+}
+
+// EdgeBetween returns the ID of the edge between u and v, if any. It scans
+// the shorter of the two adjacency lists.
+func (g *Graph) EdgeBetween(u, v NodeID) (EdgeID, bool) {
+	if u < 0 || u >= len(g.nodes) || v < 0 || v >= len(g.nodes) {
+		return -1, false
+	}
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, ent := range g.adj[a] {
+		if ent.to == b {
+			return ent.edge, true
+		}
+	}
+	return -1, false
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// NodeLabel returns the label of node id.
+func (g *Graph) NodeLabel(id NodeID) string { return g.nodes[id].Label }
+
+// EdgeLabel returns the label of edge id.
+func (g *Graph) EdgeLabel(id EdgeID) string { return g.edges[id].Label }
+
+// SetNodeLabel replaces the label of node id.
+func (g *Graph) SetNodeLabel(id NodeID, label string) { g.nodes[id].Label = label }
+
+// SetEdgeLabel replaces the label of edge id.
+func (g *Graph) SetEdgeLabel(id EdgeID, label string) { g.edges[id].Label = label }
+
+// Degree returns the degree of node id.
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+
+// Neighbors appends the neighbors of node id to dst and returns the
+// extended slice. Passing a nil dst allocates. The order matches edge
+// insertion order.
+func (g *Graph) Neighbors(id NodeID, dst []NodeID) []NodeID {
+	for _, ent := range g.adj[id] {
+		dst = append(dst, ent.to)
+	}
+	return dst
+}
+
+// IncidentEdges appends the IDs of edges incident to node id to dst and
+// returns the extended slice.
+func (g *Graph) IncidentEdges(id NodeID, dst []EdgeID) []EdgeID {
+	for _, ent := range g.adj[id] {
+		dst = append(dst, ent.edge)
+	}
+	return dst
+}
+
+// VisitNeighbors calls fn for every neighbor of id with the neighbor ID and
+// the connecting edge ID. Iteration stops early if fn returns false.
+func (g *Graph) VisitNeighbors(id NodeID, fn func(nbr NodeID, e EdgeID) bool) {
+	for _, ent := range g.adj[id] {
+		if !fn(ent.to, ent.edge) {
+			return
+		}
+	}
+}
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		name:  g.name,
+		nodes: make([]Node, len(g.nodes)),
+		edges: make([]Edge, len(g.edges)),
+		adj:   make([][]adjEntry, len(g.adj)),
+	}
+	copy(c.nodes, g.nodes)
+	copy(c.edges, g.edges)
+	for i, a := range g.adj {
+		c.adj[i] = append([]adjEntry(nil), a...)
+	}
+	return c
+}
+
+// NodeLabels returns the multiset of node labels as a frequency map.
+func (g *Graph) NodeLabels() map[string]int {
+	m := make(map[string]int)
+	for _, n := range g.nodes {
+		m[n.Label]++
+	}
+	return m
+}
+
+// EdgeLabels returns the multiset of edge labels as a frequency map.
+func (g *Graph) EdgeLabels() map[string]int {
+	m := make(map[string]int)
+	for _, e := range g.edges {
+		m[e.Label]++
+	}
+	return m
+}
+
+// DegreeSequence returns the sorted (descending) degree sequence.
+func (g *Graph) DegreeSequence() []int {
+	ds := make([]int, len(g.nodes))
+	for i := range g.nodes {
+		ds[i] = len(g.adj[i])
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	return ds
+}
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for i := range g.adj {
+		if d := len(g.adj[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String returns a compact human-readable description, e.g.
+// "g12(n=6,m=7)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s(n=%d,m=%d)", g.name, len(g.nodes), len(g.edges))
+}
+
+// Dump returns a full multi-line listing of nodes and edges, intended for
+// debugging and golden tests.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s nodes=%d edges=%d\n", g.name, len(g.nodes), len(g.edges))
+	for i, n := range g.nodes {
+		fmt.Fprintf(&b, "v %d %s\n", i, n.Label)
+	}
+	for _, e := range g.edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		fmt.Fprintf(&b, "e %d %d %s\n", u, v, e.Label)
+	}
+	return b.String()
+}

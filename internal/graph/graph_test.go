@@ -1,0 +1,398 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// triangleWithTail builds the 4-node fixture
+//
+//	0 - 1
+//	|  /
+//	2 - 3
+func triangleWithTail(t *testing.T) *Graph {
+	t.Helper()
+	g := New("fixture")
+	for i := 0; i < 4; i++ {
+		g.AddNode("C")
+	}
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(1, 2, "-")
+	g.MustAddEdge(0, 2, "-")
+	g.MustAddEdge(2, 3, "-")
+	return g
+}
+
+func TestAddNodeAndEdge(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("C")
+	b := g.AddNode("N")
+	if a != 0 || b != 1 {
+		t.Fatalf("node ids = %d,%d, want 0,1", a, b)
+	}
+	id, err := g.AddEdge(a, b, "single")
+	if err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if id != 0 {
+		t.Fatalf("edge id = %d, want 0", id)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("counts = (%d,%d), want (2,1)", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(a, b) || !g.HasEdge(b, a) {
+		t.Fatal("HasEdge must be symmetric")
+	}
+	if g.NodeLabel(a) != "C" || g.EdgeLabel(id) != "single" {
+		t.Fatal("labels not stored")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("C")
+	b := g.AddNode("C")
+	g.MustAddEdge(a, b, "-")
+	cases := []struct {
+		name string
+		u, v NodeID
+	}{
+		{"self-loop", a, a},
+		{"duplicate", a, b},
+		{"duplicate-reversed", b, a},
+		{"u-out-of-range", -1, b},
+		{"v-out-of-range", a, 99},
+	}
+	for _, tc := range cases {
+		if _, err := g.AddEdge(tc.u, tc.v, "-"); err == nil {
+			t.Errorf("%s: AddEdge(%d,%d) succeeded, want error", tc.name, tc.u, tc.v)
+		}
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("failed AddEdge mutated the graph: m=%d", g.NumEdges())
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{U: 3, V: 7}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Fatal("Other returned wrong endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint must panic")
+		}
+	}()
+	e.Other(5)
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	g := triangleWithTail(t)
+	if got := g.Degree(2); got != 3 {
+		t.Fatalf("Degree(2) = %d, want 3", got)
+	}
+	nbrs := g.Neighbors(2, nil)
+	sort.Ints(nbrs)
+	if !reflect.DeepEqual(nbrs, []NodeID{0, 1, 3}) {
+		t.Fatalf("Neighbors(2) = %v", nbrs)
+	}
+	edges := g.IncidentEdges(2, nil)
+	if len(edges) != 3 {
+		t.Fatalf("IncidentEdges(2) = %v", edges)
+	}
+}
+
+func TestVisitNeighborsEarlyStop(t *testing.T) {
+	g := triangleWithTail(t)
+	count := 0
+	g.VisitNeighbors(2, func(NodeID, EdgeID) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d, want 2", count)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := triangleWithTail(t)
+	c := g.Clone()
+	c.SetNodeLabel(0, "X")
+	c.AddNode("Y")
+	if g.NodeLabel(0) != "C" || g.NumNodes() != 4 {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.Dump() == g.Dump() {
+		t.Fatal("clone should differ after mutation")
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	g := triangleWithTail(t)
+	depth := map[NodeID]int{}
+	g.BFS(3, func(n NodeID, d int) bool {
+		depth[n] = d
+		return true
+	})
+	want := map[NodeID]int{3: 0, 2: 1, 0: 2, 1: 2}
+	if !reflect.DeepEqual(depth, want) {
+		t.Fatalf("BFS depths = %v, want %v", depth, want)
+	}
+}
+
+func TestDFSDeterministicOrder(t *testing.T) {
+	g := triangleWithTail(t)
+	var order []NodeID
+	g.DFS(0, func(n NodeID) bool {
+		order = append(order, n)
+		return true
+	})
+	if len(order) != 4 || order[0] != 0 {
+		t.Fatalf("DFS order = %v", order)
+	}
+	var again []NodeID
+	g.DFS(0, func(n NodeID) bool {
+		again = append(again, n)
+		return true
+	})
+	if !reflect.DeepEqual(order, again) {
+		t.Fatalf("DFS not deterministic: %v vs %v", order, again)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New("cc")
+	for i := 0; i < 5; i++ {
+		g.AddNode("A")
+	}
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(3, 4, "-")
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v, want 3 groups", comps)
+	}
+	want := [][]NodeID{{0, 1}, {2}, {3, 4}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("components = %v, want %v", comps, want)
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !triangleWithTail(t).IsConnected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+}
+
+func TestShortestPathAndDiameter(t *testing.T) {
+	g := triangleWithTail(t)
+	if d := g.ShortestPathLen(0, 3); d != 2 {
+		t.Fatalf("ShortestPathLen(0,3) = %d, want 2", d)
+	}
+	if d := g.ShortestPathLen(0, 0); d != 0 {
+		t.Fatalf("ShortestPathLen(0,0) = %d, want 0", d)
+	}
+	if d := g.Diameter(); d != 2 {
+		t.Fatalf("Diameter = %d, want 2", d)
+	}
+	lonely := New("l")
+	lonely.AddNode("A")
+	lonely.AddNode("B")
+	if d := lonely.ShortestPathLen(0, 1); d != -1 {
+		t.Fatalf("unreachable ShortestPathLen = %d, want -1", d)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := triangleWithTail(t)
+	sub, orig := g.InducedSubgraph([]NodeID{0, 1, 2, 2})
+	if sub.NumNodes() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced = %s, want triangle", sub)
+	}
+	if !reflect.DeepEqual(orig, []NodeID{0, 1, 2}) {
+		t.Fatalf("orig map = %v", orig)
+	}
+}
+
+func TestSubgraphFromEdges(t *testing.T) {
+	g := triangleWithTail(t)
+	// Edge 3 is (2,3); edge 1 is (1,2).
+	sub, orig := g.SubgraphFromEdges([]EdgeID{3, 1, 3})
+	if sub.NumNodes() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("sub = %s, want path of 3 nodes", sub)
+	}
+	if len(orig) != 3 {
+		t.Fatalf("orig = %v", orig)
+	}
+}
+
+func TestCountTriangles(t *testing.T) {
+	if n := triangleWithTail(t).CountTriangles(); n != 1 {
+		t.Fatalf("triangles = %d, want 1", n)
+	}
+	k4 := New("k4")
+	for i := 0; i < 4; i++ {
+		k4.AddNode("A")
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			k4.MustAddEdge(i, j, "-")
+		}
+	}
+	if n := k4.CountTriangles(); n != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", n)
+	}
+	path := New("p")
+	path.AddNodes(3, "A")
+	path.MustAddEdge(0, 1, "-")
+	path.MustAddEdge(1, 2, "-")
+	if n := path.CountTriangles(); n != 0 {
+		t.Fatalf("path triangles = %d, want 0", n)
+	}
+}
+
+func TestTrianglesRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(10)
+		g := New("r")
+		g.AddNodes(n, "A")
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.35 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		brute := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for k := j + 1; k < n; k++ {
+					if g.HasEdge(i, j) && g.HasEdge(j, k) && g.HasEdge(i, k) {
+						brute++
+					}
+				}
+			}
+		}
+		if got := g.CountTriangles(); got != brute {
+			t.Fatalf("trial %d: CountTriangles = %d, brute force = %d\n%s", trial, got, brute, g.Dump())
+		}
+	}
+}
+
+func TestDegreeSequenceAndDensity(t *testing.T) {
+	g := triangleWithTail(t)
+	if ds := g.DegreeSequence(); !reflect.DeepEqual(ds, []int{3, 2, 2, 1}) {
+		t.Fatalf("degree sequence = %v", ds)
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+	want := 2.0 * 4 / (4 * 3)
+	if d := g.Density(); d != want {
+		t.Fatalf("Density = %v, want %v", d, want)
+	}
+	if (&Graph{}).Density() != 0 {
+		t.Fatal("empty graph density must be 0")
+	}
+}
+
+func TestLabelMaps(t *testing.T) {
+	g := New("l")
+	g.AddNode("C")
+	g.AddNode("C")
+	g.AddNode("N")
+	g.MustAddEdge(0, 1, "single")
+	g.MustAddEdge(1, 2, "double")
+	if m := g.NodeLabels(); m["C"] != 2 || m["N"] != 1 {
+		t.Fatalf("NodeLabels = %v", m)
+	}
+	if m := g.EdgeLabels(); m["single"] != 1 || m["double"] != 1 {
+		t.Fatalf("EdgeLabels = %v", m)
+	}
+}
+
+func TestDumpStable(t *testing.T) {
+	g := triangleWithTail(t)
+	d := g.Dump()
+	if !strings.Contains(d, "v 0 C") || !strings.Contains(d, "e 0 2 -") {
+		t.Fatalf("Dump output unexpected:\n%s", d)
+	}
+	if d != g.Dump() {
+		t.Fatal("Dump not stable")
+	}
+}
+
+// TestPropertyHandshake checks the handshake lemma (sum of degrees = 2m) on
+// random graphs via testing/quick.
+func TestPropertyHandshake(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%20)
+		g := New("q")
+		g.AddNodes(n, "A")
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySubgraphClosed checks that induced subgraphs never contain
+// edges missing from the parent and preserve labels.
+func TestPropertySubgraphClosed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		g := New("q")
+		labels := []string{"C", "N", "O"}
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[rng.Intn(len(labels))])
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		var pick []NodeID
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.5 {
+				pick = append(pick, v)
+			}
+		}
+		sub, orig := g.InducedSubgraph(pick)
+		if sub.NumNodes() != len(orig) {
+			return false
+		}
+		for i := 0; i < sub.NumNodes(); i++ {
+			if sub.NodeLabel(i) != g.NodeLabel(orig[i]) {
+				return false
+			}
+			for j := i + 1; j < sub.NumNodes(); j++ {
+				if sub.HasEdge(i, j) != g.HasEdge(orig[i], orig[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

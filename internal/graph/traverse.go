@@ -1,0 +1,268 @@
+package graph
+
+import "sort"
+
+// This file contains traversal and structural queries: BFS/DFS, connected
+// components, shortest paths (unweighted), induced subgraphs, and triangle
+// counting. These are the primitives the pattern-selection frameworks lean
+// on (CATAPULT's random walks, TATTOO's topology classification, cognitive
+// load measures that need density and triangle counts).
+
+// BFS visits nodes in breadth-first order starting from src, calling fn with
+// each visited node and its distance from src. Traversal stops early if fn
+// returns false.
+func (g *Graph) BFS(src NodeID, fn func(n NodeID, depth int) bool) {
+	if src < 0 || src >= len(g.nodes) {
+		return
+	}
+	seen := make([]bool, len(g.nodes))
+	type item struct {
+		n NodeID
+		d int
+	}
+	queue := []item{{src, 0}}
+	seen[src] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !fn(cur.n, cur.d) {
+			return
+		}
+		for _, ent := range g.adj[cur.n] {
+			if !seen[ent.to] {
+				seen[ent.to] = true
+				queue = append(queue, item{ent.to, cur.d + 1})
+			}
+		}
+	}
+}
+
+// DFS visits nodes in depth-first (preorder) order starting from src.
+// Traversal stops early if fn returns false.
+func (g *Graph) DFS(src NodeID, fn func(n NodeID) bool) {
+	if src < 0 || src >= len(g.nodes) {
+		return
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []NodeID{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if !fn(n) {
+			return
+		}
+		// Push neighbors in reverse so that lower-index neighbors are
+		// visited first, giving deterministic preorder.
+		for i := len(g.adj[n]) - 1; i >= 0; i-- {
+			if to := g.adj[n][i].to; !seen[to] {
+				stack = append(stack, to)
+			}
+		}
+	}
+}
+
+// ConnectedComponents returns the node sets of the connected components,
+// each sorted ascending, in order of their smallest member.
+func (g *Graph) ConnectedComponents() [][]NodeID {
+	seen := make([]bool, len(g.nodes))
+	var comps [][]NodeID
+	for s := range g.nodes {
+		if seen[s] {
+			continue
+		}
+		var comp []NodeID
+		g.BFS(s, func(n NodeID, _ int) bool {
+			seen[n] = true
+			comp = append(comp, n)
+			return true
+		})
+		insertionSort(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph is connected. The empty graph is
+// considered connected.
+func (g *Graph) IsConnected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	count := 0
+	g.BFS(0, func(NodeID, int) bool {
+		count++
+		return true
+	})
+	return count == len(g.nodes)
+}
+
+// ShortestPathLen returns the number of edges on a shortest path between u
+// and v, or -1 if v is unreachable from u.
+func (g *Graph) ShortestPathLen(u, v NodeID) int {
+	res := -1
+	g.BFS(u, func(n NodeID, d int) bool {
+		if n == v {
+			res = d
+			return false
+		}
+		return true
+	})
+	return res
+}
+
+// Eccentricity returns the greatest shortest-path distance from n to any
+// node reachable from n.
+func (g *Graph) Eccentricity(n NodeID) int {
+	max := 0
+	g.BFS(n, func(_ NodeID, d int) bool {
+		if d > max {
+			max = d
+		}
+		return true
+	})
+	return max
+}
+
+// Diameter returns the longest shortest path over all reachable pairs. It
+// is intended for small graphs (patterns); cost is O(n·(n+m)).
+func (g *Graph) Diameter() int {
+	max := 0
+	for n := range g.nodes {
+		if e := g.Eccentricity(n); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// InducedSubgraph returns the subgraph induced by the given nodes, together
+// with the mapping from new node IDs to original IDs. Duplicate input nodes
+// are ignored. The subgraph's name is the original name with a "#sub"
+// suffix.
+func (g *Graph) InducedSubgraph(nodes []NodeID) (*Graph, []NodeID) {
+	remap := make(map[NodeID]NodeID, len(nodes))
+	sub := New(g.name + "#sub")
+	var orig []NodeID
+	for _, n := range nodes {
+		if _, dup := remap[n]; dup {
+			continue
+		}
+		remap[n] = sub.AddNode(g.nodes[n].Label)
+		orig = append(orig, n)
+	}
+	for _, e := range g.edges {
+		nu, okU := remap[e.U]
+		nv, okV := remap[e.V]
+		if okU && okV {
+			sub.MustAddEdge(nu, nv, e.Label)
+		}
+	}
+	return sub, orig
+}
+
+// SubgraphFromEdges returns the subgraph consisting of exactly the given
+// edges and their endpoints, together with the mapping from new node IDs to
+// original IDs. Duplicate edges are ignored.
+func (g *Graph) SubgraphFromEdges(edges []EdgeID) (*Graph, []NodeID) {
+	remap := make(map[NodeID]NodeID)
+	sub := New(g.name + "#sub")
+	var orig []NodeID
+	node := func(n NodeID) NodeID {
+		if id, ok := remap[n]; ok {
+			return id
+		}
+		id := sub.AddNode(g.nodes[n].Label)
+		remap[n] = id
+		orig = append(orig, n)
+		return id
+	}
+	seen := make(map[EdgeID]bool, len(edges))
+	for _, eid := range edges {
+		if seen[eid] {
+			continue
+		}
+		seen[eid] = true
+		e := g.edges[eid]
+		u, v := node(e.U), node(e.V)
+		if !sub.HasEdge(u, v) {
+			sub.MustAddEdge(u, v, e.Label)
+		}
+	}
+	return sub, orig
+}
+
+// CountTriangles returns the number of triangles in the graph. It uses the
+// standard degree-ordered enumeration, O(m^{3/2}).
+func (g *Graph) CountTriangles() int {
+	n := len(g.nodes)
+	// rank orders nodes by (degree, id); edges are oriented from lower to
+	// higher rank so each triangle is counted exactly once.
+	rank := make([]int, n)
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Simple counting-sort-free ordering: sort by degree then id.
+	sortNodesByDegree(order, g)
+	for r, id := range order {
+		rank[id] = r
+	}
+	higher := make([][]NodeID, n)
+	for _, e := range g.edges {
+		u, v := e.U, e.V
+		if rank[u] > rank[v] {
+			u, v = v, u
+		}
+		higher[u] = append(higher[u], v)
+	}
+	mark := make([]bool, n)
+	count := 0
+	for u := range higher {
+		for _, v := range higher[u] {
+			mark[v] = true
+		}
+		for _, v := range higher[u] {
+			for _, w := range higher[v] {
+				if mark[w] {
+					count++
+				}
+			}
+		}
+		for _, v := range higher[u] {
+			mark[v] = false
+		}
+	}
+	return count
+}
+
+// Density returns 2m / (n·(n-1)) for n ≥ 2, else 0.
+func (g *Graph) Density() float64 {
+	n := len(g.nodes)
+	if n < 2 {
+		return 0
+	}
+	return 2 * float64(len(g.edges)) / (float64(n) * float64(n-1))
+}
+
+func sortNodesByDegree(order []NodeID, g *Graph) {
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		da, db := len(g.adj[a]), len(g.adj[b])
+		if da != db {
+			return da < db
+		}
+		return a < b
+	})
+}
+
+func insertionSort(s []NodeID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package graphlet
+
+// Generalized census: the fixed 8-type vector of graphlet.Count covers 3-
+// and 4-node graphlets, which is what MIDAS's trigger uses. For finer
+// distribution analysis (e.g. telling near-cliques from dense bipartite
+// regions) a 5-node census helps; rather than hard-coding the 21 connected
+// 5-node types, Census keys counts by the canonical form of the induced
+// (label-blind) subgraph, which works for any k the ESU enumeration can
+// afford.
+
+import (
+	"math"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+)
+
+// Census counts connected induced k-subgraphs of g, keyed by the
+// label-blind canonical form of each shape. Supported k: 3, 4, 5 (cost
+// grows steeply with k and density).
+func Census(g *graph.Graph, k int) map[string]float64 {
+	out := make(map[string]float64)
+	if k < 3 || k > 5 {
+		return out
+	}
+	// cache maps a cheap shape signature (within-subgraph degree sequence
+	// + edge count) to canonical strings where unique, avoiding repeated
+	// canonicalization; ambiguous signatures fall through to canon.
+	enumerate(g, k, func(sub []graph.NodeID) {
+		shape, _ := g.InducedSubgraph(sub)
+		blind(shape)
+		out[canon.String(shape)]++
+	})
+	return out
+}
+
+// blind strips labels in place.
+func blind(g *graph.Graph) {
+	for v := 0; v < g.NumNodes(); v++ {
+		g.SetNodeLabel(v, "")
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		g.SetEdgeLabel(e, "")
+	}
+}
+
+// NormalizeCensus scales a census to sum 1 (empty input stays empty).
+func NormalizeCensus(c map[string]float64) map[string]float64 {
+	total := 0.0
+	for _, v := range c {
+		total += v
+	}
+	if total == 0 {
+		return map[string]float64{}
+	}
+	out := make(map[string]float64, len(c))
+	for k, v := range c {
+		out[k] = v / total
+	}
+	return out
+}
+
+// CensusDistance is the Euclidean distance between two (sparse) censuses
+// over the union of their keys.
+func CensusDistance(a, b map[string]float64) float64 {
+	s := 0.0
+	for k, va := range a {
+		d := va - b[k]
+		s += d * d
+	}
+	for k, vb := range b {
+		if _, seen := a[k]; !seen {
+			s += vb * vb
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// CorpusCensus aggregates the normalized k-census over a corpus.
+func CorpusCensus(c *graph.Corpus, k int) map[string]float64 {
+	total := make(map[string]float64)
+	c.Each(func(_ int, g *graph.Graph) {
+		for key, v := range Census(g, k) {
+			total[key] += v
+		}
+	})
+	return NormalizeCensus(total)
+}

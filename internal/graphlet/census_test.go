@@ -1,0 +1,136 @@
+package graphlet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCensusMatchesFixedVector(t *testing.T) {
+	// The 3- and 4-censuses must agree in total with the fixed Count
+	// vector on random graphs, and the number of distinct 4-shapes must
+	// match the nonzero 4-type counts.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + rng.Intn(7)
+		g := graph.New("r")
+		g.AddNodes(n, "A")
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		v := Count(g)
+		c3 := Census(g, 3)
+		c4 := Census(g, 4)
+		total3, total4 := 0.0, 0.0
+		for _, x := range c3 {
+			total3 += x
+		}
+		for _, x := range c4 {
+			total4 += x
+		}
+		if total3 != v[Wedge]+v[Triangle] {
+			t.Fatalf("3-census total %v vs vector %v", total3, v[Wedge]+v[Triangle])
+		}
+		want4 := v[Path4] + v[Claw] + v[Cycle4] + v[Paw] + v[Diamond] + v[Clique4]
+		if total4 != want4 {
+			t.Fatalf("4-census total %v vs vector %v", total4, want4)
+		}
+		types4 := 0
+		for _, ty := range []Type{Path4, Claw, Cycle4, Paw, Diamond, Clique4} {
+			if v[ty] > 0 {
+				types4++
+			}
+		}
+		if len(c4) != types4 {
+			t.Fatalf("distinct 4-shapes %d vs nonzero types %d", len(c4), types4)
+		}
+	}
+}
+
+func TestCensusFiveNode(t *testing.T) {
+	// C5 has exactly one connected induced 5-subgraph: itself.
+	c5 := cycle(5)
+	census := Census(c5, 5)
+	if len(census) != 1 {
+		t.Fatalf("C5 5-census = %v", census)
+	}
+	for _, v := range census {
+		if v != 1 {
+			t.Fatalf("C5 5-census count = %v", v)
+		}
+	}
+	// K5: one shape (the clique), one occurrence.
+	k5 := clique(5)
+	ck := Census(k5, 5)
+	if len(ck) != 1 {
+		t.Fatalf("K5 5-census = %v", ck)
+	}
+	// C5 and K5 have different shapes.
+	for k := range census {
+		if _, same := ck[k]; same {
+			t.Fatal("C5 and K5 shapes collide")
+		}
+	}
+	// Unsupported k.
+	if len(Census(c5, 6)) != 0 || len(Census(c5, 2)) != 0 {
+		t.Fatal("unsupported k must return empty")
+	}
+}
+
+func TestCensusLabelBlind(t *testing.T) {
+	a := cycle(4)
+	b := cycle(4)
+	for v := 0; v < 4; v++ {
+		b.SetNodeLabel(v, "X")
+	}
+	ca, cb := Census(a, 4), Census(b, 4)
+	if len(ca) != 1 || len(cb) != 1 {
+		t.Fatalf("censuses %v / %v", ca, cb)
+	}
+	for k := range ca {
+		if cb[k] != ca[k] {
+			t.Fatal("census must ignore labels")
+		}
+	}
+}
+
+func TestCensusDistance(t *testing.T) {
+	a := map[string]float64{"x": 1}
+	b := map[string]float64{"y": 1}
+	if d := CensusDistance(a, b); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("distance = %v", d)
+	}
+	if CensusDistance(a, a) != 0 {
+		t.Fatal("self distance")
+	}
+	if CensusDistance(nil, nil) != 0 {
+		t.Fatal("empty distance")
+	}
+}
+
+func TestCorpusCensusNormalized(t *testing.T) {
+	c := graph.NewCorpus()
+	g1 := cycle(5)
+	g1.SetName("a")
+	c.MustAdd(g1)
+	g2 := clique(5)
+	g2.SetName("b")
+	c.MustAdd(g2)
+	cc := CorpusCensus(c, 4)
+	total := 0.0
+	for _, v := range cc {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("normalized total = %v", total)
+	}
+	if len(NormalizeCensus(nil)) != 0 {
+		t.Fatal("empty normalize")
+	}
+}

@@ -1,0 +1,223 @@
+// Package graphlet counts small induced connected subgraphs (graphlets) and
+// computes graphlet frequency distributions (GFDs).
+//
+// MIDAS classifies a batch update to a graph corpus as minor or major by the
+// Euclidean distance between the corpus's GFD before and after the update;
+// this package supplies that machinery. The census covers the eight
+// connected graphlets on 3 and 4 nodes:
+//
+//	k=3: wedge (path), triangle
+//	k=4: path, claw (3-star), cycle, paw (tailed triangle), diamond, clique
+//
+// Enumeration uses the ESU (FANMOD) algorithm, which visits every connected
+// induced k-subgraph exactly once; classification is by within-subgraph
+// degree sequence, which is unique over these types.
+package graphlet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Type enumerates the eight connected graphlet types on 3-4 nodes.
+type Type int
+
+// Graphlet types, in the fixed order used by Vector and Distribution.
+const (
+	Wedge Type = iota // 3 nodes, 2 edges
+	Triangle
+	Path4 // 4 nodes, 3 edges, degrees 1,1,2,2
+	Claw  // 4 nodes, 3 edges, degrees 1,1,1,3
+	Cycle4
+	Paw // triangle with a pendant edge
+	Diamond
+	Clique4
+	// NumTypes is the number of graphlet types.
+	NumTypes
+)
+
+var typeNames = [NumTypes]string{
+	"wedge", "triangle", "path4", "claw", "cycle4", "paw", "diamond", "clique4",
+}
+
+// String returns the graphlet type name.
+func (t Type) String() string {
+	if t < 0 || t >= NumTypes {
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+	return typeNames[t]
+}
+
+// Vector is a graphlet count vector in the fixed type order.
+type Vector [NumTypes]float64
+
+// Add accumulates o into v.
+func (v *Vector) Add(o Vector) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// Total returns the sum of all counts.
+func (v Vector) Total() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Normalize returns the vector scaled to sum 1, or the zero vector if the
+// total is zero.
+func (v Vector) Normalize() Vector {
+	t := v.Total()
+	if t == 0 {
+		return Vector{}
+	}
+	var out Vector
+	for i, x := range v {
+		out[i] = x / t
+	}
+	return out
+}
+
+// EuclideanDistance returns the L2 distance between two vectors.
+func EuclideanDistance(a, b Vector) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Count returns the graphlet count vector of g (induced, connected, 3- and
+// 4-node graphlets).
+func Count(g *graph.Graph) Vector {
+	var v Vector
+	enumerate(g, 3, func(sub []graph.NodeID) {
+		v[classify3(g, sub)]++
+	})
+	enumerate(g, 4, func(sub []graph.NodeID) {
+		v[classify4(g, sub)]++
+	})
+	return v
+}
+
+// CorpusGFD returns the normalized graphlet frequency distribution
+// aggregated over every graph in the corpus.
+func CorpusGFD(c *graph.Corpus) Vector {
+	var total Vector
+	c.Each(func(_ int, g *graph.Graph) {
+		total.Add(Count(g))
+	})
+	return total.Normalize()
+}
+
+// classify3 distinguishes wedge from triangle by edge count.
+func classify3(g *graph.Graph, sub []graph.NodeID) Type {
+	if g.HasEdge(sub[0], sub[1]) && g.HasEdge(sub[1], sub[2]) && g.HasEdge(sub[0], sub[2]) {
+		return Triangle
+	}
+	return Wedge
+}
+
+// classify4 distinguishes the six connected 4-node graphlets by edge count
+// and maximum within-subgraph degree.
+func classify4(g *graph.Graph, sub []graph.NodeID) Type {
+	edges := 0
+	var deg [4]int
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if g.HasEdge(sub[i], sub[j]) {
+				edges++
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	switch edges {
+	case 3:
+		if maxDeg == 3 {
+			return Claw
+		}
+		return Path4
+	case 4:
+		if maxDeg == 3 {
+			return Paw
+		}
+		return Cycle4
+	case 5:
+		return Diamond
+	case 6:
+		return Clique4
+	}
+	// Unreachable for connected induced subgraphs of size 4.
+	panic(fmt.Sprintf("graphlet: connected 4-subgraph with %d edges", edges))
+}
+
+// enumerate runs ESU: fn is called once for every connected induced
+// k-subgraph of g, with the node set in discovery order.
+func enumerate(g *graph.Graph, k int, fn func(sub []graph.NodeID)) {
+	n := g.NumNodes()
+	if k <= 0 || n < k {
+		return
+	}
+	sub := make([]graph.NodeID, 0, k)
+	inSub := make([]bool, n)
+	var extend func(ext []graph.NodeID, root graph.NodeID)
+	extend = func(ext []graph.NodeID, root graph.NodeID) {
+		if len(sub) == k {
+			fn(sub)
+			return
+		}
+		for i := 0; i < len(ext); i++ {
+			w := ext[i]
+			// The recursive extension set is (ext minus w and everything
+			// tried before it) plus the exclusive neighbors of w: neighbors
+			// greater than root that are not adjacent to any node already
+			// in the subgraph. Exclusivity is what guarantees each
+			// connected induced k-set is generated exactly once.
+			next := make([]graph.NodeID, 0, len(ext)-i-1+g.Degree(w))
+			next = append(next, ext[i+1:]...)
+			g.VisitNeighbors(w, func(nbr graph.NodeID, _ graph.EdgeID) bool {
+				if nbr > root && !inSub[nbr] {
+					for _, s := range sub {
+						if g.HasEdge(nbr, s) {
+							return true
+						}
+					}
+					next = append(next, nbr)
+				}
+				return true
+			})
+			sub = append(sub, w)
+			inSub[w] = true
+			extend(next, root)
+			inSub[w] = false
+			sub = sub[:len(sub)-1]
+		}
+	}
+	for v := 0; v < n; v++ {
+		var ext []graph.NodeID
+		g.VisitNeighbors(v, func(nbr graph.NodeID, _ graph.EdgeID) bool {
+			if nbr > v {
+				ext = append(ext, nbr)
+			}
+			return true
+		})
+		sub = append(sub[:0], v)
+		inSub[v] = true
+		extend(ext, v)
+		inSub[v] = false
+		sub = sub[:0]
+	}
+}

@@ -1,0 +1,273 @@
+package graphlet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func cycle(n int) *graph.Graph {
+	g := graph.New("c")
+	g.AddNodes(n, "A")
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n, "-")
+	}
+	return g
+}
+
+func path(n int) *graph.Graph {
+	g := graph.New("p")
+	g.AddNodes(n, "A")
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, "-")
+	}
+	return g
+}
+
+func clique(n int) *graph.Graph {
+	g := graph.New("k")
+	g.AddNodes(n, "A")
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j, "-")
+		}
+	}
+	return g
+}
+
+func star(leaves int) *graph.Graph {
+	g := graph.New("s")
+	c := g.AddNode("A")
+	for i := 0; i < leaves; i++ {
+		l := g.AddNode("A")
+		g.MustAddEdge(c, l, "-")
+	}
+	return g
+}
+
+func TestCountKnownShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want Vector
+	}{
+		{"triangle", cycle(3), Vector{Triangle: 1}},
+		{"path3", path(3), Vector{Wedge: 1}},
+		{"path4", path(4), Vector{Wedge: 2, Path4: 1}},
+		{"C4", cycle(4), Vector{Wedge: 4, Cycle4: 1}},
+		{"C5", cycle(5), Vector{Wedge: 5, Path4: 5}},
+		{"claw", star(3), Vector{Wedge: 3, Claw: 1}},
+		// Counts are for *induced* graphlets: K4 contains no induced wedge
+		// (every triple induces a triangle).
+		{"K4", clique(4), Vector{Triangle: 4, Clique4: 1}},
+		// Paw: triangle 0-1-2 plus pendant 3 on node 2. Induced wedges are
+		// {0,2,3} and {1,2,3}.
+		{"paw", pawGraph(), Vector{Wedge: 2, Triangle: 1, Paw: 1}},
+		// Diamond: K4 minus edge (0,3).
+		{"diamond", diamondGraph(), Vector{Wedge: 2, Triangle: 2, Diamond: 1}},
+	}
+	for _, tc := range cases {
+		if got := Count(tc.g); got != tc.want {
+			t.Errorf("%s: Count = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func pawGraph() *graph.Graph {
+	g := cycle(3)
+	p := g.AddNode("A")
+	g.MustAddEdge(2, p, "-")
+	return g
+}
+
+func diamondGraph() *graph.Graph {
+	g := graph.New("d")
+	g.AddNodes(4, "A")
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(0, 2, "-")
+	g.MustAddEdge(1, 2, "-")
+	g.MustAddEdge(1, 3, "-")
+	g.MustAddEdge(2, 3, "-")
+	return g
+}
+
+// bruteCount enumerates all 3- and 4-node subsets directly.
+func bruteCount(g *graph.Graph) Vector {
+	var v Vector
+	n := g.NumNodes()
+	connected := func(sub []graph.NodeID) bool {
+		s, _ := g.InducedSubgraph(sub)
+		return s.IsConnected() && s.NumNodes() == len(sub)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				sub := []graph.NodeID{i, j, k}
+				if connected(sub) {
+					v[classify3(g, sub)]++
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				for l := k + 1; l < n; l++ {
+					sub := []graph.NodeID{i, j, k, l}
+					if connected(sub) {
+						v[classify4(g, sub)]++
+					}
+				}
+			}
+		}
+	}
+	return v
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(9)
+		g := graph.New("r")
+		g.AddNodes(n, "A")
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.35 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		if got, want := Count(g), bruteCount(g); got != want {
+			t.Fatalf("trial %d: Count=%v brute=%v\n%s", trial, got, want, g.Dump())
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := Vector{1, 2, 3, 0, 0, 0, 0, 0}
+	b := Vector{1, 0, 1, 0, 0, 0, 0, 0}
+	a.Add(b)
+	if a != (Vector{2, 2, 4, 0, 0, 0, 0, 0}) {
+		t.Fatalf("Add = %v", a)
+	}
+	if a.Total() != 8 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	n := a.Normalize()
+	if math.Abs(n.Total()-1) > 1e-12 {
+		t.Fatalf("Normalize total = %v", n.Total())
+	}
+	if (Vector{}).Normalize() != (Vector{}) {
+		t.Fatal("zero vector normalize must stay zero")
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	a := Vector{1, 0, 0, 0, 0, 0, 0, 0}
+	b := Vector{0, 1, 0, 0, 0, 0, 0, 0}
+	if d := EuclideanDistance(a, b); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("distance = %v", d)
+	}
+	if EuclideanDistance(a, a) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+}
+
+func TestCorpusGFD(t *testing.T) {
+	c := graph.NewCorpus()
+	t1 := cycle(3)
+	t1.SetName("t1")
+	c.MustAdd(t1)
+	p := path(3)
+	p.SetName("p1")
+	c.MustAdd(p)
+	gfd := CorpusGFD(c)
+	// One triangle + one wedge → 0.5 / 0.5.
+	if gfd[Triangle] != 0.5 || gfd[Wedge] != 0.5 {
+		t.Fatalf("GFD = %v", gfd)
+	}
+	if CorpusGFD(graph.NewCorpus()) != (Vector{}) {
+		t.Fatal("empty corpus GFD must be zero")
+	}
+}
+
+func TestGFDSensitivity(t *testing.T) {
+	// Adding triangle-rich graphs must move the GFD toward Triangle; this
+	// is the signal MIDAS thresholds on.
+	c := graph.NewCorpus()
+	for i := 0; i < 10; i++ {
+		g := path(5)
+		g.SetName(names("p", i))
+		c.MustAdd(g)
+	}
+	before := CorpusGFD(c)
+	for i := 0; i < 10; i++ {
+		g := clique(4)
+		g.SetName(names("k", i))
+		c.MustAdd(g)
+	}
+	after := CorpusGFD(c)
+	if after[Triangle] <= before[Triangle] {
+		t.Fatal("triangle fraction must rise")
+	}
+	if EuclideanDistance(before, after) <= 0 {
+		t.Fatal("distance must be positive")
+	}
+}
+
+func names(prefix string, i int) string {
+	return prefix + string(rune('a'+i))
+}
+
+func TestTypeString(t *testing.T) {
+	if Triangle.String() != "triangle" || Clique4.String() != "clique4" {
+		t.Fatal("type names wrong")
+	}
+	if Type(99).String() != "Type(99)" {
+		t.Fatal("out-of-range type name")
+	}
+}
+
+// TestPropertyESUCountsTotal checks that the number of enumerated 3-sets
+// equals the brute-force count of connected triples on random graphs.
+func TestPropertyESUCountsTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(9)
+		g := graph.New("q")
+		g.AddNodes(n, "A")
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		got, want := Count(g), bruteCount(g)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCountMediumGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.New("m")
+	g.AddNodes(60, "A")
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			if rng.Float64() < 0.08 {
+				g.MustAddEdge(i, j, "-")
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Count(g)
+	}
+}

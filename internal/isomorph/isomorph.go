@@ -1,0 +1,389 @@
+// Package isomorph implements subgraph matching for labeled undirected
+// graphs: subgraph monomorphism (the semantics of visual subgraph queries),
+// exact graph isomorphism, and embedding enumeration with budgets.
+//
+// The matcher is a VF2-style backtracking search with a connectivity-
+// preserving matching order, label-based candidate filtering, and degree
+// pruning. Patterns in this repository are small (≤ ~15 nodes), so the
+// matcher is tuned for many small-pattern-vs-medium-graph calls rather than
+// for single huge instances; budgets (step and embedding limits) keep worst
+// cases bounded when scoring thousands of candidate patterns.
+//
+// Label semantics: a pattern label matches a target label if they are equal
+// or if the pattern label is Wildcard (""). This holds for both node and
+// edge labels.
+package isomorph
+
+import (
+	"repro/internal/graph"
+)
+
+// Wildcard is the pattern label that matches any target label.
+const Wildcard = ""
+
+// Options control a matching run.
+type Options struct {
+	// MaxEmbeddings stops enumeration after this many embeddings have been
+	// reported. Zero means unlimited.
+	MaxEmbeddings int
+	// MaxSteps bounds the number of backtracking search steps, as a safety
+	// valve against pathological instances. Zero means unlimited. When the
+	// budget is exhausted the search stops; Result.Truncated reports it.
+	MaxSteps int
+	// Induced requires the mapping to be an induced-subgraph isomorphism:
+	// non-adjacent pattern nodes must map to non-adjacent target nodes.
+	// The default (false) is monomorphism, the semantics of subgraph
+	// queries drawn on a VQI.
+	Induced bool
+}
+
+// Result summarizes a matching run.
+type Result struct {
+	// Embeddings is the number of embeddings found (capped by
+	// MaxEmbeddings if set).
+	Embeddings int
+	// Steps is the number of search-tree nodes expanded.
+	Steps int
+	// Truncated reports that the step budget was exhausted before the
+	// search space was fully explored.
+	Truncated bool
+}
+
+type matcher struct {
+	p, t    *graph.Graph
+	opts    Options
+	order   []graph.NodeID // pattern matching order
+	anchors []anchor       // for order[i>0]: a previously-matched neighbor + edge label
+	pAdj    [][]pedge      // pattern adjacency with labels
+	core    []graph.NodeID // pattern node -> target node (-1 unmatched)
+	used    []bool         // target node already used
+	fn      func(mapping []graph.NodeID) bool
+	res     Result
+	stopped bool
+}
+
+type pedge struct {
+	to    graph.NodeID
+	label string
+}
+
+type anchor struct {
+	prev  graph.NodeID // pattern node matched earlier
+	label string       // label of edge (prev, order[i]) in the pattern
+}
+
+// labelMatch reports whether pattern label pl is compatible with target
+// label tl.
+func labelMatch(pl, tl string) bool { return pl == Wildcard || pl == tl }
+
+// Exists reports whether pattern has at least one embedding in target under
+// the given options.
+func Exists(pattern, target *graph.Graph, opts Options) bool {
+	opts.MaxEmbeddings = 1
+	r := Enumerate(pattern, target, opts, nil)
+	return r.Embeddings > 0
+}
+
+// Count returns the number of embeddings of pattern in target, subject to
+// opts budgets.
+func Count(pattern, target *graph.Graph, opts Options) Result {
+	return Enumerate(pattern, target, opts, nil)
+}
+
+// Enumerate finds embeddings of pattern in target and calls fn for each one
+// with the mapping from pattern node IDs to target node IDs. The mapping
+// slice is reused between calls; fn must copy it to retain it. Enumeration
+// stops when fn returns false, the embedding cap is hit, or the step budget
+// is exhausted. fn may be nil (counting only).
+//
+// The empty pattern has exactly one (empty) embedding in any target.
+func Enumerate(pattern, target *graph.Graph, opts Options, fn func(mapping []graph.NodeID) bool) Result {
+	m := &matcher{p: pattern, t: target, opts: opts, fn: fn}
+	if pattern.NumNodes() == 0 {
+		m.res.Embeddings = 1
+		if fn != nil {
+			fn(nil)
+		}
+		return m.res
+	}
+	if pattern.NumNodes() > target.NumNodes() || pattern.NumEdges() > target.NumEdges() {
+		return m.res
+	}
+	m.prepare()
+	m.core = make([]graph.NodeID, pattern.NumNodes())
+	for i := range m.core {
+		m.core[i] = -1
+	}
+	m.used = make([]bool, target.NumNodes())
+	m.search(0)
+	return m.res
+}
+
+// prepare computes the matching order: a connectivity-preserving order that
+// starts at the most constrained node (rarest label, then highest degree)
+// and always extends the matched frontier when possible (patterns may be
+// disconnected; each new component restarts at its most constrained node).
+func (m *matcher) prepare() {
+	n := m.p.NumNodes()
+	m.pAdj = make([][]pedge, n)
+	for i := 0; i < n; i++ {
+		m.p.VisitNeighbors(i, func(nbr graph.NodeID, e graph.EdgeID) bool {
+			m.pAdj[i] = append(m.pAdj[i], pedge{to: nbr, label: m.p.EdgeLabel(e)})
+			return true
+		})
+	}
+	// Rarity of node labels in the target guides the start node.
+	tLabelFreq := m.t.NodeLabels()
+	rarity := func(v graph.NodeID) int {
+		l := m.p.NodeLabel(v)
+		if l == Wildcard {
+			return m.t.NumNodes()
+		}
+		return tLabelFreq[l]
+	}
+	inOrder := make([]bool, n)
+	m.order = m.order[:0]
+	m.anchors = make([]anchor, n)
+	for len(m.order) < n {
+		// Pick the best frontier node: adjacent to the matched set if any
+		// such node exists, otherwise the best unmatched node (new
+		// component).
+		best := graph.NodeID(-1)
+		bestAnchored := false
+		better := func(v graph.NodeID, anchored bool) bool {
+			if best == -1 {
+				return true
+			}
+			if anchored != bestAnchored {
+				return anchored
+			}
+			rv, rb := rarity(v), rarity(best)
+			if rv != rb {
+				return rv < rb
+			}
+			dv, db := len(m.pAdj[v]), len(m.pAdj[best])
+			if dv != db {
+				return dv > db
+			}
+			return v < best
+		}
+		for v := 0; v < n; v++ {
+			if inOrder[v] {
+				continue
+			}
+			anchored := false
+			for _, pe := range m.pAdj[v] {
+				if inOrder[pe.to] {
+					anchored = true
+					break
+				}
+			}
+			if better(v, anchored) {
+				best = v
+				bestAnchored = anchored
+			}
+		}
+		idx := len(m.order)
+		m.order = append(m.order, best)
+		inOrder[best] = true
+		m.anchors[idx] = anchor{prev: -1}
+		if bestAnchored {
+			for _, pe := range m.pAdj[best] {
+				if pe.to != best && containsNode(m.order[:idx], pe.to) {
+					m.anchors[idx] = anchor{prev: pe.to, label: pe.label}
+					break
+				}
+			}
+		}
+	}
+}
+
+func containsNode(s []graph.NodeID, v graph.NodeID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *matcher) search(depth int) {
+	if m.stopped {
+		return
+	}
+	if depth == len(m.order) {
+		m.res.Embeddings++
+		if m.fn != nil && !m.fn(m.core) {
+			m.stopped = true
+		}
+		if m.opts.MaxEmbeddings > 0 && m.res.Embeddings >= m.opts.MaxEmbeddings {
+			m.stopped = true
+		}
+		return
+	}
+	pv := m.order[depth]
+	a := m.anchors[depth]
+	if a.prev >= 0 {
+		// Candidates are the neighbors of the already-matched anchor.
+		tu := m.core[a.prev]
+		m.t.VisitNeighbors(tu, func(tv graph.NodeID, e graph.EdgeID) bool {
+			if m.stopped {
+				return false
+			}
+			if !m.used[tv] && labelMatch(a.label, m.t.EdgeLabel(e)) {
+				m.tryExtend(depth, pv, tv)
+			}
+			return !m.stopped
+		})
+		return
+	}
+	// No anchor (first node of a component): scan all target nodes.
+	for tv := 0; tv < m.t.NumNodes() && !m.stopped; tv++ {
+		if !m.used[tv] {
+			m.tryExtend(depth, pv, tv)
+		}
+	}
+}
+
+// tryExtend attempts to map pattern node pv to target node tv at the given
+// depth and recurses on success.
+func (m *matcher) tryExtend(depth int, pv, tv graph.NodeID) {
+	m.res.Steps++
+	if m.opts.MaxSteps > 0 && m.res.Steps > m.opts.MaxSteps {
+		m.res.Truncated = true
+		m.stopped = true
+		return
+	}
+	if !labelMatch(m.p.NodeLabel(pv), m.t.NodeLabel(tv)) {
+		return
+	}
+	if len(m.pAdj[pv]) > m.t.Degree(tv) {
+		return
+	}
+	// Feasibility: every already-matched pattern neighbor of pv must be a
+	// target neighbor of tv with a compatible edge label; under Induced,
+	// additionally no already-matched pattern NON-neighbor may be adjacent
+	// to tv.
+	for _, pe := range m.pAdj[pv] {
+		if tu := m.core[pe.to]; tu >= 0 {
+			te, ok := m.t.EdgeBetween(tv, tu)
+			if !ok || !labelMatch(pe.label, m.t.EdgeLabel(te)) {
+				return
+			}
+		}
+	}
+	if m.opts.Induced {
+		for pu, tu := range m.core {
+			if tu < 0 || m.p.HasEdge(pv, graph.NodeID(pu)) {
+				continue
+			}
+			if m.t.HasEdge(tv, tu) {
+				return
+			}
+		}
+	}
+	m.core[pv] = tv
+	m.used[tv] = true
+	m.search(depth + 1)
+	m.core[pv] = -1
+	m.used[tv] = false
+}
+
+// Isomorphic reports whether a and b are isomorphic as labeled graphs.
+func Isomorphic(a, b *graph.Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	if !sameMultiset(a.NodeLabels(), b.NodeLabels()) || !sameMultiset(a.EdgeLabels(), b.EdgeLabels()) {
+		return false
+	}
+	if !sameDegreeSeq(a, b) {
+		return false
+	}
+	return Exists(a, b, Options{Induced: true})
+}
+
+// Automorphisms returns the number of automorphisms of g (label-preserving
+// self-isomorphisms). Intended for small pattern graphs.
+func Automorphisms(g *graph.Graph) int {
+	r := Count(g, g, Options{Induced: true})
+	return r.Embeddings
+}
+
+// CountDistinct returns the number of distinct matches of pattern in
+// target — embeddings modulo the pattern's automorphisms. This is the
+// count a Results Panel reports to users: a triangle occurring once has
+// one match, not six. The result is exact when neither search truncates.
+func CountDistinct(pattern, target *graph.Graph, opts Options) int {
+	if pattern.NumNodes() == 0 {
+		return 0
+	}
+	aut := Automorphisms(pattern)
+	if aut == 0 {
+		return 0
+	}
+	r := Count(pattern, target, opts)
+	return r.Embeddings / aut
+}
+
+func sameMultiset(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func sameDegreeSeq(a, b *graph.Graph) bool {
+	da, db := a.DegreeSequence(), b.DegreeSequence()
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoveredEdges returns, for each edge of target, whether it is covered by
+// at least one embedding of pattern. Enumeration respects the opts budgets;
+// with tight budgets the result is a (sound) under-approximation.
+//
+// Edge coverage is the quantity CATAPULT's and TATTOO's coverage measures
+// aggregate: an edge (u,v) of the target is covered if some embedding maps
+// a pattern edge onto it.
+func CoveredEdges(pattern, target *graph.Graph, opts Options) []bool {
+	covered := make([]bool, target.NumEdges())
+	if pattern.NumNodes() == 0 || pattern.NumEdges() == 0 {
+		return covered
+	}
+	pEdges := pattern.Edges()
+	Enumerate(pattern, target, opts, func(mapping []graph.NodeID) bool {
+		for _, pe := range pEdges {
+			if te, ok := target.EdgeBetween(mapping[pe.U], mapping[pe.V]); ok {
+				covered[te] = true
+			}
+		}
+		return true
+	})
+	return covered
+}
+
+// CoverageFraction returns the fraction of target edges covered by
+// embeddings of pattern, in [0,1].
+func CoverageFraction(pattern, target *graph.Graph, opts Options) float64 {
+	if target.NumEdges() == 0 {
+		return 0
+	}
+	covered := CoveredEdges(pattern, target, opts)
+	n := 0
+	for _, c := range covered {
+		if c {
+			n++
+		}
+	}
+	return float64(n) / float64(len(covered))
+}

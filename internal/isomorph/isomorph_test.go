@@ -1,0 +1,432 @@
+package isomorph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func pathGraph(n int, nodeLabel, edgeLabel string) *graph.Graph {
+	g := graph.New("path")
+	g.AddNodes(n, nodeLabel)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, edgeLabel)
+	}
+	return g
+}
+
+func cycleGraph(n int, nodeLabel, edgeLabel string) *graph.Graph {
+	g := pathGraph(n, nodeLabel, edgeLabel)
+	g.SetName("cycle")
+	g.MustAddEdge(n-1, 0, edgeLabel)
+	return g
+}
+
+func starGraph(leaves int, centerLabel, leafLabel string) *graph.Graph {
+	g := graph.New("star")
+	c := g.AddNode(centerLabel)
+	for i := 0; i < leaves; i++ {
+		l := g.AddNode(leafLabel)
+		g.MustAddEdge(c, l, "-")
+	}
+	return g
+}
+
+func TestExistsBasic(t *testing.T) {
+	target := cycleGraph(5, "A", "-")
+	if !Exists(pathGraph(3, "A", "-"), target, Options{}) {
+		t.Fatal("path3 must embed in cycle5")
+	}
+	if Exists(cycleGraph(3, "A", "-"), target, Options{}) {
+		t.Fatal("triangle must not embed in C5")
+	}
+	if !Exists(cycleGraph(5, "A", "-"), target, Options{}) {
+		t.Fatal("C5 must embed in itself")
+	}
+	if Exists(pathGraph(6, "A", "-"), target, Options{}) {
+		t.Fatal("path6 has more nodes than C5")
+	}
+}
+
+func TestLabelSemantics(t *testing.T) {
+	target := graph.New("t")
+	target.AddNode("C")
+	target.AddNode("N")
+	target.MustAddEdge(0, 1, "double")
+
+	exact := graph.New("p")
+	exact.AddNode("C")
+	exact.AddNode("N")
+	exact.MustAddEdge(0, 1, "double")
+	if !Exists(exact, target, Options{}) {
+		t.Fatal("exact labels must match")
+	}
+
+	wrongNode := graph.New("p")
+	wrongNode.AddNode("C")
+	wrongNode.AddNode("O")
+	wrongNode.MustAddEdge(0, 1, "double")
+	if Exists(wrongNode, target, Options{}) {
+		t.Fatal("wrong node label must not match")
+	}
+
+	wrongEdge := graph.New("p")
+	wrongEdge.AddNode("C")
+	wrongEdge.AddNode("N")
+	wrongEdge.MustAddEdge(0, 1, "single")
+	if Exists(wrongEdge, target, Options{}) {
+		t.Fatal("wrong edge label must not match")
+	}
+
+	wild := graph.New("p")
+	wild.AddNode(Wildcard)
+	wild.AddNode("N")
+	wild.MustAddEdge(0, 1, Wildcard)
+	if !Exists(wild, target, Options{}) {
+		t.Fatal("wildcard labels must match anything")
+	}
+}
+
+func TestCountEmbeddings(t *testing.T) {
+	// An edge pattern A-A in a triangle has 6 embeddings (3 edges × 2
+	// orientations).
+	tri := cycleGraph(3, "A", "-")
+	edge := pathGraph(2, "A", "-")
+	if r := Count(edge, tri, Options{}); r.Embeddings != 6 {
+		t.Fatalf("edge in triangle: %d embeddings, want 6", r.Embeddings)
+	}
+	// Path3 in triangle: 3 choices of middle × 2 orientations = 6.
+	if r := Count(pathGraph(3, "A", "-"), tri, Options{}); r.Embeddings != 6 {
+		t.Fatalf("path3 in triangle: %d, want 6", r.Embeddings)
+	}
+	// Triangle in K4: 4 triangles × 6 automorphisms = 24.
+	k4 := graph.New("k4")
+	k4.AddNodes(4, "A")
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			k4.MustAddEdge(i, j, "-")
+		}
+	}
+	if r := Count(cycleGraph(3, "A", "-"), k4, Options{}); r.Embeddings != 24 {
+		t.Fatalf("triangle in K4: %d, want 24", r.Embeddings)
+	}
+}
+
+func TestMaxEmbeddingsCap(t *testing.T) {
+	k4 := graph.New("k4")
+	k4.AddNodes(4, "A")
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			k4.MustAddEdge(i, j, "-")
+		}
+	}
+	r := Count(cycleGraph(3, "A", "-"), k4, Options{MaxEmbeddings: 5})
+	if r.Embeddings != 5 {
+		t.Fatalf("cap ignored: %d", r.Embeddings)
+	}
+}
+
+func TestMaxStepsTruncates(t *testing.T) {
+	big := cycleGraph(50, "A", "-")
+	r := Count(pathGraph(10, "A", "-"), big, Options{MaxSteps: 5})
+	if !r.Truncated {
+		t.Fatal("step budget must truncate the search")
+	}
+	if r.Steps > 6 {
+		t.Fatalf("steps = %d, budget was 5", r.Steps)
+	}
+}
+
+func TestInducedVsMonomorphism(t *testing.T) {
+	// Pattern: path of 3 nodes. Target: triangle. A monomorphism exists,
+	// but no induced embedding (the endpoints are always adjacent).
+	tri := cycleGraph(3, "A", "-")
+	p3 := pathGraph(3, "A", "-")
+	if !Exists(p3, tri, Options{}) {
+		t.Fatal("monomorphism must exist")
+	}
+	if Exists(p3, tri, Options{Induced: true}) {
+		t.Fatal("induced embedding must not exist")
+	}
+}
+
+func TestEnumerateMappingsValid(t *testing.T) {
+	target := cycleGraph(6, "A", "-")
+	pattern := pathGraph(4, "A", "-")
+	count := 0
+	Enumerate(pattern, target, Options{}, func(mapping []graph.NodeID) bool {
+		count++
+		seen := map[graph.NodeID]bool{}
+		for _, tv := range mapping {
+			if seen[tv] {
+				t.Fatal("mapping not injective")
+			}
+			seen[tv] = true
+		}
+		for _, pe := range pattern.Edges() {
+			if !target.HasEdge(mapping[pe.U], mapping[pe.V]) {
+				t.Fatal("mapping does not preserve edges")
+			}
+		}
+		return true
+	})
+	// 6 starting points × 2 directions.
+	if count != 12 {
+		t.Fatalf("path4 in C6: %d embeddings, want 12", count)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	target := cycleGraph(6, "A", "-")
+	count := 0
+	r := Enumerate(pathGraph(2, "A", "-"), target, Options{}, func([]graph.NodeID) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 || r.Embeddings != 3 {
+		t.Fatalf("early stop: fn calls=%d embeddings=%d", count, r.Embeddings)
+	}
+}
+
+func TestEmptyAndOversizePatterns(t *testing.T) {
+	target := pathGraph(3, "A", "-")
+	empty := graph.New("e")
+	r := Count(empty, target, Options{})
+	if r.Embeddings != 1 {
+		t.Fatalf("empty pattern: %d, want 1", r.Embeddings)
+	}
+	if Exists(pathGraph(4, "A", "-"), target, Options{}) {
+		t.Fatal("larger pattern cannot embed")
+	}
+	// More edges than target.
+	if Exists(cycleGraph(3, "A", "-"), pathGraph(3, "A", "-"), Options{}) {
+		t.Fatal("triangle cannot embed in path")
+	}
+}
+
+func TestDisconnectedPattern(t *testing.T) {
+	// Two disjoint edges as pattern; target is a path of 4 nodes which
+	// contains two disjoint edges: (0,1) and (2,3).
+	p := graph.New("p")
+	p.AddNodes(4, "A")
+	p.MustAddEdge(0, 1, "-")
+	p.MustAddEdge(2, 3, "-")
+	target := pathGraph(4, "A", "-")
+	if !Exists(p, target, Options{}) {
+		t.Fatal("disjoint edges must embed in path4")
+	}
+	// But not in path3 (only 3 nodes... path3 has 3 nodes < 4).
+	if Exists(p, pathGraph(3, "A", "-"), Options{}) {
+		t.Fatal("4-node pattern in 3-node target")
+	}
+	// Count in path4: edge pairs {(0,1),(2,3)} only; orientations 2×2=4,
+	// and the two pattern edges can swap roles ×2 = 8.
+	if r := Count(p, target, Options{}); r.Embeddings != 8 {
+		t.Fatalf("disjoint edges in path4: %d, want 8", r.Embeddings)
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	if !Isomorphic(cycleGraph(4, "A", "-"), cycleGraph(4, "A", "-")) {
+		t.Fatal("C4 ≅ C4")
+	}
+	if Isomorphic(cycleGraph(4, "A", "-"), pathGraph(4, "A", "-")) {
+		t.Fatal("C4 ≇ P4")
+	}
+	// Same degree sequence, different structure: C6 vs two triangles.
+	c6 := cycleGraph(6, "A", "-")
+	twoTri := graph.New("2tri")
+	twoTri.AddNodes(6, "A")
+	twoTri.MustAddEdge(0, 1, "-")
+	twoTri.MustAddEdge(1, 2, "-")
+	twoTri.MustAddEdge(0, 2, "-")
+	twoTri.MustAddEdge(3, 4, "-")
+	twoTri.MustAddEdge(4, 5, "-")
+	twoTri.MustAddEdge(3, 5, "-")
+	if Isomorphic(c6, twoTri) {
+		t.Fatal("C6 ≇ 2×C3")
+	}
+	// Label-sensitive isomorphism.
+	a := pathGraph(3, "A", "-")
+	b := pathGraph(3, "A", "-")
+	b.SetNodeLabel(1, "B")
+	if Isomorphic(a, b) {
+		t.Fatal("different labels must break isomorphism")
+	}
+	b.SetNodeLabel(1, "A")
+	b.SetEdgeLabel(0, "x")
+	if Isomorphic(a, b) {
+		t.Fatal("different edge labels must break isomorphism")
+	}
+}
+
+func TestIsomorphicPermutedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	labels := []string{"C", "N", "O"}
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(8)
+		a := graph.New("a")
+		for i := 0; i < n; i++ {
+			a.AddNode(labels[rng.Intn(len(labels))])
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.35 {
+					a.MustAddEdge(i, j, labels[rng.Intn(2)])
+				}
+			}
+		}
+		perm := rng.Perm(n)
+		b := graph.New("b")
+		inv := make([]int, n)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		for i := 0; i < n; i++ {
+			b.AddNode(a.NodeLabel(inv[i]))
+		}
+		for _, e := range a.Edges() {
+			b.MustAddEdge(perm[e.U], perm[e.V], e.Label)
+		}
+		if !Isomorphic(a, b) {
+			t.Fatalf("trial %d: permuted copy not isomorphic\n%s\n%s", trial, a.Dump(), b.Dump())
+		}
+	}
+}
+
+func TestAutomorphisms(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{pathGraph(3, "A", "-"), 2},
+		{cycleGraph(3, "A", "-"), 6},
+		{cycleGraph(4, "A", "-"), 8},
+		{starGraph(3, "A", "A"), 6},
+		{starGraph(3, "X", "A"), 6}, // distinct center label: leaves still permute
+	}
+	for i, tc := range cases {
+		if got := Automorphisms(tc.g); got != tc.want {
+			t.Errorf("case %d (%s): automorphisms = %d, want %d", i, tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	// Triangle in K4: 4 distinct triangles (24 embeddings / 6 autos).
+	k4 := graph.New("k4")
+	k4.AddNodes(4, "A")
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			k4.MustAddEdge(i, j, "-")
+		}
+	}
+	if n := CountDistinct(cycleGraph(3, "A", "-"), k4, Options{}); n != 4 {
+		t.Fatalf("distinct triangles in K4 = %d, want 4", n)
+	}
+	// Edge in C5: 5 distinct edges.
+	if n := CountDistinct(pathGraph(2, "A", "-"), cycleGraph(5, "A", "-"), Options{}); n != 5 {
+		t.Fatalf("distinct edges in C5 = %d, want 5", n)
+	}
+	if CountDistinct(graph.New("e"), k4, Options{}) != 0 {
+		t.Fatal("empty pattern distinct count must be 0")
+	}
+}
+
+func TestCoveredEdges(t *testing.T) {
+	// Target: triangle with a tail. Triangle pattern covers the 3 triangle
+	// edges but not the tail edge.
+	target := graph.New("t")
+	target.AddNodes(4, "A")
+	target.MustAddEdge(0, 1, "-")
+	target.MustAddEdge(1, 2, "-")
+	e02 := target.MustAddEdge(0, 2, "-")
+	tail := target.MustAddEdge(2, 3, "-")
+
+	tri := cycleGraph(3, "A", "-")
+	cov := CoveredEdges(tri, target, Options{})
+	if !cov[0] || !cov[1] || !cov[e02] {
+		t.Fatalf("triangle edges not covered: %v", cov)
+	}
+	if cov[tail] {
+		t.Fatal("tail edge must not be covered by triangle")
+	}
+	if f := CoverageFraction(tri, target, Options{}); f != 0.75 {
+		t.Fatalf("coverage = %v, want 0.75", f)
+	}
+	// Edge pattern covers everything.
+	if f := CoverageFraction(pathGraph(2, "A", "-"), target, Options{}); f != 1 {
+		t.Fatalf("edge coverage = %v, want 1", f)
+	}
+	// Empty/zero cases.
+	if f := CoverageFraction(graph.New("e"), target, Options{}); f != 0 {
+		t.Fatalf("empty pattern coverage = %v", f)
+	}
+	if f := CoverageFraction(tri, graph.New("e"), Options{}); f != 0 {
+		t.Fatalf("empty target coverage = %v", f)
+	}
+}
+
+// TestPropertySubgraphAlwaysEmbeds: any connected edge-subset subgraph of a
+// random graph must embed in that graph (monomorphism).
+func TestPropertySubgraphAlwaysEmbeds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		labels := []string{"C", "N"}
+		g := graph.New("g")
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[rng.Intn(2)])
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		if g.NumEdges() == 0 {
+			return true
+		}
+		// Random subset of edges.
+		var edges []graph.EdgeID
+		for e := 0; e < g.NumEdges(); e++ {
+			if rng.Float64() < 0.5 {
+				edges = append(edges, e)
+			}
+		}
+		if len(edges) == 0 {
+			edges = append(edges, 0)
+		}
+		sub, _ := g.SubgraphFromEdges(edges)
+		return Exists(sub, g, Options{})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCountMatchesAutomorphismScaling: for a vertex-transitive-free
+// check we verify that Count(pattern, pattern, induced) equals
+// Automorphisms(pattern) by definition.
+func TestPropertyCountSelfInduced(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		g := graph.New("g")
+		g.AddNodes(n, "A")
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		return Automorphisms(g) == Count(g, g, Options{Induced: true}).Embeddings
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package layout computes 2-D positions for pattern graphs and the
+// aesthetic metrics the tutorial's future-directions section calls for
+// (Section 2.5): data-driven VQI construction should become
+// aesthetics-aware, measuring layout quality with metrics such as edge
+// crossings, node overlap (clutter), and angular resolution, which HCI
+// research links to visual complexity and hence cognitive load.
+//
+// The layout algorithm is Fruchterman–Reingold force simulation with
+// deterministic seeded initialization; the metrics operate on any layout.
+package layout
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Point is a 2-D position.
+type Point struct {
+	X, Y float64
+}
+
+// Layout is a set of node positions inside a W×H canvas.
+type Layout struct {
+	Pos  []Point
+	W, H float64
+}
+
+// FruchtermanReingold computes a force-directed layout of g inside a w×h
+// canvas using the given number of iterations (0 = 100). Deterministic for
+// a given seed.
+func FruchtermanReingold(g *graph.Graph, w, h float64, iterations int, seed int64) *Layout {
+	n := g.NumNodes()
+	l := &Layout{Pos: make([]Point, n), W: w, H: h}
+	if n == 0 {
+		return l
+	}
+	if iterations == 0 {
+		iterations = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range l.Pos {
+		l.Pos[i] = Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+	}
+	if n == 1 {
+		l.Pos[0] = Point{X: w / 2, Y: h / 2}
+		return l
+	}
+	k := math.Sqrt(w * h / float64(n)) // ideal edge length
+	temp := w / 10
+	cool := temp / float64(iterations+1)
+	disp := make([]Point, n)
+	for iter := 0; iter < iterations; iter++ {
+		for i := range disp {
+			disp[i] = Point{}
+		}
+		// Repulsive forces between all pairs.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := l.Pos[i].X - l.Pos[j].X
+				dy := l.Pos[i].Y - l.Pos[j].Y
+				d := math.Hypot(dx, dy)
+				if d < 1e-9 {
+					// Deterministic nudge for coincident nodes.
+					dx, dy, d = 0.01*float64(i-j), 0.01, 0.0141
+				}
+				f := k * k / d
+				disp[i].X += dx / d * f
+				disp[i].Y += dy / d * f
+				disp[j].X -= dx / d * f
+				disp[j].Y -= dy / d * f
+			}
+		}
+		// Attractive forces along edges.
+		for _, e := range g.Edges() {
+			dx := l.Pos[e.U].X - l.Pos[e.V].X
+			dy := l.Pos[e.U].Y - l.Pos[e.V].Y
+			d := math.Hypot(dx, dy)
+			if d < 1e-9 {
+				continue
+			}
+			f := d * d / k
+			disp[e.U].X -= dx / d * f
+			disp[e.U].Y -= dy / d * f
+			disp[e.V].X += dx / d * f
+			disp[e.V].Y += dy / d * f
+		}
+		// Apply displacement capped by temperature; clamp to canvas.
+		for i := 0; i < n; i++ {
+			d := math.Hypot(disp[i].X, disp[i].Y)
+			if d < 1e-9 {
+				continue
+			}
+			step := math.Min(d, temp)
+			l.Pos[i].X += disp[i].X / d * step
+			l.Pos[i].Y += disp[i].Y / d * step
+			l.Pos[i].X = math.Max(0, math.Min(w, l.Pos[i].X))
+			l.Pos[i].Y = math.Max(0, math.Min(h, l.Pos[i].Y))
+		}
+		temp -= cool
+	}
+	return l
+}
+
+// EdgeCrossings counts pairs of non-adjacent edges whose segments
+// intersect.
+func EdgeCrossings(g *graph.Graph, l *Layout) int {
+	edges := g.Edges()
+	count := 0
+	for i := 0; i < len(edges); i++ {
+		for j := i + 1; j < len(edges); j++ {
+			a, b := edges[i], edges[j]
+			if a.U == b.U || a.U == b.V || a.V == b.U || a.V == b.V {
+				continue // share an endpoint
+			}
+			if segmentsIntersect(l.Pos[a.U], l.Pos[a.V], l.Pos[b.U], l.Pos[b.V]) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func segmentsIntersect(p1, p2, p3, p4 Point) bool {
+	d1 := cross(p3, p4, p1)
+	d2 := cross(p3, p4, p2)
+	d3 := cross(p1, p2, p3)
+	d4 := cross(p1, p2, p4)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return false
+}
+
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// NodeOverlaps counts node pairs closer than 2·radius — visual clutter.
+func NodeOverlaps(l *Layout, radius float64) int {
+	count := 0
+	for i := 0; i < len(l.Pos); i++ {
+		for j := i + 1; j < len(l.Pos); j++ {
+			dx := l.Pos[i].X - l.Pos[j].X
+			dy := l.Pos[i].Y - l.Pos[j].Y
+			if math.Hypot(dx, dy) < 2*radius {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// AngularResolution returns the mean over nodes (degree ≥ 2) of the
+// minimum angle between consecutive incident edges, in radians. Larger is
+// better (edges spread apart); the ideal for degree d is 2π/d.
+func AngularResolution(g *graph.Graph, l *Layout) float64 {
+	total, counted := 0.0, 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(v) < 2 {
+			continue
+		}
+		var angles []float64
+		g.VisitNeighbors(v, func(nbr graph.NodeID, _ graph.EdgeID) bool {
+			angles = append(angles, math.Atan2(l.Pos[nbr].Y-l.Pos[v].Y, l.Pos[nbr].X-l.Pos[v].X))
+			return true
+		})
+		sortFloats(angles)
+		min := math.Inf(1)
+		for i := range angles {
+			var diff float64
+			if i == 0 {
+				diff = angles[0] + 2*math.Pi - angles[len(angles)-1]
+			} else {
+				diff = angles[i] - angles[i-1]
+			}
+			if diff < min {
+				min = diff
+			}
+		}
+		total += min
+		counted++
+	}
+	if counted == 0 {
+		return math.Pi // vacuously perfect
+	}
+	return total / float64(counted)
+}
+
+func sortFloats(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// EdgeLengthCV returns the coefficient of variation of edge lengths;
+// uniform edge lengths (low CV) read better.
+func EdgeLengthCV(g *graph.Graph, l *Layout) float64 {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return 0
+	}
+	lengths := make([]float64, len(edges))
+	mean := 0.0
+	for i, e := range edges {
+		lengths[i] = math.Hypot(l.Pos[e.U].X-l.Pos[e.V].X, l.Pos[e.U].Y-l.Pos[e.V].Y)
+		mean += lengths[i]
+	}
+	mean /= float64(len(edges))
+	if mean < 1e-9 {
+		return 0
+	}
+	va := 0.0
+	for _, x := range lengths {
+		va += (x - mean) * (x - mean)
+	}
+	va /= float64(len(edges))
+	return math.Sqrt(va) / mean
+}
+
+// Metrics bundles the aesthetic measurements of one laid-out graph.
+type Metrics struct {
+	Crossings         int
+	Overlaps          int
+	AngularResolution float64
+	EdgeLengthCV      float64
+	VisualComplexity  float64
+}
+
+// Measure computes all metrics. nodeRadius is the drawn node radius used
+// for overlap detection (0 = 2% of canvas width).
+func Measure(g *graph.Graph, l *Layout, nodeRadius float64) Metrics {
+	if nodeRadius == 0 {
+		nodeRadius = l.W * 0.02
+	}
+	m := Metrics{
+		Crossings:         EdgeCrossings(g, l),
+		Overlaps:          NodeOverlaps(l, nodeRadius),
+		AngularResolution: AngularResolution(g, l),
+		EdgeLengthCV:      EdgeLengthCV(g, l),
+	}
+	m.VisualComplexity = visualComplexity(g, m)
+	return m
+}
+
+// visualComplexity combines the metrics into a single [0,∞) score; higher
+// means visually busier (more crossings and clutter, cramped angles,
+// uneven edges) following the visual-complexity aggregation of the
+// interface-aesthetics literature.
+func visualComplexity(g *graph.Graph, m Metrics) float64 {
+	mEdges := float64(g.NumEdges())
+	if mEdges == 0 {
+		return 0
+	}
+	crossTerm := float64(m.Crossings) / mEdges
+	overlapTerm := float64(m.Overlaps) / float64(g.NumNodes()+1)
+	angleTerm := 0.0
+	if m.AngularResolution > 0 {
+		angleTerm = math.Min(1, 0.5/m.AngularResolution)
+	}
+	return crossTerm + overlapTerm + angleTerm + m.EdgeLengthCV/2
+}

@@ -1,0 +1,171 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func cycle(n int) *graph.Graph {
+	g := graph.New("c")
+	g.AddNodes(n, "A")
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n, "-")
+	}
+	return g
+}
+
+func TestFruchtermanReingoldBasics(t *testing.T) {
+	g := cycle(6)
+	l := FruchtermanReingold(g, 100, 100, 150, 1)
+	if len(l.Pos) != 6 {
+		t.Fatalf("positions = %d", len(l.Pos))
+	}
+	for _, p := range l.Pos {
+		if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+			t.Fatalf("position %v outside canvas", p)
+		}
+	}
+	// Deterministic.
+	l2 := FruchtermanReingold(g, 100, 100, 150, 1)
+	for i := range l.Pos {
+		if l.Pos[i] != l2.Pos[i] {
+			t.Fatal("layout nondeterministic")
+		}
+	}
+	// Nodes spread out: no two coincide.
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			d := math.Hypot(l.Pos[i].X-l.Pos[j].X, l.Pos[i].Y-l.Pos[j].Y)
+			if d < 1 {
+				t.Fatalf("nodes %d,%d nearly coincide (d=%v)", i, j, d)
+			}
+		}
+	}
+}
+
+func TestLayoutDegenerateSizes(t *testing.T) {
+	empty := FruchtermanReingold(graph.New("e"), 50, 50, 10, 1)
+	if len(empty.Pos) != 0 {
+		t.Fatal("empty layout")
+	}
+	one := graph.New("1")
+	one.AddNode("A")
+	l := FruchtermanReingold(one, 50, 50, 10, 1)
+	if l.Pos[0] != (Point{25, 25}) {
+		t.Fatalf("single node not centered: %v", l.Pos[0])
+	}
+}
+
+func TestEdgeCrossingsKnown(t *testing.T) {
+	// A "bowtie" drawn with crossing diagonals: nodes at square corners,
+	// edges (0,2) and (1,3) cross; edges (0,1) and (2,3) don't.
+	g := graph.New("x")
+	g.AddNodes(4, "A")
+	g.MustAddEdge(0, 2, "-")
+	g.MustAddEdge(1, 3, "-")
+	l := &Layout{Pos: []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}, W: 10, H: 10}
+	if c := EdgeCrossings(g, l); c != 1 {
+		t.Fatalf("crossings = %d, want 1", c)
+	}
+	// Same graph, planar drawing: move node 2.
+	l2 := &Layout{Pos: []Point{{0, 0}, {10, 0}, {5, 5}, {0, 10}}, W: 10, H: 10}
+	_ = l2
+	g2 := graph.New("p")
+	g2.AddNodes(4, "A")
+	g2.MustAddEdge(0, 1, "-")
+	g2.MustAddEdge(2, 3, "-")
+	if c := EdgeCrossings(g2, l); c != 0 {
+		t.Fatalf("parallel sides crossings = %d, want 0", c)
+	}
+	// Edges sharing an endpoint never count.
+	g3 := graph.New("s")
+	g3.AddNodes(3, "A")
+	g3.MustAddEdge(0, 1, "-")
+	g3.MustAddEdge(0, 2, "-")
+	l3 := &Layout{Pos: []Point{{0, 0}, {10, 0}, {0, 10}}, W: 10, H: 10}
+	if c := EdgeCrossings(g3, l3); c != 0 {
+		t.Fatalf("shared endpoint crossings = %d", c)
+	}
+}
+
+func TestNodeOverlaps(t *testing.T) {
+	l := &Layout{Pos: []Point{{0, 0}, {1, 0}, {50, 50}}, W: 100, H: 100}
+	if n := NodeOverlaps(l, 1); n != 1 {
+		t.Fatalf("overlaps = %d, want 1", n)
+	}
+	if n := NodeOverlaps(l, 0.4); n != 0 {
+		t.Fatalf("overlaps = %d, want 0", n)
+	}
+}
+
+func TestAngularResolution(t *testing.T) {
+	// A star with 4 leaves at right angles: min angle at center = π/2.
+	g := graph.New("s")
+	c := g.AddNode("A")
+	for i := 0; i < 4; i++ {
+		l := g.AddNode("A")
+		g.MustAddEdge(c, l, "-")
+	}
+	l := &Layout{Pos: []Point{{0, 0}, {10, 0}, {0, 10}, {-10, 0}, {0, -10}}, W: 20, H: 20}
+	ar := AngularResolution(g, l)
+	if math.Abs(ar-math.Pi/2) > 1e-9 {
+		t.Fatalf("angular resolution = %v, want π/2", ar)
+	}
+	// Cramped: all leaves on the same side.
+	cramped := &Layout{Pos: []Point{{0, 0}, {10, 0}, {10, 1}, {10, 2}, {10, 3}}, W: 20, H: 20}
+	if AngularResolution(g, cramped) >= ar {
+		t.Fatal("cramped layout must have worse angular resolution")
+	}
+	// No degree-2 node → vacuous π.
+	edge := graph.New("e")
+	edge.AddNodes(2, "A")
+	edge.MustAddEdge(0, 1, "-")
+	if AngularResolution(edge, &Layout{Pos: []Point{{0, 0}, {1, 1}}, W: 2, H: 2}) != math.Pi {
+		t.Fatal("vacuous angular resolution")
+	}
+}
+
+func TestEdgeLengthCV(t *testing.T) {
+	g := graph.New("p")
+	g.AddNodes(3, "A")
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(1, 2, "-")
+	uniform := &Layout{Pos: []Point{{0, 0}, {10, 0}, {20, 0}}, W: 20, H: 20}
+	if cv := EdgeLengthCV(g, uniform); math.Abs(cv) > 1e-9 {
+		t.Fatalf("uniform CV = %v", cv)
+	}
+	skewed := &Layout{Pos: []Point{{0, 0}, {1, 0}, {20, 0}}, W: 20, H: 20}
+	if EdgeLengthCV(g, skewed) <= 0 {
+		t.Fatal("skewed CV must be positive")
+	}
+	if EdgeLengthCV(graph.New("e"), &Layout{}) != 0 {
+		t.Fatal("edgeless CV must be 0")
+	}
+}
+
+func TestMeasureAndComplexityOrdering(t *testing.T) {
+	// A well-laid-out cycle should be less visually complex than the same
+	// cycle with positions shuffled into a tangle.
+	g := cycle(8)
+	good := FruchtermanReingold(g, 100, 100, 200, 1)
+	tangle := &Layout{Pos: make([]Point, 8), W: 100, H: 100}
+	// Deliberate tangle: alternate opposite corners.
+	for i := range tangle.Pos {
+		if i%2 == 0 {
+			tangle.Pos[i] = Point{float64(i), float64(i)}
+		} else {
+			tangle.Pos[i] = Point{100 - float64(i), 100 - float64(i*7%100)}
+		}
+	}
+	mg := Measure(g, good, 0)
+	mt := Measure(g, tangle, 0)
+	if mg.VisualComplexity >= mt.VisualComplexity {
+		t.Fatalf("good layout complexity %v must be below tangle %v",
+			mg.VisualComplexity, mt.VisualComplexity)
+	}
+	if em := Measure(graph.New("e"), &Layout{W: 10, H: 10}, 0); em.VisualComplexity != 0 {
+		t.Fatal("empty graph complexity must be 0")
+	}
+}

@@ -1,0 +1,102 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func denseGraph(n int) *graph.Graph {
+	g := graph.New("d")
+	g.AddNodes(n, "A")
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j, "-")
+		}
+	}
+	return g
+}
+
+func TestOptimizePanelOrdering(t *testing.T) {
+	patterns := []*graph.Graph{
+		denseGraph(6), // complex
+		pathGraphN(5), // simple
+		cycle(8),      // medium
+		starGraphN(6), // simple-ish
+	}
+	items := OptimizePanel(patterns, 120, 120, 4, 1)
+	if len(items) != 4 {
+		t.Fatalf("items = %d", len(items))
+	}
+	// Cells are a permutation of 0..3.
+	seen := map[int]bool{}
+	for _, it := range items {
+		if it.Cell < 0 || it.Cell >= 4 || seen[it.Cell] {
+			t.Fatalf("bad cell assignment: %+v", items)
+		}
+		seen[it.Cell] = true
+	}
+	// Panel order is ascending complexity.
+	byCell := make([]PanelItem, 4)
+	for _, it := range items {
+		byCell[it.Cell] = it
+	}
+	for i := 1; i < 4; i++ {
+		if byCell[i].Metrics.VisualComplexity < byCell[i-1].Metrics.VisualComplexity {
+			t.Fatal("panel not ordered by complexity")
+		}
+	}
+	// The clique must not come first.
+	if byCell[0].Index == 0 {
+		t.Fatal("K6 ordered before simple shapes")
+	}
+}
+
+func TestOptimizePanelBeatsSingleSeed(t *testing.T) {
+	patterns := []*graph.Graph{cycle(10), denseGraph(5), cycle(12)}
+	single := OptimizePanel(patterns, 120, 120, 1, 3)
+	multi := OptimizePanel(patterns, 120, 120, 6, 3)
+	if PanelComplexity(multi) > PanelComplexity(single)+1e-9 {
+		t.Fatalf("seed search made the panel worse: %v vs %v",
+			PanelComplexity(multi), PanelComplexity(single))
+	}
+}
+
+func TestOptimizePanelDeterministic(t *testing.T) {
+	patterns := []*graph.Graph{cycle(7), pathGraphN(6)}
+	a := OptimizePanel(patterns, 120, 120, 3, 9)
+	b := OptimizePanel(patterns, 120, 120, 3, 9)
+	for i := range a {
+		if a[i].Cell != b[i].Cell || a[i].Metrics != b[i].Metrics {
+			t.Fatal("panel optimization nondeterministic")
+		}
+	}
+}
+
+func TestOptimizePanelEmpty(t *testing.T) {
+	if items := OptimizePanel(nil, 120, 120, 3, 1); len(items) != 0 {
+		t.Fatal("empty panel")
+	}
+	if PanelComplexity(nil) != 0 {
+		t.Fatal("empty panel complexity")
+	}
+}
+
+func pathGraphN(n int) *graph.Graph {
+	g := graph.New("p")
+	g.AddNodes(n, "A")
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, "-")
+	}
+	return g
+}
+
+func starGraphN(leaves int) *graph.Graph {
+	g := graph.New("s")
+	c := g.AddNode("A")
+	for i := 0; i < leaves; i++ {
+		l := g.AddNode("A")
+		g.MustAddEdge(c, l, "-")
+	}
+	return g
+}

@@ -1,0 +1,250 @@
+// Package midas implements the MIDAS framework: efficient and effective
+// maintenance of canned patterns in a visual graph query interface as the
+// underlying collection of data graphs evolves (SIGMOD 2021, as reviewed in
+// the tutorial's Section 2.4).
+//
+// MIDAS maintains the CATAPULT artifacts (frequent-tree features, clusters,
+// cluster summary graphs, canned pattern set) under *batch* updates:
+//
+//  1. Newly added graphs are assigned to their nearest existing cluster;
+//     deleted graphs are removed from theirs.
+//  2. The corpus's graphlet frequency distribution (GFD) is recomputed; the
+//     Euclidean distance between the old and new GFD classifies the batch
+//     as a minor or major modification.
+//  3. Frequent closed tree features are maintained incrementally
+//     (fct.Set.Update — exact, no re-mining).
+//  4. Modified clusters' summary graphs are rebuilt from their current
+//     members.
+//  5. For a major modification, candidate patterns are generated from the
+//     CSGs of new/modified clusters and the canned set is updated by a
+//     multi-scan swapping strategy with coverage-based pruning, which
+//     guarantees the updated set scores at least as high as the stale one.
+//     For a minor modification no pattern maintenance happens — only the
+//     clusters and CSGs are kept consistent.
+package midas
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catapult"
+	"repro/internal/closure"
+	"repro/internal/fct"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/pattern"
+)
+
+// Config parameterizes MIDAS on top of a CATAPULT configuration.
+type Config struct {
+	// Catapult is the underlying selection configuration (budget, weights,
+	// clustering parameters).
+	Catapult catapult.Config
+	// Threshold is the GFD Euclidean-distance boundary between minor and
+	// major modifications (0 = 0.02).
+	Threshold float64
+	// MaxScans bounds the multi-scan swapping passes (0 = 3).
+	MaxScans int
+	// CandidateWalks is the number of candidate-generating walks per
+	// modified CSG during maintenance (0 = the catapult WalksPerCSG).
+	CandidateWalks int
+}
+
+func (c *Config) defaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 0.02
+	}
+	if c.MaxScans == 0 {
+		c.MaxScans = 3
+	}
+}
+
+// State is the maintained MIDAS state for one evolving corpus.
+type State struct {
+	cfg    Config
+	corpus *graph.Corpus
+	fctSet *fct.Set
+	// clusters maps cluster id -> member graph names. Cluster medoid
+	// feature vectors are kept for incremental assignment.
+	clusters  []*clusterState
+	patterns  []*pattern.Pattern
+	gfd       graphlet.Vector
+	selection pattern.Weights
+}
+
+type clusterState struct {
+	names  map[string]bool
+	medoid []float64 // feature vector of the medoid at build time
+	csg    *closure.CSG
+	dirty  bool
+}
+
+// Report describes one maintenance batch.
+type Report struct {
+	Added, Removed int
+	GFDDistance    float64
+	Major          bool
+	Candidates     int
+	Swaps          int
+	ScoreBefore    float64
+	ScoreAfter     float64
+}
+
+// Build runs CATAPULT from scratch and wraps the result in a maintainable
+// state. The corpus is used by reference and must subsequently be mutated
+// only through Apply.
+func Build(c *graph.Corpus, cfg Config) (*State, error) {
+	cfg.defaults()
+	res, err := catapult.Select(c, cfg.Catapult)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CandidateWalks == 0 {
+		cfg.CandidateWalks = 120
+	}
+	weights := cfg.Catapult.Weights
+	if weights == (pattern.Weights{}) {
+		weights = pattern.DefaultWeights()
+	}
+	st := &State{
+		cfg:       cfg,
+		corpus:    c,
+		fctSet:    res.FCT,
+		patterns:  res.Patterns,
+		gfd:       graphlet.CorpusGFD(c),
+		selection: weights,
+	}
+	st.clusters = make([]*clusterState, res.Clustering.K)
+	for ci := 0; ci < res.Clustering.K; ci++ {
+		cs := &clusterState{names: make(map[string]bool), csg: res.CSGs[ci]}
+		cs.medoid = res.Vectors[res.Clustering.Medoids[ci]]
+		for _, idx := range res.Clustering.Members(ci) {
+			cs.names[c.Graph(idx).Name()] = true
+		}
+		st.clusters[ci] = cs
+	}
+	return st, nil
+}
+
+// Patterns returns the current canned pattern set.
+func (s *State) Patterns() []*pattern.Pattern { return s.patterns }
+
+// Corpus returns the maintained corpus.
+func (s *State) Corpus() *graph.Corpus { return s.corpus }
+
+// Apply ingests a batch update: added graphs are inserted into the corpus
+// and removedNames deleted from it, then the MIDAS maintenance pipeline
+// runs. It returns a report of what happened.
+func (s *State) Apply(added []*graph.Graph, removedNames []string) (*Report, error) {
+	rep := &Report{}
+
+	// Collect removed graph copies before deletion (FCT maintenance needs
+	// their content) and detach them from their clusters.
+	var removed []*graph.Graph
+	for _, name := range removedNames {
+		g, ok := s.corpus.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("midas: removed graph %q not in corpus", name)
+		}
+		removed = append(removed, g)
+		for _, cs := range s.clusters {
+			if cs.names[name] {
+				delete(cs.names, name)
+				cs.dirty = true
+			}
+		}
+		s.corpus.Remove(name)
+	}
+	rep.Removed = len(removed)
+
+	// Step 1b: insert and assign added graphs to nearest clusters using
+	// the (pre-update) feature space.
+	for _, g := range added {
+		if err := s.corpus.Add(g); err != nil {
+			return nil, fmt.Errorf("midas: %v", err)
+		}
+		vec := s.fctSet.FeatureVector(g)
+		ci := s.nearestCluster(vec)
+		s.clusters[ci].names[g.Name()] = true
+		s.clusters[ci].dirty = true
+	}
+	rep.Added = len(added)
+
+	// Step 2: GFD distance decides minor vs major.
+	newGFD := graphlet.CorpusGFD(s.corpus)
+	rep.GFDDistance = graphlet.EuclideanDistance(s.gfd, newGFD)
+	rep.Major = rep.GFDDistance > s.cfg.Threshold
+	s.gfd = newGFD
+
+	// Step 3: FCT maintenance (exact incremental update).
+	if err := s.fctSet.Update(s.corpus, added, removed); err != nil {
+		return nil, err
+	}
+
+	// Step 4: rebuild the CSGs of modified clusters.
+	var modified []*clusterState
+	for _, cs := range s.clusters {
+		if cs.dirty {
+			cs.csg = closure.Merge(s.memberGraphs(cs))
+			cs.dirty = false
+			modified = append(modified, cs)
+		}
+	}
+
+	// Step 5: pattern maintenance only on major modification, with
+	// candidates drawn only from the CSGs of modified clusters — the
+	// stable regions' contribution is already embodied in the current
+	// pattern set.
+	if rep.Major {
+		if err := s.maintainPatterns(rep, modified); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+func (s *State) nearestCluster(vec []float64) int {
+	best, bestD := 0, -1.0
+	for ci, cs := range s.clusters {
+		d := euclidean(vec, cs.medoid)
+		if bestD < 0 || d < bestD {
+			best, bestD = ci, d
+		}
+	}
+	return best
+}
+
+func euclidean(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	// Dimensions present in only one vector count fully.
+	for i := n; i < len(a); i++ {
+		s += a[i] * a[i]
+	}
+	for i := n; i < len(b); i++ {
+		s += b[i] * b[i]
+	}
+	return s
+}
+
+func (s *State) memberGraphs(cs *clusterState) []*graph.Graph {
+	names := make([]string, 0, len(cs.names))
+	for n := range cs.names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []*graph.Graph
+	for _, n := range names {
+		if g, ok := s.corpus.ByName(n); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}

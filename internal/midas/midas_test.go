@@ -1,0 +1,211 @@
+package midas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func buildState(t *testing.T, n int) *State {
+	t.Helper()
+	c := datagen.ChemicalCorpus(1, n, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 18})
+	st, err := Build(c, Config{
+		Catapult: catapult.Config{
+			Budget: pattern.Budget{Count: 5, MinSize: 4, MaxSize: 8},
+			Seed:   1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func newBatch(seed int64, n int, tag string) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*graph.Graph
+	for i := 0; i < n; i++ {
+		out = append(out, datagen.Chemical(rng, fmt.Sprintf("%s-%d", tag, i),
+			datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 18}))
+	}
+	return out
+}
+
+func TestBuildState(t *testing.T) {
+	st := buildState(t, 30)
+	if len(st.Patterns()) == 0 {
+		t.Fatal("no initial patterns")
+	}
+	if st.Corpus().Len() != 30 {
+		t.Fatalf("corpus len = %d", st.Corpus().Len())
+	}
+	total := 0
+	for _, cs := range st.clusters {
+		total += len(cs.names)
+	}
+	if total != 30 {
+		t.Fatalf("cluster membership total = %d", total)
+	}
+}
+
+func TestApplySmallBatchIsMinor(t *testing.T) {
+	st := buildState(t, 40)
+	// One similar graph: GFD barely moves.
+	rep, err := st.Apply(newBatch(9, 1, "tiny"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Added != 1 || rep.Removed != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Major {
+		t.Fatalf("single similar graph classified major (dist %v)", rep.GFDDistance)
+	}
+	if rep.Swaps != 0 || rep.Candidates != 0 {
+		t.Fatal("minor modification must skip pattern maintenance")
+	}
+	if st.Corpus().Len() != 41 {
+		t.Fatal("corpus not updated")
+	}
+}
+
+func TestApplyMajorBatchSwaps(t *testing.T) {
+	st := buildState(t, 30)
+	before := append([]*pattern.Pattern(nil), st.Patterns()...)
+	// A structurally alien batch: dense cliques instead of sparse
+	// compounds. The GFD shifts heavily toward triangles/cliques.
+	var batch []*graph.Graph
+	for i := 0; i < 25; i++ {
+		g := graph.New(fmt.Sprintf("clique-%d", i))
+		g.AddNodes(6, "C")
+		for a := 0; a < 6; a++ {
+			for b := a + 1; b < 6; b++ {
+				g.MustAddEdge(a, b, "s")
+			}
+		}
+		batch = append(batch, g)
+	}
+	rep, err := st.Apply(batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Major {
+		t.Fatalf("alien batch classified minor (dist %v)", rep.GFDDistance)
+	}
+	if rep.ScoreAfter+1e-9 < rep.ScoreBefore {
+		t.Fatalf("maintenance guarantee violated: %v -> %v", rep.ScoreBefore, rep.ScoreAfter)
+	}
+	if rep.Candidates == 0 {
+		t.Fatal("major modification generated no candidates")
+	}
+	_ = before
+}
+
+func TestApplyRemovals(t *testing.T) {
+	st := buildState(t, 30)
+	names := st.Corpus().Names()[:5]
+	rep, err := st.Apply(nil, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed != 5 {
+		t.Fatalf("removed = %d", rep.Removed)
+	}
+	if st.Corpus().Len() != 25 {
+		t.Fatalf("corpus len = %d", st.Corpus().Len())
+	}
+	for _, name := range names {
+		if _, ok := st.Corpus().ByName(name); ok {
+			t.Fatalf("%q still present", name)
+		}
+		for _, cs := range st.clusters {
+			if cs.names[name] {
+				t.Fatalf("%q still in a cluster", name)
+			}
+		}
+	}
+}
+
+func TestApplyUnknownRemovalFails(t *testing.T) {
+	st := buildState(t, 10)
+	if _, err := st.Apply(nil, []string{"no-such-graph"}); err == nil {
+		t.Fatal("unknown removal accepted")
+	}
+}
+
+func TestApplyDuplicateAddFails(t *testing.T) {
+	st := buildState(t, 10)
+	dup := graph.New(st.Corpus().Names()[0])
+	dup.AddNode("C")
+	if _, err := st.Apply([]*graph.Graph{dup}, nil); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+}
+
+func TestGFDDistanceGrowsWithBatchMagnitude(t *testing.T) {
+	small := buildState(t, 40)
+	repSmall, err := small.Apply(newBatch(5, 2, "s"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := buildState(t, 40)
+	var batch []*graph.Graph
+	for i := 0; i < 30; i++ {
+		g := graph.New(fmt.Sprintf("dense-%d", i))
+		g.AddNodes(5, "C")
+		for a := 0; a < 5; a++ {
+			for b := a + 1; b < 5; b++ {
+				g.MustAddEdge(a, b, "s")
+			}
+		}
+		batch = append(batch, g)
+	}
+	repBig, err := big.Apply(batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repBig.GFDDistance <= repSmall.GFDDistance {
+		t.Fatalf("distance must grow with magnitude: small=%v big=%v",
+			repSmall.GFDDistance, repBig.GFDDistance)
+	}
+}
+
+func TestMaintainedQualityComparableToRerun(t *testing.T) {
+	// After maintenance, the maintained set's score must be at least the
+	// stale set's score evaluated on the updated corpus (the formal
+	// guarantee), and the maintained corpus state must remain consistent.
+	st := buildState(t, 30)
+	stale := append([]*pattern.Pattern(nil), st.Patterns()...)
+	var batch []*graph.Graph
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		g := datagen.Chemical(rng, fmt.Sprintf("ring-%d", i), datagen.ChemicalOptions{
+			MinNodes: 10, MaxNodes: 20, RingBias: 0.9})
+		batch = append(batch, g)
+	}
+	rep, err := st.Apply(batch, st.Corpus().Names()[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pattern.Budget{Count: 5, MinSize: 4, MaxSize: 8}
+	w := pattern.DefaultWeights()
+	opts := pattern.MatchOptions()
+	staleScore := pattern.SetScore(stale, st.Corpus(), b, w, opts)
+	maintainedScore := pattern.SetScore(st.Patterns(), st.Corpus(), b, w, opts)
+	if rep.Major && maintainedScore+1e-9 < staleScore {
+		t.Fatalf("maintained %v < stale %v on updated corpus", maintainedScore, staleScore)
+	}
+	// Cluster membership covers exactly the corpus.
+	total := 0
+	for _, cs := range st.clusters {
+		total += len(cs.names)
+	}
+	if total != st.Corpus().Len() {
+		t.Fatalf("cluster membership %d != corpus %d", total, st.Corpus().Len())
+	}
+}

@@ -1,0 +1,183 @@
+package midas
+
+// State persistence. A maintained VQI outlives any single process: the
+// corpus is updated daily, so the maintenance state (cluster membership,
+// medoid features, frequent trees with supports, canned patterns, last
+// GFD) must round-trip to disk between batches. The corpus itself is
+// persisted separately in .lg form; Load re-attaches the state to it.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/canon"
+	"repro/internal/closure"
+	"repro/internal/fct"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/pattern"
+)
+
+type stateJSON struct {
+	Config   configJSON        `json:"config"`
+	GFD      []float64         `json:"gfd"`
+	Clusters []clusterJSON     `json:"clusters"`
+	Patterns []json.RawMessage `json:"patterns"`
+	Sources  []string          `json:"pattern_sources"`
+	FCT      fctJSON           `json:"fct"`
+}
+
+type configJSON struct {
+	BudgetCount    int     `json:"budget_count"`
+	BudgetMinSize  int     `json:"budget_min_size"`
+	BudgetMaxSize  int     `json:"budget_max_size"`
+	Threshold      float64 `json:"threshold"`
+	MaxScans       int     `json:"max_scans"`
+	CandidateWalks int     `json:"candidate_walks"`
+	Seed           int64   `json:"seed"`
+	WCoverage      float64 `json:"w_coverage"`
+	WDiversity     float64 `json:"w_diversity"`
+	WCogLoad       float64 `json:"w_cogload"`
+}
+
+type clusterJSON struct {
+	Names  []string  `json:"names"`
+	Medoid []float64 `json:"medoid"`
+}
+
+type fctJSON struct {
+	MinSupport int               `json:"min_support"`
+	MaxEdges   int               `json:"max_edges"`
+	Trees      []json.RawMessage `json:"trees"`
+	Supports   []int             `json:"supports"`
+}
+
+// Marshal serializes the maintenance state (everything except the corpus,
+// which callers persist as .lg alongside).
+func (s *State) Marshal() ([]byte, error) {
+	out := stateJSON{
+		Config: configJSON{
+			BudgetCount:    s.cfg.Catapult.Budget.Count,
+			BudgetMinSize:  s.cfg.Catapult.Budget.MinSize,
+			BudgetMaxSize:  s.cfg.Catapult.Budget.MaxSize,
+			Threshold:      s.cfg.Threshold,
+			MaxScans:       s.cfg.MaxScans,
+			CandidateWalks: s.cfg.CandidateWalks,
+			Seed:           s.cfg.Catapult.Seed,
+			WCoverage:      s.selection.Coverage,
+			WDiversity:     s.selection.Diversity,
+			WCogLoad:       s.selection.CogLoad,
+		},
+		GFD: s.gfd[:],
+		FCT: fctJSON{
+			MinSupport: s.fctSet.Miner.MinSupport,
+			MaxEdges:   s.fctSet.Miner.MaxEdges,
+		},
+	}
+	for _, cs := range s.clusters {
+		cj := clusterJSON{Medoid: cs.medoid}
+		for _, g := range s.memberGraphs(cs) {
+			cj.Names = append(cj.Names, g.Name())
+		}
+		out.Clusters = append(out.Clusters, cj)
+	}
+	for _, p := range s.patterns {
+		raw, err := gio.MarshalGraphJSON(p.G)
+		if err != nil {
+			return nil, err
+		}
+		out.Patterns = append(out.Patterns, raw)
+		out.Sources = append(out.Sources, p.Source)
+	}
+	for _, t := range s.fctSet.Trees {
+		raw, err := gio.MarshalGraphJSON(t.G)
+		if err != nil {
+			return nil, err
+		}
+		out.FCT.Trees = append(out.FCT.Trees, raw)
+		out.FCT.Supports = append(out.FCT.Supports, t.Support)
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// Load reconstructs a maintenance state over the given (already loaded)
+// corpus. The corpus must be the exact corpus the state was saved against:
+// every cluster member name must resolve.
+func Load(data []byte, corpus *graph.Corpus) (*State, error) {
+	var in stateJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("midas: load: %v", err)
+	}
+	st := &State{corpus: corpus}
+	st.cfg.Catapult.Budget = pattern.Budget{
+		Count:   in.Config.BudgetCount,
+		MinSize: in.Config.BudgetMinSize,
+		MaxSize: in.Config.BudgetMaxSize,
+	}
+	st.cfg.Catapult.Seed = in.Config.Seed
+	st.cfg.Threshold = in.Config.Threshold
+	st.cfg.MaxScans = in.Config.MaxScans
+	st.cfg.CandidateWalks = in.Config.CandidateWalks
+	st.selection = pattern.Weights{
+		Coverage:  in.Config.WCoverage,
+		Diversity: in.Config.WDiversity,
+		CogLoad:   in.Config.WCogLoad,
+	}
+	st.cfg.defaults()
+	if len(in.GFD) != len(st.gfd) {
+		return nil, fmt.Errorf("midas: load: GFD has %d entries, want %d", len(in.GFD), len(st.gfd))
+	}
+	var gfd graphlet.Vector
+	copy(gfd[:], in.GFD)
+	st.gfd = gfd
+
+	seen := make(map[string]bool)
+	for ci, cj := range in.Clusters {
+		cs := &clusterState{names: make(map[string]bool), medoid: cj.Medoid}
+		for _, name := range cj.Names {
+			if _, ok := corpus.ByName(name); !ok {
+				return nil, fmt.Errorf("midas: load: cluster %d member %q not in corpus", ci, name)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("midas: load: graph %q in two clusters", name)
+			}
+			seen[name] = true
+			cs.names[name] = true
+		}
+		st.clusters = append(st.clusters, cs)
+	}
+	if len(seen) != corpus.Len() {
+		return nil, fmt.Errorf("midas: load: clusters cover %d of %d corpus graphs", len(seen), corpus.Len())
+	}
+
+	if len(in.Sources) != len(in.Patterns) {
+		return nil, fmt.Errorf("midas: load: %d sources for %d patterns", len(in.Sources), len(in.Patterns))
+	}
+	for i, raw := range in.Patterns {
+		g, err := gio.UnmarshalGraphJSON(raw)
+		if err != nil {
+			return nil, fmt.Errorf("midas: load: pattern %d: %v", i, err)
+		}
+		st.patterns = append(st.patterns, pattern.New(g, in.Sources[i]))
+	}
+
+	if len(in.FCT.Supports) != len(in.FCT.Trees) {
+		return nil, fmt.Errorf("midas: load: %d supports for %d trees", len(in.FCT.Supports), len(in.FCT.Trees))
+	}
+	st.fctSet = fct.NewSet(fct.Miner{MinSupport: in.FCT.MinSupport, MaxEdges: in.FCT.MaxEdges})
+	for i, raw := range in.FCT.Trees {
+		g, err := gio.UnmarshalGraphJSON(raw)
+		if err != nil {
+			return nil, fmt.Errorf("midas: load: fct tree %d: %v", i, err)
+		}
+		st.fctSet.Insert(&fct.Tree{G: g, Support: in.FCT.Supports[i], Canon: canon.String(g)})
+	}
+
+	// Rebuild CSGs from membership (cheap relative to selection, and it
+	// avoids serializing weighted summaries).
+	for _, cs := range st.clusters {
+		cs.csg = closure.Merge(st.memberGraphs(cs))
+	}
+	return st, nil
+}

@@ -1,0 +1,111 @@
+package midas
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMarshalLoadRoundTrip(t *testing.T) {
+	st := buildState(t, 25)
+	data, err := st.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(data, st.Corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patterns identical.
+	if len(back.Patterns()) != len(st.Patterns()) {
+		t.Fatalf("patterns %d vs %d", len(back.Patterns()), len(st.Patterns()))
+	}
+	for i := range st.Patterns() {
+		if st.Patterns()[i].Canon() != back.Patterns()[i].Canon() {
+			t.Fatalf("pattern %d changed", i)
+		}
+	}
+	// Clusters cover the corpus and match.
+	if len(back.clusters) != len(st.clusters) {
+		t.Fatal("cluster count changed")
+	}
+	for ci := range st.clusters {
+		if len(back.clusters[ci].names) != len(st.clusters[ci].names) {
+			t.Fatalf("cluster %d membership changed", ci)
+		}
+	}
+	// FCT set identical.
+	if back.fctSet.Len() != st.fctSet.Len() {
+		t.Fatalf("fct %d vs %d", back.fctSet.Len(), st.fctSet.Len())
+	}
+	// GFD preserved.
+	if back.gfd != st.gfd {
+		t.Fatal("gfd changed")
+	}
+}
+
+func TestLoadedStateContinuesMaintenance(t *testing.T) {
+	st := buildState(t, 25)
+	data, err := st.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(data, st.Corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply a batch through the restored state.
+	rep, err := back.Apply(newBatch(7, 5, "post-load"), back.Corpus().Names()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Added != 5 || rep.Removed != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if back.Corpus().Len() != 28 {
+		t.Fatalf("corpus = %d", back.Corpus().Len())
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	st := buildState(t, 10)
+	data, err := st.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong corpus: a member name won't resolve.
+	other := graph.NewCorpus()
+	g := graph.New("unrelated")
+	g.AddNode("C")
+	other.MustAdd(g)
+	if _, err := Load(data, other); err == nil {
+		t.Fatal("state loaded against the wrong corpus")
+	}
+	// Corrupt JSON.
+	if _, err := Load([]byte("{"), st.Corpus()); err == nil {
+		t.Fatal("corrupt JSON accepted")
+	}
+	// Partial coverage: corpus with extra graphs not in any cluster.
+	extended := st.Corpus().Clone()
+	ng := graph.New("extra")
+	ng.AddNode("C")
+	extended.MustAdd(ng)
+	if _, err := Load(data, extended); err == nil {
+		t.Fatal("cluster membership gap accepted")
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	st := buildState(t, 15)
+	a, err := st.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("marshal not deterministic")
+	}
+}

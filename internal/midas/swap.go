@@ -1,0 +1,183 @@
+package midas
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/catapult"
+	"repro/internal/pattern"
+)
+
+// This file implements MIDAS's multi-scan swapping strategy. After a major
+// modification, candidate patterns are generated from the CSGs of the
+// modified clusters and repeatedly scanned; each scan tries to swap a
+// candidate for a current pattern when the swap improves the pattern-set
+// score. Scanning stops when a pass makes no swap or MaxScans is reached.
+// Two indices make this fast:
+//
+//   - a coverage index: the exact covered-edge bitset of every current
+//     pattern and candidate over the updated corpus, computed once, so any
+//     tentative set's coverage is pure bitset arithmetic; and
+//   - a contribution index: the marginal coverage of each selected pattern
+//     within the current set, whose minimum is the coverage-based pruning
+//     bound — a candidate whose total coverage cannot beat the weakest
+//     member's contribution is skipped without evaluation.
+//
+// Because a swap is applied only when the score strictly improves, the
+// maintained set's score never drops below the stale set's score — MIDAS's
+// "at least the same or better" guarantee.
+
+// maintainPatterns generates candidates from the modified clusters' CSGs
+// and runs multi-scan swapping.
+func (s *State) maintainPatterns(rep *Report, modified []*clusterState) error {
+	rng := rand.New(rand.NewSource(s.cfg.Catapult.Seed + 1))
+	budget := s.cfg.Catapult.Budget
+	var sampled []*pattern.Pattern
+	for _, cs := range modified {
+		sampled = append(sampled, catapult.SampleCandidates(cs.csg, budget, s.cfg.CandidateWalks, rng)...)
+	}
+	// First pruning index: sample frequency. Weighted walks revisit common
+	// motifs, so how often a canonical form was sampled is a cheap proxy
+	// for its coverage; only the most-sampled candidates graduate to exact
+	// (expensive) coverage evaluation. Candidates isomorphic to current
+	// patterns are dropped outright.
+	current := make(map[string]bool, len(s.patterns))
+	for _, p := range s.patterns {
+		current[p.Canon()] = true
+	}
+	freq := make(map[string]int)
+	byCanon := make(map[string]*pattern.Pattern)
+	for _, c := range sampled {
+		key := c.Canon()
+		if current[key] {
+			continue
+		}
+		freq[key]++
+		if _, ok := byCanon[key]; !ok {
+			byCanon[key] = c
+		}
+	}
+	candidates := make([]*pattern.Pattern, 0, len(byCanon))
+	for _, c := range byCanon {
+		candidates = append(candidates, c)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		fi, fj := freq[candidates[i].Canon()], freq[candidates[j].Canon()]
+		if fi != fj {
+			return fi > fj
+		}
+		return candidates[i].Canon() < candidates[j].Canon()
+	})
+	if cap := 4 * budget.Count; len(candidates) > cap {
+		candidates = candidates[:cap]
+	}
+	rep.Candidates = len(candidates)
+
+	// Coverage index: exact covered-edge bitsets over the updated corpus,
+	// computed concurrently (each pattern's sweep is independent).
+	u := pattern.NewUniverse(s.corpus)
+	opts := pattern.MatchOptions()
+	patCover := pattern.CoverBitsets(s.patterns, s.corpus, u, opts, 0)
+	candCover := pattern.CoverBitsets(candidates, s.corpus, u, opts, 0)
+
+	weights := s.selection
+	score := func(set []*pattern.Pattern, covers []pattern.Bitset) float64 {
+		union := pattern.NewBitset(u.Total())
+		for _, bs := range covers {
+			union.Or(bs)
+		}
+		cov := 0.0
+		if u.Total() > 0 {
+			cov = float64(union.Popcount()) / float64(u.Total())
+		}
+		return weights.Coverage*cov +
+			weights.Diversity*pattern.SetDiversity(set) -
+			weights.CogLoad*pattern.SetCognitiveLoad(set, budget)
+	}
+
+	curScore := score(s.patterns, patCover)
+	rep.ScoreBefore = curScore
+
+	// Contribution index: marginal coverage of each selected pattern.
+	contribution := func() []int {
+		out := make([]int, len(s.patterns))
+		for i := range s.patterns {
+			others := pattern.NewBitset(u.Total())
+			for j := range s.patterns {
+				if j != i {
+					others.Or(patCover[j])
+				}
+			}
+			out[i] = patCover[i].AndNotCount(others)
+		}
+		return out
+	}
+
+	// Candidates scanned in descending total-coverage order.
+	order := make([]int, len(candidates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := candCover[order[a]].Popcount(), candCover[order[b]].Popcount()
+		if ca != cb {
+			return ca > cb
+		}
+		return candidates[order[a]].Canon() < candidates[order[b]].Canon()
+	})
+
+	const eps = 1e-9
+	used := make([]bool, len(candidates))
+	for scan := 0; scan < s.cfg.MaxScans; scan++ {
+		swapped := false
+		contrib := contribution()
+		minContrib := 0
+		if len(contrib) > 0 {
+			minContrib = contrib[0]
+			for _, c := range contrib[1:] {
+				if c < minContrib {
+					minContrib = c
+				}
+			}
+		}
+		for _, ci := range order {
+			if used[ci] {
+				continue
+			}
+			// Coverage-based pruning: a candidate whose entire coverage is
+			// below the weakest member's marginal contribution cannot
+			// improve coverage by swapping; with non-negative diversity
+			// weight it could still help diversity, so prune only when the
+			// candidate also duplicates an existing structure class — the
+			// conservative test here is coverage-only, as in MIDAS.
+			if candCover[ci].Popcount() < minContrib {
+				continue
+			}
+			bestJ, bestScore := -1, curScore
+			for j := range s.patterns {
+				tentSet := make([]*pattern.Pattern, len(s.patterns))
+				copy(tentSet, s.patterns)
+				tentSet[j] = candidates[ci]
+				tentCover := make([]pattern.Bitset, len(patCover))
+				copy(tentCover, patCover)
+				tentCover[j] = candCover[ci]
+				if sc := score(tentSet, tentCover); sc > bestScore+eps {
+					bestJ, bestScore = j, sc
+				}
+			}
+			if bestJ >= 0 {
+				s.patterns[bestJ] = candidates[ci]
+				patCover[bestJ] = candCover[ci]
+				curScore = bestScore
+				used[ci] = true
+				rep.Swaps++
+				swapped = true
+			}
+		}
+		if !swapped {
+			break
+		}
+	}
+	rep.ScoreAfter = curScore
+	return nil
+}

@@ -1,0 +1,433 @@
+// Package modular implements the highly modular architecture for the
+// canned pattern selection problem proposed by Tzanikos et al. (DEXA 2021,
+// as reviewed in the tutorial's Section 2.3).
+//
+// The selection problem is decomposed into four independent tasks, each
+// behind an interface so that implementations can be swapped and optimized
+// separately:
+//
+//	similarity  — score the pairwise similarity of the corpus graphs
+//	clustering  — partition the corpus using those scores
+//	merging     — fuse each cluster into one continuous graph
+//	extraction  — pull canned patterns out of the continuous graphs
+//
+// The concrete implementations here reuse this repository's substrates
+// (frequent-tree features, graphlet censuses, k-medoids/agglomerative
+// clustering, graph closure, weighted random walks), so a Pipeline with the
+// right choices reproduces CATAPULT exactly, while other choices give the
+// cheaper or more accurate variants the modular paper argues for.
+package modular
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catapult"
+	"repro/internal/closure"
+	"repro/internal/cluster"
+	"repro/internal/fct"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/pattern"
+)
+
+// Similarity scores pairwise graph similarity in [0,1].
+type Similarity interface {
+	Name() string
+	// Matrix returns the symmetric similarity matrix of the corpus.
+	Matrix(c *graph.Corpus) ([][]float64, error)
+}
+
+// Clusterer partitions the corpus given a similarity matrix.
+type Clusterer interface {
+	Name() string
+	// Cluster returns k groups of corpus positions.
+	Cluster(sim [][]float64, k int, seed int64) ([][]int, error)
+}
+
+// Merger fuses one cluster's graphs into a continuous graph (a weighted
+// summary).
+type Merger interface {
+	Name() string
+	Merge(graphs []*graph.Graph) *closure.CSG
+}
+
+// Extractor pulls canned patterns from the continuous graphs.
+type Extractor interface {
+	Name() string
+	Extract(csgs []*closure.CSG, corpus *graph.Corpus, b pattern.Budget, w pattern.Weights, seed int64) []*pattern.Pattern
+}
+
+// Pipeline composes the four stages.
+type Pipeline struct {
+	Similarity Similarity
+	Clusterer  Clusterer
+	Merger     Merger
+	Extractor  Extractor
+	// K is the number of clusters (0 = √N heuristic capped at 16).
+	K int
+	// Budget and Weights configure extraction.
+	Budget  pattern.Budget
+	Weights pattern.Weights
+	// Seed drives all randomized stages.
+	Seed int64
+}
+
+// Result reports the pipeline outcome.
+type Result struct {
+	Patterns []*pattern.Pattern
+	Clusters [][]int
+	CSGs     []*closure.CSG
+	Stages   [4]string // names of the stage implementations used
+}
+
+// Run executes the pipeline over the corpus.
+func (p Pipeline) Run(c *graph.Corpus) (*Result, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("modular: empty corpus")
+	}
+	if p.Similarity == nil || p.Clusterer == nil || p.Merger == nil || p.Extractor == nil {
+		return nil, fmt.Errorf("modular: all four stages must be configured")
+	}
+	if err := p.Budget.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Weights == (pattern.Weights{}) {
+		p.Weights = pattern.DefaultWeights()
+	}
+	k := p.K
+	if k == 0 {
+		k = 1
+		for k*k < c.Len() && k < 16 {
+			k++
+		}
+	}
+	sim, err := p.Similarity.Matrix(c)
+	if err != nil {
+		return nil, fmt.Errorf("modular: similarity: %v", err)
+	}
+	clusters, err := p.Clusterer.Cluster(sim, k, p.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("modular: clustering: %v", err)
+	}
+	res := &Result{Clusters: clusters}
+	for _, members := range clusters {
+		var graphs []*graph.Graph
+		for _, idx := range members {
+			graphs = append(graphs, c.Graph(idx))
+		}
+		res.CSGs = append(res.CSGs, p.Merger.Merge(graphs))
+	}
+	res.Patterns = p.Extractor.Extract(res.CSGs, c, p.Budget, p.Weights, p.Seed)
+	res.Stages = [4]string{p.Similarity.Name(), p.Clusterer.Name(), p.Merger.Name(), p.Extractor.Name()}
+	return res, nil
+}
+
+// CatapultEquivalent returns the pipeline whose stage choices reproduce
+// CATAPULT: frequent-tree cosine similarity, k-medoids, graph closure,
+// weighted-random-walk extraction with greedy scored selection.
+func CatapultEquivalent(b pattern.Budget, seed int64) Pipeline {
+	return Pipeline{
+		Similarity: FCTSimilarity{MaxEdges: 2, MinSupportFrac: 0.1},
+		Clusterer:  KMedoidsClusterer{},
+		Merger:     ClosureMerger{},
+		Extractor:  WalkExtractor{Walks: 120},
+		Budget:     b,
+		Seed:       seed,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Similarity implementations
+// ---------------------------------------------------------------------------
+
+// FCTSimilarity embeds graphs as frequent-tree feature vectors and scores
+// cosine similarity (CATAPULT's choice).
+type FCTSimilarity struct {
+	MaxEdges       int
+	MinSupportFrac float64
+}
+
+// Name implements Similarity.
+func (FCTSimilarity) Name() string { return "fct-cosine" }
+
+// Matrix implements Similarity.
+func (s FCTSimilarity) Matrix(c *graph.Corpus) ([][]float64, error) {
+	maxEdges := s.MaxEdges
+	if maxEdges == 0 {
+		maxEdges = 2
+	}
+	frac := s.MinSupportFrac
+	if frac == 0 {
+		frac = 0.1
+	}
+	minSup := int(frac * float64(c.Len()))
+	if minSup < 1 {
+		minSup = 1
+	}
+	set, err := fct.Miner{MinSupport: minSup, MaxEdges: maxEdges}.Mine(c)
+	if err != nil {
+		return nil, err
+	}
+	vecs := make([][]float64, c.Len())
+	c.Each(func(i int, g *graph.Graph) {
+		vecs[i] = set.FeatureVector(g)
+	})
+	return cosineMatrix(vecs), nil
+}
+
+// GraphletSimilarity embeds graphs as graphlet count vectors — cheaper than
+// tree mining and label-oblivious.
+type GraphletSimilarity struct{}
+
+// Name implements Similarity.
+func (GraphletSimilarity) Name() string { return "graphlet-cosine" }
+
+// Matrix implements Similarity.
+func (GraphletSimilarity) Matrix(c *graph.Corpus) ([][]float64, error) {
+	vecs := make([][]float64, c.Len())
+	c.Each(func(i int, g *graph.Graph) {
+		gl := graphlet.Count(g)
+		v := make([]float64, len(gl))
+		copy(v, gl[:])
+		vecs[i] = v
+	})
+	return cosineMatrix(vecs), nil
+}
+
+// LabelSimilarity compares node-label histograms — the cheapest stage, apt
+// when labels alone discriminate domains.
+type LabelSimilarity struct{}
+
+// Name implements Similarity.
+func (LabelSimilarity) Name() string { return "label-histogram" }
+
+// Matrix implements Similarity.
+func (LabelSimilarity) Matrix(c *graph.Corpus) ([][]float64, error) {
+	// Build a stable label universe.
+	universe := map[string]int{}
+	c.Each(func(_ int, g *graph.Graph) {
+		for l := range g.NodeLabels() {
+			if _, ok := universe[l]; !ok {
+				universe[l] = len(universe)
+			}
+		}
+	})
+	vecs := make([][]float64, c.Len())
+	c.Each(func(i int, g *graph.Graph) {
+		v := make([]float64, len(universe))
+		for l, k := range g.NodeLabels() {
+			v[universe[l]] = float64(k)
+		}
+		vecs[i] = v
+	})
+	return cosineMatrix(vecs), nil
+}
+
+func cosineMatrix(vecs [][]float64) [][]float64 {
+	n := len(vecs)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := 1 - cluster.Cosine(vecs[i], vecs[j])
+			m[i][j], m[j][i] = s, s
+		}
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Clusterer implementations
+// ---------------------------------------------------------------------------
+
+// simToDist converts a similarity matrix into row vectors usable with a
+// Euclidean metric: each graph is represented by its similarity profile.
+func simToDist(sim [][]float64) [][]float64 { return sim }
+
+// KMedoidsClusterer wraps cluster.KMedoids over similarity profiles.
+type KMedoidsClusterer struct{}
+
+// Name implements Clusterer.
+func (KMedoidsClusterer) Name() string { return "k-medoids" }
+
+// Cluster implements Clusterer.
+func (KMedoidsClusterer) Cluster(sim [][]float64, k int, seed int64) ([][]int, error) {
+	cl, err := cluster.KMedoids(simToDist(sim), k, cluster.Euclidean, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	return groups(cl), nil
+}
+
+// AgglomerativeClusterer wraps average-linkage agglomerative clustering.
+type AgglomerativeClusterer struct{}
+
+// Name implements Clusterer.
+func (AgglomerativeClusterer) Name() string { return "agglomerative" }
+
+// Cluster implements Clusterer.
+func (AgglomerativeClusterer) Cluster(sim [][]float64, k int, _ int64) ([][]int, error) {
+	cl, err := cluster.Agglomerative(simToDist(sim), k, cluster.Euclidean)
+	if err != nil {
+		return nil, err
+	}
+	return groups(cl), nil
+}
+
+// SingleCluster puts everything in one cluster — the degenerate choice that
+// turns the pipeline into "summarize the whole corpus then extract".
+type SingleCluster struct{}
+
+// Name implements Clusterer.
+func (SingleCluster) Name() string { return "single" }
+
+// Cluster implements Clusterer.
+func (SingleCluster) Cluster(sim [][]float64, _ int, _ int64) ([][]int, error) {
+	if len(sim) == 0 {
+		return nil, fmt.Errorf("modular: empty similarity matrix")
+	}
+	all := make([]int, len(sim))
+	for i := range all {
+		all[i] = i
+	}
+	return [][]int{all}, nil
+}
+
+func groups(cl *cluster.Clustering) [][]int {
+	out := make([][]int, cl.K)
+	for ci := 0; ci < cl.K; ci++ {
+		out[ci] = cl.Members(ci)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Merger implementations
+// ---------------------------------------------------------------------------
+
+// ClosureMerger builds a cluster summary graph by iterated graph closure
+// (CATAPULT's choice).
+type ClosureMerger struct{}
+
+// Name implements Merger.
+func (ClosureMerger) Name() string { return "graph-closure" }
+
+// Merge implements Merger.
+func (ClosureMerger) Merge(graphs []*graph.Graph) *closure.CSG {
+	return closure.Merge(graphs)
+}
+
+// UnionMerger concatenates the cluster members without alignment — cheap,
+// no compression, every edge weight 1. A useful lower bound for ablation.
+type UnionMerger struct{}
+
+// Name implements Merger.
+func (UnionMerger) Name() string { return "disjoint-union" }
+
+// Merge implements Merger.
+func (UnionMerger) Merge(graphs []*graph.Graph) *closure.CSG {
+	csg := closure.Merge(nil)
+	for _, g := range graphs {
+		csg.AppendDisjoint(g)
+	}
+	return csg
+}
+
+// ---------------------------------------------------------------------------
+// Extractor implementations
+// ---------------------------------------------------------------------------
+
+// WalkExtractor samples candidates by weighted random walks and selects
+// greedily on the pattern score (CATAPULT's choice).
+type WalkExtractor struct {
+	Walks int
+}
+
+// Name implements Extractor.
+func (WalkExtractor) Name() string { return "weighted-walk+greedy" }
+
+// Extract implements Extractor.
+func (e WalkExtractor) Extract(csgs []*closure.CSG, corpus *graph.Corpus, b pattern.Budget, w pattern.Weights, seed int64) []*pattern.Pattern {
+	walks := e.Walks
+	if walks == 0 {
+		walks = 120
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var candidates []*pattern.Pattern
+	for _, csg := range csgs {
+		candidates = append(candidates, catapult.SampleCandidates(csg, b, walks, rng)...)
+	}
+	candidates = pattern.Dedup(candidates)
+	selected, _ := catapult.GreedySelect(candidates, corpus, b, w, pattern.MatchOptions())
+	return selected
+}
+
+// HeaviestSubgraphExtractor deterministically grows patterns from the
+// heaviest CSG edges — no randomness, no coverage computation; the fastest
+// but least adaptive extractor.
+type HeaviestSubgraphExtractor struct{}
+
+// Name implements Extractor.
+func (HeaviestSubgraphExtractor) Name() string { return "heaviest-greedy" }
+
+// Extract implements Extractor.
+func (HeaviestSubgraphExtractor) Extract(csgs []*closure.CSG, _ *graph.Corpus, b pattern.Budget, _ pattern.Weights, _ int64) []*pattern.Pattern {
+	var out []*pattern.Pattern
+	for _, csg := range csgs {
+		if csg.G.NumEdges() == 0 {
+			continue
+		}
+		// Start from the heaviest edge; greedily add the heaviest frontier
+		// edge until MaxSize.
+		best := 0
+		for e := 1; e < csg.G.NumEdges(); e++ {
+			if csg.EdgeWeight[e] > csg.EdgeWeight[best] {
+				best = e
+			}
+		}
+		edges := []graph.EdgeID{best}
+		inSet := map[graph.EdgeID]bool{best: true}
+		nodes := []graph.NodeID{csg.G.Edge(best).U, csg.G.Edge(best).V}
+		inNodes := map[graph.NodeID]bool{nodes[0]: true, nodes[1]: true}
+		for len(edges) < b.MaxSize {
+			bestE, bestW := graph.EdgeID(-1), -1
+			for _, v := range nodes {
+				csg.G.VisitNeighbors(v, func(_ graph.NodeID, eid graph.EdgeID) bool {
+					if !inSet[eid] && csg.EdgeWeight[eid] > bestW {
+						bestE, bestW = eid, csg.EdgeWeight[eid]
+					}
+					return true
+				})
+			}
+			if bestE < 0 {
+				break
+			}
+			inSet[bestE] = true
+			edges = append(edges, bestE)
+			ne := csg.G.Edge(bestE)
+			for _, v := range []graph.NodeID{ne.U, ne.V} {
+				if !inNodes[v] {
+					inNodes[v] = true
+					nodes = append(nodes, v)
+				}
+			}
+		}
+		if len(edges) >= b.MinSize {
+			sub, _ := csg.G.SubgraphFromEdges(edges)
+			sub.SetName("heaviest")
+			p := pattern.New(sub, "modular:heaviest")
+			if b.Admits(p) && sub.IsConnected() {
+				out = append(out, p)
+			}
+		}
+	}
+	out = pattern.Dedup(out)
+	if len(out) > b.Count {
+		out = out[:b.Count]
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package modular
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func corpus() *graph.Corpus {
+	return datagen.ChemicalCorpus(3, 30, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+}
+
+func budget() pattern.Budget {
+	return pattern.Budget{Count: 5, MinSize: 4, MaxSize: 8}
+}
+
+func TestCatapultEquivalentPipeline(t *testing.T) {
+	p := CatapultEquivalent(budget(), 1)
+	res, err := p.Run(corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+	if res.Stages != [4]string{"fct-cosine", "k-medoids", "graph-closure", "weighted-walk+greedy"} {
+		t.Fatalf("stages = %v", res.Stages)
+	}
+	if len(res.CSGs) != len(res.Clusters) {
+		t.Fatal("CSG/cluster mismatch")
+	}
+	for _, pt := range res.Patterns {
+		if pt.Size() < 4 || pt.Size() > 8 {
+			t.Fatalf("pattern size %d outside budget", pt.Size())
+		}
+	}
+}
+
+func TestAllStageCombinationsRun(t *testing.T) {
+	sims := []Similarity{FCTSimilarity{}, GraphletSimilarity{}, LabelSimilarity{}}
+	clus := []Clusterer{KMedoidsClusterer{}, AgglomerativeClusterer{}, SingleCluster{}}
+	mers := []Merger{ClosureMerger{}, UnionMerger{}}
+	exts := []Extractor{WalkExtractor{Walks: 40}, HeaviestSubgraphExtractor{}}
+	c := corpus()
+	for _, s := range sims {
+		for _, cl := range clus {
+			for _, m := range mers {
+				for _, e := range exts {
+					p := Pipeline{Similarity: s, Clusterer: cl, Merger: m, Extractor: e,
+						Budget: budget(), Seed: 2}
+					res, err := p.Run(c)
+					if err != nil {
+						t.Fatalf("%s/%s/%s/%s: %v", s.Name(), cl.Name(), m.Name(), e.Name(), err)
+					}
+					if len(res.Patterns) > budget().Count {
+						t.Fatalf("%v: budget exceeded", res.Stages)
+					}
+					for _, pt := range res.Patterns {
+						if !pt.G.IsConnected() {
+							t.Fatalf("%v: disconnected pattern", res.Stages)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := (Pipeline{Budget: budget()}).Run(corpus()); err == nil {
+		t.Fatal("missing stages accepted")
+	}
+	p := CatapultEquivalent(budget(), 1)
+	if _, err := p.Run(graph.NewCorpus()); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	p.Budget = pattern.Budget{}
+	if _, err := p.Run(corpus()); err == nil {
+		t.Fatal("invalid budget accepted")
+	}
+}
+
+func TestSimilarityMatrixProperties(t *testing.T) {
+	c := corpus()
+	for _, s := range []Similarity{FCTSimilarity{}, GraphletSimilarity{}, LabelSimilarity{}} {
+		m, err := s.Matrix(c)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(m) != c.Len() {
+			t.Fatalf("%s: matrix size %d", s.Name(), len(m))
+		}
+		for i := range m {
+			if m[i][i] != 1 {
+				t.Fatalf("%s: diagonal not 1", s.Name())
+			}
+			for j := range m {
+				if m[i][j] != m[j][i] {
+					t.Fatalf("%s: not symmetric", s.Name())
+				}
+				if m[i][j] < -1e-9 || m[i][j] > 1+1e-9 {
+					t.Fatalf("%s: value %v out of range", s.Name(), m[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSingleClusterGroupsEverything(t *testing.T) {
+	m := [][]float64{{1, 0}, {0, 1}}
+	groups, err := SingleCluster{}.Cluster(m, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if _, err := (SingleCluster{}).Cluster(nil, 1, 0); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestUnionMergerNoCompression(t *testing.T) {
+	g1 := graph.New("a")
+	g1.AddNode("A")
+	g1.AddNode("A")
+	g1.MustAddEdge(0, 1, "-")
+	g2 := graph.New("b")
+	g2.AddNode("A")
+	g2.AddNode("A")
+	g2.MustAddEdge(0, 1, "-")
+	csg := UnionMerger{}.Merge([]*graph.Graph{g1, g2})
+	if csg.G.NumNodes() != 4 || csg.G.NumEdges() != 2 {
+		t.Fatalf("union = %s", csg.G)
+	}
+	for e := 0; e < csg.G.NumEdges(); e++ {
+		if csg.EdgeWeight[e] != 1 {
+			t.Fatal("union weights must be 1")
+		}
+	}
+	// Closure merger compresses the identical graphs instead.
+	ccsg := ClosureMerger{}.Merge([]*graph.Graph{g1, g2})
+	if ccsg.G.NumNodes() != 2 {
+		t.Fatalf("closure = %s", ccsg.G)
+	}
+}
+
+func TestHeaviestExtractorDeterministic(t *testing.T) {
+	c := corpus()
+	p := Pipeline{Similarity: LabelSimilarity{}, Clusterer: SingleCluster{},
+		Merger: ClosureMerger{}, Extractor: HeaviestSubgraphExtractor{},
+		Budget: budget(), Seed: 7}
+	a, err := p.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Patterns {
+		if a.Patterns[i].Canon() != b.Patterns[i].Canon() {
+			t.Fatal("nondeterministic pattern")
+		}
+	}
+}

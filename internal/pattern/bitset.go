@@ -1,0 +1,141 @@
+package pattern
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+)
+
+// This file provides the dense covered-edge bitset machinery shared by the
+// greedy selectors (CATAPULT, TATTOO via its own edge sets, the modular
+// extractor) and MIDAS's multi-scan swapping: each pattern's covered corpus
+// edges are computed once with bounded subgraph matching, after which any
+// set's coverage is pure bitset arithmetic.
+
+// Bitset is a fixed-capacity bit vector.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Or folds o into b.
+func (b Bitset) Or(o Bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// Popcount returns the number of set bits.
+func (b Bitset) Popcount() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndNotCount returns |b \ o|: bits set in b but not in o.
+func (b Bitset) AndNotCount(o Bitset) int {
+	c := 0
+	for i := range b {
+		c += bits.OnesCount64(b[i] &^ o[i])
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (b Bitset) Clone() Bitset {
+	o := make(Bitset, len(b))
+	copy(o, b)
+	return o
+}
+
+// Universe maps (corpus position, edge id) pairs onto dense bit indices.
+type Universe struct {
+	offsets []int
+	total   int
+}
+
+// NewUniverse builds the edge universe of a corpus.
+func NewUniverse(c *graph.Corpus) *Universe {
+	u := &Universe{offsets: make([]int, c.Len())}
+	c.Each(func(i int, g *graph.Graph) {
+		u.offsets[i] = u.total
+		u.total += g.NumEdges()
+	})
+	return u
+}
+
+// Total returns the number of edges in the universe.
+func (u *Universe) Total() int { return u.total }
+
+// Index returns the dense index of edge e of corpus graph gi.
+func (u *Universe) Index(gi int, e graph.EdgeID) int { return u.offsets[gi] + int(e) }
+
+// CoverBitsets computes the covered-edge bitsets of many patterns
+// concurrently. Each pattern's sweep is independent, so this is the
+// single-machine analogue of the distributed fan-out the tutorial's
+// "massive networks" direction calls for; results are deterministic
+// (slot-indexed) regardless of scheduling. workers ≤ 0 means GOMAXPROCS.
+func CoverBitsets(pats []*Pattern, c *graph.Corpus, u *Universe, opts isomorph.Options, workers int) []Bitset {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pats) {
+		workers = len(pats)
+	}
+	out := make([]Bitset, len(pats))
+	if len(pats) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i] = CoverBitset(pats[i], c, u, opts)
+			}
+		}()
+	}
+	for i := range pats {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+// CoverBitset computes the covered-edge bitset of p over the corpus with
+// bounded matching: one VF2 sweep per corpus graph.
+func CoverBitset(p *Pattern, c *graph.Corpus, u *Universe, opts isomorph.Options) Bitset {
+	bs := NewBitset(u.total)
+	if p.G.NumEdges() == 0 {
+		return bs
+	}
+	pEdges := p.G.Edges()
+	c.Each(func(gi int, g *graph.Graph) {
+		if p.G.NumNodes() > g.NumNodes() || p.G.NumEdges() > g.NumEdges() {
+			return
+		}
+		isomorph.Enumerate(p.G, g, opts, func(mapping []graph.NodeID) bool {
+			for _, pe := range pEdges {
+				if te, ok := g.EdgeBetween(mapping[pe.U], mapping[pe.V]); ok {
+					bs.Set(u.Index(gi, te))
+				}
+			}
+			return true
+		})
+	})
+	return bs
+}

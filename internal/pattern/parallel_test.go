@@ -1,0 +1,67 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func parallelFixtures() ([]*Pattern, *graph.Corpus, *Universe) {
+	c := testCorpus()
+	u := NewUniverse(c)
+	mk := func(build func(g *graph.Graph)) *Pattern {
+		g := graph.New("p")
+		build(g)
+		return New(g, "t")
+	}
+	pats := []*Pattern{
+		mk(func(g *graph.Graph) { // edge
+			g.AddNodes(2, "A")
+			g.MustAddEdge(0, 1, "-")
+		}),
+		mk(func(g *graph.Graph) { // wedge
+			g.AddNodes(3, "A")
+			g.MustAddEdge(0, 1, "-")
+			g.MustAddEdge(1, 2, "-")
+		}),
+		mk(func(g *graph.Graph) { // triangle
+			g.AddNodes(3, "A")
+			g.MustAddEdge(0, 1, "-")
+			g.MustAddEdge(1, 2, "-")
+			g.MustAddEdge(0, 2, "-")
+		}),
+		mk(func(g *graph.Graph) { // path4
+			g.AddNodes(4, "A")
+			g.MustAddEdge(0, 1, "-")
+			g.MustAddEdge(1, 2, "-")
+			g.MustAddEdge(2, 3, "-")
+		}),
+	}
+	return pats, c, u
+}
+
+func TestCoverBitsetsMatchesSequential(t *testing.T) {
+	pats, c, u := parallelFixtures()
+	opts := MatchOptions()
+	for _, workers := range []int{0, 1, 2, 8} {
+		got := CoverBitsets(pats, c, u, opts, workers)
+		for i, p := range pats {
+			want := CoverBitset(p, c, u, opts)
+			if len(got[i]) != len(want) {
+				t.Fatalf("workers=%d pattern %d: length mismatch", workers, i)
+			}
+			for w := range want {
+				if got[i][w] != want[w] {
+					t.Fatalf("workers=%d pattern %d: bitset differs", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverBitsetsEmpty(t *testing.T) {
+	_, c, u := parallelFixtures()
+	if out := CoverBitsets(nil, c, u, MatchOptions(), 4); len(out) != 0 {
+		t.Fatal("empty input")
+	}
+}

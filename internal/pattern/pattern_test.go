@@ -1,0 +1,286 @@
+package pattern
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+)
+
+func pathPattern(n int, label string) *Pattern {
+	g := graph.New("p")
+	g.AddNodes(n, label)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, isomorph.Wildcard)
+	}
+	return New(g, "test")
+}
+
+func cyclePattern(n int, label string) *Pattern {
+	g := graph.New("c")
+	g.AddNodes(n, label)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n, isomorph.Wildcard)
+	}
+	return New(g, "test")
+}
+
+func starPattern(leaves int) *Pattern {
+	g := graph.New("s")
+	c := g.AddNode(isomorph.Wildcard)
+	for i := 0; i < leaves; i++ {
+		l := g.AddNode(isomorph.Wildcard)
+		g.MustAddEdge(c, l, isomorph.Wildcard)
+	}
+	return New(g, "test")
+}
+
+func testCorpus() *graph.Corpus {
+	c := graph.NewCorpus()
+	// g0: triangle with tail (4 edges).
+	g0 := graph.New("g0")
+	g0.AddNodes(4, "A")
+	g0.MustAddEdge(0, 1, "-")
+	g0.MustAddEdge(1, 2, "-")
+	g0.MustAddEdge(0, 2, "-")
+	g0.MustAddEdge(2, 3, "-")
+	c.MustAdd(g0)
+	// g1: path of 4 (3 edges).
+	g1 := graph.New("g1")
+	g1.AddNodes(4, "A")
+	g1.MustAddEdge(0, 1, "-")
+	g1.MustAddEdge(1, 2, "-")
+	g1.MustAddEdge(2, 3, "-")
+	c.MustAdd(g1)
+	return c
+}
+
+func TestBasicPatterns(t *testing.T) {
+	basics := Basic()
+	if len(basics) != 3 {
+		t.Fatalf("Basic() returned %d patterns", len(basics))
+	}
+	sizes := []int{1, 2, 3}
+	for i, p := range basics {
+		if p.Size() != sizes[i] {
+			t.Errorf("basic %d: size %d, want %d", i, p.Size(), sizes[i])
+		}
+		if !p.IsBasic() {
+			t.Errorf("basic %d not flagged basic", i)
+		}
+		if p.Source != "basic" {
+			t.Errorf("basic %d source = %q", i, p.Source)
+		}
+	}
+	if pathPattern(6, "A").IsBasic() {
+		t.Fatal("5-edge path flagged basic")
+	}
+}
+
+func TestBudgetValidate(t *testing.T) {
+	if err := DefaultBudget().Validate(); err != nil {
+		t.Fatalf("default budget invalid: %v", err)
+	}
+	bad := []Budget{
+		{Count: 0, MinSize: 4, MaxSize: 12},
+		{Count: 5, MinSize: 0, MaxSize: 12},
+		{Count: 5, MinSize: 8, MaxSize: 4},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("budget %d (%+v) accepted", i, b)
+		}
+	}
+	b := Budget{Count: 3, MinSize: 4, MaxSize: 6}
+	if b.Admits(pathPattern(4, "A")) { // 3 edges
+		t.Fatal("3-edge pattern admitted into [4,6]")
+	}
+	if !b.Admits(pathPattern(5, "A")) { // 4 edges
+		t.Fatal("4-edge pattern rejected from [4,6]")
+	}
+}
+
+func TestCognitiveLoadOrdering(t *testing.T) {
+	edge := pathPattern(2, "A")
+	p6 := pathPattern(7, "A") // 6-edge path, sparse
+	c6 := cyclePattern(6, "A")
+	k4 := New(clique(4), "test") // 6 edges, dense
+	if CognitiveLoad(edge) >= CognitiveLoad(p6) {
+		t.Fatal("longer pattern must load more than an edge")
+	}
+	if CognitiveLoad(p6) >= CognitiveLoad(k4) {
+		t.Fatalf("dense 6-edge pattern must load more than sparse 6-edge path: %v vs %v",
+			CognitiveLoad(p6), CognitiveLoad(k4))
+	}
+	if CognitiveLoad(c6) >= CognitiveLoad(k4) {
+		t.Fatal("clique must load more than cycle of equal edge count")
+	}
+	b := Budget{Count: 5, MinSize: 4, MaxSize: 12}
+	for _, p := range []*Pattern{edge, p6, c6, k4} {
+		n := NormalizedCognitiveLoad(p, b)
+		if n < 0 || n > 1 {
+			t.Fatalf("normalized load %v out of [0,1]", n)
+		}
+	}
+	if SetCognitiveLoad(nil, b) != 0 {
+		t.Fatal("empty set load must be 0")
+	}
+}
+
+func clique(n int) *graph.Graph {
+	g := graph.New("k")
+	g.AddNodes(n, "A")
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j, "-")
+		}
+	}
+	return g
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	p := cyclePattern(5, "A")
+	q := pathPattern(6, "A")
+	if s := Similarity(p, p); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("self similarity = %v, want 1", s)
+	}
+	if s1, s2 := Similarity(p, q), Similarity(q, p); math.Abs(s1-s2) > 1e-12 {
+		t.Fatal("similarity not symmetric")
+	}
+	if s := Similarity(p, q); s < 0 || s > 1 {
+		t.Fatalf("similarity %v out of range", s)
+	}
+	// A cycle is more similar to another cycle than to a star.
+	if Similarity(cyclePattern(5, "A"), cyclePattern(6, "A")) <= Similarity(cyclePattern(5, "A"), starPattern(5)) {
+		t.Fatal("cycle-cycle similarity should exceed cycle-star")
+	}
+}
+
+func TestSetDiversity(t *testing.T) {
+	if SetDiversity(nil) != 1 || SetDiversity([]*Pattern{starPattern(4)}) != 1 {
+		t.Fatal("small sets must be vacuously diverse")
+	}
+	same := []*Pattern{cyclePattern(5, "A"), cyclePattern(5, "A")}
+	mixed := []*Pattern{cyclePattern(5, "A"), starPattern(5)}
+	if SetDiversity(same) >= SetDiversity(mixed) {
+		t.Fatalf("identical set diversity %v must be below mixed %v",
+			SetDiversity(same), SetDiversity(mixed))
+	}
+	if d := SetDiversity(same); math.Abs(d) > 1e-9 {
+		t.Fatalf("identical pair diversity = %v, want 0", d)
+	}
+	// Marginal diversity of a duplicate is 0; of something different, > 0.
+	set := []*Pattern{cyclePattern(5, "A")}
+	if md := MarginalDiversity(set, cyclePattern(5, "A")); math.Abs(md) > 1e-9 {
+		t.Fatalf("duplicate marginal diversity = %v", md)
+	}
+	if MarginalDiversity(set, starPattern(6)) <= 0 {
+		t.Fatal("novel pattern must add diversity")
+	}
+	if MarginalDiversity(nil, starPattern(6)) != 1 {
+		t.Fatal("empty-set marginal diversity must be 1")
+	}
+}
+
+func TestGraphCoverage(t *testing.T) {
+	c := testCorpus()
+	opts := MatchOptions()
+	tri := cyclePattern(3, "A")
+	tri.G.SetNodeLabel(0, "A")
+	// Triangle covers only g0.
+	if cov := GraphCoverage(cyclePattern(3, isomorph.Wildcard), c, opts); cov != 0.5 {
+		t.Fatalf("triangle coverage = %v, want 0.5", cov)
+	}
+	// Edge covers both.
+	if cov := GraphCoverage(pathPattern(2, isomorph.Wildcard), c, opts); cov != 1 {
+		t.Fatalf("edge coverage = %v, want 1", cov)
+	}
+	if GraphCoverage(pathPattern(2, isomorph.Wildcard), graph.NewCorpus(), opts) != 0 {
+		t.Fatal("empty corpus coverage must be 0")
+	}
+}
+
+func TestCoverageIndex(t *testing.T) {
+	c := testCorpus() // 7 edges total
+	idx := NewCoverageIndex(c, MatchOptions())
+	if idx.TotalEdges() != 7 || idx.Covered() != 0 {
+		t.Fatalf("fresh index: total=%d covered=%v", idx.TotalEdges(), idx.Covered())
+	}
+	tri := cyclePattern(3, isomorph.Wildcard)
+	if gain := idx.Gain(tri); gain != 3 {
+		t.Fatalf("triangle gain = %d, want 3", gain)
+	}
+	if got := idx.Commit(tri); got != 3 {
+		t.Fatalf("triangle commit = %d, want 3", got)
+	}
+	// Second commit of the same pattern adds nothing.
+	if got := idx.Commit(tri); got != 0 {
+		t.Fatalf("repeat commit = %d, want 0", got)
+	}
+	if cov := idx.Covered(); math.Abs(cov-3.0/7) > 1e-12 {
+		t.Fatalf("covered = %v, want 3/7", cov)
+	}
+	// Path4 (3 edges) covers g1 fully and the tail paths in g0.
+	p4 := pathPattern(4, isomorph.Wildcard)
+	gainBefore := idx.Gain(p4)
+	clone := idx.Clone()
+	idx.Commit(p4)
+	if clone.Covered() == idx.Covered() {
+		t.Fatal("clone must be independent")
+	}
+	if gainBefore == 0 {
+		t.Fatal("path4 should cover new edges")
+	}
+}
+
+func TestSetEdgeCoverageAndScore(t *testing.T) {
+	c := testCorpus()
+	opts := MatchOptions()
+	b := Budget{Count: 2, MinSize: 1, MaxSize: 12}
+	w := DefaultWeights()
+	edgeOnly := []*Pattern{pathPattern(2, isomorph.Wildcard)}
+	if cov := SetEdgeCoverage(edgeOnly, c, opts); cov != 1 {
+		t.Fatalf("edge pattern set coverage = %v", cov)
+	}
+	triOnly := []*Pattern{cyclePattern(3, isomorph.Wildcard)}
+	if cov := SetEdgeCoverage(triOnly, c, opts); math.Abs(cov-3.0/7) > 1e-12 {
+		t.Fatalf("triangle set coverage = %v", cov)
+	}
+	// Score rewards coverage: edge-only set beats triangle-only under
+	// equal weights (higher coverage, lower load).
+	if SetScore(edgeOnly, c, b, w, opts) <= SetScore(triOnly, c, b, w, opts) {
+		t.Fatal("score ordering wrong")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	a := cyclePattern(5, "A")
+	b := cyclePattern(5, "A") // isomorphic duplicate
+	s := starPattern(4)
+	out := Dedup([]*Pattern{a, b, s})
+	if len(out) != 2 {
+		t.Fatalf("Dedup kept %d, want 2", len(out))
+	}
+	if out[0] != a || out[1] != s {
+		t.Fatal("Dedup must preserve first occurrences in order")
+	}
+}
+
+func TestSingletonCorpus(t *testing.T) {
+	g := clique(4)
+	c := SingletonCorpus(g)
+	if c.Len() != 1 || c.Graph(0) != g {
+		t.Fatal("singleton corpus wrong")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := starPattern(3)
+	if p.String() != "test[n=4,m=3]" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if p.Canon() == "" || p.Canon() != p.Canon() {
+		t.Fatal("Canon must be stable and non-empty")
+	}
+}

@@ -1,0 +1,140 @@
+package results
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+func facetCorpus() *graph.Corpus {
+	c := graph.NewCorpus()
+	// g0, g1: triangle graphs. g2: path. g3: star.
+	tri := func(name string) *graph.Graph {
+		g := graph.New(name)
+		g.AddNodes(3, "A")
+		g.MustAddEdge(0, 1, "-")
+		g.MustAddEdge(1, 2, "-")
+		g.MustAddEdge(0, 2, "-")
+		return g
+	}
+	c.MustAdd(tri("g0"))
+	c.MustAdd(tri("g1"))
+	p := graph.New("g2")
+	p.AddNodes(4, "A")
+	p.MustAddEdge(0, 1, "-")
+	p.MustAddEdge(1, 2, "-")
+	p.MustAddEdge(2, 3, "-")
+	c.MustAdd(p)
+	s := graph.New("g3")
+	ctr := s.AddNode("A")
+	for i := 0; i < 3; i++ {
+		l := s.AddNode("A")
+		s.MustAddEdge(ctr, l, "-")
+	}
+	c.MustAdd(s)
+	return c
+}
+
+func trianglePattern() *pattern.Pattern {
+	g := graph.New("tri")
+	g.AddNodes(3, "A")
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(1, 2, "-")
+	g.MustAddEdge(0, 2, "-")
+	return pattern.New(g, "p")
+}
+
+func clawPattern() *pattern.Pattern {
+	g := graph.New("claw")
+	ctr := g.AddNode("A")
+	for i := 0; i < 3; i++ {
+		l := g.AddNode("A")
+		g.MustAddEdge(ctr, l, "-")
+	}
+	return pattern.New(g, "p")
+}
+
+func TestFacets(t *testing.T) {
+	c := facetCorpus()
+	matched := []string{"g0", "g1", "g2", "g3"}
+	panel := []*pattern.Pattern{trianglePattern(), clawPattern()}
+	facets, rest := Facets(matched, c, panel, pattern.MatchOptions())
+	if len(facets) != 2 {
+		t.Fatalf("facets = %+v", facets)
+	}
+	// Triangle facet has 2 members, claw facet 1 → triangle first.
+	if facets[0].PatternIndex != 0 || len(facets[0].Graphs) != 2 {
+		t.Fatalf("facet 0 = %+v", facets[0])
+	}
+	if facets[1].PatternIndex != 1 || len(facets[1].Graphs) != 1 || facets[1].Graphs[0] != "g3" {
+		t.Fatalf("facet 1 = %+v", facets[1])
+	}
+	// The path belongs to no facet.
+	if len(rest) != 1 || rest[0] != "g2" {
+		t.Fatalf("rest = %v", rest)
+	}
+}
+
+func TestFacetsEmpty(t *testing.T) {
+	c := facetCorpus()
+	facets, rest := Facets(nil, c, []*pattern.Pattern{trianglePattern()}, pattern.MatchOptions())
+	if len(facets) != 0 || len(rest) != 0 {
+		t.Fatal("empty matches must yield nothing")
+	}
+	// Unknown names are skipped.
+	facets, rest = Facets([]string{"missing"}, c, []*pattern.Pattern{trianglePattern()}, pattern.MatchOptions())
+	if len(facets) != 0 || len(rest) != 1 {
+		t.Fatalf("facets=%v rest=%v", facets, rest)
+	}
+}
+
+func TestFindHighlight(t *testing.T) {
+	c := facetCorpus()
+	g, _ := c.ByName("g0")
+	q := graph.New("q")
+	q.AddNodes(2, "A")
+	q.MustAddEdge(0, 1, "-")
+	h, ok := FindHighlight(q, g, isomorph.Options{})
+	if !ok {
+		t.Fatal("no highlight")
+	}
+	if len(h.Nodes) != 2 || len(h.Edges) != 1 {
+		t.Fatalf("highlight = %+v", h)
+	}
+	// Highlighted edge joins highlighted nodes.
+	e := g.Edge(h.Edges[0])
+	inNodes := map[graph.NodeID]bool{h.Nodes[0]: true, h.Nodes[1]: true}
+	if !inNodes[e.U] || !inNodes[e.V] {
+		t.Fatal("highlight inconsistent")
+	}
+	// Non-matching query.
+	big := graph.New("b")
+	big.AddNodes(5, "Z")
+	if _, ok := FindHighlight(big, g, isomorph.Options{}); ok {
+		t.Fatal("impossible highlight found")
+	}
+}
+
+func TestBuildView(t *testing.T) {
+	c := facetCorpus()
+	g, _ := c.ByName("g3")
+	q := graph.New("q")
+	ctr := q.AddNode("A")
+	l := q.AddNode("A")
+	q.MustAddEdge(ctr, l, "-")
+	v, ok := BuildView(q, g, 200, 200, 1, isomorph.Options{})
+	if !ok {
+		t.Fatal("no view")
+	}
+	if len(v.Layout.Pos) != g.NumNodes() {
+		t.Fatal("layout incomplete")
+	}
+	if len(v.Highlight.Nodes) != 2 {
+		t.Fatalf("highlight = %+v", v.Highlight)
+	}
+	if _, ok := BuildView(trianglePattern().G, g, 200, 200, 1, isomorph.Options{}); ok {
+		t.Fatal("triangle cannot embed in star")
+	}
+}

@@ -1,0 +1,106 @@
+package simulate
+
+// Usability criteria. Section 2.1 of the tutorial lists seven criteria
+// (after Dix et al.): learnability, flexibility, robustness, efficiency,
+// memorability, errors, and satisfaction, and maps the three VQI features
+// (search paradigms, maintainability, aesthetics) onto them. The surveyed
+// studies quantify a subset with performance measures and capture the rest
+// with questionnaires; here every criterion is scored from a measurable
+// proxy so interfaces can be compared mechanically. Scores are in [0,1],
+// higher is better. The proxies are deliberately simple and documented —
+// they order interfaces, they do not claim absolute human validity.
+
+import "math"
+
+// Criteria holds the seven usability scores.
+type Criteria struct {
+	Learnability float64 // few distinct concepts to learn
+	Flexibility  float64 // multiple construction routes actually used
+	Robustness   float64 // progress per action (goal support)
+	Efficiency   float64 // inverse normalized formulation time
+	Memorability float64 // small, stable interface vocabulary
+	Errors       float64 // inverse expected slips
+	Satisfaction float64 // composite of speed, errors, panel aesthetics
+}
+
+// CriteriaInputs are the measurements the scores derive from.
+type CriteriaInputs struct {
+	// Summary is the workload evaluation of the interface.
+	Summary Summary
+	// Baseline is the pattern-less (edge-at-a-time) evaluation of the
+	// same workload, the normalization anchor.
+	Baseline Summary
+	// PanelSize is the number of displayed patterns.
+	PanelSize int
+	// PanelComplexity is the mean visual complexity of the panel's
+	// thumbnails (package layout); 0 if not measured.
+	PanelComplexity float64
+}
+
+// Score computes the criteria. All ratios are clamped to [0,1].
+func Score(in CriteriaInputs) Criteria {
+	clamp := func(x float64) float64 {
+		if math.IsNaN(x) || x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	var c Criteria
+
+	// Learnability: a user must learn the base gestures (draw node, draw
+	// edge, run) plus one concept per pattern; panels beyond ~20 entries
+	// are no longer learnable at a glance (Hick's law regime).
+	c.Learnability = clamp(1 - float64(in.PanelSize)/40)
+
+	// Flexibility: the share of work achievable through the alternative
+	// (pattern-at-a-time) route. A pattern-less interface has one route.
+	c.Flexibility = clamp(in.Summary.PatternEdgeShare)
+
+	// Robustness: goal progress per action — edges of the target query
+	// produced per step, normalized by the baseline's rate. Higher means
+	// the interface keeps the user closer to their goal per gesture.
+	if in.Summary.MeanSteps > 0 && in.Baseline.MeanSteps > 0 {
+		rate := in.Baseline.MeanSteps / in.Summary.MeanSteps
+		c.Robustness = clamp(rate / 2) // rate 2× baseline ⇒ 1.0
+	}
+
+	// Efficiency: time saved against the baseline.
+	if in.Baseline.MeanTime > 0 {
+		c.Efficiency = clamp(1 - in.Summary.MeanTime/in.Baseline.MeanTime + 0.5)
+		if in.Summary.MeanTime >= in.Baseline.MeanTime {
+			c.Efficiency = clamp(in.Baseline.MeanTime / in.Summary.MeanTime / 2)
+		}
+	}
+
+	// Memorability: like learnability but also penalizes visually complex
+	// panels (hard-to-parse thumbnails are hard to remember).
+	c.Memorability = clamp(c.Learnability - in.PanelComplexity/4)
+
+	// Errors: inverse expected slips relative to baseline (fewer actions,
+	// fewer opportunities).
+	if in.Baseline.MeanErrors > 0 {
+		c.Errors = clamp(1 - in.Summary.MeanErrors/in.Baseline.MeanErrors + 0.5)
+		if in.Summary.MeanErrors >= in.Baseline.MeanErrors {
+			c.Errors = clamp(in.Baseline.MeanErrors / in.Summary.MeanErrors / 2)
+		}
+	} else {
+		c.Errors = 1
+	}
+
+	// Satisfaction: the aesthetic-usability composite — speed, low
+	// errors, and pleasant (moderate-complexity) panels, per Berlyne's
+	// inverted-U: both bare (complexity ~0, nothing to engage with) and
+	// overloaded panels depress it.
+	aesthetic := 1 - math.Abs(in.PanelComplexity-0.5)
+	c.Satisfaction = clamp(0.4*c.Efficiency + 0.3*c.Errors + 0.3*clamp(aesthetic))
+	return c
+}
+
+// Mean returns the unweighted mean of the seven scores.
+func (c Criteria) Mean() float64 {
+	return (c.Learnability + c.Flexibility + c.Robustness + c.Efficiency +
+		c.Memorability + c.Errors + c.Satisfaction) / 7
+}

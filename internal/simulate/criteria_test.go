@@ -1,0 +1,94 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+)
+
+func TestScoreRange(t *testing.T) {
+	c := datagen.ChemicalCorpus(5, 20, datagen.ChemicalOptions{MinNodes: 10, MaxNodes: 18, RingBias: 0.8})
+	w, err := CorpusWorkload(c, 20, 5, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := ErrorAwareCostModel()
+	baseline := Evaluate(w, nil, cm)
+	panel := append(pattern.Basic(), benzenePattern())
+	withPatterns := Evaluate(w, panel, cm)
+
+	crit := Score(CriteriaInputs{
+		Summary:         withPatterns,
+		Baseline:        baseline,
+		PanelSize:       len(panel),
+		PanelComplexity: 0.4,
+	})
+	for name, v := range map[string]float64{
+		"learnability": crit.Learnability,
+		"flexibility":  crit.Flexibility,
+		"robustness":   crit.Robustness,
+		"efficiency":   crit.Efficiency,
+		"memorability": crit.Memorability,
+		"errors":       crit.Errors,
+		"satisfaction": crit.Satisfaction,
+	} {
+		if v < 0 || v > 1 {
+			t.Fatalf("%s = %v out of [0,1]", name, v)
+		}
+	}
+	if m := crit.Mean(); m <= 0 || m > 1 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestScoreOrdering(t *testing.T) {
+	// A pattern panel that genuinely helps must outscore the pattern-less
+	// interface on flexibility, efficiency, robustness, and errors.
+	c := datagen.ChemicalCorpus(8, 25, datagen.ChemicalOptions{MinNodes: 10, MaxNodes: 20, RingBias: 0.8})
+	w, err := CorpusWorkload(c, 30, 5, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := ErrorAwareCostModel()
+	baseline := Evaluate(w, nil, cm)
+	panel := append(pattern.Basic(), benzenePattern())
+	dd := Evaluate(w, panel, cm)
+
+	manualScore := Score(CriteriaInputs{Summary: baseline, Baseline: baseline, PanelSize: 0, PanelComplexity: 0.1})
+	ddScore := Score(CriteriaInputs{Summary: dd, Baseline: baseline, PanelSize: len(panel), PanelComplexity: 0.4})
+
+	if ddScore.Flexibility <= manualScore.Flexibility {
+		t.Fatalf("flexibility: dd %v vs manual %v", ddScore.Flexibility, manualScore.Flexibility)
+	}
+	if ddScore.Efficiency <= manualScore.Efficiency {
+		t.Fatalf("efficiency: dd %v vs manual %v", ddScore.Efficiency, manualScore.Efficiency)
+	}
+	if ddScore.Errors <= manualScore.Errors {
+		t.Fatalf("errors: dd %v vs manual %v", ddScore.Errors, manualScore.Errors)
+	}
+	if ddScore.Robustness <= manualScore.Robustness {
+		t.Fatalf("robustness: dd %v vs manual %v", ddScore.Robustness, manualScore.Robustness)
+	}
+	// But manual wins learnability (nothing to learn).
+	if manualScore.Learnability < ddScore.Learnability {
+		t.Fatal("empty panel must be at least as learnable")
+	}
+}
+
+func TestScoreDegenerateInputs(t *testing.T) {
+	crit := Score(CriteriaInputs{})
+	if crit.Learnability != 1 {
+		t.Fatalf("empty interface learnability = %v", crit.Learnability)
+	}
+	if crit.Robustness != 0 || crit.Efficiency != 0 {
+		t.Fatal("zero measurements must score 0 on performance criteria")
+	}
+	// No error model: Errors defaults to 1 (no observable slips).
+	if crit.Errors != 1 {
+		t.Fatalf("errors = %v", crit.Errors)
+	}
+	if m := crit.Mean(); m < 0 || m > 1 {
+		t.Fatalf("mean = %v", m)
+	}
+}

@@ -1,0 +1,349 @@
+// Package simulate mechanizes the usability studies the tutorial
+// summarizes: it measures how many formulation steps (and how much modeled
+// time) a user needs to draw a given subgraph query on a given VQI.
+//
+// The surveyed studies report two quantities — number of formulation steps
+// and query formulation time — for data-driven versus manual VQIs. Real
+// users are replaced by a GOMS-style simulated user:
+//
+//   - Edge-at-a-time construction costs one step per node and one per edge
+//     (label selection included), the only mode a pattern-less VQI offers.
+//   - Pattern-at-a-time construction greedily stamps the panel pattern
+//     whose best structural embedding into the target query covers the
+//     most not-yet-drawn edges (≥ 2, else drawing manually is cheaper),
+//     paying one stamp step, one merge step per node shared with the
+//     already-drawn region, and one relabel step per label mismatch; the
+//     remainder is drawn edge-at-a-time.
+//
+// Modeled time adds a pattern-browsing cost that grows logarithmically
+// with Pattern Panel size and a per-step motor cost, so a VQI with more
+// (or more complex) patterns is not free — exactly the trade-off the
+// cognitive-load measure exists to balance.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+// CostModel assigns seconds to each atomic action. The defaults are in the
+// range HCI models (KLM/GOMS) use for mouse-driven direct manipulation.
+type CostModel struct {
+	AddNode    float64 // draw a node and pick its label
+	AddEdge    float64 // draw an edge and pick its label
+	SetLabel   float64 // correct one label on a stamped pattern
+	Stamp      float64 // drag a pattern onto the canvas
+	Merge      float64 // fuse a stamped node with an existing node
+	BrowseBase float64 // scanning cost factor per stamp, × log2(1+panel size)
+	// SlipProb is the per-action probability of a slip (mis-click, wrong
+	// label) that the user must undo and redo. Zero disables the error
+	// model. HCI "Errors" criterion: fewer atomic actions mean fewer
+	// opportunities to slip, which is one mechanism by which pattern-at-
+	// a-time construction reduces errors.
+	SlipProb float64
+	// Undo is the time cost of one undo gesture (0 with SlipProb 0).
+	Undo float64
+}
+
+// DefaultCostModel returns the default action timings (error model off).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		AddNode:    1.5,
+		AddEdge:    2.0,
+		SetLabel:   1.0,
+		Stamp:      1.2,
+		Merge:      1.5,
+		BrowseBase: 0.6,
+	}
+}
+
+// ErrorAwareCostModel returns the default timings with a realistic slip
+// rate for direct-manipulation interfaces.
+func ErrorAwareCostModel() CostModel {
+	cm := DefaultCostModel()
+	cm.SlipProb = 0.05
+	cm.Undo = 0.8
+	return cm
+}
+
+// Formulation reports the simulated construction of one query.
+type Formulation struct {
+	Steps            int     // total atomic actions
+	Time             float64 // modeled seconds (including expected error recovery)
+	PatternsUsed     int     // stamps performed
+	EdgesViaPatterns int     // query edges obtained from stamps
+	EdgesManual      int     // query edges drawn one at a time
+	Relabels         int     // label corrections after stamping
+	Merges           int     // node merges after stamping
+	// ExpectedErrors is the expected number of slips under the cost
+	// model's SlipProb (each slip costs an undo plus a redo of the
+	// slipped action, folded into Time).
+	ExpectedErrors float64
+}
+
+// applyErrorModel folds expected slip recovery into the formulation: each
+// of the Steps actions slips with probability SlipProb; recovery is one
+// undo gesture plus repeating the action (approximated by the mean action
+// time so far).
+func (f *Formulation) applyErrorModel(cm CostModel) {
+	if cm.SlipProb <= 0 || f.Steps == 0 {
+		return
+	}
+	f.ExpectedErrors = float64(f.Steps) * cm.SlipProb
+	meanAction := f.Time / float64(f.Steps)
+	f.Time += f.ExpectedErrors * (cm.Undo + meanAction)
+}
+
+// Formulate simulates drawing query q on a VQI exposing the given pattern
+// panel (basic + canned; nil or empty panel = pure edge-at-a-time).
+func Formulate(q *graph.Graph, panel []*pattern.Pattern, cm CostModel) Formulation {
+	var f Formulation
+	if q.NumNodes() == 0 {
+		return f
+	}
+	coveredEdge := make([]bool, q.NumEdges())
+	builtNode := make([]bool, q.NumNodes())
+	browse := cm.BrowseBase * math.Log2(1+float64(len(panel)))
+
+	// Structure-only copies of the panel for embedding search.
+	type panelEntry struct {
+		p      *pattern.Pattern
+		shape  *graph.Graph
+		labels *graph.Graph
+	}
+	var entries []panelEntry
+	for _, p := range panel {
+		if p.G.NumEdges() < 2 || p.G.NumEdges() > q.NumEdges() {
+			continue // stamping a single edge is never cheaper than drawing it
+		}
+		entries = append(entries, panelEntry{p: p, shape: wildcardize(p.G), labels: p.G})
+	}
+
+	opts := isomorph.Options{MaxEmbeddings: 300, MaxSteps: 100000}
+	for {
+		// Find the stamp with the best step savings over drawing the same
+		// region manually. A stamp is only worth it when it saves steps;
+		// this is why wildcard basics rarely pay off on labeled queries
+		// (every label needs a correction) while data-derived canned
+		// patterns do.
+		bestSavings, bestCost := 0, 0.0
+		var bestEmb []graph.NodeID
+		var bestEntry *panelEntry
+		for i := range entries {
+			ent := &entries[i]
+			isomorph.Enumerate(ent.shape, q, opts, func(mapping []graph.NodeID) bool {
+				ev := evalEmbedding(ent.labels, q, mapping, coveredEdge, builtNode)
+				if ev.gain < 2 {
+					return true
+				}
+				// Manual construction of the same region: one step per new
+				// node and per new edge. Stamp: 1 + merges + relabels.
+				savings := (ev.newNodes + ev.gain) - (1 + ev.merges + ev.nodeRelabels + ev.edgeRelabels)
+				cost := cm.Stamp + browse +
+					float64(ev.nodeRelabels+ev.edgeRelabels)*cm.SetLabel +
+					float64(ev.merges)*cm.Merge
+				if savings > bestSavings || (savings == bestSavings && bestEmb != nil && cost < bestCost) {
+					bestSavings, bestCost = savings, cost
+					bestEmb = append(bestEmb[:0], mapping...)
+					bestEntry = ent
+				}
+				return true
+			})
+		}
+		if bestEntry == nil || bestSavings <= 0 {
+			break
+		}
+		// Apply the stamp.
+		f.PatternsUsed++
+		f.Steps++ // the stamp itself
+		f.Time += cm.Stamp + browse
+		pg := bestEntry.labels
+		for pv := 0; pv < pg.NumNodes(); pv++ {
+			qv := bestEmb[pv]
+			if builtNode[qv] {
+				// Merging keeps the existing node and its label.
+				f.Steps++
+				f.Merges++
+				f.Time += cm.Merge
+				continue
+			}
+			builtNode[qv] = true
+			if pg.NodeLabel(pv) != q.NodeLabel(qv) {
+				f.Steps++
+				f.Relabels++
+				f.Time += cm.SetLabel
+			}
+		}
+		for _, pe := range pg.Edges() {
+			qe, ok := q.EdgeBetween(bestEmb[pe.U], bestEmb[pe.V])
+			if !ok || coveredEdge[qe] {
+				continue
+			}
+			coveredEdge[qe] = true
+			f.EdgesViaPatterns++
+			if pe.Label != q.EdgeLabel(qe) {
+				f.Steps++
+				f.Relabels++
+				f.Time += cm.SetLabel
+			}
+		}
+	}
+
+	// Manual completion.
+	for v := 0; v < q.NumNodes(); v++ {
+		if !builtNode[v] {
+			builtNode[v] = true
+			f.Steps++
+			f.Time += cm.AddNode
+		}
+	}
+	for e := 0; e < q.NumEdges(); e++ {
+		if !coveredEdge[e] {
+			coveredEdge[e] = true
+			f.Steps++
+			f.EdgesManual++
+			f.Time += cm.AddEdge
+		}
+	}
+	f.applyErrorModel(cm)
+	return f
+}
+
+// embeddingEval scores one structural embedding of a pattern into the
+// query.
+type embeddingEval struct {
+	gain         int // query edges newly covered
+	newNodes     int // query nodes not yet drawn
+	nodeRelabels int // new nodes whose stamped label is wrong
+	edgeRelabels int // newly covered edges whose stamped label is wrong
+	merges       int // stamped nodes that fuse with already-drawn nodes
+}
+
+func evalEmbedding(pg, q *graph.Graph, mapping []graph.NodeID, coveredEdge, builtNode []bool) embeddingEval {
+	var ev embeddingEval
+	for pv := 0; pv < pg.NumNodes(); pv++ {
+		qv := mapping[pv]
+		if builtNode[qv] {
+			ev.merges++
+			continue
+		}
+		ev.newNodes++
+		if pg.NodeLabel(pv) != q.NodeLabel(qv) {
+			ev.nodeRelabels++
+		}
+	}
+	for _, pe := range pg.Edges() {
+		if qe, ok := q.EdgeBetween(mapping[pe.U], mapping[pe.V]); ok && !coveredEdge[qe] {
+			ev.gain++
+			if pe.Label != q.EdgeLabel(qe) {
+				ev.edgeRelabels++
+			}
+		}
+	}
+	return ev
+}
+
+// wildcardize strips all labels so embedding search is structural.
+func wildcardize(g *graph.Graph) *graph.Graph {
+	c := g.Clone()
+	for v := 0; v < c.NumNodes(); v++ {
+		c.SetNodeLabel(v, isomorph.Wildcard)
+	}
+	for e := 0; e < c.NumEdges(); e++ {
+		c.SetEdgeLabel(e, isomorph.Wildcard)
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Workloads and evaluation
+// ---------------------------------------------------------------------------
+
+// Workload is a set of target queries.
+type Workload struct {
+	Queries []*graph.Graph
+}
+
+// CorpusWorkload samples count connected subgraph queries of size
+// [minNodes, maxNodes] nodes from random corpus graphs. This mirrors the
+// surveyed studies, whose query sets are subgraphs of the test datasets.
+func CorpusWorkload(c *graph.Corpus, count, minNodes, maxNodes int, seed int64) (Workload, error) {
+	if c.Len() == 0 {
+		return Workload{}, fmt.Errorf("simulate: empty corpus")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var w Workload
+	for attempt := 0; len(w.Queries) < count && attempt < 100*count; attempt++ {
+		g := c.Graph(rng.Intn(c.Len()))
+		size := minNodes + rng.Intn(maxNodes-minNodes+1)
+		q := datagen.RandomConnectedSubgraph(rng, g, size)
+		if q == nil {
+			continue
+		}
+		q.SetName(fmt.Sprintf("q%d", len(w.Queries)))
+		w.Queries = append(w.Queries, q)
+	}
+	if len(w.Queries) == 0 {
+		return w, fmt.Errorf("simulate: could not sample any queries")
+	}
+	return w, nil
+}
+
+// NetworkWorkload samples queries from a single network.
+func NetworkWorkload(g *graph.Graph, count, minNodes, maxNodes int, seed int64) (Workload, error) {
+	return CorpusWorkload(pattern.SingletonCorpus(g), count, minNodes, maxNodes, seed)
+}
+
+// Summary aggregates a workload evaluation.
+type Summary struct {
+	Queries          int
+	MeanSteps        float64
+	MeanTime         float64
+	MeanPatternsUsed float64
+	MeanErrors       float64 // expected slips per query (0 if error model off)
+	PatternEdgeShare float64 // fraction of all query edges drawn via patterns
+}
+
+// Evaluate runs the simulator over every workload query on the given
+// panel.
+func Evaluate(w Workload, panel []*pattern.Pattern, cm CostModel) Summary {
+	var s Summary
+	s.Queries = len(w.Queries)
+	if s.Queries == 0 {
+		return s
+	}
+	totalEdges, patternEdges := 0, 0
+	for _, q := range w.Queries {
+		f := Formulate(q, panel, cm)
+		s.MeanSteps += float64(f.Steps)
+		s.MeanTime += f.Time
+		s.MeanPatternsUsed += float64(f.PatternsUsed)
+		s.MeanErrors += f.ExpectedErrors
+		totalEdges += q.NumEdges()
+		patternEdges += f.EdgesViaPatterns
+	}
+	n := float64(s.Queries)
+	s.MeanSteps /= n
+	s.MeanTime /= n
+	s.MeanPatternsUsed /= n
+	s.MeanErrors /= n
+	if totalEdges > 0 {
+		s.PatternEdgeShare = float64(patternEdges) / float64(totalEdges)
+	}
+	return s
+}
+
+// Compare evaluates several named panels over the same workload.
+func Compare(w Workload, panels map[string][]*pattern.Pattern, cm CostModel) map[string]Summary {
+	out := make(map[string]Summary, len(panels))
+	for name, panel := range panels {
+		out[name] = Evaluate(w, panel, cm)
+	}
+	return out
+}

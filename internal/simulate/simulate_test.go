@@ -1,0 +1,275 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+func benzene() *graph.Graph {
+	g := graph.New("benzene")
+	g.AddNodes(6, "C")
+	for i := 0; i < 6; i++ {
+		g.MustAddEdge(i, (i+1)%6, "a")
+	}
+	return g
+}
+
+func benzenePattern() *pattern.Pattern {
+	return pattern.New(benzene(), "canned")
+}
+
+func TestFormulateEdgeAtATime(t *testing.T) {
+	q := benzene()
+	f := Formulate(q, nil, DefaultCostModel())
+	// 6 nodes + 6 edges = 12 steps, nothing via patterns.
+	if f.Steps != 12 {
+		t.Fatalf("steps = %d, want 12", f.Steps)
+	}
+	if f.PatternsUsed != 0 || f.EdgesViaPatterns != 0 || f.EdgesManual != 6 {
+		t.Fatalf("formulation = %+v", f)
+	}
+	wantTime := 6*1.5 + 6*2.0
+	if f.Time != wantTime {
+		t.Fatalf("time = %v, want %v", f.Time, wantTime)
+	}
+}
+
+func TestFormulateExactPatternMatch(t *testing.T) {
+	// The query IS the benzene pattern: one stamp, no corrections.
+	q := benzene()
+	f := Formulate(q, []*pattern.Pattern{benzenePattern()}, DefaultCostModel())
+	if f.Steps != 1 {
+		t.Fatalf("steps = %d, want 1 (single stamp)", f.Steps)
+	}
+	if f.PatternsUsed != 1 || f.EdgesViaPatterns != 6 || f.EdgesManual != 0 {
+		t.Fatalf("formulation = %+v", f)
+	}
+	if f.Relabels != 0 || f.Merges != 0 {
+		t.Fatalf("unexpected corrections: %+v", f)
+	}
+}
+
+func TestFormulatePatternPlusManual(t *testing.T) {
+	// Benzene with a chlorine tail: stamp + 1 node + 1 edge.
+	q := benzene()
+	cl := q.AddNode("Cl")
+	q.MustAddEdge(0, cl, "s")
+	f := Formulate(q, []*pattern.Pattern{benzenePattern()}, DefaultCostModel())
+	if f.Steps != 3 {
+		t.Fatalf("steps = %d, want 3 (stamp + node + edge)", f.Steps)
+	}
+	if f.EdgesViaPatterns != 6 || f.EdgesManual != 1 {
+		t.Fatalf("formulation = %+v", f)
+	}
+}
+
+func TestFormulateRelabeling(t *testing.T) {
+	// Query is a benzene-shaped ring with one nitrogen: pattern stamp +
+	// one relabel beats 12 manual steps.
+	q := benzene()
+	q.SetNodeLabel(2, "N")
+	f := Formulate(q, []*pattern.Pattern{benzenePattern()}, DefaultCostModel())
+	if f.PatternsUsed != 1 {
+		t.Fatalf("pattern not used: %+v", f)
+	}
+	if f.Relabels != 1 {
+		t.Fatalf("relabels = %d, want 1", f.Relabels)
+	}
+	if f.Steps != 2 {
+		t.Fatalf("steps = %d, want 2 (stamp + relabel)", f.Steps)
+	}
+}
+
+func TestFormulateSkipsUselessPatterns(t *testing.T) {
+	// Query is a 2-node chain; a big pattern that doesn't fit must not be
+	// stamped (shape larger than query edges).
+	q := graph.New("q")
+	q.AddNodes(2, "C")
+	q.MustAddEdge(0, 1, "s")
+	f := Formulate(q, []*pattern.Pattern{benzenePattern()}, DefaultCostModel())
+	if f.PatternsUsed != 0 || f.Steps != 3 {
+		t.Fatalf("formulation = %+v", f)
+	}
+}
+
+func TestFormulateEmptyQuery(t *testing.T) {
+	f := Formulate(graph.New("q"), nil, DefaultCostModel())
+	if f.Steps != 0 || f.Time != 0 {
+		t.Fatalf("empty query formulation = %+v", f)
+	}
+}
+
+func TestDataDrivenBeatsManualOnMatchingWorkload(t *testing.T) {
+	// Corpus of ring-heavy compounds; a panel holding actual ring motifs
+	// must beat the pattern-less panel on steps and time.
+	c := datagen.ChemicalCorpus(8, 30, datagen.ChemicalOptions{MinNodes: 10, MaxNodes: 20, RingBias: 0.8})
+	w, err := CorpusWorkload(c, 40, 5, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := append(pattern.Basic(), benzenePattern())
+	withPatterns := Evaluate(w, panel, DefaultCostModel())
+	manual := Evaluate(w, nil, DefaultCostModel())
+	if withPatterns.MeanSteps >= manual.MeanSteps {
+		t.Fatalf("pattern panel (%v steps) must beat manual (%v steps)",
+			withPatterns.MeanSteps, manual.MeanSteps)
+	}
+	if withPatterns.MeanTime >= manual.MeanTime {
+		t.Fatalf("pattern panel (%vs) must beat manual (%vs)",
+			withPatterns.MeanTime, manual.MeanTime)
+	}
+	if withPatterns.PatternEdgeShare <= 0 {
+		t.Fatal("patterns never used")
+	}
+}
+
+func TestErrorModel(t *testing.T) {
+	q := benzene()
+	noErr := Formulate(q, nil, DefaultCostModel())
+	if noErr.ExpectedErrors != 0 {
+		t.Fatalf("error model leaked: %v", noErr.ExpectedErrors)
+	}
+	cm := ErrorAwareCostModel()
+	withErr := Formulate(q, nil, cm)
+	if withErr.ExpectedErrors <= 0 {
+		t.Fatal("expected errors missing")
+	}
+	// 12 steps × 5% = 0.6 expected slips.
+	if math.Abs(withErr.ExpectedErrors-0.6) > 1e-9 {
+		t.Fatalf("expected errors = %v, want 0.6", withErr.ExpectedErrors)
+	}
+	if withErr.Time <= noErr.Time {
+		t.Fatal("error recovery must cost time")
+	}
+	// The errors mechanism: fewer actions → fewer expected slips. The
+	// pattern-based formulation of the same query has fewer steps, hence
+	// fewer expected errors.
+	patterned := Formulate(q, []*pattern.Pattern{benzenePattern()}, cm)
+	if patterned.ExpectedErrors >= withErr.ExpectedErrors {
+		t.Fatalf("patterned errors %v must be below manual %v",
+			patterned.ExpectedErrors, withErr.ExpectedErrors)
+	}
+	// Summary aggregation carries the measure.
+	c := datagen.ChemicalCorpus(3, 10, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14})
+	w, err := CorpusWorkload(c, 10, 4, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Evaluate(w, nil, cm)
+	if s.MeanErrors <= 0 {
+		t.Fatal("summary errors missing")
+	}
+}
+
+func TestWorkloadGeneration(t *testing.T) {
+	c := datagen.ChemicalCorpus(1, 10, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14})
+	w, err := CorpusWorkload(c, 20, 4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 20 {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+	for _, q := range w.Queries {
+		if q.NumNodes() < 4 || q.NumNodes() > 8 {
+			t.Fatalf("query size %d outside range", q.NumNodes())
+		}
+		if !q.IsConnected() {
+			t.Fatal("disconnected query")
+		}
+	}
+	if _, err := CorpusWorkload(graph.NewCorpus(), 5, 4, 8, 1); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	g := datagen.BarabasiAlbert(2, 100, 3)
+	nw, err := NetworkWorkload(g, 10, 4, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Queries) != 10 {
+		t.Fatalf("network queries = %d", len(nw.Queries))
+	}
+}
+
+func TestEvaluateAndCompare(t *testing.T) {
+	c := datagen.ChemicalCorpus(2, 15, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14})
+	w, err := CorpusWorkload(c, 10, 4, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Compare(w, map[string][]*pattern.Pattern{
+		"manual":      nil,
+		"data-driven": append(pattern.Basic(), benzenePattern()),
+	}, DefaultCostModel())
+	if len(res) != 2 {
+		t.Fatalf("compare = %v", res)
+	}
+	if res["manual"].Queries != 10 || res["data-driven"].Queries != 10 {
+		t.Fatal("query counts wrong")
+	}
+	if s := Evaluate(Workload{}, nil, DefaultCostModel()); s.Queries != 0 || s.MeanSteps != 0 {
+		t.Fatal("empty workload must be zero")
+	}
+}
+
+func TestBrowseCostGrowsWithPanelSize(t *testing.T) {
+	// Stamping from a huge panel costs more time (browsing) than from a
+	// small one, for the same query.
+	q := benzene()
+	small := []*pattern.Pattern{benzenePattern()}
+	big := append([]*pattern.Pattern{}, benzenePattern())
+	for i := 0; i < 30; i++ {
+		// Filler patterns that never match the query (too big).
+		g := graph.New("filler")
+		g.AddNodes(9, "X")
+		for j := 0; j+1 < 9; j++ {
+			g.MustAddEdge(j, j+1, "z")
+		}
+		g.MustAddEdge(0, 8, "z")
+		big = append(big, pattern.New(g, "filler"))
+	}
+	fs := Formulate(q, small, DefaultCostModel())
+	fb := Formulate(q, big, DefaultCostModel())
+	if fb.Time <= fs.Time {
+		t.Fatalf("big panel time %v must exceed small panel %v", fb.Time, fs.Time)
+	}
+	if fb.Steps != fs.Steps {
+		t.Fatal("steps should match (same stamp)")
+	}
+}
+
+func TestWildcardBasicsSkippedOnLabeledQueries(t *testing.T) {
+	// A wildcard-labeled basic triangle stamped onto a fully labeled
+	// triangle would need 6 relabels — more steps than drawing manually —
+	// so the simulated user draws instead. This is exactly the tutorial's
+	// point: generic basic patterns don't carry data-specific labels, so
+	// concrete canned patterns are what cuts formulation effort.
+	q := graph.New("q")
+	q.AddNodes(3, "C")
+	q.MustAddEdge(0, 1, "s")
+	q.MustAddEdge(1, 2, "s")
+	q.MustAddEdge(0, 2, "s")
+	tri := pattern.Basic()[2]
+	if tri.G.NodeLabel(0) != isomorph.Wildcard {
+		t.Fatal("basic triangle should be wildcard-labeled")
+	}
+	f := Formulate(q, []*pattern.Pattern{tri}, DefaultCostModel())
+	if f.PatternsUsed != 0 {
+		t.Fatalf("wildcard triangle should not be stamped: %+v", f)
+	}
+	if f.Steps != 6 {
+		t.Fatalf("steps = %d, want 6 (manual)", f.Steps)
+	}
+	// The same triangle with concrete matching labels IS worth stamping.
+	labeled := q.Clone()
+	labeled.SetName("tri-pattern")
+	f2 := Formulate(q, []*pattern.Pattern{pattern.New(labeled, "canned")}, DefaultCostModel())
+	if f2.PatternsUsed != 1 || f2.Steps != 1 {
+		t.Fatalf("concrete triangle formulation = %+v", f2)
+	}
+}

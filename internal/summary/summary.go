@@ -1,0 +1,158 @@
+// Package summary applies canned patterns beyond VQIs, the tutorial's
+// final future direction (Section 2.5): because canned patterns have high
+// coverage, high diversity, and low cognitive load, they make good
+// building blocks for *visualization-friendly graph summaries* — in
+// contrast to classical topological summaries, which ignore what humans
+// can comfortably read.
+//
+// The summarizer greedily contracts vertex-disjoint instances of the
+// canned patterns into supernodes: each instance becomes one node labeled
+// by its pattern, edges between contracted regions collapse into
+// superedges, and untouched structure survives as-is. Quality is reported
+// as compression (node/edge reduction) and coverage (fraction of original
+// edges explained by pattern instances).
+package summary
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+// Supernode describes one contracted pattern instance.
+type Supernode struct {
+	// Pattern is the index (into the input pattern set) of the pattern
+	// this supernode contracts.
+	Pattern int
+	// Members are the original node IDs contracted into this supernode.
+	Members []graph.NodeID
+}
+
+// Result is a pattern-based graph summary.
+type Result struct {
+	// Summary is the contracted graph. Supernodes carry the label
+	// "pattern:<name>"; surviving original nodes keep their labels.
+	Summary *graph.Graph
+	// Supernodes lists the contractions, in creation order. Supernode i
+	// corresponds to summary node i (original nodes follow).
+	Supernodes []Supernode
+	// CoveredEdges is the number of original edges inside contracted
+	// instances.
+	CoveredEdges int
+	// NodeReduction and EdgeReduction are 1 - |summary|/|original|.
+	NodeReduction float64
+	EdgeReduction float64
+}
+
+// Options configure summarization.
+type Options struct {
+	// MaxInstancesPerPattern bounds how many disjoint instances of each
+	// pattern are contracted (0 = unlimited).
+	MaxInstancesPerPattern int
+	// Match bounds the embedding searches (zero value =
+	// pattern.MatchOptions with a raised embedding cap).
+	Match isomorph.Options
+}
+
+// Summarize contracts vertex-disjoint instances of the given patterns in
+// g. Patterns are applied in order, so callers should pass them sorted by
+// importance (a selection framework's output order already is).
+func Summarize(g *graph.Graph, patterns []*pattern.Pattern, opts Options) (*Result, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("summary: empty graph")
+	}
+	match := opts.Match
+	if match == (isomorph.Options{}) {
+		match = isomorph.Options{MaxEmbeddings: 4096, MaxSteps: 2_000_000}
+	}
+
+	used := make([]bool, g.NumNodes())
+	var supers []Supernode
+	coveredEdge := make([]bool, g.NumEdges())
+
+	for pi, p := range patterns {
+		if p.G.NumNodes() == 0 {
+			continue
+		}
+		taken := 0
+		// Enumerate embeddings and greedily take vertex-disjoint ones.
+		isomorph.Enumerate(p.G, g, match, func(mapping []graph.NodeID) bool {
+			for _, v := range mapping {
+				if used[v] {
+					return true // overlaps an earlier contraction
+				}
+			}
+			members := append([]graph.NodeID(nil), mapping...)
+			sort.Ints(members)
+			for _, v := range members {
+				used[v] = true
+			}
+			for _, pe := range p.G.Edges() {
+				if eid, ok := g.EdgeBetween(mapping[pe.U], mapping[pe.V]); ok {
+					coveredEdge[eid] = true
+				}
+			}
+			supers = append(supers, Supernode{Pattern: pi, Members: members})
+			taken++
+			return opts.MaxInstancesPerPattern == 0 || taken < opts.MaxInstancesPerPattern
+		})
+	}
+
+	// Build the contracted graph: supernodes first, then surviving nodes.
+	sum := graph.New(g.Name() + "#summary")
+	nodeMap := make([]graph.NodeID, g.NumNodes())
+	for i := range nodeMap {
+		nodeMap[i] = -1
+	}
+	for i, sn := range supers {
+		name := patterns[sn.Pattern].G.Name()
+		if name == "" {
+			name = fmt.Sprintf("p%d", sn.Pattern)
+		}
+		id := sum.AddNode("pattern:" + name)
+		if id != i {
+			return nil, fmt.Errorf("summary: internal node ordering broken")
+		}
+		for _, v := range sn.Members {
+			nodeMap[v] = id
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if nodeMap[v] < 0 {
+			nodeMap[v] = sum.AddNode(g.NodeLabel(v))
+		}
+	}
+	for _, e := range g.Edges() {
+		u, v := nodeMap[e.U], nodeMap[e.V]
+		if u == v || sum.HasEdge(u, v) {
+			continue
+		}
+		sum.MustAddEdge(u, v, e.Label)
+	}
+
+	res := &Result{Summary: sum, Supernodes: supers}
+	for _, c := range coveredEdge {
+		if c {
+			res.CoveredEdges++
+		}
+	}
+	if g.NumNodes() > 0 {
+		res.NodeReduction = 1 - float64(sum.NumNodes())/float64(g.NumNodes())
+	}
+	if g.NumEdges() > 0 {
+		res.EdgeReduction = 1 - float64(sum.NumEdges())/float64(g.NumEdges())
+	}
+	return res, nil
+}
+
+// Coverage returns the fraction of original edges inside contracted
+// instances.
+func (r *Result) Coverage(original *graph.Graph) float64 {
+	if original.NumEdges() == 0 {
+		return 0
+	}
+	return float64(r.CoveredEdges) / float64(original.NumEdges())
+}

@@ -1,0 +1,147 @@
+package summary
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/tattoo"
+)
+
+func trianglePattern() *pattern.Pattern {
+	g := graph.New("triangle")
+	g.AddNodes(3, "A")
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(1, 2, "-")
+	g.MustAddEdge(0, 2, "-")
+	return pattern.New(g, "test")
+}
+
+func TestSummarizeTwoTriangles(t *testing.T) {
+	// Two disjoint triangles joined by a bridge.
+	g := graph.New("g")
+	g.AddNodes(6, "A")
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(1, 2, "-")
+	g.MustAddEdge(0, 2, "-")
+	g.MustAddEdge(3, 4, "-")
+	g.MustAddEdge(4, 5, "-")
+	g.MustAddEdge(3, 5, "-")
+	g.MustAddEdge(2, 3, "-")
+
+	res, err := Summarize(g, []*pattern.Pattern{trianglePattern()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Supernodes) != 2 {
+		t.Fatalf("supernodes = %d, want 2", len(res.Supernodes))
+	}
+	// Summary: two supernodes + bridge edge between them.
+	if res.Summary.NumNodes() != 2 || res.Summary.NumEdges() != 1 {
+		t.Fatalf("summary = %s", res.Summary)
+	}
+	if !strings.HasPrefix(res.Summary.NodeLabel(0), "pattern:") {
+		t.Fatalf("supernode label = %q", res.Summary.NodeLabel(0))
+	}
+	if res.CoveredEdges != 6 {
+		t.Fatalf("covered edges = %d", res.CoveredEdges)
+	}
+	if cov := res.Coverage(g); cov != 6.0/7 {
+		t.Fatalf("coverage = %v", cov)
+	}
+	if math.Abs(res.NodeReduction-(1-2.0/6)) > 1e-12 || math.Abs(res.EdgeReduction-(1-1.0/7)) > 1e-12 {
+		t.Fatalf("reductions = %v / %v", res.NodeReduction, res.EdgeReduction)
+	}
+}
+
+func TestSummarizeDisjointness(t *testing.T) {
+	// A K4 contains 4 triangles, but only one vertex-disjoint triangle
+	// fits: one supernode plus one leftover node.
+	g := graph.New("k4")
+	g.AddNodes(4, "A")
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.MustAddEdge(i, j, "-")
+		}
+	}
+	res, err := Summarize(g, []*pattern.Pattern{trianglePattern()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Supernodes) != 1 {
+		t.Fatalf("supernodes = %d, want 1", len(res.Supernodes))
+	}
+	if res.Summary.NumNodes() != 2 || res.Summary.NumEdges() != 1 {
+		t.Fatalf("summary = %s", res.Summary)
+	}
+}
+
+func TestSummarizeNoMatches(t *testing.T) {
+	g := graph.New("path")
+	g.AddNodes(4, "A")
+	for i := 0; i+1 < 4; i++ {
+		g.MustAddEdge(i, i+1, "-")
+	}
+	res, err := Summarize(g, []*pattern.Pattern{trianglePattern()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Supernodes) != 0 || res.Summary.NumNodes() != 4 || res.Summary.NumEdges() != 3 {
+		t.Fatalf("no-match summary changed the graph: %s", res.Summary)
+	}
+	if res.NodeReduction != 0 {
+		t.Fatal("no reduction expected")
+	}
+}
+
+func TestSummarizeInstanceCap(t *testing.T) {
+	// Three disjoint triangles; cap at 2 instances.
+	g := graph.New("g")
+	g.AddNodes(9, "A")
+	for k := 0; k < 3; k++ {
+		b := 3 * k
+		g.MustAddEdge(b, b+1, "-")
+		g.MustAddEdge(b+1, b+2, "-")
+		g.MustAddEdge(b, b+2, "-")
+	}
+	res, err := Summarize(g, []*pattern.Pattern{trianglePattern()}, Options{MaxInstancesPerPattern: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Supernodes) != 2 {
+		t.Fatalf("supernodes = %d, want 2 (capped)", len(res.Supernodes))
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(graph.New("e"), nil, Options{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestSummarizeWithTattooPatterns(t *testing.T) {
+	// End-to-end "beyond VQIs" use case: TATTOO's canned patterns
+	// summarize the network they were mined from.
+	g := datagen.WattsStrogatz(9, 300, 6, 0.1)
+	res, err := tattoo.Select(g, tattoo.Config{
+		Budget: pattern.Budget{Count: 6, MinSize: 4, MaxSize: 9}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(g, res.Patterns, Options{MaxInstancesPerPattern: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Supernodes) == 0 {
+		t.Fatal("no contractions from TATTOO patterns")
+	}
+	if sum.Summary.NumNodes() >= g.NumNodes() {
+		t.Fatalf("no compression: %d vs %d nodes", sum.Summary.NumNodes(), g.NumNodes())
+	}
+	if sum.Coverage(g) <= 0 {
+		t.Fatal("no coverage")
+	}
+}

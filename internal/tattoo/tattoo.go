@@ -1,0 +1,249 @@
+// Package tattoo implements the TATTOO framework: data-driven canned
+// pattern selection for a single large network (PVLDB 2021, as reviewed in
+// the tutorial's Section 2.3).
+//
+// TATTOO sidesteps the unavailability of public graph query logs by
+// classifying candidate topologies after the published analysis of large
+// SPARQL query logs (Bonifati et al.): real queries are dominated by
+// chains, stars, trees, cycles, petals and flowers, plus triangle-rich
+// shapes. The framework:
+//
+//  1. Decomposes the network into a dense truss-infested region G_T (edges
+//     of trussness ≥ k, default 3) and a sparse truss-oblivious region G_O
+//     (package truss).
+//  2. Samples candidate pattern instances per topology class — triangle-
+//     like classes (triangle chains, petals, flowers, near-cliques) from
+//     G_T, triangle-free classes (chains, stars, trees, cycles) from G_O —
+//     recording the network edges each instance occupies.
+//  3. Greedily selects the canned pattern set maximizing a pattern-set
+//     score of coverage (network edges occupied by selected instances),
+//     structural diversity, and low cognitive load. Greedy maximization of
+//     this submodular objective is what gives the original system its
+//     1/e-approximation guarantee.
+package tattoo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/truss"
+)
+
+// Class names the topology classes, mirroring the query-log taxonomy.
+type Class string
+
+// Topology classes. Chain through Cycle are mined from the truss-oblivious
+// region; TriangleChain through NearClique from the truss-infested region.
+const (
+	Chain         Class = "chain"
+	Star          Class = "star"
+	Tree          Class = "tree"
+	Cycle         Class = "cycle"
+	TriangleChain Class = "trianglechain"
+	Petal         Class = "petal"
+	Flower        Class = "flower"
+	NearClique    Class = "nearclique"
+)
+
+// Classes lists all topology classes in generation order.
+func Classes() []Class {
+	return []Class{Chain, Star, Tree, Cycle, TriangleChain, Petal, Flower, NearClique}
+}
+
+// Config parameterizes a TATTOO run.
+type Config struct {
+	// Budget is the canned-pattern budget (count, size range in edges).
+	Budget pattern.Budget
+	// Weights balance coverage, diversity, cognitive load.
+	Weights pattern.Weights
+	// SamplesPerClass is the number of instance samples drawn per topology
+	// class (0 = scaled to the network: max(150, edges/200)). More samples
+	// raise instance coverage at linear cost.
+	SamplesPerClass int
+	// TrussK is the trussness threshold separating G_T from G_O (0 = 3).
+	TrussK int
+	// Seed drives sampling; runs are deterministic per seed.
+	Seed int64
+}
+
+func (c *Config) defaults(edges int) {
+	if c.SamplesPerClass == 0 {
+		c.SamplesPerClass = 150
+		if scaled := edges / 200; scaled > c.SamplesPerClass {
+			c.SamplesPerClass = scaled
+		}
+	}
+	if c.TrussK == 0 {
+		c.TrussK = 3
+	}
+	if c.Weights == (pattern.Weights{}) {
+		c.Weights = pattern.DefaultWeights()
+	}
+}
+
+// Result is the outcome of a TATTOO run.
+type Result struct {
+	Patterns []*pattern.Pattern
+	// TrussStats summarizes the G_T / G_O decomposition.
+	TrussStats truss.Stats
+	// Candidates is the number of distinct candidate patterns generated.
+	Candidates int
+	// Coverage is the fraction of network edges covered by the selected
+	// patterns' sampled instances.
+	Coverage float64
+	// ClassCounts reports how many distinct candidates each topology class
+	// produced.
+	ClassCounts map[Class]int
+	// SelectedClasses reports the class of each selected pattern.
+	SelectedClasses []Class
+}
+
+// candidate accumulates the sampled instances of one canonical pattern.
+type candidate struct {
+	pat   *pattern.Pattern
+	class Class
+	edges map[graph.EdgeID]bool // union of instance edges in the network
+}
+
+// Select runs TATTOO over the network.
+func Select(g *graph.Graph, cfg Config) (*Result, error) {
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("tattoo: network has no edges")
+	}
+	if err := cfg.Budget.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.defaults(g.NumEdges())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	trussness := truss.Decompose(g)
+	res := &Result{ClassCounts: make(map[Class]int)}
+	for _, t := range trussness {
+		res.TrussStats.Edges++
+		if t >= cfg.TrussK {
+			res.TrussStats.TrussEdges++
+		} else {
+			res.TrussStats.ObliviousEdge++
+		}
+		if t > res.TrussStats.MaxTrussness {
+			res.TrussStats.MaxTrussness = t
+		}
+	}
+	res.TrussStats.Histogram = make(map[int]int)
+	for _, t := range trussness {
+		res.TrussStats.Histogram[t]++
+	}
+
+	gen := &generator{
+		g:         g,
+		trussness: trussness,
+		k:         cfg.TrussK,
+		budget:    cfg.Budget,
+		rng:       rng,
+	}
+	gen.buildRegionEdgeLists()
+
+	byCanon := make(map[string]*candidate)
+	record := func(class Class, inst []graph.EdgeID) {
+		if len(inst) < cfg.Budget.MinSize || len(inst) > cfg.Budget.MaxSize {
+			return
+		}
+		sub, _ := g.SubgraphFromEdges(inst)
+		if !sub.IsConnected() {
+			return
+		}
+		sub.SetName("tattoo-" + string(class))
+		p := pattern.New(sub, "tattoo:"+string(class))
+		key := p.Canon()
+		c, ok := byCanon[key]
+		if !ok {
+			c = &candidate{pat: p, class: class, edges: make(map[graph.EdgeID]bool)}
+			byCanon[key] = c
+			res.ClassCounts[class]++
+		}
+		c.pat.Support++
+		for _, e := range inst {
+			c.edges[e] = true
+		}
+	}
+
+	for i := 0; i < cfg.SamplesPerClass; i++ {
+		if inst := gen.sampleChain(); inst != nil {
+			record(Chain, inst)
+		}
+		if inst := gen.sampleStar(); inst != nil {
+			record(Star, inst)
+		}
+		if inst := gen.sampleTree(); inst != nil {
+			record(Tree, inst)
+		}
+		if inst := gen.sampleCycle(); inst != nil {
+			record(Cycle, inst)
+		}
+		if inst := gen.sampleTriangleChain(); inst != nil {
+			record(TriangleChain, inst)
+		}
+		if inst := gen.samplePetal(); inst != nil {
+			record(Petal, inst)
+		}
+		if inst := gen.sampleFlower(); inst != nil {
+			record(Flower, inst)
+		}
+		if inst := gen.sampleNearClique(); inst != nil {
+			record(NearClique, inst)
+		}
+	}
+
+	// Deterministic candidate order.
+	cands := make([]*candidate, 0, len(byCanon))
+	for _, c := range byCanon {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].pat.Canon() < cands[j].pat.Canon() })
+	res.Candidates = len(cands)
+
+	res.Patterns, res.SelectedClasses, res.Coverage = greedy(cands, g.NumEdges(), cfg)
+	return res, nil
+}
+
+// greedy runs the submodular greedy selection over candidates using their
+// sampled instance edges for coverage.
+func greedy(cands []*candidate, totalEdges int, cfg Config) ([]*pattern.Pattern, []Class, float64) {
+	covered := make(map[graph.EdgeID]bool)
+	var selected []*pattern.Pattern
+	var classes []Class
+	pool := append([]*candidate(nil), cands...)
+	for len(selected) < cfg.Budget.Count && len(pool) > 0 {
+		bestI := -1
+		bestScore := 0.0
+		for i, c := range pool {
+			gain := 0
+			for e := range c.edges {
+				if !covered[e] {
+					gain++
+				}
+			}
+			score := cfg.Weights.Coverage*float64(gain)/float64(totalEdges) +
+				cfg.Weights.Diversity*pattern.MarginalDiversity(selected, c.pat) -
+				cfg.Weights.CogLoad*pattern.NormalizedCognitiveLoad(c.pat, cfg.Budget)
+			if bestI == -1 || score > bestScore {
+				bestI, bestScore = i, score
+			}
+		}
+		chosen := pool[bestI]
+		pool = append(pool[:bestI], pool[bestI+1:]...)
+		for e := range chosen.edges {
+			covered[e] = true
+		}
+		selected = append(selected, chosen.pat)
+		classes = append(classes, chosen.class)
+	}
+	coverage := 0.0
+	if totalEdges > 0 {
+		coverage = float64(len(covered)) / float64(totalEdges)
+	}
+	return selected, classes, coverage
+}

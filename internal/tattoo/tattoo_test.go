@@ -1,0 +1,189 @@
+package tattoo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func testNetwork() *graph.Graph {
+	// A Watts-Strogatz network has both triangle-rich lattice structure
+	// (G_T) and rewired sparse parts; add a BA tail for hubs.
+	return datagen.WattsStrogatz(7, 400, 6, 0.15)
+}
+
+func defaultConfig() Config {
+	return Config{
+		Budget: pattern.Budget{Count: 8, MinSize: 4, MaxSize: 10},
+		Seed:   1,
+	}
+}
+
+func TestSelectEndToEnd(t *testing.T) {
+	g := testNetwork()
+	res, err := Select(g, defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 || len(res.Patterns) > 8 {
+		t.Fatalf("selected %d patterns", len(res.Patterns))
+	}
+	for i, p := range res.Patterns {
+		if p.Size() < 4 || p.Size() > 10 {
+			t.Fatalf("pattern %d size %d outside budget", i, p.Size())
+		}
+		if !p.G.IsConnected() {
+			t.Fatalf("pattern %d disconnected", i)
+		}
+		if !strings.HasPrefix(p.Source, "tattoo:") {
+			t.Fatalf("pattern %d source = %q", i, p.Source)
+		}
+	}
+	if res.Coverage <= 0 || res.Coverage > 1 {
+		t.Fatalf("coverage = %v", res.Coverage)
+	}
+	if res.Candidates == 0 {
+		t.Fatal("no candidates")
+	}
+	if len(res.SelectedClasses) != len(res.Patterns) {
+		t.Fatal("class annotations missing")
+	}
+	if res.TrussStats.Edges != g.NumEdges() {
+		t.Fatal("truss stats wrong")
+	}
+	if res.TrussStats.TrussEdges == 0 {
+		t.Fatal("WS network must have a truss-infested region")
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	g := testNetwork()
+	a, err := Select(g, defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(g, defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatalf("counts differ: %d vs %d", len(a.Patterns), len(b.Patterns))
+	}
+	for i := range a.Patterns {
+		if a.Patterns[i].Canon() != b.Patterns[i].Canon() {
+			t.Fatalf("pattern %d differs", i)
+		}
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	if _, err := Select(graph.New("empty"), defaultConfig()); err == nil {
+		t.Fatal("edgeless network accepted")
+	}
+	g := testNetwork()
+	if _, err := Select(g, Config{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestClassDiversityOnMixedNetwork(t *testing.T) {
+	// On a network with both dense and sparse regions, candidates should
+	// come from several topology classes.
+	g := testNetwork()
+	res, err := Select(g, defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ClassCounts) < 3 {
+		t.Fatalf("only %d topology classes produced candidates: %v", len(res.ClassCounts), res.ClassCounts)
+	}
+}
+
+func TestTriangleFreeNetworkUsesObliviousClasses(t *testing.T) {
+	// A tree-like network has no triangles: all candidates must come from
+	// truss-oblivious classes.
+	g := graph.New("tree")
+	g.AddNode("A")
+	for v := 1; v < 300; v++ {
+		g.AddNode("A")
+		g.MustAddEdge(v, (v-1)/2, "-")
+	}
+	res, err := Select(g, Config{Budget: pattern.Budget{Count: 5, MinSize: 4, MaxSize: 8}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrussStats.TrussEdges != 0 {
+		t.Fatal("tree cannot have truss edges")
+	}
+	for cls := range res.ClassCounts {
+		switch cls {
+		case TriangleChain, Petal, Flower, NearClique:
+			t.Fatalf("triangle class %s produced candidates on a tree", cls)
+		}
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns on tree network")
+	}
+}
+
+func TestDenseNetworkProducesTriangleClasses(t *testing.T) {
+	// A dense ER graph is triangle-rich.
+	g := datagen.ErdosRenyi(5, 120, 1200)
+	res, err := Select(g, Config{Budget: pattern.Budget{Count: 6, MinSize: 4, MaxSize: 9}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	triangleClasses := 0
+	for cls, n := range res.ClassCounts {
+		switch cls {
+		case TriangleChain, Petal, Flower, NearClique:
+			triangleClasses += n
+		}
+	}
+	if triangleClasses == 0 {
+		t.Fatal("dense network produced no triangle-class candidates")
+	}
+}
+
+func TestCoverageGrowsWithBudget(t *testing.T) {
+	g := testNetwork()
+	cfg := defaultConfig()
+	cfg.Budget.Count = 2
+	small, err := Select(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Budget.Count = 12
+	large, err := Select(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Coverage < small.Coverage {
+		t.Fatalf("coverage shrank with budget: %v -> %v", small.Coverage, large.Coverage)
+	}
+}
+
+func TestClassesList(t *testing.T) {
+	if len(Classes()) != 8 {
+		t.Fatalf("Classes() = %v", Classes())
+	}
+}
+
+func TestInstanceEdgesAreReal(t *testing.T) {
+	// Sampled candidate patterns must embed in the network (they were cut
+	// out of it), so each selected pattern must occur in g.
+	g := datagen.WattsStrogatz(11, 150, 6, 0.1)
+	res, err := Select(g, Config{Budget: pattern.Budget{Count: 5, MinSize: 4, MaxSize: 7}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		cov := pattern.GraphCoverage(p, pattern.SingletonCorpus(g), pattern.MatchOptions())
+		if cov != 1 {
+			t.Fatalf("selected pattern %s does not embed in its own network", p)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package timeseries transfers the data-driven VQI paradigm to time-series
+// (data-series) querying, the tutorial's "Beyond Graphs" future direction
+// (Section 2.5): sketch-based query interfaces let users draw a shape to
+// search for, but finding *which* shapes are worth sketching in a large
+// series collection is itself time-consuming — so, exactly as a Pattern
+// Panel exposes canned subgraphs, a data-driven sketch interface should
+// expose canned *motifs* mined from the data.
+//
+// The pipeline mirrors the graph side:
+//
+//	discretize  — z-normalize windows and encode them as SAX words
+//	mine        — count word frequencies across the collection (coverage)
+//	select      — greedily pick a motif set balancing coverage, shape
+//	              diversity, and sketch complexity (the cognitive-load
+//	              analogue: direction changes in the drawn shape)
+//	match       — sliding-window normalized-distance search for a sketch
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is one time series.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Collection is a set of series — the "graph repository" analogue.
+type Collection struct {
+	Series []Series
+}
+
+// Add appends a series.
+func (c *Collection) Add(name string, values []float64) {
+	c.Series = append(c.Series, Series{Name: name, Values: values})
+}
+
+// ZNormalize returns (x - mean) / std of the slice; a constant slice maps
+// to all zeros.
+func ZNormalize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	variance := 0.0
+	for _, v := range x {
+		variance += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(variance / float64(len(x)))
+	if std < 1e-12 {
+		return out
+	}
+	for i, v := range x {
+		out[i] = (v - mean) / std
+	}
+	return out
+}
+
+// PAA reduces x to segments piecewise-aggregate means.
+func PAA(x []float64, segments int) []float64 {
+	if segments <= 0 || len(x) == 0 {
+		return nil
+	}
+	if segments > len(x) {
+		segments = len(x)
+	}
+	out := make([]float64, segments)
+	for s := 0; s < segments; s++ {
+		lo := s * len(x) / segments
+		hi := (s + 1) * len(x) / segments
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += x[i]
+		}
+		out[s] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// saxBreakpoints for alphabet sizes 3-6 (standard Gaussian equiprobable
+// cut points).
+var saxBreakpoints = map[int][]float64{
+	3: {-0.43, 0.43},
+	4: {-0.67, 0, 0.67},
+	5: {-0.84, -0.25, 0.25, 0.84},
+	6: {-0.97, -0.43, 0, 0.43, 0.97},
+}
+
+// SAX encodes a z-normalized, PAA-reduced window as a word over an
+// alphabet of the given size (3-6).
+func SAX(x []float64, segments, alphabet int) (string, error) {
+	bps, ok := saxBreakpoints[alphabet]
+	if !ok {
+		return "", fmt.Errorf("timeseries: unsupported alphabet size %d (3-6)", alphabet)
+	}
+	paa := PAA(ZNormalize(x), segments)
+	word := make([]byte, len(paa))
+	for i, v := range paa {
+		letter := 0
+		for _, bp := range bps {
+			if v > bp {
+				letter++
+			}
+		}
+		word[i] = byte('a' + letter)
+	}
+	return string(word), nil
+}
+
+// Motif is a canned sketch: a representative shape mined from the
+// collection, the analogue of a canned pattern.
+type Motif struct {
+	Word string // SAX word
+	// Shape is the mean z-normalized window of all occurrences, the curve
+	// the Sketch Panel displays.
+	Shape []float64
+	// Count is the number of windows encoding to Word.
+	Count int
+	// SeriesCoverage is the fraction of collection series containing the
+	// motif.
+	SeriesCoverage float64
+}
+
+// Complexity is the sketch-complexity (cognitive load analogue) of a
+// motif: the number of direction changes in its shape, normalized by
+// length. Flat or monotone shapes are easy to sketch and recognize;
+// oscillating ones are not.
+func (m *Motif) Complexity() float64 {
+	if len(m.Shape) < 3 {
+		return 0
+	}
+	changes := 0
+	for i := 2; i < len(m.Shape); i++ {
+		d1 := m.Shape[i-1] - m.Shape[i-2]
+		d2 := m.Shape[i] - m.Shape[i-1]
+		if d1*d2 < 0 {
+			changes++
+		}
+	}
+	return float64(changes) / float64(len(m.Shape)-2)
+}
+
+// ShapeDistance is the Euclidean distance between two motif shapes
+// (equal-length by construction), the diversity measure.
+func ShapeDistance(a, b *Motif) float64 {
+	n := len(a.Shape)
+	if len(b.Shape) < n {
+		n = len(b.Shape)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := a.Shape[i] - b.Shape[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Config parameterizes motif mining and selection.
+type Config struct {
+	Window   int // sliding window length (0 = 32)
+	Segments int // SAX word length (0 = 8)
+	Alphabet int // SAX alphabet size (0 = 4)
+	Budget   int // motifs to display (0 = 8)
+	// Weights over coverage, diversity, complexity (zero = 1, 1, 0.3).
+	WCoverage, WDiversity, WComplexity float64
+}
+
+func (c *Config) defaults() {
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if c.Segments == 0 {
+		c.Segments = 8
+	}
+	if c.Alphabet == 0 {
+		c.Alphabet = 4
+	}
+	if c.Budget == 0 {
+		c.Budget = 8
+	}
+	if c.WCoverage == 0 && c.WDiversity == 0 && c.WComplexity == 0 {
+		c.WCoverage, c.WDiversity, c.WComplexity = 1, 1, 0.3
+	}
+}
+
+// MineMotifs slides a window over every series, SAX-encodes each window,
+// and aggregates occurrences per word. Returned motifs are sorted by
+// descending count.
+func MineMotifs(col *Collection, cfg Config) ([]*Motif, error) {
+	cfg.defaults()
+	if _, ok := saxBreakpoints[cfg.Alphabet]; !ok {
+		return nil, fmt.Errorf("timeseries: unsupported alphabet size %d", cfg.Alphabet)
+	}
+	type agg struct {
+		sum    []float64
+		count  int
+		series map[int]bool
+	}
+	byWord := make(map[string]*agg)
+	for si, s := range col.Series {
+		if len(s.Values) < cfg.Window {
+			continue
+		}
+		// Stride of half a window keeps cost linear while still seeing
+		// every region.
+		stride := cfg.Window / 2
+		if stride == 0 {
+			stride = 1
+		}
+		for off := 0; off+cfg.Window <= len(s.Values); off += stride {
+			win := s.Values[off : off+cfg.Window]
+			word, err := SAX(win, cfg.Segments, cfg.Alphabet)
+			if err != nil {
+				return nil, err
+			}
+			a, ok := byWord[word]
+			if !ok {
+				a = &agg{sum: make([]float64, cfg.Window), series: make(map[int]bool)}
+				byWord[word] = a
+			}
+			zn := ZNormalize(win)
+			for i, v := range zn {
+				a.sum[i] += v
+			}
+			a.count++
+			a.series[si] = true
+		}
+	}
+	motifs := make([]*Motif, 0, len(byWord))
+	for word, a := range byWord {
+		shape := make([]float64, len(a.sum))
+		for i, v := range a.sum {
+			shape[i] = v / float64(a.count)
+		}
+		motifs = append(motifs, &Motif{
+			Word:           word,
+			Shape:          shape,
+			Count:          a.count,
+			SeriesCoverage: float64(len(a.series)) / float64(len(col.Series)),
+		})
+	}
+	sort.Slice(motifs, func(i, j int) bool {
+		if motifs[i].Count != motifs[j].Count {
+			return motifs[i].Count > motifs[j].Count
+		}
+		return motifs[i].Word < motifs[j].Word
+	})
+	return motifs, nil
+}
+
+// SelectSketches greedily picks the canned sketch set from mined motifs,
+// maximizing weighted coverage gain plus shape diversity minus sketch
+// complexity — the direct transfer of the canned-pattern score.
+func SelectSketches(motifs []*Motif, cfg Config) []*Motif {
+	cfg.defaults()
+	pool := append([]*Motif(nil), motifs...)
+	var selected []*Motif
+	totalCount := 0
+	for _, m := range pool {
+		totalCount += m.Count
+	}
+	if totalCount == 0 {
+		return nil
+	}
+	for len(selected) < cfg.Budget && len(pool) > 0 {
+		bestI := -1
+		bestScore := math.Inf(-1)
+		for i, m := range pool {
+			cov := float64(m.Count) / float64(totalCount)
+			div := 1.0
+			for _, s := range selected {
+				// Normalize distance by window length so div ∈ [0,~1].
+				d := ShapeDistance(m, s) / math.Sqrt(float64(len(m.Shape)))
+				if d < div {
+					div = d
+				}
+			}
+			score := cfg.WCoverage*cov + cfg.WDiversity*div - cfg.WComplexity*m.Complexity()
+			if score > bestScore {
+				bestI, bestScore = i, score
+			}
+		}
+		selected = append(selected, pool[bestI])
+		pool = append(pool[:bestI], pool[bestI+1:]...)
+	}
+	return selected
+}
+
+// Match is one sketch-query hit.
+type Match struct {
+	Series string
+	Offset int
+	Dist   float64 // z-normalized Euclidean distance per point
+}
+
+// QuerySketch searches the collection for windows matching the sketched
+// shape within the distance threshold (per-point normalized Euclidean).
+// The sketch may be any length ≥ 2; windows of the same length are
+// compared after z-normalization, so amplitude and offset don't matter —
+// only shape, which is the semantics sketch interfaces implement.
+func QuerySketch(col *Collection, sketch []float64, threshold float64, limit int) []Match {
+	if len(sketch) < 2 {
+		return nil
+	}
+	zq := ZNormalize(sketch)
+	var out []Match
+	for _, s := range col.Series {
+		for off := 0; off+len(zq) <= len(s.Values); off++ {
+			zw := ZNormalize(s.Values[off : off+len(zq)])
+			sum := 0.0
+			for i := range zq {
+				d := zq[i] - zw[i]
+				sum += d * d
+			}
+			dist := math.Sqrt(sum / float64(len(zq)))
+			if dist <= threshold {
+				out = append(out, Match{Series: s.Name, Offset: off, Dist: dist})
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SketchPanel is the time-series analogue of the VQI Pattern Panel.
+type SketchPanel struct {
+	Window   int      `json:"window"`
+	Sketches []*Motif `json:"sketches"`
+}
+
+// BuildSketchPanel mines and selects in one step — the data-driven
+// construction entry point.
+func BuildSketchPanel(col *Collection, cfg Config) (*SketchPanel, error) {
+	cfg.defaults()
+	motifs, err := MineMotifs(col, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SketchPanel{Window: cfg.Window, Sketches: SelectSketches(motifs, cfg)}, nil
+}

@@ -1,0 +1,234 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sineSeries(n int, period float64, phase float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(2*math.Pi*float64(i)/period + phase)
+	}
+	return out
+}
+
+func rampSeries(n int, slope float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = slope * float64(i)
+	}
+	return out
+}
+
+func testCollection() *Collection {
+	col := &Collection{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		col.Add("sine", sineSeries(256, 32, float64(i)))
+	}
+	for i := 0; i < 10; i++ {
+		ramp := rampSeries(256, 1)
+		for j := range ramp {
+			ramp[j] += rng.Float64() * 0.01
+		}
+		col.Add("ramp", ramp)
+	}
+	return col
+}
+
+func TestZNormalize(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	z := ZNormalize(x)
+	mean, sq := 0.0, 0.0
+	for _, v := range z {
+		mean += v
+	}
+	mean /= float64(len(z))
+	for _, v := range z {
+		sq += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(sq / float64(len(z)))
+	if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-9 {
+		t.Fatalf("z-normalized mean=%v std=%v", mean, std)
+	}
+	// Constant series → zeros, no NaN.
+	for _, v := range ZNormalize([]float64{3, 3, 3}) {
+		if v != 0 {
+			t.Fatal("constant series must normalize to zeros")
+		}
+	}
+	if len(ZNormalize(nil)) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestPAA(t *testing.T) {
+	x := []float64{1, 1, 2, 2, 3, 3}
+	got := PAA(x, 3)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PAA = %v", got)
+		}
+	}
+	if len(PAA(x, 10)) != 6 {
+		t.Fatal("segments clamp to length")
+	}
+	if PAA(nil, 3) != nil || PAA(x, 0) != nil {
+		t.Fatal("degenerate PAA")
+	}
+}
+
+func TestSAX(t *testing.T) {
+	// A rising ramp must produce a non-decreasing word.
+	word, err := SAX(rampSeries(64, 1), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(word) != 8 {
+		t.Fatalf("word = %q", word)
+	}
+	for i := 1; i < len(word); i++ {
+		if word[i] < word[i-1] {
+			t.Fatalf("ramp word not monotone: %q", word)
+		}
+	}
+	if word[0] != 'a' || word[len(word)-1] != 'd' {
+		t.Fatalf("ramp word endpoints: %q", word)
+	}
+	// Shape-invariance: scaling/offsetting doesn't change the word.
+	scaled := rampSeries(64, 5)
+	for i := range scaled {
+		scaled[i] += 100
+	}
+	word2, _ := SAX(scaled, 8, 4)
+	if word2 != word {
+		t.Fatalf("SAX not shape-invariant: %q vs %q", word, word2)
+	}
+	if _, err := SAX(rampSeries(64, 1), 8, 99); err == nil {
+		t.Fatal("bad alphabet accepted")
+	}
+}
+
+func TestMineMotifs(t *testing.T) {
+	col := testCollection()
+	motifs, err := MineMotifs(col, Config{Window: 32, Segments: 8, Alphabet: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(motifs) == 0 {
+		t.Fatal("no motifs")
+	}
+	// Sorted by count descending.
+	for i := 1; i < len(motifs); i++ {
+		if motifs[i].Count > motifs[i-1].Count {
+			t.Fatal("motifs not sorted")
+		}
+	}
+	// The ramp motif (all series identical up to noise) must have very
+	// high coverage: its word appears in all 10 ramp series.
+	found := false
+	for _, m := range motifs {
+		if m.SeriesCoverage >= 0.5 {
+			found = true
+		}
+		if len(m.Shape) != 32 {
+			t.Fatal("shape length wrong")
+		}
+	}
+	if !found {
+		t.Fatal("no high-coverage motif in a highly regular collection")
+	}
+}
+
+func TestComplexityOrdering(t *testing.T) {
+	ramp := &Motif{Shape: ZNormalize(rampSeries(32, 1))}
+	sine := &Motif{Shape: ZNormalize(sineSeries(32, 8, 0))} // 4 periods → many bends
+	if ramp.Complexity() >= sine.Complexity() {
+		t.Fatalf("ramp complexity %v must be below oscillating %v",
+			ramp.Complexity(), sine.Complexity())
+	}
+	if (&Motif{Shape: []float64{1, 2}}).Complexity() != 0 {
+		t.Fatal("short shape complexity must be 0")
+	}
+}
+
+func TestSelectSketches(t *testing.T) {
+	col := testCollection()
+	cfg := Config{Window: 32, Segments: 8, Alphabet: 4, Budget: 4}
+	motifs, err := MineMotifs(col, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := SelectSketches(motifs, cfg)
+	if len(sel) == 0 || len(sel) > 4 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	// No duplicate words.
+	seen := map[string]bool{}
+	for _, m := range sel {
+		if seen[m.Word] {
+			t.Fatal("duplicate sketch")
+		}
+		seen[m.Word] = true
+	}
+	if SelectSketches(nil, cfg) != nil {
+		t.Fatal("empty motif list must select nothing")
+	}
+}
+
+func TestQuerySketch(t *testing.T) {
+	col := testCollection()
+	// Sketch a rising line: must match ramp series.
+	sketch := rampSeries(32, 2)
+	matches := QuerySketch(col, sketch, 0.2, 0)
+	if len(matches) == 0 {
+		t.Fatal("rising sketch must match ramps")
+	}
+	rampHits := 0
+	for _, m := range matches {
+		if m.Series == "ramp" {
+			rampHits++
+		}
+		if m.Dist > 0.2 {
+			t.Fatal("threshold violated")
+		}
+	}
+	if rampHits == 0 {
+		t.Fatal("no ramp hits")
+	}
+	// Limit respected.
+	if got := QuerySketch(col, sketch, 0.5, 3); len(got) != 3 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+	// Degenerate sketches.
+	if QuerySketch(col, []float64{1}, 0.5, 0) != nil {
+		t.Fatal("1-point sketch must match nothing")
+	}
+}
+
+func TestBuildSketchPanel(t *testing.T) {
+	col := testCollection()
+	panel, err := BuildSketchPanel(col, Config{Budget: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if panel.Window != 32 {
+		t.Fatalf("window = %d", panel.Window)
+	}
+	if len(panel.Sketches) == 0 || len(panel.Sketches) > 5 {
+		t.Fatalf("sketches = %d", len(panel.Sketches))
+	}
+	// Data-driven property: every displayed sketch matches the data it
+	// was mined from.
+	for _, m := range panel.Sketches {
+		if len(QuerySketch(col, m.Shape, 0.6, 1)) == 0 {
+			t.Fatalf("sketch %q does not match its own collection", m.Word)
+		}
+	}
+	if _, err := BuildSketchPanel(col, Config{Alphabet: 17}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package truss
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Property tests for the decomposition's structural invariants.
+
+// TestPropertyTrussnessBounds: trussness is always in [2, maxPossible],
+// and an edge's trussness never exceeds its triangle count + 2.
+func TestPropertyTrussnessBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		g := graph.New("q")
+		g.AddNodes(n, "A")
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		tr := Decompose(g)
+		for id, k := range tr {
+			if k < 2 {
+				return false
+			}
+			// Triangle count of the edge in the full graph upper-bounds
+			// support, hence trussness ≤ support+2.
+			e := g.Edge(id)
+			tris := 0
+			for w := 0; w < n; w++ {
+				if w != e.U && w != e.V && g.HasEdge(e.U, w) && g.HasEdge(e.V, w) {
+					tris++
+				}
+			}
+			if k > tris+2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyKTrussIsSubgraphOfK1Truss: the edge set of the (k+1)-truss
+// is contained in the k-truss for every k.
+func TestPropertyTrussNesting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(10)
+		g := graph.New("q")
+		g.AddNodes(n, "A")
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		tr := Decompose(g)
+		// Nesting is implied by trussness being well-defined: edges with
+		// trussness ≥ k+1 are a subset of those with trussness ≥ k. Check
+		// the k-truss property directly: within the subgraph of edges of
+		// trussness ≥ k, every edge has ≥ k-2 triangles.
+		max := 0
+		for _, k := range tr {
+			if k > max {
+				max = k
+			}
+		}
+		for k := 3; k <= max; k++ {
+			var keep []graph.EdgeID
+			for id, kk := range tr {
+				if kk >= k {
+					keep = append(keep, id)
+				}
+			}
+			sub, _ := g.SubgraphFromEdges(keep)
+			for _, e := range sub.Edges() {
+				tris := 0
+				for w := 0; w < sub.NumNodes(); w++ {
+					if w != e.U && w != e.V && sub.HasEdge(e.U, w) && sub.HasEdge(e.V, w) {
+						tris++
+					}
+				}
+				if tris < k-2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAddingEdgesNeverLowersMaxTrussness: supersets of edges can
+// only sustain denser trusses.
+func TestPropertyEdgeAdditionMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(8)
+		g := graph.New("q")
+		g.AddNodes(n, "A")
+		var missing [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.MustAddEdge(i, j, "-")
+				} else {
+					missing = append(missing, [2]int{i, j})
+				}
+			}
+		}
+		if g.NumEdges() == 0 || len(missing) == 0 {
+			return true
+		}
+		before := MaxTrussness(g)
+		add := missing[rng.Intn(len(missing))]
+		g.MustAddEdge(add[0], add[1], "-")
+		return MaxTrussness(g) >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+package truss
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func clique(n int) *graph.Graph {
+	g := graph.New("k")
+	g.AddNodes(n, "A")
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j, "-")
+		}
+	}
+	return g
+}
+
+func path(n int) *graph.Graph {
+	g := graph.New("p")
+	g.AddNodes(n, "A")
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, "-")
+	}
+	return g
+}
+
+// bruteTrussness computes edge trussness by direct iterative peeling per k.
+func bruteTrussness(g *graph.Graph) []int {
+	m := g.NumEdges()
+	tr := make([]int, m)
+	for i := range tr {
+		tr[i] = 2
+	}
+	for k := 3; ; k++ {
+		// Compute the k-truss: repeatedly delete edges with < k-2
+		// triangles among alive edges.
+		alive := make([]bool, m)
+		for i := range alive {
+			alive[i] = tr[i] >= k-1 // edges that survived the previous level
+		}
+		for {
+			changed := false
+			for id := 0; id < m; id++ {
+				if !alive[id] {
+					continue
+				}
+				e := g.Edge(id)
+				tris := 0
+				for w := 0; w < g.NumNodes(); w++ {
+					if w == e.U || w == e.V {
+						continue
+					}
+					e1, ok1 := g.EdgeBetween(e.U, graph.NodeID(w))
+					e2, ok2 := g.EdgeBetween(e.V, graph.NodeID(w))
+					if ok1 && ok2 && alive[e1] && alive[e2] {
+						tris++
+					}
+				}
+				if tris < k-2 {
+					alive[id] = false
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		any := false
+		for id := 0; id < m; id++ {
+			if alive[id] {
+				tr[id] = k
+				any = true
+			}
+		}
+		if !any {
+			return tr
+		}
+	}
+}
+
+func TestDecomposeKnown(t *testing.T) {
+	// A clique K5: every edge has trussness 5.
+	for _, tr := range Decompose(clique(5)) {
+		if tr != 5 {
+			t.Fatalf("K5 trussness = %d, want 5", tr)
+		}
+	}
+	// A path: no triangles, all trussness 2.
+	for _, tr := range Decompose(path(6)) {
+		if tr != 2 {
+			t.Fatalf("path trussness = %d, want 2", tr)
+		}
+	}
+	// Empty graph.
+	if Decompose(graph.New("e")) != nil {
+		t.Fatal("empty decomposition must be nil")
+	}
+}
+
+func TestDecomposeTriangleWithTail(t *testing.T) {
+	g := graph.New("t")
+	g.AddNodes(4, "A")
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(1, 2, "-")
+	g.MustAddEdge(0, 2, "-")
+	tail := g.MustAddEdge(2, 3, "-")
+	tr := Decompose(g)
+	for id, k := range tr {
+		want := 3
+		if id == tail {
+			want = 2
+		}
+		if k != want {
+			t.Fatalf("edge %d trussness = %d, want %d", id, k, want)
+		}
+	}
+	if MaxTrussness(g) != 3 {
+		t.Fatalf("MaxTrussness = %d", MaxTrussness(g))
+	}
+}
+
+func TestDecomposeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(10)
+		g := graph.New("r")
+		g.AddNodes(n, "A")
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		if g.NumEdges() == 0 {
+			continue
+		}
+		got := Decompose(g)
+		want := bruteTrussness(g)
+		for id := range got {
+			if got[id] != want[id] {
+				t.Fatalf("trial %d edge %d: trussness %d, brute %d\n%s", trial, id, got[id], want[id], g.Dump())
+			}
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	// Triangle 0-1-2 with a tail 2-3-4.
+	g := graph.New("t")
+	g.AddNodes(5, "A")
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(1, 2, "-")
+	g.MustAddEdge(0, 2, "-")
+	g.MustAddEdge(2, 3, "-")
+	g.MustAddEdge(3, 4, "-")
+	gT, gO, tNodes, oNodes := Split(g, 3)
+	if gT.NumEdges() != 3 || gT.NumNodes() != 3 {
+		t.Fatalf("G_T = %s", gT)
+	}
+	if gO.NumEdges() != 2 || gO.NumNodes() != 3 {
+		t.Fatalf("G_O = %s", gO)
+	}
+	// Node maps point back into g.
+	for i := 0; i < gT.NumNodes(); i++ {
+		if g.NodeLabel(tNodes[i]) != gT.NodeLabel(i) {
+			t.Fatal("G_T node map broken")
+		}
+	}
+	for i := 0; i < gO.NumNodes(); i++ {
+		if g.NodeLabel(oNodes[i]) != gO.NodeLabel(i) {
+			t.Fatal("G_O node map broken")
+		}
+	}
+	// Edges partition: counts add up.
+	if gT.NumEdges()+gO.NumEdges() != g.NumEdges() {
+		t.Fatal("split does not partition edges")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := clique(4)
+	tail := g.AddNode("A")
+	g.MustAddEdge(0, tail, "-")
+	s := ComputeStats(g)
+	if s.Edges != 7 || s.TrussEdges != 6 || s.ObliviousEdge != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxTrussness != 4 || s.Histogram[4] != 6 || s.Histogram[2] != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDecomposeLargeRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large graph")
+	}
+	rng := rand.New(rand.NewSource(9))
+	n := 3000
+	g := graph.New("big")
+	g.AddNodes(n, "A")
+	// Preferential-attachment-ish: triangles guaranteed by wiring each new
+	// node to two random adjacent prior nodes.
+	for v := 2; v < n; v++ {
+		a := rng.Intn(v)
+		b := (a + 1 + rng.Intn(v-1)) % v
+		if !g.HasEdge(v, a) {
+			g.MustAddEdge(v, a, "-")
+		}
+		if !g.HasEdge(v, b) {
+			g.MustAddEdge(v, b, "-")
+		}
+		if !g.HasEdge(a, b) && rng.Float64() < 0.5 {
+			g.MustAddEdge(a, b, "-")
+		}
+	}
+	tr := Decompose(g)
+	if len(tr) != g.NumEdges() {
+		t.Fatal("wrong length")
+	}
+	for _, k := range tr {
+		if k < 2 {
+			t.Fatalf("trussness %d < 2", k)
+		}
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	g := graph.New("b")
+	g.AddNodes(n, "A")
+	for v := 2; v < n; v++ {
+		a := rng.Intn(v)
+		bb := rng.Intn(v)
+		if a != bb {
+			if !g.HasEdge(v, a) {
+				g.MustAddEdge(v, a, "-")
+			}
+			if !g.HasEdge(v, bb) {
+				g.MustAddEdge(v, bb, "-")
+			}
+			if !g.HasEdge(a, bb) {
+				g.MustAddEdge(a, bb, "-")
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(g)
+	}
+}

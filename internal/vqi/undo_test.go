@@ -1,0 +1,105 @@
+package vqi
+
+import (
+	"testing"
+)
+
+func TestUndoAddNode(t *testing.T) {
+	spec, _ := BuildManual(PresetBasicOnly, nil)
+	s := NewSession(spec, DataSource{})
+	s.AddNode("C")
+	s.AddNode("N")
+	if !s.Undo() {
+		t.Fatal("undo failed")
+	}
+	if s.Query.NumNodes() != 1 || s.Query.NodeLabel(0) != "C" {
+		t.Fatalf("query after undo = %s", s.Query.Dump())
+	}
+	if s.Undos != 1 {
+		t.Fatalf("undos = %d", s.Undos)
+	}
+	// Undo counts as an action (errors cost steps).
+	if s.Actions != 3 {
+		t.Fatalf("actions = %d", s.Actions)
+	}
+}
+
+func TestUndoStampAndMerge(t *testing.T) {
+	spec, _ := BuildManual(PresetChemistry, nil)
+	s := NewSession(spec, DataSource{})
+	a := s.AddNode("C")
+	if _, err := s.StampPattern(3); err != nil { // benzene-sized stamp
+		t.Fatal(err)
+	}
+	after := s.Query.NumNodes()
+	if after <= 1 {
+		t.Fatal("stamp did nothing")
+	}
+	if !s.Undo() {
+		t.Fatal("undo stamp failed")
+	}
+	if s.Query.NumNodes() != 1 {
+		t.Fatalf("undo stamp left %d nodes", s.Query.NumNodes())
+	}
+	// Merge then undo.
+	b := s.AddNode("C")
+	s.AddEdge(a, b, "s")
+	if err := s.MergeNodes(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if s.Query.NumNodes() != 1 {
+		t.Fatal("merge failed")
+	}
+	if !s.Undo() {
+		t.Fatal("undo merge failed")
+	}
+	if s.Query.NumNodes() != 2 || !s.Query.HasEdge(0, 1) {
+		t.Fatalf("undo merge state = %s", s.Query.Dump())
+	}
+}
+
+func TestUndoEmptyHistory(t *testing.T) {
+	spec, _ := BuildManual(PresetBasicOnly, nil)
+	s := NewSession(spec, DataSource{})
+	if s.Undo() {
+		t.Fatal("undo on empty history succeeded")
+	}
+	if s.Actions != 0 {
+		t.Fatal("failed undo must not count as an action")
+	}
+}
+
+func TestFailedActionNotUndoable(t *testing.T) {
+	spec, _ := BuildManual(PresetBasicOnly, nil)
+	s := NewSession(spec, DataSource{})
+	a := s.AddNode("C")
+	// Self-loop fails; the failed gesture must not pollute the history.
+	if err := s.AddEdge(a, a, "s"); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if !s.Undo() {
+		t.Fatal("undo failed")
+	}
+	// The undo reverts AddNode, not the failed edge.
+	if s.Query.NumNodes() != 0 {
+		t.Fatalf("query = %s", s.Query.Dump())
+	}
+	if s.Undo() {
+		t.Fatal("history should be exhausted")
+	}
+}
+
+func TestUndoDepthBounded(t *testing.T) {
+	spec, _ := BuildManual(PresetBasicOnly, nil)
+	s := NewSession(spec, DataSource{})
+	for i := 0; i < maxHistory+20; i++ {
+		s.AddNode("C")
+	}
+	undone := 0
+	for s.Undo() {
+		undone++
+	}
+	if undone != maxHistory {
+		t.Fatalf("undo depth = %d, want %d", undone, maxHistory)
+	}
+}

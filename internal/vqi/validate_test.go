@@ -1,0 +1,52 @@
+package vqi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsBuiltSpecs(t *testing.T) {
+	spec := corpusSpec(t)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("built spec invalid: %v", err)
+	}
+	manual, _ := BuildManual(PresetChemistry, corpus())
+	if err := manual.Validate(); err != nil {
+		t.Fatalf("manual spec invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsCorruptSpecs(t *testing.T) {
+	mutations := []struct {
+		name    string
+		mutate  func(*Spec)
+		keyword string
+	}{
+		{"bad-edge-endpoint", func(s *Spec) {
+			s.Patterns.Canned[0].Edges[0].V = 999
+		}, "pattern"},
+		{"missing-position", func(s *Spec) {
+			s.Patterns.Canned[0].Positions = s.Patterns.Canned[0].Positions[:1]
+		}, "positions"},
+		{"basic-too-big", func(s *Spec) {
+			// Move a canned pattern into the basic panel.
+			s.Patterns.Basic = append(s.Patterns.Basic, s.Patterns.Canned[0])
+		}, "misclassified"},
+		{"canned-too-small", func(s *Spec) {
+			// Move a basic pattern into the canned panel.
+			s.Patterns.Canned = append(s.Patterns.Canned, s.Patterns.Basic[0])
+		}, "misclassified"},
+	}
+	for _, m := range mutations {
+		spec := corpusSpec(t)
+		m.mutate(spec)
+		err := spec.Validate()
+		if err == nil {
+			t.Errorf("%s: corrupt spec accepted", m.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), m.keyword) {
+			t.Errorf("%s: error %q lacks %q", m.name, err, m.keyword)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package vqi
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/gindex"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/tattoo"
+)
+
+func corpus() *graph.Corpus {
+	return datagen.ChemicalCorpus(4, 25, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+}
+
+func corpusSpec(t *testing.T) *Spec {
+	t.Helper()
+	spec, _, err := BuildFromCorpus(corpus(), catapult.Config{
+		Budget: pattern.Budget{Count: 4, MinSize: 4, MaxSize: 8},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestBuildFromCorpus(t *testing.T) {
+	spec := corpusSpec(t)
+	if spec.Mode != DataDriven {
+		t.Fatalf("mode = %s", spec.Mode)
+	}
+	if len(spec.Attribute.NodeLabels) == 0 || spec.Attribute.NodeLabels[0] != "C" {
+		t.Fatalf("attribute panel = %v (carbon must lead)", spec.Attribute.NodeLabels)
+	}
+	if len(spec.Patterns.Basic) != 3 {
+		t.Fatalf("basic patterns = %d", len(spec.Patterns.Basic))
+	}
+	if len(spec.Patterns.Canned) == 0 {
+		t.Fatal("no canned patterns")
+	}
+	for _, ps := range spec.Patterns.Canned {
+		if len(ps.Positions) != len(ps.NodeLabels) {
+			t.Fatal("thumbnail layout incomplete")
+		}
+		if ps.CognitiveLoad <= 0 {
+			t.Fatal("cognitive load annotation missing")
+		}
+	}
+}
+
+func TestBuildFromNetwork(t *testing.T) {
+	g := datagen.WattsStrogatz(3, 300, 6, 0.1)
+	spec, res, err := BuildFromNetwork(g, tattoo.Config{
+		Budget: pattern.Budget{Count: 5, MinSize: 4, MaxSize: 9},
+		Seed:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Patterns.Canned) != len(res.Patterns) {
+		t.Fatal("panel/selection mismatch")
+	}
+	if len(spec.Attribute.NodeLabels) == 0 {
+		t.Fatal("attribute panel empty")
+	}
+}
+
+func TestBuildManualPresets(t *testing.T) {
+	c := corpus()
+	basic, err := BuildManual(PresetBasicOnly, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basic.Mode != Manual || len(basic.Patterns.Canned) != 0 {
+		t.Fatal("basic-only preset must have no canned patterns")
+	}
+	if len(basic.Patterns.Basic) != 3 {
+		t.Fatal("basic patterns missing")
+	}
+	chem, err := BuildManual(PresetChemistry, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chem.Patterns.Canned) != 3 {
+		t.Fatalf("chemistry preset canned = %d", len(chem.Patterns.Canned))
+	}
+	if _, err := BuildManual("nope", c); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	// nil corpus: attribute panel empty but build succeeds.
+	noData, err := BuildManual(PresetBasicOnly, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noData.Attribute.NodeLabels) != 0 {
+		t.Fatal("nil corpus must leave attribute panel empty")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := corpusSpec(t)
+	data, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatal("spec changed across JSON round trip")
+	}
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+}
+
+func TestAllPatterns(t *testing.T) {
+	spec := corpusSpec(t)
+	pats, err := spec.AllPatterns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(spec.Patterns.Basic) + len(spec.Patterns.Canned)
+	if len(pats) != want {
+		t.Fatalf("AllPatterns = %d, want %d", len(pats), want)
+	}
+}
+
+func TestRefreshPatterns(t *testing.T) {
+	spec := corpusSpec(t)
+	star := graph.New("star")
+	c := star.AddNode("C")
+	for i := 0; i < 4; i++ {
+		l := star.AddNode("N")
+		star.MustAddEdge(c, l, "s")
+	}
+	spec.RefreshPatterns([]*pattern.Pattern{pattern.New(star, "midas")}, 3)
+	if len(spec.Patterns.Canned) != 1 || spec.Patterns.Canned[0].Source != "midas" {
+		t.Fatalf("refresh failed: %+v", spec.Patterns.Canned)
+	}
+	if len(spec.Patterns.Basic) != 3 {
+		t.Fatal("refresh must not touch basic patterns")
+	}
+}
+
+func TestSessionEdgeAtATime(t *testing.T) {
+	c := corpus()
+	spec, _ := BuildManual(PresetBasicOnly, c)
+	s := NewSession(spec, DataSource{Corpus: c})
+	a := s.AddNode("C")
+	b := s.AddNode("C")
+	if err := s.AddEdge(a, b, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Actions != 3 {
+		t.Fatalf("actions = %d", s.Actions)
+	}
+	res := s.Run()
+	if len(res.MatchedGraphs) == 0 {
+		t.Fatal("C-C bond must match compounds")
+	}
+	if s.Actions != 4 {
+		t.Fatalf("Run must count as an action: %d", s.Actions)
+	}
+}
+
+func TestSessionStampPattern(t *testing.T) {
+	c := corpus()
+	spec, _ := BuildManual(PresetChemistry, c)
+	s := NewSession(spec, DataSource{Corpus: c})
+	// Index 3 = first canned (after 3 basic) = benzene.
+	ids, err := s.StampPattern(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 6 || s.Query.NumEdges() != 6 {
+		t.Fatalf("stamped query = %s", s.Query)
+	}
+	if s.Actions != 1 {
+		t.Fatalf("stamp must be one action: %d", s.Actions)
+	}
+	if _, err := s.StampPattern(99); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := s.StampPattern(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestSessionMergeNodes(t *testing.T) {
+	spec, _ := BuildManual(PresetBasicOnly, nil)
+	s := NewSession(spec, DataSource{})
+	a := s.AddNode("C")
+	b := s.AddNode("N")
+	cc := s.AddNode("C")
+	s.AddEdge(a, b, "s")
+	s.AddEdge(b, cc, "s")
+	// Merge cc into a: the path closes into a 2-node multi... duplicate
+	// collapses; result: a-b with both edges collapsing onto one pair.
+	if err := s.MergeNodes(a, cc); err != nil {
+		t.Fatal(err)
+	}
+	if s.Query.NumNodes() != 2 || s.Query.NumEdges() != 1 {
+		t.Fatalf("merged query = %s", s.Query)
+	}
+	if err := s.MergeNodes(0, 0); err == nil {
+		t.Fatal("self merge accepted")
+	}
+	if err := s.MergeNodes(0, 99); err == nil {
+		t.Fatal("out-of-range merge accepted")
+	}
+}
+
+func TestSessionIndexedRunMatchesScan(t *testing.T) {
+	c := corpus()
+	spec, _ := BuildManual(PresetBasicOnly, c)
+	plain := NewSession(spec, DataSource{Corpus: c})
+	indexed := NewSession(spec, DataSource{Corpus: c, Index: gindex.Build(c)})
+	for _, s := range []*Session{plain, indexed} {
+		a := s.AddNode("C")
+		b := s.AddNode("N")
+		if err := s.AddEdge(a, b, "s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := indexed.Run().MatchedGraphs
+	want := plain.Run().MatchedGraphs
+	sort.Strings(got)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("indexed results differ: %d vs %d matches", len(got), len(want))
+	}
+	if len(got) == 0 {
+		t.Fatal("no matches at all")
+	}
+}
+
+func TestSessionNetworkRun(t *testing.T) {
+	g := datagen.WattsStrogatz(5, 120, 4, 0.1)
+	spec, _ := BuildManual(PresetBasicOnly, nil)
+	src := DataSource{Corpus: pattern.SingletonCorpus(g), Network: true}
+	s := NewSession(spec, src)
+	a := s.AddNode("")
+	b := s.AddNode("")
+	s.AddEdge(a, b, "")
+	res := s.Run()
+	if res.Embeddings == 0 {
+		t.Fatal("wildcard edge must embed in network")
+	}
+	// Empty source.
+	empty := NewSession(spec, DataSource{})
+	if r := empty.Run(); len(r.MatchedGraphs) != 0 || r.Embeddings != 0 {
+		t.Fatal("empty source must return empty results")
+	}
+}

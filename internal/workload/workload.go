@@ -1,0 +1,219 @@
+// Package workload generates subgraph-query workloads whose topology mix
+// follows the published analysis of large real-world SPARQL query logs
+// (Bonifati, Martens, Timm — the study TATTOO builds its candidate
+// taxonomy on): real visual queries are overwhelmingly chains and stars,
+// with trees, cycles, petals and flowers making up the tail.
+//
+// Generated queries carry labels sampled from a data source (corpus or
+// network) so they are answerable against it, and each query is annotated
+// with its topology class, letting the usability experiments report
+// formulation effort per class.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Topology names a query shape class.
+type Topology string
+
+// Query topology classes, after the query-log taxonomy.
+const (
+	Chain  Topology = "chain"
+	Star   Topology = "star"
+	Tree   Topology = "tree"
+	Cycle  Topology = "cycle"
+	Petal  Topology = "petal"
+	Flower Topology = "flower"
+)
+
+// DefaultMix approximates the published query-log shape distribution:
+// chains dominate, then stars; complex shapes are rare.
+func DefaultMix() map[Topology]float64 {
+	return map[Topology]float64{
+		Chain:  0.55,
+		Star:   0.25,
+		Tree:   0.10,
+		Cycle:  0.05,
+		Petal:  0.03,
+		Flower: 0.02,
+	}
+}
+
+// Query is one generated query with its class annotation.
+type Query struct {
+	G     *graph.Graph
+	Class Topology
+}
+
+// LabelSource supplies node and edge labels for generated queries. Use
+// FromCorpus or FromGraph, or provide custom pools.
+type LabelSource struct {
+	NodeLabels []string
+	EdgeLabels []string
+}
+
+// FromCorpus builds a label source from corpus-wide label frequencies
+// (most frequent first, so sampling is realistic).
+func FromCorpus(c *graph.Corpus) LabelSource {
+	stats := c.Stats()
+	return LabelSource{
+		NodeLabels: stats.SortedNodeLabels(),
+		EdgeLabels: stats.SortedEdgeLabels(),
+	}
+}
+
+// FromGraph builds a label source from a single network.
+func FromGraph(g *graph.Graph) LabelSource {
+	stats := graph.CorpusStats{NodeLabels: g.NodeLabels(), EdgeLabels: g.EdgeLabels()}
+	return LabelSource{
+		NodeLabels: stats.SortedNodeLabels(),
+		EdgeLabels: stats.SortedEdgeLabels(),
+	}
+}
+
+func (ls LabelSource) node(rng *rand.Rand) string {
+	if len(ls.NodeLabels) == 0 {
+		return ""
+	}
+	// Zipf-ish: prefer the head of the frequency-sorted list.
+	i := int(float64(len(ls.NodeLabels)) * rng.Float64() * rng.Float64())
+	return ls.NodeLabels[i]
+}
+
+func (ls LabelSource) edge(rng *rand.Rand) string {
+	if len(ls.EdgeLabels) == 0 {
+		return ""
+	}
+	i := int(float64(len(ls.EdgeLabels)) * rng.Float64() * rng.Float64())
+	return ls.EdgeLabels[i]
+}
+
+// Options configure generation.
+type Options struct {
+	// Mix is the topology distribution (nil = DefaultMix). Weights need
+	// not sum to 1; they are normalized.
+	Mix map[Topology]float64
+	// MinNodes/MaxNodes bound query size (0 = 4..10).
+	MinNodes, MaxNodes int
+}
+
+func (o *Options) defaults() {
+	if o.Mix == nil {
+		o.Mix = DefaultMix()
+	}
+	if o.MinNodes == 0 {
+		o.MinNodes = 4
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 10
+	}
+}
+
+// Generate produces n queries with the configured topology mix.
+func Generate(n int, ls LabelSource, opts Options, seed int64) ([]Query, error) {
+	opts.defaults()
+	if opts.MinNodes < 3 || opts.MaxNodes < opts.MinNodes {
+		return nil, fmt.Errorf("workload: node range [%d,%d] invalid (min 3)", opts.MinNodes, opts.MaxNodes)
+	}
+	// Normalize the mix into a cumulative distribution over a stable
+	// topology order.
+	order := []Topology{Chain, Star, Tree, Cycle, Petal, Flower}
+	total := 0.0
+	for _, t := range order {
+		total += opts.Mix[t]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: empty topology mix")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	queries := make([]Query, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * total
+		var class Topology
+		for _, t := range order {
+			x -= opts.Mix[t]
+			if x < 0 {
+				class = t
+				break
+			}
+		}
+		if class == "" {
+			class = Chain
+		}
+		size := opts.MinNodes + rng.Intn(opts.MaxNodes-opts.MinNodes+1)
+		g := build(class, size, ls, rng)
+		g.SetName(fmt.Sprintf("q%d-%s", i, class))
+		queries = append(queries, Query{G: g, Class: class})
+	}
+	return queries, nil
+}
+
+// build constructs one query graph of the given class with ~size nodes.
+func build(class Topology, size int, ls LabelSource, rng *rand.Rand) *graph.Graph {
+	g := graph.New("q")
+	switch class {
+	case Chain:
+		g.AddNode(ls.node(rng))
+		for v := 1; v < size; v++ {
+			g.AddNode(ls.node(rng))
+			g.MustAddEdge(v-1, v, ls.edge(rng))
+		}
+	case Star:
+		c := g.AddNode(ls.node(rng))
+		for v := 1; v < size; v++ {
+			l := g.AddNode(ls.node(rng))
+			g.MustAddEdge(c, l, ls.edge(rng))
+		}
+	case Tree:
+		g.AddNode(ls.node(rng))
+		for v := 1; v < size; v++ {
+			parent := rng.Intn(v)
+			g.AddNode(ls.node(rng))
+			g.MustAddEdge(parent, v, ls.edge(rng))
+		}
+	case Cycle:
+		for v := 0; v < size; v++ {
+			g.AddNode(ls.node(rng))
+		}
+		for v := 0; v < size; v++ {
+			g.MustAddEdge(v, (v+1)%size, ls.edge(rng))
+		}
+	case Petal:
+		// Two anchors joined by an edge and by (size-2) internally
+		// disjoint 2-paths.
+		u := g.AddNode(ls.node(rng))
+		v := g.AddNode(ls.node(rng))
+		g.MustAddEdge(u, v, ls.edge(rng))
+		for k := 2; k < size; k++ {
+			w := g.AddNode(ls.node(rng))
+			g.MustAddEdge(u, w, ls.edge(rng))
+			g.MustAddEdge(w, v, ls.edge(rng))
+		}
+	case Flower:
+		// A triangle core with star rays from one core node.
+		a := g.AddNode(ls.node(rng))
+		b := g.AddNode(ls.node(rng))
+		c := g.AddNode(ls.node(rng))
+		g.MustAddEdge(a, b, ls.edge(rng))
+		g.MustAddEdge(b, c, ls.edge(rng))
+		g.MustAddEdge(a, c, ls.edge(rng))
+		for v := 3; v < size; v++ {
+			l := g.AddNode(ls.node(rng))
+			g.MustAddEdge(a, l, ls.edge(rng))
+		}
+	}
+	return g
+}
+
+// ClassCounts tallies the classes of a generated workload.
+func ClassCounts(qs []Query) map[Topology]int {
+	out := make(map[Topology]int)
+	for _, q := range qs {
+		out[q.Class]++
+	}
+	return out
+}

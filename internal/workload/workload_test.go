@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func source() LabelSource {
+	return FromCorpus(datagen.ChemicalCorpus(1, 10, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14}))
+}
+
+func TestGenerateMixProportions(t *testing.T) {
+	qs, err := Generate(2000, source(), Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := ClassCounts(qs)
+	if counts[Chain] < counts[Star] || counts[Star] < counts[Tree] {
+		t.Fatalf("mix violates log proportions: %v", counts)
+	}
+	// Every class appears at this sample size.
+	for _, cls := range []Topology{Chain, Star, Tree, Cycle, Petal, Flower} {
+		if counts[cls] == 0 {
+			t.Fatalf("class %s never generated: %v", cls, counts)
+		}
+	}
+	// Chains should be roughly 55% ± 5pp.
+	frac := float64(counts[Chain]) / 2000
+	if frac < 0.50 || frac > 0.60 {
+		t.Fatalf("chain fraction %v, want ≈0.55", frac)
+	}
+}
+
+func TestGeneratedShapes(t *testing.T) {
+	qs, err := Generate(300, source(), Options{MinNodes: 5, MaxNodes: 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		g := q.G
+		if !g.IsConnected() {
+			t.Fatalf("%s: disconnected", g.Name())
+		}
+		if g.NumNodes() < 5 && q.Class != Petal && q.Class != Flower {
+			t.Fatalf("%s: %d nodes below range", g.Name(), g.NumNodes())
+		}
+		switch q.Class {
+		case Chain:
+			if g.NumEdges() != g.NumNodes()-1 || g.MaxDegree() > 2 {
+				t.Fatalf("%s: not a chain", g.Name())
+			}
+		case Star:
+			if g.MaxDegree() != g.NumNodes()-1 {
+				t.Fatalf("%s: not a star", g.Name())
+			}
+		case Tree:
+			if g.NumEdges() != g.NumNodes()-1 {
+				t.Fatalf("%s: not a tree", g.Name())
+			}
+		case Cycle:
+			if g.NumEdges() != g.NumNodes() || g.MaxDegree() != 2 {
+				t.Fatalf("%s: not a cycle", g.Name())
+			}
+		case Petal:
+			// 2 anchors + k midpoints: m = 1 + 2k, every midpoint degree 2.
+			if g.NumEdges() != 1+2*(g.NumNodes()-2) {
+				t.Fatalf("%s: not a petal (%d nodes %d edges)", g.Name(), g.NumNodes(), g.NumEdges())
+			}
+		case Flower:
+			if g.CountTriangles() < 1 {
+				t.Fatalf("%s: flower without core triangle", g.Name())
+			}
+		}
+		// Labels drawn from the source.
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.NodeLabel(v) == "" {
+				t.Fatalf("%s: empty label", g.Name())
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(50, source(), Options{}, 9)
+	b, _ := Generate(50, source(), Options{}, 9)
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].G.Dump() != b[i].G.Dump() {
+			t.Fatal("generation nondeterministic")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(5, source(), Options{MinNodes: 2, MaxNodes: 5}, 1); err == nil {
+		t.Fatal("min below 3 accepted")
+	}
+	if _, err := Generate(5, source(), Options{Mix: map[Topology]float64{}, MinNodes: 4, MaxNodes: 6}, 1); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	// Custom single-class mix.
+	qs, err := Generate(20, source(), Options{Mix: map[Topology]float64{Cycle: 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.Class != Cycle {
+			t.Fatal("mix ignored")
+		}
+	}
+}
+
+func TestFromGraphSource(t *testing.T) {
+	g := datagen.BarabasiAlbert(1, 100, 2)
+	ls := FromGraph(g)
+	if len(ls.NodeLabels) == 0 || len(ls.EdgeLabels) == 0 {
+		t.Fatalf("label source empty: %+v", ls)
+	}
+	qs, err := Generate(10, ls, Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 10 {
+		t.Fatal("generation failed")
+	}
+}
+
+func TestEmptyLabelSource(t *testing.T) {
+	// Wildcard-only queries are still valid (labels "").
+	qs, err := Generate(5, LabelSource{}, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.G.NumNodes() == 0 {
+			t.Fatal("empty query")
+		}
+	}
+}
