@@ -1,0 +1,134 @@
+package repro
+
+// BenchmarkParSpeedup compares the internal/par hot paths at workers=1
+// versus workers=NumCPU. On a single-core machine both variants collapse to
+// the inline path; on multicore the sub-benchmark ratio is the speedup.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/catapult"
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/graphlet"
+	"repro/internal/pattern"
+	"repro/internal/truss"
+)
+
+func workerVariants() []int {
+	if runtime.NumCPU() == 1 {
+		return []int{1}
+	}
+	return []int{1, runtime.NumCPU()}
+}
+
+func benchVectors(n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	state := uint64(7)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			v[j] = float64(state%1000) / 1000.0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func BenchmarkParSpeedupDistanceMatrix(b *testing.B) {
+	vecs := benchVectors(400, 16)
+	for _, workers := range workerVariants() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cluster.Matrix(vecs, cluster.Euclidean, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkParSpeedupCensus(b *testing.B) {
+	g := datagen.WattsStrogatz(3, 800, 8, 0.1)
+	for _, workers := range workerVariants() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graphlet.CensusN(g, 4, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkParSpeedupCorpusGFD(b *testing.B) {
+	corpus := benchCorpus(200)
+	for _, workers := range workerVariants() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graphlet.CorpusGFDN(corpus, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkParSpeedupTrussDecompose(b *testing.B) {
+	g := datagen.BarabasiAlbert(5, 3000, 6)
+	for _, workers := range workerVariants() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				truss.DecomposeN(g, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkParSpeedupCatapultSelect(b *testing.B) {
+	corpus := benchCorpus(150)
+	for _, workers := range workerVariants() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := catapult.Config{Budget: benchBudget(), Seed: 1, Workers: workers}
+				if _, err := catapult.Select(corpus, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParCoverCache measures the coverage sweep cold (every canonical
+// form is a miss and runs its VF2 sweep) against memoized (every lookup is
+// a hit).
+func BenchmarkParCoverCache(b *testing.B) {
+	corpus := benchCorpus(150)
+	res, err := catapult.Select(corpus, catapult.Config{Budget: benchBudget(), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := res.Patterns
+	u := pattern.NewUniverse(corpus)
+	opts := pattern.MatchOptions()
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cc := pattern.NewCoverCache(corpus, u, opts)
+			cc.Bitsets(pats, 0)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		cc := pattern.NewCoverCache(corpus, u, opts)
+		cc.Bitsets(pats, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cc.Bitsets(pats, 0)
+		}
+	})
+}

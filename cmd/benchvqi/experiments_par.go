@@ -1,0 +1,139 @@
+package main
+
+// Experiment P1: the parallel execution layer. Times the hot paths that
+// internal/par accelerates — pairwise distance matrices, graphlet censuses,
+// coverage sweeps (cold and memoized), and the full CATAPULT selection —
+// at workers=1 versus all CPUs, and emits the measurements as
+// BENCH_parallel.json for tracking across runs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/catapult"
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/graphlet"
+	"repro/internal/pattern"
+)
+
+func init() {
+	register("P1", "parallel execution layer: workers=1 vs all-CPU speedups (emits BENCH_parallel.json)", runP1)
+}
+
+type parBenchEntry struct {
+	Name    string  `json:"name"`
+	SeqSecs float64 `json:"seq_secs"`
+	ParSecs float64 `json:"par_secs"`
+	Speedup float64 `json:"speedup"`
+}
+
+type parBenchReport struct {
+	CPUs    int             `json:"cpus"`
+	Full    bool            `json:"full"`
+	Seed    int64           `json:"seed"`
+	Entries []parBenchEntry `json:"entries"`
+}
+
+func runP1(cfg runConfig, w *tabwriter.Writer) {
+	matrixN, censusNodes, corpusN := 600, 1200, 120
+	if cfg.full {
+		matrixN, censusNodes, corpusN = 1500, 4000, 400
+	}
+	cpus := runtime.NumCPU()
+	report := parBenchReport{CPUs: cpus, Full: cfg.full, Seed: cfg.seed}
+	bench := func(name string, run func(workers int)) {
+		t0 := time.Now()
+		run(1)
+		seq := time.Since(t0)
+		t1 := time.Now()
+		run(0) // 0 = GOMAXPROCS
+		par := time.Since(t1)
+		e := parBenchEntry{Name: name, SeqSecs: seq.Seconds(), ParSecs: par.Seconds()}
+		if par > 0 {
+			e.Speedup = seq.Seconds() / par.Seconds()
+		}
+		report.Entries = append(report.Entries, e)
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.2fx\n", name, e.SeqSecs, e.ParSecs, e.Speedup)
+	}
+
+	fmt.Fprintf(w, "stage\tworkers=1 (s)\tworkers=%d (s)\tspeedup\n", cpus)
+
+	vecs := randomFeatureVectors(matrixN, 24, cfg.seed)
+	bench("cluster.Matrix", func(workers int) {
+		cluster.Matrix(vecs, cluster.Euclidean, workers)
+	})
+
+	net := datagen.WattsStrogatz(cfg.seed, censusNodes, 8, 0.1)
+	bench("graphlet.Census k=4", func(workers int) {
+		graphlet.CensusN(net, 4, workers)
+	})
+
+	corpus := datagen.ChemicalCorpus(cfg.seed, corpusN, chemOpts())
+	bench("graphlet.CorpusGFD", func(workers int) {
+		graphlet.CorpusGFDN(corpus, workers)
+	})
+
+	// Coverage: one cold sweep per worker count (cache miss) and then a
+	// warm repeat against the same cache (memoized hit).
+	b := stdBudget(8)
+	res, err := catapult.Select(corpus, catapult.Config{Budget: b, Seed: cfg.seed, Workers: 0})
+	if err != nil {
+		fmt.Fprintf(w, "coverage bench skipped: %v\n", err)
+	} else {
+		pats := res.Patterns
+		u := pattern.NewUniverse(corpus)
+		opts := pattern.MatchOptions()
+		bench("coverage sweep (cold)", func(workers int) {
+			cc := pattern.NewCoverCache(corpus, u, opts)
+			cc.Bitsets(pats, workers)
+		})
+		warm := pattern.NewCoverCache(corpus, u, opts)
+		warm.Bitsets(pats, 0)
+		t0 := time.Now()
+		warm.Bitsets(pats, 0)
+		hit := time.Since(t0)
+		report.Entries = append(report.Entries, parBenchEntry{Name: "coverage sweep (memoized)", ParSecs: hit.Seconds()})
+		fmt.Fprintf(w, "coverage sweep (memoized)\t-\t%.6f\t(cache hits: %d)\n", hit.Seconds(), warm.Hits())
+	}
+
+	bench("catapult.Select", func(workers int) {
+		if _, err := catapult.Select(corpus, catapult.Config{Budget: b, Seed: cfg.seed, Workers: workers}); err != nil {
+			fmt.Fprintf(w, "catapult.Select error: %v\n", err)
+		}
+	})
+
+	payload, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		if err := os.WriteFile("BENCH_parallel.json", payload, 0o644); err != nil {
+			fmt.Fprintf(w, "write BENCH_parallel.json: %v\n", err)
+		} else {
+			fmt.Fprintln(w, "wrote BENCH_parallel.json")
+		}
+	}
+}
+
+// randomFeatureVectors synthesizes dense vectors for the distance-matrix
+// benchmark, deterministic per seed.
+func randomFeatureVectors(n, dim int, seed int64) [][]float64 {
+	out := make([][]float64, n)
+	state := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%1000) / 1000.0
+	}
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = next()
+		}
+		out[i] = v
+	}
+	return out
+}

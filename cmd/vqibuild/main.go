@@ -31,6 +31,7 @@ func main() {
 		minSize = flag.Int("minsize", 4, "min pattern size (edges)")
 		maxSize = flag.Int("maxsize", 12, "max pattern size (edges)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "worker pool size for parallel stages (0 = all CPUs); results are identical at any value")
 		manual  = flag.String("manual", "", "build a manual preset instead: basic-only|chemistry")
 	)
 	flag.Parse()
@@ -44,8 +45,9 @@ func main() {
 		fatal(err)
 	}
 	opts := core.Options{
-		Budget: core.Budget{Count: *count, MinSize: *minSize, MaxSize: *maxSize},
-		Seed:   *seed,
+		Budget:  core.Budget{Count: *count, MinSize: *minSize, MaxSize: *maxSize},
+		Seed:    *seed,
+		Workers: *workers,
 	}
 	start := time.Now()
 	var spec *core.Spec

@@ -39,6 +39,7 @@ func main() {
 		minSize = flag.Int("minsize", 4, "min pattern size (edges)")
 		maxSize = flag.Int("maxsize", 12, "max pattern size (edges)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "worker pool size for parallel stages (0 = all CPUs); results are identical at any value")
 		rerun   = flag.Bool("compare-rerun", false, "also time a from-scratch rebuild per batch")
 		state   = flag.String("state", "", "maintenance state file: loaded if present, saved after the run (with the updated corpus alongside as <state>.lg)")
 	)
@@ -54,8 +55,9 @@ func main() {
 		fatal(err)
 	}
 	opts := core.Options{
-		Budget: core.Budget{Count: *count, MinSize: *minSize, MaxSize: *maxSize},
-		Seed:   *seed,
+		Budget:  core.Budget{Count: *count, MinSize: *minSize, MaxSize: *maxSize},
+		Seed:    *seed,
+		Workers: *workers,
 	}
 	start := time.Now()
 	var m *core.Maintainer

@@ -26,6 +26,7 @@ import (
 	"repro/internal/gindex"
 	"repro/internal/graph"
 	"repro/internal/isomorph"
+	"repro/internal/par"
 	"repro/internal/pattern"
 	"repro/internal/results"
 	"repro/internal/vqi"
@@ -40,6 +41,7 @@ type server struct {
 	corpus  *graph.Corpus
 	network bool
 	index   *gindex.Index // filter-verify index for corpus queries
+	workers int           // worker pool size for per-graph query verification
 }
 
 func main() {
@@ -47,6 +49,7 @@ func main() {
 		specPath = flag.String("spec", "vqi.json", "VQI spec JSON file")
 		dataPath = flag.String("data", "", "data source .lg file (required)")
 		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker pool size for query verification (0 = all CPUs)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -68,7 +71,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("vqiserve: %v", err)
 	}
-	s := &server{spec: spec, corpus: corpus, network: corpus.Len() == 1}
+	s := &server{spec: spec, corpus: corpus, network: corpus.Len() == 1, workers: *workers}
 	if !s.network {
 		s.index = gindex.Build(corpus)
 	}
@@ -150,12 +153,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Matched = s.index.Search(q, pattern.MatchOptions()).Matches
 		resp.Facets = s.facets(resp.Matched)
 	} else {
+		// Fallback without an index: verify every graph, fanning the
+		// independent VF2 checks over the worker pool and collecting
+		// matches in corpus order.
 		opts := pattern.MatchOptions()
-		s.corpus.Each(func(_ int, g *graph.Graph) {
-			if isomorph.Exists(q, g, opts) {
-				resp.Matched = append(resp.Matched, g.Name())
-			}
+		matched := par.Map(s.corpus.Len(), s.workers, func(i int) bool {
+			return isomorph.Exists(q, s.corpus.Graph(i), opts)
 		})
+		for i, ok := range matched {
+			if ok {
+				resp.Matched = append(resp.Matched, s.corpus.Graph(i).Name())
+			}
+		}
 	}
 	json.NewEncoder(w).Encode(resp)
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/fct"
 	"repro/internal/graph"
 	"repro/internal/isomorph"
+	"repro/internal/par"
 	"repro/internal/pattern"
 )
 
@@ -55,6 +56,12 @@ type Config struct {
 	// Match bounds embedding searches during scoring (zero value =
 	// pattern.MatchOptions()).
 	Match isomorph.Options
+	// Workers bounds the worker pool used by the parallel stages (feature
+	// vectors, clustering, CSG construction, candidate walks, coverage
+	// sweeps). <= 0 means GOMAXPROCS. Results are identical at any value:
+	// every stage writes slot-indexed output and candidate walks draw from
+	// per-cluster RNGs seeded by par.ChildSeed(Seed, cluster).
+	Workers int
 }
 
 func (c *Config) defaults(corpusLen int) {
@@ -115,8 +122,8 @@ func Select(c *graph.Corpus, cfg Config) (*Result, error) {
 	}
 	res.FCT = set
 	res.Vectors = make([][]float64, c.Len())
-	c.Each(func(i int, g *graph.Graph) {
-		res.Vectors[i] = set.FeatureVector(g)
+	par.ForEachN(c.Len(), cfg.Workers, func(i int) {
+		res.Vectors[i] = set.FeatureVector(c.Graph(i))
 	})
 	var cl *cluster.Clustering
 	if cfg.Clusters == -1 {
@@ -124,14 +131,14 @@ func Select(c *graph.Corpus, cfg Config) (*Result, error) {
 		for maxK*maxK < c.Len() && maxK < 16 {
 			maxK++
 		}
-		_, selected, err := cluster.SelectK(res.Vectors, maxK, cluster.Jaccard, cfg.Seed)
+		_, selected, err := cluster.SelectKN(res.Vectors, maxK, cluster.Jaccard, cfg.Seed, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		cl = selected
 	} else {
 		var err error
-		cl, err = cluster.KMedoids(res.Vectors, cfg.Clusters, cluster.Jaccard, cfg.Seed, 0)
+		cl, err = cluster.KMedoidsN(res.Vectors, cfg.Clusters, cluster.Jaccard, cfg.Seed, 0, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -139,32 +146,46 @@ func Select(c *graph.Corpus, cfg Config) (*Result, error) {
 	res.Clustering = cl
 
 	// Step 2: one CSG per cluster.
-	res.CSGs = BuildCSGs(c, cl)
+	res.CSGs = BuildCSGsN(c, cl, cfg.Workers)
 
-	// Step 3: candidates and greedy selection.
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Step 3: candidates and greedy selection. Each cluster's walks use a
+	// private RNG seeded from (Seed, cluster index), so the candidate stream
+	// per cluster is a pure function of the seed — independent of how the
+	// clusters are scheduled across workers.
+	perCSG := par.Map(len(res.CSGs), cfg.Workers, func(ci int) []*pattern.Pattern {
+		rng := rand.New(rand.NewSource(par.ChildSeed(cfg.Seed, ci)))
+		return SampleCandidates(res.CSGs[ci], cfg.Budget, cfg.WalksPerCSG, rng)
+	})
 	var candidates []*pattern.Pattern
-	for _, csg := range res.CSGs {
-		candidates = append(candidates, SampleCandidates(csg, cfg.Budget, cfg.WalksPerCSG, rng)...)
+	for _, part := range perCSG {
+		candidates = append(candidates, part...)
 	}
 	candidates = pattern.Dedup(candidates)
 	res.Candidates = len(candidates)
 
-	res.Patterns, res.Coverage = GreedySelect(candidates, c, cfg.Budget, cfg.Weights, cfg.Match)
+	res.Patterns, res.Coverage = GreedySelectN(candidates, c, cfg.Budget, cfg.Weights, cfg.Match, cfg.Workers)
 	return res, nil
 }
 
 // BuildCSGs merges each cluster's member graphs into a cluster summary
-// graph, in cluster order.
+// graph, in cluster order. Equivalent to BuildCSGsN with
+// workers = GOMAXPROCS.
 func BuildCSGs(c *graph.Corpus, cl *cluster.Clustering) []*closure.CSG {
+	return BuildCSGsN(c, cl, 0)
+}
+
+// BuildCSGsN is BuildCSGs with an explicit worker count: clusters are
+// disjoint and closure.Merge only reads the member graphs, so each summary
+// is built independently into its slot.
+func BuildCSGsN(c *graph.Corpus, cl *cluster.Clustering, workers int) []*closure.CSG {
 	csgs := make([]*closure.CSG, cl.K)
-	for ci := 0; ci < cl.K; ci++ {
+	par.ForEachN(cl.K, workers, func(ci int) {
 		var members []*graph.Graph
 		for _, idx := range cl.Members(ci) {
 			members = append(members, c.Graph(idx))
 		}
 		csgs[ci] = closure.Merge(members)
-	}
+	})
 	return csgs
 }
 
@@ -266,14 +287,30 @@ func SampleCandidates(csg *closure.CSG, b pattern.Budget, walks int, rng *rand.R
 // corpus size. The same loop serves CATAPULT, the modular extractor, and
 // (via swapping) MIDAS.
 func GreedySelect(candidates []*pattern.Pattern, c *graph.Corpus, b pattern.Budget, w pattern.Weights, opts isomorph.Options) ([]*pattern.Pattern, float64) {
+	return GreedySelectN(candidates, c, b, w, opts, 0)
+}
+
+// GreedySelectN is GreedySelect with an explicit worker count for the
+// coverage sweep.
+func GreedySelectN(candidates []*pattern.Pattern, c *graph.Corpus, b pattern.Budget, w pattern.Weights, opts isomorph.Options, workers int) ([]*pattern.Pattern, float64) {
+	cc := pattern.NewCoverCache(c, pattern.NewUniverse(c), opts)
+	return GreedySelectCached(candidates, cc, b, w, workers)
+}
+
+// GreedySelectCached is the greedy loop against a shared coverage cache:
+// candidates whose canonical form was already evaluated (in this call or a
+// previous one against the same cache) reuse the memoized bitset instead of
+// re-running the VF2 sweep. MIDAS holds one cache across swap scans for
+// exactly this reason.
+func GreedySelectCached(candidates []*pattern.Pattern, cc *pattern.CoverCache, b pattern.Budget, w pattern.Weights, workers int) ([]*pattern.Pattern, float64) {
 	pool := make([]*pattern.Pattern, 0, len(candidates))
 	for _, p := range candidates {
 		if b.Admits(p) {
 			pool = append(pool, p)
 		}
 	}
-	u := pattern.NewUniverse(c)
-	covers := pattern.CoverBitsets(pool, c, u, opts, 0)
+	u := cc.Universe()
+	covers := cc.Bitsets(pool, workers)
 	covered := pattern.NewBitset(u.Total())
 	total := float64(u.Total())
 	var selected []*pattern.Pattern

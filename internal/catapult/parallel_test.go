@@ -1,0 +1,108 @@
+package catapult
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// selectSignature flattens a Result into a comparable shape: the canonical
+// codes and supports of the selected patterns plus the scalar stats.
+func selectSignature(t *testing.T, res *Result) []string {
+	t.Helper()
+	var sig []string
+	for _, p := range res.Patterns {
+		sig = append(sig, p.Canon())
+	}
+	return sig
+}
+
+// TestSelectWorkerCountInvariant is the tentpole determinism guarantee:
+// Workers: 8 must produce byte-identical selections to Workers: 1.
+func TestSelectWorkerCountInvariant(t *testing.T) {
+	c := smallCorpus()
+	base := Config{
+		Budget: pattern.Budget{Count: 6, MinSize: 3, MaxSize: 8},
+		Seed:   42,
+	}
+
+	seq := base
+	seq.Workers = 1
+	want, err := Select(c, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSig := selectSignature(t, want)
+
+	for _, workers := range []int{0, 2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Select(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Candidates != want.Candidates {
+			t.Fatalf("workers=%d: %d candidates, sequential %d", workers, got.Candidates, want.Candidates)
+		}
+		if got.Coverage != want.Coverage {
+			t.Fatalf("workers=%d: coverage %v, sequential %v", workers, got.Coverage, want.Coverage)
+		}
+		gotSig := selectSignature(t, got)
+		if len(gotSig) != len(wantSig) {
+			t.Fatalf("workers=%d: %d patterns, sequential %d", workers, len(gotSig), len(wantSig))
+		}
+		for i := range wantSig {
+			if gotSig[i] != wantSig[i] {
+				t.Fatalf("workers=%d: pattern %d differs from sequential", workers, i)
+			}
+		}
+		for i := range want.Vectors {
+			for j := range want.Vectors[i] {
+				if got.Vectors[i][j] != want.Vectors[i][j] {
+					t.Fatalf("workers=%d: feature vector %d differs", workers, i)
+				}
+			}
+		}
+		if got.Clustering.K != want.Clustering.K {
+			t.Fatalf("workers=%d: K=%d, sequential %d", workers, got.Clustering.K, want.Clustering.K)
+		}
+		for i, a := range want.Clustering.Assignments {
+			if got.Clustering.Assignments[i] != a {
+				t.Fatalf("workers=%d: assignment %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestSelectWorkerCountInvariantSilhouette covers the Clusters: -1 path
+// (silhouette-driven K selection) under the same invariance requirement.
+func TestSelectWorkerCountInvariantSilhouette(t *testing.T) {
+	c := smallCorpus()
+	base := Config{
+		Budget:   pattern.Budget{Count: 4, MinSize: 3, MaxSize: 8},
+		Clusters: -1,
+		Seed:     7,
+	}
+	seq := base
+	seq.Workers = 1
+	want, err := Select(c, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSig := selectSignature(t, want)
+	par := base
+	par.Workers = 8
+	got, err := Select(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSig := selectSignature(t, got)
+	if len(gotSig) != len(wantSig) {
+		t.Fatalf("workers=8: %d patterns, sequential %d", len(gotSig), len(wantSig))
+	}
+	for i := range wantSig {
+		if gotSig[i] != wantSig[i] {
+			t.Fatalf("workers=8: pattern %d differs from sequential", i)
+		}
+	}
+}

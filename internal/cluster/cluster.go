@@ -14,6 +14,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Distance is a dissimilarity on feature vectors; 0 means identical.
@@ -96,11 +98,42 @@ func (c *Clustering) Sizes() []int {
 	return s
 }
 
+// Matrix computes the full pairwise distance matrix on the shared par
+// pool, one row per task. This is the dominant cost of Agglomerative and
+// of KMedoids at modest n; rows are slot-indexed so the result is
+// identical at any worker count. workers <= 0 means GOMAXPROCS.
+func Matrix(vectors [][]float64, dist Distance, workers int) [][]float64 {
+	n := len(vectors)
+	m := make([][]float64, n)
+	par.ForEachN(n, workers, func(i int) {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = dist(vectors[i], vectors[j])
+		}
+		m[i] = row
+	})
+	return m
+}
+
+// matrixMaxN bounds the n for which KMedoidsN materializes the full n×n
+// distance matrix (8 bytes per cell: 2048² ≈ 33 MB). Beyond it distances
+// are recomputed on the fly, keeping memory O(n) for corpus-scale runs.
+const matrixMaxN = 2048
+
 // KMedoids clusters the vectors into k groups using PAM-style alternation:
 // greedy farthest-point seeding, then repeated (assign to nearest medoid,
 // recompute medoid as the member minimizing total intra-cluster distance)
 // until stable or maxIter rounds. Deterministic for a given seed.
+// Equivalent to KMedoidsN with workers = GOMAXPROCS.
 func KMedoids(vectors [][]float64, k int, dist Distance, seed int64, maxIter int) (*Clustering, error) {
+	return KMedoidsN(vectors, k, dist, seed, maxIter, 0)
+}
+
+// KMedoidsN is KMedoids with an explicit worker count for every distance
+// sweep (seeding, assignment, per-cluster medoid update). Results are
+// byte-identical at any worker count: each sweep writes only slot-indexed
+// state and reductions run sequentially in index order.
+func KMedoidsN(vectors [][]float64, k int, dist Distance, seed int64, maxIter, workers int) (*Clustering, error) {
 	n := len(vectors)
 	if n == 0 {
 		return nil, fmt.Errorf("cluster: no vectors")
@@ -116,42 +149,73 @@ func KMedoids(vectors [][]float64, k int, dist Distance, seed int64, maxIter int
 	}
 	rng := rand.New(rand.NewSource(seed))
 
-	// Farthest-point seeding from a random start.
-	medoids := []int{rng.Intn(n)}
+	// Distance access: memoized matrix for modest n, on-the-fly beyond.
+	var mat [][]float64
+	if n <= matrixMaxN {
+		mat = Matrix(vectors, dist, workers)
+	}
+	d := func(i, j int) float64 {
+		if mat != nil {
+			return mat[i][j]
+		}
+		return dist(vectors[i], vectors[j])
+	}
+
+	// Farthest-point seeding from a random start, with the distance-to-
+	// nearest-medoid array maintained incrementally (min is associative, so
+	// the running minimum equals the original per-i full minimum exactly).
+	start := rng.Intn(n)
+	minD := make([]float64, n)
+	par.ForEachChunk(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			minD[i] = d(i, start)
+		}
+	})
+	medoids := []int{start}
 	for len(medoids) < k {
 		best, bestD := -1, -1.0
 		for i := 0; i < n; i++ {
-			d := math.Inf(1)
-			for _, m := range medoids {
-				if dm := dist(vectors[i], vectors[m]); dm < d {
-					d = dm
-				}
-			}
-			if d > bestD {
-				best, bestD = i, d
+			if minD[i] > bestD {
+				best, bestD = i, minD[i]
 			}
 		}
 		medoids = append(medoids, best)
+		if len(medoids) < k {
+			par.ForEachChunk(n, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if dm := d(i, best); dm < minD[i] {
+						minD[i] = dm
+					}
+				}
+			})
+		}
 	}
 
 	assign := make([]int, n)
+	newAssign := make([]int, n)
+	newMedoids := make([]int, k)
 	for iter := 0; iter < maxIter; iter++ {
-		// Assignment step.
+		// Assignment step: each item independently finds its nearest medoid.
+		par.ForEachChunk(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best, bestD := 0, math.Inf(1)
+				for ci, m := range medoids {
+					if dm := d(i, m); dm < bestD {
+						best, bestD = ci, dm
+					}
+				}
+				newAssign[i] = best
+			}
+		})
 		changed := false
 		for i := 0; i < n; i++ {
-			best, bestD := 0, math.Inf(1)
-			for ci, m := range medoids {
-				if d := dist(vectors[i], vectors[m]); d < bestD {
-					best, bestD = ci, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
+			if assign[i] != newAssign[i] {
+				assign[i] = newAssign[i]
 				changed = true
 			}
 		}
-		// Medoid update step.
-		for ci := range medoids {
+		// Medoid update step: clusters are independent of each other.
+		par.ForEachN(k, workers, func(ci int) {
 			var members []int
 			for i, a := range assign {
 				if a == ci {
@@ -159,20 +223,24 @@ func KMedoids(vectors [][]float64, k int, dist Distance, seed int64, maxIter int
 				}
 			}
 			if len(members) == 0 {
-				continue
+				newMedoids[ci] = medoids[ci]
+				return
 			}
 			best, bestCost := medoids[ci], math.Inf(1)
 			for _, cand := range members {
 				cost := 0.0
 				for _, m := range members {
-					cost += dist(vectors[cand], vectors[m])
+					cost += d(cand, m)
 				}
 				if cost < bestCost {
 					best, bestCost = cand, cost
 				}
 			}
-			if medoids[ci] != best {
-				medoids[ci] = best
+			newMedoids[ci] = best
+		})
+		for ci := range medoids {
+			if medoids[ci] != newMedoids[ci] {
+				medoids[ci] = newMedoids[ci]
 				changed = true
 			}
 		}
@@ -184,8 +252,18 @@ func KMedoids(vectors [][]float64, k int, dist Distance, seed int64, maxIter int
 }
 
 // Agglomerative performs average-linkage agglomerative clustering down to k
-// clusters, then reports each cluster's medoid. Deterministic.
+// clusters, then reports each cluster's medoid. Deterministic. Equivalent
+// to AgglomerativeN with workers = GOMAXPROCS.
 func Agglomerative(vectors [][]float64, k int, dist Distance) (*Clustering, error) {
+	return AgglomerativeN(vectors, k, dist, 0)
+}
+
+// AgglomerativeN is Agglomerative with an explicit worker count for the
+// distance matrix and the per-round closest-pair search. The merge order is
+// identical at any worker count: each row's best partner is computed
+// independently, then rows are reduced sequentially in index order with the
+// same strict-< tie-breaking as the sequential scan.
+func AgglomerativeN(vectors [][]float64, k int, dist Distance, workers int) (*Clustering, error) {
 	n := len(vectors)
 	if n == 0 {
 		return nil, fmt.Errorf("cluster: no vectors")
@@ -196,14 +274,8 @@ func Agglomerative(vectors [][]float64, k int, dist Distance) (*Clustering, erro
 	if k > n {
 		k = n
 	}
-	// Precompute pairwise distances.
-	d := make([][]float64, n)
-	for i := range d {
-		d[i] = make([]float64, n)
-		for j := range d[i] {
-			d[i][j] = dist(vectors[i], vectors[j])
-		}
-	}
+	// Precompute pairwise distances on the pool.
+	d := Matrix(vectors, dist, workers)
 	// Active clusters as member lists.
 	clusters := make([][]int, n)
 	for i := range clusters {
@@ -218,13 +290,26 @@ func Agglomerative(vectors [][]float64, k int, dist Distance) (*Clustering, erro
 		}
 		return s / float64(len(a)*len(b))
 	}
+	type best struct {
+		j int
+		l float64
+	}
 	for len(clusters) > k {
-		bi, bj, bd := -1, -1, math.Inf(1)
-		for i := 0; i < len(clusters); i++ {
+		// Per-row best partner, fanned out; ties within a row resolve to the
+		// lowest j (strict <), matching the sequential row-major scan.
+		rows := par.Map(len(clusters)-1, workers, func(i int) best {
+			b := best{j: -1, l: math.Inf(1)}
 			for j := i + 1; j < len(clusters); j++ {
-				if l := linkage(clusters[i], clusters[j]); l < bd {
-					bi, bj, bd = i, j, l
+				if l := linkage(clusters[i], clusters[j]); l < b.l {
+					b = best{j: j, l: l}
 				}
+			}
+			return b
+		})
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i, b := range rows {
+			if b.j >= 0 && b.l < bd {
+				bi, bj, bd = i, b.j, b.l
 			}
 		}
 		clusters[bi] = append(clusters[bi], clusters[bj]...)
@@ -272,6 +357,12 @@ func (c *Clustering) AssignNearest(vec []float64, vectors [][]float64, dist Dist
 // to the √N heuristic for CATAPULT's first stage. Returns the chosen k and
 // its clustering. maxK is clamped to len(vectors).
 func SelectK(vectors [][]float64, maxK int, dist Distance, seed int64) (int, *Clustering, error) {
+	return SelectKN(vectors, maxK, dist, seed, 0)
+}
+
+// SelectKN is SelectK with an explicit worker count threaded into every
+// clustering and silhouette evaluation.
+func SelectKN(vectors [][]float64, maxK int, dist Distance, seed int64, workers int) (int, *Clustering, error) {
 	if len(vectors) < 2 {
 		return 0, nil, fmt.Errorf("cluster: need at least 2 vectors to select k")
 	}
@@ -284,11 +375,11 @@ func SelectK(vectors [][]float64, maxK int, dist Distance, seed int64) (int, *Cl
 	bestK, bestScore := -1, math.Inf(-1)
 	var bestC *Clustering
 	for k := 2; k <= maxK; k++ {
-		c, err := KMedoids(vectors, k, dist, seed, 0)
+		c, err := KMedoidsN(vectors, k, dist, seed, 0, workers)
 		if err != nil {
 			return 0, nil, err
 		}
-		if s := SilhouetteScore(c, vectors, dist); s > bestScore {
+		if s := SilhouetteScoreN(c, vectors, dist, workers); s > bestScore {
 			bestK, bestScore, bestC = k, s, c
 		}
 	}
@@ -299,12 +390,19 @@ func SelectK(vectors [][]float64, maxK int, dist Distance, seed int64) (int, *Cl
 // clustering, a standard internal quality measure in [-1, 1]; higher means
 // tighter, better-separated clusters. Single-member clusters contribute 0.
 func SilhouetteScore(c *Clustering, vectors [][]float64, dist Distance) float64 {
+	return SilhouetteScoreN(c, vectors, dist, 0)
+}
+
+// SilhouetteScoreN is SilhouetteScore with an explicit worker count. Each
+// item's silhouette coefficient (an O(n) distance sweep) is an independent
+// task; per-item results are collected slot-indexed and summed sequentially
+// in index order, so the score is bit-identical at any worker count.
+func SilhouetteScoreN(c *Clustering, vectors [][]float64, dist Distance, workers int) float64 {
 	n := len(vectors)
 	if n == 0 || c.K < 2 {
 		return 0
 	}
-	total := 0.0
-	for i := 0; i < n; i++ {
+	coeffs := par.Map(n, workers, func(i int) float64 {
 		own := c.Assignments[i]
 		var a float64
 		ownCount := 0
@@ -324,7 +422,7 @@ func SilhouetteScore(c *Clustering, vectors [][]float64, dist Distance) float64 
 			}
 		}
 		if ownCount == 0 {
-			continue // singleton: silhouette 0
+			return 0 // singleton: silhouette 0
 		}
 		a /= float64(ownCount)
 		b := math.Inf(1)
@@ -336,11 +434,16 @@ func SilhouetteScore(c *Clustering, vectors [][]float64, dist Distance) float64 
 			}
 		}
 		if math.IsInf(b, 1) {
-			continue
+			return 0
 		}
 		if m := math.Max(a, b); m > 0 {
-			total += (b - a) / m
+			return (b - a) / m
 		}
+		return 0
+	})
+	total := 0.0
+	for _, s := range coeffs {
+		total += s
 	}
 	return total / float64(n)
 }

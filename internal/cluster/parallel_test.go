@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomVectors(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestMatrixMatchesSequential(t *testing.T) {
+	vecs := randomVectors(60, 5, 1)
+	want := Matrix(vecs, Euclidean, 1)
+	for _, workers := range []int{0, 2, 8} {
+		got := Matrix(vecs, Euclidean, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: matrix differs from sequential", workers)
+		}
+	}
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j] != Euclidean(vecs[i], vecs[j]) {
+				t.Fatalf("cell (%d,%d) wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestKMedoidsWorkerCountInvariant(t *testing.T) {
+	vecs := randomVectors(120, 4, 7)
+	want, err := KMedoidsN(vecs, 6, Euclidean, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		got, err := KMedoidsN(vecs, 6, Euclidean, 3, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: clustering differs from sequential", workers)
+		}
+	}
+}
+
+func TestAgglomerativeWorkerCountInvariant(t *testing.T) {
+	vecs := randomVectors(48, 3, 11)
+	want, err := AgglomerativeN(vecs, 4, Euclidean, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 3, 8} {
+		got, err := AgglomerativeN(vecs, 4, Euclidean, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: clustering differs from sequential", workers)
+		}
+	}
+}
+
+func TestSilhouetteWorkerCountInvariant(t *testing.T) {
+	vecs := randomVectors(90, 4, 5)
+	c, err := KMedoidsN(vecs, 4, Euclidean, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SilhouetteScoreN(c, vecs, Euclidean, 1)
+	for _, workers := range []int{0, 2, 8} {
+		if got := SilhouetteScoreN(c, vecs, Euclidean, workers); got != want {
+			t.Fatalf("workers=%d: silhouette %v != sequential %v", workers, got, want)
+		}
+	}
+}
+
+func TestSelectKWorkerCountInvariant(t *testing.T) {
+	vecs := twoBlobs()
+	wantK, wantC, err := SelectKN(vecs, 5, Euclidean, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		k, c, err := SelectKN(vecs, 5, Euclidean, 1, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != wantK || !reflect.DeepEqual(c, wantC) {
+			t.Fatalf("workers=%d: SelectK differs from sequential", workers)
+		}
+	}
+}

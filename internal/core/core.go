@@ -21,6 +21,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/isomorph"
 	"repro/internal/midas"
+	"repro/internal/par"
 	"repro/internal/pattern"
 	"repro/internal/simulate"
 	"repro/internal/tattoo"
@@ -46,6 +47,9 @@ type Options struct {
 	Weights Weights
 	// Seed drives all randomized stages.
 	Seed int64
+	// Workers bounds the worker pools of the parallel stages across the
+	// pipelines (0 = GOMAXPROCS). Results are identical at any value.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -65,6 +69,7 @@ func BuildCorpusVQI(c *graph.Corpus, opts Options) (*Spec, error) {
 		Budget:  opts.Budget,
 		Weights: opts.Weights,
 		Seed:    opts.Seed,
+		Workers: opts.Workers,
 	})
 	return spec, err
 }
@@ -77,6 +82,7 @@ func BuildNetworkVQI(g *graph.Graph, opts Options) (*Spec, error) {
 		Budget:  opts.Budget,
 		Weights: opts.Weights,
 		Seed:    opts.Seed,
+		Workers: opts.Workers,
 	})
 	return spec, err
 }
@@ -104,6 +110,7 @@ func NewMaintainer(c *graph.Corpus, opts Options) (*Maintainer, error) {
 		Budget:  opts.Budget,
 		Weights: opts.Weights,
 		Seed:    opts.Seed,
+		Workers: opts.Workers,
 	}})
 	if err != nil {
 		return nil, err
@@ -247,12 +254,15 @@ func OpenNetworkSession(spec *Spec, g *graph.Graph) *vqi.Session {
 // the names of matching graphs — the programmatic equivalent of the
 // Results Panel.
 func QueryCorpus(q *graph.Graph, c *graph.Corpus) []string {
-	var out []string
-	c.Each(func(_ int, g *graph.Graph) {
-		if isomorph.Exists(q, g, isomorph.Options{MaxEmbeddings: 1, MaxSteps: 500000}) {
-			out = append(out, g.Name())
-		}
+	matched := par.Map(c.Len(), 0, func(i int) bool {
+		return isomorph.Exists(q, c.Graph(i), isomorph.Options{MaxEmbeddings: 1, MaxSteps: 500000})
 	})
+	var out []string
+	for i, m := range matched {
+		if m {
+			out = append(out, c.Graph(i).Name())
+		}
+	}
 	return out
 }
 

@@ -13,24 +13,58 @@ import (
 
 	"repro/internal/canon"
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Census counts connected induced k-subgraphs of g, keyed by the
 // label-blind canonical form of each shape. Supported k: 3, 4, 5 (cost
-// grows steeply with k and density).
+// grows steeply with k and density). Equivalent to CensusN with
+// workers = GOMAXPROCS.
 func Census(g *graph.Graph, k int) map[string]float64 {
+	return CensusN(g, k, 0)
+}
+
+// CensusN is Census with an explicit worker count. The ESU root range is
+// split into contiguous chunks, each enumerated into a private partial
+// count map, and the partials are merged sequentially in chunk order —
+// integer counts, so the result is identical at any worker count.
+func CensusN(g *graph.Graph, k, workers int) map[string]float64 {
 	out := make(map[string]float64)
 	if k < 3 || k > 5 {
 		return out
 	}
-	// cache maps a cheap shape signature (within-subgraph degree sequence
-	// + edge count) to canonical strings where unique, avoiding repeated
-	// canonicalization; ambiguous signatures fall through to canon.
-	enumerate(g, k, func(sub []graph.NodeID) {
-		shape, _ := g.InducedSubgraph(sub)
-		blind(shape)
-		out[canon.String(shape)]++
+	n := g.NumNodes()
+	w := par.Workers(workers, n)
+	if w == 1 {
+		enumerate(g, k, func(sub []graph.NodeID) {
+			shape, _ := g.InducedSubgraph(sub)
+			blind(shape)
+			out[canon.String(shape)]++
+		})
+		return out
+	}
+	chunk := (n + w - 1) / w
+	parts := par.Map(w, w, func(ci int) map[string]float64 {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		part := make(map[string]float64)
+		if lo < hi {
+			enumerateRoots(g, k, lo, hi, func(sub []graph.NodeID) {
+				shape, _ := g.InducedSubgraph(sub)
+				blind(shape)
+				part[canon.String(shape)]++
+			})
+		}
+		return part
 	})
+	for _, part := range parts {
+		for key, v := range part {
+			out[key] += v
+		}
+	}
 	return out
 }
 
@@ -77,12 +111,23 @@ func CensusDistance(a, b map[string]float64) float64 {
 }
 
 // CorpusCensus aggregates the normalized k-census over a corpus.
+// Equivalent to CorpusCensusN with workers = GOMAXPROCS.
 func CorpusCensus(c *graph.Corpus, k int) map[string]float64 {
+	return CorpusCensusN(c, k, 0)
+}
+
+// CorpusCensusN is CorpusCensus with an explicit worker count: the fan-out
+// is per graph (each census sequential within its task), merged in corpus
+// order.
+func CorpusCensusN(c *graph.Corpus, k, workers int) map[string]float64 {
+	parts := par.Map(c.Len(), workers, func(i int) map[string]float64 {
+		return CensusN(c.Graph(i), k, 1)
+	})
 	total := make(map[string]float64)
-	c.Each(func(_ int, g *graph.Graph) {
-		for key, v := range Census(g, k) {
+	for _, part := range parts {
+		for key, v := range part {
 			total[key] += v
 		}
-	})
+	}
 	return NormalizeCensus(total)
 }

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Type enumerates the eight connected graphlet types on 3-4 nodes.
@@ -107,12 +108,24 @@ func Count(g *graph.Graph) Vector {
 }
 
 // CorpusGFD returns the normalized graphlet frequency distribution
-// aggregated over every graph in the corpus.
+// aggregated over every graph in the corpus. Equivalent to CorpusGFDN with
+// workers = GOMAXPROCS.
 func CorpusGFD(c *graph.Corpus) Vector {
-	var total Vector
-	c.Each(func(_ int, g *graph.Graph) {
-		total.Add(Count(g))
+	return CorpusGFDN(c, 0)
+}
+
+// CorpusGFDN is CorpusGFD with an explicit worker count: per-graph censuses
+// fan out on the shared pool (each graph's ESU enumeration is independent),
+// then the slot-indexed vectors are folded sequentially in corpus order.
+// Counts are integers, so the aggregate is identical at any worker count.
+func CorpusGFDN(c *graph.Corpus, workers int) Vector {
+	vecs := par.Map(c.Len(), workers, func(i int) Vector {
+		return Count(c.Graph(i))
 	})
+	var total Vector
+	for _, v := range vecs {
+		total.Add(v)
+	}
 	return total.Normalize()
 }
 
@@ -167,6 +180,14 @@ func classify4(g *graph.Graph, sub []graph.NodeID) Type {
 // enumerate runs ESU: fn is called once for every connected induced
 // k-subgraph of g, with the node set in discovery order.
 func enumerate(g *graph.Graph, k int, fn func(sub []graph.NodeID)) {
+	enumerateRoots(g, k, 0, g.NumNodes(), fn)
+}
+
+// enumerateRoots runs ESU restricted to root nodes in [lo, hi). Every
+// connected induced k-subgraph has exactly one ESU root (its minimum node),
+// so partitioning the root range partitions the enumeration — the basis for
+// the parallel census. All traversal state is local to the call.
+func enumerateRoots(g *graph.Graph, k, lo, hi int, fn func(sub []graph.NodeID)) {
 	n := g.NumNodes()
 	if k <= 0 || n < k {
 		return
@@ -206,7 +227,7 @@ func enumerate(g *graph.Graph, k int, fn func(sub []graph.NodeID)) {
 			sub = sub[:len(sub)-1]
 		}
 	}
-	for v := 0; v < n; v++ {
+	for v := lo; v < hi; v++ {
 		var ext []graph.NodeID
 		g.VisitNeighbors(v, func(nbr graph.NodeID, _ graph.EdgeID) bool {
 			if nbr > v {

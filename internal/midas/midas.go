@@ -32,6 +32,7 @@ import (
 	"repro/internal/fct"
 	"repro/internal/graph"
 	"repro/internal/graphlet"
+	"repro/internal/par"
 	"repro/internal/pattern"
 )
 
@@ -111,7 +112,7 @@ func Build(c *graph.Corpus, cfg Config) (*State, error) {
 		corpus:    c,
 		fctSet:    res.FCT,
 		patterns:  res.Patterns,
-		gfd:       graphlet.CorpusGFD(c),
+		gfd:       graphlet.CorpusGFDN(c, cfg.Catapult.Workers),
 		selection: weights,
 	}
 	st.clusters = make([]*clusterState, res.Clustering.K)
@@ -158,20 +159,25 @@ func (s *State) Apply(added []*graph.Graph, removedNames []string) (*Report, err
 	rep.Removed = len(removed)
 
 	// Step 1b: insert and assign added graphs to nearest clusters using
-	// the (pre-update) feature space.
-	for _, g := range added {
+	// the (pre-update) feature space. Feature vectors (the costly part) are
+	// computed concurrently; insertion and assignment stay sequential in
+	// batch order.
+	workers := s.cfg.Catapult.Workers
+	vecs := par.Map(len(added), workers, func(i int) []float64 {
+		return s.fctSet.FeatureVector(added[i])
+	})
+	for i, g := range added {
 		if err := s.corpus.Add(g); err != nil {
 			return nil, fmt.Errorf("midas: %v", err)
 		}
-		vec := s.fctSet.FeatureVector(g)
-		ci := s.nearestCluster(vec)
+		ci := s.nearestCluster(vecs[i])
 		s.clusters[ci].names[g.Name()] = true
 		s.clusters[ci].dirty = true
 	}
 	rep.Added = len(added)
 
 	// Step 2: GFD distance decides minor vs major.
-	newGFD := graphlet.CorpusGFD(s.corpus)
+	newGFD := graphlet.CorpusGFDN(s.corpus, workers)
 	rep.GFDDistance = graphlet.EuclideanDistance(s.gfd, newGFD)
 	rep.Major = rep.GFDDistance > s.cfg.Threshold
 	s.gfd = newGFD
@@ -181,15 +187,19 @@ func (s *State) Apply(added []*graph.Graph, removedNames []string) (*Report, err
 		return nil, err
 	}
 
-	// Step 4: rebuild the CSGs of modified clusters.
+	// Step 4: rebuild the CSGs of modified clusters concurrently — each
+	// rebuild only reads the corpus and writes its own cluster's csg field.
 	var modified []*clusterState
 	for _, cs := range s.clusters {
 		if cs.dirty {
-			cs.csg = closure.Merge(s.memberGraphs(cs))
-			cs.dirty = false
 			modified = append(modified, cs)
 		}
 	}
+	par.ForEachN(len(modified), workers, func(i int) {
+		cs := modified[i]
+		cs.csg = closure.Merge(s.memberGraphs(cs))
+		cs.dirty = false
+	})
 
 	// Step 5: pattern maintenance only on major modification, with
 	// candidates drawn only from the CSGs of modified clusters — the

@@ -1,0 +1,55 @@
+package midas
+
+import (
+	"testing"
+
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+)
+
+// TestApplyWorkerCountInvariant builds two identical states with different
+// worker counts, pushes the same major batch through both, and requires the
+// maintained pattern sets and reports to agree exactly.
+func TestApplyWorkerCountInvariant(t *testing.T) {
+	run := func(workers int) (*State, *Report) {
+		c := datagen.ChemicalCorpus(1, 30, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 18})
+		st, err := Build(c, Config{
+			Catapult: catapult.Config{
+				Budget:  pattern.Budget{Count: 5, MinSize: 4, MaxSize: 8},
+				Seed:    1,
+				Workers: workers,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A batch this large relative to the corpus reliably crosses the
+		// major-modification threshold.
+		rep, err := st.Apply(newBatch(5, 20, "wb"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, rep
+	}
+
+	wantState, wantRep := run(1)
+	for _, workers := range []int{0, 8} {
+		gotState, gotRep := run(workers)
+		if *gotRep != *wantRep {
+			t.Fatalf("workers=%d: report %+v, sequential %+v", workers, *gotRep, *wantRep)
+		}
+		wantPats, gotPats := wantState.Patterns(), gotState.Patterns()
+		if len(gotPats) != len(wantPats) {
+			t.Fatalf("workers=%d: %d patterns, sequential %d", workers, len(gotPats), len(wantPats))
+		}
+		for i := range wantPats {
+			if gotPats[i].Canon() != wantPats[i].Canon() {
+				t.Fatalf("workers=%d: pattern %d differs from sequential", workers, i)
+			}
+		}
+		if gotState.gfd != wantState.gfd {
+			t.Fatalf("workers=%d: gfd differs from sequential", workers)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/catapult"
+	"repro/internal/par"
 	"repro/internal/pattern"
 )
 
@@ -30,11 +31,18 @@ import (
 // maintainPatterns generates candidates from the modified clusters' CSGs
 // and runs multi-scan swapping.
 func (s *State) maintainPatterns(rep *Report, modified []*clusterState) error {
-	rng := rand.New(rand.NewSource(s.cfg.Catapult.Seed + 1))
+	workers := s.cfg.Catapult.Workers
 	budget := s.cfg.Catapult.Budget
+	// Each modified cluster samples with a private RNG derived from the
+	// maintenance seed and its position in the modified list, so the walks
+	// per cluster are a pure function of the seed regardless of scheduling.
+	perCluster := par.Map(len(modified), workers, func(i int) []*pattern.Pattern {
+		rng := rand.New(rand.NewSource(par.ChildSeed(s.cfg.Catapult.Seed+1, i)))
+		return catapult.SampleCandidates(modified[i].csg, budget, s.cfg.CandidateWalks, rng)
+	})
 	var sampled []*pattern.Pattern
-	for _, cs := range modified {
-		sampled = append(sampled, catapult.SampleCandidates(cs.csg, budget, s.cfg.CandidateWalks, rng)...)
+	for _, part := range perCluster {
+		sampled = append(sampled, part...)
 	}
 	// First pruning index: sample frequency. Weighted walks revisit common
 	// motifs, so how often a canonical form was sampled is a cheap proxy
@@ -73,12 +81,15 @@ func (s *State) maintainPatterns(rep *Report, modified []*clusterState) error {
 	}
 	rep.Candidates = len(candidates)
 
-	// Coverage index: exact covered-edge bitsets over the updated corpus,
-	// computed concurrently (each pattern's sweep is independent).
+	// Coverage index: exact covered-edge bitsets over the updated corpus.
+	// Both sweeps share one memoized cache keyed by canonical code, so a
+	// shape that appears among both the current patterns and the candidate
+	// pool — or repeatedly across swap scans — runs its VF2 sweep once.
 	u := pattern.NewUniverse(s.corpus)
 	opts := pattern.MatchOptions()
-	patCover := pattern.CoverBitsets(s.patterns, s.corpus, u, opts, 0)
-	candCover := pattern.CoverBitsets(candidates, s.corpus, u, opts, 0)
+	cc := pattern.NewCoverCache(s.corpus, u, opts)
+	patCover := cc.Bitsets(s.patterns, workers)
+	candCover := cc.Bitsets(candidates, workers)
 
 	weights := s.selection
 	score := func(set []*pattern.Pattern, covers []pattern.Bitset) float64 {
@@ -98,19 +109,19 @@ func (s *State) maintainPatterns(rep *Report, modified []*clusterState) error {
 	curScore := score(s.patterns, patCover)
 	rep.ScoreBefore = curScore
 
-	// Contribution index: marginal coverage of each selected pattern.
+	// Contribution index: marginal coverage of each selected pattern. Rows
+	// are independent (each reads the shared patCover slice and writes its
+	// own slot), so the index rebuilds in parallel between scans.
 	contribution := func() []int {
-		out := make([]int, len(s.patterns))
-		for i := range s.patterns {
+		return par.Map(len(s.patterns), workers, func(i int) int {
 			others := pattern.NewBitset(u.Total())
 			for j := range s.patterns {
 				if j != i {
 					others.Or(patCover[j])
 				}
 			}
-			out[i] = patCover[i].AndNotCount(others)
-		}
-		return out
+			return patCover[i].AndNotCount(others)
+		})
 	}
 
 	// Candidates scanned in descending total-coverage order.

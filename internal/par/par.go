@@ -1,0 +1,129 @@
+// Package par is the repository's single bounded-parallelism idiom: a
+// deterministic fork-join worker pool shared by every hot path (pattern
+// coverage sweeps, cluster distance matrices, graphlet censuses, truss
+// support counting, candidate generation fan-out).
+//
+// Determinism is by construction, not by luck:
+//
+//   - results are slot-indexed — worker i writes only out[i] (or its own
+//     contiguous chunk), so the collected output is identical regardless of
+//     how goroutines are scheduled;
+//   - randomized tasks take per-task child RNGs derived with ChildSeed, so
+//     a task's random stream depends only on (seed, task index), never on
+//     which worker ran it or in what order.
+//
+// Together these guarantee that any workers value — including 1 — produces
+// byte-identical results, which the determinism tests in the consuming
+// packages assert.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves an effective worker count for n independent tasks:
+// workers <= 0 means GOMAXPROCS, and the count never exceeds n.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEachN runs fn(i) for every i in [0, n) on a bounded pool. Indices are
+// claimed dynamically (atomic counter), which balances uneven task costs —
+// the right shape for per-pattern isomorphism sweeps where one task can be
+// orders of magnitude slower than another. fn must only write to
+// slot-indexed state (out[i]) for the result to be deterministic.
+// workers <= 0 means GOMAXPROCS; workers == 1 runs inline with no
+// goroutines.
+func ForEachN(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachChunk partitions [0, n) into at most `workers` contiguous chunks
+// and runs fn(lo, hi) per chunk — the right shape for loops of many cheap
+// items (per-edge support counts, per-cell distance rows) where per-index
+// dispatch overhead would dominate. Chunk boundaries depend only on n and
+// workers, so slot-indexed writes remain deterministic. workers <= 0 means
+// GOMAXPROCS; a single chunk runs inline.
+func ForEachChunk(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map computes [fn(0), ..., fn(n-1)] on a bounded pool, slot-indexed so the
+// output order is scheduling-independent.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEachN(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// ChildSeed derives a statistically independent child seed for task i of a
+// run seeded with seed, using a splitmix64 finalizer. Sequential and
+// parallel executions hand task i the same RNG stream, which is what keeps
+// randomized fan-outs (candidate walks per CSG, per-class topology
+// sampling) reproducible at any worker count.
+func ChildSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,143 @@
+package par
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0,100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3,100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8,3) = %d, want 3", got)
+	}
+	if got := Workers(4, 100); got != 4 {
+		t.Fatalf("Workers(4,100) = %d, want 4", got)
+	}
+	if got := Workers(5, 0); got != 1 {
+		t.Fatalf("Workers(5,0) = %d, want 1", got)
+	}
+}
+
+func TestForEachNCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int64, n)
+		ForEachN(n, workers, func(i int) {
+			atomic.AddInt64(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachNEmpty(t *testing.T) {
+	called := false
+	ForEachN(0, 4, func(int) { called = true })
+	ForEachN(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachChunkCoversRangeExactly(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 16} {
+		for _, n := range []int{1, 2, 10, 97, 1000} {
+			seen := make([]int64, n)
+			ForEachChunk(n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt64(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMapSlotIndexedDeterministic(t *testing.T) {
+	fn := func(i int) int { return i * i }
+	want := Map(500, 1, fn)
+	for _, workers := range []int{0, 2, 5, 32} {
+		got := Map(500, workers, fn)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Map output differs from sequential", workers)
+		}
+	}
+}
+
+func TestChildSeedStable(t *testing.T) {
+	// Same (seed, index) always yields the same child; distinct indices and
+	// distinct parents yield distinct children.
+	if ChildSeed(7, 3) != ChildSeed(7, 3) {
+		t.Fatal("ChildSeed not a pure function")
+	}
+	seen := make(map[int64]bool)
+	for seed := int64(0); seed < 8; seed++ {
+		for i := 0; i < 64; i++ {
+			s := ChildSeed(seed, i)
+			if seen[s] {
+				t.Fatalf("collision at seed=%d i=%d", seed, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestChildSeedStreamsIndependentOfWorkers(t *testing.T) {
+	draw := func(workers int) [][]float64 {
+		out := make([][]float64, 16)
+		ForEachN(16, workers, func(i int) {
+			rng := rand.New(rand.NewSource(ChildSeed(42, i)))
+			row := make([]float64, 8)
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+			out[i] = row
+		})
+		return out
+	}
+	want := draw(1)
+	for _, workers := range []int{2, 8} {
+		if got := draw(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: child RNG streams differ from sequential", workers)
+		}
+	}
+}
+
+// TestStressRace hammers the pool with many small mixed invocations; run
+// under -race this is the package's data-race smoke test.
+func TestStressRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		n := 1 + round%17
+		sum := int64(0)
+		ForEachN(n, 0, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+		want := int64(n*(n-1)) / 2
+		if sum != want {
+			t.Fatalf("round %d: sum = %d, want %d", round, sum, want)
+		}
+		total := int64(0)
+		ForEachChunk(n*3, 4, func(lo, hi int) { atomic.AddInt64(&total, int64(hi-lo)) })
+		if total != int64(n*3) {
+			t.Fatalf("round %d: chunk cover = %d, want %d", round, total, n*3)
+		}
+		_ = Map(n, 3, func(i int) int { return i })
+	}
+}

@@ -2,11 +2,10 @@ package pattern
 
 import (
 	"math/bits"
-	"runtime"
-	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/isomorph"
+	"repro/internal/par"
 )
 
 // This file provides the dense covered-edge bitset machinery shared by the
@@ -82,38 +81,15 @@ func (u *Universe) Total() int { return u.total }
 func (u *Universe) Index(gi int, e graph.EdgeID) int { return u.offsets[gi] + int(e) }
 
 // CoverBitsets computes the covered-edge bitsets of many patterns
-// concurrently. Each pattern's sweep is independent, so this is the
-// single-machine analogue of the distributed fan-out the tutorial's
-// "massive networks" direction calls for; results are deterministic
-// (slot-indexed) regardless of scheduling. workers ≤ 0 means GOMAXPROCS.
+// concurrently on the shared par pool. Each pattern's sweep is independent,
+// so this is the single-machine analogue of the distributed fan-out the
+// tutorial's "massive networks" direction calls for; results are
+// deterministic (slot-indexed) regardless of scheduling. workers ≤ 0 means
+// GOMAXPROCS.
 func CoverBitsets(pats []*Pattern, c *graph.Corpus, u *Universe, opts isomorph.Options, workers int) []Bitset {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pats) {
-		workers = len(pats)
-	}
-	out := make([]Bitset, len(pats))
-	if len(pats) == 0 {
-		return out
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				out[i] = CoverBitset(pats[i], c, u, opts)
-			}
-		}()
-	}
-	for i := range pats {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	return out
+	return par.Map(len(pats), workers, func(i int) Bitset {
+		return CoverBitset(pats[i], c, u, opts)
+	})
 }
 
 // CoverBitset computes the covered-edge bitset of p over the corpus with

@@ -1,0 +1,141 @@
+package pattern
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/par"
+)
+
+// CoverCache memoizes covered-edge bitsets by canonical pattern code, so a
+// pattern already evaluated against a corpus snapshot is never swept again.
+// The greedy selectors and MIDAS's multi-scan swapping repeatedly meet the
+// same canonical structures — random walks resample common motifs, swap
+// scans re-evaluate the incumbent set — and the VF2 sweep is by far the
+// most expensive step they share. Canonical equality implies label-
+// preserving isomorphism, which implies identical embeddings, so keying by
+// canon is lossless.
+//
+// A cache is bound to one corpus snapshot (its Universe and match options
+// are fixed at construction). After any corpus mutation, build a fresh
+// cache — MIDAS does this once per maintenance batch.
+//
+// The cache is safe for concurrent use; Bitsets fills misses on the shared
+// par pool while serving hits without recomputation.
+type CoverCache struct {
+	corpus *graph.Corpus
+	u      *Universe
+	opts   isomorph.Options
+
+	mu     sync.Mutex
+	byKey  map[string]Bitset
+	hits   int
+	misses int
+}
+
+// NewCoverCache builds an empty cache over a corpus snapshot.
+func NewCoverCache(c *graph.Corpus, u *Universe, opts isomorph.Options) *CoverCache {
+	return &CoverCache{corpus: c, u: u, opts: opts, byKey: make(map[string]Bitset)}
+}
+
+// Universe returns the edge universe the cached bitsets are indexed by.
+func (cc *CoverCache) Universe() *Universe { return cc.u }
+
+// Hits returns how many lookups were served from the cache.
+func (cc *CoverCache) Hits() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.hits
+}
+
+// Misses returns how many lookups required a fresh coverage sweep.
+func (cc *CoverCache) Misses() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.misses
+}
+
+// Len returns the number of distinct canonical codes cached.
+func (cc *CoverCache) Len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.byKey)
+}
+
+// Bitset returns p's covered-edge bitset, computing and caching it on a
+// miss. The returned bitset is shared — callers must not mutate it (use
+// Clone before Or-ing into it).
+func (cc *CoverCache) Bitset(p *Pattern) Bitset {
+	key := p.Canon()
+	cc.mu.Lock()
+	if bs, ok := cc.byKey[key]; ok {
+		cc.hits++
+		cc.mu.Unlock()
+		return bs
+	}
+	cc.misses++
+	cc.mu.Unlock()
+	bs := CoverBitset(p, cc.corpus, cc.u, cc.opts)
+	cc.mu.Lock()
+	// Another goroutine may have raced the same key; keep the first entry
+	// so callers observe one stable bitset per canon.
+	if prev, ok := cc.byKey[key]; ok {
+		bs = prev
+	} else {
+		cc.byKey[key] = bs
+	}
+	cc.mu.Unlock()
+	return bs
+}
+
+// Bitsets returns the covered-edge bitsets of pats, slot-indexed. Canon
+// keys are computed up front on the calling goroutine (Pattern.Canon caches
+// lazily and is not itself synchronized), then only the distinct misses are
+// swept, in parallel on the shared pool.
+func (cc *CoverCache) Bitsets(pats []*Pattern, workers int) []Bitset {
+	// Resolve keys and split hits from misses.
+	keys := make([]string, len(pats))
+	for i, p := range pats {
+		keys[i] = p.Canon()
+	}
+	out := make([]Bitset, len(pats))
+	var missIdx []int // first position of each distinct missing key
+	missOf := make(map[string]int)
+	cc.mu.Lock()
+	for i, key := range keys {
+		if bs, ok := cc.byKey[key]; ok {
+			cc.hits++
+			out[i] = bs
+			continue
+		}
+		if _, queued := missOf[key]; queued {
+			cc.hits++ // deduplicated within this batch: no extra sweep
+			continue
+		}
+		cc.misses++
+		missOf[key] = i
+		missIdx = append(missIdx, i)
+	}
+	cc.mu.Unlock()
+
+	fresh := par.Map(len(missIdx), workers, func(j int) Bitset {
+		return CoverBitset(pats[missIdx[j]], cc.corpus, cc.u, cc.opts)
+	})
+
+	cc.mu.Lock()
+	for j, i := range missIdx {
+		if prev, ok := cc.byKey[keys[i]]; ok {
+			fresh[j] = prev
+		} else {
+			cc.byKey[keys[i]] = fresh[j]
+		}
+	}
+	for i, key := range keys {
+		if out[i] == nil {
+			out[i] = cc.byKey[key]
+		}
+	}
+	cc.mu.Unlock()
+	return out
+}

@@ -1,0 +1,112 @@
+package pattern
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCoverCacheMatchesDirectSweep(t *testing.T) {
+	pats, c, u := parallelFixtures()
+	opts := MatchOptions()
+	cc := NewCoverCache(c, u, opts)
+	got := cc.Bitsets(pats, 4)
+	for i, p := range pats {
+		want := CoverBitset(p, c, u, opts)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("pattern %d: cached bitset differs from direct sweep", i)
+		}
+	}
+	if cc.Misses() != len(pats) {
+		t.Fatalf("misses = %d, want %d", cc.Misses(), len(pats))
+	}
+	if cc.Hits() != 0 {
+		t.Fatalf("hits = %d, want 0", cc.Hits())
+	}
+}
+
+func TestCoverCacheHitsOnRepeat(t *testing.T) {
+	pats, c, u := parallelFixtures()
+	cc := NewCoverCache(c, u, MatchOptions())
+	first := cc.Bitsets(pats, 0)
+	second := cc.Bitsets(pats, 0)
+	for i := range pats {
+		// Hits must return the identical cached slice, not a recomputation.
+		if len(first[i]) > 0 && &first[i][0] != &second[i][0] {
+			t.Fatalf("pattern %d: repeat lookup recomputed the bitset", i)
+		}
+	}
+	if cc.Misses() != len(pats) {
+		t.Fatalf("misses after repeat = %d, want %d", cc.Misses(), len(pats))
+	}
+	if cc.Hits() != len(pats) {
+		t.Fatalf("hits after repeat = %d, want %d", cc.Hits(), len(pats))
+	}
+	if cc.Len() != len(pats) {
+		t.Fatalf("cache size = %d, want %d", cc.Len(), len(pats))
+	}
+}
+
+func TestCoverCacheDedupsCanonWithinBatch(t *testing.T) {
+	pats, c, u := parallelFixtures()
+	// Duplicate every pattern: same canonical forms, so only the distinct
+	// structures should be swept.
+	doubled := append(append([]*Pattern(nil), pats...), pats...)
+	cc := NewCoverCache(c, u, MatchOptions())
+	out := cc.Bitsets(doubled, 3)
+	if cc.Misses() != len(pats) {
+		t.Fatalf("misses = %d, want %d distinct sweeps", cc.Misses(), len(pats))
+	}
+	for i := range pats {
+		if !reflect.DeepEqual(out[i], out[i+len(pats)]) {
+			t.Fatalf("duplicate pattern %d got a different bitset", i)
+		}
+	}
+}
+
+func TestCoverCacheSingleLookup(t *testing.T) {
+	pats, c, u := parallelFixtures()
+	cc := NewCoverCache(c, u, MatchOptions())
+	a := cc.Bitset(pats[0])
+	b := cc.Bitset(pats[0])
+	if len(a) > 0 && &a[0] != &b[0] {
+		t.Fatal("Bitset did not serve the second lookup from cache")
+	}
+	if cc.Hits() != 1 || cc.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", cc.Hits(), cc.Misses())
+	}
+}
+
+func TestCoverCacheConcurrentAccess(t *testing.T) {
+	pats, c, u := parallelFixtures()
+	// Pre-resolve canon keys: Pattern.Canon caches lazily and is not
+	// synchronized, mirroring how Bitsets resolves keys up front.
+	for _, p := range pats {
+		p.Canon()
+	}
+	cc := NewCoverCache(c, u, MatchOptions())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				cc.Bitsets(pats, 2)
+			} else {
+				for _, p := range pats {
+					cc.Bitset(p)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if cc.Len() != len(pats) {
+		t.Fatalf("cache size = %d, want %d", cc.Len(), len(pats))
+	}
+	want := cc.Bitsets(pats, 1)
+	for i, p := range pats {
+		if !reflect.DeepEqual(want[i], CoverBitset(p, c, u, MatchOptions())) {
+			t.Fatalf("pattern %d: concurrent fills corrupted the cache", i)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package tattoo
+
+import (
+	"testing"
+)
+
+// TestSelectWorkerCountInvariant requires Workers: 8 to produce exactly the
+// selection of Workers: 1 — the per-class child-RNG design makes candidate
+// streams a pure function of (Seed, class), independent of scheduling.
+func TestSelectWorkerCountInvariant(t *testing.T) {
+	g := testNetwork()
+	base := defaultConfig()
+	base.Seed = 99
+
+	seq := base
+	seq.Workers = 1
+	want, err := Select(g, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{0, 2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Select(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Candidates != want.Candidates {
+			t.Fatalf("workers=%d: %d candidates, sequential %d", workers, got.Candidates, want.Candidates)
+		}
+		if got.Coverage != want.Coverage {
+			t.Fatalf("workers=%d: coverage %v, sequential %v", workers, got.Coverage, want.Coverage)
+		}
+		if len(got.Patterns) != len(want.Patterns) {
+			t.Fatalf("workers=%d: %d patterns, sequential %d", workers, len(got.Patterns), len(want.Patterns))
+		}
+		for i := range want.Patterns {
+			if got.Patterns[i].Canon() != want.Patterns[i].Canon() {
+				t.Fatalf("workers=%d: pattern %d differs from sequential", workers, i)
+			}
+			if got.Patterns[i].Support != want.Patterns[i].Support {
+				t.Fatalf("workers=%d: pattern %d support %d != %d", workers, i, got.Patterns[i].Support, want.Patterns[i].Support)
+			}
+			if got.SelectedClasses[i] != want.SelectedClasses[i] {
+				t.Fatalf("workers=%d: pattern %d class %s != %s", workers, i, got.SelectedClasses[i], want.SelectedClasses[i])
+			}
+		}
+		for class, n := range want.ClassCounts {
+			if got.ClassCounts[class] != n {
+				t.Fatalf("workers=%d: class %s count %d != %d", workers, class, got.ClassCounts[class], n)
+			}
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/pattern"
 	"repro/internal/truss"
 )
@@ -67,6 +68,12 @@ type Config struct {
 	TrussK int
 	// Seed drives sampling; runs are deterministic per seed.
 	Seed int64
+	// Workers bounds the worker pool for the parallel stages (truss support
+	// counting, per-class candidate generation). <= 0 means GOMAXPROCS.
+	// Results are identical at any value: each topology class samples from
+	// its own RNG seeded by par.ChildSeed(Seed, class index) and the class
+	// results are merged in the fixed Classes() order.
+	Workers int
 }
 
 func (c *Config) defaults(edges int) {
@@ -117,9 +124,8 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	cfg.defaults(g.NumEdges())
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	trussness := truss.Decompose(g)
+	trussness := truss.DecomposeN(g, cfg.Workers)
 	res := &Result{ClassCounts: make(map[Class]int)}
 	for _, t := range trussness {
 		res.TrussStats.Edges++
@@ -137,63 +143,83 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 		res.TrussStats.Histogram[t]++
 	}
 
-	gen := &generator{
+	// Template generator: region edge lists are built once and shared
+	// read-only by every class task; only the RNG is per-task.
+	template := &generator{
 		g:         g,
 		trussness: trussness,
 		k:         cfg.TrussK,
 		budget:    cfg.Budget,
-		rng:       rng,
 	}
-	gen.buildRegionEdgeLists()
+	template.buildRegionEdgeLists()
 
+	classes := Classes()
+	samplers := map[Class]func(*generator) []graph.EdgeID{
+		Chain:         (*generator).sampleChain,
+		Star:          (*generator).sampleStar,
+		Tree:          (*generator).sampleTree,
+		Cycle:         (*generator).sampleCycle,
+		TriangleChain: (*generator).sampleTriangleChain,
+		Petal:         (*generator).samplePetal,
+		Flower:        (*generator).sampleFlower,
+		NearClique:    (*generator).sampleNearClique,
+	}
+
+	// Each topology class samples independently with an RNG derived from
+	// (Seed, class index), accumulating candidates (including the canonical
+	// codes, the expensive part) into a private insertion-ordered list.
+	type classPart struct {
+		cands []*candidate
+	}
+	parts := par.Map(len(classes), cfg.Workers, func(ci int) classPart {
+		class := classes[ci]
+		gen := *template
+		gen.rng = rand.New(rand.NewSource(par.ChildSeed(cfg.Seed, ci)))
+		sample := samplers[class]
+		local := make(map[string]*candidate)
+		var order []*candidate
+		for i := 0; i < cfg.SamplesPerClass; i++ {
+			inst := sample(&gen)
+			if inst == nil || len(inst) < cfg.Budget.MinSize || len(inst) > cfg.Budget.MaxSize {
+				continue
+			}
+			sub, _ := g.SubgraphFromEdges(inst)
+			if !sub.IsConnected() {
+				continue
+			}
+			sub.SetName("tattoo-" + string(class))
+			p := pattern.New(sub, "tattoo:"+string(class))
+			key := p.Canon()
+			c, ok := local[key]
+			if !ok {
+				c = &candidate{pat: p, class: class, edges: make(map[graph.EdgeID]bool)}
+				local[key] = c
+				order = append(order, c)
+			}
+			c.pat.Support++
+			for _, e := range inst {
+				c.edges[e] = true
+			}
+		}
+		return classPart{cands: order}
+	})
+
+	// Merge class results sequentially in Classes() order: first class to
+	// produce a canonical form owns it; later classes fold their support and
+	// instance edges into the owner.
 	byCanon := make(map[string]*candidate)
-	record := func(class Class, inst []graph.EdgeID) {
-		if len(inst) < cfg.Budget.MinSize || len(inst) > cfg.Budget.MaxSize {
-			return
-		}
-		sub, _ := g.SubgraphFromEdges(inst)
-		if !sub.IsConnected() {
-			return
-		}
-		sub.SetName("tattoo-" + string(class))
-		p := pattern.New(sub, "tattoo:"+string(class))
-		key := p.Canon()
-		c, ok := byCanon[key]
-		if !ok {
-			c = &candidate{pat: p, class: class, edges: make(map[graph.EdgeID]bool)}
-			byCanon[key] = c
-			res.ClassCounts[class]++
-		}
-		c.pat.Support++
-		for _, e := range inst {
-			c.edges[e] = true
-		}
-	}
-
-	for i := 0; i < cfg.SamplesPerClass; i++ {
-		if inst := gen.sampleChain(); inst != nil {
-			record(Chain, inst)
-		}
-		if inst := gen.sampleStar(); inst != nil {
-			record(Star, inst)
-		}
-		if inst := gen.sampleTree(); inst != nil {
-			record(Tree, inst)
-		}
-		if inst := gen.sampleCycle(); inst != nil {
-			record(Cycle, inst)
-		}
-		if inst := gen.sampleTriangleChain(); inst != nil {
-			record(TriangleChain, inst)
-		}
-		if inst := gen.samplePetal(); inst != nil {
-			record(Petal, inst)
-		}
-		if inst := gen.sampleFlower(); inst != nil {
-			record(Flower, inst)
-		}
-		if inst := gen.sampleNearClique(); inst != nil {
-			record(NearClique, inst)
+	for _, part := range parts {
+		for _, c := range part.cands {
+			key := c.pat.Canon()
+			if owner, ok := byCanon[key]; ok {
+				owner.pat.Support += c.pat.Support
+				for e := range c.edges {
+					owner.edges[e] = true
+				}
+			} else {
+				byCanon[key] = c
+				res.ClassCounts[c.class]++
+			}
 		}
 	}
 

@@ -16,34 +16,70 @@
 package truss
 
 import (
+	"sort"
+
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
+// halfEdge is one directed half of an undirected edge in the sorted
+// adjacency representation.
+type halfEdge struct {
+	nbr graph.NodeID
+	id  graph.EdgeID
+}
+
 // Decompose returns the trussness of every edge of g, indexed by EdgeID.
-// Edges in no triangle have trussness 2.
+// Edges in no triangle have trussness 2. Equivalent to DecomposeN with
+// workers = GOMAXPROCS.
 func Decompose(g *graph.Graph) []int {
+	return DecomposeN(g, 0)
+}
+
+// DecomposeN is Decompose with an explicit worker count for the initial
+// support pass. Adjacency is kept as neighbor-sorted slices and common
+// neighbors are found by two-pointer intersection — allocation-free, unlike
+// the map-based variant this replaces, whose per-edge map probing dominated
+// Decompose allocations. Edge removal during peeling is a flag flip; the
+// intersection skips dead half-edges. The (sequential) peeling result is
+// identical at any worker count: initial supports are exact integers
+// written slot-indexed.
+func DecomposeN(g *graph.Graph, workers int) []int {
 	m := g.NumEdges()
 	if m == 0 {
 		return nil
 	}
-	// adj[v] maps neighbor -> edge id for alive edges; rebuilt locally so
-	// peeling can delete edges without mutating g.
+	// adj[v] lists v's half-edges sorted by neighbor id; removal only flips
+	// removed[id], so the build is read-only on g and shared by all workers.
 	n := g.NumNodes()
-	adj := make([]map[graph.NodeID]graph.EdgeID, n)
+	adj := make([][]halfEdge, n)
 	for v := 0; v < n; v++ {
-		adj[v] = make(map[graph.NodeID]graph.EdgeID, g.Degree(v))
+		adj[v] = make([]halfEdge, 0, g.Degree(v))
 	}
 	for id, e := range g.Edges() {
-		adj[e.U][e.V] = graph.EdgeID(id)
-		adj[e.V][e.U] = graph.EdgeID(id)
+		adj[e.U] = append(adj[e.U], halfEdge{e.V, graph.EdgeID(id)})
+		adj[e.V] = append(adj[e.V], halfEdge{e.U, graph.EdgeID(id)})
 	}
+	par.ForEachChunk(n, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			a := adj[v]
+			sort.Slice(a, func(i, j int) bool { return a[i].nbr < a[j].nbr })
+		}
+	})
+	removed := make([]bool, m)
 
-	// Initial support: number of triangles containing each edge.
+	// Initial support: number of triangles containing each edge, counted
+	// concurrently in contiguous chunks (pure reads of the shared sorted
+	// adjacency).
 	support := make([]int, m)
+	par.ForEachChunk(m, workers, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			e := g.Edge(id)
+			support[id] = countCommon(adj, removed, e.U, e.V)
+		}
+	})
 	maxSup := 0
 	for id := 0; id < m; id++ {
-		e := g.Edge(id)
-		support[id] = countCommon(adj, e.U, e.V)
 		if support[id] > maxSup {
 			maxSup = support[id]
 		}
@@ -55,7 +91,6 @@ func Decompose(g *graph.Graph) []int {
 		buckets[support[id]] = append(buckets[support[id]], id)
 	}
 	trussness := make([]int, m)
-	removed := make([]bool, m)
 	processed := 0
 	k := 2
 	cur := 0
@@ -81,23 +116,12 @@ func Decompose(g *graph.Graph) []int {
 		removed[id] = true
 		processed++
 		e := g.Edge(id)
-		u, v := e.U, e.V
-		delete(adj[u], v)
-		delete(adj[v], u)
 		// Every triangle (u,v,w) loses this edge; decrement the supports
-		// of (u,w) and (v,w).
-		small, big := u, v
-		if len(adj[small]) > len(adj[big]) {
-			small, big = big, small
-		}
-		for w := range adj[small] {
-			otherID, ok := adj[big][w]
-			if !ok {
-				continue
-			}
-			sideID := adj[small][w]
-			for _, dec := range []graph.EdgeID{otherID, sideID} {
-				if !removed[dec] && support[dec] > 0 {
+		// of (u,w) and (v,w). The intersection yields w only when both
+		// side edges are still alive.
+		forEachCommon(adj, removed, e.U, e.V, func(uw, vw graph.EdgeID) {
+			for _, dec := range []graph.EdgeID{vw, uw} {
+				if support[dec] > 0 {
 					support[dec]--
 					buckets[support[dec]] = append(buckets[support[dec]], dec)
 					if support[dec] < cur {
@@ -105,23 +129,40 @@ func Decompose(g *graph.Graph) []int {
 					}
 				}
 			}
-		}
+		})
 	}
 	return trussness
 }
 
-// countCommon returns the number of common alive neighbors of u and v.
-func countCommon(adj []map[graph.NodeID]graph.EdgeID, u, v graph.NodeID) int {
-	if len(adj[u]) > len(adj[v]) {
-		u, v = v, u
-	}
+// countCommon returns the number of common neighbors of u and v reachable
+// through alive edges, by two-pointer merge of the sorted adjacency slices.
+func countCommon(adj [][]halfEdge, removed []bool, u, v graph.NodeID) int {
 	c := 0
-	for w := range adj[u] {
-		if _, ok := adj[v][w]; ok {
-			c++
+	forEachCommon(adj, removed, u, v, func(_, _ graph.EdgeID) { c++ })
+	return c
+}
+
+// forEachCommon calls fn(uw, vw) for every common neighbor w of u and v
+// whose edges (u,w) and (v,w) are both alive. Simple graphs keep each
+// adjacency slice strictly increasing in neighbor id, so a single merge
+// pass finds every match in O(deg(u)+deg(v)) with no allocation.
+func forEachCommon(adj [][]halfEdge, removed []bool, u, v graph.NodeID, fn func(uw, vw graph.EdgeID)) {
+	a, b := adj[u], adj[v]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].nbr < b[j].nbr:
+			i++
+		case a[i].nbr > b[j].nbr:
+			j++
+		default:
+			if !removed[a[i].id] && !removed[b[j].id] {
+				fn(a[i].id, b[j].id)
+			}
+			i++
+			j++
 		}
 	}
-	return c
 }
 
 // MaxTrussness returns the maximum edge trussness of g, or 0 for an

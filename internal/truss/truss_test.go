@@ -148,6 +148,31 @@ func TestDecomposeMatchesBruteForce(t *testing.T) {
 	}
 }
 
+func TestDecomposeWorkerCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5; trial++ {
+		n := 30 + rng.Intn(40)
+		g := graph.New("w")
+		g.AddNodes(n, "A")
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.15 {
+					g.MustAddEdge(i, j, "-")
+				}
+			}
+		}
+		want := DecomposeN(g, 1)
+		for _, workers := range []int{0, 2, 8} {
+			got := DecomposeN(g, workers)
+			for id := range got {
+				if got[id] != want[id] {
+					t.Fatalf("trial %d workers=%d edge %d: %d != %d", trial, workers, id, got[id], want[id])
+				}
+			}
+		}
+	}
+}
+
 func TestSplit(t *testing.T) {
 	// Triangle 0-1-2 with a tail 2-3-4.
 	g := graph.New("t")

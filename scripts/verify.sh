@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo verification: build, vet, full tests, then the race detector over
+# every package (the parallel layer in internal/par and its call sites are
+# only trustworthy under -race). Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "verify: OK"
