@@ -1,0 +1,138 @@
+package main
+
+// Experiment R1: the robustness serving layer. Drives a query endpoint —
+// the same shape vqiserve exposes — through an httptest server with and
+// without the per-request timeout middleware, and reports p50/p99 latency
+// plus how often the budgeted variant degrades to truncated partial
+// results. Emits BENCH_robustness.json for tracking across runs.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+)
+
+func init() {
+	register("R1", "hardened serving: query latency with/without timeout middleware (emits BENCH_robustness.json)", runR1)
+}
+
+type robustVariant struct {
+	Name      string  `json:"name"`
+	Requests  int     `json:"requests"`
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	Truncated int     `json:"truncated"`
+}
+
+type robustReport struct {
+	CPUs     int             `json:"cpus"`
+	Full     bool            `json:"full"`
+	Seed     int64           `json:"seed"`
+	Budget   string          `json:"budget"`
+	Variants []robustVariant `json:"variants"`
+}
+
+func runR1(cfg runConfig, w *tabwriter.Writer) {
+	netNodes, requests := 2000, 40
+	if cfg.full {
+		netNodes, requests = 10000, 200
+	}
+	budget := 5 * time.Millisecond
+
+	g := datagen.WattsStrogatz(cfg.seed, netNodes, 6, 0.1)
+	// A wildcard 8-path keeps the matcher busy long enough for the budget
+	// to bite: many embeddings exist, and the cap is set high so an
+	// unbudgeted request does real work.
+	q := graph.New("q")
+	for i := 0; i < 8; i++ {
+		q.AddNode("")
+		if i > 0 {
+			q.AddEdge(i-1, i, "")
+		}
+	}
+	queryHandler := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		res := isomorph.Count(q, g, isomorph.Options{
+			MaxEmbeddings: 2_000_000, MaxSteps: 100_000_000, Ctx: r.Context()})
+		rw.Header().Set("Content-Type", "application/json")
+		if res.Reason == isomorph.StopCanceled {
+			rw.WriteHeader(http.StatusGatewayTimeout)
+		}
+		json.NewEncoder(rw).Encode(map[string]any{
+			"embeddings": res.Embeddings, "truncated": res.Truncated})
+	})
+	withTimeout := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		queryHandler.ServeHTTP(rw, r.WithContext(ctx))
+	})
+
+	report := robustReport{CPUs: runtime.NumCPU(), Full: cfg.full, Seed: cfg.seed, Budget: budget.String()}
+	fmt.Fprintf(w, "variant\trequests\tp50 (ms)\tp99 (ms)\ttruncated\n")
+	for _, v := range []struct {
+		name string
+		h    http.Handler
+	}{
+		{"no middleware", queryHandler},
+		{fmt.Sprintf("timeout %v", budget), withTimeout},
+	} {
+		ts := httptest.NewServer(v.h)
+		lat := make([]float64, 0, requests)
+		truncated := 0
+		for i := 0; i < requests+2; i++ {
+			t0 := time.Now()
+			res, err := http.Get(ts.URL)
+			if err != nil {
+				fmt.Fprintf(w, "%s: request failed: %v\n", v.name, err)
+				break
+			}
+			body, _ := io.ReadAll(res.Body)
+			res.Body.Close()
+			if i < 2 {
+				continue // warmup
+			}
+			lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+			if strings.Contains(string(body), `"truncated":true`) {
+				truncated++
+			}
+		}
+		ts.Close()
+		sort.Float64s(lat)
+		entry := robustVariant{Name: v.name, Requests: len(lat),
+			P50Millis: percentile(lat, 0.50), P99Millis: percentile(lat, 0.99),
+			Truncated: truncated}
+		report.Variants = append(report.Variants, entry)
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.3f\t%d\n",
+			entry.Name, entry.Requests, entry.P50Millis, entry.P99Millis, entry.Truncated)
+	}
+
+	payload, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		if err := os.WriteFile("BENCH_robustness.json", payload, 0o644); err != nil {
+			fmt.Fprintf(w, "write BENCH_robustness.json: %v\n", err)
+		} else {
+			fmt.Fprintln(w, "wrote BENCH_robustness.json")
+		}
+	}
+}
+
+// percentile reads the q-quantile from sorted data (nearest-rank).
+func percentile(sorted []float64, qn float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(qn * float64(len(sorted)-1))
+	return sorted[idx]
+}

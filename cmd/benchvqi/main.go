@@ -73,11 +73,17 @@ func main() {
 }
 
 func experimentOrder(id string) int {
-	// E1..E11 first, then T1.
+	// E1..E11 first, then T1, P1, R1.
 	if strings.HasPrefix(id, "E") {
 		n := 0
 		fmt.Sscanf(id[1:], "%d", &n)
 		return n
 	}
-	return 100
+	switch id[0] {
+	case 'T':
+		return 100
+	case 'P':
+		return 200
+	}
+	return 300
 }

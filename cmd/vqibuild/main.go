@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker pool size for parallel stages (0 = all CPUs); results are identical at any value")
 		manual  = flag.String("manual", "", "build a manual preset instead: basic-only|chemistry")
+		timeout = flag.Duration("timeout", 0, "overall build budget; an exhausted budget still writes the best spec found so far (0 = unlimited)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -49,23 +51,34 @@ func main() {
 		Seed:    *seed,
 		Workers: *workers,
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
 	var spec *core.Spec
+	var truncated bool
 	switch {
 	case *manual != "":
 		spec, err = core.BuildManualVQI(*manual, corpus)
 	case corpus.Len() == 1:
 		fmt.Printf("single graph with %d nodes: using TATTOO (large network)\n",
 			corpus.Graph(0).NumNodes())
-		spec, err = core.BuildNetworkVQI(corpus.Graph(0), opts)
+		spec, truncated, err = core.BuildNetworkVQICtx(ctx, corpus.Graph(0), opts)
 	default:
 		fmt.Printf("corpus of %d data graphs: using CATAPULT\n", corpus.Len())
-		spec, err = core.BuildCorpusVQI(corpus, opts)
+		spec, truncated, err = core.BuildCorpusVQICtx(ctx, corpus, opts)
 	}
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	if truncated {
+		fmt.Printf("warning: -timeout %v exhausted after %v; writing the best spec found so far\n",
+			*timeout, elapsed.Round(time.Millisecond))
+	}
 
 	payload, err := spec.Encode()
 	if err != nil {

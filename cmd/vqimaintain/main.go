@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,7 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool size for parallel stages (0 = all CPUs); results are identical at any value")
 		rerun   = flag.Bool("compare-rerun", false, "also time a from-scratch rebuild per batch")
 		state   = flag.String("state", "", "maintenance state file: loaded if present, saved after the run (with the updated corpus alongside as <state>.lg)")
+		timeout = flag.Duration("timeout", 0, "per-batch maintenance budget; corpus bookkeeping always completes, pattern improvement stops at the deadline (0 = unlimited)")
 	)
 	flag.Var(&adds, "add", ".lg file of graphs to insert (repeatable; one batch each)")
 	flag.Parse()
@@ -92,7 +94,7 @@ func main() {
 			rm = removals
 		}
 		t0 := time.Now()
-		rep, err := m.ApplyBatch(added, rm)
+		rep, err := applyWithBudget(m, *timeout, added, rm)
 		if err != nil {
 			fatal(err)
 		}
@@ -100,6 +102,9 @@ func main() {
 		kind := "minor"
 		if rep.Major {
 			kind = "major"
+		}
+		if rep.Truncated {
+			kind += ", truncated by -timeout"
 		}
 		fmt.Printf("batch %d (%s): +%d -%d graphs, GFD distance %.4f (%s), %d candidates, %d swaps, score %.3f -> %.3f, %v\n",
 			bi+1, addFile, rep.Added, rep.Removed, rep.GFDDistance, kind,
@@ -116,7 +121,7 @@ func main() {
 		}
 	}
 	if len(adds) == 0 && len(removals) > 0 {
-		rep, err := m.ApplyBatch(nil, removals)
+		rep, err := applyWithBudget(m, *timeout, nil, removals)
 		if err != nil {
 			fatal(err)
 		}
@@ -144,6 +149,18 @@ func main() {
 		fmt.Printf("saved maintenance state to %s (corpus: %s.lg)\n", *state, *state)
 	}
 	fmt.Printf("final: %s\nwrote %s\n", core.Describe(m.Spec()), *out)
+}
+
+// applyWithBudget runs one maintenance batch under the -timeout budget
+// (unlimited when zero).
+func applyWithBudget(m *core.Maintainer, timeout time.Duration, added []*graph.Graph, rm []string) (*core.BatchReport, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return m.ApplyBatchCtx(ctx, added, rm)
 }
 
 func splitNames(s string) []string {

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/par"
+	"repro/internal/pattern"
+	"repro/internal/results"
+	"repro/internal/vqi"
+)
+
+// apiError is the uniform error envelope: {"error":{"code","message"}}.
+// Code is a stable machine-readable slug; Message is human-readable.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	Error apiError `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: apiError{Code: code, Message: msg}})
+}
+
+// routes assembles the handler chain: recovery outermost (panics anywhere
+// below become 500s), per-request deadlines on the query-shaped endpoints.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /api/spec", s.handleSpec)
+	mux.HandleFunc("POST /api/query", s.withTimeout(s.handleQuery))
+	mux.HandleFunc("POST /api/suggest", s.withTimeout(s.handleSuggest))
+	return withRecover(mux)
+}
+
+// withTimeout attaches the server's query budget to the request context.
+// Handlers thread that context into the matcher, so an exhausted budget
+// surfaces as a 504 carrying whatever partial results were found.
+func (s *server) withTimeout(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.queryTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+// withRecover converts handler panics into 500 responses so one bad
+// request cannot take the whole server down. http.ErrAbortHandler keeps
+// its net/http meaning and is re-raised.
+func withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				log.Printf("vqiserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				writeErr(w, http.StatusInternalServerError, "internal", "internal server error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "not_ready", "index build in progress")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+func (s *server) handleSpec(w http.ResponseWriter, _ *http.Request) {
+	payload, err := s.spec.Encode()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload)
+}
+
+type queryRequest struct {
+	Nodes []string `json:"nodes"`
+	Edges []struct {
+		U     int    `json:"u"`
+		V     int    `json:"v"`
+		Label string `json:"label"`
+	} `json:"edges"`
+}
+
+type queryResponse struct {
+	Matched    []string     `json:"matched"`
+	Facets     []facetEntry `json:"facets,omitempty"`
+	Embeddings int          `json:"embeddings"`
+	// Truncated marks a response whose budget ran out: what is present is
+	// valid, but more matches may exist.
+	Truncated bool `json:"truncated"`
+}
+
+// facetEntry groups matches by the canned pattern they contain, so the
+// front end can offer drill-down instead of a flat list.
+type facetEntry struct {
+	Pattern string   `json:"pattern"`
+	Graphs  []string `json:"graphs"`
+}
+
+// decodeQuery reads, validates, and builds the posted query graph. On
+// failure it writes the appropriate error envelope (413 oversized body,
+// 400 malformed JSON or invalid edges, 422 oversized query) and returns
+// ok=false.
+func (s *server) decodeQuery(w http.ResponseWriter, r *http.Request) (*graph.Graph, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", s.maxBodyBytes))
+			return nil, false
+		}
+		writeErr(w, http.StatusBadRequest, "bad_json", err.Error())
+		return nil, false
+	}
+	if size := len(req.Nodes) + len(req.Edges); size > s.maxQuerySize {
+		writeErr(w, http.StatusUnprocessableEntity, "query_too_large",
+			fmt.Sprintf("query has %d nodes+edges, limit is %d", size, s.maxQuerySize))
+		return nil, false
+	}
+	q := graph.New("query")
+	for _, l := range req.Nodes {
+		q.AddNode(l)
+	}
+	for _, e := range req.Edges {
+		if _, err := q.AddEdge(e.U, e.V, e.Label); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_query", err.Error())
+			return nil, false
+		}
+	}
+	return q, true
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if err := s.inject.Fire("query"); err != nil {
+		writeErr(w, http.StatusInternalServerError, "injected", err.Error())
+		return
+	}
+	q, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	ctx := r.Context()
+	var resp queryResponse
+	status := http.StatusOK
+	if s.network {
+		res := isomorph.Count(q, s.corpus.Graph(0), isomorph.Options{
+			MaxEmbeddings: 1000, MaxSteps: 2_000_000, Ctx: ctx})
+		resp.Embeddings = res.Embeddings
+		resp.Truncated = res.Truncated
+		if res.Reason == isomorph.StopCanceled {
+			status = http.StatusGatewayTimeout
+		}
+	} else if idx := s.getIndex(); idx != nil {
+		res := idx.SearchCtx(ctx, q, pattern.MatchOptions())
+		resp.Matched = res.Matches
+		resp.Truncated = res.Truncated
+		if ctx.Err() != nil {
+			status = http.StatusGatewayTimeout
+		} else {
+			// Facets cost extra matching; skip them once the budget is gone.
+			resp.Facets = s.facets(resp.Matched)
+		}
+	} else {
+		// Fallback without an index (e.g. before the background build
+		// finishes): verify every graph, fanning the independent VF2
+		// checks over the worker pool and collecting matches in corpus
+		// order. Cancellation stops dispatch; completed slots are kept.
+		opts := pattern.MatchOptions()
+		opts.Ctx = ctx
+		matched, err := par.MapCtx(ctx, s.corpus.Len(), s.workers, func(i int) bool {
+			return isomorph.Exists(q, s.corpus.Graph(i), opts)
+		})
+		for i, hit := range matched {
+			if hit {
+				resp.Matched = append(resp.Matched, s.corpus.Graph(i).Name())
+			}
+		}
+		if err != nil {
+			resp.Truncated = true
+			status = http.StatusGatewayTimeout
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// facets groups matched graphs by the spec's canned patterns.
+func (s *server) facets(matched []string) []facetEntry {
+	if len(matched) == 0 {
+		return nil
+	}
+	panel, err := s.spec.AllPatterns()
+	if err != nil {
+		return nil
+	}
+	// Only canned patterns facet usefully; basics match almost everything.
+	canned := panel[len(s.spec.Patterns.Basic):]
+	fs, _ := results.Facets(matched, s.corpus, canned, pattern.MatchOptions())
+	var out []facetEntry
+	for _, f := range fs {
+		out = append(out, facetEntry{
+			Pattern: s.spec.Patterns.Canned[f.PatternIndex].Name,
+			Graphs:  f.Graphs,
+		})
+	}
+	return out
+}
+
+type suggestResponse struct {
+	Suggestions []suggestEntry `json:"suggestions"`
+}
+
+type suggestEntry struct {
+	PatternIndex int    `json:"pattern_index"`
+	Name         string `json:"name"`
+	NewEdges     int    `json:"new_edges"`
+}
+
+// handleSuggest proposes panel patterns that continue the posted partial
+// query (VIIQ-style auto-suggestion).
+func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	if err := s.inject.Fire("suggest"); err != nil {
+		writeErr(w, http.StatusInternalServerError, "injected", err.Error())
+		return
+	}
+	q, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	sugs, err := vqi.SuggestForSpec(s.spec, q, 8)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	resp := suggestResponse{Suggestions: []suggestEntry{}}
+	for _, sg := range sugs {
+		resp.Suggestions = append(resp.Suggestions, suggestEntry{
+			PatternIndex: sg.PatternIndex,
+			Name:         sg.Pattern.Name,
+			NewEdges:     sg.NewEdges,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

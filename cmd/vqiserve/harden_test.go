@@ -1,0 +1,206 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/faultinject"
+	"repro/internal/pattern"
+	"repro/internal/vqi"
+)
+
+// networkServer builds a network-mode server (single data graph) with the
+// given config; network queries are the cheapest to drive through the
+// full middleware chain.
+func networkServer(t *testing.T, cfg serverConfig) *server {
+	t.Helper()
+	g := datagen.WattsStrogatz(3, 200, 4, 0.1)
+	spec := &vqi.Spec{Name: "net", Mode: vqi.DataDriven}
+	return newServer(spec, pattern.SingletonCorpus(g), cfg)
+}
+
+const wildcardEdge = `{"nodes":["",""],"edges":[{"u":0,"v":1,"label":""}]}`
+
+func postQuery(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(body)))
+	return rec
+}
+
+func TestOversizedBody413(t *testing.T) {
+	s := networkServer(t, serverConfig{maxBodyBytes: 64})
+	big := `{"nodes":[` + strings.Repeat(`"C",`, 50) + `"C"],"edges":[]}`
+	rec := postQuery(t, s.routes(), big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d (body %s)", rec.Code, rec.Body)
+	}
+	if e := decodeErr(t, rec.Body.Bytes()); e.Code != "body_too_large" {
+		t.Fatalf("code = %q", e.Code)
+	}
+}
+
+func TestOversizedQuery422(t *testing.T) {
+	s := networkServer(t, serverConfig{maxQuerySize: 4})
+	rec := postQuery(t, s.routes(), `{"nodes":["a","b","c","d","e"],"edges":[]}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d (body %s)", rec.Code, rec.Body)
+	}
+	if e := decodeErr(t, rec.Body.Bytes()); e.Code != "query_too_large" {
+		t.Fatalf("code = %q", e.Code)
+	}
+}
+
+func TestQueryTimeout504WithPartialResults(t *testing.T) {
+	// A 20ms budget against a handler held up for 200ms by an injected
+	// slow dependency: the matcher sees a dead context and returns its
+	// best-so-far immediately, and the response is a 504 whose payload is
+	// still well-formed and marked truncated.
+	s := networkServer(t, serverConfig{queryTimeout: 20 * time.Millisecond})
+	s.inject = faultinject.New(1, faultinject.Fault{Site: "query", Delay: 200 * time.Millisecond})
+	start := time.Now()
+	rec := postQuery(t, s.routes(), wildcardEdge)
+	elapsed := time.Since(start)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (body %s)", rec.Code, rec.Body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Fatal("504 response not marked truncated")
+	}
+	// The matcher must bail out promptly once the budget is gone, not run
+	// to completion: total time stays near the injected delay.
+	if elapsed > 2*time.Second {
+		t.Fatalf("handler took %v after budget expiry", elapsed)
+	}
+	// Without the timeout middleware the same query completes normally.
+	s2 := networkServer(t, serverConfig{})
+	rec2 := postQuery(t, s2.routes(), wildcardEdge)
+	if rec2.Code != 200 {
+		t.Fatalf("untimed status = %d", rec2.Code)
+	}
+}
+
+func TestPanicInjectionReturns500AndServerSurvives(t *testing.T) {
+	s := networkServer(t, serverConfig{})
+	s.inject = faultinject.New(1, faultinject.Fault{Site: "query", PanicMsg: "wild pointer", Count: 1})
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	res, err := http.Post(ts.URL+"/api/query", "application/json", strings.NewReader(wildcardEdge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d (body %s)", res.StatusCode, body)
+	}
+	if e := decodeErr(t, body); e.Code != "internal" {
+		t.Fatalf("code = %q", e.Code)
+	}
+	// The process is still serving: the very next request succeeds.
+	res2, err := http.Post(ts.URL+"/api/query", "application/json", strings.NewReader(wildcardEdge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != 200 {
+		t.Fatalf("post-panic status = %d", res2.StatusCode)
+	}
+}
+
+func TestHealthzAndReadyzGate(t *testing.T) {
+	s := testServer(t)
+	h := s.routes()
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	if rec := get("/healthz"); rec.Code != 200 {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before index build = %d", rec.Code)
+	}
+	s.buildIndex()
+	if rec := get("/readyz"); rec.Code != 200 {
+		t.Fatalf("readyz after index build = %d", rec.Code)
+	}
+	if s.getIndex() == nil {
+		t.Fatal("corpus server ready without an index")
+	}
+}
+
+func TestServeFailFastOnBusyAddr(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	s := networkServer(t, serverConfig{})
+	err = s.serve(context.Background(), ln.Addr().String(), time.Second, nil)
+	if err == nil {
+		t.Fatal("serve bound an occupied address")
+	}
+	if !strings.Contains(err.Error(), "cannot listen") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServeDrainsInFlightRequestOnShutdown(t *testing.T) {
+	s := networkServer(t, serverConfig{})
+	// Hold the request open long enough for shutdown to start while it is
+	// in flight.
+	s.inject = faultinject.New(1, faultinject.Fault{Site: "query", Delay: 300 * time.Millisecond})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan net.Addr, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.serve(ctx, "127.0.0.1:0", 5*time.Second, started) }()
+	addr := <-started
+
+	reqDone := make(chan error, 1)
+	var status int
+	go func() {
+		res, err := http.Post("http://"+addr.String()+"/api/query", "application/json",
+			strings.NewReader(wildcardEdge))
+		if err == nil {
+			status = res.StatusCode
+			io.Copy(io.Discard, res.Body)
+			res.Body.Close()
+		}
+		reqDone <- err
+	}()
+
+	// Give the request time to reach the handler, then ask for shutdown.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request dropped during drain: %v", err)
+	}
+	if status != 200 {
+		t.Fatalf("in-flight request status = %d", status)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+}

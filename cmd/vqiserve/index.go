@@ -150,9 +150,10 @@ function clearQuery() { q = {nodes: [], edges: []}; pos = []; pendingEdge = -1; 
 function runQuery() {
   fetch('/api/query', {method: 'POST', body: JSON.stringify(q)}).then(r => r.json()).then(res => {
     const host = document.getElementById('resultBody');
-    if (res.error) { host.textContent = 'error: ' + res.error; return; }
+    if (res.error) { host.textContent = 'error (' + res.error.code + '): ' + res.error.message; return; }
+    const note = res.truncated ? ' [budget exhausted — partial results]' : '';
     if (res.matched && res.matched.length) {
-      host.textContent = res.matched.length + ' matching graphs: ' + res.matched.slice(0, 50).join(', ');
+      host.textContent = res.matched.length + ' matching graphs' + note + ': ' + res.matched.slice(0, 50).join(', ');
       if (res.facets && res.facets.length) {
         const ul = document.createElement('ul');
         res.facets.forEach(f => {
@@ -163,14 +164,14 @@ function runQuery() {
         host.appendChild(ul);
       }
     } else if (res.embeddings) {
-      host.textContent = res.embeddings + ' embeddings in the network';
-    } else { host.textContent = 'no matches'; }
+      host.textContent = res.embeddings + ' embeddings in the network' + note;
+    } else { host.textContent = 'no matches' + note; }
   });
 }
 function suggest() {
   fetch('/api/suggest', {method: 'POST', body: JSON.stringify(q)}).then(r => r.json()).then(res => {
     const host = document.getElementById('resultBody');
-    if (res.error) { host.textContent = 'error: ' + res.error; return; }
+    if (res.error) { host.textContent = 'error (' + res.error.code + '): ' + res.error.message; return; }
     if (!res.suggestions || !res.suggestions.length) { host.textContent = 'no suggested continuations'; return; }
     host.textContent = 'suggested continuations (click a pattern in the panel to stamp):';
     const ul = document.createElement('ul');

@@ -6,42 +6,149 @@
 //
 // Endpoints:
 //
-//	GET  /           the interface
-//	GET  /api/spec   the VQI spec JSON
-//	POST /api/query  {"nodes":["C",...],"edges":[{"u":0,"v":1,"label":"s"}]}
-//	                 → {"matched":[...names...],"embeddings":N}
+//	GET  /            the interface
+//	GET  /healthz     liveness (200 as soon as the process serves)
+//	GET  /readyz      readiness (200 only after the corpus index is built)
+//	GET  /api/spec    the VQI spec JSON
+//	POST /api/query   {"nodes":["C",...],"edges":[{"u":0,"v":1,"label":"s"}]}
+//	                  → {"matched":[...names...],"embeddings":N,"truncated":false}
+//	POST /api/suggest partial query → suggested pattern completions
+//
+// The server is hardened for interactive use: every query runs under a
+// per-request deadline (-query-timeout) threaded into the matcher, request
+// bodies are capped (-max-body-bytes), handler panics become 500s without
+// killing the process, errors use a consistent JSON envelope
+// {"error":{"code","message"}} with real status codes (400 malformed, 413
+// oversized body, 422 oversized query, 504 budget exhausted — with the
+// partial results found so far marked "truncated"), and SIGINT/SIGTERM
+// drain in-flight requests for up to -shutdown-grace before exiting 0.
 //
 // Example:
 //
-//	vqiserve -spec vqi.json -data corpus.lg -addr :8080
+//	vqiserve -spec vqi.json -data corpus.lg -addr :8080 -query-timeout 2s
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/gindex"
-	"repro/internal/graph"
-	"repro/internal/isomorph"
-	"repro/internal/par"
-	"repro/internal/pattern"
-	"repro/internal/results"
-	"repro/internal/vqi"
-
-	"flag"
-
 	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/vqi"
 )
 
 type server struct {
 	spec    *vqi.Spec
 	corpus  *graph.Corpus
 	network bool
-	index   *gindex.Index // filter-verify index for corpus queries
-	workers int           // worker pool size for per-graph query verification
+	workers int // worker pool size for per-graph query verification
+
+	queryTimeout time.Duration // per-request budget for /api/query and /api/suggest
+	maxBodyBytes int64         // request body cap
+	maxQuerySize int           // node+edge cap on posted query graphs
+
+	inject *faultinject.Injector // nil in production; armed by fault-injection tests
+
+	ready atomic.Bool
+	mu    sync.RWMutex
+	index *gindex.Index // filter-verify index; set once buildIndex completes
+}
+
+// serverConfig carries the serving knobs from flags (and tests).
+type serverConfig struct {
+	workers      int
+	queryTimeout time.Duration
+	maxBodyBytes int64
+	maxQuerySize int
+}
+
+func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
+	if cfg.maxBodyBytes <= 0 {
+		cfg.maxBodyBytes = 1 << 20
+	}
+	if cfg.maxQuerySize <= 0 {
+		cfg.maxQuerySize = 256
+	}
+	return &server{
+		spec:         spec,
+		corpus:       corpus,
+		network:      corpus.Len() == 1,
+		workers:      cfg.workers,
+		queryTimeout: cfg.queryTimeout,
+		maxBodyBytes: cfg.maxBodyBytes,
+		maxQuerySize: cfg.maxQuerySize,
+	}
+}
+
+// buildIndex builds the filter-verify index (corpus mode) and flips the
+// readiness gate. It runs in the background so the listener is up — and
+// /healthz green — while a large corpus indexes.
+func (s *server) buildIndex() {
+	if !s.network {
+		idx := gindex.Build(s.corpus)
+		s.mu.Lock()
+		s.index = idx
+		s.mu.Unlock()
+	}
+	s.ready.Store(true)
+	log.Printf("vqiserve: ready (%d data graphs)", s.corpus.Len())
+}
+
+func (s *server) getIndex() *gindex.Index {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.index
+}
+
+// serve binds addr, starts the hardened http.Server, and blocks until the
+// context is canceled (graceful drain, returns nil) or the server fails.
+// Binding happens eagerly so an occupied address fails fast with a clear
+// error instead of dying inside ListenAndServe; the resolved address
+// (useful with ":0") is logged and sent to started if non-nil.
+func (s *server) serve(ctx context.Context, addr string, grace time.Duration, started chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cannot listen on %s: %w", addr, err)
+	}
+	log.Printf("vqiserve: %d data graphs, %d canned patterns, listening on %s",
+		s.corpus.Len(), len(s.spec.Patterns.Canned), ln.Addr())
+	if started != nil {
+		started <- ln.Addr()
+	}
+	srv := &http.Server{
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	go s.buildIndex()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("vqiserve: shutdown requested; draining in-flight requests for up to %v", grace)
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			srv.Close()
+			return fmt.Errorf("drain deadline exceeded: %w", err)
+		}
+		log.Printf("vqiserve: drained cleanly")
+		return nil
+	}
 }
 
 func main() {
@@ -50,6 +157,10 @@ func main() {
 		dataPath = flag.String("data", "", "data source .lg file (required)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		workers  = flag.Int("workers", 0, "worker pool size for query verification (0 = all CPUs)")
+		qTimeout = flag.Duration("query-timeout", 10*time.Second, "per-request budget for query/suggest; exhausted budgets return 504 with partial results (0 = unlimited)")
+		grace    = flag.Duration("shutdown-grace", 5*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+		maxBody  = flag.Int64("max-body-bytes", 1<<20, "request body size cap (413 beyond it)")
+		maxQuery = flag.Int("max-query-size", 256, "posted query node+edge cap (422 beyond it)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -71,168 +182,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("vqiserve: %v", err)
 	}
-	s := &server{spec: spec, corpus: corpus, network: corpus.Len() == 1, workers: *workers}
-	if !s.network {
-		s.index = gindex.Build(corpus)
+	s := newServer(spec, corpus, serverConfig{
+		workers:      *workers,
+		queryTimeout: *qTimeout,
+		maxBodyBytes: *maxBody,
+		maxQuerySize: *maxQuery,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := s.serve(ctx, *addr, *grace, nil); err != nil {
+		log.Fatalf("vqiserve: %v", err)
 	}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /", s.handleIndex)
-	mux.HandleFunc("GET /api/spec", s.handleSpec)
-	mux.HandleFunc("POST /api/query", s.handleQuery)
-	mux.HandleFunc("POST /api/suggest", s.handleSuggest)
-	log.Printf("vqiserve: %d data graphs, %d canned patterns, listening on %s",
-		corpus.Len(), len(spec.Patterns.Canned), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
-
-func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
-		http.NotFound(w, r)
-		return
-	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, indexHTML)
-}
-
-func (s *server) handleSpec(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	payload, err := s.spec.Encode()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Write(payload)
-}
-
-type queryRequest struct {
-	Nodes []string `json:"nodes"`
-	Edges []struct {
-		U     int    `json:"u"`
-		V     int    `json:"v"`
-		Label string `json:"label"`
-	} `json:"edges"`
-}
-
-type queryResponse struct {
-	Matched    []string     `json:"matched"`
-	Facets     []facetEntry `json:"facets,omitempty"`
-	Embeddings int          `json:"embeddings"`
-	Error      string       `json:"error,omitempty"`
-}
-
-// facetEntry groups matches by the canned pattern they contain, so the
-// front end can offer drill-down instead of a flat list.
-type facetEntry struct {
-	Pattern string   `json:"pattern"`
-	Graphs  []string `json:"graphs"`
-}
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		json.NewEncoder(w).Encode(queryResponse{Error: err.Error()})
-		return
-	}
-	q := graph.New("query")
-	for _, l := range req.Nodes {
-		q.AddNode(l)
-	}
-	for _, e := range req.Edges {
-		if _, err := q.AddEdge(e.U, e.V, e.Label); err != nil {
-			json.NewEncoder(w).Encode(queryResponse{Error: err.Error()})
-			return
-		}
-	}
-	var resp queryResponse
-	if s.network {
-		res := isomorph.Count(q, s.corpus.Graph(0), isomorph.Options{MaxEmbeddings: 1000, MaxSteps: 2_000_000})
-		resp.Embeddings = res.Embeddings
-	} else if s.index != nil {
-		resp.Matched = s.index.Search(q, pattern.MatchOptions()).Matches
-		resp.Facets = s.facets(resp.Matched)
-	} else {
-		// Fallback without an index: verify every graph, fanning the
-		// independent VF2 checks over the worker pool and collecting
-		// matches in corpus order.
-		opts := pattern.MatchOptions()
-		matched := par.Map(s.corpus.Len(), s.workers, func(i int) bool {
-			return isomorph.Exists(q, s.corpus.Graph(i), opts)
-		})
-		for i, ok := range matched {
-			if ok {
-				resp.Matched = append(resp.Matched, s.corpus.Graph(i).Name())
-			}
-		}
-	}
-	json.NewEncoder(w).Encode(resp)
-}
-
-// facets groups matched graphs by the spec's canned patterns.
-func (s *server) facets(matched []string) []facetEntry {
-	if len(matched) == 0 {
-		return nil
-	}
-	panel, err := s.spec.AllPatterns()
-	if err != nil {
-		return nil
-	}
-	// Only canned patterns facet usefully; basics match almost everything.
-	canned := panel[len(s.spec.Patterns.Basic):]
-	fs, _ := results.Facets(matched, s.corpus, canned, pattern.MatchOptions())
-	var out []facetEntry
-	for _, f := range fs {
-		out = append(out, facetEntry{
-			Pattern: s.spec.Patterns.Canned[f.PatternIndex].Name,
-			Graphs:  f.Graphs,
-		})
-	}
-	return out
-}
-
-type suggestResponse struct {
-	Suggestions []suggestEntry `json:"suggestions"`
-	Error       string         `json:"error,omitempty"`
-}
-
-type suggestEntry struct {
-	PatternIndex int    `json:"pattern_index"`
-	Name         string `json:"name"`
-	NewEdges     int    `json:"new_edges"`
-}
-
-// handleSuggest proposes panel patterns that continue the posted partial
-// query (VIIQ-style auto-suggestion).
-func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		json.NewEncoder(w).Encode(suggestResponse{Error: err.Error()})
-		return
-	}
-	q := graph.New("partial")
-	for _, l := range req.Nodes {
-		q.AddNode(l)
-	}
-	for _, e := range req.Edges {
-		if _, err := q.AddEdge(e.U, e.V, e.Label); err != nil {
-			json.NewEncoder(w).Encode(suggestResponse{Error: err.Error()})
-			return
-		}
-	}
-	sugs, err := vqi.SuggestForSpec(s.spec, q, 8)
-	if err != nil {
-		json.NewEncoder(w).Encode(suggestResponse{Error: err.Error()})
-		return
-	}
-	var resp suggestResponse
-	for _, sg := range sugs {
-		resp.Suggestions = append(resp.Suggestions, suggestEntry{
-			PatternIndex: sg.PatternIndex,
-			Name:         sg.Pattern.Name,
-			NewEdges:     sg.NewEdges,
-		})
-	}
-	json.NewEncoder(w).Encode(resp)
 }

@@ -22,7 +22,19 @@ func testServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &server{spec: spec, corpus: corpus}
+	return newServer(spec, corpus, serverConfig{})
+}
+
+func decodeErr(t *testing.T, body []byte) apiError {
+	t.Helper()
+	var resp errorResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("error envelope not JSON: %v (body %q)", err, body)
+	}
+	if resp.Error.Code == "" {
+		t.Fatalf("error envelope missing code: %q", body)
+	}
+	return resp.Error
 }
 
 func TestHandleIndex(t *testing.T) {
@@ -69,33 +81,39 @@ func TestHandleQuery(t *testing.T) {
 	body := `{"nodes":["C","C"],"edges":[{"u":0,"v":1,"label":"s"}]}`
 	rec := httptest.NewRecorder()
 	s.handleQuery(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(body)))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d (body %s)", rec.Code, rec.Body)
+	}
 	var resp queryResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if resp.Error != "" {
-		t.Fatalf("error = %q", resp.Error)
-	}
 	if len(resp.Matched) == 0 {
 		t.Fatal("C-C must match compounds")
+	}
+	if resp.Truncated {
+		t.Fatal("unbounded query marked truncated")
 	}
 }
 
 func TestHandleQueryErrors(t *testing.T) {
 	s := testServer(t)
-	for name, body := range map[string]string{
-		"bad-json":  `{`,
-		"bad-edge":  `{"nodes":["C"],"edges":[{"u":0,"v":5,"label":"s"}]}`,
-		"self-loop": `{"nodes":["C"],"edges":[{"u":0,"v":0,"label":"s"}]}`,
+	for name, tc := range map[string]struct {
+		body   string
+		status int
+		code   string
+	}{
+		"bad-json":  {`{`, 400, "bad_json"},
+		"bad-edge":  {`{"nodes":["C"],"edges":[{"u":0,"v":5,"label":"s"}]}`, 400, "bad_query"},
+		"self-loop": {`{"nodes":["C"],"edges":[{"u":0,"v":0,"label":"s"}]}`, 400, "bad_query"},
 	} {
 		rec := httptest.NewRecorder()
-		s.handleQuery(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(body)))
-		var resp queryResponse
-		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
-			t.Fatalf("%s: %v", name, err)
+		s.handleQuery(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(tc.body)))
+		if rec.Code != tc.status {
+			t.Fatalf("%s: status = %d, want %d", name, rec.Code, tc.status)
 		}
-		if resp.Error == "" {
-			t.Fatalf("%s: expected error in response", name)
+		if e := decodeErr(t, rec.Body.Bytes()); e.Code != tc.code {
+			t.Fatalf("%s: code = %q, want %q", name, e.Code, tc.code)
 		}
 	}
 }
@@ -109,7 +127,8 @@ func TestHandleQueryFacets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{spec: spec, corpus: corpus, index: gindex.Build(corpus)}
+	s := newServer(spec, corpus, serverConfig{})
+	s.index = gindex.Build(corpus)
 	body := `{"nodes":["C","C"],"edges":[{"u":0,"v":1,"label":"s"}]}`
 	rec := httptest.NewRecorder()
 	s.handleQuery(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(body)))
@@ -135,25 +154,27 @@ func TestHandleSuggest(t *testing.T) {
 	rec := httptest.NewRecorder()
 	s.handleSuggest(rec, httptest.NewRequest("POST", "/api/suggest",
 		strings.NewReader(`{"nodes":[],"edges":[]}`)))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
 	var resp suggestResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if resp.Error != "" || len(resp.Suggestions) == 0 {
+	if len(resp.Suggestions) == 0 {
 		t.Fatalf("suggest = %+v", resp)
 	}
 	if len(resp.Suggestions) > 8 {
 		t.Fatal("suggestion cap ignored")
 	}
-	// Malformed body yields a JSON error, not a 500.
+	// Malformed body yields a 400 envelope, not a 500.
 	rec2 := httptest.NewRecorder()
 	s.handleSuggest(rec2, httptest.NewRequest("POST", "/api/suggest", strings.NewReader("{")))
-	var resp2 suggestResponse
-	if err := json.Unmarshal(rec2.Body.Bytes(), &resp2); err != nil {
-		t.Fatal(err)
+	if rec2.Code != 400 {
+		t.Fatalf("status = %d", rec2.Code)
 	}
-	if resp2.Error == "" {
-		t.Fatal("malformed suggest body accepted")
+	if e := decodeErr(t, rec2.Body.Bytes()); e.Code != "bad_json" {
+		t.Fatalf("code = %q", e.Code)
 	}
 }
 
@@ -164,10 +185,16 @@ func TestHandleQueryNetworkMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{spec: spec, corpus: pattern.SingletonCorpus(g), network: true}
+	s := newServer(spec, pattern.SingletonCorpus(g), serverConfig{})
+	if !s.network {
+		t.Fatal("single-graph corpus must select network mode")
+	}
 	body := `{"nodes":["",""],"edges":[{"u":0,"v":1,"label":""}]}`
 	rec := httptest.NewRecorder()
 	s.handleQuery(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(body)))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
 	var resp queryResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)

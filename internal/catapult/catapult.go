@@ -19,6 +19,7 @@
 package catapult
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -98,10 +99,23 @@ type Result struct {
 	CSGs       []*closure.CSG // one per cluster
 	Candidates int            // distinct candidates generated
 	Coverage   float64        // corpus edge coverage of the selected set
+	// Truncated reports that the run's context was canceled mid-pipeline:
+	// the result holds the best pattern set reachable within the budget
+	// (possibly empty) rather than the full selection.
+	Truncated bool
 }
 
 // Select runs the full CATAPULT pipeline over the corpus.
 func Select(c *graph.Corpus, cfg Config) (*Result, error) {
+	return SelectCtx(context.Background(), c, cfg)
+}
+
+// SelectCtx is Select under a context: the pipeline checks ctx between
+// stages (and inside the parallel/VF2-heavy ones) and degrades gracefully —
+// when the context dies, the stages completed so far are returned with
+// Result.Truncated set instead of an error, so an interactive caller gets
+// the best-so-far pattern set. Validation errors are still errors.
+func SelectCtx(ctx context.Context, c *graph.Corpus, cfg Config) (*Result, error) {
 	if c.Len() == 0 {
 		return nil, fmt.Errorf("catapult: empty corpus")
 	}
@@ -109,6 +123,11 @@ func Select(c *graph.Corpus, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	cfg.defaults(c.Len())
+	if cfg.Match.Ctx == nil {
+		// Thread the run context into every embedding search so even a
+		// single pathological VF2 sweep respects the deadline.
+		cfg.Match.Ctx = ctx
+	}
 
 	res := &Result{}
 	// Step 1: features and clustering.
@@ -122,9 +141,12 @@ func Select(c *graph.Corpus, cfg Config) (*Result, error) {
 	}
 	res.FCT = set
 	res.Vectors = make([][]float64, c.Len())
-	par.ForEachN(c.Len(), cfg.Workers, func(i int) {
+	if err := par.ForEachNCtx(ctx, c.Len(), cfg.Workers, func(i int) {
 		res.Vectors[i] = set.FeatureVector(c.Graph(i))
-	})
+	}); err != nil {
+		res.Truncated = true
+		return res, nil
+	}
 	var cl *cluster.Clustering
 	if cfg.Clusters == -1 {
 		maxK := 2
@@ -144,18 +166,37 @@ func Select(c *graph.Corpus, cfg Config) (*Result, error) {
 		}
 	}
 	res.Clustering = cl
+	if ctx.Err() != nil {
+		res.Truncated = true
+		return res, nil
+	}
 
 	// Step 2: one CSG per cluster.
-	res.CSGs = BuildCSGsN(c, cl, cfg.Workers)
+	csgs := make([]*closure.CSG, cl.K)
+	if err := par.ForEachNCtx(ctx, cl.K, cfg.Workers, func(ci int) {
+		var members []*graph.Graph
+		for _, idx := range cl.Members(ci) {
+			members = append(members, c.Graph(idx))
+		}
+		csgs[ci] = closure.Merge(members)
+	}); err != nil {
+		res.Truncated = true
+		return res, nil
+	}
+	res.CSGs = csgs
 
 	// Step 3: candidates and greedy selection. Each cluster's walks use a
 	// private RNG seeded from (Seed, cluster index), so the candidate stream
 	// per cluster is a pure function of the seed — independent of how the
 	// clusters are scheduled across workers.
-	perCSG := par.Map(len(res.CSGs), cfg.Workers, func(ci int) []*pattern.Pattern {
+	perCSG, err := par.MapCtx(ctx, len(res.CSGs), cfg.Workers, func(ci int) []*pattern.Pattern {
 		rng := rand.New(rand.NewSource(par.ChildSeed(cfg.Seed, ci)))
 		return SampleCandidates(res.CSGs[ci], cfg.Budget, cfg.WalksPerCSG, rng)
 	})
+	if err != nil {
+		res.Truncated = true
+		return res, nil
+	}
 	var candidates []*pattern.Pattern
 	for _, part := range perCSG {
 		candidates = append(candidates, part...)
@@ -163,7 +204,9 @@ func Select(c *graph.Corpus, cfg Config) (*Result, error) {
 	candidates = pattern.Dedup(candidates)
 	res.Candidates = len(candidates)
 
-	res.Patterns, res.Coverage = GreedySelectN(candidates, c, cfg.Budget, cfg.Weights, cfg.Match, cfg.Workers)
+	var truncated bool
+	res.Patterns, res.Coverage, truncated = greedySelectCtx(ctx, candidates, c, cfg.Budget, cfg.Weights, cfg.Match, cfg.Workers)
+	res.Truncated = res.Truncated || truncated
 	return res, nil
 }
 
@@ -297,12 +340,29 @@ func GreedySelectN(candidates []*pattern.Pattern, c *graph.Corpus, b pattern.Bud
 	return GreedySelectCached(candidates, cc, b, w, workers)
 }
 
+// greedySelectCtx is the context-aware selection used by SelectCtx: the
+// coverage sweep inherits any Ctx inside opts (sweeps self-truncate on
+// deadline) and the greedy rounds stop early on cancellation, returning
+// the patterns picked so far with truncated = true.
+func greedySelectCtx(ctx context.Context, candidates []*pattern.Pattern, c *graph.Corpus, b pattern.Budget, w pattern.Weights, opts isomorph.Options, workers int) ([]*pattern.Pattern, float64, bool) {
+	cc := pattern.NewCoverCache(c, pattern.NewUniverse(c), opts)
+	return GreedySelectCachedCtx(ctx, candidates, cc, b, w, workers)
+}
+
 // GreedySelectCached is the greedy loop against a shared coverage cache:
 // candidates whose canonical form was already evaluated (in this call or a
 // previous one against the same cache) reuse the memoized bitset instead of
 // re-running the VF2 sweep. MIDAS holds one cache across swap scans for
 // exactly this reason.
 func GreedySelectCached(candidates []*pattern.Pattern, cc *pattern.CoverCache, b pattern.Budget, w pattern.Weights, workers int) ([]*pattern.Pattern, float64) {
+	sel, cov, _ := GreedySelectCachedCtx(context.Background(), candidates, cc, b, w, workers)
+	return sel, cov
+}
+
+// GreedySelectCachedCtx is GreedySelectCached under a context: each greedy
+// round starts only while ctx is live, so a deadline yields the best
+// partial selection instead of blocking. The boolean reports truncation.
+func GreedySelectCachedCtx(ctx context.Context, candidates []*pattern.Pattern, cc *pattern.CoverCache, b pattern.Budget, w pattern.Weights, workers int) ([]*pattern.Pattern, float64, bool) {
 	pool := make([]*pattern.Pattern, 0, len(candidates))
 	for _, p := range candidates {
 		if b.Admits(p) {
@@ -313,12 +373,17 @@ func GreedySelectCached(candidates []*pattern.Pattern, cc *pattern.CoverCache, b
 	covers := cc.Bitsets(pool, workers)
 	covered := pattern.NewBitset(u.Total())
 	total := float64(u.Total())
+	truncated := false
 	var selected []*pattern.Pattern
 	alive := make([]bool, len(pool))
 	for i := range alive {
 		alive[i] = true
 	}
 	for len(selected) < b.Count {
+		if ctx.Err() != nil {
+			truncated = true
+			break
+		}
 		bestI := -1
 		bestScore := 0.0
 		for i, p := range pool {
@@ -347,5 +412,5 @@ func GreedySelectCached(candidates []*pattern.Pattern, cc *pattern.CoverCache, b
 	if u.Total() > 0 {
 		coverage = float64(covered.Popcount()) / total
 	}
-	return selected, coverage
+	return selected, coverage, truncated
 }

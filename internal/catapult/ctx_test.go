@@ -1,0 +1,82 @@
+package catapult
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+)
+
+func TestSelectCtxCanceledDegradesGracefully(t *testing.T) {
+	c := datagen.ChemicalCorpus(5, 40, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 20})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SelectCtx(ctx, c, Config{
+		Budget: pattern.Budget{Count: 6, MinSize: 4, MaxSize: 10}, Seed: 3})
+	if err != nil {
+		t.Fatalf("canceled context must degrade, not error: %v", err)
+	}
+	if !res.Truncated {
+		t.Fatal("canceled run not marked truncated")
+	}
+	if len(res.Patterns) != 0 {
+		// A pre-canceled context may still produce an empty (valid)
+		// selection; it must never produce budget-violating patterns.
+		for _, p := range res.Patterns {
+			if p.G.NumEdges() < 4 || p.G.NumEdges() > 10 {
+				t.Fatalf("truncated run emitted out-of-budget pattern (%d edges)", p.G.NumEdges())
+			}
+		}
+	}
+}
+
+func TestSelectCtxBackgroundMatchesSelect(t *testing.T) {
+	c := datagen.ChemicalCorpus(5, 30, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+	cfg := Config{Budget: pattern.Budget{Count: 4, MinSize: 4, MaxSize: 9}, Seed: 11}
+	plain, err := Select(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := SelectCtx(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCtx.Truncated {
+		t.Fatal("live context marked truncated")
+	}
+	if len(plain.Patterns) != len(withCtx.Patterns) {
+		t.Fatalf("pattern count diverged: %d vs %d", len(plain.Patterns), len(withCtx.Patterns))
+	}
+	for i := range plain.Patterns {
+		if plain.Patterns[i].Canon() != withCtx.Patterns[i].Canon() {
+			t.Fatalf("pattern %d diverged under a live context", i)
+		}
+	}
+	if plain.Coverage != withCtx.Coverage {
+		t.Fatalf("coverage diverged: %v vs %v", plain.Coverage, withCtx.Coverage)
+	}
+}
+
+func TestGreedySelectCachedCtxPartial(t *testing.T) {
+	c := datagen.ChemicalCorpus(5, 25, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+	res, err := Select(c, Config{Budget: pattern.Budget{Count: 8, MinSize: 4, MaxSize: 10}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates == 0 {
+		t.Skip("no candidates on this seed")
+	}
+	// Regenerate the candidate pool and select under a dead context: the
+	// greedy loop must return immediately with an empty partial selection.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cc := pattern.NewCoverCache(c, pattern.NewUniverse(c), pattern.MatchOptions())
+	sel, _, truncated := GreedySelectCachedCtx(ctx, res.Patterns, cc, pattern.Budget{Count: 8, MinSize: 4, MaxSize: 10}, pattern.DefaultWeights(), 0)
+	if !truncated {
+		t.Fatal("dead-context greedy not marked truncated")
+	}
+	if len(sel) != 0 {
+		t.Fatalf("dead-context greedy selected %d patterns", len(sel))
+	}
+}

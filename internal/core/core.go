@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catapult"
@@ -64,27 +65,48 @@ func (o *Options) defaults() {
 // BuildCorpusVQI constructs a data-driven VQI over a corpus of small- or
 // medium-sized data graphs using the CATAPULT pipeline.
 func BuildCorpusVQI(c *graph.Corpus, opts Options) (*Spec, error) {
+	spec, _, err := BuildCorpusVQICtx(context.Background(), c, opts)
+	return spec, err
+}
+
+// BuildCorpusVQICtx is BuildCorpusVQI under a context/deadline. If the
+// budget runs out mid-build the spec holds the best pattern set selected
+// so far and truncated reports true.
+func BuildCorpusVQICtx(ctx context.Context, c *graph.Corpus, opts Options) (spec *Spec, truncated bool, err error) {
 	opts.defaults()
-	spec, _, err := vqi.BuildFromCorpus(c, catapult.Config{
+	spec, res, err := vqi.BuildFromCorpusCtx(ctx, c, catapult.Config{
 		Budget:  opts.Budget,
 		Weights: opts.Weights,
 		Seed:    opts.Seed,
 		Workers: opts.Workers,
 	})
-	return spec, err
+	if res != nil {
+		truncated = res.Truncated
+	}
+	return spec, truncated, err
 }
 
 // BuildNetworkVQI constructs a data-driven VQI over a single large network
 // using the TATTOO pipeline.
 func BuildNetworkVQI(g *graph.Graph, opts Options) (*Spec, error) {
+	spec, _, err := BuildNetworkVQICtx(context.Background(), g, opts)
+	return spec, err
+}
+
+// BuildNetworkVQICtx is BuildNetworkVQI under a context/deadline,
+// degrading like BuildCorpusVQICtx.
+func BuildNetworkVQICtx(ctx context.Context, g *graph.Graph, opts Options) (spec *Spec, truncated bool, err error) {
 	opts.defaults()
-	spec, _, err := vqi.BuildFromNetwork(g, tattoo.Config{
+	spec, res, err := vqi.BuildFromNetworkCtx(ctx, g, tattoo.Config{
 		Budget:  opts.Budget,
 		Weights: opts.Weights,
 		Seed:    opts.Seed,
 		Workers: opts.Workers,
 	})
-	return spec, err
+	if res != nil {
+		truncated = res.Truncated
+	}
+	return spec, truncated, err
 }
 
 // BuildManualVQI constructs a manual (hard-coded pattern set) VQI for
@@ -165,7 +187,14 @@ type BatchReport = midas.Report
 // ApplyBatch ingests added graphs and removes the named ones, maintains
 // the canned pattern set, and refreshes the spec.
 func (m *Maintainer) ApplyBatch(added []*graph.Graph, removedNames []string) (*BatchReport, error) {
-	rep, err := m.state.Apply(added, removedNames)
+	return m.ApplyBatchCtx(context.Background(), added, removedNames)
+}
+
+// ApplyBatchCtx is ApplyBatch under a context/deadline. Corpus bookkeeping
+// always completes (the state stays consistent); only pattern maintenance
+// is cut short, reported via BatchReport.Truncated.
+func (m *Maintainer) ApplyBatchCtx(ctx context.Context, added []*graph.Graph, removedNames []string) (*BatchReport, error) {
+	rep, err := m.state.ApplyCtx(ctx, added, removedNames)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,149 @@
+// Package faultinject provides deterministic, seed-driven fault hooks for
+// robustness testing. Production code places named sites on its paths
+// (Injector.Fire); tests arm an injector with faults — a delay, an error,
+// or a panic — that trigger on precisely chosen calls. Because triggering
+// is a pure function of (seed, site, call number), a failing run replays
+// identically, which is what makes fault-injection tests debuggable.
+//
+// A nil *Injector is valid and inert: production wiring can hold a nil
+// injector at zero cost, and only tests ever arm one.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fault describes one armed behavior at a site.
+type Fault struct {
+	// Site names the hook this fault arms. Required.
+	Site string
+	// Delay, if positive, sleeps before the outcome is applied — used to
+	// simulate slow dependencies and to hold requests open in drain tests.
+	Delay time.Duration
+	// Err, if non-nil, is returned from Fire.
+	Err error
+	// PanicMsg, if non-empty, panics with this message (after Delay).
+	// Checked before Err.
+	PanicMsg string
+	// After skips the first After calls to the site: the fault arms from
+	// call After+1 on. Zero means armed from the first call.
+	After int
+	// Count caps how many times the fault fires (0 = unlimited).
+	Count int
+	// Prob, if in (0, 1), fires probabilistically: call n fires iff a
+	// splitmix64 hash of (seed, site, n) falls below Prob. Deterministic
+	// per seed — the same run always injects at the same calls. Zero (or
+	// >= 1) means fire on every eligible call.
+	Prob float64
+}
+
+// armed is a Fault plus its mutable firing state.
+type armed struct {
+	Fault
+	fired int
+}
+
+// Injector is a set of armed faults with per-site call counters. Safe for
+// concurrent use; a nil Injector never fires.
+type Injector struct {
+	mu     sync.Mutex
+	seed   int64
+	faults map[string][]*armed
+	calls  map[string]int
+}
+
+// New returns an injector armed with the given faults. The seed drives
+// probabilistic triggering (Fault.Prob); deterministic faults ignore it.
+func New(seed int64, faults ...Fault) *Injector {
+	in := &Injector{
+		seed:   seed,
+		faults: make(map[string][]*armed),
+		calls:  make(map[string]int),
+	}
+	for _, f := range faults {
+		in.faults[f.Site] = append(in.faults[f.Site], &armed{Fault: f})
+	}
+	return in
+}
+
+// Fire executes the site's armed faults, if any. It sleeps for a matching
+// fault's Delay, panics if it has a PanicMsg, and otherwise returns its
+// Err (which may be nil for a pure-delay fault). At most one fault fires
+// per call — the first armed match in arming order. A nil receiver or an
+// unarmed site is a no-op returning nil.
+func (in *Injector) Fire(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	n := in.calls[site]
+	in.calls[site] = n + 1
+	var hit *armed
+	for _, a := range in.faults[site] {
+		if n < a.After {
+			continue
+		}
+		if a.Count > 0 && a.fired >= a.Count {
+			continue
+		}
+		if a.Prob > 0 && a.Prob < 1 && !hashFires(in.seed, site, n, a.Prob) {
+			continue
+		}
+		a.fired++
+		hit = a
+		break
+	}
+	in.mu.Unlock()
+	if hit == nil {
+		return nil
+	}
+	if hit.Delay > 0 {
+		time.Sleep(hit.Delay)
+	}
+	if hit.PanicMsg != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", site, hit.PanicMsg))
+	}
+	return hit.Err
+}
+
+// Calls reports how many times the site has been fired at (armed or not).
+// Zero on a nil receiver.
+func (in *Injector) Calls(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[site]
+}
+
+// Fired reports how many times any fault at the site actually triggered.
+func (in *Injector) Fired(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	total := 0
+	for _, a := range in.faults[site] {
+		total += a.fired
+	}
+	return total
+}
+
+// hashFires maps (seed, site, call) to [0,1) with a splitmix64 finalizer
+// over an FNV-mixed site hash — cheap, stateless, reproducible.
+func hashFires(seed int64, site string, call int, prob float64) bool {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	z := uint64(seed) ^ h ^ uint64(call)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < prob
+}

@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("anything"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Calls("anything") != 0 || in.Fired("anything") != 0 {
+		t.Fatal("nil injector reported activity")
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(1, Fault{Site: "db", Err: boom})
+	if err := in.Fire("db"); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if err := in.Fire("other"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if in.Fired("db") != 1 {
+		t.Fatalf("fired = %d", in.Fired("db"))
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(1, Fault{Site: "s", Err: boom, After: 2, Count: 1})
+	var got []error
+	for i := 0; i < 5; i++ {
+		got = append(got, in.Fire("s"))
+	}
+	want := []error{nil, nil, boom, nil, nil}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("call %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if in.Calls("s") != 5 || in.Fired("s") != 1 {
+		t.Fatalf("calls=%d fired=%d", in.Calls("s"), in.Fired("s"))
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	in := New(1, Fault{Site: "handler", PanicMsg: "injected"})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic")
+		}
+		if !strings.Contains(v.(string), "injected") || !strings.Contains(v.(string), "handler") {
+			t.Fatalf("panic value %q", v)
+		}
+	}()
+	in.Fire("handler")
+}
+
+func TestDelayFault(t *testing.T) {
+	d := 30 * time.Millisecond
+	in := New(1, Fault{Site: "slow", Delay: d})
+	start := time.Now()
+	if err := in.Fire("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("returned after %v, want >= %v", elapsed, d)
+	}
+}
+
+func TestProbDeterministicPerSeed(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := New(seed, Fault{Site: "p", Err: errors.New("x"), Prob: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Fire("p") != nil
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged between identical seeds", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("prob 0.3 fired %d/%d times", fires, len(a))
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical firing patterns")
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	in := New(1, Fault{Site: "c", Err: errors.New("x"), Count: 10})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if in.Fire("c") != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errs != 10 {
+		t.Fatalf("Count=10 fired %d times under concurrency", errs)
+	}
+	if in.Calls("c") != 800 {
+		t.Fatalf("calls = %d", in.Calls("c"))
+	}
+}

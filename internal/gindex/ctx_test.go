@@ -1,0 +1,57 @@
+package gindex
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func wildcardEdgeQuery() *graph.Graph {
+	q := graph.New("q")
+	q.AddNodes(2, "")
+	q.MustAddEdge(0, 1, "")
+	return q
+}
+
+func TestSearchCtxCanceledTruncates(t *testing.T) {
+	c := datagen.ChemicalCorpus(3, 40, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+	idx := Build(c)
+	q := wildcardEdgeQuery()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := idx.SearchCtx(ctx, q, pattern.MatchOptions())
+	if !res.Truncated {
+		t.Fatal("canceled search not marked truncated")
+	}
+	if res.Verified != 0 || len(res.Matches) != 0 {
+		t.Fatalf("canceled search verified %d, matched %d", res.Verified, len(res.Matches))
+	}
+	if res.Candidates == 0 {
+		t.Fatal("filtering should still report candidates")
+	}
+}
+
+func TestSearchCtxLiveMatchesSearch(t *testing.T) {
+	c := datagen.ChemicalCorpus(3, 40, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+	idx := Build(c)
+	q := wildcardEdgeQuery()
+	plain := idx.Search(q, pattern.MatchOptions())
+	withCtx := idx.SearchCtx(context.Background(), q, pattern.MatchOptions())
+	if plain.Truncated || withCtx.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+	if len(plain.Matches) != len(withCtx.Matches) || len(plain.Matches) == 0 {
+		t.Fatalf("matches diverged: %d vs %d", len(plain.Matches), len(withCtx.Matches))
+	}
+	for i := range plain.Matches {
+		if plain.Matches[i] != withCtx.Matches[i] {
+			t.Fatalf("match %d diverged", i)
+		}
+	}
+	if withCtx.Verified != withCtx.Candidates {
+		t.Fatalf("live search verified %d of %d candidates", withCtx.Verified, withCtx.Candidates)
+	}
+}

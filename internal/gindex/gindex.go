@@ -12,6 +12,8 @@
 package gindex
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/isomorph"
 	"repro/internal/pattern"
@@ -142,20 +144,48 @@ type Result struct {
 	// cost); Scanned is the corpus size.
 	Candidates int
 	Scanned    int
+	// Verified is how many candidates were actually checked; less than
+	// Candidates when the search was cut short.
+	Verified int
+	// Truncated reports the search gave up early — the context died or a
+	// per-graph step budget tripped — so Matches is a sound subset of the
+	// true answer, not the complete one.
+	Truncated bool
 }
 
 // Search runs filter-then-verify for query q.
 func (idx *Index) Search(q *graph.Graph, opts isomorph.Options) Result {
+	return idx.SearchCtx(context.Background(), q, opts)
+}
+
+// SearchCtx is Search under a context: the context is threaded into every
+// per-candidate VF2 check and polled between candidates, so an expired
+// deadline returns the matches confirmed so far with Truncated set. A
+// graph whose own check truncated (budget or cancellation) also marks the
+// result truncated — its absence from Matches is "unknown", not "no".
+func (idx *Index) SearchCtx(ctx context.Context, q *graph.Graph, opts isomorph.Options) Result {
 	res := Result{Scanned: idx.corpus.Len()}
 	if q.NumNodes() == 0 {
 		return res
 	}
+	if opts.Ctx == nil {
+		opts.Ctx = ctx
+	}
 	cands := idx.Candidates(q)
 	res.Candidates = len(cands)
+	opts.MaxEmbeddings = 1
 	for _, gi := range cands {
+		if ctx.Err() != nil {
+			res.Truncated = true
+			break
+		}
 		g := idx.corpus.Graph(gi)
-		if isomorph.Exists(q, g, opts) {
+		r := isomorph.Count(q, g, opts)
+		res.Verified++
+		if r.Embeddings > 0 {
 			res.Matches = append(res.Matches, g.Name())
+		} else if r.Truncated {
+			res.Truncated = true
 		}
 	}
 	return res

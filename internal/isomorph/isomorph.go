@@ -15,11 +15,19 @@
 package isomorph
 
 import (
+	"context"
+
 	"repro/internal/graph"
 )
 
 // Wildcard is the pattern label that matches any target label.
 const Wildcard = ""
+
+// DefaultCheckEvery is the step interval at which the matcher polls
+// Options.Ctx when CheckEvery is zero. Steps are cheap (a few pointer
+// chases), so 1024 steps keeps cancellation latency in the microsecond
+// range without measurable polling overhead.
+const DefaultCheckEvery = 1024
 
 // Options control a matching run.
 type Options struct {
@@ -35,7 +43,26 @@ type Options struct {
 	// The default (false) is monomorphism, the semantics of subgraph
 	// queries drawn on a VQI.
 	Induced bool
+	// Ctx, when non-nil, is polled every CheckEvery search steps; a
+	// canceled or expired context stops the search with the embeddings
+	// found so far and Result.Reason == StopCanceled. This is what lets an
+	// interactive front end put a wall-clock deadline on a query without
+	// guessing a step budget.
+	Ctx context.Context
+	// CheckEvery is the polling interval in steps (0 = DefaultCheckEvery).
+	CheckEvery int
 }
+
+// StopReason says why a search gave up before exhausting its space.
+type StopReason string
+
+// Stop reasons. StopNone means the search ran to completion (or hit
+// MaxEmbeddings, which is a satisfied request, not a failure to finish).
+const (
+	StopNone     StopReason = ""
+	StopSteps    StopReason = "steps"    // MaxSteps budget exhausted
+	StopCanceled StopReason = "canceled" // Options.Ctx canceled or deadline exceeded
+)
 
 // Result summarizes a matching run.
 type Result struct {
@@ -44,22 +71,28 @@ type Result struct {
 	Embeddings int
 	// Steps is the number of search-tree nodes expanded.
 	Steps int
-	// Truncated reports that the step budget was exhausted before the
-	// search space was fully explored.
+	// Truncated reports that the search gave up (step budget or context
+	// cancellation) before the search space was fully explored — the
+	// counts are a sound lower bound, not an exact answer.
 	Truncated bool
+	// Reason distinguishes *why* a truncated search gave up: a step budget
+	// (StopSteps) or a canceled/expired context (StopCanceled). StopNone
+	// when Truncated is false.
+	Reason StopReason
 }
 
 type matcher struct {
-	p, t    *graph.Graph
-	opts    Options
-	order   []graph.NodeID // pattern matching order
-	anchors []anchor       // for order[i>0]: a previously-matched neighbor + edge label
-	pAdj    [][]pedge      // pattern adjacency with labels
-	core    []graph.NodeID // pattern node -> target node (-1 unmatched)
-	used    []bool         // target node already used
-	fn      func(mapping []graph.NodeID) bool
-	res     Result
-	stopped bool
+	p, t     *graph.Graph
+	opts     Options
+	order    []graph.NodeID // pattern matching order
+	anchors  []anchor       // for order[i>0]: a previously-matched neighbor + edge label
+	pAdj     [][]pedge      // pattern adjacency with labels
+	core     []graph.NodeID // pattern node -> target node (-1 unmatched)
+	used     []bool         // target node already used
+	fn       func(mapping []graph.NodeID) bool
+	res      Result
+	stopped  bool
+	ctxEvery int // poll Ctx every this many steps (0 = no context)
 }
 
 type pedge struct {
@@ -99,6 +132,19 @@ func Count(pattern, target *graph.Graph, opts Options) Result {
 // The empty pattern has exactly one (empty) embedding in any target.
 func Enumerate(pattern, target *graph.Graph, opts Options, fn func(mapping []graph.NodeID) bool) Result {
 	m := &matcher{p: pattern, t: target, opts: opts, fn: fn}
+	if opts.Ctx != nil {
+		m.ctxEvery = opts.CheckEvery
+		if m.ctxEvery <= 0 {
+			m.ctxEvery = DefaultCheckEvery
+		}
+		// An already-dead context yields an immediate, clearly-marked
+		// truncation instead of paying for even one search step.
+		if opts.Ctx.Err() != nil {
+			m.res.Truncated = true
+			m.res.Reason = StopCanceled
+			return m.res
+		}
+	}
 	if pattern.NumNodes() == 0 {
 		m.res.Embeddings = 1
 		if fn != nil {
@@ -251,6 +297,13 @@ func (m *matcher) tryExtend(depth int, pv, tv graph.NodeID) {
 	m.res.Steps++
 	if m.opts.MaxSteps > 0 && m.res.Steps > m.opts.MaxSteps {
 		m.res.Truncated = true
+		m.res.Reason = StopSteps
+		m.stopped = true
+		return
+	}
+	if m.ctxEvery > 0 && m.res.Steps%m.ctxEvery == 0 && m.opts.Ctx.Err() != nil {
+		m.res.Truncated = true
+		m.res.Reason = StopCanceled
 		m.stopped = true
 		return
 	}

@@ -1,0 +1,61 @@
+package midas
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func TestApplyCtxCanceledKeepsStateConsistent(t *testing.T) {
+	c := datagen.ChemicalCorpus(1, 24, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 18})
+	st, err := Build(c, Config{Catapult: catapult.Config{
+		Budget: pattern.Budget{Count: 4, MinSize: 4, MaxSize: 9}, Seed: 5},
+		Threshold: -1, // force every batch major so pattern maintenance is exercised
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(st.Patterns())
+	batch := datagen.ChemicalCorpus(99, 8, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 18})
+	var added []*graph.Graph
+	batch.Each(func(_ int, g *graph.Graph) { added = append(added, g.Clone()) })
+	for i, g := range added {
+		g.SetName(g.Name() + "-b" + string(rune('a'+i)))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := st.ApplyCtx(ctx, added, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Major {
+		t.Fatal("negative threshold batch must be major")
+	}
+	if !rep.Truncated {
+		t.Fatal("canceled maintenance not marked truncated")
+	}
+	// Bookkeeping stages must have completed despite the dead context.
+	if rep.Added != len(added) {
+		t.Fatalf("added %d of %d", rep.Added, len(added))
+	}
+	if st.Corpus().Len() != 24+len(added) {
+		t.Fatalf("corpus length %d", st.Corpus().Len())
+	}
+	// The stale pattern set survives intact — valid, just unimproved.
+	if len(st.Patterns()) != before {
+		t.Fatalf("pattern count changed under dead context: %d -> %d", before, len(st.Patterns()))
+	}
+	// A follow-up live batch still works on the consistent state.
+	rep2, err := st.ApplyCtx(context.Background(), nil, []string{added[0].Name()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Removed != 1 {
+		t.Fatalf("follow-up removal failed: %+v", rep2)
+	}
+}

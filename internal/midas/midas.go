@@ -24,6 +24,7 @@
 package midas
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -89,6 +90,12 @@ type Report struct {
 	Swaps          int
 	ScoreBefore    float64
 	ScoreAfter     float64
+	// Truncated reports that the batch's context died during pattern
+	// maintenance: the corpus, clusters, features and CSGs are fully
+	// consistent (those stages always complete), but the swap scans
+	// stopped early — the pattern set is valid and scores at least as
+	// high as before, it just may have missed further improvements.
+	Truncated bool
 }
 
 // Build runs CATAPULT from scratch and wraps the result in a maintainable
@@ -137,6 +144,16 @@ func (s *State) Corpus() *graph.Corpus { return s.corpus }
 // and removedNames deleted from it, then the MIDAS maintenance pipeline
 // runs. It returns a report of what happened.
 func (s *State) Apply(added []*graph.Graph, removedNames []string) (*Report, error) {
+	return s.ApplyCtx(context.Background(), added, removedNames)
+}
+
+// ApplyCtx is Apply under a context. Consistency-critical stages (corpus
+// mutation, cluster assignment, GFD, FCT maintenance, CSG rebuilds) always
+// run to completion — interrupting them would corrupt the maintained
+// state. Only the optional pattern-maintenance stage degrades: swap scans
+// stop at the deadline with Report.Truncated set, leaving a valid pattern
+// set that scores no worse than the stale one.
+func (s *State) ApplyCtx(ctx context.Context, added []*graph.Graph, removedNames []string) (*Report, error) {
 	rep := &Report{}
 
 	// Collect removed graph copies before deletion (FCT maintenance needs
@@ -206,7 +223,13 @@ func (s *State) Apply(added []*graph.Graph, removedNames []string) (*Report, err
 	// stable regions' contribution is already embodied in the current
 	// pattern set.
 	if rep.Major {
-		if err := s.maintainPatterns(rep, modified); err != nil {
+		if ctx.Err() != nil {
+			// No budget left for the optional stage: report truncation
+			// and keep the (still-valid) stale pattern set.
+			rep.Truncated = true
+			return rep, nil
+		}
+		if err := s.maintainPatterns(ctx, rep, modified); err != nil {
 			return nil, err
 		}
 	}

@@ -1,6 +1,7 @@
 package midas
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -29,8 +30,12 @@ import (
 // "at least the same or better" guarantee.
 
 // maintainPatterns generates candidates from the modified clusters' CSGs
-// and runs multi-scan swapping.
-func (s *State) maintainPatterns(rep *Report, modified []*clusterState) error {
+// and runs multi-scan swapping. Swap scans poll ctx between candidates:
+// because a swap is only ever applied when it strictly improves the score,
+// stopping at any point leaves a valid set no worse than the stale one —
+// the deadline merely bounds how many improvements are attempted
+// (Report.Truncated records an early stop).
+func (s *State) maintainPatterns(ctx context.Context, rep *Report, modified []*clusterState) error {
 	workers := s.cfg.Catapult.Workers
 	budget := s.cfg.Catapult.Budget
 	// Each modified cluster samples with a private RNG derived from the
@@ -87,6 +92,7 @@ func (s *State) maintainPatterns(rep *Report, modified []*clusterState) error {
 	// pool — or repeatedly across swap scans — runs its VF2 sweep once.
 	u := pattern.NewUniverse(s.corpus)
 	opts := pattern.MatchOptions()
+	opts.Ctx = ctx // coverage sweeps self-truncate at the deadline
 	cc := pattern.NewCoverCache(s.corpus, u, opts)
 	patCover := cc.Bitsets(s.patterns, workers)
 	candCover := cc.Bitsets(candidates, workers)
@@ -140,6 +146,10 @@ func (s *State) maintainPatterns(rep *Report, modified []*clusterState) error {
 	const eps = 1e-9
 	used := make([]bool, len(candidates))
 	for scan := 0; scan < s.cfg.MaxScans; scan++ {
+		if ctx.Err() != nil {
+			rep.Truncated = true
+			break
+		}
 		swapped := false
 		contrib := contribution()
 		minContrib := 0
@@ -154,6 +164,10 @@ func (s *State) maintainPatterns(rep *Report, modified []*clusterState) error {
 		for _, ci := range order {
 			if used[ci] {
 				continue
+			}
+			if ctx.Err() != nil {
+				rep.Truncated = true
+				break
 			}
 			// Coverage-based pruning: a candidate whose entire coverage is
 			// below the weakest member's marginal contribution cannot

@@ -1,0 +1,130 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachNCtxCompletesLikePlain(t *testing.T) {
+	const n = 500
+	for _, workers := range []int{1, 4, 0} {
+		out := make([]int, n)
+		if err := ForEachNCtx(context.Background(), n, workers, func(i int) {
+			out[i] = i * i
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, out[i])
+			}
+		}
+	}
+}
+
+func TestForEachNCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	err := ForEachNCtx(ctx, 100, 4, func(i int) { atomic.AddInt64(&ran, 1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	// Workers may each claim at most one task before observing
+	// cancellation; the bulk of the work must not run.
+	if ran > 16 {
+		t.Fatalf("%d tasks ran under a pre-canceled context", ran)
+	}
+}
+
+func TestForEachNCtxStopsDispatching(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 10000
+	var ran int64
+	err := ForEachNCtx(ctx, n, 4, func(i int) {
+		if atomic.AddInt64(&ran, 1) == 8 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if got := atomic.LoadInt64(&ran); got >= n {
+		t.Fatalf("cancellation did not stop dispatch: %d/%d tasks ran", got, n)
+	}
+}
+
+func TestForEachNCtxCompletedSlotsDeterministic(t *testing.T) {
+	// Tasks that do run must compute exactly what the plain variant would:
+	// re-run with cancellation and verify every written slot agrees with
+	// the sequential reference.
+	const n = 2000
+	ref := make([]int64, n)
+	for i := range ref {
+		ref[i] = ChildSeed(42, i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	out := make([]int64, n)
+	var ran int64
+	_ = ForEachNCtx(ctx, n, 8, func(i int) {
+		out[i] = ChildSeed(42, i)
+		if atomic.AddInt64(&ran, 1) == 50 {
+			cancel()
+		}
+	})
+	for i := range out {
+		if out[i] != 0 && out[i] != ref[i] {
+			t.Fatalf("slot %d diverged under cancellation", i)
+		}
+	}
+}
+
+func TestForEachChunkCtx(t *testing.T) {
+	const n = 1000
+	out := make([]int, n)
+	if err := ForEachChunkCtx(context.Background(), n, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i + 1
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != i+1 {
+			t.Fatalf("slot %d = %d", i, out[i])
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	if err := ForEachChunkCtx(ctx, n, 4, func(lo, hi int) { atomic.AddInt64(&ran, 1) }); err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d chunks dispatched under a pre-canceled context", ran)
+	}
+}
+
+func TestMapCtx(t *testing.T) {
+	got, err := MapCtx(context.Background(), 64, 4, func(i int) int { return i * 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, err := MapCtx(ctx, 64, 4, func(i int) int { return i + 1 })
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if len(partial) != 64 {
+		t.Fatalf("len = %d", len(partial))
+	}
+}

@@ -1,0 +1,74 @@
+package tattoo
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+)
+
+func TestSelectCtxCanceledDegradesGracefully(t *testing.T) {
+	g := datagen.WattsStrogatz(7, 400, 6, 0.15)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SelectCtx(ctx, g, Config{
+		Budget: pattern.Budget{Count: 5, MinSize: 4, MaxSize: 10}, Seed: 2})
+	if err != nil {
+		t.Fatalf("canceled context must degrade, not error: %v", err)
+	}
+	if !res.Truncated {
+		t.Fatal("canceled run not marked truncated")
+	}
+}
+
+func TestSelectCtxDeadlineBounded(t *testing.T) {
+	// A large network with a short deadline must return promptly with a
+	// truncated (possibly empty) pattern set.
+	g := datagen.BarabasiAlbert(3, 4000, 6)
+	budget := 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	start := time.Now()
+	res, err := SelectCtx(ctx, g, Config{
+		Budget: pattern.Budget{Count: 8, MinSize: 4, MaxSize: 12}, Seed: 2,
+		SamplesPerClass: 100000}) // absurd sampling load: only the deadline stops it
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("deadline run not marked truncated")
+	}
+	// Truss decomposition runs before the first poll; allow it plus
+	// generous scheduler headroom, but rule out unbounded sampling (which
+	// would take many seconds at 100k samples/class).
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline run took %v", elapsed)
+	}
+}
+
+func TestSelectCtxBackgroundMatchesSelect(t *testing.T) {
+	g := datagen.WattsStrogatz(7, 300, 6, 0.15)
+	cfg := Config{Budget: pattern.Budget{Count: 5, MinSize: 4, MaxSize: 10}, Seed: 2}
+	plain, err := Select(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := SelectCtx(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCtx.Truncated {
+		t.Fatal("live context marked truncated")
+	}
+	if len(plain.Patterns) != len(withCtx.Patterns) {
+		t.Fatalf("pattern count diverged: %d vs %d", len(plain.Patterns), len(withCtx.Patterns))
+	}
+	for i := range plain.Patterns {
+		if plain.Patterns[i].Canon() != withCtx.Patterns[i].Canon() {
+			t.Fatalf("pattern %d diverged under a live context", i)
+		}
+	}
+}

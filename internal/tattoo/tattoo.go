@@ -23,6 +23,7 @@
 package tattoo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -106,6 +107,10 @@ type Result struct {
 	ClassCounts map[Class]int
 	// SelectedClasses reports the class of each selected pattern.
 	SelectedClasses []Class
+	// Truncated reports that the run's context was canceled mid-pipeline:
+	// the pattern set is the best reachable within the budget (sampling
+	// and/or greedy rounds stopped early) rather than the full selection.
+	Truncated bool
 }
 
 // candidate accumulates the sampled instances of one canonical pattern.
@@ -117,6 +122,14 @@ type candidate struct {
 
 // Select runs TATTOO over the network.
 func Select(g *graph.Graph, cfg Config) (*Result, error) {
+	return SelectCtx(context.Background(), g, cfg)
+}
+
+// SelectCtx is Select under a context: sampling loops poll ctx between
+// instances and the greedy selection between rounds, so a deadline yields
+// the best pattern set reachable within the budget with Result.Truncated
+// set instead of an error. Validation errors are still errors.
+func SelectCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	if g.NumEdges() == 0 {
 		return nil, fmt.Errorf("tattoo: network has no edges")
 	}
@@ -124,6 +137,9 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	cfg.defaults(g.NumEdges())
+	if ctx.Err() != nil {
+		return &Result{ClassCounts: make(map[Class]int), Truncated: true}, nil
+	}
 
 	trussness := truss.DecomposeN(g, cfg.Workers)
 	res := &Result{ClassCounts: make(map[Class]int)}
@@ -171,7 +187,7 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 	type classPart struct {
 		cands []*candidate
 	}
-	parts := par.Map(len(classes), cfg.Workers, func(ci int) classPart {
+	parts, perr := par.MapCtx(ctx, len(classes), cfg.Workers, func(ci int) classPart {
 		class := classes[ci]
 		gen := *template
 		gen.rng = rand.New(rand.NewSource(par.ChildSeed(cfg.Seed, ci)))
@@ -179,6 +195,12 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 		local := make(map[string]*candidate)
 		var order []*candidate
 		for i := 0; i < cfg.SamplesPerClass; i++ {
+			// Sampling is the dominant cost on big networks; poll the
+			// context cheaply so a deadline stops mid-class with the
+			// candidates accumulated so far.
+			if i%16 == 0 && ctx.Err() != nil {
+				break
+			}
 			inst := sample(&gen)
 			if inst == nil || len(inst) < cfg.Budget.MinSize || len(inst) > cfg.Budget.MaxSize {
 				continue
@@ -231,18 +253,26 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 	sort.Slice(cands, func(i, j int) bool { return cands[i].pat.Canon() < cands[j].pat.Canon() })
 	res.Candidates = len(cands)
 
-	res.Patterns, res.SelectedClasses, res.Coverage = greedy(cands, g.NumEdges(), cfg)
+	var truncated bool
+	res.Patterns, res.SelectedClasses, res.Coverage, truncated = greedy(ctx, cands, g.NumEdges(), cfg)
+	res.Truncated = truncated || perr != nil
 	return res, nil
 }
 
 // greedy runs the submodular greedy selection over candidates using their
-// sampled instance edges for coverage.
-func greedy(cands []*candidate, totalEdges int, cfg Config) ([]*pattern.Pattern, []Class, float64) {
+// sampled instance edges for coverage. Rounds start only while ctx is live;
+// the boolean reports an early stop.
+func greedy(ctx context.Context, cands []*candidate, totalEdges int, cfg Config) ([]*pattern.Pattern, []Class, float64, bool) {
 	covered := make(map[graph.EdgeID]bool)
+	truncated := false
 	var selected []*pattern.Pattern
 	var classes []Class
 	pool := append([]*candidate(nil), cands...)
 	for len(selected) < cfg.Budget.Count && len(pool) > 0 {
+		if ctx.Err() != nil {
+			truncated = true
+			break
+		}
 		bestI := -1
 		bestScore := 0.0
 		for i, c := range pool {
@@ -271,5 +301,5 @@ func greedy(cands []*candidate, totalEdges int, cfg Config) ([]*pattern.Pattern,
 	if totalEdges > 0 {
 		coverage = float64(len(covered)) / float64(totalEdges)
 	}
-	return selected, classes, coverage
+	return selected, classes, coverage, truncated
 }

@@ -1,0 +1,67 @@
+package vqi
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/gindex"
+	"repro/internal/pattern"
+)
+
+func TestRunCtxCanceledTruncates(t *testing.T) {
+	corpus := datagen.ChemicalCorpus(2, 20, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14})
+	spec, _, err := BuildFromCorpus(corpus, catapult.Config{
+		Budget: pattern.Budget{Count: 3, MinSize: 4, MaxSize: 7}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, withIndex := range []bool{false, true} {
+		src := DataSource{Corpus: corpus}
+		if withIndex {
+			src.Index = gindex.Build(corpus)
+		}
+		s := NewSession(spec, src)
+		s.AddNode("C")
+		s.AddNode("C")
+		if err := s.AddEdge(0, 1, "s"); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res := s.RunCtx(ctx)
+		if !res.Truncated {
+			t.Fatalf("withIndex=%v: canceled run not truncated", withIndex)
+		}
+		if len(res.MatchedGraphs) != 0 {
+			t.Fatalf("withIndex=%v: canceled run returned matches", withIndex)
+		}
+		// The same session under a live context still answers fully.
+		live := s.RunCtx(context.Background())
+		if live.Truncated || len(live.MatchedGraphs) == 0 {
+			t.Fatalf("withIndex=%v: live run = %+v", withIndex, live)
+		}
+	}
+}
+
+func TestRunCtxNetworkCanceled(t *testing.T) {
+	g := datagen.WattsStrogatz(3, 200, 4, 0.1)
+	spec := &Spec{Name: "net", Mode: DataDriven}
+	s := NewSession(spec, DataSource{Corpus: pattern.SingletonCorpus(g), Network: true})
+	s.AddNode("")
+	s.AddNode("")
+	if err := s.AddEdge(0, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := s.RunCtx(ctx)
+	if !res.Truncated {
+		t.Fatal("canceled network run not truncated")
+	}
+	live := s.RunCtx(context.Background())
+	if live.Embeddings == 0 {
+		t.Fatal("live network run found no embeddings")
+	}
+}

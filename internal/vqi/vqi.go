@@ -20,6 +20,7 @@
 package vqi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -210,7 +211,14 @@ func (s *Spec) AllPatterns() ([]*pattern.Pattern, error) {
 // using CATAPULT for the Pattern Panel and a corpus scan for the Attribute
 // Panel.
 func BuildFromCorpus(c *graph.Corpus, cfg catapult.Config) (*Spec, *catapult.Result, error) {
-	res, err := catapult.Select(c, cfg)
+	return BuildFromCorpusCtx(context.Background(), c, cfg)
+}
+
+// BuildFromCorpusCtx is BuildFromCorpus under a context: if the context
+// dies mid-build the returned spec carries the best pattern set selected
+// so far and the result is marked Truncated.
+func BuildFromCorpusCtx(ctx context.Context, c *graph.Corpus, cfg catapult.Config) (*Spec, *catapult.Result, error) {
+	res, err := catapult.SelectCtx(ctx, c, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -230,7 +238,13 @@ func BuildFromCorpus(c *graph.Corpus, cfg catapult.Config) (*Spec, *catapult.Res
 // BuildFromNetwork constructs a data-driven VQI for a single large network
 // using TATTOO.
 func BuildFromNetwork(g *graph.Graph, cfg tattoo.Config) (*Spec, *tattoo.Result, error) {
-	res, err := tattoo.Select(g, cfg)
+	return BuildFromNetworkCtx(context.Background(), g, cfg)
+}
+
+// BuildFromNetworkCtx is BuildFromNetwork under a context, degrading like
+// BuildFromCorpusCtx.
+func BuildFromNetworkCtx(ctx context.Context, g *graph.Graph, cfg tattoo.Config) (*Spec, *tattoo.Result, error) {
+	res, err := tattoo.SelectCtx(ctx, g, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -495,8 +509,16 @@ type Results struct {
 
 // Run executes the current query against the data source.
 func (s *Session) Run() Results {
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run under a context: the context is threaded into every
+// embedding search (network counts, index verification, corpus scans), so
+// an interactive deadline returns the partial Results Panel content found
+// so far with Truncated set, never hanging on a pathological query.
+func (s *Session) RunCtx(ctx context.Context) Results {
 	s.Actions++
-	opts := isomorph.Options{MaxEmbeddings: 1000, MaxSteps: 2_000_000}
+	opts := isomorph.Options{MaxEmbeddings: 1000, MaxSteps: 2_000_000, Ctx: ctx}
 	var res Results
 	if s.Source.Corpus == nil {
 		return res
@@ -508,13 +530,19 @@ func (s *Session) Run() Results {
 		res.Truncated = r.Truncated
 		return res
 	}
+	scanOpts := isomorph.Options{MaxEmbeddings: 1, MaxSteps: 200000, Ctx: ctx}
 	if s.Source.Index != nil {
-		r := s.Source.Index.Search(s.Query, isomorph.Options{MaxEmbeddings: 1, MaxSteps: 200000})
+		r := s.Source.Index.SearchCtx(ctx, s.Query, scanOpts)
 		res.MatchedGraphs = r.Matches
+		res.Truncated = r.Truncated
 		return res
 	}
 	s.Source.Corpus.Each(func(_ int, g *graph.Graph) {
-		r := isomorph.Count(s.Query, g, isomorph.Options{MaxEmbeddings: 1, MaxSteps: 200000})
+		if ctx.Err() != nil {
+			res.Truncated = true
+			return
+		}
+		r := isomorph.Count(s.Query, g, scanOpts)
 		if r.Embeddings > 0 {
 			res.MatchedGraphs = append(res.MatchedGraphs, g.Name())
 		}

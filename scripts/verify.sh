@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repo verification: build, vet, full tests, then the race detector over
 # every package (the parallel layer in internal/par and its call sites are
-# only trustworthy under -race). Run from the repo root.
+# only trustworthy under -race), and finally a focused fault-injection
+# smoke pass over the hardened serving layer. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,5 +17,9 @@ go test ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fault-injection smoke (-race) =="
+go test -race -count=1 -run 'Fault|Panic|Timeout|Drain|Inject|Ctx|Context|Cancel|Deadline' \
+  ./internal/faultinject ./internal/isomorph ./internal/par ./cmd/vqiserve
 
 echo "verify: OK"
