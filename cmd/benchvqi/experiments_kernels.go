@@ -1,0 +1,166 @@
+package main
+
+// Experiment K1: the kernel suite. Times the three hot kernels this
+// repository's serving latency rests on — the 4-node graphlet census
+// (combinatorial vs ESU enumeration), gindex candidate filtering (bitset
+// vs reference), and the query path cold vs cached (canonical-keyed
+// qcache, the vqiserve configuration) — and emits BENCH_kernels.json for
+// tracking across runs.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/datagen"
+	"repro/internal/gindex"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/pattern"
+	"repro/internal/qcache"
+)
+
+func init() {
+	register("K1", "kernel suite: census, candidate filtering, cached vs cold queries (emits BENCH_kernels.json)", runK1)
+}
+
+type kernelBenchReport struct {
+	Full bool  `json:"full"`
+	Seed int64 `json:"seed"`
+
+	CensusEnumSecs float64 `json:"census_enum_secs"`
+	CensusCombSecs float64 `json:"census_comb_secs"`
+	CensusSpeedup  float64 `json:"census_speedup"`
+
+	CandidatesRefSecs float64 `json:"candidates_ref_secs"`
+	CandidatesNewSecs float64 `json:"candidates_new_secs"`
+	CandidatesSpeedup float64 `json:"candidates_speedup"`
+
+	ColdP50Secs    float64 `json:"cold_p50_secs"`
+	ColdP99Secs    float64 `json:"cold_p99_secs"`
+	CachedP50Secs  float64 `json:"cached_p50_secs"`
+	CachedP99Secs  float64 `json:"cached_p99_secs"`
+	CacheP99Ratio  float64 `json:"cache_p99_ratio"`
+	QuerySamples   int     `json:"query_samples"`
+	DistinctShapes int     `json:"distinct_shapes"`
+}
+
+func runK1(cfg runConfig, w *tabwriter.Writer) {
+	censusNodes, corpusN, queryReps := 400, 500, 20
+	if cfg.full {
+		censusNodes, corpusN, queryReps = 1200, 1000, 40
+	}
+	report := kernelBenchReport{Full: cfg.full, Seed: cfg.seed}
+
+	// Kernel 1: the 4-node census, ESU enumeration vs combinatorial
+	// counting on the same synthetic network (identical results, checked).
+	net := datagen.WattsStrogatz(cfg.seed, censusNodes, 8, 0.1)
+	t0 := time.Now()
+	enumCensus := graphlet.CensusEnumN(net, 4, 1)
+	report.CensusEnumSecs = time.Since(t0).Seconds()
+	t0 = time.Now()
+	combCensus := graphlet.CensusN(net, 4, 1)
+	report.CensusCombSecs = time.Since(t0).Seconds()
+	if report.CensusCombSecs > 0 {
+		report.CensusSpeedup = report.CensusEnumSecs / report.CensusCombSecs
+	}
+	if len(enumCensus) != len(combCensus) {
+		fmt.Fprintf(w, "WARNING: census mismatch (%d vs %d keys)\n", len(enumCensus), len(combCensus))
+	}
+	fmt.Fprintf(w, "census k=4 (n=%d)\tenum %.3fs\tcomb %.5fs\t%.0fx\n",
+		censusNodes, report.CensusEnumSecs, report.CensusCombSecs, report.CensusSpeedup)
+
+	// Kernel 2: candidate filtering over a corpus index, reference vs
+	// bitset path, amortized over a pool of random connected queries.
+	corpus := datagen.ChemicalCorpus(cfg.seed, corpusN, chemOpts())
+	idx := gindex.Build(corpus)
+	rng := rand.New(rand.NewSource(cfg.seed))
+	var queries []*graph.Graph
+	for len(queries) < 30 {
+		q := datagen.RandomConnectedSubgraph(rng, corpus.Graph(rng.Intn(corpus.Len())), 5+rng.Intn(4))
+		if q != nil {
+			queries = append(queries, q)
+		}
+	}
+	const candReps = 300
+	t0 = time.Now()
+	for r := 0; r < candReps; r++ {
+		for _, q := range queries {
+			idx.CandidatesReference(q)
+		}
+	}
+	report.CandidatesRefSecs = time.Since(t0).Seconds()
+	t0 = time.Now()
+	for r := 0; r < candReps; r++ {
+		for _, q := range queries {
+			idx.Candidates(q)
+		}
+	}
+	report.CandidatesNewSecs = time.Since(t0).Seconds()
+	if report.CandidatesNewSecs > 0 {
+		report.CandidatesSpeedup = report.CandidatesRefSecs / report.CandidatesNewSecs
+	}
+	fmt.Fprintf(w, "gindex.Candidates (%d queries x%d)\tref %.4fs\tbitset %.4fs\t%.2fx\n",
+		len(queries), candReps, report.CandidatesRefSecs, report.CandidatesNewSecs, report.CandidatesSpeedup)
+
+	// Kernel 3: the serving query path, cold vs cached. Cold runs the full
+	// filter-verify search per request; cached goes through the
+	// canonical-keyed qcache exactly as vqiserve's /api/query does.
+	opts := pattern.MatchOptions()
+	ctx := context.Background()
+	var cold []float64
+	for r := 0; r < queryReps; r++ {
+		for _, q := range queries {
+			t := time.Now()
+			idx.SearchCtx(ctx, q, opts)
+			cold = append(cold, time.Since(t).Seconds())
+		}
+	}
+	cache := qcache.New[gindex.Result](1024)
+	for _, q := range queries { // prime: one miss per distinct shape
+		qq := q
+		cache.Do(canon.String(qq), func() (gindex.Result, bool) {
+			return idx.SearchCtx(ctx, qq, opts), true
+		})
+	}
+	var cached []float64
+	for r := 0; r < queryReps; r++ {
+		for _, q := range queries {
+			qq := q
+			t := time.Now()
+			cache.Do(canon.String(qq), func() (gindex.Result, bool) {
+				return idx.SearchCtx(ctx, qq, opts), true
+			})
+			cached = append(cached, time.Since(t).Seconds())
+		}
+	}
+	sort.Float64s(cold)
+	sort.Float64s(cached)
+	report.ColdP50Secs = percentile(cold, 0.50)
+	report.ColdP99Secs = percentile(cold, 0.99)
+	report.CachedP50Secs = percentile(cached, 0.50)
+	report.CachedP99Secs = percentile(cached, 0.99)
+	if report.CachedP99Secs > 0 {
+		report.CacheP99Ratio = report.ColdP99Secs / report.CachedP99Secs
+	}
+	report.QuerySamples = len(cold)
+	report.DistinctShapes = len(queries)
+	fmt.Fprintf(w, "query path (%d samples)\tcold p50 %.6fs p99 %.6fs\tcached p50 %.6fs p99 %.6fs\tp99 ratio %.0fx\n",
+		report.QuerySamples, report.ColdP50Secs, report.ColdP99Secs,
+		report.CachedP50Secs, report.CachedP99Secs, report.CacheP99Ratio)
+
+	payload, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		if err := os.WriteFile("BENCH_kernels.json", payload, 0o644); err != nil {
+			fmt.Fprintf(w, "write BENCH_kernels.json: %v\n", err)
+		} else {
+			fmt.Fprintln(w, "wrote BENCH_kernels.json")
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"runtime/debug"
 
+	"repro/internal/canon"
 	"repro/internal/graph"
 	"repro/internal/isomorph"
 	"repro/internal/par"
@@ -184,6 +185,30 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	if s.qc == nil {
+		resp, status := s.execQuery(ctx, q)
+		writeJSON(w, status, resp)
+		return
+	}
+	// Isomorphic queries share one cache line regardless of how the user
+	// drew them: the key is the canonical code of the query graph. Only
+	// complete answers are stored — a truncated or timed-out response is
+	// handed to its waiters but never cached. Waiters de-duplicated onto an
+	// in-flight computation share the leader's outcome (including its
+	// budget), which is the desired behavior for a stampede of identical
+	// queries.
+	out := s.qc.Do(canon.String(q), func() (cachedResponse, bool) {
+		resp, status := s.execQuery(ctx, q)
+		return cachedResponse{resp: resp, status: status},
+			status == http.StatusOK && !resp.Truncated
+	})
+	writeJSON(w, out.status, out.resp)
+}
+
+// execQuery answers a decoded query graph: network-mode embedding count,
+// indexed filter-verify, or the pre-index fallback scan. Returns the
+// response and the HTTP status to serve it with.
+func (s *server) execQuery(ctx context.Context, q *graph.Graph) (queryResponse, int) {
 	var resp queryResponse
 	status := http.StatusOK
 	if s.network {
@@ -224,7 +249,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusGatewayTimeout
 		}
 	}
-	writeJSON(w, status, resp)
+	return resp, status
 }
 
 // facets groups matched graphs by the spec's canned patterns.

@@ -46,6 +46,7 @@ import (
 	"repro/internal/gindex"
 	"repro/internal/gio"
 	"repro/internal/graph"
+	"repro/internal/qcache"
 	"repro/internal/vqi"
 )
 
@@ -61,9 +62,24 @@ type server struct {
 
 	inject *faultinject.Injector // nil in production; armed by fault-injection tests
 
+	// qc caches query responses by the canonical code of the posted query
+	// graph, with single-flight de-duplication of concurrent identical
+	// queries. nil when caching is disabled. Invalidation rule: any path
+	// that installs a new index (buildIndex) must Reset the cache — cached
+	// entries are only valid for the corpus snapshot they were computed
+	// against.
+	qc *qcache.Cache[cachedResponse]
+
 	ready atomic.Bool
 	mu    sync.RWMutex
 	index *gindex.Index // filter-verify index; set once buildIndex completes
+}
+
+// cachedResponse is a completed query outcome: the response body plus the
+// HTTP status it was served with.
+type cachedResponse struct {
+	resp   queryResponse
+	status int
 }
 
 // serverConfig carries the serving knobs from flags (and tests).
@@ -72,6 +88,7 @@ type serverConfig struct {
 	queryTimeout time.Duration
 	maxBodyBytes int64
 	maxQuerySize int
+	cacheSize    int // query-cache capacity; 0 disables caching
 }
 
 func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
@@ -81,7 +98,7 @@ func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
 	if cfg.maxQuerySize <= 0 {
 		cfg.maxQuerySize = 256
 	}
-	return &server{
+	s := &server{
 		spec:         spec,
 		corpus:       corpus,
 		network:      corpus.Len() == 1,
@@ -90,17 +107,26 @@ func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
 		maxBodyBytes: cfg.maxBodyBytes,
 		maxQuerySize: cfg.maxQuerySize,
 	}
+	if cfg.cacheSize > 0 {
+		s.qc = qcache.New[cachedResponse](cfg.cacheSize)
+	}
+	return s
 }
 
 // buildIndex builds the filter-verify index (corpus mode) and flips the
 // readiness gate. It runs in the background so the listener is up — and
-// /healthz green — while a large corpus indexes.
+// /healthz green — while a large corpus indexes. Installing the index
+// resets the query cache: responses computed before the index existed (or
+// against a previous index) must not be served afterwards.
 func (s *server) buildIndex() {
 	if !s.network {
 		idx := gindex.Build(s.corpus)
 		s.mu.Lock()
 		s.index = idx
 		s.mu.Unlock()
+	}
+	if s.qc != nil {
+		s.qc.Reset()
 	}
 	s.ready.Store(true)
 	log.Printf("vqiserve: ready (%d data graphs)", s.corpus.Len())
@@ -161,6 +187,8 @@ func main() {
 		grace    = flag.Duration("shutdown-grace", 5*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 		maxBody  = flag.Int64("max-body-bytes", 1<<20, "request body size cap (413 beyond it)")
 		maxQuery = flag.Int("max-query-size", 256, "posted query node+edge cap (422 beyond it)")
+		useCache = flag.Bool("cache", true, "cache query results by canonical query code (repeated and concurrent identical queries hit memory)")
+		cacheSz  = flag.Int("cache-size", 512, "maximum cached query results (LRU eviction)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -182,11 +210,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("vqiserve: %v", err)
 	}
+	size := *cacheSz
+	if !*useCache {
+		size = 0
+	}
 	s := newServer(spec, corpus, serverConfig{
 		workers:      *workers,
 		queryTimeout: *qTimeout,
 		maxBodyBytes: *maxBody,
 		maxQuerySize: *maxQuery,
+		cacheSize:    size,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

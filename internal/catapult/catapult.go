@@ -141,7 +141,11 @@ func SelectCtx(ctx context.Context, c *graph.Corpus, cfg Config) (*Result, error
 	}
 	res.FCT = set
 	res.Vectors = make([][]float64, c.Len())
-	if err := par.ForEachNCtx(ctx, c.Len(), cfg.Workers, func(i int) {
+	// Per-graph feature vectors are cheap (a handful of VF2 probes), so
+	// fan out only when each worker gets a meaningful batch — small
+	// corpora run inline (the 0.96× Select regression in
+	// BENCH_parallel.json was goroutine overhead on exactly this stage).
+	if err := par.ForEachNCtx(ctx, c.Len(), par.Grain(cfg.Workers, c.Len(), 8), func(i int) {
 		res.Vectors[i] = set.FeatureVector(c.Graph(i))
 	}); err != nil {
 		res.Truncated = true

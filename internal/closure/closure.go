@@ -64,7 +64,8 @@ func (c *CSG) Fold(g *graph.Graph) {
 		c.nodeLabels[sv][g.NodeLabel(v)]++
 		c.G.SetNodeLabel(sv, majority(c.nodeLabels[sv]))
 	}
-	for _, e := range g.Edges() {
+	for ei := 0; ei < g.NumEdges(); ei++ {
+		e := g.Edge(ei)
 		su, sv := mapping[e.U], mapping[e.V]
 		id, ok := c.G.EdgeBetween(su, sv)
 		if !ok {
@@ -98,6 +99,12 @@ func (c *CSG) align(g *graph.Graph) []graph.NodeID {
 		sv    graph.NodeID
 		score float64
 	}
+	// Summary-side neighbor label histograms are reused across every gv —
+	// computing them per (gv, sv) pair made align quadratic in map builds.
+	sumNbr := make([]map[string]int, c.G.NumNodes())
+	for sv := range sumNbr {
+		sumNbr[sv] = neighborLabels(c.G, sv)
+	}
 	var cands []cand
 	for gv := 0; gv < n; gv++ {
 		gl := g.NodeLabel(gv)
@@ -115,7 +122,7 @@ func (c *CSG) align(g *graph.Graph) []graph.NodeID {
 			}
 			score += 1.0 / float64(1+diff)
 			// Neighbor label overlap.
-			score += overlap(gNbrLabels, neighborLabels(c.G, sv))
+			score += overlap(gNbrLabels, sumNbr[sv])
 			// Prefer heavy summary nodes: they represent common motifs.
 			score += float64(c.NodeWeight[sv]) / float64(c.Members+1)
 			cands = append(cands, cand{gv, sv, score})
@@ -198,7 +205,8 @@ func (c *CSG) AppendDisjoint(g *graph.Graph) {
 		c.NodeWeight = append(c.NodeWeight, 1)
 		c.nodeLabels = append(c.nodeLabels, map[string]int{label: 1})
 	}
-	for _, e := range g.Edges() {
+	for ei := 0; ei < g.NumEdges(); ei++ {
+		e := g.Edge(ei)
 		c.G.MustAddEdge(offset+e.U, offset+e.V, e.Label)
 		c.EdgeWeight = append(c.EdgeWeight, 1)
 		c.edgeLabels = append(c.edgeLabels, map[string]int{e.Label: 1})

@@ -1,0 +1,108 @@
+package gindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+// TestCandidatesMatchReference is the property test for the bitset rewrite:
+// on the seed corpus, across random connected queries plus wildcard and
+// absent-label edge cases, the fast path must return exactly the reference
+// implementation's candidate list (same positions, same ascending order).
+func TestCandidatesMatchReference(t *testing.T) {
+	c := testCorpus()
+	idx := Build(c)
+	rng := rand.New(rand.NewSource(17))
+	check := func(name string, q *graph.Graph) {
+		t.Helper()
+		got := idx.Candidates(q)
+		want := idx.CandidatesReference(q)
+		if len(got) == 0 && len(want) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: bitset %v vs reference %v\nquery:\n%s", name, got, want, q.Dump())
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		src := c.Graph(rng.Intn(c.Len()))
+		q := datagen.RandomConnectedSubgraph(rng, src, 2+rng.Intn(6))
+		if q == nil {
+			continue
+		}
+		check("random", q)
+		// A wildcard variant of the same query exercises the skip paths.
+		wq := q.Clone()
+		wq.SetNodeLabel(0, isomorph.Wildcard)
+		if wq.NumEdges() > 0 {
+			wq.SetEdgeLabel(0, isomorph.Wildcard)
+		}
+		check("wildcard", wq)
+	}
+	// Absent label: both must return no candidates.
+	aq := graph.New("absent")
+	aq.AddNode("Xe")
+	check("absent", aq)
+	// Oversized query: exceeds every corpus graph.
+	big := graph.New("big")
+	big.AddNodes(10_000, "C")
+	check("oversized", big)
+	// Empty query: no size or label constraint beyond >= 0.
+	check("empty", graph.New("empty"))
+}
+
+// TestSearchUsesLabelIndex pins that indexed verification returns the same
+// matches as verification without the TargetIndex hook, and does not take
+// more VF2 steps.
+func TestSearchUsesLabelIndex(t *testing.T) {
+	c := testCorpus()
+	idx := Build(c)
+	rng := rand.New(rand.NewSource(23))
+	opts := pattern.MatchOptions()
+	for trial := 0; trial < 10; trial++ {
+		q := datagen.RandomConnectedSubgraph(rng, c.Graph(rng.Intn(c.Len())), 4)
+		if q == nil {
+			continue
+		}
+		res := idx.Search(q, opts)
+		for _, gi := range idx.Candidates(q) {
+			g := c.Graph(gi)
+			plain := isomorph.Count(q, g, pattern.MatchOptions())
+			hooked := pattern.MatchOptions()
+			hooked.TargetIndex = isomorph.BuildLabelIndex(g)
+			fast := isomorph.Count(q, g, hooked)
+			if plain.Embeddings != fast.Embeddings {
+				t.Fatalf("trial %d graph %s: %d embeddings plain vs %d indexed", trial, g.Name(), plain.Embeddings, fast.Embeddings)
+			}
+			if fast.Steps > plain.Steps {
+				t.Fatalf("trial %d graph %s: indexed search took more steps (%d > %d)", trial, g.Name(), fast.Steps, plain.Steps)
+			}
+		}
+		_ = res
+	}
+}
+
+func BenchmarkCandidates(b *testing.B) {
+	c := datagen.ChemicalCorpus(1, 400, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 18})
+	idx := Build(c)
+	rng := rand.New(rand.NewSource(1))
+	q := datagen.RandomConnectedSubgraph(rng, c.Graph(0), 5)
+	b.Run("bitset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx.Candidates(q)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx.CandidatesReference(q)
+		}
+	})
+}

@@ -13,6 +13,8 @@ package gindex
 
 import (
 	"context"
+	"math/bits"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/isomorph"
@@ -20,6 +22,48 @@ import (
 )
 
 type triple struct{ a, e, b string }
+
+// sizeClass answers "which graphs have size >= k" in O(log distinct-sizes)
+// with one precomputed suffix bitset per distinct size, replacing the O(n)
+// per-query scan over the size arrays.
+type sizeClass struct {
+	sizes []int            // distinct sizes, ascending
+	ge    []pattern.Bitset // ge[i]: graphs with size >= sizes[i]
+}
+
+func buildSizeClass(vals []int) sizeClass {
+	n := len(vals)
+	seen := make(map[int]bool, n)
+	var sc sizeClass
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			sc.sizes = append(sc.sizes, v)
+		}
+	}
+	sort.Ints(sc.sizes)
+	sc.ge = make([]pattern.Bitset, len(sc.sizes))
+	for i, s := range sc.sizes {
+		b := pattern.NewBitset(n)
+		for gi, v := range vals {
+			if v >= s {
+				b.Set(gi)
+			}
+		}
+		sc.ge[i] = b
+	}
+	return sc
+}
+
+// atLeast returns the bitset of graphs with size >= k; ok is false when no
+// graph is that large. The returned bitset is shared — do not modify.
+func (sc sizeClass) atLeast(k int) (pattern.Bitset, bool) {
+	i := sort.SearchInts(sc.sizes, k)
+	if i == len(sc.sizes) {
+		return nil, false
+	}
+	return sc.ge[i], true
+}
 
 // Index is an immutable filter index over a corpus snapshot. Rebuild after
 // corpus changes (construction is linear and cheap relative to one
@@ -31,6 +75,9 @@ type Index struct {
 	triples   map[triple]pattern.Bitset
 	numNodes  []int
 	numEdges  []int
+	sizeNodes sizeClass
+	sizeEdges sizeClass
+	labelIdx  []*isomorph.LabelIndex // per-graph node-label index for VF2
 }
 
 // Build indexes the corpus.
@@ -42,6 +89,7 @@ func Build(c *graph.Corpus) *Index {
 		triples:   make(map[triple]pattern.Bitset),
 		numNodes:  make([]int, c.Len()),
 		numEdges:  make([]int, c.Len()),
+		labelIdx:  make([]*isomorph.LabelIndex, c.Len()),
 	}
 	n := c.Len()
 	bs := func(m map[string]pattern.Bitset, key string) pattern.Bitset {
@@ -55,33 +103,129 @@ func Build(c *graph.Corpus) *Index {
 	c.Each(func(gi int, g *graph.Graph) {
 		idx.numNodes[gi] = g.NumNodes()
 		idx.numEdges[gi] = g.NumEdges()
-		for l := range g.NodeLabels() {
-			bs(idx.nodeLabel, l).Set(gi)
+		idx.labelIdx[gi] = isomorph.BuildLabelIndex(g)
+		for v := 0; v < g.NumNodes(); v++ {
+			bs(idx.nodeLabel, g.NodeLabel(v)).Set(gi)
 		}
-		for l := range g.EdgeLabels() {
-			bs(idx.edgeLabel, l).Set(gi)
-		}
-		for _, e := range g.Edges() {
+		for ei := 0; ei < g.NumEdges(); ei++ {
+			e := g.Edge(ei)
+			bs(idx.edgeLabel, e.Label).Set(gi)
 			a, b := g.NodeLabel(e.U), g.NodeLabel(e.V)
 			if a > b {
 				a, b = b, a
 			}
-			tr := triple{a, e.Label, b}
-			tb, ok := idx.triples[tr]
-			if !ok {
-				tb = pattern.NewBitset(n)
-				idx.triples[tr] = tb
+			bs2 := func(tr triple) pattern.Bitset {
+				tb, ok := idx.triples[tr]
+				if !ok {
+					tb = pattern.NewBitset(n)
+					idx.triples[tr] = tb
+				}
+				return tb
 			}
-			tb.Set(gi)
+			bs2(triple{a, e.Label, b}).Set(gi)
 		}
 	})
+	idx.sizeNodes = buildSizeClass(idx.numNodes)
+	idx.sizeEdges = buildSizeClass(idx.numEdges)
 	return idx
+}
+
+// appendDedup adds s to dst unless already present (linear scan — query
+// graphs are small, so this beats a map allocation).
+func appendDedup(dst []string, s string) []string {
+	for _, x := range dst {
+		if x == s {
+			return dst
+		}
+	}
+	return append(dst, s)
 }
 
 // Candidates returns the corpus positions that pass every filter for q —
 // a superset of the true matches (no false dismissals). Wildcard labels
-// contribute no constraint.
+// contribute no constraint. Filtering is pure bitset arithmetic: the size
+// suffix bitsets seed the candidate set, label/triple inverted bitsets are
+// ANDed in place, and the survivors are extracted with trailing-zero
+// scans. Returns nil when nothing survives.
 func (idx *Index) Candidates(q *graph.Graph) []int {
+	if idx.corpus.Len() == 0 {
+		return nil
+	}
+	seed, ok := idx.sizeNodes.atLeast(q.NumNodes())
+	if !ok {
+		return nil
+	}
+	cand := seed.Clone()
+	and := func(b pattern.Bitset, ok bool) bool {
+		if !ok {
+			// Constraint label absent from the whole corpus: no matches.
+			return false
+		}
+		zero := true
+		for i := range cand {
+			cand[i] &= b[i]
+			if cand[i] != 0 {
+				zero = false
+			}
+		}
+		return !zero
+	}
+	if !and(idx.sizeEdges.atLeast(q.NumEdges())) {
+		return nil
+	}
+	// Distinct query labels via slice dedup: no per-query label maps.
+	nodeLabels := make([]string, 0, q.NumNodes())
+	edgeLabels := make([]string, 0, q.NumEdges())
+	for v := 0; v < q.NumNodes(); v++ {
+		if l := q.NodeLabel(v); l != isomorph.Wildcard {
+			nodeLabels = appendDedup(nodeLabels, l)
+		}
+	}
+	for ei := 0; ei < q.NumEdges(); ei++ {
+		if l := q.EdgeLabel(ei); l != isomorph.Wildcard {
+			edgeLabels = appendDedup(edgeLabels, l)
+		}
+	}
+	for _, l := range nodeLabels {
+		b, ok := idx.nodeLabel[l]
+		if !and(b, ok) {
+			return nil
+		}
+	}
+	for _, l := range edgeLabels {
+		b, ok := idx.edgeLabel[l]
+		if !and(b, ok) {
+			return nil
+		}
+	}
+	for ei := 0; ei < q.NumEdges(); ei++ {
+		e := q.Edge(ei)
+		a, b := q.NodeLabel(e.U), q.NodeLabel(e.V)
+		if a == isomorph.Wildcard || b == isomorph.Wildcard || e.Label == isomorph.Wildcard {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		tb, ok := idx.triples[triple{a, e.Label, b}]
+		if !and(tb, ok) {
+			return nil
+		}
+	}
+	out := make([]int, 0, cand.Popcount())
+	for wi, w := range cand {
+		for w != 0 {
+			out = append(out, wi*64+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// CandidatesReference is the pre-bitset-rewrite implementation of
+// Candidates, kept verbatim as the oracle the property tests and the K1
+// benchmark compare the fast path against.
+func (idx *Index) CandidatesReference(q *graph.Graph) []int {
 	n := idx.corpus.Len()
 	// Start from all-ones and intersect constraint bitsets.
 	cand := pattern.NewBitset(n)
@@ -180,6 +324,9 @@ func (idx *Index) SearchCtx(ctx context.Context, q *graph.Graph, opts isomorph.O
 			break
 		}
 		g := idx.corpus.Graph(gi)
+		// The prebuilt per-graph label index makes VF2 seed its root scan
+		// rarest-label-first instead of sweeping every target node.
+		opts.TargetIndex = idx.labelIdx[gi]
 		r := isomorph.Count(q, g, opts)
 		res.Verified++
 		if r.Embeddings > 0 {

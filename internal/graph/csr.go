@@ -1,0 +1,178 @@
+package graph
+
+import "sort"
+
+// CSR is an immutable compressed-sparse-row snapshot of a Graph: flat
+// []int32 offset/neighbor/edge arrays with per-row neighbor ids sorted
+// ascending, plus a dense label-id interning table for node and edge
+// labels. Kernels that sweep adjacency millions of times (graphlet
+// censuses, triangle counting, truss support) build one snapshot per graph
+// and then iterate with zero map lookups and zero per-call allocation.
+//
+// Contract:
+//
+//   - A CSR is a snapshot. It is decoupled from the Graph it was built
+//     from; mutating the Graph afterwards does NOT update the snapshot.
+//     Rebuild (Graph.Snapshot) after any mutation, exactly like
+//     gindex.Index or pattern.CoverCache after a corpus change.
+//   - A CSR is immutable and safe for unsynchronized concurrent reads.
+//     Accessors returning slices (Neighbors, NeighborEdges) return views
+//     into shared arrays; callers must not modify them.
+//   - Node ids are the Graph's dense NodeIDs; edge ids its dense EdgeIDs.
+//     Edge endpoints are normalized so EdgeEndpoints returns u < v.
+//   - Label ids are dense int32s assigned in first-appearance order (all
+//     node labels in node order, then edge labels in edge order), so the
+//     interning is deterministic for a given Graph.
+type CSR struct {
+	offsets   []int32 // len NumNodes+1; row v is [offsets[v], offsets[v+1])
+	nbrs      []int32 // concatenated neighbor ids, sorted within each row
+	eids      []int32 // edge id parallel to nbrs
+	edgeU     []int32 // edge id -> smaller endpoint
+	edgeV     []int32 // edge id -> larger endpoint
+	nodeLabel []int32 // node id -> interned label id
+	edgeLabel []int32 // edge id -> interned label id
+	labels    []string
+	labelID   map[string]int32
+}
+
+// Snapshot builds a CSR snapshot of g. Construction is O(n + m log d_max)
+// (per-row sorts); everything after that is allocation-free iteration.
+func (g *Graph) Snapshot() *CSR {
+	n, m := len(g.nodes), len(g.edges)
+	cs := &CSR{
+		offsets:   make([]int32, n+1),
+		nbrs:      make([]int32, 2*m),
+		eids:      make([]int32, 2*m),
+		edgeU:     make([]int32, m),
+		edgeV:     make([]int32, m),
+		nodeLabel: make([]int32, n),
+		edgeLabel: make([]int32, m),
+		labelID:   make(map[string]int32),
+	}
+	intern := func(s string) int32 {
+		if id, ok := cs.labelID[s]; ok {
+			return id
+		}
+		id := int32(len(cs.labels))
+		cs.labels = append(cs.labels, s)
+		cs.labelID[s] = id
+		return id
+	}
+	for v := 0; v < n; v++ {
+		cs.offsets[v+1] = cs.offsets[v] + int32(len(g.adj[v]))
+		cs.nodeLabel[v] = intern(g.nodes[v].Label)
+	}
+	for e := 0; e < m; e++ {
+		ed := g.edges[e]
+		u, v := ed.U, ed.V
+		if u > v {
+			u, v = v, u
+		}
+		cs.edgeU[e], cs.edgeV[e] = int32(u), int32(v)
+		cs.edgeLabel[e] = intern(ed.Label)
+	}
+	fill := make([]int32, n)
+	for v := 0; v < n; v++ {
+		for _, ent := range g.adj[v] {
+			p := cs.offsets[v] + fill[v]
+			cs.nbrs[p] = int32(ent.to)
+			cs.eids[p] = int32(ent.edge)
+			fill[v]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := cs.offsets[v], cs.offsets[v+1]
+		sort.Sort(csrRow{nbrs: cs.nbrs[lo:hi], eids: cs.eids[lo:hi]})
+	}
+	return cs
+}
+
+type csrRow struct{ nbrs, eids []int32 }
+
+func (r csrRow) Len() int           { return len(r.nbrs) }
+func (r csrRow) Less(i, j int) bool { return r.nbrs[i] < r.nbrs[j] }
+func (r csrRow) Swap(i, j int) {
+	r.nbrs[i], r.nbrs[j] = r.nbrs[j], r.nbrs[i]
+	r.eids[i], r.eids[j] = r.eids[j], r.eids[i]
+}
+
+// NumNodes returns the number of nodes in the snapshot.
+func (cs *CSR) NumNodes() int { return len(cs.offsets) - 1 }
+
+// NumEdges returns the number of edges in the snapshot.
+func (cs *CSR) NumEdges() int { return len(cs.edgeU) }
+
+// Degree returns the degree of node v.
+func (cs *CSR) Degree(v int) int { return int(cs.offsets[v+1] - cs.offsets[v]) }
+
+// Neighbors returns node v's neighbor ids, sorted ascending. The slice is
+// a view into the snapshot and must not be modified.
+func (cs *CSR) Neighbors(v int) []int32 { return cs.nbrs[cs.offsets[v]:cs.offsets[v+1]] }
+
+// NeighborEdges returns node v's neighbor ids and the parallel edge ids.
+// Both slices are views into the snapshot and must not be modified.
+func (cs *CSR) NeighborEdges(v int) (nbrs, eids []int32) {
+	lo, hi := cs.offsets[v], cs.offsets[v+1]
+	return cs.nbrs[lo:hi], cs.eids[lo:hi]
+}
+
+// EdgeEndpoints returns the endpoints of edge e with u < v.
+func (cs *CSR) EdgeEndpoints(e int) (u, v int32) { return cs.edgeU[e], cs.edgeV[e] }
+
+// HasEdge reports whether nodes u and v are adjacent, by binary search on
+// the shorter sorted row.
+func (cs *CSR) HasEdge(u, v int) bool {
+	if cs.Degree(u) > cs.Degree(v) {
+		u, v = v, u
+	}
+	row := cs.Neighbors(u)
+	t := int32(v)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= t })
+	return i < len(row) && row[i] == t
+}
+
+// NodeLabelID returns the interned label id of node v.
+func (cs *CSR) NodeLabelID(v int) int32 { return cs.nodeLabel[v] }
+
+// EdgeLabelID returns the interned label id of edge e.
+func (cs *CSR) EdgeLabelID(e int) int32 { return cs.edgeLabel[e] }
+
+// Label returns the label string for an interned id.
+func (cs *CSR) Label(id int32) string { return cs.labels[id] }
+
+// LabelID returns the interned id of a label, if present in the snapshot.
+func (cs *CSR) LabelID(label string) (int32, bool) {
+	id, ok := cs.labelID[label]
+	return id, ok
+}
+
+// NumLabels returns the number of distinct (node or edge) labels interned.
+func (cs *CSR) NumLabels() int { return len(cs.labels) }
+
+// ForEachCommon calls fn for every common neighbor w of u and v, with the
+// edge ids of (u,w) and (v,w), in ascending w order. Rows are sorted, so
+// this is a two-pointer merge: O(deg(u)+deg(v)), no allocation.
+func (cs *CSR) ForEachCommon(u, v int, fn func(w, eu, ev int32)) {
+	an, ae := cs.NeighborEdges(u)
+	bn, be := cs.NeighborEdges(v)
+	i, j := 0, 0
+	for i < len(an) && j < len(bn) {
+		switch {
+		case an[i] < bn[j]:
+			i++
+		case an[i] > bn[j]:
+			j++
+		default:
+			fn(an[i], ae[i], be[j])
+			i++
+			j++
+		}
+	}
+}
+
+// CommonCount returns the number of common neighbors of u and v.
+func (cs *CSR) CommonCount(u, v int) int {
+	c := 0
+	cs.ForEachCommon(u, v, func(_, _, _ int32) { c++ })
+	return c
+}

@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomTestGraph(seed int64, n int, p float64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New("r")
+	labels := []string{"A", "B", "C"}
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))])
+	}
+	elabels := []string{"s", "d"}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(i, j, elabels[rng.Intn(len(elabels))])
+			}
+		}
+	}
+	return g
+}
+
+func TestSnapshotStructure(t *testing.T) {
+	g := randomTestGraph(1, 40, 0.2)
+	cs := g.Snapshot()
+	if cs.NumNodes() != g.NumNodes() || cs.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes: csr %d/%d vs graph %d/%d", cs.NumNodes(), cs.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if cs.Degree(v) != g.Degree(v) {
+			t.Fatalf("degree(%d): %d vs %d", v, cs.Degree(v), g.Degree(v))
+		}
+		row, eids := cs.NeighborEdges(v)
+		for i := range row {
+			if i > 0 && row[i-1] >= row[i] {
+				t.Fatalf("row %d not strictly ascending: %v", v, row)
+			}
+			// The parallel edge id must be the edge between v and row[i].
+			e := g.Edge(int(eids[i]))
+			if e.Other(v) != int(row[i]) {
+				t.Fatalf("row %d: edge %d does not connect %d-%d", v, eids[i], v, row[i])
+			}
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := cs.EdgeEndpoints(e)
+		if u >= v {
+			t.Fatalf("edge %d endpoints not normalized: %d,%d", e, u, v)
+		}
+		ge := g.Edge(e)
+		gu, gv := ge.U, ge.V
+		if gu > gv {
+			gu, gv = gv, gu
+		}
+		if int(u) != gu || int(v) != gv {
+			t.Fatalf("edge %d endpoints %d,%d vs graph %d,%d", e, u, v, gu, gv)
+		}
+	}
+}
+
+func TestSnapshotLabels(t *testing.T) {
+	g := randomTestGraph(2, 30, 0.15)
+	cs := g.Snapshot()
+	for v := 0; v < g.NumNodes(); v++ {
+		if cs.Label(cs.NodeLabelID(v)) != g.NodeLabel(v) {
+			t.Fatalf("node %d label roundtrip", v)
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if cs.Label(cs.EdgeLabelID(e)) != g.EdgeLabel(e) {
+			t.Fatalf("edge %d label roundtrip", e)
+		}
+	}
+	if id, ok := cs.LabelID(g.NodeLabel(0)); !ok || cs.Label(id) != g.NodeLabel(0) {
+		t.Fatal("LabelID lookup")
+	}
+	if _, ok := cs.LabelID("no-such-label"); ok {
+		t.Fatal("absent label must not resolve")
+	}
+	if cs.NumLabels() < 1 {
+		t.Fatal("labels interned")
+	}
+	// Interning is deterministic: two snapshots of the same graph agree.
+	cs2 := g.Snapshot()
+	for v := 0; v < g.NumNodes(); v++ {
+		if cs.NodeLabelID(v) != cs2.NodeLabelID(v) {
+			t.Fatal("interning not deterministic")
+		}
+	}
+}
+
+func TestSnapshotHasEdgeMatchesGraph(t *testing.T) {
+	g := randomTestGraph(3, 25, 0.3)
+	cs := g.Snapshot()
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			if u == v {
+				continue
+			}
+			if cs.HasEdge(u, v) != g.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) mismatch", u, v)
+			}
+		}
+	}
+}
+
+func TestSnapshotCommonNeighbors(t *testing.T) {
+	g := randomTestGraph(4, 30, 0.25)
+	cs := g.Snapshot()
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := u + 1; v < g.NumNodes(); v++ {
+			want := 0
+			for w := 0; w < g.NumNodes(); w++ {
+				if w != u && w != v && g.HasEdge(u, w) && g.HasEdge(v, w) {
+					want++
+				}
+			}
+			if got := cs.CommonCount(u, v); got != want {
+				t.Fatalf("CommonCount(%d,%d) = %d want %d", u, v, got, want)
+			}
+			prev := int32(-1)
+			cs.ForEachCommon(u, v, func(w, eu, ev int32) {
+				if w <= prev {
+					t.Fatalf("common neighbors of (%d,%d) not ascending", u, v)
+				}
+				prev = w
+				if g.Edge(int(eu)).Other(u) != int(w) || g.Edge(int(ev)).Other(v) != int(w) {
+					t.Fatalf("common edge ids wrong for (%d,%d,w=%d)", u, v, w)
+				}
+			})
+		}
+	}
+}
+
+func TestSnapshotIsDecoupled(t *testing.T) {
+	g := New("g")
+	g.AddNodes(3, "A")
+	g.MustAddEdge(0, 1, "x")
+	cs := g.Snapshot()
+	g.MustAddEdge(1, 2, "x")
+	if cs.NumEdges() != 1 {
+		t.Fatal("snapshot must not track later mutations")
+	}
+	if cs.HasEdge(1, 2) {
+		t.Fatal("snapshot saw a post-build edge")
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	cs := New("e").Snapshot()
+	if cs.NumNodes() != 0 || cs.NumEdges() != 0 || cs.NumLabels() != 0 {
+		t.Fatal("empty snapshot")
+	}
+}

@@ -24,11 +24,107 @@ func Census(g *graph.Graph, k int) map[string]float64 {
 	return CensusN(g, k, 0)
 }
 
-// CensusN is Census with an explicit worker count. The ESU root range is
-// split into contiguous chunks, each enumerated into a private partial
-// count map, and the partials are merged sequentially in chunk order —
-// integer counts, so the result is identical at any worker count.
+// shapeKeys maps each 3/4-node graphlet type to the canonical-form key the
+// enumeration census produces for that shape: the label-blind prototype of
+// the type, canonicalized once at init. This is what lets the combinatorial
+// census emit byte-identical keys without touching canon on the hot path.
+var shapeKeys = func() [NumTypes]string {
+	protos := [NumTypes][][2]int{
+		Wedge:    {{0, 1}, {1, 2}},
+		Triangle: {{0, 1}, {1, 2}, {0, 2}},
+		Path4:    {{0, 1}, {1, 2}, {2, 3}},
+		Claw:     {{0, 1}, {0, 2}, {0, 3}},
+		Cycle4:   {{0, 1}, {1, 2}, {2, 3}, {0, 3}},
+		Paw:      {{0, 1}, {1, 2}, {0, 2}, {2, 3}},
+		Diamond:  {{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}},
+		Clique4:  {{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}, {2, 3}},
+	}
+	var keys [NumTypes]string
+	for t, edges := range protos {
+		n := 3
+		if Type(t) >= Path4 {
+			n = 4
+		}
+		p := graph.New("proto")
+		p.AddNodes(n, "")
+		for _, e := range edges {
+			p.MustAddEdge(e[0], e[1], "")
+		}
+		keys[t] = canon.String(p)
+	}
+	return keys
+}()
+
+// CensusN is Census with an explicit worker count. For k=3 and k=4 the
+// census is just the combinatorial count vector relabeled with canonical
+// keys — no enumeration at all. k=5 enumerates with ESU: the root range is
+// split into contiguous chunks, each counted into a private partial map,
+// and the partials are merged sequentially in chunk order — integer
+// counts, so the result is identical at any worker count.
 func CensusN(g *graph.Graph, k, workers int) map[string]float64 {
+	out := make(map[string]float64)
+	switch {
+	case k == 3 || k == 4:
+		v := Count(g)
+		lo, hi := Wedge, Triangle
+		if k == 4 {
+			lo, hi = Path4, Clique4
+		}
+		for t := lo; t <= hi; t++ {
+			if v[t] != 0 {
+				out[shapeKeys[t]] = v[t]
+			}
+		}
+		return out
+	case k != 5:
+		return out
+	}
+	n := g.NumNodes()
+	w := par.Workers(workers, n)
+	if w == 1 {
+		enumerate(g, k, func(sub []graph.NodeID) {
+			shape, _ := g.InducedSubgraph(sub)
+			blind(shape)
+			out[canon.String(shape)]++
+		})
+		return out
+	}
+	chunk := (n + w - 1) / w
+	parts := par.Map(w, w, func(ci int) map[string]float64 {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		part := make(map[string]float64)
+		if lo < hi {
+			enumerateRoots(g, k, lo, hi, func(sub []graph.NodeID) {
+				shape, _ := g.InducedSubgraph(sub)
+				blind(shape)
+				part[canon.String(shape)]++
+			})
+		}
+		return part
+	})
+	for _, part := range parts {
+		for key, v := range part {
+			out[key] += v
+		}
+	}
+	return out
+}
+
+// CensusEnum is the full ESU-enumeration census for any supported k (3-5),
+// the pre-combinatorial implementation. Kept as the ground truth the
+// property tests compare CensusN against, and as the benchmark baseline.
+// Equivalent to CensusEnumN with workers = GOMAXPROCS.
+func CensusEnum(g *graph.Graph, k int) map[string]float64 {
+	return CensusEnumN(g, k, 0)
+}
+
+// CensusEnumN is CensusEnum with an explicit worker count; see CensusN for
+// the chunking scheme.
+func CensusEnumN(g *graph.Graph, k, workers int) map[string]float64 {
 	out := make(map[string]float64)
 	if k < 3 || k > 5 {
 		return out
@@ -117,10 +213,10 @@ func CorpusCensus(c *graph.Corpus, k int) map[string]float64 {
 }
 
 // CorpusCensusN is CorpusCensus with an explicit worker count: the fan-out
-// is per graph (each census sequential within its task), merged in corpus
-// order.
+// is per graph (each census sequential within its task, grain-capped so
+// small corpora run inline), merged in corpus order.
 func CorpusCensusN(c *graph.Corpus, k, workers int) map[string]float64 {
-	parts := par.Map(c.Len(), workers, func(i int) map[string]float64 {
+	parts := par.Map(c.Len(), par.Grain(workers, c.Len(), corpusGrain), func(i int) map[string]float64 {
 		return CensusN(c.Graph(i), k, 1)
 	})
 	total := make(map[string]float64)

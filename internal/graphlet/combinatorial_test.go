@@ -1,0 +1,138 @@
+package graphlet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomGraph builds a labeled G(n, p) graph from a fixed seed.
+func randomGraph(seed int64, n int, p float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New("r")
+	labels := []string{"A", "B", "C"}
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(i, j, "e")
+			}
+		}
+	}
+	return g
+}
+
+// TestCountMatchesEnum is the property test anchoring the combinatorial
+// kernel: on randomized graphs across the density range, the closed-formula
+// vector must equal the ESU enumeration vector exactly (both are integer
+// counts stored in float64).
+func TestCountMatchesEnum(t *testing.T) {
+	cases := []struct {
+		seed int64
+		n    int
+		p    float64
+	}{
+		{1, 12, 0.1}, {2, 12, 0.3}, {3, 12, 0.6}, {4, 12, 0.9},
+		{5, 25, 0.1}, {6, 25, 0.25}, {7, 25, 0.5},
+		{8, 40, 0.08}, {9, 40, 0.2},
+		{10, 60, 0.05}, {11, 60, 0.12},
+	}
+	for _, tc := range cases {
+		g := randomGraph(tc.seed, tc.n, tc.p)
+		got := Count(g)
+		want := CountEnum(g)
+		if got != want {
+			t.Errorf("seed=%d n=%d p=%.2f: combinatorial %v != enum %v", tc.seed, tc.n, tc.p, got, want)
+		}
+	}
+}
+
+// TestCountSmallShapes pins each graphlet type on its prototype graph.
+func TestCountSmallShapes(t *testing.T) {
+	build := func(n int, edges [][2]int) *graph.Graph {
+		g := graph.New("p")
+		g.AddNodes(n, "X")
+		for _, e := range edges {
+			g.MustAddEdge(e[0], e[1], "e")
+		}
+		return g
+	}
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		typ   Type
+		count float64
+	}{
+		{"wedge", build(3, [][2]int{{0, 1}, {1, 2}}), Wedge, 1},
+		{"triangle", build(3, [][2]int{{0, 1}, {1, 2}, {0, 2}}), Triangle, 1},
+		{"path4", build(4, [][2]int{{0, 1}, {1, 2}, {2, 3}}), Path4, 1},
+		{"claw", build(4, [][2]int{{0, 1}, {0, 2}, {0, 3}}), Claw, 1},
+		{"cycle4", build(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}}), Cycle4, 1},
+		{"paw", build(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}}), Paw, 1},
+		{"diamond", build(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}}), Diamond, 1},
+		{"clique4", build(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}, {2, 3}}), Clique4, 1},
+	}
+	for _, tc := range cases {
+		v := Count(tc.g)
+		if v[tc.typ] != tc.count {
+			t.Errorf("%s: count[%v] = %v want %v (full %v)", tc.name, tc.typ, v[tc.typ], tc.count, v)
+		}
+		if got, want := v, CountEnum(tc.g); got != want {
+			t.Errorf("%s: combinatorial %v != enum %v", tc.name, got, want)
+		}
+	}
+}
+
+// TestCensusMatchesEnum cross-checks the combinatorial census keys and
+// counts against the enumeration census for k=3 and k=4 — same canonical
+// keys, same values, only-nonzero entries.
+func TestCensusMatchesEnum(t *testing.T) {
+	for _, seed := range []int64{21, 22, 23} {
+		g := randomGraph(seed, 20, 0.25)
+		for _, k := range []int{3, 4} {
+			got := CensusN(g, k, 1)
+			want := CensusEnumN(g, k, 1)
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d k=%d: %d keys vs %d", seed, k, len(got), len(want))
+			}
+			for key, v := range want {
+				if got[key] != v {
+					t.Errorf("seed=%d k=%d key %q: %v want %v", seed, k, key, got[key], v)
+				}
+			}
+		}
+	}
+}
+
+// TestCountEmptyAndTiny covers degenerate inputs.
+func TestCountEmptyAndTiny(t *testing.T) {
+	if v := Count(graph.New("empty")); v != (Vector{}) {
+		t.Errorf("empty graph: %v", v)
+	}
+	g := graph.New("edge")
+	g.AddNodes(2, "X")
+	g.MustAddEdge(0, 1, "e")
+	if v := Count(g); v != (Vector{}) {
+		t.Errorf("single edge: %v", v)
+	}
+}
+
+func BenchmarkCountCombinatorial(b *testing.B) {
+	g := randomGraph(99, 150, 0.1)
+	cs := g.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountCSR(cs)
+	}
+}
+
+func BenchmarkCountEnum(b *testing.B) {
+	g := randomGraph(99, 150, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountEnum(g)
+	}
+}

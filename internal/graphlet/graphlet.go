@@ -95,8 +95,18 @@ func EuclideanDistance(a, b Vector) float64 {
 }
 
 // Count returns the graphlet count vector of g (induced, connected, 3- and
-// 4-node graphlets).
+// 4-node graphlets). Counting is combinatorial (see CountCSR); the ESU
+// enumeration path survives as CountEnum and is cross-checked against this
+// one by property tests.
 func Count(g *graph.Graph) Vector {
+	return CountCSR(g.Snapshot())
+}
+
+// CountEnum is the ESU-enumeration reference implementation of Count: it
+// visits every connected induced 3- and 4-subgraph and classifies it by
+// degree sequence. Kept as the ground truth for property tests and
+// benchmarks; use Count on hot paths.
+func CountEnum(g *graph.Graph) Vector {
 	var v Vector
 	enumerate(g, 3, func(sub []graph.NodeID) {
 		v[classify3(g, sub)]++
@@ -114,12 +124,18 @@ func CorpusGFD(c *graph.Corpus) Vector {
 	return CorpusGFDN(c, 0)
 }
 
-// CorpusGFDN is CorpusGFD with an explicit worker count: per-graph censuses
-// fan out on the shared pool (each graph's ESU enumeration is independent),
+// corpusGrain is the minimum per-worker graph count before corpus-level
+// fan-out pays: combinatorial per-graph counts are cheap enough that small
+// corpora (the 0.89× CorpusGFD regression in BENCH_parallel.json) are
+// faster inline.
+const corpusGrain = 4
+
+// CorpusGFDN is CorpusGFD with an explicit worker count: per-graph counts
+// fan out on the shared pool (grain-capped, so small corpora run inline),
 // then the slot-indexed vectors are folded sequentially in corpus order.
 // Counts are integers, so the aggregate is identical at any worker count.
 func CorpusGFDN(c *graph.Corpus, workers int) Vector {
-	vecs := par.Map(c.Len(), workers, func(i int) Vector {
+	vecs := par.Map(c.Len(), par.Grain(workers, c.Len(), corpusGrain), func(i int) Vector {
 		return Count(c.Graph(i))
 	})
 	var total Vector

@@ -51,6 +51,14 @@ type Options struct {
 	Ctx context.Context
 	// CheckEvery is the polling interval in steps (0 = DefaultCheckEvery).
 	CheckEvery int
+	// TargetIndex, when non-nil, must be a LabelIndex built over the exact
+	// target graph being searched. The matcher then ranks pattern nodes by
+	// label rarity without recounting target labels, and restricts the root
+	// scan of each pattern component with a non-wildcard label to the nodes
+	// in that label class. Class node lists are ascending, so embeddings
+	// are found in the same order and counts are identical to the unindexed
+	// search — only Result.Steps shrinks.
+	TargetIndex *LabelIndex
 }
 
 // StopReason says why a search gave up before exhausting its space.
@@ -178,12 +186,20 @@ func (m *matcher) prepare() {
 			return true
 		})
 	}
-	// Rarity of node labels in the target guides the start node.
-	tLabelFreq := m.t.NodeLabels()
+	// Rarity of node labels in the target guides the start node: a
+	// prebuilt LabelIndex answers frequencies directly, otherwise count
+	// once into a map.
+	var tLabelFreq map[string]int
+	if m.opts.TargetIndex == nil {
+		tLabelFreq = m.t.NodeLabels()
+	}
 	rarity := func(v graph.NodeID) int {
 		l := m.p.NodeLabel(v)
 		if l == Wildcard {
 			return m.t.NumNodes()
+		}
+		if ix := m.opts.TargetIndex; ix != nil {
+			return ix.Freq(l)
 		}
 		return tLabelFreq[l]
 	}
@@ -283,7 +299,23 @@ func (m *matcher) search(depth int) {
 		})
 		return
 	}
-	// No anchor (first node of a component): scan all target nodes.
+	// No anchor (first node of a component): scan the root label's class
+	// when an index is available, otherwise all target nodes. The class is
+	// ascending, so this visits exactly the nodes the full scan would pass
+	// to tryExtend and survive its label check, in the same order.
+	if ix := m.opts.TargetIndex; ix != nil {
+		if l := m.p.NodeLabel(pv); l != Wildcard {
+			for _, tv := range ix.Nodes(l) {
+				if m.stopped {
+					return
+				}
+				if !m.used[tv] {
+					m.tryExtend(depth, pv, tv)
+				}
+			}
+			return
+		}
+	}
 	for tv := 0; tv < m.t.NumNodes() && !m.stopped; tv++ {
 		if !m.used[tv] {
 			m.tryExtend(depth, pv, tv)

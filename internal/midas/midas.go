@@ -180,7 +180,7 @@ func (s *State) ApplyCtx(ctx context.Context, added []*graph.Graph, removedNames
 	// computed concurrently; insertion and assignment stay sequential in
 	// batch order.
 	workers := s.cfg.Catapult.Workers
-	vecs := par.Map(len(added), workers, func(i int) []float64 {
+	vecs := par.Map(len(added), par.Grain(workers, len(added), 8), func(i int) []float64 {
 		return s.fctSet.FeatureVector(added[i])
 	})
 	for i, g := range added {

@@ -38,6 +38,25 @@ func Workers(workers, n int) int {
 	return workers
 }
 
+// Grain resolves a worker count for n tasks that are individually cheap:
+// on top of the Workers resolution it caps the pool at n/grain, so a stage
+// only fans out once every worker has at least `grain` tasks' worth of
+// work. Below that threshold goroutine + slot bookkeeping costs more than
+// the tasks themselves (the CorpusGFD and catapult scoring regressions in
+// BENCH_parallel.json), and the stage runs inline. grain <= 1 is a no-op.
+func Grain(workers, n, grain int) int {
+	w := Workers(workers, n)
+	if grain > 1 {
+		if max := n / grain; w > max {
+			w = max
+		}
+		if w < 1 {
+			w = 1
+		}
+	}
+	return w
+}
+
 // ForEachN runs fn(i) for every i in [0, n) on a bounded pool. Indices are
 // claimed dynamically (atomic counter), which balances uneven task costs —
 // the right shape for per-pattern isomorphism sweeps where one task can be

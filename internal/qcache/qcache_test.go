@@ -1,0 +1,161 @@
+package qcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHitMissAndLRU(t *testing.T) {
+	c := New[int](2)
+	calls := 0
+	get := func(key string, v int) int {
+		return c.Do(key, func() (int, bool) { calls++; return v, true })
+	}
+	if get("a", 1) != 1 || get("a", 99) != 1 {
+		t.Fatal("a must be computed once and served from cache")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+	get("b", 2)
+	get("c", 3) // evicts a (LRU)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if get("a", 4) != 4 {
+		t.Fatal("a was evicted; must recompute")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 4 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestUncacheableNotStored(t *testing.T) {
+	c := New[int](4)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		got := c.Do("k", func() (int, bool) { calls++; return 7, false })
+		if got != 7 {
+			t.Fatalf("got %d", got)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("uncacheable result was stored (calls = %d)", calls)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestZeroCapacityDedupsOnly(t *testing.T) {
+	c := New[int](0)
+	c.Do("k", func() (int, bool) { return 1, true })
+	if c.Len() != 0 {
+		t.Fatal("capacity 0 must not store")
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	c := New[int](4)
+	var calls int32
+	start := make(chan struct{})
+	inFn := make(chan struct{})
+	go c.Do("k", func() (int, bool) {
+		close(inFn)
+		<-start
+		atomic.AddInt32(&calls, 1)
+		return 42, true
+	})
+	<-inFn // leader is inside fn; everyone else must wait, not recompute
+	var wg sync.WaitGroup
+	results := make([]int, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Do("k", func() (int, bool) {
+				atomic.AddInt32(&calls, 1)
+				return 42, true
+			})
+		}(i)
+	}
+	// Give the waiters a chance to register, then release the leader.
+	for {
+		if _, _, d := c.Stats(); d >= 1 {
+			break
+		}
+	}
+	close(start)
+	wg.Wait()
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("fn ran %d times; single-flight must run it once", n)
+	}
+	for i, r := range results {
+		if r != 42 {
+			t.Fatalf("result[%d] = %d", i, r)
+		}
+	}
+}
+
+func TestResetInvalidates(t *testing.T) {
+	c := New[int](4)
+	c.Do("k", func() (int, bool) { return 1, true })
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset must drop entries")
+	}
+	got := c.Do("k", func() (int, bool) { return 2, true })
+	if got != 2 {
+		t.Fatalf("got %d; post-reset Do must recompute", got)
+	}
+}
+
+func TestResetBarsInFlightStore(t *testing.T) {
+	c := New[int](4)
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		done <- c.Do("k", func() (int, bool) {
+			close(inFn)
+			<-release
+			return 1, true
+		})
+	}()
+	<-inFn
+	c.Reset() // the flight's epoch is now stale
+	close(release)
+	if v := <-done; v != 1 {
+		t.Fatalf("waiter got %d", v)
+	}
+	if c.Len() != 0 {
+		t.Fatal("stale flight stored its result past a Reset")
+	}
+	// A fresh Do must recompute, not see a stale entry or stale flight.
+	if v := c.Do("k", func() (int, bool) { return 2, true }); v != 2 {
+		t.Fatalf("post-reset Do = %d", v)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New[int](8)
+	var wg sync.WaitGroup
+	keys := []string{"a", "b", "c", "d"}
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := keys[i%len(keys)]
+			v := c.Do(k, func() (int, bool) { return i % len(keys), true })
+			if v != i%len(keys) {
+				t.Errorf("key %s: got %d", k, v)
+			}
+			if i%16 == 0 {
+				c.Reset()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -56,7 +56,8 @@ func DecomposeN(g *graph.Graph, workers int) []int {
 	for v := 0; v < n; v++ {
 		adj[v] = make([]halfEdge, 0, g.Degree(v))
 	}
-	for id, e := range g.Edges() {
+	for id := 0; id < m; id++ {
+		e := g.Edge(id)
 		adj[e.U] = append(adj[e.U], halfEdge{e.V, graph.EdgeID(id)})
 		adj[e.V] = append(adj[e.V], halfEdge{e.U, graph.EdgeID(id)})
 	}
@@ -94,6 +95,21 @@ func DecomposeN(g *graph.Graph, workers int) []int {
 	processed := 0
 	k := 2
 	cur := 0
+	// dec lowers one side edge's support during peeling; hoisted out of the
+	// loop (with its triangle callback) so the peel allocates nothing.
+	dec := func(d graph.EdgeID) {
+		if support[d] > 0 {
+			support[d]--
+			buckets[support[d]] = append(buckets[support[d]], d)
+			if support[d] < cur {
+				cur = support[d]
+			}
+		}
+	}
+	onTriangle := func(uw, vw graph.EdgeID) {
+		dec(vw)
+		dec(uw)
+	}
 	for processed < m {
 		// Find the lowest non-empty bucket at or below the current level;
 		// supports only decrease, so stale entries are skipped lazily.
@@ -119,17 +135,7 @@ func DecomposeN(g *graph.Graph, workers int) []int {
 		// Every triangle (u,v,w) loses this edge; decrement the supports
 		// of (u,w) and (v,w). The intersection yields w only when both
 		// side edges are still alive.
-		forEachCommon(adj, removed, e.U, e.V, func(uw, vw graph.EdgeID) {
-			for _, dec := range []graph.EdgeID{vw, uw} {
-				if support[dec] > 0 {
-					support[dec]--
-					buckets[support[dec]] = append(buckets[support[dec]], dec)
-					if support[dec] < cur {
-						cur = support[dec]
-					}
-				}
-			}
-		})
+		forEachCommon(adj, removed, e.U, e.V, onTriangle)
 	}
 	return trussness
 }

@@ -22,4 +22,7 @@ echo "== fault-injection smoke (-race) =="
 go test -race -count=1 -run 'Fault|Panic|Timeout|Drain|Inject|Ctx|Context|Cancel|Deadline' \
   ./internal/faultinject ./internal/isomorph ./internal/par ./cmd/vqiserve
 
+echo "== benchmark smoke (K1 kernel suite) =="
+go run ./cmd/benchvqi -exp K1
+
 echo "verify: OK"
