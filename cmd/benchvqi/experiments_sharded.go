@@ -1,0 +1,216 @@
+package main
+
+// Experiment S1: the sharded-index suite. Measures what sharding the
+// filter-verify index (gindex.Sharded) buys and costs: parallel build
+// time vs the monolithic index, incremental batch-update latency as a
+// function of how many shards the batch touches (vs the naive
+// rebuild-everything alternative), and query latency under concurrent
+// budgeted load at several shard counts — including the K=1 configuration,
+// which must not regress against the monolithic search path. Emits
+// BENCH_sharded.json for tracking across runs.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/gindex"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func init() {
+	register("S1", "sharded index: build, incremental batch updates, budgeted concurrent queries (emits BENCH_sharded.json)", runS1)
+}
+
+type shardedQueryLoad struct {
+	// Shards is the configuration; 0 means the monolithic gindex.Index
+	// baseline running under the same concurrent harness.
+	Shards     int     `json:"shards"`
+	Clients    int     `json:"clients"`
+	MaxResults int     `json:"max_results"`
+	P50Secs    float64 `json:"p50_secs"`
+	P99Secs    float64 `json:"p99_secs"`
+	Samples    int     `json:"samples"`
+}
+
+type shardedBenchReport struct {
+	Full   bool  `json:"full"`
+	Seed   int64 `json:"seed"`
+	Shards int   `json:"shards"` // K for the build/update measurements
+	Corpus int   `json:"corpus_graphs"`
+
+	MonoBuildSecs    float64 `json:"mono_build_secs"`
+	ShardedBuildSecs float64 `json:"sharded_build_secs"`
+
+	BatchGraphs          int     `json:"batch_graphs"`
+	RebuildFullSecs      float64 `json:"rebuild_full_secs"` // naive: re-Build everything
+	UpdateOneShardSecs   float64 `json:"update_one_shard_secs"`
+	UpdateManyShardsSecs float64 `json:"update_many_shards_secs"`
+	OneShardTouched      int     `json:"one_shard_touched"`
+	ManyShardsTouched    int     `json:"many_shards_touched"`
+
+	QueryLoads []shardedQueryLoad `json:"query_loads"`
+	// K1VsMonoP50 is sharded-K=1 p50 over monolithic p50 under the same
+	// load — the no-regression acceptance ratio (≈1 is the goal).
+	K1VsMonoP50 float64 `json:"k1_vs_mono_p50"`
+}
+
+func runS1(cfg runConfig, w *tabwriter.Writer) {
+	corpusN, batchN, queryN, clients, reps := 240, 6, 12, 4, 4
+	if cfg.full {
+		corpusN, batchN, queryN, clients, reps = 1000, 12, 20, 8, 10
+	}
+	k := runtime.GOMAXPROCS(0)
+	if k < 2 {
+		k = 2
+	}
+	report := shardedBenchReport{Full: cfg.full, Seed: cfg.seed, Shards: k, Corpus: corpusN, BatchGraphs: batchN}
+
+	// Build: monolithic vs K-shard parallel.
+	corpus := datagen.ChemicalCorpus(cfg.seed, corpusN, chemOpts())
+	t0 := time.Now()
+	mono := gindex.Build(corpus)
+	report.MonoBuildSecs = time.Since(t0).Seconds()
+	t0 = time.Now()
+	sh := gindex.BuildSharded(corpus, k, 0)
+	report.ShardedBuildSecs = time.Since(t0).Seconds()
+	fmt.Fprintf(w, "build (n=%d)\tmonolithic %.4fs\tsharded k=%d %.4fs\n",
+		corpusN, report.MonoBuildSecs, k, report.ShardedBuildSecs)
+
+	// Incremental updates: a batch confined to one shard vs a batch spread
+	// across shards vs the naive full rebuild. ShardOf is a pure function
+	// of the name, so batches can be steered onto shards by name choice.
+	rng := rand.New(rand.NewSource(cfg.seed + 1))
+	mkBatch := func(prefix string, oneShard bool, n int) []*graph.Graph {
+		var out []*graph.Graph
+		for i := 0; len(out) < n; i++ {
+			name := fmt.Sprintf("%s-%d", prefix, i)
+			if oneShard && gindex.ShardOf(name, k) != 0 {
+				continue
+			}
+			out = append(out, datagen.Chemical(rng, name, chemOpts()))
+		}
+		return out
+	}
+	oneBatch := mkBatch("upd1", true, batchN)
+	t0 = time.Now()
+	next, rep1, err := sh.ApplyBatch(oneBatch, nil)
+	if err != nil {
+		fmt.Fprintf(w, "ApplyBatch: %v\n", err)
+		return
+	}
+	report.UpdateOneShardSecs = time.Since(t0).Seconds()
+	report.OneShardTouched = len(rep1.Rebuilt)
+	manyBatch := mkBatch("updN", false, batchN)
+	t0 = time.Now()
+	_, repN, err := next.ApplyBatch(manyBatch, nil)
+	if err != nil {
+		fmt.Fprintf(w, "ApplyBatch: %v\n", err)
+		return
+	}
+	report.UpdateManyShardsSecs = time.Since(t0).Seconds()
+	report.ManyShardsTouched = len(repN.Rebuilt)
+	// The naive alternative: mutate the corpus and rebuild the whole index.
+	mut := corpus.Clone()
+	for _, g := range oneBatch {
+		mut.MustAdd(g)
+	}
+	t0 = time.Now()
+	gindex.Build(mut)
+	report.RebuildFullSecs = time.Since(t0).Seconds()
+	fmt.Fprintf(w, "batch +%d graphs\tfull rebuild %.4fs\t%d/%d shards %.4fs\t%d/%d shards %.4fs\n",
+		batchN, report.RebuildFullSecs,
+		report.OneShardTouched, k, report.UpdateOneShardSecs,
+		report.ManyShardsTouched, k, report.UpdateManyShardsSecs)
+
+	// Query latency under concurrent budgeted load: C clients hammer the
+	// same query pool with MaxResults set, at several shard counts plus
+	// the monolithic baseline (Shards=0 in the report).
+	var queries []*graph.Graph
+	for len(queries) < queryN {
+		q := datagen.RandomConnectedSubgraph(rng, corpus.Graph(rng.Intn(corpus.Len())), 5+rng.Intn(4))
+		if q != nil {
+			queries = append(queries, q)
+		}
+	}
+	opts := pattern.MatchOptions()
+	opts.MaxResults = 10
+	ctx := context.Background()
+	runLoad := func(search func(context.Context, *graph.Graph) gindex.Result) []float64 {
+		var mu sync.Mutex
+		var lat []float64
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := make([]float64, 0, reps*len(queries))
+				for r := 0; r < reps; r++ {
+					for _, q := range queries {
+						t := time.Now()
+						search(ctx, q)
+						local = append(local, time.Since(t).Seconds())
+					}
+				}
+				mu.Lock()
+				lat = append(lat, local...)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		sort.Float64s(lat)
+		return lat
+	}
+	record := func(shards int, lat []float64) shardedQueryLoad {
+		l := shardedQueryLoad{
+			Shards: shards, Clients: clients, MaxResults: opts.MaxResults,
+			P50Secs: percentile(lat, 0.50), P99Secs: percentile(lat, 0.99),
+			Samples: len(lat),
+		}
+		report.QueryLoads = append(report.QueryLoads, l)
+		label := fmt.Sprintf("sharded k=%d", shards)
+		if shards == 0 {
+			label = "monolithic"
+		}
+		fmt.Fprintf(w, "query load (%d clients, max %d)\t%s\tp50 %.6fs\tp99 %.6fs\n",
+			clients, opts.MaxResults, label, l.P50Secs, l.P99Secs)
+		return l
+	}
+	monoLoad := record(0, runLoad(func(ctx context.Context, q *graph.Graph) gindex.Result {
+		return mono.SearchCtx(ctx, q, opts)
+	}))
+	ks := []int{1, 4, k}
+	seen := map[int]bool{}
+	for _, kk := range ks {
+		if seen[kk] {
+			continue
+		}
+		seen[kk] = true
+		idx := gindex.BuildSharded(corpus, kk, 0)
+		l := record(kk, runLoad(func(ctx context.Context, q *graph.Graph) gindex.Result {
+			return idx.SearchCtx(ctx, q, opts)
+		}))
+		if kk == 1 && monoLoad.P50Secs > 0 {
+			report.K1VsMonoP50 = l.P50Secs / monoLoad.P50Secs
+		}
+	}
+	fmt.Fprintf(w, "k=1 vs monolithic p50 ratio\t%.2f (≈1 means no sharding overhead at k=1)\n", report.K1VsMonoP50)
+
+	payload, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		if err := os.WriteFile("BENCH_sharded.json", payload, 0o644); err != nil {
+			fmt.Fprintf(w, "write BENCH_sharded.json: %v\n", err)
+		} else {
+			fmt.Fprintln(w, "wrote BENCH_sharded.json")
+		}
+	}
+}

@@ -41,6 +41,7 @@ func main() {
 		maxSize = flag.Int("maxsize", 12, "max pattern size (edges)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker pool size for parallel stages (0 = all CPUs); results are identical at any value")
+		shards  = flag.Int("shards", 0, "also maintain a sharded filter-verify index with this many shards, rebuilding only touched shards per batch (0 = all CPUs, -1 = no index)")
 		rerun   = flag.Bool("compare-rerun", false, "also time a from-scratch rebuild per batch")
 		state   = flag.String("state", "", "maintenance state file: loaded if present, saved after the run (with the updated corpus alongside as <state>.lg)")
 		timeout = flag.Duration("timeout", 0, "per-batch maintenance budget; corpus bookkeeping always completes, pattern improvement stops at the deadline (0 = unlimited)")
@@ -80,6 +81,12 @@ func main() {
 		}
 		fmt.Printf("initial build over %d graphs in %v\n", m.Corpus().Len(), time.Since(start).Round(time.Millisecond))
 	}
+	if *shards >= 0 {
+		t0 := time.Now()
+		m.EnableIndex(*shards, *workers)
+		fmt.Printf("built %d-shard filter-verify index in %v\n",
+			m.Index().NumShards(), time.Since(t0).Round(time.Millisecond))
+	}
 
 	removals := splitNames(*remove)
 	for bi, addFile := range adds {
@@ -106,10 +113,14 @@ func main() {
 		if rep.Truncated {
 			kind += ", truncated by -timeout"
 		}
-		fmt.Printf("batch %d (%s): +%d -%d graphs, GFD distance %.4f (%s), %d candidates, %d swaps, score %.3f -> %.3f, %v\n",
+		fmt.Printf("batch %d (%s): +%d -%d graphs, GFD distance %.4f (%s), %d candidates, %d swaps, score %.3f -> %.3f, patterns %v, total %v\n",
 			bi+1, addFile, rep.Added, rep.Removed, rep.GFDDistance, kind,
 			rep.Candidates, rep.Swaps, rep.ScoreBefore, rep.ScoreAfter,
-			maintainTime.Round(time.Millisecond))
+			rep.Elapsed.Round(time.Millisecond), maintainTime.Round(time.Millisecond))
+		if rep.Index != nil {
+			fmt.Printf("  index: rebuilt %d/%d shards %v\n",
+				len(rep.Index.Rebuilt), rep.Index.Shards, rep.Index.Rebuilt)
+		}
 		if *rerun {
 			t1 := time.Now()
 			if _, err := core.BuildCorpusVQI(m.Corpus().Clone(), opts); err != nil {
@@ -125,7 +136,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("removal-only batch: -%d graphs, GFD distance %.4f\n", rep.Removed, rep.GFDDistance)
+		fmt.Printf("removal-only batch: -%d graphs, GFD distance %.4f, %v\n", rep.Removed, rep.GFDDistance, rep.Elapsed.Round(time.Millisecond))
+		if rep.Index != nil {
+			fmt.Printf("  index: rebuilt %d/%d shards %v\n",
+				len(rep.Index.Rebuilt), rep.Index.Shards, rep.Index.Rebuilt)
+		}
 	}
 
 	payload, err := m.Spec().Encode()

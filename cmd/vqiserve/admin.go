@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Admin batch updates: POST /admin/update applies a MIDAS-style batch
+// (removals, then additions) to the live corpus. The handler is
+// read-copy-update: it never mutates the corpus or index a concurrent
+// query may be reading. It derives a fresh (corpus, index) pair — the
+// index via Sharded.ApplyBatch, which rebuilds only the shards owning
+// touched graphs and shares every other shard's core with the old index —
+// and installs the pair atomically. In-flight queries finish against the
+// snapshot they started on; new queries see the update.
+//
+// Caches are NOT reset. ApplyBatch bumps the rebuilt shards' epochs, and
+// both caches key on epochs (qcache.ShardKey / qcache.EpochKey), so
+// entries that could have changed become unreachable while per-shard
+// partials for untouched shards keep hitting.
+
+// updateRequest is the batch body. Added graphs use the same node/edge
+// shape as queries, plus a unique name.
+type updateRequest struct {
+	Add []struct {
+		Name  string   `json:"name"`
+		Nodes []string `json:"nodes"`
+		Edges []struct {
+			U     int    `json:"u"`
+			V     int    `json:"v"`
+			Label string `json:"label"`
+		} `json:"edges"`
+	} `json:"add"`
+	Remove []string `json:"remove"`
+}
+
+// updateResponse reports what the batch did and what it cost.
+type updateResponse struct {
+	Added   int   `json:"added"`
+	Removed int   `json:"removed"`
+	Graphs  int   `json:"graphs"`  // corpus size after the batch
+	Shards  int   `json:"shards"`  // total shard count
+	Rebuilt []int `json:"rebuilt"` // shards whose index was rebuilt
+	Millis  int64 `json:"millis"`  // wall-clock for apply+install
+}
+
+func (s *server) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
+	if err := s.inject.Fire("admin"); err != nil {
+		writeErr(w, http.StatusInternalServerError, "injected", err.Error())
+		return
+	}
+	if s.network {
+		writeErr(w, http.StatusConflict, "network_mode",
+			"batch updates apply to corpus mode; this server serves a single network")
+		return
+	}
+	if !s.ready.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "not_ready", "index build in progress")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", s.maxBodyBytes))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "bad_json", err.Error())
+		return
+	}
+	if len(req.Add) == 0 && len(req.Remove) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty_batch", "batch has no additions and no removals")
+		return
+	}
+	added := make([]*graph.Graph, 0, len(req.Add))
+	for i, ag := range req.Add {
+		if ag.Name == "" {
+			writeErr(w, http.StatusBadRequest, "bad_batch",
+				fmt.Sprintf("add[%d]: graph name is required", i))
+			return
+		}
+		g := graph.New(ag.Name)
+		for _, l := range ag.Nodes {
+			g.AddNode(l)
+		}
+		for _, e := range ag.Edges {
+			if _, err := g.AddEdge(e.U, e.V, e.Label); err != nil {
+				writeErr(w, http.StatusBadRequest, "bad_batch",
+					fmt.Sprintf("add[%d] %q: %v", i, ag.Name, err))
+				return
+			}
+		}
+		added = append(added, g)
+	}
+
+	// One writer at a time: ApplyBatch derives the next index from the
+	// current one, so concurrent updates must serialize or one would
+	// clobber the other. Queries never take updateMu.
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	start := time.Now()
+	corpus, idx := s.snapshot()
+	next, rep, err := idx.ApplyBatch(added, req.Remove)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_batch", err.Error())
+		return
+	}
+	// Mirror the batch onto a fresh flat corpus (used by facets and the
+	// spec-derived panels). Same order discipline as the index: survivors
+	// keep their relative order, additions append — so corpus positions
+	// agree with the index's global positions.
+	rm := make(map[string]bool, len(req.Remove))
+	for _, n := range req.Remove {
+		rm[n] = true
+	}
+	nc := graph.NewCorpus()
+	corpus.Each(func(_ int, g *graph.Graph) {
+		if !rm[g.Name()] {
+			nc.MustAdd(g)
+		}
+	})
+	for _, g := range added {
+		nc.MustAdd(g)
+	}
+	s.mu.Lock()
+	s.corpus = nc
+	s.index = next
+	s.mu.Unlock()
+	elapsed := time.Since(start)
+	log.Printf("vqiserve: admin update +%d -%d graphs, rebuilt %d/%d shards in %v",
+		rep.Added, rep.Removed, len(rep.Rebuilt), rep.Shards, elapsed.Round(time.Microsecond))
+	rebuilt := rep.Rebuilt
+	if rebuilt == nil {
+		rebuilt = []int{}
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		Added:   rep.Added,
+		Removed: rep.Removed,
+		Graphs:  nc.Len(),
+		Shards:  rep.Shards,
+		Rebuilt: rebuilt,
+		Millis:  elapsed.Milliseconds(),
+	})
+}

@@ -10,10 +10,12 @@ import (
 	"runtime/debug"
 
 	"repro/internal/canon"
+	"repro/internal/gindex"
 	"repro/internal/graph"
 	"repro/internal/isomorph"
 	"repro/internal/par"
 	"repro/internal/pattern"
+	"repro/internal/qcache"
 	"repro/internal/results"
 	"repro/internal/vqi"
 )
@@ -49,6 +51,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /api/spec", s.handleSpec)
 	mux.HandleFunc("POST /api/query", s.withTimeout(s.handleQuery))
 	mux.HandleFunc("POST /api/suggest", s.withTimeout(s.handleSuggest))
+	mux.HandleFunc("POST /admin/update", s.handleAdminUpdate)
 	return withRecover(mux)
 }
 
@@ -185,49 +188,60 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	corpus, idx := s.snapshot()
 	if s.qc == nil {
-		resp, status := s.execQuery(ctx, q)
+		resp, status := s.execQuery(ctx, q, corpus, idx)
 		writeJSON(w, status, resp)
 		return
 	}
 	// Isomorphic queries share one cache line regardless of how the user
-	// drew them: the key is the canonical code of the query graph. Only
-	// complete answers are stored — a truncated or timed-out response is
-	// handed to its waiters but never cached. Waiters de-duplicated onto an
-	// in-flight computation share the leader's outcome (including its
-	// budget), which is the desired behavior for a stampede of identical
-	// queries.
-	out := s.qc.Do(canon.String(q), func() (cachedResponse, bool) {
-		resp, status := s.execQuery(ctx, q)
+	// drew them: the key starts from the canonical code of the query graph.
+	// With a sharded index the key is additionally scoped to the full
+	// shard-epoch vector, so a batch update silently retires every cached
+	// answer that could have changed — no Reset, and answers computed
+	// against the old index never leak past the update. Only complete
+	// answers are stored — a truncated or timed-out response is handed to
+	// its waiters but never cached. Waiters de-duplicated onto an in-flight
+	// computation share the leader's outcome (including its budget), which
+	// is the desired behavior for a stampede of identical queries.
+	key := canon.String(q)
+	if idx != nil {
+		key = qcache.EpochKey(key, idx.Epochs())
+	}
+	out := s.qc.Do(key, func() (cachedResponse, bool) {
+		resp, status := s.execQuery(ctx, q, corpus, idx)
 		return cachedResponse{resp: resp, status: status},
 			status == http.StatusOK && !resp.Truncated
 	})
 	writeJSON(w, out.status, out.resp)
 }
 
-// execQuery answers a decoded query graph: network-mode embedding count,
-// indexed filter-verify, or the pre-index fallback scan. Returns the
-// response and the HTTP status to serve it with.
-func (s *server) execQuery(ctx context.Context, q *graph.Graph) (queryResponse, int) {
+// execQuery answers a decoded query graph against one (corpus, index)
+// snapshot: network-mode embedding count, sharded filter-verify, or the
+// pre-index fallback scan. Returns the response and the HTTP status to
+// serve it with. Taking the snapshot as parameters (rather than reading
+// s.corpus/s.index) keeps one request on one corpus version even if an
+// admin update lands mid-query.
+func (s *server) execQuery(ctx context.Context, q *graph.Graph, corpus *graph.Corpus, idx *gindex.Sharded) (queryResponse, int) {
 	var resp queryResponse
 	status := http.StatusOK
 	if s.network {
-		res := isomorph.Count(q, s.corpus.Graph(0), isomorph.Options{
+		res := isomorph.Count(q, corpus.Graph(0), isomorph.Options{
 			MaxEmbeddings: 1000, MaxSteps: 2_000_000, Ctx: ctx})
 		resp.Embeddings = res.Embeddings
 		resp.Truncated = res.Truncated
 		if res.Reason == isomorph.StopCanceled {
 			status = http.StatusGatewayTimeout
 		}
-	} else if idx := s.getIndex(); idx != nil {
-		res := idx.SearchCtx(ctx, q, pattern.MatchOptions())
+	} else if idx != nil {
+		res := s.searchSharded(ctx, idx, q)
 		resp.Matched = res.Matches
 		resp.Truncated = res.Truncated
 		if ctx.Err() != nil {
 			status = http.StatusGatewayTimeout
 		} else {
 			// Facets cost extra matching; skip them once the budget is gone.
-			resp.Facets = s.facets(resp.Matched)
+			resp.Facets = s.facets(resp.Matched, corpus)
 		}
 	} else {
 		// Fallback without an index (e.g. before the background build
@@ -236,12 +250,12 @@ func (s *server) execQuery(ctx context.Context, q *graph.Graph) (queryResponse, 
 		// order. Cancellation stops dispatch; completed slots are kept.
 		opts := pattern.MatchOptions()
 		opts.Ctx = ctx
-		matched, err := par.MapCtx(ctx, s.corpus.Len(), s.workers, func(i int) bool {
-			return isomorph.Exists(q, s.corpus.Graph(i), opts)
+		matched, err := par.MapCtx(ctx, corpus.Len(), s.workers, func(i int) bool {
+			return isomorph.Exists(q, corpus.Graph(i), opts)
 		})
 		for i, hit := range matched {
 			if hit {
-				resp.Matched = append(resp.Matched, s.corpus.Graph(i).Name())
+				resp.Matched = append(resp.Matched, corpus.Graph(i).Name())
 			}
 		}
 		if err != nil {
@@ -252,8 +266,38 @@ func (s *server) execQuery(ctx context.Context, q *graph.Graph) (queryResponse, 
 	return resp, status
 }
 
+// searchSharded runs the query over the sharded index. With the partial
+// cache enabled, each shard's result is fetched (or computed) under a
+// (query, shard, epoch) key and the partials are merged to the exact
+// global answer — after a batch update only the rebuilt shards recompute.
+// Per-shard partials are computed independently (each capped at
+// MaxResults) rather than under the shared cross-shard budget, precisely
+// so they are a pure function of (query, shard content) and therefore
+// cacheable; MergeShardResults re-applies the global cap. Without the
+// cache, the shared-budget fan-out in SearchCtx is cheaper and is used
+// directly.
+func (s *server) searchSharded(ctx context.Context, idx *gindex.Sharded, q *graph.Graph) gindex.Result {
+	opts := pattern.MatchOptions()
+	opts.MaxResults = s.maxResults
+	if s.shardQC == nil {
+		return idx.SearchCtx(ctx, q, opts)
+	}
+	base := canon.String(q)
+	partials := make([]gindex.ShardResult, idx.NumShards())
+	par.ForEachN(idx.NumShards(), s.workers, func(si int) {
+		key := qcache.ShardKey(base, si, idx.Epoch(si))
+		partials[si] = s.shardQC.Do(key, func() (gindex.ShardResult, bool) {
+			// A partial cut short by cancellation is incomplete for this
+			// shard; hand it to waiters but never cache it.
+			r := idx.SearchShardCtx(ctx, si, q, opts)
+			return r, !r.Truncated
+		})
+	})
+	return gindex.MergeShardResults(partials, s.maxResults)
+}
+
 // facets groups matched graphs by the spec's canned patterns.
-func (s *server) facets(matched []string) []facetEntry {
+func (s *server) facets(matched []string, corpus *graph.Corpus) []facetEntry {
 	if len(matched) == 0 {
 		return nil
 	}
@@ -263,7 +307,7 @@ func (s *server) facets(matched []string) []facetEntry {
 	}
 	// Only canned patterns facet usefully; basics match almost everything.
 	canned := panel[len(s.spec.Patterns.Basic):]
-	fs, _ := results.Facets(matched, s.corpus, canned, pattern.MatchOptions())
+	fs, _ := results.Facets(matched, corpus, canned, pattern.MatchOptions())
 	var out []facetEntry
 	for _, f := range fs {
 		out = append(out, facetEntry{

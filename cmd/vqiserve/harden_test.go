@@ -139,7 +139,7 @@ func TestHealthzAndReadyzGate(t *testing.T) {
 	if rec := get("/readyz"); rec.Code != 200 {
 		t.Fatalf("readyz after index build = %d", rec.Code)
 	}
-	if s.getIndex() == nil {
+	if _, idx := s.snapshot(); idx == nil {
 		t.Fatal("corpus server ready without an index")
 	}
 }

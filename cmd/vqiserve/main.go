@@ -13,6 +13,10 @@
 //	POST /api/query   {"nodes":["C",...],"edges":[{"u":0,"v":1,"label":"s"}]}
 //	                  → {"matched":[...names...],"embeddings":N,"truncated":false}
 //	POST /api/suggest partial query → suggested pattern completions
+//	POST /admin/update {"add":[{"name":"g9","nodes":[...],"edges":[...]}],"remove":["g3"]}
+//	                  batch corpus update; rebuilds only the index shards
+//	                  owning touched graphs and invalidates only their
+//	                  cached partials
 //
 // The server is hardened for interactive use: every query runs under a
 // per-request deadline (-query-timeout) threaded into the matcher, request
@@ -52,9 +56,11 @@ import (
 
 type server struct {
 	spec    *vqi.Spec
-	corpus  *graph.Corpus
 	network bool
 	workers int // worker pool size for per-graph query verification
+
+	shards     int // filter-verify index shard count (0 = GOMAXPROCS)
+	maxResults int // per-query cap on matching graphs (0 = unlimited)
 
 	queryTimeout time.Duration // per-request budget for /api/query and /api/suggest
 	maxBodyBytes int64         // request body cap
@@ -62,17 +68,45 @@ type server struct {
 
 	inject *faultinject.Injector // nil in production; armed by fault-injection tests
 
-	// qc caches query responses by the canonical code of the posted query
-	// graph, with single-flight de-duplication of concurrent identical
-	// queries. nil when caching is disabled. Invalidation rule: any path
-	// that installs a new index (buildIndex) must Reset the cache — cached
-	// entries are only valid for the corpus snapshot they were computed
-	// against.
+	// qc caches whole query responses under an epoch-scoped key
+	// (qcache.EpochKey over the canonical query code and every shard's
+	// epoch), with single-flight de-duplication of concurrent identical
+	// queries. nil when caching is disabled. Invalidation is by key: a
+	// batch update bumps the rebuilt shards' epochs, so post-update
+	// lookups use fresh keys and stale entries age out of the LRU. The
+	// from-scratch build path (buildIndex) still Resets explicitly, since
+	// a rebuilt index restarts its epochs.
 	qc *qcache.Cache[cachedResponse]
 
+	// shardQC caches per-shard partial results under (query, shard,
+	// epoch) keys (qcache.ShardKey). After a batch update only the
+	// rebuilt shards' partials miss; the untouched shards' partials —
+	// usually most of the work — are reused, which is the partial cache
+	// invalidation the sharded index exists for. nil when caching is
+	// disabled.
+	shardQC *qcache.Cache[gindex.ShardResult]
+
 	ready atomic.Bool
-	mu    sync.RWMutex
-	index *gindex.Index // filter-verify index; set once buildIndex completes
+
+	// updateMu serializes admin batch updates (read-copy-update writers);
+	// queries never take it.
+	updateMu sync.Mutex
+
+	// mu guards the (corpus, index) snapshot pair. Both values are
+	// immutable once installed — readers snapshot the pointers and then
+	// work lock-free; admin updates install fresh pairs.
+	mu     sync.RWMutex
+	corpus *graph.Corpus
+	index  *gindex.Sharded // sharded filter-verify index; set once buildIndex completes
+}
+
+// snapshot returns the current corpus/index pair. The returned values are
+// immutable; a concurrent admin update installs new ones rather than
+// mutating these.
+func (s *server) snapshot() (*graph.Corpus, *gindex.Sharded) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.corpus, s.index
 }
 
 // cachedResponse is a completed query outcome: the response body plus the
@@ -85,6 +119,8 @@ type cachedResponse struct {
 // serverConfig carries the serving knobs from flags (and tests).
 type serverConfig struct {
 	workers      int
+	shards       int // index shard count (0 = GOMAXPROCS)
+	maxResults   int // per-query match cap (0 = unlimited)
 	queryTimeout time.Duration
 	maxBodyBytes int64
 	maxQuerySize int
@@ -103,24 +139,28 @@ func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
 		corpus:       corpus,
 		network:      corpus.Len() == 1,
 		workers:      cfg.workers,
+		shards:       cfg.shards,
+		maxResults:   cfg.maxResults,
 		queryTimeout: cfg.queryTimeout,
 		maxBodyBytes: cfg.maxBodyBytes,
 		maxQuerySize: cfg.maxQuerySize,
 	}
 	if cfg.cacheSize > 0 {
 		s.qc = qcache.New[cachedResponse](cfg.cacheSize)
+		s.shardQC = qcache.New[gindex.ShardResult](cfg.cacheSize)
 	}
 	return s
 }
 
-// buildIndex builds the filter-verify index (corpus mode) and flips the
-// readiness gate. It runs in the background so the listener is up — and
-// /healthz green — while a large corpus indexes. Installing the index
-// resets the query cache: responses computed before the index existed (or
-// against a previous index) must not be served afterwards.
+// buildIndex builds the sharded filter-verify index (corpus mode) and
+// flips the readiness gate. It runs in the background so the listener is
+// up — and /healthz green — while a large corpus indexes. Installing a
+// from-scratch index resets both caches: its epochs restart at zero, so
+// key-based invalidation cannot distinguish it from the previous build.
 func (s *server) buildIndex() {
+	corpus, _ := s.snapshot()
 	if !s.network {
-		idx := gindex.Build(s.corpus)
+		idx := gindex.BuildSharded(corpus, s.shards, s.workers)
 		s.mu.Lock()
 		s.index = idx
 		s.mu.Unlock()
@@ -128,14 +168,11 @@ func (s *server) buildIndex() {
 	if s.qc != nil {
 		s.qc.Reset()
 	}
+	if s.shardQC != nil {
+		s.shardQC.Reset()
+	}
 	s.ready.Store(true)
-	log.Printf("vqiserve: ready (%d data graphs)", s.corpus.Len())
-}
-
-func (s *server) getIndex() *gindex.Index {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.index
+	log.Printf("vqiserve: ready (%d data graphs)", corpus.Len())
 }
 
 // serve binds addr, starts the hardened http.Server, and blocks until the
@@ -148,8 +185,9 @@ func (s *server) serve(ctx context.Context, addr string, grace time.Duration, st
 	if err != nil {
 		return fmt.Errorf("cannot listen on %s: %w", addr, err)
 	}
+	corpus, _ := s.snapshot()
 	log.Printf("vqiserve: %d data graphs, %d canned patterns, listening on %s",
-		s.corpus.Len(), len(s.spec.Patterns.Canned), ln.Addr())
+		corpus.Len(), len(s.spec.Patterns.Canned), ln.Addr())
 	if started != nil {
 		started <- ln.Addr()
 	}
@@ -183,6 +221,8 @@ func main() {
 		dataPath = flag.String("data", "", "data source .lg file (required)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		workers  = flag.Int("workers", 0, "worker pool size for query verification (0 = all CPUs)")
+		shards   = flag.Int("shards", 0, "filter-verify index shard count (0 = all CPUs); batch updates posted to /admin/update rebuild only the touched shards")
+		maxRes   = flag.Int("max-results", 0, "cap on matching graphs returned per query; the sharded search stops verifying once the cap is provably reached (0 = unlimited)")
 		qTimeout = flag.Duration("query-timeout", 10*time.Second, "per-request budget for query/suggest; exhausted budgets return 504 with partial results (0 = unlimited)")
 		grace    = flag.Duration("shutdown-grace", 5*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 		maxBody  = flag.Int64("max-body-bytes", 1<<20, "request body size cap (413 beyond it)")
@@ -216,6 +256,8 @@ func main() {
 	}
 	s := newServer(spec, corpus, serverConfig{
 		workers:      *workers,
+		shards:       *shards,
+		maxResults:   *maxRes,
 		queryTimeout: *qTimeout,
 		maxBodyBytes: *maxBody,
 		maxQuerySize: *maxQuery,

@@ -128,7 +128,7 @@ func TestHandleQueryFacets(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := newServer(spec, corpus, serverConfig{})
-	s.index = gindex.Build(corpus)
+	s.index = gindex.BuildSharded(corpus, 4, 0)
 	body := `{"nodes":["C","C"],"edges":[{"u":0,"v":1,"label":"s"}]}`
 	rec := httptest.NewRecorder()
 	s.handleQuery(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(body)))

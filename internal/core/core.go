@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/catapult"
+	"repro/internal/gindex"
 	"repro/internal/graph"
 	"repro/internal/isomorph"
 	"repro/internal/midas"
@@ -116,11 +117,16 @@ func BuildManualVQI(preset string, c *graph.Corpus) (*Spec, error) {
 }
 
 // Maintainer keeps a corpus-backed VQI fresh under batch updates using
-// MIDAS.
+// MIDAS. With EnableIndex it additionally maintains a sharded
+// filter-verify index over the same corpus, rebuilding only the shards a
+// batch touches.
 type Maintainer struct {
 	state *midas.State
 	spec  *Spec
 	seed  int64
+
+	idx        *gindex.Sharded // nil until EnableIndex
+	idxWorkers int
 }
 
 // NewMaintainer builds the VQI and its maintenance state in one pass. The
@@ -181,8 +187,30 @@ func (m *Maintainer) Spec() *Spec { return m.spec }
 // Corpus returns the maintained corpus.
 func (m *Maintainer) Corpus() *graph.Corpus { return m.state.Corpus() }
 
-// BatchReport re-exports MIDAS's per-batch report.
-type BatchReport = midas.Report
+// EnableIndex attaches a sharded filter-verify index (gindex.Sharded) to
+// the maintainer: it is built once over the current corpus and from then
+// on maintained incrementally by ApplyBatch — each batch rebuilds only the
+// shards owning touched graphs, reported in BatchReport.Index. shards<=0
+// means GOMAXPROCS; workers bounds the per-shard build pool.
+func (m *Maintainer) EnableIndex(shards, workers int) {
+	m.idxWorkers = workers
+	m.idx = gindex.BuildSharded(m.state.Corpus(), shards, workers)
+}
+
+// Index returns the maintained sharded index, or nil if EnableIndex was
+// never called. The returned value is immutable; ApplyBatch installs a
+// fresh one.
+func (m *Maintainer) Index() *gindex.Sharded { return m.idx }
+
+// BatchReport is MIDAS's per-batch report plus, when an index is attached
+// (EnableIndex), the incremental index-maintenance report.
+type BatchReport struct {
+	midas.Report
+	// Index describes the sharded-index maintenance for this batch: how
+	// many shards exist and which were rebuilt. nil when no index is
+	// attached.
+	Index *gindex.UpdateReport
+}
 
 // ApplyBatch ingests added graphs and removes the named ones, maintains
 // the canned pattern set, and refreshes the spec.
@@ -199,7 +227,20 @@ func (m *Maintainer) ApplyBatchCtx(ctx context.Context, added []*graph.Graph, re
 		return nil, err
 	}
 	m.refreshSpec()
-	return rep, nil
+	out := &BatchReport{Report: *rep}
+	if m.idx != nil {
+		// Index maintenance mirrors the batch MIDAS just applied, touching
+		// only the shards owning added or removed graphs. It is
+		// consistency-critical like the corpus bookkeeping, so it does not
+		// degrade under the context.
+		next, irep, err := m.idx.ApplyBatch(added, removedNames)
+		if err != nil {
+			return nil, fmt.Errorf("core: index maintenance: %v", err)
+		}
+		m.idx = next
+		out.Index = irep
+	}
+	return out, nil
 }
 
 // MarshalState serializes the maintenance state (cluster membership,

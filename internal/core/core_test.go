@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/graph"
+	"repro/internal/isomorph"
 )
 
 func corpus() *graph.Corpus {
@@ -87,6 +88,59 @@ func TestMaintainerLifecycle(t *testing.T) {
 	// Attribute panel refreshed from the updated corpus.
 	if len(m.Spec().Attribute.NodeLabels) == 0 {
 		t.Fatal("attribute panel lost")
+	}
+}
+
+// TestMaintainerIndexFollowsBatches attaches a sharded index and checks
+// every batch keeps it consistent with the maintained corpus: after each
+// ApplyBatch the index's answers must equal a brute-force QueryCorpus scan.
+func TestMaintainerIndexFollowsBatches(t *testing.T) {
+	m, err := NewMaintainer(corpus(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Index() != nil {
+		t.Fatal("index attached before EnableIndex")
+	}
+	const shards = 3
+	m.EnableIndex(shards, 0)
+	if m.Index() == nil || m.Index().NumShards() != shards {
+		t.Fatalf("index = %+v", m.Index())
+	}
+
+	q := graph.New("q")
+	q.AddNode("C")
+	q.AddNode("C")
+	q.MustAddEdge(0, 1, "s")
+	rng := rand.New(rand.NewSource(9))
+	for bi := 0; bi < 3; bi++ {
+		var batch []*graph.Graph
+		for i := 0; i < 4; i++ {
+			batch = append(batch, datagen.Chemical(rng, fmt.Sprintf("ib%d-%d", bi, i),
+				datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14}))
+		}
+		rm := m.Corpus().Names()[:2]
+		rep, err := m.ApplyBatch(batch, rm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Index == nil {
+			t.Fatal("batch report missing index maintenance")
+		}
+		if rep.Index.Shards != shards || len(rep.Index.Rebuilt) == 0 {
+			t.Fatalf("index report = %+v", rep.Index)
+		}
+		if rep.Index.Added != len(batch) || rep.Index.Removed != len(rm) {
+			t.Fatalf("index report = %+v", rep.Index)
+		}
+		if m.Index().Len() != m.Corpus().Len() {
+			t.Fatalf("index holds %d graphs, corpus %d", m.Index().Len(), m.Corpus().Len())
+		}
+		got := m.Index().Search(q, isomorph.Options{MaxEmbeddings: 1, MaxSteps: 500000}).Matches
+		want := QueryCorpus(q, m.Corpus())
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("batch %d: index %v, brute force %v", bi, got, want)
+		}
 	}
 }
 

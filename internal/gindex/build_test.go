@@ -1,0 +1,111 @@
+package gindex
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+// Regression tests for the corpus-size edge cases: an empty corpus must
+// not allocate size-class suffix bitsets (there is no value range to
+// cover), and a single-graph corpus must behave exactly like the general
+// case.
+
+func TestBuildSizeClassEmpty(t *testing.T) {
+	sc := buildSizeClass(nil)
+	if len(sc.sizes) != 0 || len(sc.ge) != 0 {
+		t.Fatalf("empty value range allocated %d sizes, %d suffix bitsets", len(sc.sizes), len(sc.ge))
+	}
+	if _, ok := sc.atLeast(0); ok {
+		t.Fatal("atLeast over an empty range must report no graphs")
+	}
+}
+
+func TestBuildEmptyCorpus(t *testing.T) {
+	idx := Build(graph.NewCorpus())
+	if n := len(idx.sizeNodes.ge) + len(idx.sizeEdges.ge); n != 0 {
+		t.Fatalf("empty corpus allocated %d suffix bitsets", n)
+	}
+	q := graph.New("q")
+	q.AddNode("C")
+	if cands := idx.Candidates(q); cands != nil {
+		t.Fatalf("Candidates on empty corpus = %v", cands)
+	}
+	res := idx.Search(q, pattern.MatchOptions())
+	if len(res.Matches) != 0 || res.Candidates != 0 || res.Scanned != 0 || res.Truncated {
+		t.Fatalf("search on empty corpus = %+v", res)
+	}
+	if idx.FilterRatio(q) != 0 {
+		t.Fatalf("FilterRatio on empty corpus = %v", idx.FilterRatio(q))
+	}
+}
+
+func TestBuildSingleGraph(t *testing.T) {
+	g := graph.New("only")
+	g.AddNode("C")
+	g.AddNode("O")
+	g.MustAddEdge(0, 1, "s")
+	c := graph.NewCorpus()
+	c.MustAdd(g)
+	idx := Build(c)
+
+	hit := graph.New("hit")
+	hit.AddNode("C")
+	hit.AddNode("O")
+	hit.MustAddEdge(0, 1, "s")
+	if res := idx.Search(hit, isomorph.Options{}); !reflect.DeepEqual(res.Matches, []string{"only"}) {
+		t.Fatalf("single-graph hit = %+v", res)
+	}
+	// A query larger than the one graph must be pruned by the size class.
+	big := graph.New("big")
+	big.AddNodes(3, "C")
+	big.MustAddEdge(0, 1, "s")
+	big.MustAddEdge(1, 2, "s")
+	if cands := idx.Candidates(big); len(cands) != 0 {
+		t.Fatalf("oversized query produced candidates %v", cands)
+	}
+	miss := graph.New("miss")
+	miss.AddNode("N")
+	if cands := idx.Candidates(miss); len(cands) != 0 {
+		t.Fatalf("absent-label query produced candidates %v", cands)
+	}
+}
+
+// TestSearchMaxResultsIsOrderedPrefix pins the monolithic MaxResults
+// contract Sharded's budget reproduces: the budgeted answer is the prefix
+// of the unbudgeted one, in corpus order.
+func TestSearchMaxResultsIsOrderedPrefix(t *testing.T) {
+	c := datagen.ChemicalCorpus(4, 60, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14})
+	idx := Build(c)
+	q := graph.New("q")
+	q.AddNode("C")
+	q.AddNode("C")
+	q.MustAddEdge(0, 1, "s")
+	opts := pattern.MatchOptions()
+	full := idx.Search(q, opts)
+	if len(full.Matches) < 5 {
+		t.Fatalf("fixture too weak: only %d matches", len(full.Matches))
+	}
+	for _, max := range []int{1, 3, len(full.Matches), len(full.Matches) + 10} {
+		bopts := opts
+		bopts.MaxResults = max
+		got := idx.Search(q, bopts)
+		want := full.Matches
+		if len(want) > max {
+			want = want[:max]
+		}
+		if !reflect.DeepEqual(got.Matches, want) {
+			t.Fatalf("max=%d: %v, want prefix %v", max, got.Matches, want)
+		}
+		if got.Truncated {
+			t.Fatal("a satisfied MaxResults budget is not a truncation")
+		}
+		if max < full.Verified && got.Verified >= full.Verified {
+			t.Fatalf("budget did not cut verification: %d vs %d", got.Verified, full.Verified)
+		}
+	}
+}

@@ -33,8 +33,14 @@ type sizeClass struct {
 
 func buildSizeClass(vals []int) sizeClass {
 	n := len(vals)
-	seen := make(map[int]bool, n)
 	var sc sizeClass
+	if n == 0 {
+		// Empty corpus: no value range, so no suffix bitsets. atLeast
+		// then always answers (nil, false), which Candidates turns into
+		// "no matches".
+		return sc
+	}
+	seen := make(map[int]bool, n)
 	for _, v := range vals {
 		if !seen[v] {
 			seen[v] = true
@@ -331,6 +337,13 @@ func (idx *Index) SearchCtx(ctx context.Context, q *graph.Graph, opts isomorph.O
 		res.Verified++
 		if r.Embeddings > 0 {
 			res.Matches = append(res.Matches, g.Name())
+			// Candidates are verified in ascending corpus order, so
+			// stopping at the budget returns exactly the MaxResults
+			// lowest-position matches — the same prefix Sharded's
+			// budgeted fan-out reconstructs.
+			if opts.MaxResults > 0 && len(res.Matches) >= opts.MaxResults {
+				break
+			}
 		} else if r.Truncated {
 			res.Truncated = true
 		}

@@ -1,0 +1,435 @@
+package gindex
+
+// Sharded partitions the filter-verify index across K shards so that
+// (a) corpus changes rebuild only the shards that actually hold touched
+// graphs (batch-update latency scales with touched-shard count, not corpus
+// size — the MIDAS maintenance story applied to the query index), and
+// (b) queries fan out across shards in parallel under a shared result
+// budget, stopping shards early once the budget provably cannot admit
+// anything they still hold.
+//
+// Contract:
+//
+//   - Partitioning is a deterministic hash of the graph name (ShardOf), so
+//     the same corpus always shards the same way at a given K.
+//   - Results are merged in global corpus order, and Search returns exactly
+//     the same match set and order as the monolithic Index built over the
+//     same corpus — including under an opts.MaxResults budget, where both
+//     return the first MaxResults matches in corpus order. Index is the
+//     K=1 oracle; the property tests assert the equivalence.
+//   - ApplyBatch is copy-on-write: it returns a new Sharded sharing the
+//     untouched shards' indexes with the old one and bumps the epochs of
+//     the rebuilt shards only. The old value stays fully usable, which is
+//     what lets a serving layer swap indexes under concurrent queries
+//     without locking readers.
+//   - Per-shard epochs are the cache-invalidation currency: an entry keyed
+//     by (query, shard, epoch) stays valid across updates that did not
+//     rebuild that shard (see qcache.ShardKey / qcache.EpochKey).
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/par"
+)
+
+// ShardOf returns the shard owning the graph with the given name, in
+// [0, k). The FNV-1a hash is stable across processes, so a corpus shards
+// identically wherever it is loaded.
+func ShardOf(name string, k int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(k))
+}
+
+// shardCore is the immutable per-shard state: the shard's sub-corpus and
+// the monolithic Index built over it. ApplyBatch shares cores of untouched
+// shards between generations; everything position-dependent (global
+// positions, epochs) lives on Sharded itself because removals anywhere in
+// the corpus renumber every shard's graphs.
+type shardCore struct {
+	sub *graph.Corpus
+	idx *Index
+}
+
+// Sharded is a K-way sharded filter-verify index over a corpus snapshot.
+// It is immutable: Search never mutates it, and ApplyBatch returns a new
+// value. Safe for unsynchronized concurrent reads.
+type Sharded struct {
+	k       int
+	workers int
+	shards  []*shardCore
+	globals [][]int // shard -> local position -> global corpus position (ascending)
+	epochs  []uint64
+	order   []string       // graph names in global corpus order
+	pos     map[string]int // name -> global position
+}
+
+// BuildSharded partitions c into k shards by ShardOf and builds the
+// per-shard indexes in parallel on a bounded pool (workers <= 0 =
+// GOMAXPROCS). k <= 0 also defaults to GOMAXPROCS. The corpus graphs are
+// held by reference; treat them as immutable afterwards.
+func BuildSharded(c *graph.Corpus, k, workers int) *Sharded {
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	sh := &Sharded{
+		k:       k,
+		workers: workers,
+		shards:  make([]*shardCore, k),
+		globals: make([][]int, k),
+		epochs:  make([]uint64, k),
+		order:   make([]string, 0, c.Len()),
+		pos:     make(map[string]int, c.Len()),
+	}
+	subs := make([]*graph.Corpus, k)
+	for s := range subs {
+		subs[s] = graph.NewCorpus()
+	}
+	c.Each(func(gi int, g *graph.Graph) {
+		s := ShardOf(g.Name(), k)
+		subs[s].MustAdd(g)
+		sh.globals[s] = append(sh.globals[s], gi)
+		sh.pos[g.Name()] = gi
+		sh.order = append(sh.order, g.Name())
+	})
+	par.ForEachN(k, workers, func(s int) {
+		sh.shards[s] = &shardCore{sub: subs[s], idx: Build(subs[s])}
+	})
+	return sh
+}
+
+// NumShards returns K.
+func (sh *Sharded) NumShards() int { return sh.k }
+
+// Len returns the number of indexed graphs.
+func (sh *Sharded) Len() int { return len(sh.order) }
+
+// Epoch returns shard s's epoch: it starts at 0 and is bumped every time
+// ApplyBatch rebuilds the shard. Equal epochs at equal K mean the shard's
+// contents are unchanged.
+func (sh *Sharded) Epoch(s int) uint64 { return sh.epochs[s] }
+
+// Epochs returns a copy of all per-shard epochs, indexed by shard.
+func (sh *Sharded) Epochs() []uint64 {
+	out := make([]uint64, len(sh.epochs))
+	copy(out, sh.epochs)
+	return out
+}
+
+// UpdateReport describes one incremental ApplyBatch.
+type UpdateReport struct {
+	Added, Removed int
+	Shards         int   // K
+	Rebuilt        []int // ids of the shards that were rebuilt, ascending
+}
+
+// ApplyBatch applies a batch update — removals first, then additions, the
+// MIDAS batch shape — and returns a new Sharded. Only the shards owning a
+// removed or added graph are rebuilt; every other shard's sub-corpus and
+// index are shared with the receiver, and only rebuilt shards' epochs are
+// bumped. The receiver is left untouched and remains a valid index over
+// the pre-batch corpus.
+func (sh *Sharded) ApplyBatch(added []*graph.Graph, removedNames []string) (*Sharded, *UpdateReport, error) {
+	removedSet := make(map[string]bool, len(removedNames))
+	for _, name := range removedNames {
+		if _, ok := sh.pos[name]; !ok {
+			return nil, nil, fmt.Errorf("gindex: ApplyBatch: removed graph %q not indexed", name)
+		}
+		if removedSet[name] {
+			return nil, nil, fmt.Errorf("gindex: ApplyBatch: graph %q removed twice", name)
+		}
+		removedSet[name] = true
+	}
+	addedSet := make(map[string]bool, len(added))
+	for _, g := range added {
+		if g == nil {
+			return nil, nil, fmt.Errorf("gindex: ApplyBatch: nil added graph")
+		}
+		name := g.Name()
+		if _, exists := sh.pos[name]; exists && !removedSet[name] {
+			return nil, nil, fmt.Errorf("gindex: ApplyBatch: added graph %q already indexed", name)
+		}
+		if addedSet[name] {
+			return nil, nil, fmt.Errorf("gindex: ApplyBatch: graph %q added twice", name)
+		}
+		addedSet[name] = true
+	}
+
+	touched := make(map[int]bool)
+	for name := range removedSet {
+		touched[ShardOf(name, sh.k)] = true
+	}
+	for name := range addedSet {
+		touched[ShardOf(name, sh.k)] = true
+	}
+
+	next := &Sharded{
+		k:       sh.k,
+		workers: sh.workers,
+		shards:  make([]*shardCore, sh.k),
+		globals: make([][]int, sh.k),
+		epochs:  make([]uint64, sh.k),
+		order:   make([]string, 0, len(sh.order)-len(removedSet)+len(added)),
+		pos:     make(map[string]int, len(sh.order)-len(removedSet)+len(added)),
+	}
+	copy(next.epochs, sh.epochs)
+
+	// New global order: corpus semantics — removals preserve relative
+	// order, additions append in batch order.
+	for _, name := range sh.order {
+		if !removedSet[name] {
+			next.order = append(next.order, name)
+		}
+	}
+	for _, g := range added {
+		next.order = append(next.order, g.Name())
+	}
+	for gi, name := range next.order {
+		next.pos[name] = gi
+		s := ShardOf(name, sh.k)
+		next.globals[s] = append(next.globals[s], gi)
+	}
+
+	// Untouched shards share their core; touched shards get a fresh
+	// sub-corpus (old members minus removals, plus this shard's additions
+	// in batch order) and a rebuilt index, in parallel.
+	var rebuilt []int
+	subs := make([]*graph.Corpus, sh.k)
+	for s := 0; s < sh.k; s++ {
+		if !touched[s] {
+			next.shards[s] = sh.shards[s]
+			continue
+		}
+		rebuilt = append(rebuilt, s)
+		next.epochs[s] = sh.epochs[s] + 1
+		sub := graph.NewCorpus()
+		sh.shards[s].sub.Each(func(_ int, g *graph.Graph) {
+			if !removedSet[g.Name()] {
+				sub.MustAdd(g)
+			}
+		})
+		subs[s] = sub
+	}
+	for _, g := range added {
+		subs[ShardOf(g.Name(), sh.k)].MustAdd(g)
+	}
+	par.ForEachN(len(rebuilt), sh.workers, func(i int) {
+		s := rebuilt[i]
+		next.shards[s] = &shardCore{sub: subs[s], idx: Build(subs[s])}
+	})
+
+	rep := &UpdateReport{
+		Added:   len(added),
+		Removed: len(removedSet),
+		Shards:  sh.k,
+		Rebuilt: rebuilt,
+	}
+	return next, rep, nil
+}
+
+// ShardMatch is one matching graph from a shard-local search, carrying its
+// global corpus position so partials from different shards merge into
+// corpus order.
+type ShardMatch struct {
+	Pos  int
+	Name string
+}
+
+// ShardResult is the outcome of filter-verify restricted to one shard. A
+// complete (non-Truncated) ShardResult depends only on the shard's
+// contents and the query, which is what makes it cacheable under a
+// (query, shard, epoch) key.
+type ShardResult struct {
+	Shard      int
+	Epoch      uint64
+	Matches    []ShardMatch // ascending Pos
+	Candidates int
+	Scanned    int
+	Verified   int
+	Truncated  bool
+}
+
+// SearchShardCtx runs filter-then-verify for q against shard s only.
+// Matches are capped at opts.MaxResults (a shard can contribute at most
+// that many graphs to any budgeted global answer), which keeps cached
+// partials bounded without losing merge exactness.
+func (sh *Sharded) SearchShardCtx(ctx context.Context, s int, q *graph.Graph, opts isomorph.Options) ShardResult {
+	return sh.searchShard(ctx, s, q, opts, nil)
+}
+
+// searchShard is SearchShardCtx plus an optional cross-shard budget: when
+// b is non-nil, confirmed matches are offered to the shared top-MaxResults
+// heap, and the shard stops outright once its next candidate's global
+// position exceeds the heap's bound — every later candidate in this shard
+// has a larger position still, so none can enter the final answer.
+func (sh *Sharded) searchShard(ctx context.Context, s int, q *graph.Graph, opts isomorph.Options, b *resultBudget) ShardResult {
+	core := sh.shards[s]
+	res := ShardResult{Shard: s, Epoch: sh.epochs[s], Scanned: core.sub.Len()}
+	if q.NumNodes() == 0 || core.sub.Len() == 0 {
+		return res
+	}
+	if opts.Ctx == nil {
+		opts.Ctx = ctx
+	}
+	cands := core.idx.Candidates(q)
+	res.Candidates = len(cands)
+	opts.MaxEmbeddings = 1
+	for _, li := range cands {
+		if ctx.Err() != nil {
+			res.Truncated = true
+			break
+		}
+		gp := sh.globals[s][li]
+		if b != nil && !b.viable(gp) {
+			break
+		}
+		g := core.sub.Graph(li)
+		opts.TargetIndex = core.idx.labelIdx[li]
+		r := isomorph.Count(q, g, opts)
+		res.Verified++
+		if r.Embeddings > 0 {
+			res.Matches = append(res.Matches, ShardMatch{Pos: gp, Name: g.Name()})
+			if b != nil {
+				b.admit(gp)
+			}
+			if opts.MaxResults > 0 && len(res.Matches) >= opts.MaxResults {
+				break
+			}
+		} else if r.Truncated {
+			res.Truncated = true
+		}
+	}
+	return res
+}
+
+// MergeShardResults merges per-shard partials into one Result in global
+// corpus order, truncating to maxResults (0 = unlimited). The merge is
+// deterministic: it depends only on the partials' contents, never on the
+// order they were computed in.
+func MergeShardResults(partials []ShardResult, maxResults int) Result {
+	var res Result
+	var all []ShardMatch
+	for _, p := range partials {
+		res.Candidates += p.Candidates
+		res.Scanned += p.Scanned
+		res.Verified += p.Verified
+		if p.Truncated {
+			res.Truncated = true
+		}
+		all = append(all, p.Matches...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Pos < all[j].Pos })
+	if maxResults > 0 && len(all) > maxResults {
+		all = all[:maxResults]
+	}
+	for _, m := range all {
+		res.Matches = append(res.Matches, m.Name)
+	}
+	return res
+}
+
+// Search runs filter-then-verify for q across all shards.
+func (sh *Sharded) Search(q *graph.Graph, opts isomorph.Options) Result {
+	return sh.SearchCtx(context.Background(), q, opts)
+}
+
+// SearchCtx fans the query out across shards on a bounded pool. When
+// opts.MaxResults is set, shards share one atomic result budget: as soon
+// as MaxResults matches with positions below a shard's scan frontier are
+// confirmed anywhere, that shard stops verifying. The merged answer is
+// byte-identical to the monolithic Index's at any K, worker count, and
+// scheduling — the budget only changes how much verification work is
+// skipped, never which matches survive.
+func (sh *Sharded) SearchCtx(ctx context.Context, q *graph.Graph, opts isomorph.Options) Result {
+	var b *resultBudget
+	if opts.MaxResults > 0 {
+		b = newResultBudget(opts.MaxResults)
+	}
+	partials := make([]ShardResult, sh.k)
+	par.ForEachN(sh.k, sh.workers, func(s int) {
+		partials[s] = sh.searchShard(ctx, s, q, opts, b)
+	})
+	return MergeShardResults(partials, opts.MaxResults)
+}
+
+// resultBudget is the shared cross-shard result budget: a max-heap of the
+// `limit` smallest match positions confirmed so far, with the heap's
+// maximum mirrored into an atomic so the per-candidate viability check is
+// a single load. Skipping is sound by construction — a position is only
+// declared non-viable when `limit` confirmed matches all precede it, and
+// confirmed matches never leave the answer.
+type resultBudget struct {
+	limit int
+	bound atomic.Int64 // heap max once full; MaxInt64 before that
+	mu    sync.Mutex
+	heap  []int // max-heap
+}
+
+func newResultBudget(limit int) *resultBudget {
+	b := &resultBudget{limit: limit, heap: make([]int, 0, limit)}
+	b.bound.Store(math.MaxInt64)
+	return b
+}
+
+// viable reports whether a match at global position pos could still enter
+// the final top-limit answer. Positions are unique across shards, so a
+// strict comparison against the full heap's maximum is exact.
+func (b *resultBudget) viable(pos int) bool {
+	return int64(pos) < b.bound.Load()
+}
+
+// admit records a confirmed match position.
+func (b *resultBudget) admit(pos int) {
+	b.mu.Lock()
+	if len(b.heap) < b.limit {
+		b.heap = append(b.heap, pos)
+		b.siftUp(len(b.heap) - 1)
+		if len(b.heap) == b.limit {
+			b.bound.Store(int64(b.heap[0]))
+		}
+	} else if pos < b.heap[0] {
+		b.heap[0] = pos
+		b.siftDown(0)
+		b.bound.Store(int64(b.heap[0]))
+	}
+	b.mu.Unlock()
+}
+
+func (b *resultBudget) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if b.heap[p] >= b.heap[i] {
+			return
+		}
+		b.heap[p], b.heap[i] = b.heap[i], b.heap[p]
+		i = p
+	}
+}
+
+func (b *resultBudget) siftDown(i int) {
+	n := len(b.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && b.heap[l] > b.heap[big] {
+			big = l
+		}
+		if r < n && b.heap[r] > b.heap[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		b.heap[i], b.heap[big] = b.heap[big], b.heap[i]
+		i = big
+	}
+}

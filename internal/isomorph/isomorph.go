@@ -38,6 +38,14 @@ type Options struct {
 	// valve against pathological instances. Zero means unlimited. When the
 	// budget is exhausted the search stops; Result.Truncated reports it.
 	MaxSteps int
+	// MaxResults bounds the number of matching *graphs* a filter-verify
+	// search over a corpus returns (gindex.Index.Search and
+	// gindex.Sharded.Search); the matcher itself ignores it. The budget is
+	// order-preserving: the matches returned are always the first
+	// MaxResults in corpus order, never an arbitrary subset. Like
+	// MaxEmbeddings, hitting the budget is a satisfied request, not a
+	// truncation. Zero means unlimited.
+	MaxResults int
 	// Induced requires the mapping to be an induced-subgraph isomorphism:
 	// non-adjacent pattern nodes must map to non-adjacent target nodes.
 	// The default (false) is monomorphism, the semantics of subgraph

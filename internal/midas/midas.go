@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/catapult"
 	"repro/internal/closure"
@@ -96,6 +97,9 @@ type Report struct {
 	// stopped early — the pattern set is valid and scores at least as
 	// high as before, it just may have missed further improvements.
 	Truncated bool
+	// Elapsed is the wall-clock cost of the whole maintenance batch, so
+	// callers report timing without wrapping ApplyCtx themselves.
+	Elapsed time.Duration
 }
 
 // Build runs CATAPULT from scratch and wraps the result in a maintainable
@@ -155,6 +159,8 @@ func (s *State) Apply(added []*graph.Graph, removedNames []string) (*Report, err
 // set that scores no worse than the stale one.
 func (s *State) ApplyCtx(ctx context.Context, added []*graph.Graph, removedNames []string) (*Report, error) {
 	rep := &Report{}
+	start := time.Now()
+	defer func() { rep.Elapsed = time.Since(start) }()
 
 	// Collect removed graph copies before deletion (FCT maintenance needs
 	// their content) and detach them from their clusters.

@@ -1,0 +1,170 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLRUEvictionOrderTable drives the cache through access sequences and
+// checks exactly which keys survive: eviction must always remove the least
+// recently *used* key, where both hits and stores count as use.
+func TestLRUEvictionOrderTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		cap     int
+		ops     []string // keys accessed via Do, in order
+		want    []string // keys that must still be cached afterwards
+		evicted []string // keys that must have been evicted
+	}{
+		{
+			name: "fill without eviction",
+			cap:  3,
+			ops:  []string{"a", "b", "c"},
+			want: []string{"a", "b", "c"},
+		},
+		{
+			name:    "oldest insert evicted",
+			cap:     3,
+			ops:     []string{"a", "b", "c", "d"},
+			want:    []string{"b", "c", "d"},
+			evicted: []string{"a"},
+		},
+		{
+			name:    "hit refreshes recency",
+			cap:     3,
+			ops:     []string{"a", "b", "c", "a", "d"},
+			want:    []string{"c", "a", "d"},
+			evicted: []string{"b"},
+		},
+		{
+			name:    "repeated hits pin the hot key",
+			cap:     2,
+			ops:     []string{"a", "b", "a", "c", "a", "d"},
+			want:    []string{"a", "d"},
+			evicted: []string{"b", "c"},
+		},
+		{
+			name:    "sequential scan keeps only the tail",
+			cap:     2,
+			ops:     []string{"a", "b", "c", "d", "e"},
+			want:    []string{"d", "e"},
+			evicted: []string{"a", "b", "c"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New[string](tc.cap)
+			computed := map[string]int{}
+			get := func(k string) string {
+				return c.Do(k, func() (string, bool) {
+					computed[k]++
+					return "v:" + k, true
+				})
+			}
+			for _, k := range tc.ops {
+				if v := get(k); v != "v:"+k {
+					t.Fatalf("Do(%q) = %q", k, v)
+				}
+			}
+			if c.Len() != len(tc.want) {
+				t.Fatalf("Len = %d, want %d", c.Len(), len(tc.want))
+			}
+			// A cached key answers without recomputing; an evicted key
+			// forces a second computation.
+			for _, k := range tc.want {
+				before := computed[k]
+				get(k)
+				if computed[k] != before {
+					t.Fatalf("key %q should be cached but recomputed", k)
+				}
+			}
+			for _, k := range tc.evicted {
+				before := computed[k]
+				get(k)
+				if computed[k] != before+1 {
+					t.Fatalf("key %q should have been evicted (computed %d times)", k, computed[k])
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentDoResetRace hammers Do and Reset from many goroutines
+// (run under -race by scripts/verify.sh): every caller must receive the
+// value for its own key, single-flight dedup must never hand a key the
+// wrong flight, and the store must respect its capacity throughout.
+func TestConcurrentDoResetRace(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 5
+		rounds  = 200
+		cap     = 3
+	)
+	c := New[string](cap)
+	var wrong atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := fmt.Sprintf("k%d", (w+r)%keys)
+				v := c.Do(k, func() (string, bool) {
+					return "v:" + k, true
+				})
+				if v != "v:"+k {
+					wrong.Add(1)
+				}
+				if c.Len() > cap {
+					wrong.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds/4; r++ {
+			c.Reset()
+		}
+	}()
+	wg.Wait()
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d wrong values or capacity violations under concurrency", n)
+	}
+	if c.Len() > cap {
+		t.Fatalf("Len = %d exceeds capacity %d", c.Len(), cap)
+	}
+	hits, misses, dedups := c.Stats()
+	if hits+misses+dedups != workers*rounds {
+		t.Fatalf("stats %d+%d+%d do not account for %d calls", hits, misses, dedups, workers*rounds)
+	}
+}
+
+func TestShardAndEpochKeys(t *testing.T) {
+	base := "canon"
+	if ShardKey(base, 1, 2) == ShardKey(base, 1, 3) {
+		t.Fatal("epoch bump must change the shard key")
+	}
+	if ShardKey(base, 1, 2) == ShardKey(base, 2, 2) {
+		t.Fatal("different shards must have different keys")
+	}
+	if ShardKey(base, 1, 2) != ShardKey(base, 1, 2) {
+		t.Fatal("shard key must be deterministic")
+	}
+	// Shard id/epoch must not be ambiguous ("s12@3" vs "s1@23").
+	if ShardKey(base, 12, 3) == ShardKey(base, 1, 23) {
+		t.Fatal("shard key collision")
+	}
+	if EpochKey(base, []uint64{1, 2}) == EpochKey(base, []uint64{1, 3}) {
+		t.Fatal("any epoch change must change the epoch key")
+	}
+	if EpochKey(base, []uint64{1, 2}) == EpochKey(base, []uint64{12}) {
+		t.Fatal("epoch vector must be separator-delimited")
+	}
+	if EpochKey(base, []uint64{0, 0}) != EpochKey(base, []uint64{0, 0}) {
+		t.Fatal("epoch key must be deterministic")
+	}
+}

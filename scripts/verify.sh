@@ -25,4 +25,7 @@ go test -race -count=1 -run 'Fault|Panic|Timeout|Drain|Inject|Ctx|Context|Cancel
 echo "== benchmark smoke (K1 kernel suite) =="
 go run ./cmd/benchvqi -exp K1
 
+echo "== benchmark smoke (S1 sharded-index suite) =="
+go run ./cmd/benchvqi -exp S1
+
 echo "verify: OK"
