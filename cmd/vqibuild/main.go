@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gio"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool size for parallel stages (0 = all CPUs); results are identical at any value")
 		manual  = flag.String("manual", "", "build a manual preset instead: basic-only|chemistry")
 		timeout = flag.Duration("timeout", 0, "overall build budget; an exhausted budget still writes the best spec found so far (0 = unlimited)")
+		metrics = flag.Bool("metrics", false, "print a per-stage timing table for the build pipeline")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -57,6 +59,12 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// With -metrics, a trace rides the context so every pipeline stage
+	// span (catapult.cluster, tattoo.sample, ...) lands in one table.
+	var tr *obs.Trace
+	if *metrics {
+		ctx, tr = obs.StartTrace(ctx, "vqibuild")
+	}
 	start := time.Now()
 	var spec *core.Spec
 	var truncated bool
@@ -75,6 +83,9 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	if tr != nil {
+		fmt.Print(tr.Table())
+	}
 	if truncated {
 		fmt.Printf("warning: -timeout %v exhausted after %v; writing the best spec found so far\n",
 			*timeout, elapsed.Round(time.Millisecond))

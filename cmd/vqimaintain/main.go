@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gio"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 type multiFlag []string
@@ -45,6 +46,7 @@ func main() {
 		rerun   = flag.Bool("compare-rerun", false, "also time a from-scratch rebuild per batch")
 		state   = flag.String("state", "", "maintenance state file: loaded if present, saved after the run (with the updated corpus alongside as <state>.lg)")
 		timeout = flag.Duration("timeout", 0, "per-batch maintenance budget; corpus bookkeeping always completes, pattern improvement stops at the deadline (0 = unlimited)")
+		metrics = flag.Bool("metrics", false, "print a per-stage timing table for each maintenance batch")
 	)
 	flag.Var(&adds, "add", ".lg file of graphs to insert (repeatable; one batch each)")
 	flag.Parse()
@@ -101,7 +103,7 @@ func main() {
 			rm = removals
 		}
 		t0 := time.Now()
-		rep, err := applyWithBudget(m, *timeout, added, rm)
+		rep, err := applyWithBudget(m, *timeout, *metrics, fmt.Sprintf("batch %d", bi+1), added, rm)
 		if err != nil {
 			fatal(err)
 		}
@@ -132,7 +134,7 @@ func main() {
 		}
 	}
 	if len(adds) == 0 && len(removals) > 0 {
-		rep, err := applyWithBudget(m, *timeout, nil, removals)
+		rep, err := applyWithBudget(m, *timeout, *metrics, "removal batch", nil, removals)
 		if err != nil {
 			fatal(err)
 		}
@@ -167,15 +169,24 @@ func main() {
 }
 
 // applyWithBudget runs one maintenance batch under the -timeout budget
-// (unlimited when zero).
-func applyWithBudget(m *core.Maintainer, timeout time.Duration, added []*graph.Graph, rm []string) (*core.BatchReport, error) {
+// (unlimited when zero). With metrics, the batch runs under a trace and
+// its per-stage timing table (midas.assign, midas.gfd, ...) is printed.
+func applyWithBudget(m *core.Maintainer, timeout time.Duration, metrics bool, name string, added []*graph.Graph, rm []string) (*core.BatchReport, error) {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	return m.ApplyBatchCtx(ctx, added, rm)
+	var tr *obs.Trace
+	if metrics {
+		ctx, tr = obs.StartTrace(ctx, name)
+	}
+	rep, err := m.ApplyBatchCtx(ctx, added, rm)
+	if tr != nil && err == nil {
+		fmt.Print(tr.Table())
+	}
+	return rep, err
 }
 
 func splitNames(s string) []string {

@@ -135,6 +135,11 @@ func (s *server) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
 	s.index = next
 	s.mu.Unlock()
 	elapsed := time.Since(start)
+	s.obs.Counter("vqiserve_admin_updates_total").Inc()
+	s.obs.Counter("vqiserve_admin_graphs_added_total").Add(int64(rep.Added))
+	s.obs.Counter("vqiserve_admin_graphs_removed_total").Add(int64(rep.Removed))
+	s.obs.Counter("vqiserve_admin_shards_rebuilt_total").Add(int64(len(rep.Rebuilt)))
+	s.obs.Histogram("vqiserve_admin_update_seconds").Observe(elapsed.Seconds())
 	log.Printf("vqiserve: admin update +%d -%d graphs, rebuilt %d/%d shards in %v",
 		rep.Added, rep.Removed, len(rep.Rebuilt), rep.Shards, elapsed.Round(time.Microsecond))
 	rebuilt := rep.Rebuilt

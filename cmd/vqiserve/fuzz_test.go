@@ -1,0 +1,49 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/canon"
+)
+
+// FuzzDecodeQuery throws arbitrary bytes at the query-request decoder.
+// The contract under fuzzing: never panic, never accept a query larger
+// than the configured bound, and anything accepted must be canonizable
+// (the first thing every downstream consumer — cache keying, index
+// search — does with it).
+func FuzzDecodeQuery(f *testing.F) {
+	f.Add(ccQuery)
+	f.Add(`{"nodes":[],"edges":[]}`)
+	f.Add(`{"nodes":["C"],"edges":[{"u":0,"v":0,"label":"s"}]}`)
+	f.Add(`{"nodes":["C","N"],"edges":[{"u":-1,"v":1,"label":""}]}`)
+	f.Add(`{"nodes":["C","N"],"edges":[{"u":0,"v":99}]}`)
+	f.Add(`{"edges":[{}]}`)
+	f.Add(`{"nodes":`)
+	f.Add(`[]`)
+	f.Add("\x00\xff")
+	f.Add(`{"nodes":["` + strings.Repeat(`C","`, 70) + `C"],"edges":[]}`)
+	// decodeQuery only reads the body limits; a bare server is enough.
+	s := &server{maxBodyBytes: 1 << 16, maxQuerySize: 64}
+	f.Fuzz(func(t *testing.T, body string) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/api/query", strings.NewReader(body))
+		q, ok := s.decodeQuery(rec, req)
+		if !ok {
+			if rec.Code == 200 {
+				t.Fatal("rejection without an error status")
+			}
+			return
+		}
+		if rec.Code != 200 {
+			t.Fatalf("accepted query but wrote status %d", rec.Code)
+		}
+		if size := q.NumNodes() + q.NumEdges(); size > s.maxQuerySize {
+			t.Fatalf("accepted query of size %d past the %d bound", size, s.maxQuerySize)
+		}
+		if canon.String(q) == "" && q.NumNodes() > 0 {
+			t.Fatal("non-empty accepted query canonized to empty")
+		}
+	})
+}

@@ -42,16 +42,24 @@ func writeErr(w http.ResponseWriter, status int, code, msg string) {
 }
 
 // routes assembles the handler chain: recovery outermost (panics anywhere
-// below become 500s), per-request deadlines on the query-shaped endpoints.
+// below become 500s), request metrics + per-request trace on every route,
+// per-request deadlines on the query-shaped endpoints. Wrapping at route
+// registration pre-creates every metric family, so a scrape that arrives
+// before any traffic still sees them (at zero).
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /", s.handleIndex)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /api/spec", s.handleSpec)
-	mux.HandleFunc("POST /api/query", s.withTimeout(s.handleQuery))
-	mux.HandleFunc("POST /api/suggest", s.withTimeout(s.handleSuggest))
-	mux.HandleFunc("POST /admin/update", s.handleAdminUpdate)
+	mux.HandleFunc("GET /", s.withMetrics("/", s.handleIndex))
+	mux.HandleFunc("GET /healthz", s.withMetrics("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.withMetrics("/readyz", s.handleReadyz))
+	mux.HandleFunc("GET /api/spec", s.withMetrics("/api/spec", s.handleSpec))
+	mux.HandleFunc("POST /api/query", s.withMetrics("/api/query", s.withTimeout(s.handleQuery)))
+	mux.HandleFunc("POST /api/suggest", s.withMetrics("/api/suggest", s.withTimeout(s.handleSuggest)))
+	mux.HandleFunc("POST /admin/update", s.withMetrics("/admin/update", s.handleAdminUpdate))
+	mux.HandleFunc("GET /metrics", s.withMetrics("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/vars", s.withMetrics("/debug/vars", s.handleVars))
+	if s.pprofEnabled {
+		registerPprof(mux)
+	}
 	return withRecover(mux)
 }
 
@@ -185,6 +193,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	q, ok := s.decodeQuery(w, r)
 	if !ok {
+		return
+	}
+	// The "verify" fault site models a failure inside query verification,
+	// after the request parsed cleanly. It feeds the error counter the
+	// fault-injection tests assert on.
+	if err := s.inject.Fire("verify"); err != nil {
+		s.obs.Counter("vqiserve_verify_errors_total").Inc()
+		writeErr(w, http.StatusInternalServerError, "injected", err.Error())
 		return
 	}
 	ctx := r.Context()

@@ -17,6 +17,10 @@
 //	                  batch corpus update; rebuilds only the index shards
 //	                  owning touched graphs and invalidates only their
 //	                  cached partials
+//	GET  /metrics     counters, gauges and latency histograms (JSON;
+//	                  ?format=prometheus for the text exposition format)
+//	GET  /debug/vars  the same metrics as one flat expvar-style map
+//	GET  /debug/pprof/ net/http/pprof profiles, only with -pprof
 //
 // The server is hardened for interactive use: every query runs under a
 // per-request deadline (-query-timeout) threaded into the matcher, request
@@ -50,6 +54,7 @@ import (
 	"repro/internal/gindex"
 	"repro/internal/gio"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/vqi"
 )
@@ -67,6 +72,16 @@ type server struct {
 	maxQuerySize int           // node+edge cap on posted query graphs
 
 	inject *faultinject.Injector // nil in production; armed by fault-injection tests
+
+	// obs is the server's private metrics registry: per-route request
+	// counters, status classes, latency histograms, cache gauges. Kept
+	// separate from obs.Default (the library-side registry) so tests
+	// assert exact counts without cross-test pollution; /metrics serves
+	// both merged.
+	obs *obs.Registry
+
+	// pprofEnabled mounts net/http/pprof under /debug/pprof/ (-pprof).
+	pprofEnabled bool
 
 	// qc caches whole query responses under an epoch-scoped key
 	// (qcache.EpochKey over the canonical query code and every shard's
@@ -124,7 +139,8 @@ type serverConfig struct {
 	queryTimeout time.Duration
 	maxBodyBytes int64
 	maxQuerySize int
-	cacheSize    int // query-cache capacity; 0 disables caching
+	cacheSize    int  // query-cache capacity; 0 disables caching
+	pprofEnabled bool // serve /debug/pprof/ (opt-in)
 }
 
 func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
@@ -144,6 +160,8 @@ func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
 		queryTimeout: cfg.queryTimeout,
 		maxBodyBytes: cfg.maxBodyBytes,
 		maxQuerySize: cfg.maxQuerySize,
+		obs:          obs.NewRegistry(),
+		pprofEnabled: cfg.pprofEnabled,
 	}
 	if cfg.cacheSize > 0 {
 		s.qc = qcache.New[cachedResponse](cfg.cacheSize)
@@ -229,6 +247,7 @@ func main() {
 		maxQuery = flag.Int("max-query-size", 256, "posted query node+edge cap (422 beyond it)")
 		useCache = flag.Bool("cache", true, "cache query results by canonical query code (repeated and concurrent identical queries hit memory)")
 		cacheSz  = flag.Int("cache-size", 512, "maximum cached query results (LRU eviction)")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default; profiles expose internals)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -262,6 +281,7 @@ func main() {
 		maxBodyBytes: *maxBody,
 		maxQuerySize: *maxQuery,
 		cacheSize:    size,
+		pprofEnabled: *pprofOn,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

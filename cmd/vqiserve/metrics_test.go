@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// snapshotMetrics scrapes the handler's /metrics endpoint the way a
+// client would, so the tests exercise the full serialization path rather
+// than peeking at the registry.
+func snapshotMetrics(t *testing.T, s *server) obs.Snapshot {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestMetricsConsistentUnderConcurrentLoad is the accounting property:
+// whatever interleaving the scheduler picks, after the dust settles the
+// request counter, the latency histogram's sample count, and the sum of
+// the status-class counters all equal exactly the number of requests
+// issued, valid and invalid alike. Run under -race this also proves the
+// recording paths are data-race-free.
+func TestMetricsConsistentUnderConcurrentLoad(t *testing.T) {
+	s := adminServer(t, 2, 64)
+	h := s.routes()
+	const workers = 8
+	const perWorker = 25 // per worker: 15 valid + 10 malformed
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				body := ccQuery
+				if i%5 >= 3 { // 2 of every 5 malformed
+					body = `{"nodes":`
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("POST", "/api/query", strings.NewReader(body)))
+				if rec.Code != 200 && rec.Code != 400 {
+					t.Errorf("unexpected status %d", rec.Code)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = workers * perWorker
+	const bad = workers * (perWorker / 5 * 2)
+	snap := snapshotMetrics(t, s)
+	if got := counterOf(t, snap, "vqiserve_requests_total", "route", "/api/query"); got != total {
+		t.Fatalf("requests counter = %d, want %d", got, total)
+	}
+	hist, ok := snap.FindHistogram("vqiserve_request_seconds", "route", "/api/query")
+	if !ok {
+		t.Fatal("latency histogram missing")
+	}
+	if hist.Count != total {
+		t.Fatalf("histogram count = %d, want %d", hist.Count, total)
+	}
+	if hist.Sum <= 0 || math.IsNaN(hist.Sum) || math.IsInf(hist.Sum, 0) {
+		t.Fatalf("histogram sum = %v, want finite positive", hist.Sum)
+	}
+	var classSum int64
+	for _, c := range snap.Counters {
+		if c.Name == "vqiserve_responses_total" && c.Labels["route"] == "/api/query" {
+			classSum += c.Value
+		}
+	}
+	if classSum != total {
+		t.Fatalf("status classes sum to %d, want %d", classSum, total)
+	}
+	if got := counterOf(t, snap, "vqiserve_responses_total", "route", "/api/query", "class", "4xx"); got != bad {
+		t.Fatalf("4xx = %d, want %d", got, bad)
+	}
+	if got := counterOf(t, snap, "vqiserve_responses_total", "route", "/api/query", "class", "2xx"); got != total-bad {
+		t.Fatalf("2xx = %d, want %d", got, total-bad)
+	}
+	// The scrape that produced this snapshot is itself in flight while the
+	// snapshot is taken, so a drained server reads exactly 1.
+	if inflight := gaugeOf(t, snap, "vqiserve_inflight_requests"); inflight != 1 {
+		t.Fatalf("inflight = %v after load drained, want 1 (the scrape itself)", inflight)
+	}
+}
+
+// TestVerifyFaultCountsErrors injects deterministic verify-stage failures
+// and checks they surface as 500s, increment the error counter exactly as
+// many times as they fired, and leave the latency histogram accounting
+// every request — errors included — without corruption.
+func TestVerifyFaultCountsErrors(t *testing.T) {
+	s := adminServer(t, 2, 0) // cache off: every request reaches the verify site
+	s.inject = faultinject.New(1,
+		faultinject.Fault{Site: "verify", Err: errors.New("verify blew up"), After: 2, Count: 3})
+	h := s.routes()
+
+	const total = 10
+	got500 := 0
+	for i := 0; i < total; i++ {
+		rec, body := post(t, h, "/api/query", ccQuery)
+		switch rec.Code {
+		case 200:
+		case 500:
+			got500++
+			if decodeErr(t, body).Code != "injected" {
+				t.Fatalf("unexpected error body %s", body)
+			}
+		default:
+			t.Fatalf("status = %d", rec.Code)
+		}
+	}
+	if got500 != 3 {
+		t.Fatalf("injected failures observed = %d, want 3", got500)
+	}
+	if fired := s.inject.Fired("verify"); fired != 3 {
+		t.Fatalf("faults fired = %d, want 3", fired)
+	}
+
+	snap := snapshotMetrics(t, s)
+	if got := counterOf(t, snap, "vqiserve_verify_errors_total"); got != 3 {
+		t.Fatalf("verify error counter = %d, want 3", got)
+	}
+	if got := counterOf(t, snap, "vqiserve_responses_total", "route", "/api/query", "class", "5xx"); got != 3 {
+		t.Fatalf("5xx = %d, want 3", got)
+	}
+	if got := counterOf(t, snap, "vqiserve_responses_total", "route", "/api/query", "class", "2xx"); got != total-3 {
+		t.Fatalf("2xx = %d, want %d", got, total-3)
+	}
+	hist, _ := snap.FindHistogram("vqiserve_request_seconds", "route", "/api/query")
+	if hist.Count != total {
+		t.Fatalf("histogram count = %d, want %d (failed requests still timed)", hist.Count, total)
+	}
+	if math.IsNaN(hist.Sum) || hist.Sum < 0 {
+		t.Fatalf("histogram sum corrupted: %v", hist.Sum)
+	}
+}
+
+// TestVerifyPanicKeepsHistogramConsistent panics inside the verify stage:
+// withRecover turns it into a 500, and the metrics middleware still
+// accounts the request in both the class counter and the histogram.
+func TestVerifyPanicKeepsHistogramConsistent(t *testing.T) {
+	s := adminServer(t, 2, 0)
+	s.inject = faultinject.New(1,
+		faultinject.Fault{Site: "verify", PanicMsg: "verify stage crashed", Count: 1})
+	h := s.routes()
+
+	rec, body := post(t, h, "/api/query", ccQuery)
+	if rec.Code != 500 || decodeErr(t, body).Code != "internal" {
+		t.Fatalf("panic not converted to 500 envelope: %d %s", rec.Code, body)
+	}
+	rec, _ = post(t, h, "/api/query", ccQuery)
+	if rec.Code != 200 {
+		t.Fatalf("server did not survive the panic: %d", rec.Code)
+	}
+
+	snap := snapshotMetrics(t, s)
+	if got := counterOf(t, snap, "vqiserve_responses_total", "route", "/api/query", "class", "5xx"); got != 1 {
+		t.Fatalf("5xx = %d, want 1 (the panic)", got)
+	}
+	hist, _ := snap.FindHistogram("vqiserve_request_seconds", "route", "/api/query")
+	if hist.Count != 2 {
+		t.Fatalf("histogram count = %d, want 2 (panicking request still timed)", hist.Count)
+	}
+	// 1 = the scrape itself; the panicking request must not have leaked.
+	if inflight := gaugeOf(t, snap, "vqiserve_inflight_requests"); inflight != 1 {
+		t.Fatalf("inflight = %v, want 1 (panic must not leak the gauge)", inflight)
+	}
+}

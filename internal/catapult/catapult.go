@@ -29,6 +29,7 @@ import (
 	"repro/internal/fct"
 	"repro/internal/graph"
 	"repro/internal/isomorph"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pattern"
 )
@@ -130,7 +131,22 @@ func SelectCtx(ctx context.Context, c *graph.Corpus, cfg Config) (*Result, error
 	}
 
 	res := &Result{}
+	// Each pipeline stage runs under an obs span: the stage's wall time
+	// lands in the global stage_seconds histogram, and when the context
+	// carries a trace (vqibuild -metrics) the per-run stage table gets a
+	// row. The deferred closer ends whichever stage an early (truncated or
+	// failed) return leaves open.
+	var stage *obs.Span
+	endStage := func() {
+		if stage != nil {
+			stage.End()
+			stage = nil
+		}
+	}
+	defer endStage()
+
 	// Step 1: features and clustering.
+	_, stage = obs.StartSpan(ctx, "catapult.cluster")
 	minSup := int(cfg.MinSupportFrac * float64(c.Len()))
 	if minSup < 1 {
 		minSup = 1
@@ -170,12 +186,14 @@ func SelectCtx(ctx context.Context, c *graph.Corpus, cfg Config) (*Result, error
 		}
 	}
 	res.Clustering = cl
+	endStage()
 	if ctx.Err() != nil {
 		res.Truncated = true
 		return res, nil
 	}
 
 	// Step 2: one CSG per cluster.
+	_, stage = obs.StartSpan(ctx, "catapult.csg")
 	csgs := make([]*closure.CSG, cl.K)
 	if err := par.ForEachNCtx(ctx, cl.K, cfg.Workers, func(ci int) {
 		var members []*graph.Graph
@@ -188,11 +206,13 @@ func SelectCtx(ctx context.Context, c *graph.Corpus, cfg Config) (*Result, error
 		return res, nil
 	}
 	res.CSGs = csgs
+	endStage()
 
 	// Step 3: candidates and greedy selection. Each cluster's walks use a
 	// private RNG seeded from (Seed, cluster index), so the candidate stream
 	// per cluster is a pure function of the seed — independent of how the
 	// clusters are scheduled across workers.
+	_, stage = obs.StartSpan(ctx, "catapult.walk")
 	perCSG, err := par.MapCtx(ctx, len(res.CSGs), cfg.Workers, func(ci int) []*pattern.Pattern {
 		rng := rand.New(rand.NewSource(par.ChildSeed(cfg.Seed, ci)))
 		return SampleCandidates(res.CSGs[ci], cfg.Budget, cfg.WalksPerCSG, rng)
@@ -207,7 +227,9 @@ func SelectCtx(ctx context.Context, c *graph.Corpus, cfg Config) (*Result, error
 	}
 	candidates = pattern.Dedup(candidates)
 	res.Candidates = len(candidates)
+	endStage()
 
+	_, stage = obs.StartSpan(ctx, "catapult.select")
 	var truncated bool
 	res.Patterns, res.Coverage, truncated = greedySelectCtx(ctx, candidates, c, cfg.Budget, cfg.Weights, cfg.Match, cfg.Workers)
 	res.Truncated = res.Truncated || truncated

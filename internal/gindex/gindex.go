@@ -18,8 +18,35 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/isomorph"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 )
+
+// Metric handles resolved once; searches record their totals at the end
+// of a call (a few atomic adds), never per candidate. Gated on obs.On().
+var (
+	obsSearches    = obs.Default.Counter("gindex_searches_total")
+	obsCandidates  = obs.Default.Counter("gindex_filter_candidates_total")
+	obsVerified    = obs.Default.Counter("gindex_verify_total")
+	obsMatches     = obs.Default.Counter("gindex_matches_total")
+	obsTruncated   = obs.Default.Counter("gindex_truncated_total")
+	obsBudgetStops = obs.Default.Counter("gindex_budget_stops_total")
+)
+
+// recordSearch publishes one completed (whole-index or per-shard)
+// filter-verify pass.
+func recordSearch(candidates, verified, matches int, truncated bool) {
+	if !obs.On() {
+		return
+	}
+	obsSearches.Inc()
+	obsCandidates.Add(int64(candidates))
+	obsVerified.Add(int64(verified))
+	obsMatches.Add(int64(matches))
+	if truncated {
+		obsTruncated.Inc()
+	}
+}
 
 type triple struct{ a, e, b string }
 
@@ -315,6 +342,7 @@ func (idx *Index) Search(q *graph.Graph, opts isomorph.Options) Result {
 // result truncated — its absence from Matches is "unknown", not "no".
 func (idx *Index) SearchCtx(ctx context.Context, q *graph.Graph, opts isomorph.Options) Result {
 	res := Result{Scanned: idx.corpus.Len()}
+	defer func() { recordSearch(res.Candidates, res.Verified, len(res.Matches), res.Truncated) }()
 	if q.NumNodes() == 0 {
 		return res
 	}

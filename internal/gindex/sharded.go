@@ -35,10 +35,23 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/isomorph"
+	"repro/internal/obs"
 	"repro/internal/par"
+)
+
+// Build/rebuild observability: per-shard (re)build wall time feeds a
+// histogram so batch-update latency is visible per shard, and the
+// counters separate from-scratch builds from incremental rebuilds.
+var (
+	obsShardBuilds     = obs.Default.Counter("gindex_shard_builds_total")
+	obsShardRebuilds   = obs.Default.Counter("gindex_shard_rebuilds_total")
+	obsBatchUpdates    = obs.Default.Counter("gindex_batch_updates_total")
+	obsShardBuildSecs  = obs.Default.Histogram("gindex_shard_build_seconds")
+	obsShardRebuildSec = obs.Default.Histogram("gindex_shard_rebuild_seconds")
 )
 
 // ShardOf returns the shard owning the graph with the given name, in
@@ -102,7 +115,12 @@ func BuildSharded(c *graph.Corpus, k, workers int) *Sharded {
 		sh.order = append(sh.order, g.Name())
 	})
 	par.ForEachN(k, workers, func(s int) {
+		t0 := time.Now()
 		sh.shards[s] = &shardCore{sub: subs[s], idx: Build(subs[s])}
+		if obs.On() {
+			obsShardBuilds.Inc()
+			obsShardBuildSecs.Observe(time.Since(t0).Seconds())
+		}
 	})
 	return sh
 }
@@ -224,8 +242,16 @@ func (sh *Sharded) ApplyBatch(added []*graph.Graph, removedNames []string) (*Sha
 	}
 	par.ForEachN(len(rebuilt), sh.workers, func(i int) {
 		s := rebuilt[i]
+		t0 := time.Now()
 		next.shards[s] = &shardCore{sub: subs[s], idx: Build(subs[s])}
+		if obs.On() {
+			obsShardRebuilds.Inc()
+			obsShardRebuildSec.Observe(time.Since(t0).Seconds())
+		}
 	})
+	if obs.On() {
+		obsBatchUpdates.Inc()
+	}
 
 	rep := &UpdateReport{
 		Added:   len(added),
@@ -274,6 +300,7 @@ func (sh *Sharded) SearchShardCtx(ctx context.Context, s int, q *graph.Graph, op
 func (sh *Sharded) searchShard(ctx context.Context, s int, q *graph.Graph, opts isomorph.Options, b *resultBudget) ShardResult {
 	core := sh.shards[s]
 	res := ShardResult{Shard: s, Epoch: sh.epochs[s], Scanned: core.sub.Len()}
+	defer func() { recordSearch(res.Candidates, res.Verified, len(res.Matches), res.Truncated) }()
 	if q.NumNodes() == 0 || core.sub.Len() == 0 {
 		return res
 	}
@@ -290,6 +317,11 @@ func (sh *Sharded) searchShard(ctx context.Context, s int, q *graph.Graph, opts 
 		}
 		gp := sh.globals[s][li]
 		if b != nil && !b.viable(gp) {
+			// The shared cross-shard budget proves no later candidate in
+			// this shard can enter the answer; count the early exit.
+			if obs.On() {
+				obsBudgetStops.Inc()
+			}
 			break
 		}
 		g := core.sub.Graph(li)

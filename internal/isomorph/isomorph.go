@@ -18,7 +18,35 @@ import (
 	"context"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
+
+// Package-level metric handles, resolved once so the per-call cost of
+// instrumentation is a few atomic adds at the end of Enumerate — never
+// anything per search step. Gated on obs.On().
+var (
+	obsSearches    = obs.Default.Counter("isomorph_searches_total")
+	obsSteps       = obs.Default.Counter("isomorph_steps_total")
+	obsEmbeddings  = obs.Default.Counter("isomorph_embeddings_total")
+	obsTruncSteps  = obs.Default.Counter("isomorph_truncated_total", "reason", string(StopSteps))
+	obsTruncCancel = obs.Default.Counter("isomorph_truncated_total", "reason", string(StopCanceled))
+)
+
+// recordSearch publishes one completed matching run's totals.
+func recordSearch(res *Result) {
+	if !obs.On() {
+		return
+	}
+	obsSearches.Inc()
+	obsSteps.Add(int64(res.Steps))
+	obsEmbeddings.Add(int64(res.Embeddings))
+	switch res.Reason {
+	case StopSteps:
+		obsTruncSteps.Inc()
+	case StopCanceled:
+		obsTruncCancel.Inc()
+	}
+}
 
 // Wildcard is the pattern label that matches any target label.
 const Wildcard = ""
@@ -147,6 +175,12 @@ func Count(pattern, target *graph.Graph, opts Options) Result {
 //
 // The empty pattern has exactly one (empty) embedding in any target.
 func Enumerate(pattern, target *graph.Graph, opts Options, fn func(mapping []graph.NodeID) bool) Result {
+	res := enumerate(pattern, target, opts, fn)
+	recordSearch(&res)
+	return res
+}
+
+func enumerate(pattern, target *graph.Graph, opts Options, fn func(mapping []graph.NodeID) bool) Result {
 	m := &matcher{p: pattern, t: target, opts: opts, fn: fn}
 	if opts.Ctx != nil {
 		m.ctxEvery = opts.CheckEvery

@@ -34,6 +34,7 @@ import (
 	"repro/internal/fct"
 	"repro/internal/graph"
 	"repro/internal/graphlet"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pattern"
 )
@@ -162,6 +163,10 @@ func (s *State) ApplyCtx(ctx context.Context, added []*graph.Graph, removedNames
 	start := time.Now()
 	defer func() { rep.Elapsed = time.Since(start) }()
 
+	// Maintenance stages run under obs spans (stage_seconds histogram +
+	// optional per-batch trace rows via vqimaintain -metrics).
+	_, stage := obs.StartSpan(ctx, "midas.assign")
+
 	// Collect removed graph copies before deletion (FCT maintenance needs
 	// their content) and detach them from their clusters.
 	var removed []*graph.Graph
@@ -198,20 +203,27 @@ func (s *State) ApplyCtx(ctx context.Context, added []*graph.Graph, removedNames
 		s.clusters[ci].dirty = true
 	}
 	rep.Added = len(added)
+	stage.End()
 
 	// Step 2: GFD distance decides minor vs major.
+	_, stage = obs.StartSpan(ctx, "midas.gfd")
 	newGFD := graphlet.CorpusGFDN(s.corpus, workers)
 	rep.GFDDistance = graphlet.EuclideanDistance(s.gfd, newGFD)
 	rep.Major = rep.GFDDistance > s.cfg.Threshold
 	s.gfd = newGFD
+	stage.End()
 
 	// Step 3: FCT maintenance (exact incremental update).
+	_, stage = obs.StartSpan(ctx, "midas.fct")
 	if err := s.fctSet.Update(s.corpus, added, removed); err != nil {
+		stage.End()
 		return nil, err
 	}
+	stage.End()
 
 	// Step 4: rebuild the CSGs of modified clusters concurrently — each
 	// rebuild only reads the corpus and writes its own cluster's csg field.
+	_, stage = obs.StartSpan(ctx, "midas.csg")
 	var modified []*clusterState
 	for _, cs := range s.clusters {
 		if cs.dirty {
@@ -223,6 +235,7 @@ func (s *State) ApplyCtx(ctx context.Context, added []*graph.Graph, removedNames
 		cs.csg = closure.Merge(s.memberGraphs(cs))
 		cs.dirty = false
 	})
+	stage.End()
 
 	// Step 5: pattern maintenance only on major modification, with
 	// candidates drawn only from the CSGs of modified clusters — the
@@ -235,7 +248,10 @@ func (s *State) ApplyCtx(ctx context.Context, added []*graph.Graph, removedNames
 			rep.Truncated = true
 			return rep, nil
 		}
-		if err := s.maintainPatterns(ctx, rep, modified); err != nil {
+		sctx, swap := obs.StartSpan(ctx, "midas.swap")
+		err := s.maintainPatterns(sctx, rep, modified)
+		swap.End()
+		if err != nil {
 			return nil, err
 		}
 	}

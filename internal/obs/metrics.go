@@ -1,0 +1,429 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. Safe for concurrent use;
+// Add is a single atomic operation.
+type Counter struct {
+	name   string
+	labels []string // alternating key, value
+	v      atomic.Int64
+}
+
+// Add increments the counter by d (d < 0 is ignored — counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value (in-flight requests, cache hit
+// ratio, queue depth). Safe for concurrent use.
+type Gauge struct {
+	name   string
+	labels []string
+	bits   atomic.Uint64 // math.Float64bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (CAS loop; gauges are low-frequency).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets are the default latency bucket upper bounds in seconds,
+// spanning 100µs to 10s — the range interactive query serving lives in.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with atomic buckets and a
+// CAS-accumulated sum. Quantiles are estimated by linear interpolation
+// inside the bucket containing the target rank (the same estimate
+// Prometheus's histogram_quantile computes server-side).
+type Histogram struct {
+	name    string
+	labels  []string
+	bounds  []float64 // finite upper bounds, ascending
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1) // i == len(bounds) is the +Inf bucket
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts.
+// Returns 0 when the histogram is empty. Samples in the overflow bucket
+// are attributed to the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum >= rank {
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper bound to interpolate to.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - prev) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry is a set of named metrics. Lookups are get-or-create and safe
+// for concurrent use; the returned metric pointers record lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// metricKey renders the canonical identity of a metric: name plus its
+// label pairs in the order given. Call sites use consistent label order,
+// so no sorting is needed on the lookup path.
+func metricKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key/value pairs")
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 16*len(labels))
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(labels[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the counter for name and label pairs, creating it on
+// first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{name: name, labels: append([]string(nil), labels...)}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for name and label pairs, creating it on first
+// use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{name: name, labels: append([]string(nil), labels...)}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for name and label pairs with the
+// default latency buckets, creating it on first use.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	return r.HistogramBuckets(name, DefBuckets, labels...)
+}
+
+// HistogramBuckets is Histogram with explicit finite bucket upper bounds
+// (ascending). The bounds of an existing histogram are not changed.
+func (r *Registry) HistogramBuckets(name string, bounds []float64, labels ...string) *Histogram {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[key]
+	if !ok {
+		h = &Histogram{
+			name:    name,
+			labels:  append([]string(nil), labels...),
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramSnap is one histogram in a snapshot, with precomputed latency
+// percentiles — the numbers a dashboard or an e2e test wants without
+// re-deriving them from buckets.
+type HistogramSnap struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  uint64            `json:"count"`
+	Sum    float64           `json:"sum"`
+	P50    float64           `json:"p50"`
+	P95    float64           `json:"p95"`
+	P99    float64           `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by metric key.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+func labelMap(labels []string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		m[labels[i]] = labels[i+1]
+	}
+	return m
+}
+
+// Snapshot copies the registry's current values. The copy is deep: later
+// recordings do not change it.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var snap Snapshot
+	for _, k := range sortedKeys(counters) {
+		c := counters[k]
+		snap.Counters = append(snap.Counters, CounterSnap{
+			Name: c.name, Labels: labelMap(c.labels), Value: c.Value()})
+	}
+	for _, k := range sortedKeys(gauges) {
+		g := gauges[k]
+		snap.Gauges = append(snap.Gauges, GaugeSnap{
+			Name: g.name, Labels: labelMap(g.labels), Value: g.Value()})
+	}
+	for _, k := range sortedKeys(hists) {
+		h := hists[k]
+		snap.Histograms = append(snap.Histograms, HistogramSnap{
+			Name: h.name, Labels: labelMap(h.labels),
+			Count: h.Count(), Sum: h.Sum(),
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99)})
+	}
+	return snap
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Find returns the counter snapshot matching name and label pairs.
+func (s Snapshot) Find(name string, labels ...string) (CounterSnap, bool) {
+	want := labelMap(labels)
+	for _, c := range s.Counters {
+		if c.Name == name && sameLabels(c.Labels, want) {
+			return c, true
+		}
+	}
+	return CounterSnap{}, false
+}
+
+// FindGauge returns the gauge snapshot matching name and label pairs.
+func (s Snapshot) FindGauge(name string, labels ...string) (GaugeSnap, bool) {
+	want := labelMap(labels)
+	for _, g := range s.Gauges {
+		if g.Name == name && sameLabels(g.Labels, want) {
+			return g, true
+		}
+	}
+	return GaugeSnap{}, false
+}
+
+// FindHistogram returns the histogram snapshot matching name and label
+// pairs.
+func (s Snapshot) FindHistogram(name string, labels ...string) (HistogramSnap, bool) {
+	want := labelMap(labels)
+	for _, h := range s.Histograms {
+		if h.Name == name && sameLabels(h.Labels, want) {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}
+
+func sameLabels(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): TYPE lines per family, then one sample line per
+// metric, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	typed := make(map[string]bool)
+	writeType := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+		}
+	}
+	for _, k := range sortedKeys(counters) {
+		c := counters[k]
+		writeType(c.name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", k, c.Value())
+	}
+	for _, k := range sortedKeys(gauges) {
+		g := gauges[k]
+		writeType(g.name, "gauge")
+		fmt.Fprintf(&b, "%s %v\n", k, g.Value())
+	}
+	for _, k := range sortedKeys(hists) {
+		h := hists[k]
+		writeType(h.name, "histogram")
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(&b, "%s %d\n", metricKey(h.name+"_bucket", append(append([]string(nil), h.labels...), "le", fmt.Sprintf("%v", bound))), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(&b, "%s %d\n", metricKey(h.name+"_bucket", append(append([]string(nil), h.labels...), "le", "+Inf")), cum)
+		fmt.Fprintf(&b, "%s %v\n", metricKey(h.name+"_sum", h.labels), h.Sum())
+		fmt.Fprintf(&b, "%s %d\n", metricKey(h.name+"_count", h.labels), h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

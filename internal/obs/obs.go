@@ -1,0 +1,58 @@
+// Package obs is the repository's dependency-free observability layer:
+// a metrics registry (atomic counters, gauges, fixed-bucket latency
+// histograms with quantile estimation, labeled families) plus lightweight
+// span tracing threaded through context.Context.
+//
+// Design constraints, in order:
+//
+//   - Zero dependencies. The registry speaks JSON (via Snapshot) and the
+//     Prometheus text exposition format (via WritePrometheus) without
+//     importing either ecosystem.
+//   - Cheap enough for kernel seams. Recording is a handful of atomic
+//     operations; hot packages (isomorph, gindex) record once per call,
+//     never per search step, and gate on On() so a disabled layer costs
+//     one atomic load. The O1 benchmark suite (BENCH_obs.json) tracks the
+//     enabled-vs-disabled delta on the K1 kernels.
+//   - Deterministic output. Snapshots sort metrics by key, so /metrics
+//     responses and stage tables are stable across runs.
+//
+// Metrics are identified by name plus optional label pairs:
+//
+//	obs.Default.Counter("vqiserve_requests_total", "route", "/api/query").Add(1)
+//	obs.Default.Histogram("stage_seconds", "stage", "catapult.select").Observe(dt)
+//
+// Get-or-create lookups take a lock; call sites on hot paths should cache
+// the returned pointer (package-level vars), after which recording is
+// lock-free.
+//
+// Tracing: StartTrace attaches a *Trace (with a process-unique ID) to a
+// context; StartSpan opens a named stage span that records its duration
+// both into the trace (for per-request stage tables) and into the
+// Default registry's "stage_seconds" histogram family (for fleet-wide
+// stage latency percentiles). Spans nest via the context, so the existing
+// ctx plumbing through catapult/tattoo/midas/gindex carries parent links
+// for free.
+package obs
+
+import "sync/atomic"
+
+// enabled is the global kill switch. Instrumented packages check On()
+// before recording so a disabled observability layer costs one atomic
+// load per instrumented call.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled flips the global recording switch. Disabling does not clear
+// existing metric values; it stops new recordings at call sites that gate
+// on On().
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// On reports whether recording is enabled.
+func On() bool { return enabled.Load() }
+
+// Default is the process-wide registry. Library packages (isomorph,
+// gindex, the pipeline stages) record here; servers may additionally keep
+// a private registry for per-instance metrics and merge both when
+// exposing them.
+var Default = NewRegistry()

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "route", "/q")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same identity returns the same metric; different labels do not.
+	if r.Counter("reqs_total", "route", "/q") != c {
+		t.Fatal("get-or-create returned a different counter for the same identity")
+	}
+	if r.Counter("reqs_total", "route", "/other") == c {
+		t.Fatal("different labels must be a different counter")
+	}
+
+	g := r.Gauge("inflight")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+	g.Set(0.25)
+	if got := g.Value(); got != 0.25 {
+		t.Fatalf("gauge = %v, want 0.25", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("lat", []float64{0.01, 0.1, 1}, "stage", "x")
+	// 100 samples uniformly in the first bucket's range.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-0.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.5", h.Sum())
+	}
+	// All mass in [0, 0.01]: every quantile interpolates inside it.
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if v := h.Quantile(q); v <= 0 || v > 0.01 {
+			t.Fatalf("q%.0f = %v, want within (0, 0.01]", q*100, v)
+		}
+	}
+	// p50 must sit at about half the bucket, p99 near its top.
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p50 >= p99 {
+		t.Fatalf("p50 %v >= p99 %v", p50, p99)
+	}
+
+	// Samples beyond every bound land in the overflow bucket and clamp
+	// quantiles to the largest finite bound.
+	h2 := r.HistogramBuckets("lat2", []float64{0.01, 0.1, 1})
+	h2.Observe(50)
+	if v := h2.Quantile(0.99); v != 1 {
+		t.Fatalf("overflow quantile = %v, want 1 (largest finite bound)", v)
+	}
+	if h3 := r.HistogramBuckets("lat3", []float64{1}); h3.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistogramConcurrentConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if want := float64(workers*per) * 0.001; math.Abs(h.Sum()-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(7)
+	r.Counter("b_total", "k", "v").Add(2)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h", "stage", "s").Observe(0.02)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 2 || len(snap.Gauges) != 1 || len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	if c, ok := snap.Find("b_total", "k", "v"); !ok || c.Value != 2 {
+		t.Fatalf("Find(b_total{k=v}) = %+v, %v", c, ok)
+	}
+	if _, ok := snap.Find("b_total", "k", "other"); ok {
+		t.Fatal("Find must match labels exactly")
+	}
+	if h, ok := snap.FindHistogram("h", "stage", "s"); !ok || h.Count != 1 {
+		t.Fatalf("FindHistogram = %+v, %v", h, ok)
+	}
+	// The snapshot is deep: later recording must not change it.
+	r.Counter("a_total").Add(100)
+	if c, _ := snap.Find("a_total"); c.Value != 7 {
+		t.Fatalf("snapshot mutated by later recording: %d", c.Value)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "route", "/q").Add(3)
+	r.Gauge("inflight").Set(2)
+	h := r.HistogramBuckets("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		`reqs_total{route="/q"} 3`,
+		"# TYPE inflight gauge",
+		"inflight 2",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	ctx, tr := StartTrace(context.Background(), "op")
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace not attached to context")
+	}
+	ctx1, outer := StartSpan(ctx, "outer")
+	_, inner := StartSpan(ctx1, "inner")
+	time.Sleep(time.Millisecond)
+	inner.End()
+	outer.End()
+	_, sib := StartSpan(ctx, "sibling")
+	sib.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	if spans[0].Name != "outer" || spans[0].Parent != -1 {
+		t.Fatalf("outer: %+v", spans[0])
+	}
+	if spans[1].Name != "inner" || spans[1].Parent != 0 {
+		t.Fatalf("inner must parent onto outer: %+v", spans[1])
+	}
+	if spans[2].Parent != -1 {
+		t.Fatalf("sibling must be a root: %+v", spans[2])
+	}
+	if spans[1].Dur <= 0 || spans[0].Dur < spans[1].Dur {
+		t.Fatalf("durations inconsistent: outer %v inner %v", spans[0].Dur, spans[1].Dur)
+	}
+	table := tr.Table()
+	for _, want := range []string{"op (", "outer", "inner", "sibling"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestSpanWithoutTraceRecordsStageHistogram(t *testing.T) {
+	before := Default.Histogram("stage_seconds", "stage", "obs-test-stage").Count()
+	_, sp := StartSpan(context.Background(), "obs-test-stage")
+	sp.End()
+	after := Default.Histogram("stage_seconds", "stage", "obs-test-stage").Count()
+	if after != before+1 {
+		t.Fatalf("stage histogram count %d -> %d, want +1", before, after)
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	defer SetEnabled(true)
+	SetEnabled(false)
+	if On() {
+		t.Fatal("On() after SetEnabled(false)")
+	}
+	h := Default.Histogram("stage_seconds", "stage", "obs-disabled-stage")
+	before := h.Count()
+	_, sp := StartSpan(context.Background(), "obs-disabled-stage")
+	sp.End()
+	if h.Count() != before {
+		t.Fatal("disabled span still recorded")
+	}
+	SetEnabled(true)
+	if !On() {
+		t.Fatal("On() after SetEnabled(true)")
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// traceSeq feeds process-unique trace IDs.
+var traceSeq atomic.Uint64
+
+type traceCtxKey struct{}
+type spanCtxKey struct{} // value: int index of the enclosing span within the trace
+
+// SpanRecord is one completed (or still-open) stage within a trace.
+type SpanRecord struct {
+	Name   string        `json:"name"`
+	Parent int           `json:"parent"` // index of the parent span; -1 for roots
+	Start  time.Duration `json:"start"`  // offset from trace start
+	Dur    time.Duration `json:"dur"`    // zero until End
+}
+
+// Trace collects the stage spans of one logical operation (an HTTP
+// request, a vqibuild run, one maintenance batch). Safe for concurrent
+// span recording; parallel stages attach under the span active in their
+// context.
+type Trace struct {
+	ID    string
+	Name  string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTrace returns a trace with a process-unique ID.
+func NewTrace(name string) *Trace {
+	n := traceSeq.Add(1)
+	return &Trace{
+		ID:    fmt.Sprintf("%08x-%04x", uint32(time.Now().UnixNano()), n&0xffff),
+		Name:  name,
+		start: time.Now(),
+	}
+}
+
+// WithTrace attaches tr to the context; StartSpan calls below it record
+// into tr.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
+}
+
+// StartTrace creates a trace and attaches it to the context in one step.
+func StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	tr := NewTrace(name)
+	return WithTrace(ctx, tr), tr
+}
+
+// Span is one in-progress stage. End stops the clock, completes the
+// trace record (if any), and feeds the Default registry's per-stage
+// latency histogram.
+type Span struct {
+	name  string
+	start time.Time
+	trace *Trace
+	idx   int
+}
+
+// StartSpan opens a stage span. When the context carries a trace, the
+// span is recorded there with the context's enclosing span as parent, and
+// the returned context carries this span as the parent for nested stages.
+// Without a trace the span still times the stage for the global
+// "stage_seconds" histogram family, so pipeline stage percentiles exist
+// even when no caller asked for a per-run table.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{name: name, start: time.Now(), idx: -1}
+	if tr := TraceFrom(ctx); tr != nil {
+		parent := -1
+		if pi, ok := ctx.Value(spanCtxKey{}).(int); ok {
+			parent = pi
+		}
+		sp.trace = tr
+		tr.mu.Lock()
+		sp.idx = len(tr.spans)
+		tr.spans = append(tr.spans, SpanRecord{
+			Name:   name,
+			Parent: parent,
+			Start:  sp.start.Sub(tr.start),
+		})
+		tr.mu.Unlock()
+		ctx = context.WithValue(ctx, spanCtxKey{}, sp.idx)
+	}
+	return ctx, sp
+}
+
+// End completes the span.
+func (sp *Span) End() {
+	d := time.Since(sp.start)
+	if sp.trace != nil {
+		sp.trace.mu.Lock()
+		sp.trace.spans[sp.idx].Dur = d
+		sp.trace.mu.Unlock()
+	}
+	if On() {
+		Default.Histogram("stage_seconds", "stage", sp.name).Observe(d.Seconds())
+	}
+}
+
+// Spans returns a copy of the trace's span records in start order.
+func (tr *Trace) Spans() []SpanRecord {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]SpanRecord, len(tr.spans))
+	copy(out, tr.spans)
+	return out
+}
+
+// Table renders the trace as an indented stage-timing table — the
+// -metrics output of vqibuild/vqimaintain:
+//
+//	vqibuild (a1b2c3d4-0001)  total 1.234s
+//	  catapult.cluster   0.000s +0.410s
+//	  catapult.csg       0.410s +0.120s
+//	  ...
+//
+// Children are indented under their parents; durations are wall-clock.
+func (tr *Trace) Table() string {
+	spans := tr.Spans()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)  total %v\n", tr.Name, tr.ID, time.Since(tr.start).Round(time.Millisecond))
+	depth := func(i int) int {
+		d := 0
+		for p := spans[i].Parent; p >= 0; p = spans[p].Parent {
+			d++
+		}
+		return d
+	}
+	width := 0
+	for _, sp := range spans {
+		if len(sp.Name) > width {
+			width = len(sp.Name)
+		}
+	}
+	for i, sp := range spans {
+		indent := strings.Repeat("  ", 1+depth(i))
+		fmt.Fprintf(&b, "%s%-*s  %8.3fs +%.3fs\n", indent, width, sp.Name,
+			sp.Start.Seconds(), sp.Dur.Seconds())
+	}
+	return b.String()
+}

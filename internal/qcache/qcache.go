@@ -28,7 +28,7 @@ type Cache[V any] struct {
 	order   *list.List // front = most recently used
 	flights map[string]*flight[V]
 
-	hits, misses, dedups uint64
+	hits, misses, dedups, evictions, resets uint64
 }
 
 type entry[V any] struct {
@@ -62,6 +62,33 @@ func (c *Cache[V]) Stats() (hits, misses, dedups uint64) {
 	return c.hits, c.misses, c.dedups
 }
 
+// Metrics is a full traffic snapshot — what a serving layer's /metrics
+// endpoint exposes per cache.
+type Metrics struct {
+	Hits      uint64 // lookups served from a stored entry
+	Misses    uint64 // computations started (fn invocations)
+	Dedups    uint64 // callers coalesced onto another goroutine's flight
+	Evictions uint64 // entries dropped by the LRU capacity bound
+	Resets    uint64 // whole-cache invalidations
+	Len       int    // entries currently stored
+	// HitRatio is Hits / (Hits + Misses), 0 when no lookups completed.
+	HitRatio float64
+}
+
+// Metrics returns the cache's traffic counters.
+func (c *Cache[V]) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := Metrics{
+		Hits: c.hits, Misses: c.misses, Dedups: c.dedups,
+		Evictions: c.evictions, Resets: c.resets, Len: c.order.Len(),
+	}
+	if total := m.Hits + m.Misses; total > 0 {
+		m.HitRatio = float64(m.Hits) / float64(total)
+	}
+	return m
+}
+
 // Len returns the number of stored entries.
 func (c *Cache[V]) Len() int {
 	c.mu.Lock()
@@ -79,6 +106,7 @@ func (c *Cache[V]) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.epoch++
+	c.resets++
 	c.entries = make(map[string]*list.Element)
 	c.order.Init()
 	c.flights = make(map[string]*flight[V])
@@ -130,6 +158,7 @@ func (c *Cache[V]) Do(key string, fn func() (V, bool)) V {
 				old := c.order.Back()
 				c.order.Remove(old)
 				delete(c.entries, old.Value.(*entry[V]).key)
+				c.evictions++
 			}
 		}
 	}

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pattern"
 	"repro/internal/truss"
@@ -141,7 +142,11 @@ func SelectCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error)
 		return &Result{ClassCounts: make(map[Class]int), Truncated: true}, nil
 	}
 
+	// Stage spans mirror the pipeline steps; see catapult.SelectCtx for
+	// the contract (global stage_seconds histogram + optional trace rows).
+	_, spTruss := obs.StartSpan(ctx, "tattoo.truss")
 	trussness := truss.DecomposeN(g, cfg.Workers)
+	spTruss.End()
 	res := &Result{ClassCounts: make(map[Class]int)}
 	for _, t := range trussness {
 		res.TrussStats.Edges++
@@ -187,6 +192,7 @@ func SelectCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error)
 	type classPart struct {
 		cands []*candidate
 	}
+	_, spSample := obs.StartSpan(ctx, "tattoo.sample")
 	parts, perr := par.MapCtx(ctx, len(classes), cfg.Workers, func(ci int) classPart {
 		class := classes[ci]
 		gen := *template
@@ -252,9 +258,12 @@ func SelectCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error)
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].pat.Canon() < cands[j].pat.Canon() })
 	res.Candidates = len(cands)
+	spSample.End()
 
+	_, spGreedy := obs.StartSpan(ctx, "tattoo.greedy")
 	var truncated bool
 	res.Patterns, res.SelectedClasses, res.Coverage, truncated = greedy(ctx, cands, g.NumEdges(), cfg)
+	spGreedy.End()
 	res.Truncated = truncated || perr != nil
 	return res, nil
 }

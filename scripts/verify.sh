@@ -22,10 +22,44 @@ echo "== fault-injection smoke (-race) =="
 go test -race -count=1 -run 'Fault|Panic|Timeout|Drain|Inject|Ctx|Context|Cancel|Deadline' \
   ./internal/faultinject ./internal/isomorph ./internal/par ./cmd/vqiserve
 
+echo "== fuzz-seed regression (checked-in corpora) =="
+go test -count=1 -run 'Fuzz' ./internal/gio ./cmd/vqiserve
+
 echo "== benchmark smoke (K1 kernel suite) =="
 go run ./cmd/benchvqi -exp K1
 
 echo "== benchmark smoke (S1 sharded-index suite) =="
 go run ./cmd/benchvqi -exp S1
+
+echo "== benchmark smoke (O1 observability-overhead suite) =="
+go run ./cmd/benchvqi -exp O1
+
+echo "== metrics endpoint smoke (vqiserve -pprof, live scrape) =="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"; [[ -n "${server_pid:-}" ]] && kill "$server_pid" 2>/dev/null || true' EXIT
+go run ./cmd/datagen -kind chemical -n 20 -out "$tmpdir/corpus.lg"
+go run ./cmd/vqibuild -data "$tmpdir/corpus.lg" -out "$tmpdir/vqi.json" -count 3 -metrics
+go build -o "$tmpdir/vqiserve" ./cmd/vqiserve
+"$tmpdir/vqiserve" -spec "$tmpdir/vqi.json" -data "$tmpdir/corpus.lg" \
+  -addr 127.0.0.1:0 -pprof >"$tmpdir/serve.log" 2>&1 &
+server_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$tmpdir/serve.log" | head -1)"
+  [[ -n "$addr" ]] && break
+  sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "vqiserve never reported its address"; cat "$tmpdir/serve.log"; exit 1; }
+curl -fsS "http://$addr/metrics" | grep -q 'vqiserve_requests_total' \
+  || { echo "/metrics JSON missing request counters"; exit 1; }
+curl -fsS "http://$addr/metrics?format=prometheus" | grep -q '# TYPE vqiserve_request_seconds histogram' \
+  || { echo "/metrics prometheus output missing histogram family"; exit 1; }
+curl -fsS "http://$addr/debug/vars" | grep -q 'vqiserve_inflight_requests' \
+  || { echo "/debug/vars missing inflight gauge"; exit 1; }
+curl -fsS "http://$addr/debug/pprof/cmdline" >/dev/null \
+  || { echo "-pprof did not mount /debug/pprof/"; exit 1; }
+kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
+server_pid=""
+echo "metrics endpoint: OK"
 
 echo "verify: OK"
