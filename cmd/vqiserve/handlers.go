@@ -54,6 +54,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /api/spec", s.withMetrics("/api/spec", s.handleSpec))
 	mux.HandleFunc("POST /api/query", s.withMetrics("/api/query", s.withTimeout(s.handleQuery)))
 	mux.HandleFunc("POST /api/suggest", s.withMetrics("/api/suggest", s.withTimeout(s.handleSuggest)))
+	mux.HandleFunc("POST /api/similar", s.withMetrics("/api/similar", s.withTimeout(s.handleSimilar)))
 	mux.HandleFunc("POST /admin/update", s.withMetrics("/admin/update", s.handleAdminUpdate))
 	mux.HandleFunc("GET /metrics", s.withMetrics("/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /debug/vars", s.withMetrics("/debug/vars", s.handleVars))

@@ -13,6 +13,12 @@
 //	POST /api/query   {"nodes":["C",...],"edges":[{"u":0,"v":1,"label":"s"}]}
 //	                  → {"matched":[...names...],"embeddings":N,"truncated":false}
 //	POST /api/suggest partial query → suggested pattern completions
+//	POST /api/similar {"graph":"mol7","k":10,"mode":"approx","verify":true}
+//	                  (or an inline nodes/edges pattern) → top-k most
+//	                  similar corpus graphs by embedding cosine, via the
+//	                  per-shard LSH index (-ann required); mode=exact runs
+//	                  the full-scan oracle, verify re-ranks by exact VF2
+//	                  containment
 //	POST /admin/update {"add":[{"name":"g9","nodes":[...],"edges":[...]}],"remove":["g3"]}
 //	                  batch corpus update; rebuilds only the index shards
 //	                  owning touched graphs and invalidates only their
@@ -50,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/faultinject"
 	"repro/internal/gindex"
 	"repro/internal/gio"
@@ -66,6 +73,12 @@ type server struct {
 
 	shards     int // filter-verify index shard count (0 = GOMAXPROCS)
 	maxResults int // per-query cap on matching graphs (0 = unlimited)
+
+	// annEnabled builds per-shard embedding vectors + LSH tables alongside
+	// the filter-verify index and serves POST /api/similar; annCfg carries
+	// the -ann-tables/-ann-bits/-ann-probes knobs.
+	annEnabled bool
+	annCfg     ann.Config
 
 	queryTimeout time.Duration // per-request budget for /api/query and /api/suggest
 	maxBodyBytes int64         // request body cap
@@ -100,6 +113,11 @@ type server struct {
 	// invalidation the sharded index exists for. nil when caching is
 	// disabled.
 	shardQC *qcache.Cache[gindex.ShardResult]
+
+	// simQC caches /api/similar responses, keyed by (request shape, full
+	// shard-epoch vector) — similarity answers can depend on every shard,
+	// so any rebuilt shard retires the entry. nil when caching is disabled.
+	simQC *qcache.Cache[cachedSimilar]
 
 	ready atomic.Bool
 
@@ -141,6 +159,9 @@ type serverConfig struct {
 	maxQuerySize int
 	cacheSize    int  // query-cache capacity; 0 disables caching
 	pprofEnabled bool // serve /debug/pprof/ (opt-in)
+
+	annEnabled bool       // build similarity state; serve /api/similar
+	annCfg     ann.Config // LSH shape (zero fields = ann defaults)
 }
 
 func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
@@ -162,10 +183,13 @@ func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
 		maxQuerySize: cfg.maxQuerySize,
 		obs:          obs.NewRegistry(),
 		pprofEnabled: cfg.pprofEnabled,
+		annEnabled:   cfg.annEnabled,
+		annCfg:       cfg.annCfg,
 	}
 	if cfg.cacheSize > 0 {
 		s.qc = qcache.New[cachedResponse](cfg.cacheSize)
 		s.shardQC = qcache.New[gindex.ShardResult](cfg.cacheSize)
+		s.simQC = qcache.New[cachedSimilar](cfg.cacheSize)
 	}
 	return s
 }
@@ -178,7 +202,12 @@ func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
 func (s *server) buildIndex() {
 	corpus, _ := s.snapshot()
 	if !s.network {
-		idx := gindex.BuildSharded(corpus, s.shards, s.workers)
+		var idx *gindex.Sharded
+		if s.annEnabled {
+			idx = gindex.BuildShardedANN(corpus, s.shards, s.workers, s.annCfg)
+		} else {
+			idx = gindex.BuildSharded(corpus, s.shards, s.workers)
+		}
 		s.mu.Lock()
 		s.index = idx
 		s.mu.Unlock()
@@ -188,6 +217,9 @@ func (s *server) buildIndex() {
 	}
 	if s.shardQC != nil {
 		s.shardQC.Reset()
+	}
+	if s.simQC != nil {
+		s.simQC.Reset()
 	}
 	s.ready.Store(true)
 	log.Printf("vqiserve: ready (%d data graphs)", corpus.Len())
@@ -248,6 +280,10 @@ func main() {
 		useCache = flag.Bool("cache", true, "cache query results by canonical query code (repeated and concurrent identical queries hit memory)")
 		cacheSz  = flag.Int("cache-size", 512, "maximum cached query results (LRU eviction)")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default; profiles expose internals)")
+		annOn    = flag.Bool("ann", false, "build per-shard LSH similarity tables and serve POST /api/similar (sub-linear approximate top-k with exact re-ranking)")
+		annTabs  = flag.Int("ann-tables", 0, "LSH hash tables per shard (0 = default 12); more tables raise recall at linear memory cost")
+		annBits  = flag.Int("ann-bits", 0, "LSH signature bits per table (0 = default 10); more bits shrink buckets, trading recall for shortlist size")
+		annProbe = flag.Int("ann-probes", 0, "buckets probed per table per lookup (0 = default 2x bits); more probes raise recall at linear lookup cost")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -273,6 +309,10 @@ func main() {
 	if !*useCache {
 		size = 0
 	}
+	// Zero flag values resolve to the tuned ann defaults (unset -ann-probes
+	// derives from the chosen -ann-bits); centering is always on — the
+	// clustered embeddings need it.
+	annCfg := ann.Config{Tables: *annTabs, Bits: *annBits, Probes: *annProbe, Center: true}
 	s := newServer(spec, corpus, serverConfig{
 		workers:      *workers,
 		shards:       *shards,
@@ -282,6 +322,8 @@ func main() {
 		maxQuerySize: *maxQuery,
 		cacheSize:    size,
 		pprofEnabled: *pprofOn,
+		annEnabled:   *annOn,
+		annCfg:       annCfg,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -115,14 +117,33 @@ func (s *server) exportCache(prefix string, m qcache.Metrics) {
 	s.obs.Gauge(prefix + "_evictions").Set(float64(m.Evictions))
 	s.obs.Gauge(prefix + "_resets").Set(float64(m.Resets))
 	s.obs.Gauge(prefix + "_entries").Set(float64(m.Len))
-	s.obs.Gauge(prefix + "_hit_ratio").Set(m.HitRatio)
+	// qcache.Metrics guards the zero-lookup 0/0 case itself, but a gauge
+	// feeding JSON must never carry NaN/Inf regardless of the producer —
+	// encoding/json refuses them, which would take down the whole /metrics
+	// response. Belt and suspenders at the export boundary.
+	ratio := m.HitRatio
+	if math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+		ratio = 0
+	}
+	s.obs.Gauge(prefix + "_hit_ratio").Set(ratio)
 }
 
-// handleMetrics serves the merged metric state: JSON by default,
-// Prometheus text exposition with ?format=prometheus.
+// handleMetrics serves the merged metric state: JSON by default
+// (application/json), Prometheus text exposition with ?format=prometheus
+// (text/plain; version=0.0.4). Unknown format values are a 400, not a
+// silent fallback — a scraper asking for a format it won't get should
+// find out at configuration time.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json", "prometheus":
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_format",
+			fmt.Sprintf("format %q is not supported; use \"json\" or \"prometheus\"", format))
+		return
+	}
 	s.refreshCacheMetrics()
-	if r.URL.Query().Get("format") == "prometheus" {
+	if format == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.obs.WritePrometheus(w)
 		obs.Default.WritePrometheus(w)

@@ -182,3 +182,66 @@ func TestVerifyPanicKeepsHistogramConsistent(t *testing.T) {
 		t.Fatalf("inflight = %v, want 1 (panic must not leak the gauge)", inflight)
 	}
 }
+
+// TestMetricsContentTypeAndFormat: both exposition formats declare an
+// explicit Content-Type, unknown formats are a 400 envelope (not a silent
+// JSON fallback), and the JSON body stays parseable even when the caches
+// have never seen a lookup (the hit-ratio gauge must be 0, never NaN —
+// NaN is unrepresentable in JSON and would poison the whole response).
+func TestMetricsContentTypeAndFormat(t *testing.T) {
+	s := adminServer(t, 2, 64) // caches enabled, zero traffic so far
+	h := s.routes()
+
+	get := func(target string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		return rec
+	}
+
+	rec := get("/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("JSON Content-Type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("zero-traffic /metrics is not valid JSON: %v", err)
+	}
+	for _, g := range snap.Gauges {
+		if strings.HasSuffix(g.Name, "_hit_ratio") {
+			if math.IsNaN(g.Value) || math.IsInf(g.Value, 0) {
+				t.Fatalf("%s = %v", g.Name, g.Value)
+			}
+			if g.Value != 0 {
+				t.Fatalf("%s = %v with zero lookups, want 0", g.Name, g.Value)
+			}
+		}
+	}
+
+	rec = get("/metrics?format=json")
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("format=json: %d %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+
+	rec = get("/metrics?format=prometheus")
+	if rec.Code != 200 {
+		t.Fatalf("format=prometheus = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("prometheus Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "vqiserve_requests_total") {
+		t.Fatal("prometheus body missing request counter")
+	}
+
+	rec = get("/metrics?format=openmetrics")
+	if rec.Code != 400 {
+		t.Fatalf("unknown format = %d, want 400", rec.Code)
+	}
+	var errResp errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &errResp); err != nil || errResp.Error.Code != "bad_format" {
+		t.Fatalf("unknown format envelope: %s (err %v)", rec.Body.Bytes(), err)
+	}
+}

@@ -1,0 +1,207 @@
+package main
+
+// POST /api/similar — two-stage similarity retrieval over the ANN-enabled
+// index (start the server with -ann). The query is either a corpus graph
+// by name ({"graph":"mol7"}) or an inline pattern (the same nodes/edges
+// shape as /api/query); "k" caps the result size, "mode" selects
+// approx (LSH shortlist, the default) or exact (full cosine scan — the
+// oracle), and "verify" re-ranks the top-k by exact VF2 containment.
+//
+// Responses are cached in simQC under a key covering the full request
+// shape and every shard's epoch: a similarity answer can draw from any
+// shard, so any rebuilt shard must retire it. Only complete (200,
+// non-truncated) answers are stored, mirroring /api/query.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/canon"
+	"repro/internal/gindex"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/qcache"
+)
+
+type similarRequest struct {
+	// Graph names a corpus graph to use as the query; mutually exclusive
+	// with an inline pattern.
+	Graph string   `json:"graph,omitempty"`
+	Nodes []string `json:"nodes,omitempty"`
+	Edges []struct {
+		U     int    `json:"u"`
+		V     int    `json:"v"`
+		Label string `json:"label"`
+	} `json:"edges,omitempty"`
+
+	K      int    `json:"k,omitempty"`    // top-k (0 = 10)
+	Mode   string `json:"mode,omitempty"` // "approx" (default) | "exact"
+	Verify bool   `json:"verify,omitempty"`
+}
+
+type similarMatch struct {
+	Name     string  `json:"name"`
+	Score    float64 `json:"score"`
+	Contains bool    `json:"contains,omitempty"`
+}
+
+type similarResponse struct {
+	Matches   []similarMatch `json:"matches"`
+	Mode      string         `json:"mode"`
+	Probed    int            `json:"probed"`    // LSH buckets examined (approx)
+	Shortlist int            `json:"shortlist"` // candidates exact-scored
+	Scanned   int            `json:"scanned"`   // corpus size at query time
+	Verified  int            `json:"verified"`  // VF2 checks completed
+	Truncated bool           `json:"truncated"`
+}
+
+// cachedSimilar is a completed similarity outcome: body plus HTTP status.
+type cachedSimilar struct {
+	resp   similarResponse
+	status int
+}
+
+const maxSimilarK = 100
+
+func (s *server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	if s.network {
+		writeErr(w, http.StatusConflict, "network_mode",
+			"similarity retrieval applies to corpus mode; this server serves a single network")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	var req similarRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", s.maxBodyBytes))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "bad_json", err.Error())
+		return
+	}
+	switch req.Mode {
+	case "", "approx", "exact":
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_mode",
+			fmt.Sprintf("mode %q is not supported; use \"approx\" or \"exact\"", req.Mode))
+		return
+	}
+	if req.K < 0 || req.K > maxSimilarK {
+		writeErr(w, http.StatusBadRequest, "bad_k",
+			fmt.Sprintf("k must be in [0, %d] (0 = default 10)", maxSimilarK))
+		return
+	}
+	if req.Graph != "" && (len(req.Nodes) > 0 || len(req.Edges) > 0) {
+		writeErr(w, http.StatusBadRequest, "bad_query",
+			"provide either a graph name or an inline pattern, not both")
+		return
+	}
+
+	corpus, idx := s.snapshot()
+	if idx == nil {
+		writeErr(w, http.StatusServiceUnavailable, "not_ready", "index build in progress")
+		return
+	}
+	if !idx.ANNEnabled() {
+		writeErr(w, http.StatusConflict, "ann_disabled",
+			"similarity retrieval requires the ANN index; start the server with -ann")
+		return
+	}
+
+	// Resolve the query graph and its cache identity. By-name queries key
+	// on the name (cheap, and already canonical); inline patterns key on
+	// their canonical code so isomorphic drawings share a cache line.
+	var q *graph.Graph
+	var keyBase string
+	if req.Graph != "" {
+		g, ok := corpus.ByName(req.Graph)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown_graph",
+				fmt.Sprintf("graph %q is not in the corpus", req.Graph))
+			return
+		}
+		q = g
+		keyBase = "name\x00" + req.Graph
+	} else {
+		if size := len(req.Nodes) + len(req.Edges); size > s.maxQuerySize {
+			writeErr(w, http.StatusUnprocessableEntity, "query_too_large",
+				fmt.Sprintf("query has %d nodes+edges, limit is %d", size, s.maxQuerySize))
+			return
+		}
+		q = graph.New("query")
+		for _, l := range req.Nodes {
+			q.AddNode(l)
+		}
+		for _, e := range req.Edges {
+			if _, err := q.AddEdge(e.U, e.V, e.Label); err != nil {
+				writeErr(w, http.StatusBadRequest, "bad_query", err.Error())
+				return
+			}
+		}
+		if q.NumNodes() == 0 {
+			writeErr(w, http.StatusBadRequest, "bad_query", "query graph is empty")
+			return
+		}
+		keyBase = "canon\x00" + canon.String(q)
+	}
+
+	ctx := r.Context()
+	if s.simQC == nil {
+		resp, status := s.execSimilar(ctx, idx, q, req)
+		writeJSON(w, status, resp)
+		return
+	}
+	key := qcache.EpochKey(
+		fmt.Sprintf("sim\x00%s\x00%d\x00%v\x00%s", req.Mode, req.K, req.Verify, keyBase),
+		idx.Epochs())
+	out := s.simQC.Do(key, func() (cachedSimilar, bool) {
+		resp, status := s.execSimilar(ctx, idx, q, req)
+		return cachedSimilar{resp: resp, status: status},
+			status == http.StatusOK && !resp.Truncated
+	})
+	writeJSON(w, out.status, out.resp)
+}
+
+// execSimilar runs the two-stage retrieval against one index snapshot and
+// shapes the HTTP outcome: a query whose verification budget died on the
+// request deadline degrades to 504 + truncated, mirroring /api/query.
+func (s *server) execSimilar(ctx context.Context, idx *gindex.Sharded, q *graph.Graph, req similarRequest) (similarResponse, int) {
+	opts := gindex.SimilarOptions{
+		K:          req.K,
+		Exact:      req.Mode == "exact",
+		Verify:     req.Verify,
+		VerifyOpts: pattern.MatchOptions(),
+	}
+	res, err := idx.SimilarCtx(ctx, q, opts)
+	if err != nil {
+		// Structural misuse is screened before this point; anything left is
+		// a server-side invariant violation.
+		return similarResponse{}, http.StatusInternalServerError
+	}
+	mode := "approx"
+	if req.Mode == "exact" {
+		mode = "exact"
+	}
+	resp := similarResponse{
+		Matches:   make([]similarMatch, 0, len(res.Matches)),
+		Mode:      mode,
+		Probed:    res.Probed,
+		Shortlist: res.Shortlist,
+		Scanned:   res.Scanned,
+		Verified:  res.Verified,
+		Truncated: res.Truncated,
+	}
+	for _, m := range res.Matches {
+		resp.Matches = append(resp.Matches, similarMatch{Name: m.Name, Score: m.Score, Contains: m.Contains})
+	}
+	status := http.StatusOK
+	if res.Truncated && ctx.Err() != nil {
+		status = http.StatusGatewayTimeout
+	}
+	return resp, status
+}

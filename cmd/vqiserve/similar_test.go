@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/ann"
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/vqi"
+)
+
+// annTestServer builds a ready corpus-mode server with similarity state.
+func annTestServer(t *testing.T, cacheSize int) *server {
+	t.Helper()
+	corpus := datagen.ChemicalCorpus(2, 24, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14})
+	spec, _, err := vqi.BuildFromCorpus(corpus, catapult.Config{
+		Budget: pattern.Budget{Count: 3, MinSize: 4, MaxSize: 7}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(spec, corpus, serverConfig{
+		shards: 4, cacheSize: cacheSize, annEnabled: true, annCfg: ann.NewConfig()})
+	s.buildIndex()
+	return s
+}
+
+func postSimilar(t *testing.T, h http.Handler, body string) (int, similarResponse, errorResponse) {
+	t.Helper()
+	rec, raw := post(t, h, "/api/similar", body)
+	var resp similarResponse
+	var errResp errorResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatalf("bad response %s: %v", raw, err)
+		}
+	} else if err := json.Unmarshal(raw, &errResp); err != nil {
+		t.Fatalf("bad error body %s: %v", raw, err)
+	}
+	return rec.Code, resp, errResp
+}
+
+func TestSimilarByName(t *testing.T) {
+	s := annTestServer(t, 0)
+	h := s.routes()
+	code, resp, _ := postSimilar(t, h, `{"graph":"mol3","k":5}`)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Mode != "approx" || resp.Probed == 0 {
+		t.Fatalf("approx query: %+v", resp)
+	}
+	if len(resp.Matches) == 0 || resp.Matches[0].Name != "mol3" {
+		t.Fatalf("query graph is not its own nearest neighbor: %+v", resp.Matches)
+	}
+	if resp.Matches[0].Score < 0.999 {
+		t.Fatalf("self-similarity %v", resp.Matches[0].Score)
+	}
+}
+
+func TestSimilarInlineExactAndVerify(t *testing.T) {
+	s := annTestServer(t, 0)
+	h := s.routes()
+	// A C-C-O path exists in chemical data; exact mode scans every vector.
+	body := `{"nodes":["C","C","O"],"edges":[{"u":0,"v":1,"label":"s"},{"u":1,"v":2,"label":"s"}],"k":8,"mode":"exact","verify":true}`
+	code, resp, _ := postSimilar(t, h, body)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	corpus, _ := s.snapshot()
+	if resp.Mode != "exact" || resp.Shortlist != corpus.Len() || resp.Scanned != corpus.Len() {
+		t.Fatalf("exact scan accounting: %+v", resp)
+	}
+	if resp.Verified != len(resp.Matches) {
+		t.Fatalf("verified %d of %d", resp.Verified, len(resp.Matches))
+	}
+	seenNonContaining := false
+	for _, m := range resp.Matches {
+		if !m.Contains {
+			seenNonContaining = true
+		} else if seenNonContaining {
+			t.Fatalf("contains ordering violated: %+v", resp.Matches)
+		}
+	}
+}
+
+func TestSimilarRequestValidation(t *testing.T) {
+	s := annTestServer(t, 0)
+	h := s.routes()
+	cases := []struct {
+		body string
+		code int
+		slug string
+	}{
+		{`{"graph":"mol3","mode":"fuzzy"}`, 400, "bad_mode"},
+		{`{"graph":"mol3","k":-1}`, 400, "bad_k"},
+		{fmt.Sprintf(`{"graph":"mol3","k":%d}`, maxSimilarK+1), 400, "bad_k"},
+		{`{"graph":"no-such-graph"}`, 404, "unknown_graph"},
+		{`{"graph":"mol3","nodes":["C"]}`, 400, "bad_query"},
+		{`{}`, 400, "bad_query"},
+		{`{not json`, 400, "bad_json"},
+	}
+	for _, tc := range cases {
+		code, _, errResp := postSimilar(t, h, tc.body)
+		if code != tc.code || errResp.Error.Code != tc.slug {
+			t.Fatalf("%s: got (%d, %q), want (%d, %q)",
+				tc.body, code, errResp.Error.Code, tc.code, tc.slug)
+		}
+	}
+}
+
+func TestSimilarANNDisabled(t *testing.T) {
+	s := adminServer(t, 4, 0) // plain index, no -ann
+	h := s.routes()
+	code, _, errResp := postSimilar(t, h, `{"graph":"mol3"}`)
+	if code != http.StatusConflict || errResp.Error.Code != "ann_disabled" {
+		t.Fatalf("got (%d, %q), want (409, ann_disabled)", code, errResp.Error.Code)
+	}
+}
+
+// TestSimilarCache: identical requests share a cache line; an admin batch
+// bumps touched epochs, which retires every similarity entry (any shard
+// can contribute to a top-k).
+func TestSimilarCache(t *testing.T) {
+	s := annTestServer(t, 64)
+	h := s.routes()
+	req := `{"graph":"mol3","k":5}`
+	if code, _, _ := postSimilar(t, h, req); code != 200 {
+		t.Fatal("first request failed")
+	}
+	m0 := s.simQC.Metrics()
+	if code, _, _ := postSimilar(t, h, req); code != 200 {
+		t.Fatal("second request failed")
+	}
+	m1 := s.simQC.Metrics()
+	if m1.Hits != m0.Hits+1 {
+		t.Fatalf("identical request did not hit the cache: %+v -> %+v", m0, m1)
+	}
+	// Distinct k is a distinct answer.
+	if code, _, _ := postSimilar(t, h, `{"graph":"mol3","k":6}`); code != 200 {
+		t.Fatal("request with different k failed")
+	}
+	if m := s.simQC.Metrics(); m.Hits != m1.Hits {
+		t.Fatalf("different k hit the same cache line: %+v", m)
+	}
+	// A batch update changes the epoch vector: the old entry is unreachable.
+	add := `{"add":[{"name":"sim-added","nodes":["C","C","O"],"edges":[{"u":0,"v":1,"label":"s"},{"u":1,"v":2,"label":"s"}]}]}`
+	if rec, body := post(t, h, "/admin/update", add); rec.Code != 200 {
+		t.Fatalf("admin update: %d %s", rec.Code, body)
+	}
+	hitsBefore := s.simQC.Metrics().Hits
+	if code, _, _ := postSimilar(t, h, req); code != 200 {
+		t.Fatal("post-update request failed")
+	}
+	if m := s.simQC.Metrics(); m.Hits != hitsBefore {
+		t.Fatalf("stale similarity answer served after batch update: %+v", m)
+	}
+	// The added graph is retrievable by name immediately.
+	code, resp, _ := postSimilar(t, h, `{"graph":"sim-added","k":3}`)
+	if code != 200 || len(resp.Matches) == 0 || resp.Matches[0].Name != "sim-added" {
+		t.Fatalf("added graph not retrievable: %d %+v", code, resp)
+	}
+}

@@ -1,0 +1,114 @@
+// Package ann provides sub-linear approximate nearest-neighbor retrieval
+// over per-graph embedding vectors: a random-hyperplane (SimHash) LSH
+// index with multi-probe lookup, plus the fixed-dimension embedding
+// provider that turns a graph into the vector being indexed.
+//
+// This is the GraphQ trade (PAPERS.md — interactive visual pattern search
+// via graph representation learning) applied to this repository's existing
+// embeddings: "find graphs like this" answers come from an O(probes)
+// candidate shortlist followed by exact cosine scoring, instead of a
+// corpus-proportional scan. Exactness is recovered downstream — the
+// serving layer re-ranks the shortlist with exact VF2 containment checks —
+// so the index only ever changes *which* near neighbors are surfaced,
+// never whether a surfaced answer is correct.
+//
+// Determinism is by construction, the same contract as internal/par:
+//
+//   - hyperplanes are a pure function of (Config.Seed, plane index) via
+//     par.ChildSeed, so index builds are reproducible across processes and
+//     worker counts;
+//   - per-item signatures are slot-indexed, and bucket membership lists are
+//     filled in ascending item order, so the built tables are byte-identical
+//     at any worker count;
+//   - query results are sorted by (score desc, id asc), so ties break the
+//     same way everywhere.
+package ann
+
+import (
+	"math"
+	"slices"
+)
+
+// Scored is one retrieved item: its position in the indexed vector set and
+// its exact cosine similarity to the query.
+type Scored struct {
+	ID    int32
+	Score float64
+}
+
+// Dot returns the float64 dot product of two equal-length float32 vectors.
+// Four independent accumulators break the loop-carried dependency chain —
+// this is the inner loop of both hashing and scoring. The summation order
+// is fixed (lane-striped), so results stay bit-reproducible everywhere.
+func Dot(a, b []float32) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+	}
+	s := s0 + s1 + s2 + s3
+	for i := n; i < len(a); i++ {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// Norm returns the L2 norm of v.
+func Norm(v []float32) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of a and b; zero when either vector
+// is zero.
+func Cosine(a, b []float32) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// ExactTopK is the oracle the approximate path is measured against: exact
+// cosine scoring of q against every vector, top-k by (score desc, id asc).
+// O(n·dim) — the corpus scan the LSH index exists to avoid.
+func ExactTopK(vecs [][]float32, q []float32, k int) []Scored {
+	if k <= 0 || len(vecs) == 0 {
+		return nil
+	}
+	scored := make([]Scored, 0, len(vecs))
+	for i, v := range vecs {
+		scored = append(scored, Scored{ID: int32(i), Score: Cosine(q, v)})
+	}
+	sortScored(scored)
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	return scored
+}
+
+// sortScored orders by score descending, id ascending on ties — the
+// package-wide deterministic result order. slices.SortFunc, not
+// sort.Slice: this runs on every query's shortlist, where the
+// reflection-based swapper showed up as a top profile entry.
+func sortScored(s []Scored) {
+	slices.SortFunc(s, func(a, b Scored) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+}

@@ -1,0 +1,172 @@
+package ann
+
+// The embedding provider: one fixed-dimension float32 vector per graph,
+// shared by every similarity surface (the LSH index, exact cosine
+// re-ranking, benchvqi's recall oracle). It normalizes the two embedding
+// families the repository already computes into a single representation:
+//
+//   - the graphlet census (ESCAPE-style closed formulas, internal/graphlet)
+//     — 8 structural frequencies over the connected 3/4-node graphlets;
+//   - CATAPULT-style label features — the level-1 frequent-tree features
+//     (labeled edge triples) plus the node-label histogram, feature-hashed
+//     into fixed-width blocks so the dimension is corpus-independent and a
+//     query pattern embeds the same way as a data graph.
+//
+// Every block is a function of label/graphlet *multisets*, never of vertex
+// numbering, so the embedding is canonically invariant: isomorphic graphs
+// (any vertex relabeling) embed to the identical vector, which is what lets
+// the serving layer cache similarity answers under canonical query keys.
+// The final vector is L2-normalized — cosine similarity is the metric
+// everywhere downstream.
+
+import (
+	"hash/fnv"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/par"
+)
+
+// Block widths and weights of the default embedding layout. The widths are
+// fixed (the dimension is part of the index's identity); the weights set
+// how much each family contributes to the cosine metric before the global
+// normalization.
+const (
+	labelBuckets  = 20 // node-label histogram, feature-hashed
+	tripleBuckets = 32 // labeled edge triples (CATAPULT level-1 tree features)
+	numStats      = 4  // log-size / degree shape statistics
+
+	graphletWeight = 1.0
+	labelWeight    = 1.0
+	tripleWeight   = 1.5 // most discriminative family on labeled corpora
+	statsWeight    = 0.5
+)
+
+// Embedder maps graphs to fixed-dimension L2-normalized float32 vectors.
+// It is stateless and safe for concurrent use; embedding is a pure function
+// of the graph, so corpus embeddings are identical at any worker count.
+type Embedder struct{}
+
+// NewEmbedder returns the default embedder. All Embedders produce the same
+// vectors — the type exists so an index can carry its provider.
+func NewEmbedder() *Embedder { return &Embedder{} }
+
+// Dim returns the embedding dimension.
+func (e *Embedder) Dim() int {
+	return int(graphlet.NumTypes) + labelBuckets + tripleBuckets + numStats
+}
+
+// hashSign feature-hashes s: bucket index in [0, buckets) plus a ±1 sign
+// (the hashing-trick sign bit, which keeps colliding features from only
+// accumulating). FNV-1a, so stable across processes.
+func hashSign(s string, buckets int) (int, float64) {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	v := h.Sum64()
+	sign := 1.0
+	if v&(1<<63) != 0 {
+		sign = -1.0
+	}
+	return int(v % uint64(buckets)), sign
+}
+
+// normalizeBlock scales block to unit L2 norm (no-op for a zero block),
+// then multiplies by weight.
+func normalizeBlock(block []float64, weight float64) {
+	s := 0.0
+	for _, x := range block {
+		s += x * x
+	}
+	if s == 0 {
+		return
+	}
+	inv := weight / math.Sqrt(s)
+	for i := range block {
+		block[i] *= inv
+	}
+}
+
+// Embed returns g's embedding vector. The zero graph embeds to the zero
+// vector.
+func (e *Embedder) Embed(g *graph.Graph) []float32 {
+	dim := e.Dim()
+	out := make([]float32, dim)
+	n, m := g.NumNodes(), g.NumEdges()
+	if n == 0 {
+		return out
+	}
+	acc := make([]float64, dim)
+
+	// Block 1: graphlet census frequencies.
+	census := graphlet.Count(g).Normalize()
+	block := acc[:graphlet.NumTypes]
+	for i := range census {
+		block[i] = census[i]
+	}
+	normalizeBlock(block, graphletWeight)
+
+	// Block 2: node-label histogram, feature-hashed.
+	off := int(graphlet.NumTypes)
+	block = acc[off : off+labelBuckets]
+	for v := 0; v < n; v++ {
+		b, sign := hashSign(g.NodeLabel(v), labelBuckets)
+		block[b] += sign
+	}
+	normalizeBlock(block, labelWeight)
+
+	// Block 3: labeled edge triples (endpoint labels sorted so the feature
+	// is orientation-invariant) — the CATAPULT level-1 tree features,
+	// feature-hashed to a fixed width.
+	off += labelBuckets
+	block = acc[off : off+tripleBuckets]
+	for ei := 0; ei < m; ei++ {
+		edge := g.Edge(ei)
+		a, b := g.NodeLabel(edge.U), g.NodeLabel(edge.V)
+		if a > b {
+			a, b = b, a
+		}
+		bi, sign := hashSign(a+"\x00"+edge.Label+"\x00"+b, tripleBuckets)
+		block[bi] += sign
+	}
+	normalizeBlock(block, tripleWeight)
+
+	// Block 4: shape statistics — log sizes, mean degree, density. Log and
+	// ratio scaling keeps a 40-node graph from dominating an 8-node one.
+	off += tripleBuckets
+	block = acc[off : off+numStats]
+	block[0] = math.Log1p(float64(n))
+	block[1] = math.Log1p(float64(m))
+	block[2] = 2 * float64(m) / float64(n)
+	if n > 1 {
+		block[3] = 2 * float64(m) / (float64(n) * float64(n-1))
+	}
+	normalizeBlock(block, statsWeight)
+
+	// Global L2 normalization: downstream scoring is pure cosine.
+	total := 0.0
+	for _, x := range acc {
+		total += x * x
+	}
+	if total > 0 {
+		inv := 1 / math.Sqrt(total)
+		for i, x := range acc {
+			out[i] = float32(x * inv)
+		}
+	}
+	return out
+}
+
+// embedGrain is the minimum per-worker graph count before corpus-level
+// fan-out pays; small corpora embed inline (same reasoning as
+// graphlet.CorpusGFDN's grain).
+const embedGrain = 8
+
+// EmbedCorpus embeds every graph in c, slot-indexed by corpus position.
+// workers <= 0 means GOMAXPROCS; results are identical at any worker count
+// because Embed is a pure per-graph function.
+func (e *Embedder) EmbedCorpus(c *graph.Corpus, workers int) [][]float32 {
+	return par.Map(c.Len(), par.Grain(workers, c.Len(), embedGrain), func(i int) []float32 {
+		return e.Embed(c.Graph(i))
+	})
+}

@@ -1,0 +1,126 @@
+package ann
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+// permuteGraph rebuilds g with vertices renumbered by a random permutation
+// — an isomorphic graph whose adjacency structure is stored in a completely
+// different order.
+func permuteGraph(rng *rand.Rand, g *graph.Graph) *graph.Graph {
+	n := g.NumNodes()
+	perm := rng.Perm(n)
+	out := graph.New(g.Name() + "-perm")
+	labels := make([]string, n)
+	for v := 0; v < n; v++ {
+		labels[perm[v]] = g.NodeLabel(v)
+	}
+	for _, l := range labels {
+		out.AddNode(l)
+	}
+	// Shuffle edge insertion order too: embedding must not depend on it.
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		out.MustAddEdge(perm[e.U], perm[e.V], e.Label)
+	}
+	return out
+}
+
+// TestEmbedCanonicalInvariance: the embedding is a function of the
+// isomorphism class — any vertex relabeling and edge reordering embeds to
+// the byte-identical vector.
+func TestEmbedCanonicalInvariance(t *testing.T) {
+	e := NewEmbedder()
+	rng := rand.New(rand.NewSource(7))
+	corpus := datagen.ChemicalCorpus(3, 40, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 24})
+	for i := 0; i < corpus.Len(); i++ {
+		g := corpus.Graph(i)
+		want := e.Embed(g)
+		for trial := 0; trial < 3; trial++ {
+			got := e.Embed(permuteGraph(rng, g))
+			for d := range want {
+				if got[d] != want[d] {
+					t.Fatalf("graph %s trial %d: component %d differs: %v vs %v",
+						g.Name(), trial, d, got[d], want[d])
+				}
+			}
+		}
+	}
+}
+
+// TestEmbedWorkerInvariance: corpus embedding is identical at every worker
+// count (the slot-indexed par contract).
+func TestEmbedWorkerInvariance(t *testing.T) {
+	e := NewEmbedder()
+	corpus := datagen.ChemicalCorpus(5, 60, datagen.ChemicalOptions{})
+	want := e.EmbedCorpus(corpus, 1)
+	for _, workers := range []int{2, 3, 8, 0} {
+		got := e.EmbedCorpus(corpus, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d vectors, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			for d := range want[i] {
+				if got[i][d] != want[i][d] {
+					t.Fatalf("workers=%d: vec %d component %d differs", workers, i, d)
+				}
+			}
+		}
+	}
+}
+
+func TestEmbedShape(t *testing.T) {
+	e := NewEmbedder()
+	g := graph.New("g")
+	a := g.AddNode("C")
+	b := g.AddNode("N")
+	g.MustAddEdge(a, b, "s")
+	v := e.Embed(g)
+	if len(v) != e.Dim() {
+		t.Fatalf("dim %d, want %d", len(v), e.Dim())
+	}
+	// Non-empty graphs embed to unit vectors (cosine metric).
+	if n := Norm(v); math.Abs(n-1) > 1e-4 {
+		t.Fatalf("norm %v, want 1", n)
+	}
+	// Empty graph: zero vector, no panic.
+	zero := e.Embed(graph.New("empty"))
+	if Norm(zero) != 0 {
+		t.Fatalf("empty graph norm %v, want 0", Norm(zero))
+	}
+	if got := Cosine(zero, v); got != 0 {
+		t.Fatalf("cosine with zero vector = %v, want 0", got)
+	}
+}
+
+// TestEmbedDiscriminates: structurally different graphs should not collapse
+// to one point — a triangle-rich graph and a star must be farther apart
+// than two copies of the same structure.
+func TestEmbedDiscriminates(t *testing.T) {
+	e := NewEmbedder()
+	tri := graph.New("tri")
+	for i := 0; i < 3; i++ {
+		tri.AddNode("C")
+	}
+	tri.MustAddEdge(0, 1, "s")
+	tri.MustAddEdge(1, 2, "s")
+	tri.MustAddEdge(0, 2, "s")
+	star := graph.New("star")
+	c := star.AddNode("C")
+	for i := 0; i < 3; i++ {
+		star.MustAddEdge(c, star.AddNode("C"), "s")
+	}
+	vt, vs := e.Embed(tri), e.Embed(star)
+	if sim := Cosine(vt, vs); sim >= 0.999 {
+		t.Fatalf("triangle and star embeddings indistinguishable (cosine %v)", sim)
+	}
+	if sim := Cosine(vt, vt); math.Abs(sim-1) > 1e-6 {
+		t.Fatalf("self-cosine %v, want 1", sim)
+	}
+}

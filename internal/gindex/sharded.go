@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/graph"
 	"repro/internal/isomorph"
 	"repro/internal/obs"
@@ -45,13 +46,17 @@ import (
 
 // Build/rebuild observability: per-shard (re)build wall time feeds a
 // histogram so batch-update latency is visible per shard, and the
-// counters separate from-scratch builds from incremental rebuilds.
+// counters separate from-scratch builds from incremental rebuilds. The
+// ann counters mirror the pair for the per-shard LSH tables — the
+// touched-shards-only rebuild property is asserted against them.
 var (
-	obsShardBuilds     = obs.Default.Counter("gindex_shard_builds_total")
-	obsShardRebuilds   = obs.Default.Counter("gindex_shard_rebuilds_total")
-	obsBatchUpdates    = obs.Default.Counter("gindex_batch_updates_total")
-	obsShardBuildSecs  = obs.Default.Histogram("gindex_shard_build_seconds")
-	obsShardRebuildSec = obs.Default.Histogram("gindex_shard_rebuild_seconds")
+	obsShardBuilds      = obs.Default.Counter("gindex_shard_builds_total")
+	obsShardRebuilds    = obs.Default.Counter("gindex_shard_rebuilds_total")
+	obsBatchUpdates     = obs.Default.Counter("gindex_batch_updates_total")
+	obsShardBuildSecs   = obs.Default.Histogram("gindex_shard_build_seconds")
+	obsShardRebuildSec  = obs.Default.Histogram("gindex_shard_rebuild_seconds")
+	obsANNShardBuilds   = obs.Default.Counter("gindex_ann_shard_builds_total")
+	obsANNShardRebuilds = obs.Default.Counter("gindex_ann_shard_rebuilds_total")
 )
 
 // ShardOf returns the shard owning the graph with the given name, in
@@ -71,6 +76,13 @@ func ShardOf(name string, k int) int {
 type shardCore struct {
 	sub *graph.Corpus
 	idx *Index
+
+	// Similarity state, present only on ANN-enabled indexes
+	// (BuildShardedANN): the shard's embedding vectors by local position and
+	// the LSH index over them. Rebuilt together with idx, so a shared core
+	// always has mutually consistent exact and approximate views.
+	vecs [][]float32
+	ann  *ann.Index
 }
 
 // Sharded is a K-way sharded filter-verify index over a corpus snapshot.
@@ -84,6 +96,40 @@ type Sharded struct {
 	epochs  []uint64
 	order   []string       // graph names in global corpus order
 	pos     map[string]int // name -> global position
+
+	// Similarity configuration, nil/absent on plain BuildSharded indexes.
+	// annCfg is shared (never mutated) across generations so rebuilt shards
+	// hash with the identical hyperplane family.
+	annCfg *ann.Config
+	emb    *ann.Embedder
+}
+
+// buildCore builds one shard's immutable state: the filter-verify index,
+// plus — on ANN-enabled values — the shard's embedding vectors and LSH
+// table. Inner builds run single-threaded because every call site already
+// fans out one core per worker.
+func (sh *Sharded) buildCore(sub *graph.Corpus) *shardCore {
+	core := &shardCore{sub: sub, idx: Build(sub)}
+	if sh.annCfg != nil {
+		cfg := *sh.annCfg
+		cfg.Workers = 1
+		core.vecs = sh.emb.EmbedCorpus(sub, 1)
+		core.ann = ann.Build(core.vecs, sh.emb.Dim(), cfg)
+	}
+	return core
+}
+
+// ANNEnabled reports whether this index carries per-shard embedding
+// vectors and LSH tables (built by BuildShardedANN).
+func (sh *Sharded) ANNEnabled() bool { return sh.annCfg != nil }
+
+// ANNConfig returns the similarity configuration (defaults resolved), or
+// the zero Config when ANN is disabled.
+func (sh *Sharded) ANNConfig() ann.Config {
+	if sh.annCfg == nil {
+		return ann.Config{}
+	}
+	return *sh.annCfg
 }
 
 // BuildSharded partitions c into k shards by ShardOf and builds the
@@ -91,6 +137,19 @@ type Sharded struct {
 // GOMAXPROCS). k <= 0 also defaults to GOMAXPROCS. The corpus graphs are
 // held by reference; treat them as immutable afterwards.
 func BuildSharded(c *graph.Corpus, k, workers int) *Sharded {
+	return buildSharded(c, k, workers, nil)
+}
+
+// BuildShardedANN is BuildSharded plus per-shard similarity state: every
+// shard also embeds its graphs (ann.Embedder) and builds an LSH index over
+// the vectors with the given configuration. All shards share one
+// hyperplane family (cfg.Seed), so a shard rebuilt by ApplyBatch hashes
+// exactly as it would in a from-scratch build.
+func BuildShardedANN(c *graph.Corpus, k, workers int, cfg ann.Config) *Sharded {
+	return buildSharded(c, k, workers, &cfg)
+}
+
+func buildSharded(c *graph.Corpus, k, workers int, annCfg *ann.Config) *Sharded {
 	if k <= 0 {
 		k = runtime.GOMAXPROCS(0)
 	}
@@ -102,6 +161,12 @@ func BuildSharded(c *graph.Corpus, k, workers int) *Sharded {
 		epochs:  make([]uint64, k),
 		order:   make([]string, 0, c.Len()),
 		pos:     make(map[string]int, c.Len()),
+	}
+	if annCfg != nil {
+		cfg := annCfg.Resolved()
+		cfg.Workers = 0 // per-core build parallelism is set at the build site
+		sh.annCfg = &cfg
+		sh.emb = ann.NewEmbedder()
 	}
 	subs := make([]*graph.Corpus, k)
 	for s := range subs {
@@ -116,10 +181,13 @@ func BuildSharded(c *graph.Corpus, k, workers int) *Sharded {
 	})
 	par.ForEachN(k, workers, func(s int) {
 		t0 := time.Now()
-		sh.shards[s] = &shardCore{sub: subs[s], idx: Build(subs[s])}
+		sh.shards[s] = sh.buildCore(subs[s])
 		if obs.On() {
 			obsShardBuilds.Inc()
 			obsShardBuildSecs.Observe(time.Since(t0).Seconds())
+			if sh.annCfg != nil {
+				obsANNShardBuilds.Inc()
+			}
 		}
 	})
 	return sh
@@ -198,6 +266,8 @@ func (sh *Sharded) ApplyBatch(added []*graph.Graph, removedNames []string) (*Sha
 		epochs:  make([]uint64, sh.k),
 		order:   make([]string, 0, len(sh.order)-len(removedSet)+len(added)),
 		pos:     make(map[string]int, len(sh.order)-len(removedSet)+len(added)),
+		annCfg:  sh.annCfg,
+		emb:     sh.emb,
 	}
 	copy(next.epochs, sh.epochs)
 
@@ -243,10 +313,13 @@ func (sh *Sharded) ApplyBatch(added []*graph.Graph, removedNames []string) (*Sha
 	par.ForEachN(len(rebuilt), sh.workers, func(i int) {
 		s := rebuilt[i]
 		t0 := time.Now()
-		next.shards[s] = &shardCore{sub: subs[s], idx: Build(subs[s])}
+		next.shards[s] = next.buildCore(subs[s])
 		if obs.On() {
 			obsShardRebuilds.Inc()
 			obsShardRebuildSec.Observe(time.Since(t0).Seconds())
+			if next.annCfg != nil {
+				obsANNShardRebuilds.Inc()
+			}
 		}
 	})
 	if obs.On() {

@@ -1,0 +1,226 @@
+package gindex
+
+// Two-stage similarity retrieval over an ANN-enabled Sharded index:
+//
+//   stage 1 (shortlist) — embed the query with the shared provider, then
+//   gather a candidate shortlist per shard: O(probes) LSH bucket lookups in
+//   approx mode, or the full exact cosine scan in exact mode (the oracle
+//   the approximate path is benchmarked against);
+//
+//   stage 2 (re-rank) — merge the per-shard top-k sets into the global
+//   top-k by (cosine desc, corpus position asc), then optionally verify
+//   each survivor with an exact VF2 containment check and stably re-rank
+//   containing graphs first.
+//
+// The degrade contract matches Search: similarity queries never fail on
+// budget pressure — context cancellation or a VF2 step budget marks the
+// result Truncated (scores are still exact for everything scored; only
+// verification coverage is reduced). Results are deterministic at any
+// worker count: per-shard shortlists are slot-indexed and the merge orders
+// by (score desc, pos asc).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ann"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// ErrANNDisabled is returned by Similar on an index built without
+// similarity state (BuildSharded instead of BuildShardedANN).
+var ErrANNDisabled = errors.New("gindex: similarity retrieval requires an ANN-enabled index (BuildShardedANN)")
+
+// Similarity observability: query counts by mode, shortlist/probe sizes,
+// and per-stage wall time (via obs.StartSpan stage histograms).
+var (
+	obsSimilarQueries   = obs.Default.Counter("gindex_similar_queries_total")
+	obsSimilarApprox    = obs.Default.Counter("gindex_similar_approx_total")
+	obsSimilarProbes    = obs.Default.HistogramBuckets("gindex_similar_probes", []float64{8, 16, 32, 64, 128, 256, 512})
+	obsSimilarShortlist = obs.Default.HistogramBuckets("gindex_similar_shortlist", []float64{4, 16, 64, 256, 1024, 4096})
+)
+
+// SimilarOptions parameterizes one similarity query. The zero value asks
+// for the approximate top-10 without verification.
+type SimilarOptions struct {
+	// K is the result size (0 = 10).
+	K int
+	// Exact replaces the LSH shortlist with a full cosine scan — the exact
+	// oracle; probes are ignored.
+	Exact bool
+	// Probes overrides the per-table probe count (0 = the index's build
+	// default). Approx mode only.
+	Probes int
+	// Verify re-ranks the top-k by exact VF2 containment (does the query
+	// pattern embed in the graph?), containing graphs first.
+	Verify bool
+	// VerifyOpts bounds each VF2 check (MaxSteps, Ctx...). MaxEmbeddings is
+	// forced to 1 — containment is a yes/no question.
+	VerifyOpts isomorph.Options
+}
+
+// SimilarMatch is one retrieved graph.
+type SimilarMatch struct {
+	Name  string
+	Pos   int     // global corpus position
+	Score float64 // exact cosine similarity to the query embedding
+	// Contains reports that the query pattern was verified (VF2) to embed
+	// in this graph. Only meaningful when SimilarOptions.Verify was set and
+	// the result is not Truncated at this entry.
+	Contains bool
+}
+
+// SimilarResult is the outcome of one similarity query.
+type SimilarResult struct {
+	Matches   []SimilarMatch
+	Approx    bool // shortlist came from the LSH index
+	Probed    int  // LSH buckets examined across shards (approx only)
+	Shortlist int  // candidates exact-scored across shards
+	Scanned   int  // vectors visible to the query (corpus size)
+	Verified  int  // VF2 containment checks completed
+	Truncated bool // verification coverage was cut short; scores are exact
+}
+
+// simCand carries a scored candidate with enough addressing to verify it
+// without re-deriving shard membership.
+type simCand struct {
+	shard, local int
+	pos          int
+	score        float64
+}
+
+// Similar is SimilarCtx with a background context.
+func (sh *Sharded) Similar(q *graph.Graph, opts SimilarOptions) (SimilarResult, error) {
+	return sh.SimilarCtx(context.Background(), q, opts)
+}
+
+// SimilarCtx runs the two-stage similarity query. It returns an error only
+// for structural misuse (ANN disabled, empty query); resource pressure
+// degrades to Truncated instead.
+func (sh *Sharded) SimilarCtx(ctx context.Context, q *graph.Graph, opts SimilarOptions) (SimilarResult, error) {
+	var res SimilarResult
+	if sh.annCfg == nil {
+		return res, ErrANNDisabled
+	}
+	if q == nil || q.NumNodes() == 0 {
+		return res, fmt.Errorf("gindex: Similar: empty query graph")
+	}
+	k := opts.K
+	if k <= 0 {
+		k = 10
+	}
+	res.Approx = !opts.Exact
+	res.Scanned = sh.Len()
+	if obs.On() {
+		obsSimilarQueries.Inc()
+		if res.Approx {
+			obsSimilarApprox.Inc()
+		}
+	}
+
+	sctx, span := obs.StartSpan(ctx, "similar_embed")
+	qv := sh.emb.Embed(q)
+	span.End()
+
+	// Stage 1: per-shard shortlists, slot-indexed for determinism. Each
+	// shard contributes at most k candidates — the global top-k is a subset
+	// of the union of per-shard top-ks.
+	type shardTop struct {
+		scored []ann.Scored
+		stats  ann.LookupStats
+	}
+	// Exact scans are corpus-proportional, so they fan out across shards;
+	// approximate lookups cost O(probes) bucket reads plus a short scoring
+	// pass per shard — less than the goroutine fan-out itself — so they run
+	// inline. (Measured: at interactive corpus sizes the spawn overhead was
+	// the single largest term of approximate lookup latency.)
+	sctx, span = obs.StartSpan(sctx, "similar_shortlist")
+	tops := make([]shardTop, sh.k)
+	shortlistWorkers := sh.workers
+	if !opts.Exact {
+		shortlistWorkers = 1
+	}
+	par.ForEachN(sh.k, shortlistWorkers, func(s int) {
+		core := sh.shards[s]
+		if opts.Exact {
+			scored := ann.ExactTopK(core.vecs, qv, k)
+			tops[s] = shardTop{scored: scored, stats: ann.LookupStats{Shortlist: len(core.vecs)}}
+			return
+		}
+		scored, stats := core.ann.TopK(qv, k, opts.Probes)
+		tops[s] = shardTop{scored: scored, stats: stats}
+	})
+	span.End()
+
+	cands := make([]simCand, 0, sh.k*k)
+	for s, top := range tops {
+		res.Probed += top.stats.Probed
+		res.Shortlist += top.stats.Shortlist
+		for _, sc := range top.scored {
+			cands = append(cands, simCand{
+				shard: s,
+				local: int(sc.ID),
+				pos:   sh.globals[s][sc.ID],
+				score: sc.Score,
+			})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].pos < cands[j].pos
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	if obs.On() {
+		obsSimilarShortlist.Observe(float64(res.Shortlist))
+		if res.Approx {
+			obsSimilarProbes.Observe(float64(res.Probed))
+		}
+	}
+
+	res.Matches = make([]SimilarMatch, len(cands))
+	for i, c := range cands {
+		res.Matches[i] = SimilarMatch{Name: sh.order[c.pos], Pos: c.pos, Score: c.score}
+	}
+
+	// Stage 2: optional exact VF2 containment re-rank of the k survivors.
+	// Sequential — k is interactive-scale — and degrade-not-error: a dead
+	// context or exhausted step budget leaves the remaining entries
+	// unverified and marks the result Truncated.
+	if opts.Verify {
+		_, span = obs.StartSpan(sctx, "similar_verify")
+		defer span.End()
+		vopts := opts.VerifyOpts
+		vopts.MaxEmbeddings = 1
+		if vopts.Ctx == nil {
+			vopts.Ctx = sctx
+		}
+		for i, c := range cands {
+			if sctx.Err() != nil {
+				res.Truncated = true
+				break
+			}
+			core := sh.shards[c.shard]
+			vopts.TargetIndex = core.idx.labelIdx[c.local]
+			r := isomorph.Count(q, core.sub.Graph(c.local), vopts)
+			res.Verified++
+			if r.Embeddings > 0 {
+				res.Matches[i].Contains = true
+			} else if r.Truncated {
+				res.Truncated = true
+			}
+		}
+		sort.SliceStable(res.Matches, func(i, j int) bool {
+			return res.Matches[i].Contains && !res.Matches[j].Contains
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,243 @@
+package gindex
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ann"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+func annCorpus(tb testing.TB, seed int64, count int) *graph.Corpus {
+	tb.Helper()
+	return datagen.ChemicalCorpus(seed, count, datagen.ChemicalOptions{})
+}
+
+func TestSimilarStructuralErrors(t *testing.T) {
+	c := annCorpus(t, 1, 20)
+	plain := BuildSharded(c, 4, 0)
+	if _, err := plain.Similar(c.Graph(0), SimilarOptions{}); err != ErrANNDisabled {
+		t.Fatalf("plain index: err = %v, want ErrANNDisabled", err)
+	}
+	if plain.ANNEnabled() {
+		t.Fatal("plain index reports ANNEnabled")
+	}
+	withANN := BuildShardedANN(c, 4, 0, ann.NewConfig())
+	if !withANN.ANNEnabled() {
+		t.Fatal("ANN index reports disabled")
+	}
+	if got := withANN.ANNConfig(); got.Tables != ann.NewConfig().Tables {
+		t.Fatalf("ANNConfig = %+v", got)
+	}
+	if _, err := withANN.Similar(graph.New("empty"), SimilarOptions{}); err == nil {
+		t.Fatal("empty query: want error")
+	}
+	if _, err := withANN.Similar(nil, SimilarOptions{}); err == nil {
+		t.Fatal("nil query: want error")
+	}
+}
+
+// TestSimilarExactOracle: exact mode over the sharded index returns the
+// same ranking as a global exact cosine scan of the whole corpus.
+func TestSimilarExactOracle(t *testing.T) {
+	c := annCorpus(t, 2, 120)
+	sh := BuildShardedANN(c, 5, 0, ann.NewConfig())
+	emb := ann.NewEmbedder()
+	vecs := emb.EmbedCorpus(c, 0)
+	for qi := 0; qi < c.Len(); qi += 7 {
+		q := c.Graph(qi)
+		res, err := sh.Similar(q, SimilarOptions{K: 10, Exact: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Approx {
+			t.Fatal("exact query marked Approx")
+		}
+		if res.Shortlist != c.Len() || res.Scanned != c.Len() {
+			t.Fatalf("exact scan shortlist=%d scanned=%d, want %d", res.Shortlist, res.Scanned, c.Len())
+		}
+		want := ann.ExactTopK(vecs, emb.Embed(q), 10)
+		if len(res.Matches) != len(want) {
+			t.Fatalf("query %d: %d matches, want %d", qi, len(res.Matches), len(want))
+		}
+		for i, m := range res.Matches {
+			if m.Pos != int(want[i].ID) || m.Score != want[i].Score {
+				t.Fatalf("query %d rank %d: got (%d, %v), want (%d, %v)",
+					qi, i, m.Pos, m.Score, want[i].ID, want[i].Score)
+			}
+			if m.Name != c.Graph(m.Pos).Name() {
+				t.Fatalf("query %d rank %d: name %q does not match position %d", qi, i, m.Name, m.Pos)
+			}
+		}
+	}
+}
+
+// TestSimilarApproxRecall: the sharded approximate path keeps recall@10
+// ≥ 0.9 against the exact oracle (per-shard centering and per-shard top-k
+// merging must not destroy the single-index recall).
+func TestSimilarApproxRecall(t *testing.T) {
+	c := annCorpus(t, 3, 250)
+	sh := BuildShardedANN(c, 4, 0, ann.NewConfig())
+	hits, want := 0, 0
+	for qi := 0; qi < c.Len(); qi++ {
+		q := c.Graph(qi)
+		exact, err := sh.Similar(q, SimilarOptions{K: 10, Exact: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := sh.Similar(q, SimilarOptions{K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx.Approx || approx.Probed == 0 {
+			t.Fatalf("approx query reported Approx=%v Probed=%d", approx.Approx, approx.Probed)
+		}
+		inExact := make(map[int]bool, len(exact.Matches))
+		for _, m := range exact.Matches {
+			inExact[m.Pos] = true
+		}
+		for _, m := range approx.Matches {
+			if inExact[m.Pos] {
+				hits++
+			}
+		}
+		want += len(exact.Matches)
+	}
+	if r := float64(hits) / float64(want); r < 0.9 {
+		t.Fatalf("sharded recall@10 = %.3f, want >= 0.9", r)
+	}
+}
+
+// TestSimilarWorkerDeterminism: identical results at every worker count
+// (shard count fixed — centering is per-shard, so K is part of identity).
+func TestSimilarWorkerDeterminism(t *testing.T) {
+	c := annCorpus(t, 4, 100)
+	base := BuildShardedANN(c, 4, 1, ann.NewConfig())
+	q := c.Graph(17)
+	want, err := base.Similar(q, SimilarOptions{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 0} {
+		sh := BuildShardedANN(c, 4, workers, ann.NewConfig())
+		got, err := sh.Similar(q, SimilarOptions{K: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Matches) != len(want.Matches) {
+			t.Fatalf("workers=%d: %d matches, want %d", workers, len(got.Matches), len(want.Matches))
+		}
+		for i := range want.Matches {
+			if got.Matches[i] != want.Matches[i] {
+				t.Fatalf("workers=%d rank %d: %+v, want %+v", workers, i, got.Matches[i], want.Matches[i])
+			}
+		}
+	}
+}
+
+// TestSimilarVerify: VF2 re-rank puts verified-containing graphs first,
+// and a pattern cut out of a corpus graph is contained in its source.
+func TestSimilarVerify(t *testing.T) {
+	c := annCorpus(t, 5, 80)
+	sh := BuildShardedANN(c, 4, 0, ann.NewConfig())
+	rng := rand.New(rand.NewSource(9))
+	src := c.Graph(11)
+	q := datagen.RandomConnectedSubgraph(rng, src, 6)
+	if q == nil {
+		t.Skip("no connected subgraph sampled")
+	}
+	res, err := sh.Similar(q, SimilarOptions{K: 10, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("verification truncated: %+v", res)
+	}
+	if res.Verified != len(res.Matches) {
+		t.Fatalf("verified %d of %d matches", res.Verified, len(res.Matches))
+	}
+	seenNonContaining := false
+	for _, m := range res.Matches {
+		if !m.Contains {
+			seenNonContaining = true
+		} else if seenNonContaining {
+			t.Fatalf("containing graph ranked after non-containing: %+v", res.Matches)
+		}
+	}
+}
+
+// TestSimilarTruncatedOnCancel: a dead context degrades verification to
+// Truncated instead of erroring; the scored matches survive.
+func TestSimilarTruncatedOnCancel(t *testing.T) {
+	c := annCorpus(t, 6, 60)
+	sh := BuildShardedANN(c, 4, 0, ann.NewConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sh.SimilarCtx(ctx, c.Graph(0), SimilarOptions{K: 5, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("cancelled verify not marked Truncated")
+	}
+	if res.Verified != 0 {
+		t.Fatalf("verified %d under a dead context", res.Verified)
+	}
+	if len(res.Matches) == 0 {
+		t.Fatal("cancelled verify dropped the scored matches")
+	}
+}
+
+// TestApplyBatchANNRebuild: the acceptance property — a batch touching one
+// shard rebuilds exactly that shard's ANN table (obs counter delta of 1),
+// the new graph is immediately retrievable, and the old generation still
+// answers over the pre-batch corpus.
+func TestApplyBatchANNRebuild(t *testing.T) {
+	c := annCorpus(t, 7, 100)
+	k := 8
+	builds0 := obsANNShardBuilds.Value()
+	sh := BuildShardedANN(c, k, 0, ann.NewConfig())
+	if d := obsANNShardBuilds.Value() - builds0; d != int64(k) {
+		t.Fatalf("initial build incremented ann build counter by %d, want %d", d, k)
+	}
+
+	add := datagen.Chemical(rand.New(rand.NewSource(99)), "batch-added", datagen.ChemicalOptions{})
+	rebuilds0 := obsANNShardRebuilds.Value()
+	next, rep, err := sh.ApplyBatch([]*graph.Graph{add}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rebuilt) != 1 {
+		t.Fatalf("one added graph rebuilt %d shards: %v", len(rep.Rebuilt), rep.Rebuilt)
+	}
+	if d := obsANNShardRebuilds.Value() - rebuilds0; d != 1 {
+		t.Fatalf("ann rebuild counter delta = %d, want 1 (touched shards only)", d)
+	}
+	// Untouched shards share their ANN state with the old generation.
+	for s := 0; s < k; s++ {
+		shared := next.shards[s].ann == sh.shards[s].ann
+		if touched := s == rep.Rebuilt[0]; touched == shared {
+			t.Fatalf("shard %d: touched=%v but shared=%v", s, touched, shared)
+		}
+	}
+	// The added graph retrieves itself from the new generation...
+	res, err := next.Similar(add, SimilarOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 || res.Matches[0].Name != "batch-added" {
+		t.Fatalf("added graph not its own nearest neighbor: %+v", res.Matches)
+	}
+	// ...and is invisible to the old one.
+	old, err := sh.Similar(add, SimilarOptions{K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range old.Matches {
+		if m.Name == "batch-added" {
+			t.Fatal("old generation sees the added graph")
+		}
+	}
+}

@@ -159,3 +159,33 @@ func TestConcurrentMixedKeys(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestMetricsZeroLookups: a cache that has never been queried must report
+// a well-defined zero hit ratio — never NaN from 0/0, which would poison
+// any JSON metrics endpoint exporting it (NaN is not representable in
+// JSON).
+func TestMetricsZeroLookups(t *testing.T) {
+	m := New[int](4).Metrics()
+	if m.Hits != 0 || m.Misses != 0 {
+		t.Fatalf("fresh cache reports traffic: %+v", m)
+	}
+	if m.HitRatio != 0 {
+		t.Fatalf("zero-lookup HitRatio = %v, want exactly 0", m.HitRatio)
+	}
+	if m.HitRatio != m.HitRatio {
+		t.Fatal("zero-lookup HitRatio is NaN")
+	}
+}
+
+// TestMetricsHitRatio: the ratio tracks Hits/(Hits+Misses) once traffic
+// exists.
+func TestMetricsHitRatio(t *testing.T) {
+	c := New[int](4)
+	c.Do("k", func() (int, bool) { return 1, true }) // miss
+	c.Do("k", func() (int, bool) { return 1, true }) // hit
+	c.Do("k", func() (int, bool) { return 1, true }) // hit
+	m := c.Metrics()
+	if want := 2.0 / 3.0; m.HitRatio != want {
+		t.Fatalf("HitRatio = %v, want %v", m.HitRatio, want)
+	}
+}

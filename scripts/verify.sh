@@ -34,6 +34,11 @@ go run ./cmd/benchvqi -exp S1
 echo "== benchmark smoke (O1 observability-overhead suite) =="
 go run ./cmd/benchvqi -exp O1
 
+echo "== benchmark smoke (A1 approximate-similarity suite) =="
+go run ./cmd/benchvqi -exp A1
+grep -q '"rebuild_only_touched": true' BENCH_ann.json \
+  || { echo "A1: batch update rebuilt more than the touched shards"; exit 1; }
+
 echo "== metrics endpoint smoke (vqiserve -pprof, live scrape) =="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"; [[ -n "${server_pid:-}" ]] && kill "$server_pid" 2>/dev/null || true' EXIT
@@ -41,7 +46,7 @@ go run ./cmd/datagen -kind chemical -n 20 -out "$tmpdir/corpus.lg"
 go run ./cmd/vqibuild -data "$tmpdir/corpus.lg" -out "$tmpdir/vqi.json" -count 3 -metrics
 go build -o "$tmpdir/vqiserve" ./cmd/vqiserve
 "$tmpdir/vqiserve" -spec "$tmpdir/vqi.json" -data "$tmpdir/corpus.lg" \
-  -addr 127.0.0.1:0 -pprof >"$tmpdir/serve.log" 2>&1 &
+  -addr 127.0.0.1:0 -pprof -ann >"$tmpdir/serve.log" 2>&1 &
 server_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -50,16 +55,38 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [[ -n "$addr" ]] || { echo "vqiserve never reported its address"; cat "$tmpdir/serve.log"; exit 1; }
-curl -fsS "http://$addr/metrics" | grep -q 'vqiserve_requests_total' \
+curl -fsS "http://$addr/metrics" | grep 'vqiserve_requests_total' >/dev/null \
   || { echo "/metrics JSON missing request counters"; exit 1; }
-curl -fsS "http://$addr/metrics?format=prometheus" | grep -q '# TYPE vqiserve_request_seconds histogram' \
+curl -fsS "http://$addr/metrics?format=prometheus" | grep '# TYPE vqiserve_request_seconds histogram' >/dev/null \
   || { echo "/metrics prometheus output missing histogram family"; exit 1; }
-curl -fsS "http://$addr/debug/vars" | grep -q 'vqiserve_inflight_requests' \
+curl -fsS "http://$addr/debug/vars" | grep 'vqiserve_inflight_requests' >/dev/null \
   || { echo "/debug/vars missing inflight gauge"; exit 1; }
 curl -fsS "http://$addr/debug/pprof/cmdline" >/dev/null \
   || { echo "-pprof did not mount /debug/pprof/"; exit 1; }
+ct="$(curl -fsS -o /dev/null -w '%{content_type}' "http://$addr/metrics")"
+[[ "$ct" == application/json* ]] \
+  || { echo "/metrics JSON content-type: $ct"; exit 1; }
+ct="$(curl -fsS -o /dev/null -w '%{content_type}' "http://$addr/metrics?format=prometheus")"
+[[ "$ct" == "text/plain; version=0.0.4"* ]] \
+  || { echo "/metrics prometheus content-type: $ct"; exit 1; }
+code="$(curl -s -o "$tmpdir/badformat.json" -w '%{http_code}' "http://$addr/metrics?format=bogus")"
+[[ "$code" == 400 ]] && grep -q '"bad_format"' "$tmpdir/badformat.json" \
+  || { echo "/metrics?format=bogus: got $code $(cat "$tmpdir/badformat.json")"; exit 1; }
+echo "metrics endpoint: OK"
+
+echo "== similarity endpoint smoke (live /api/similar) =="
+curl -fsS "http://$addr/api/similar" -d '{"graph":"mol3","k":3}' \
+  | grep '"mol3"' >/dev/null \
+  || { echo "/api/similar did not retrieve the query graph"; exit 1; }
+curl -fsS "http://$addr/api/similar" \
+  -d '{"nodes":["C","C"],"edges":[{"u":0,"v":1,"label":"s"}],"k":3,"mode":"exact","verify":true}' \
+  | grep '"matches"' >/dev/null \
+  || { echo "/api/similar inline exact+verify query failed"; exit 1; }
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/api/similar" -d '{"graph":"mol3","mode":"bogus"}')"
+[[ "$code" == 400 ]] \
+  || { echo "/api/similar bad mode: got $code, want 400"; exit 1; }
 kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
 server_pid=""
-echo "metrics endpoint: OK"
+echo "similarity endpoint: OK"
 
 echo "verify: OK"
