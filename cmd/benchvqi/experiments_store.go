@@ -1,0 +1,211 @@
+package main
+
+// Experiment D1: the durability suite. Measures what crash safety charges
+// the write path — per-batch WAL-append latency (the /admin/update shape:
+// one graph per batch) under each fsync policy — and what the snapshot
+// refunds on the read path: cold boot via snapshot + WAL replay, and via a
+// compacted snapshot, versus re-parsing the equivalent .lg corpus; the
+// sharded index build is included in every boot variant. Emits
+// BENCH_store.json for tracking across runs.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/gindex"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+func init() {
+	register("D1", "durability: WAL-append latency per fsync policy, cold boot vs .lg re-parse (emits BENCH_store.json)", runD1)
+}
+
+type storeAppendVariant struct {
+	Policy    string  `json:"policy"`
+	Appends   int     `json:"appends"`
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	WALBytes  int64   `json:"wal_bytes"`
+}
+
+type storeBootVariant struct {
+	Name     string  `json:"name"`
+	Graphs   int     `json:"graphs"`
+	Replayed int     `json:"replayed"`
+	Millis   float64 `json:"ms"`
+}
+
+type storeReport struct {
+	CPUs       int                  `json:"cpus"`
+	Full       bool                 `json:"full"`
+	Seed       int64                `json:"seed"`
+	BaseGraphs int                  `json:"base_graphs"`
+	Shards     int                  `json:"shards"`
+	Appends    []storeAppendVariant `json:"appends"`
+	Boots      []storeBootVariant   `json:"boots"`
+}
+
+func runD1(cfg runConfig, w *tabwriter.Writer) {
+	baseGraphs, appends := 150, 120
+	if cfg.full {
+		baseGraphs, appends = 1000, 600
+	}
+	const shards = 4
+	genOpts := datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16}
+	corpus := datagen.ChemicalCorpus(cfg.seed, baseGraphs, genOpts)
+	rng := rand.New(rand.NewSource(cfg.seed + 1))
+	batches := make([]store.Batch, appends)
+	for i := range batches {
+		g := datagen.Chemical(rng, fmt.Sprintf("d1-add-%d", i), genOpts)
+		batches[i] = store.Batch{Added: []*graph.Graph{g}}
+	}
+
+	report := storeReport{CPUs: runtime.NumCPU(), Full: cfg.full, Seed: cfg.seed,
+		BaseGraphs: baseGraphs, Shards: shards}
+
+	// Write path: the same update stream under each fsync policy. The
+	// "always" directory is kept for the boot comparison below — its WAL
+	// holds every append.
+	fmt.Fprintf(w, "append policy\tbatches\tp50 (ms)\tp99 (ms)\tWAL bytes\n")
+	var bootDir string
+	for _, v := range []struct {
+		name string
+		opts store.Options
+	}{
+		{"always", store.Options{Sync: store.SyncAlways}},
+		{"interval 25ms", store.Options{Sync: store.SyncInterval, SyncEvery: 25 * time.Millisecond}},
+		{"none", store.Options{Sync: store.SyncNone}},
+	} {
+		dir, err := os.MkdirTemp("", "benchvqi-d1-*")
+		if err != nil {
+			fmt.Fprintf(w, "tempdir: %v\n", err)
+			return
+		}
+		keep := v.opts.Sync == store.SyncAlways
+		if !keep {
+			defer os.RemoveAll(dir)
+		}
+		st, _, err := store.Open(context.Background(), dir, v.opts)
+		if err != nil {
+			fmt.Fprintf(w, "%s: open: %v\n", v.name, err)
+			return
+		}
+		if err := st.WriteSnapshot(corpus, 0, nil); err != nil {
+			fmt.Fprintf(w, "%s: snapshot: %v\n", v.name, err)
+			return
+		}
+		lat := make([]float64, 0, appends)
+		for _, b := range batches {
+			t0 := time.Now()
+			if _, err := st.Append(b); err != nil {
+				fmt.Fprintf(w, "%s: append: %v\n", v.name, err)
+				return
+			}
+			lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+		}
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(w, "%s: close: %v\n", v.name, err)
+			return
+		}
+		var walBytes int64
+		if fi, err := os.Stat(filepath.Join(dir, "wal.vqilog")); err == nil {
+			walBytes = fi.Size()
+		}
+		sort.Float64s(lat)
+		entry := storeAppendVariant{Policy: v.name, Appends: len(lat),
+			P50Millis: percentile(lat, 0.50), P99Millis: percentile(lat, 0.99),
+			WALBytes: walBytes}
+		report.Appends = append(report.Appends, entry)
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.3f\t%d\n",
+			entry.Policy, entry.Appends, entry.P50Millis, entry.P99Millis, entry.WALBytes)
+		if keep {
+			bootDir = dir
+		}
+	}
+	defer os.RemoveAll(bootDir)
+
+	// Read path: three cold boots to the same serving state (recovered
+	// corpus + built index). snapshot+replay pays per-append replay cost;
+	// a compacted directory folds the WAL away; the .lg baseline is what
+	// a non-durable deployment re-parses on every boot.
+	fmt.Fprintf(w, "cold boot\tgraphs\treplayed\ttotal (ms)\n")
+	boot := func(name string) *storeBootVariant {
+		t0 := time.Now()
+		di, rep, err := core.OpenDurableIndex(context.Background(), bootDir, nil,
+			core.DurableIndexOptions{Shards: shards})
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", name, err)
+			return nil
+		}
+		elapsed := time.Since(t0)
+		defer di.Close()
+		return &storeBootVariant{Name: name, Graphs: di.Corpus().Len(),
+			Replayed: rep.Replayed, Millis: float64(elapsed.Microseconds()) / 1000}
+	}
+	replayBoot := boot("snapshot + WAL replay")
+	if replayBoot == nil {
+		return
+	}
+
+	// Fold the WAL (the vqimaintain -compact path), then boot again.
+	di, _, err := core.OpenDurableIndex(context.Background(), bootDir, nil,
+		core.DurableIndexOptions{Shards: shards})
+	if err != nil {
+		fmt.Fprintf(w, "compact open: %v\n", err)
+		return
+	}
+	finalCorpus := di.Corpus()
+	if err := di.Compact(); err != nil {
+		fmt.Fprintf(w, "compact: %v\n", err)
+		return
+	}
+	di.Close()
+	compactBoot := boot("compacted snapshot")
+	if compactBoot == nil {
+		return
+	}
+
+	lgPath := filepath.Join(bootDir, "corpus.lg")
+	if err := gio.SaveCorpus(lgPath, finalCorpus); err != nil {
+		fmt.Fprintf(w, "save .lg: %v\n", err)
+		return
+	}
+	t0 := time.Now()
+	reparsed, err := gio.LoadCorpus(lgPath)
+	if err != nil {
+		fmt.Fprintf(w, "re-parse .lg: %v\n", err)
+		return
+	}
+	gindex.BuildSharded(reparsed, shards, 0)
+	lgBoot := &storeBootVariant{Name: ".lg re-parse", Graphs: reparsed.Len(),
+		Millis: float64(time.Since(t0).Microseconds()) / 1000}
+
+	for _, b := range []*storeBootVariant{replayBoot, compactBoot, lgBoot} {
+		report.Boots = append(report.Boots, *b)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\n", b.Name, b.Graphs, b.Replayed, b.Millis)
+	}
+	if replayBoot.Graphs != lgBoot.Graphs || compactBoot.Graphs != lgBoot.Graphs {
+		fmt.Fprintf(w, "BOOT MISMATCH: variants recovered different corpus sizes\n")
+	}
+
+	payload, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		if err := os.WriteFile("BENCH_store.json", payload, 0o644); err != nil {
+			fmt.Fprintf(w, "write BENCH_store.json: %v\n", err)
+		} else {
+			fmt.Fprintln(w, "wrote BENCH_store.json")
+		}
+	}
+}

@@ -73,7 +73,7 @@ func main() {
 }
 
 func experimentOrder(id string) int {
-	// E1..E11 first, then T1, P1, R1.
+	// E1..E11 first, then T1, P1, R1, D1.
 	if strings.HasPrefix(id, "E") {
 		n := 0
 		fmt.Sscanf(id[1:], "%d", &n)
@@ -84,6 +84,8 @@ func experimentOrder(id string) int {
 		return 100
 	case 'P':
 		return 200
+	case 'R':
+		return 300
 	}
-	return 300
+	return 400
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gio"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 		manual  = flag.String("manual", "", "build a manual preset instead: basic-only|chemistry")
 		timeout = flag.Duration("timeout", 0, "overall build budget; an exhausted budget still writes the best spec found so far (0 = unlimited)")
 		metrics = flag.Bool("metrics", false, "print a per-stage timing table for the build pipeline")
+		dataDir = flag.String("data-dir", "", "also write the corpus as the initial snapshot of a durable data directory, so vqiserve -data-dir boots from it without re-parsing the .lg")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -47,6 +49,22 @@ func main() {
 	corpus, err := gio.LoadCorpus(*data)
 	if err != nil {
 		fatal(err)
+	}
+	if *dataDir != "" {
+		st, rec, err := store.Open(context.Background(), *dataDir, store.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if rec.Corpus != nil {
+			fatal(fmt.Errorf("data directory %s already holds durable state at seq %d; refusing to overwrite it with a fresh seed", *dataDir, rec.LastSeq()))
+		}
+		if err := st.WriteSnapshot(corpus, 0, nil); err != nil {
+			fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("seeded data directory %s with %d graphs\n", *dataDir, corpus.Len())
 	}
 	opts := core.Options{
 		Budget:  core.Budget{Count: *count, MinSize: *minSize, MaxSize: *maxSize},

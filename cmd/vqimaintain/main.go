@@ -10,6 +10,12 @@
 //
 // Each -add file contributes one batch; -remove names are deleted in the
 // first batch.
+//
+// With -compact it instead operates on a durable data directory (the
+// vqiserve -data-dir layout): it folds the write-ahead log into a fresh
+// snapshot via an atomic rename swap and exits:
+//
+//	vqimaintain -compact -data-dir /var/lib/vqi -shards 8
 package main
 
 import (
@@ -47,9 +53,21 @@ func main() {
 		state   = flag.String("state", "", "maintenance state file: loaded if present, saved after the run (with the updated corpus alongside as <state>.lg)")
 		timeout = flag.Duration("timeout", 0, "per-batch maintenance budget; corpus bookkeeping always completes, pattern improvement stops at the deadline (0 = unlimited)")
 		metrics = flag.Bool("metrics", false, "print a per-stage timing table for each maintenance batch")
+		dataDir = flag.String("data-dir", "", "durable data directory (snapshots + write-ahead log) to operate on; required by -compact")
+		compact = flag.Bool("compact", false, "fold the data directory's WAL into a fresh snapshot (atomic rename swap) and exit; pass the serving -shards so recovered epochs stay exact")
 	)
 	flag.Var(&adds, "add", ".lg file of graphs to insert (repeatable; one batch each)")
 	flag.Parse()
+	if *compact {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "vqimaintain: -compact requires -data-dir")
+			os.Exit(2)
+		}
+		if err := compactDataDir(*dataDir, *shards, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *base == "" {
 		fmt.Fprintln(os.Stderr, "vqimaintain: -base is required")
 		flag.Usage()
@@ -166,6 +184,40 @@ func main() {
 		fmt.Printf("saved maintenance state to %s (corpus: %s.lg)\n", *state, *state)
 	}
 	fmt.Printf("final: %s\nwrote %s\n", core.Describe(m.Spec()), *out)
+}
+
+// compactDataDir folds the directory's WAL suffix into a fresh snapshot:
+// recover (snapshot + replay, which re-derives the per-shard epochs
+// exactly as a serving instance would), write the new snapshot via
+// tmp-file + atomic rename, retain the previous snapshot as the
+// corruption fallback, and prune the folded WAL records. Safe to run
+// offline between server restarts; the shard count should match the
+// serving -shards so the snapshotted epochs carry over on the next boot.
+func compactDataDir(dir string, shards, workers int) error {
+	start := time.Now()
+	di, rep, err := core.OpenDurableIndex(context.Background(), dir, nil,
+		core.DurableIndexOptions{Shards: shards, Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer di.Close()
+	fmt.Printf("recovered %d graphs at seq %d (replayed %d WAL batches", di.Corpus().Len(), rep.Seq, rep.Replayed)
+	if rep.TailTruncated {
+		fmt.Printf(", truncated a torn WAL tail")
+	}
+	if rep.SnapshotsSkipped > 0 {
+		fmt.Printf(", skipped %d corrupt snapshots", rep.SnapshotsSkipped)
+	}
+	fmt.Printf(")\n")
+	if rep.Replayed == 0 {
+		fmt.Println("WAL already folded; nothing to compact")
+		return nil
+	}
+	if err := di.Compact(); err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s to seq %d in %v\n", dir, rep.Seq, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // applyWithBudget runs one maintenance batch under the -timeout budget

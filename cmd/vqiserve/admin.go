@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/gindex"
 	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 // Admin batch updates: POST /admin/update applies a MIDAS-style batch
@@ -42,12 +44,45 @@ type updateRequest struct {
 
 // updateResponse reports what the batch did and what it cost.
 type updateResponse struct {
-	Added   int   `json:"added"`
-	Removed int   `json:"removed"`
-	Graphs  int   `json:"graphs"`  // corpus size after the batch
-	Shards  int   `json:"shards"`  // total shard count
-	Rebuilt []int `json:"rebuilt"` // shards whose index was rebuilt
-	Millis  int64 `json:"millis"`  // wall-clock for apply+install
+	Added   int    `json:"added"`
+	Removed int    `json:"removed"`
+	Graphs  int    `json:"graphs"`  // corpus size after the batch
+	Shards  int    `json:"shards"`  // total shard count
+	Rebuilt []int  `json:"rebuilt"` // shards whose index was rebuilt
+	Millis  int64  `json:"millis"`  // wall-clock for apply+install
+	Seq     uint64 `json:"seq,omitempty"` // durable WAL sequence number (persistent servers only)
+}
+
+// applyValidatedLocked derives the next (corpus, index) pair from the
+// current one and installs it: the index via Sharded.ApplyBatch (rebuilds
+// only touched shards), the corpus mirrored with the same order
+// discipline — survivors keep their relative order, additions append — so
+// corpus positions agree with the index's global positions. Callers hold
+// updateMu and have already validated (or durably logged) the batch.
+func (s *server) applyValidatedLocked(added []*graph.Graph, removed []string) (*gindex.UpdateReport, error) {
+	corpus, idx := s.snapshot()
+	next, rep, err := idx.ApplyBatch(added, removed)
+	if err != nil {
+		return nil, err
+	}
+	rm := make(map[string]bool, len(removed))
+	for _, n := range removed {
+		rm[n] = true
+	}
+	nc := graph.NewCorpus()
+	corpus.Each(func(_ int, g *graph.Graph) {
+		if !rm[g.Name()] {
+			nc.MustAdd(g)
+		}
+	})
+	for _, g := range added {
+		nc.MustAdd(g)
+	}
+	s.mu.Lock()
+	s.corpus = nc
+	s.index = next
+	s.mu.Unlock()
+	return rep, nil
 }
 
 func (s *server) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
@@ -60,7 +95,7 @@ func (s *server) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
 			"batch updates apply to corpus mode; this server serves a single network")
 		return
 	}
-	if !s.ready.Load() {
+	if s.phase.Load() != phaseReady {
 		writeErr(w, http.StatusServiceUnavailable, "not_ready", "index build in progress")
 		return
 	}
@@ -107,33 +142,36 @@ func (s *server) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 	start := time.Now()
-	corpus, idx := s.snapshot()
-	next, rep, err := idx.ApplyBatch(added, req.Remove)
-	if err != nil {
+	// Durability ordering: validate, then durably log, then apply. The
+	// validation comes first so every logged record is guaranteed to replay
+	// cleanly after a crash; the append comes before the apply (and the
+	// 200) so in-memory state never gets ahead of the log — a batch whose
+	// append fails is NOT applied, and the client retries against unchanged
+	// state.
+	_, idx := s.snapshot()
+	if err := idx.ValidateBatch(added, req.Remove); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_batch", err.Error())
 		return
 	}
-	// Mirror the batch onto a fresh flat corpus (used by facets and the
-	// spec-derived panels). Same order discipline as the index: survivors
-	// keep their relative order, additions append — so corpus positions
-	// agree with the index's global positions.
-	rm := make(map[string]bool, len(req.Remove))
-	for _, n := range req.Remove {
-		rm[n] = true
-	}
-	nc := graph.NewCorpus()
-	corpus.Each(func(_ int, g *graph.Graph) {
-		if !rm[g.Name()] {
-			nc.MustAdd(g)
+	var seq uint64
+	if s.st != nil {
+		var err error
+		seq, err = s.st.Append(store.Batch{Added: added, Removed: req.Remove})
+		if err != nil {
+			s.obs.Counter("vqiserve_admin_wal_errors_total").Inc()
+			writeErr(w, http.StatusInternalServerError, "wal_append",
+				fmt.Sprintf("batch not applied: %v", err))
+			return
 		}
-	})
-	for _, g := range added {
-		nc.MustAdd(g)
 	}
-	s.mu.Lock()
-	s.corpus = nc
-	s.index = next
-	s.mu.Unlock()
+	rep, err := s.applyValidatedLocked(added, req.Remove)
+	if err != nil {
+		// Unreachable after ValidateBatch; if it ever trips the durable
+		// record is still replayable and memory is merely behind the log.
+		writeErr(w, http.StatusInternalServerError, "apply_failed", err.Error())
+		return
+	}
+	nc, _ := s.snapshot()
 	elapsed := time.Since(start)
 	s.obs.Counter("vqiserve_admin_updates_total").Inc()
 	s.obs.Counter("vqiserve_admin_graphs_added_total").Add(int64(rep.Added))
@@ -153,5 +191,6 @@ func (s *server) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
 		Shards:  rep.Shards,
 		Rebuilt: rebuilt,
 		Millis:  elapsed.Milliseconds(),
+		Seq:     seq,
 	})
 }

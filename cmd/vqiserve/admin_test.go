@@ -183,7 +183,7 @@ func TestAdminUpdateErrors(t *testing.T) {
 
 	// Network mode has no corpus to batch-update.
 	net := networkServer(t, serverConfig{})
-	net.ready.Store(true)
+	net.phase.Store(phaseReady)
 	rec, body = post(t, net.routes(), "/admin/update", `{"remove":["g"]}`)
 	if rec.Code != http.StatusConflict {
 		t.Fatalf("network server: status = %d (body %s)", rec.Code, body)

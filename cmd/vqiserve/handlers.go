@@ -100,12 +100,20 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz reports the boot state machine: 503 "not_ready" while the
+// index builds, 503 "replaying" while recovered WAL records re-apply, 200
+// once the server answers queries against fully recovered state. The
+// distinct replaying code lets orchestration tell a slow recovery from a
+// stuck build.
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if !s.ready.Load() {
+	switch s.phase.Load() {
+	case phaseBuilding:
 		writeErr(w, http.StatusServiceUnavailable, "not_ready", "index build in progress")
-		return
+	case phaseReplaying:
+		writeErr(w, http.StatusServiceUnavailable, "replaying", "write-ahead log replay in progress")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -63,7 +63,17 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/qcache"
+	"repro/internal/store"
 	"repro/internal/vqi"
+)
+
+// Boot phases, reported by /readyz: the server accepts traffic only once
+// the index is built (building) and every durable WAL record has been
+// re-applied on top of it (replaying).
+const (
+	phaseBuilding int32 = iota
+	phaseReplaying
+	phaseReady
 )
 
 type server struct {
@@ -119,7 +129,20 @@ type server struct {
 	// so any rebuilt shard retires the entry. nil when caching is disabled.
 	simQC *qcache.Cache[cachedSimilar]
 
-	ready atomic.Bool
+	// phase is the boot state machine (building → replaying → ready).
+	// Query-shaped endpoints and /readyz gate on it; /healthz does not.
+	phase atomic.Int32
+
+	// st is the durable store (-data-dir); nil runs fully in-memory. When
+	// set, /admin/update appends each batch to the WAL — and waits for it
+	// to be durable under the configured fsync policy — before applying or
+	// acknowledging it.
+	st *store.Store
+	// bootMeta/replay carry the recovered snapshot metadata and WAL suffix
+	// from store.Open into buildIndex, which replays the suffix through
+	// the normal apply path before declaring the server ready.
+	bootMeta store.SnapshotMeta
+	replay   []store.Batch
 
 	// updateMu serializes admin batch updates (read-copy-update writers);
 	// queries never take it.
@@ -194,11 +217,24 @@ func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
 	return s
 }
 
-// buildIndex builds the sharded filter-verify index (corpus mode) and
-// flips the readiness gate. It runs in the background so the listener is
-// up — and /healthz green — while a large corpus indexes. Installing a
-// from-scratch index resets both caches: its epochs restart at zero, so
-// key-based invalidation cannot distinguish it from the previous build.
+// attachStore binds the durable store and recovery state. Called before
+// serve/buildIndex; the recovered WAL suffix is replayed by buildIndex.
+func (s *server) attachStore(st *store.Store, rec *store.Recovery) {
+	s.st = st
+	if rec != nil {
+		s.bootMeta = rec.Meta
+		s.replay = rec.Batches
+	}
+}
+
+// buildIndex builds the sharded filter-verify index (corpus mode),
+// replays any recovered WAL suffix through the normal batch-apply path,
+// and flips the readiness gate. It runs in the background so the listener
+// is up — and /healthz green — while a large corpus indexes; /readyz
+// reports "replaying" during the WAL phase. Installing a from-scratch
+// index resets both caches: its epochs restart at zero (or at the
+// snapshot's restored values), so key-based invalidation cannot
+// distinguish it from the previous build.
 func (s *server) buildIndex() {
 	corpus, _ := s.snapshot()
 	if !s.network {
@@ -208,9 +244,33 @@ func (s *server) buildIndex() {
 		} else {
 			idx = gindex.BuildSharded(corpus, s.shards, s.workers)
 		}
+		if s.bootMeta.Shards == idx.NumShards() {
+			// Same shard count as the snapshotted instance: carry its epochs
+			// so this boot's epoch-keyed cache entries line up with where the
+			// pre-crash instance left off.
+			idx.RestoreEpochs(s.bootMeta.Epochs)
+		}
 		s.mu.Lock()
 		s.index = idx
 		s.mu.Unlock()
+	}
+	if len(s.replay) > 0 {
+		s.phase.Store(phaseReplaying)
+		log.Printf("vqiserve: replaying %d WAL batches (seq %d..%d)",
+			len(s.replay), s.replay[0].Seq, s.replay[len(s.replay)-1].Seq)
+		s.updateMu.Lock()
+		for _, b := range s.replay {
+			// Replayed records were validated and durably logged before the
+			// crash, so they must apply cleanly; a failure here means the
+			// directory does not match the serving configuration, and limping
+			// on would serve a corpus that silently diverged from the log.
+			if _, err := s.applyValidatedLocked(b.Added, b.Removed); err != nil {
+				s.updateMu.Unlock()
+				log.Fatalf("vqiserve: WAL replay seq %d: %v", b.Seq, err)
+			}
+		}
+		s.updateMu.Unlock()
+		s.replay = nil
 	}
 	if s.qc != nil {
 		s.qc.Reset()
@@ -221,7 +281,8 @@ func (s *server) buildIndex() {
 	if s.simQC != nil {
 		s.simQC.Reset()
 	}
-	s.ready.Store(true)
+	s.phase.Store(phaseReady)
+	corpus, _ = s.snapshot()
 	log.Printf("vqiserve: ready (%d data graphs)", corpus.Len())
 }
 
@@ -280,14 +341,16 @@ func main() {
 		useCache = flag.Bool("cache", true, "cache query results by canonical query code (repeated and concurrent identical queries hit memory)")
 		cacheSz  = flag.Int("cache-size", 512, "maximum cached query results (LRU eviction)")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default; profiles expose internals)")
+		dataDir  = flag.String("data-dir", "", "durable data directory (snapshots + write-ahead log); empty disables persistence. On a non-empty directory the corpus is recovered from it and -data is ignored; on an empty one -data seeds the initial snapshot")
+		walSync  = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync before acknowledging each /admin/update), none, or a duration like 100ms (background interval sync)")
 		annOn    = flag.Bool("ann", false, "build per-shard LSH similarity tables and serve POST /api/similar (sub-linear approximate top-k with exact re-ranking)")
 		annTabs  = flag.Int("ann-tables", 0, "LSH hash tables per shard (0 = default 12); more tables raise recall at linear memory cost")
 		annBits  = flag.Int("ann-bits", 0, "LSH signature bits per table (0 = default 10); more bits shrink buckets, trading recall for shortlist size")
 		annProbe = flag.Int("ann-probes", 0, "buckets probed per table per lookup (0 = default 2x bits); more probes raise recall at linear lookup cost")
 	)
 	flag.Parse()
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "vqiserve: -data is required")
+	if *dataPath == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "vqiserve: -data is required (or -data-dir with recovered state)")
 		os.Exit(2)
 	}
 	raw, err := os.ReadFile(*specPath)
@@ -301,9 +364,51 @@ func main() {
 	if err := spec.Validate(); err != nil {
 		log.Fatalf("vqiserve: invalid spec: %v", err)
 	}
-	corpus, err := gio.LoadCorpus(*dataPath)
-	if err != nil {
-		log.Fatalf("vqiserve: %v", err)
+
+	// Durable boot: mount the data directory first. A recovered corpus wins
+	// over -data (the directory is the source of truth once it exists); an
+	// empty directory is seeded from the -data .lg file.
+	var (
+		st     *store.Store
+		rec    *store.Recovery
+		corpus *graph.Corpus
+	)
+	if *dataDir != "" {
+		policy, every, err := store.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatalf("vqiserve: %v", err)
+		}
+		st, rec, err = store.Open(context.Background(), *dataDir, store.Options{Sync: policy, SyncEvery: every})
+		if err != nil {
+			log.Fatalf("vqiserve: %v", err)
+		}
+		if rec.TailTruncated {
+			log.Printf("vqiserve: truncated a torn WAL tail in %s", *dataDir)
+		}
+		if rec.SnapshotsSkipped > 0 {
+			log.Printf("vqiserve: skipped %d corrupt snapshot(s) in %s", rec.SnapshotsSkipped, *dataDir)
+		}
+		corpus = rec.Corpus
+		if corpus != nil {
+			log.Printf("vqiserve: recovered %d graphs at seq %d (+%d WAL batches) from %s",
+				corpus.Len(), rec.Meta.Seq, len(rec.Batches), *dataDir)
+		}
+	}
+	if corpus == nil {
+		if *dataPath == "" {
+			log.Fatalf("vqiserve: data directory %s is empty and no -data seed was given", *dataDir)
+		}
+		corpus, err = gio.LoadCorpus(*dataPath)
+		if err != nil {
+			log.Fatalf("vqiserve: %v", err)
+		}
+		if st != nil {
+			// Seed the directory so the next boot recovers without the .lg.
+			if err := st.WriteSnapshot(corpus, 0, nil); err != nil {
+				log.Fatalf("vqiserve: writing seed snapshot: %v", err)
+			}
+			log.Printf("vqiserve: seeded %s with %d graphs", *dataDir, corpus.Len())
+		}
 	}
 	size := *cacheSz
 	if !*useCache {
@@ -325,9 +430,28 @@ func main() {
 		annEnabled:   *annOn,
 		annCfg:       annCfg,
 	})
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if st != nil {
+		if s.network {
+			log.Fatalf("vqiserve: -data-dir requires corpus mode; this data source is a single network")
+		}
+		s.attachStore(st, rec)
+	}
+	// SIGINT and SIGTERM drain identically. AfterFunc unregisters the
+	// handler the moment the first signal lands, restoring the default
+	// disposition — a second signal during the drain kills the process
+	// instead of being swallowed.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := s.serve(ctx, *addr, *grace, nil); err != nil {
+	context.AfterFunc(ctx, stop)
+	err = s.serve(ctx, *addr, *grace, nil)
+	if st != nil {
+		// Flush and release the WAL after the drain so in-flight admin
+		// updates finish their durable appends first.
+		if cerr := st.Close(); cerr != nil {
+			log.Printf("vqiserve: closing store: %v", cerr)
+		}
+	}
+	if err != nil {
 		log.Fatalf("vqiserve: %v", err)
 	}
 }

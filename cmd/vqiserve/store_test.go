@@ -1,0 +1,207 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+
+	"repro/internal/catapult"
+	"repro/internal/datagen"
+	"repro/internal/faultinject"
+	"repro/internal/pattern"
+	"repro/internal/store"
+	"repro/internal/vqi"
+)
+
+// durableServer mounts dir (seeding it from the standard 24-graph fixture
+// corpus when empty), builds a ready server on top, and returns it. The
+// injector arms store fault sites; nil for clean runs.
+func durableServer(t *testing.T, dir string, inj *faultinject.Injector) *server {
+	t.Helper()
+	st, rec, err := store.Open(context.Background(), dir, store.Options{Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	corpus := rec.Corpus
+	if corpus == nil {
+		corpus = datagen.ChemicalCorpus(2, 24, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14})
+		if err := st.WriteSnapshot(corpus, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec, _, err := vqi.BuildFromCorpus(corpus, catapult.Config{
+		Budget: pattern.Budget{Count: 3, MinSize: 4, MaxSize: 7}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(spec, corpus, serverConfig{shards: 4, cacheSize: 32})
+	s.attachStore(st, rec)
+	s.buildIndex()
+	return s
+}
+
+const durableAdd = `{"add":[{"name":"dur-added","nodes":["C","C","O"],"edges":[{"u":0,"v":1,"label":"s"},{"u":1,"v":2,"label":"s"}]}]}`
+
+// TestDurableServerRecoversUpdates: an acknowledged /admin/update
+// survives an abrupt restart — the new process replays the WAL onto the
+// seed snapshot and answers queries as if it never died.
+func TestDurableServerRecoversUpdates(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, nil)
+	h := s.routes()
+
+	rec, body := post(t, h, "/admin/update", durableAdd)
+	if rec.Code != 200 {
+		t.Fatalf("update status = %d (body %s)", rec.Code, body)
+	}
+	var rep updateResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seq != 1 {
+		t.Fatalf("first durable update got seq %d, want 1", rep.Seq)
+	}
+	liveEpochs := s.index.Epochs()
+	liveMatched := queryMatched(t, h)
+	if !slices.Contains(liveMatched, "dur-added") {
+		t.Fatalf("added graph not matched live: %v", liveMatched)
+	}
+
+	// "Crash": abandon the server without closing the store, then boot a
+	// fresh one from the same directory.
+	s2 := durableServer(t, dir, nil)
+	h2 := s2.routes()
+	if got := queryMatched(t, h2); !slices.Equal(got, liveMatched) {
+		t.Fatalf("recovered matches %v, want %v", got, liveMatched)
+	}
+	if !slices.Equal(s2.index.Epochs(), liveEpochs) {
+		t.Fatalf("recovered epochs %v, want %v", s2.index.Epochs(), liveEpochs)
+	}
+	if s2.corpus.Len() != s.corpus.Len() {
+		t.Fatalf("recovered corpus len %d, want %d", s2.corpus.Len(), s.corpus.Len())
+	}
+	// Readiness lands on 200/ready after recovery.
+	rr := httptest.NewRecorder()
+	h2.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("readyz after recovery = %d", rr.Code)
+	}
+	// And the recovered server keeps accepting durable updates at the next
+	// sequence number.
+	rec, body = post(t, h2, "/admin/update", `{"remove":["dur-added"]}`)
+	if rec.Code != 200 {
+		t.Fatalf("post-recovery update = %d (body %s)", rec.Code, body)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seq != 2 {
+		t.Fatalf("post-recovery seq = %d, want 2", rep.Seq)
+	}
+}
+
+// TestDurableServerWALAppendFailure: when the durable append fails the
+// batch must NOT be applied or acknowledged — the 500 carries wal_append,
+// the in-memory corpus is unchanged, and a restart recovers the
+// pre-batch state (truncating the torn record the fault left behind).
+func TestDurableServerWALAppendFailure(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(5, faultinject.Fault{
+		Site: "store.wal.append", Err: errors.New("injected crash"), Count: 1,
+	})
+	s := durableServer(t, dir, inj)
+	h := s.routes()
+	before := queryMatched(t, h)
+
+	rec, body := post(t, h, "/admin/update", durableAdd)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("update with failing WAL = %d (body %s)", rec.Code, body)
+	}
+	if e := decodeErr(t, body); e.Code != "wal_append" {
+		t.Fatalf("error code = %q, want wal_append", e.Code)
+	}
+	if got := queryMatched(t, h); !slices.Equal(got, before) {
+		t.Fatal("failed durable append mutated in-memory state")
+	}
+
+	s2 := durableServer(t, dir, nil)
+	if got := queryMatched(t, s2.routes()); !slices.Equal(got, before) {
+		t.Fatalf("recovered state includes unacknowledged batch: %v", got)
+	}
+	if s2.st.LastSeq() != 0 {
+		t.Fatalf("recovered seq %d, want 0", s2.st.LastSeq())
+	}
+	// The failed append's torn prefix is gone: the next update gets seq 1.
+	rec, body = post(t, s2.routes(), "/admin/update", durableAdd)
+	if rec.Code != 200 {
+		t.Fatalf("retry after recovery = %d (body %s)", rec.Code, body)
+	}
+	var rep updateResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seq != 1 {
+		t.Fatalf("retry seq = %d, want 1", rep.Seq)
+	}
+}
+
+// TestReadyzReplayingPhase pins the distinct 503 code while recovered WAL
+// records re-apply, between "not_ready" (building) and 200 (ready).
+func TestReadyzReplayingPhase(t *testing.T) {
+	s := adminServer(t, 2, 0)
+	h := s.routes()
+	get := func() (*httptest.ResponseRecorder, []byte) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		return rec, rec.Body.Bytes()
+	}
+	for _, tc := range []struct {
+		phase int32
+		code  int
+		slug  string
+	}{
+		{phaseBuilding, http.StatusServiceUnavailable, "not_ready"},
+		{phaseReplaying, http.StatusServiceUnavailable, "replaying"},
+		{phaseReady, http.StatusOK, ""},
+	} {
+		s.phase.Store(tc.phase)
+		rec, body := get()
+		if rec.Code != tc.code {
+			t.Fatalf("phase %d: readyz = %d, want %d", tc.phase, rec.Code, tc.code)
+		}
+		if tc.slug != "" && decodeErr(t, body).Code != tc.slug {
+			t.Fatalf("phase %d: code = %q, want %q", tc.phase, decodeErr(t, body).Code, tc.slug)
+		}
+	}
+}
+
+// TestDurableServerSkipsSeedWhenRecovered: the boot path treats the data
+// directory as the source of truth — a second boot ignores the seed
+// corpus entirely and serves the recovered one.
+func TestDurableServerSkipsSeedWhenRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, nil)
+	if _, body := post(t, s.routes(), "/admin/update", durableAdd); !json.Valid(body) {
+		t.Fatal("bad update response")
+	}
+
+	st, rec, err := store.Open(context.Background(), dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if rec.Corpus == nil {
+		t.Fatal("second boot found no snapshot")
+	}
+	if rec.Corpus.Len() != 24 {
+		t.Fatalf("recovered snapshot has %d graphs, want the 24 seeded", rec.Corpus.Len())
+	}
+	if len(rec.Batches) != 1 {
+		t.Fatalf("recovered %d WAL batches, want 1", len(rec.Batches))
+	}
+}

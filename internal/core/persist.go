@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/ann"
+	"repro/internal/gindex"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// DurableIndexOptions configures OpenDurableIndex.
+type DurableIndexOptions struct {
+	// Shards is the sharded-index shard count (<=0 = GOMAXPROCS).
+	Shards int
+	// Workers bounds index build/rebuild pools (0 = GOMAXPROCS).
+	Workers int
+	// ANN, when non-nil, enables per-shard similarity state
+	// (gindex.BuildShardedANN) with this configuration.
+	ANN *ann.Config
+	// Store configures the persistence engine (fsync policy, fault
+	// injection).
+	Store store.Options
+}
+
+// BootReport describes what OpenDurableIndex reconstructed.
+type BootReport struct {
+	// Seeded reports that the data directory was empty and the provided
+	// seed corpus became the initial snapshot.
+	Seeded bool
+	// Replayed is the number of WAL batches re-applied on top of the
+	// snapshot.
+	Replayed int
+	// TailTruncated and SnapshotsSkipped surface the corruption the
+	// recovery degraded around (see store.Recovery).
+	TailTruncated    bool
+	SnapshotsSkipped int
+	// Seq is the recovered durable sequence number.
+	Seq uint64
+	// EpochsRestored reports that the snapshot's per-shard epochs were
+	// carried over (shard counts matched); false means the index restarted
+	// at epoch zero, which only costs cache warmth, never correctness.
+	EpochsRestored bool
+}
+
+// DurableIndex is a sharded filter-verify index bound to a crash-safe
+// store: every ApplyBatch is durably logged before it is applied, and
+// OpenDurableIndex reconstructs the exact pre-crash index — same corpus,
+// same per-shard epochs — from the snapshot + WAL suffix. It is the
+// library-level recovery path; vqiserve wires the same store into its own
+// serving loop.
+type DurableIndex struct {
+	mu     sync.Mutex
+	st     *store.Store
+	opts   DurableIndexOptions
+	corpus *graph.Corpus
+	idx    *gindex.Sharded
+}
+
+// OpenDurableIndex mounts dir and rebuilds the index from durable state.
+// When the directory holds no snapshot, seed becomes the initial one
+// (seed == nil with an empty directory is an error). Recovery = newest
+// valid snapshot → index build → epoch restore → WAL replay through
+// ApplyBatch, so the result is equivalent to an instance that applied
+// every durable batch live and never crashed.
+func OpenDurableIndex(ctx context.Context, dir string, seed *graph.Corpus, opts DurableIndexOptions) (*DurableIndex, *BootReport, error) {
+	st, rec, err := store.Open(ctx, dir, opts.Store)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &BootReport{
+		TailTruncated:    rec.TailTruncated,
+		SnapshotsSkipped: rec.SnapshotsSkipped,
+		Seq:              rec.LastSeq(),
+	}
+	corpus := rec.Corpus
+	if corpus == nil {
+		if seed == nil {
+			st.Close()
+			return nil, nil, fmt.Errorf("core: data directory %s is empty and no seed corpus was provided", dir)
+		}
+		corpus = seed
+		if err := st.WriteSnapshot(corpus, 0, nil); err != nil {
+			st.Close()
+			return nil, nil, fmt.Errorf("core: writing seed snapshot: %w", err)
+		}
+		rep.Seeded = true
+	}
+
+	_, span := obs.StartSpan(ctx, "core.boot.build")
+	var idx *gindex.Sharded
+	if opts.ANN != nil {
+		idx = gindex.BuildShardedANN(corpus, opts.Shards, opts.Workers, *opts.ANN)
+	} else {
+		idx = gindex.BuildSharded(corpus, opts.Shards, opts.Workers)
+	}
+	if rec.Meta.Shards == idx.NumShards() {
+		// Same shard count as the snapshotted instance: carry its epochs so
+		// epoch-keyed caches and equivalence checks line up exactly.
+		idx.RestoreEpochs(rec.Meta.Epochs)
+		rep.EpochsRestored = true
+	}
+	span.End()
+
+	_, span = obs.StartSpan(ctx, "core.boot.replay")
+	for _, b := range rec.Batches {
+		next, _, err := idx.ApplyBatch(b.Added, b.Removed)
+		if err != nil {
+			span.End()
+			st.Close()
+			return nil, nil, fmt.Errorf("core: replaying WAL batch seq %d: %w", b.Seq, err)
+		}
+		corpus, err = store.ApplyToCorpus(corpus, b)
+		if err != nil {
+			span.End()
+			st.Close()
+			return nil, nil, err
+		}
+		idx = next
+		rep.Replayed++
+	}
+	span.End()
+
+	return &DurableIndex{st: st, opts: opts, corpus: corpus, idx: idx}, rep, nil
+}
+
+// Corpus returns the current corpus snapshot (immutable; ApplyBatch
+// installs a fresh one).
+func (di *DurableIndex) Corpus() *graph.Corpus {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	return di.corpus
+}
+
+// Index returns the current index snapshot (immutable; ApplyBatch
+// installs a fresh one).
+func (di *DurableIndex) Index() *gindex.Sharded {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	return di.idx
+}
+
+// LastSeq returns the highest durable sequence number.
+func (di *DurableIndex) LastSeq() uint64 { return di.st.LastSeq() }
+
+// ApplyBatch validates, durably logs, then applies one batch, returning
+// the record's sequence number and the index-maintenance report. The
+// ordering is the durability contract: validation first (a logged record
+// must always replay cleanly), the WAL append second (when it fails the
+// batch is NOT applied — memory must never get ahead of the log), the
+// in-memory apply last. A batch is acknowledged only by a nil error, at
+// which point it has reached the WAL under the store's fsync policy.
+func (di *DurableIndex) ApplyBatch(added []*graph.Graph, removedNames []string) (uint64, *gindex.UpdateReport, error) {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	if err := di.idx.ValidateBatch(added, removedNames); err != nil {
+		return 0, nil, err
+	}
+	seq, err := di.st.Append(store.Batch{Added: added, Removed: removedNames})
+	if err != nil {
+		return 0, nil, err
+	}
+	next, irep, err := di.idx.ApplyBatch(added, removedNames)
+	if err != nil {
+		// Unreachable by construction (ValidateBatch passed), but if it ever
+		// trips, the durable record is still replayable and in-memory state
+		// is simply behind — the safe side of the invariant.
+		return seq, nil, err
+	}
+	nc, err := store.ApplyToCorpus(di.corpus, store.Batch{Added: added, Removed: removedNames})
+	if err != nil {
+		return seq, nil, err
+	}
+	di.idx = next
+	di.corpus = nc
+	return seq, irep, nil
+}
+
+// Compact folds the WAL into a fresh snapshot of the current corpus and
+// index metadata: after it returns, recovery needs only the new snapshot
+// (plus any batches appended later). The previous snapshot is retained as
+// the corruption fallback; older ones and fully-covered WAL records are
+// pruned.
+func (di *DurableIndex) Compact() error {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	return di.st.WriteSnapshot(di.corpus, di.idx.NumShards(), di.idx.Epochs())
+}
+
+// Close releases the store. The index stays readable; further ApplyBatch
+// calls fail.
+func (di *DurableIndex) Close() error { return di.st.Close() }

@@ -111,6 +111,118 @@ func TestProbDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+// TestProbWithAfterAndCount pins how the three gates compose: After skips
+// the first calls outright (they don't consume probabilistic draws — the
+// hash is keyed by absolute call number, so skipped calls shift nothing),
+// Prob then thins the eligible calls, and Count caps total fires. The
+// whole schedule is a pure function of the seed, so it can be predicted
+// call-by-call with hashFires and must replay identically.
+func TestProbWithAfterAndCount(t *testing.T) {
+	const (
+		site  = "pac"
+		seed  = 11
+		after = 10
+		count = 3
+		prob  = 0.4
+		calls = 200
+	)
+	schedule := func() []bool {
+		in := New(seed, Fault{Site: site, Err: errors.New("x"), Prob: prob, After: after, Count: count})
+		out := make([]bool, calls)
+		for i := range out {
+			out[i] = in.Fire(site) != nil
+		}
+		if in.Calls(site) != calls {
+			t.Fatalf("calls = %d, want %d", in.Calls(site), calls)
+		}
+		return out
+	}
+	got := schedule()
+
+	// Predict the exact firing schedule from first principles.
+	want := make([]bool, calls)
+	fired := 0
+	for n := 0; n < calls; n++ {
+		if n < after || fired >= count {
+			continue
+		}
+		if hashFires(seed, site, n, prob) {
+			want[n] = true
+			fired++
+		}
+	}
+	if fired != count {
+		t.Fatalf("fixture too small: only %d/%d predicted fires in %d calls", fired, count, calls)
+	}
+	for n := range want {
+		if got[n] != want[n] {
+			t.Fatalf("call %d: fired=%v, predicted %v", n, got[n], want[n])
+		}
+	}
+	for n := 0; n < after; n++ {
+		if got[n] {
+			t.Fatalf("call %d fired inside the After window", n)
+		}
+	}
+
+	// A second injector with the same seed replays the identical schedule.
+	replay := schedule()
+	for n := range got {
+		if got[n] != replay[n] {
+			t.Fatalf("call %d diverged on replay with the same seed", n)
+		}
+	}
+}
+
+// TestConcurrentProbAccounting: the per-site call counter is assigned
+// under the injector lock, so every call gets a unique call number and the
+// probabilistic fire total is exact — equal to the number of hash wins in
+// [0, calls) — no matter how goroutines interleave. A second site checks
+// that Count still caps a Prob fault under the same contention. Run under
+// -race by scripts/verify.sh.
+func TestConcurrentProbAccounting(t *testing.T) {
+	const (
+		seed       = 13
+		prob       = 0.5
+		workers    = 8
+		perWorker  = 250
+		totalCalls = workers * perWorker
+		capCount   = 5
+	)
+	in := New(seed,
+		Fault{Site: "free", Err: errors.New("x"), Prob: prob},
+		Fault{Site: "capped", Err: errors.New("x"), Prob: prob, Count: capCount},
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				in.Fire("free")
+				in.Fire("capped")
+			}
+		}()
+	}
+	wg.Wait()
+
+	if in.Calls("free") != totalCalls || in.Calls("capped") != totalCalls {
+		t.Fatalf("calls = %d/%d, want %d each", in.Calls("free"), in.Calls("capped"), totalCalls)
+	}
+	wantFree := 0
+	for n := 0; n < totalCalls; n++ {
+		if hashFires(seed, "free", n, prob) {
+			wantFree++
+		}
+	}
+	if got := in.Fired("free"); got != wantFree {
+		t.Fatalf("uncapped prob site fired %d times, hash predicts exactly %d", got, wantFree)
+	}
+	if got := in.Fired("capped"); got != capCount {
+		t.Fatalf("capped prob site fired %d times, want Count=%d", got, capCount)
+	}
+}
+
 func TestConcurrentFire(t *testing.T) {
 	in := New(1, Fault{Site: "c", Err: errors.New("x"), Count: 10})
 	var wg sync.WaitGroup

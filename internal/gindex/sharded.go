@@ -218,14 +218,20 @@ type UpdateReport struct {
 	Rebuilt        []int // ids of the shards that were rebuilt, ascending
 }
 
-// ApplyBatch applies a batch update — removals first, then additions, the
-// MIDAS batch shape — and returns a new Sharded. Only the shards owning a
-// removed or added graph are rebuilt; every other shard's sub-corpus and
-// index are shared with the receiver, and only rebuilt shards' epochs are
-// bumped. The receiver is left untouched and remains a valid index over
-// the pre-batch corpus.
-func (sh *Sharded) ApplyBatch(added []*graph.Graph, removedNames []string) (*Sharded, *UpdateReport, error) {
-	removedSet := make(map[string]bool, len(removedNames))
+// ValidateBatch checks a batch against this index without applying it:
+// every removed name must be indexed and appear once, every added graph
+// must be non-nil, unique within the batch, and not already indexed
+// (unless the same batch removes it first). Serving layers that log
+// batches durably before applying them call this first — a batch that
+// passes here is guaranteed to apply cleanly, so a logged record can
+// always be replayed.
+func (sh *Sharded) ValidateBatch(added []*graph.Graph, removedNames []string) error {
+	_, _, err := sh.validateBatch(added, removedNames)
+	return err
+}
+
+func (sh *Sharded) validateBatch(added []*graph.Graph, removedNames []string) (removedSet, addedSet map[string]bool, err error) {
+	removedSet = make(map[string]bool, len(removedNames))
 	for _, name := range removedNames {
 		if _, ok := sh.pos[name]; !ok {
 			return nil, nil, fmt.Errorf("gindex: ApplyBatch: removed graph %q not indexed", name)
@@ -235,7 +241,7 @@ func (sh *Sharded) ApplyBatch(added []*graph.Graph, removedNames []string) (*Sha
 		}
 		removedSet[name] = true
 	}
-	addedSet := make(map[string]bool, len(added))
+	addedSet = make(map[string]bool, len(added))
 	for _, g := range added {
 		if g == nil {
 			return nil, nil, fmt.Errorf("gindex: ApplyBatch: nil added graph")
@@ -248,6 +254,33 @@ func (sh *Sharded) ApplyBatch(added []*graph.Graph, removedNames []string) (*Sha
 			return nil, nil, fmt.Errorf("gindex: ApplyBatch: graph %q added twice", name)
 		}
 		addedSet[name] = true
+	}
+	return removedSet, addedSet, nil
+}
+
+// RestoreEpochs overwrites the per-shard epochs with values recovered
+// from a persisted snapshot, so that an index rebuilt from durable state
+// reports the same epochs as the never-restarted instance whose state was
+// snapshotted. len(epochs) must equal NumShards; extra or missing values
+// are ignored rather than guessed at. Called once, right after a build,
+// before the index is published.
+func (sh *Sharded) RestoreEpochs(epochs []uint64) {
+	if len(epochs) != sh.k {
+		return
+	}
+	copy(sh.epochs, epochs)
+}
+
+// ApplyBatch applies a batch update — removals first, then additions, the
+// MIDAS batch shape — and returns a new Sharded. Only the shards owning a
+// removed or added graph are rebuilt; every other shard's sub-corpus and
+// index are shared with the receiver, and only rebuilt shards' epochs are
+// bumped. The receiver is left untouched and remains a valid index over
+// the pre-batch corpus.
+func (sh *Sharded) ApplyBatch(added []*graph.Graph, removedNames []string) (*Sharded, *UpdateReport, error) {
+	removedSet, addedSet, err := sh.validateBatch(added, removedNames)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	touched := make(map[int]bool)

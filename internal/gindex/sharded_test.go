@@ -293,3 +293,95 @@ func TestShardOfIsStable(t *testing.T) {
 		t.Fatal("k=1 must map everything to shard 0")
 	}
 }
+
+// TestValidateBatchMatchesApplyBatch pins the durability contract: a
+// batch ValidateBatch accepts must apply cleanly, and one it rejects must
+// be rejected by ApplyBatch with the same error — so a serving layer can
+// validate, durably log, then apply, knowing the logged record will
+// always replay.
+func TestValidateBatchMatchesApplyBatch(t *testing.T) {
+	c := datagen.ChemicalCorpus(1, 12, datagen.ChemicalOptions{MinNodes: 6, MaxNodes: 10})
+	sh := BuildSharded(c, 4, 1)
+	fresh := datagen.ChemicalCorpus(9, 3, datagen.ChemicalOptions{MinNodes: 5, MaxNodes: 8})
+	var adds []*graph.Graph
+	fresh.Each(func(_ int, g *graph.Graph) {
+		ng := g.Clone()
+		ng.SetName("v" + g.Name())
+		adds = append(adds, ng)
+	})
+	dup := c.Graph(0).Clone()
+	cases := []struct {
+		added   []*graph.Graph
+		removed []string
+	}{
+		{adds, nil},
+		{adds, []string{c.Graph(1).Name()}},
+		{[]*graph.Graph{dup}, []string{dup.Name()}}, // replace: legal
+		{nil, []string{"missing"}},                  // unindexed removal
+		{nil, []string{c.Graph(0).Name(), c.Graph(0).Name()}},
+		{[]*graph.Graph{dup}, nil}, // duplicate add
+		{[]*graph.Graph{nil}, nil},
+		{[]*graph.Graph{adds[0], adds[0]}, nil}, // added twice
+	}
+	for i, tc := range cases {
+		verr := sh.ValidateBatch(tc.added, tc.removed)
+		_, _, aerr := sh.ApplyBatch(tc.added, tc.removed)
+		if (verr == nil) != (aerr == nil) {
+			t.Fatalf("case %d: ValidateBatch err=%v, ApplyBatch err=%v", i, verr, aerr)
+		}
+		if verr != nil && verr.Error() != aerr.Error() {
+			t.Fatalf("case %d: error mismatch: %v vs %v", i, verr, aerr)
+		}
+	}
+}
+
+// TestRestoreEpochs pins the recovery path: a fresh build with restored
+// epochs is indistinguishable — epochs included — from the instance that
+// applied the batches live.
+func TestRestoreEpochs(t *testing.T) {
+	const k = 5
+	c := datagen.ChemicalCorpus(3, 20, datagen.ChemicalOptions{MinNodes: 6, MaxNodes: 10})
+	live := BuildSharded(c, k, 1)
+	cur := c.Clone()
+	fresh := datagen.ChemicalCorpus(8, 6, datagen.ChemicalOptions{MinNodes: 5, MaxNodes: 8})
+	var pool []*graph.Graph
+	fresh.Each(func(_ int, g *graph.Graph) {
+		ng := g.Clone()
+		ng.SetName("r" + g.Name())
+		pool = append(pool, ng)
+	})
+	for i := 0; i < 3; i++ {
+		added := pool[i*2 : i*2+2]
+		removed := []string{cur.Graph(i).Name()}
+		next, _, err := live.ApplyBatch(added, removed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = next
+		cur = mutateCorpus(cur, added, removed)
+	}
+
+	rebuilt := BuildSharded(cur, k, 1)
+	rebuilt.RestoreEpochs(live.Epochs())
+	for s := 0; s < k; s++ {
+		if rebuilt.Epoch(s) != live.Epoch(s) {
+			t.Fatalf("shard %d epoch %d, want %d", s, rebuilt.Epoch(s), live.Epoch(s))
+		}
+	}
+	// Mismatched length must be ignored, not partially applied.
+	before := rebuilt.Epochs()
+	rebuilt.RestoreEpochs([]uint64{1, 2})
+	if !reflect.DeepEqual(rebuilt.Epochs(), before) {
+		t.Fatal("RestoreEpochs applied a wrong-length epoch vector")
+	}
+	// Epochs keep advancing from the restored values.
+	next, rep, err := rebuilt.ApplyBatch(nil, []string{cur.Graph(0).Name()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Rebuilt {
+		if next.Epoch(s) != rebuilt.Epoch(s)+1 {
+			t.Fatalf("shard %d epoch did not advance from restored value", s)
+		}
+	}
+}

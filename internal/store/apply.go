@@ -1,0 +1,39 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ApplyToCorpus returns a new corpus with b applied under the MIDAS batch
+// shape: removals first (survivors keep their relative order), then
+// additions appended in batch order. The input corpus is not mutated —
+// callers running read-copy-update serving keep the old corpus valid for
+// in-flight readers. Errors mirror gindex.ValidateBatch: a missing
+// removal or duplicate addition is a corrupt or misdirected record, not
+// something to paper over during replay.
+func ApplyToCorpus(c *graph.Corpus, b Batch) (*graph.Corpus, error) {
+	rm := make(map[string]bool, len(b.Removed))
+	for _, name := range b.Removed {
+		if _, ok := c.ByName(name); !ok {
+			return nil, fmt.Errorf("store: batch seq %d removes %q which is not in the corpus", b.Seq, name)
+		}
+		if rm[name] {
+			return nil, fmt.Errorf("store: batch seq %d removes %q twice", b.Seq, name)
+		}
+		rm[name] = true
+	}
+	out := graph.NewCorpus()
+	c.Each(func(_ int, g *graph.Graph) {
+		if !rm[g.Name()] {
+			out.MustAdd(g)
+		}
+	})
+	for _, g := range b.Added {
+		if err := out.Add(g); err != nil {
+			return nil, fmt.Errorf("store: batch seq %d: %v", b.Seq, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,288 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Snapshot file layout (version 1):
+//
+//	magic   "VQISNP" + version byte + '\n'          (8 bytes, unframed)
+//	HEADER  frame: seq u64, shards u32, epochs shards*u64,
+//	               labelCount u32, graphCount u32
+//	LABELS  frame: labelCount strings (the interned label table,
+//	               first-appearance order)
+//	GRAPH   frame per graph: name, node label ids, edges in insertion
+//	               order (u, v, label id), CSR row-start offsets
+//
+// Every frame is length-prefixed and CRC32C-checksummed (see format.go),
+// so a flipped bit or truncated write anywhere makes the snapshot load
+// fail cleanly — recovery then falls back to the previous retained
+// snapshot rather than serving a corrupted corpus.
+
+const (
+	snapMagic   = "VQISNP"
+	snapVersion = 1
+	snapSuffix  = ".vqisnap"
+	snapPrefix  = "snap-"
+)
+
+var (
+	obsSnapWrites   = obs.Default.Counter("store_snapshot_writes_total")
+	obsSnapLoads    = obs.Default.Counter("store_snapshot_loads_total")
+	obsSnapCorrupt  = obs.Default.Counter("store_snapshot_corrupt_total")
+	obsSnapWriteSec = obs.Default.Histogram("store_snapshot_write_seconds")
+)
+
+// SnapshotMeta is the index metadata persisted alongside the corpus: the
+// shard count and per-shard epochs of the sharded index at snapshot time.
+// Shards == 0 means "no index metadata" (e.g. a seed snapshot written
+// before any index existed); epochs are then treated as all-zero.
+type SnapshotMeta struct {
+	Seq    uint64   // last WAL sequence number folded into this snapshot
+	Shards int      // sharded-index shard count (0 = unknown)
+	Epochs []uint64 // per-shard epochs, len == Shards
+}
+
+// snapName returns the file name of the snapshot covering WAL seq.
+func snapName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix)
+}
+
+// parseSnapName extracts the seq from a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	hexpart := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	if len(hexpart) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hexpart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSnapshots returns the snapshot seqs present in dir, descending.
+func listSnapshots(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, ent := range ents {
+		if seq, ok := parseSnapName(ent.Name()); ok && !ent.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	return seqs, nil
+}
+
+// writeSnapshotFile writes the corpus + metadata to dir atomically: all
+// frames go to a temporary file, which is fsynced and renamed into place,
+// then the directory entry itself is synced. A crash at any point leaves
+// either the complete new snapshot or no new snapshot — never a partial
+// one under the final name.
+func (st *Store) writeSnapshotFile(c *graph.Corpus, meta SnapshotMeta) (err error) {
+	t0 := time.Now()
+	// Intern labels corpus-wide in first-appearance order (deterministic
+	// for a given corpus).
+	var labels []string
+	labelID := make(map[string]uint32)
+	intern := func(s string) uint32 {
+		if id, ok := labelID[s]; ok {
+			return id
+		}
+		id := uint32(len(labels))
+		labels = append(labels, s)
+		labelID[s] = id
+		return id
+	}
+	// First pass assigns ids; graph frames are encoded into memory before
+	// the label table is written, so the table is complete by then.
+	graphFrames := make([][]byte, 0, c.Len())
+	c.Each(func(_ int, g *graph.Graph) {
+		var e enc
+		encodeGraphInterned(&e, g, intern)
+		graphFrames = append(graphFrames, appendFrame(nil, e.b))
+	})
+
+	var hdr enc
+	hdr.u64(meta.Seq)
+	hdr.u32(uint32(meta.Shards))
+	for s := 0; s < meta.Shards; s++ {
+		var ep uint64
+		if s < len(meta.Epochs) {
+			ep = meta.Epochs[s]
+		}
+		hdr.u64(ep)
+	}
+	hdr.u32(uint32(len(labels)))
+	hdr.u32(uint32(c.Len()))
+
+	var lab enc
+	for _, l := range labels {
+		lab.str(l)
+	}
+
+	final := filepath.Join(st.dir, snapName(meta.Seq))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err = w.WriteString(snapMagic + string(rune(snapVersion)) + "\n"); err != nil {
+		return err
+	}
+	if _, err = w.Write(appendFrame(nil, hdr.b)); err != nil {
+		return err
+	}
+	// Fault site: a crash mid-snapshot-write. The injected error abandons
+	// the temp file after the header landed — the rename never happens, so
+	// recovery still sees only complete snapshots.
+	if err = st.inject.Fire("store.snapshot.write"); err != nil {
+		w.Flush()
+		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	if _, err = w.Write(appendFrame(nil, lab.b)); err != nil {
+		return err
+	}
+	for _, fr := range graphFrames {
+		if _, err = w.Write(fr); err != nil {
+			return err
+		}
+	}
+	if err = w.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, final); err != nil {
+		return err
+	}
+	syncDir(st.dir)
+	if obs.On() {
+		obsSnapWrites.Inc()
+		obsSnapWriteSec.Observe(time.Since(t0).Seconds())
+	}
+	return nil
+}
+
+// loadSnapshotFile reads and validates the snapshot covering seq. Any
+// checksum or structural failure returns ErrCorrupt-wrapped errors.
+func loadSnapshotFile(dir string, seq uint64) (*graph.Corpus, SnapshotMeta, error) {
+	var meta SnapshotMeta
+	f, err := os.Open(filepath.Join(dir, snapName(seq)))
+	if err != nil {
+		return nil, meta, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, 8)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, meta, fmt.Errorf("%w: snapshot magic: %v", ErrCorrupt, err)
+	}
+	if string(magic[:6]) != snapMagic || magic[7] != '\n' {
+		return nil, meta, fmt.Errorf("%w: bad snapshot magic %q", ErrCorrupt, magic)
+	}
+	if magic[6] != snapVersion {
+		return nil, meta, fmt.Errorf("store: unsupported snapshot version %d", magic[6])
+	}
+	hdrb, err := readFrame(r)
+	if err != nil {
+		return nil, meta, fmt.Errorf("snapshot header: %w", err)
+	}
+	hd := dec{b: hdrb}
+	meta.Seq = hd.u64()
+	shards := hd.u32()
+	if shards > 1<<20 {
+		return nil, meta, fmt.Errorf("%w: shard count %d", ErrCorrupt, shards)
+	}
+	meta.Shards = int(shards)
+	for s := uint32(0); s < shards; s++ {
+		meta.Epochs = append(meta.Epochs, hd.u64())
+	}
+	labelCount := hd.u32()
+	graphCount := hd.u32()
+	if err := hd.done(); err != nil {
+		return nil, meta, fmt.Errorf("snapshot header: %w", err)
+	}
+	if meta.Seq != seq {
+		return nil, meta, fmt.Errorf("%w: snapshot seq %d does not match file name seq %d", ErrCorrupt, meta.Seq, seq)
+	}
+
+	labb, err := readFrame(r)
+	if err != nil {
+		return nil, meta, fmt.Errorf("snapshot label table: %w", err)
+	}
+	ld := dec{b: labb}
+	labels := make([]string, labelCount)
+	for i := range labels {
+		labels[i] = ld.str()
+	}
+	if err := ld.done(); err != nil {
+		return nil, meta, fmt.Errorf("snapshot label table: %w", err)
+	}
+
+	c := graph.NewCorpus()
+	for i := uint32(0); i < graphCount; i++ {
+		gb, err := readFrame(r)
+		if err != nil {
+			return nil, meta, fmt.Errorf("snapshot graph %d/%d: %w", i, graphCount, err)
+		}
+		gd := dec{b: gb}
+		g, err := decodeGraphInterned(&gd, labels)
+		if err != nil {
+			return nil, meta, fmt.Errorf("snapshot graph %d/%d: %w", i, graphCount, err)
+		}
+		if err := gd.done(); err != nil {
+			return nil, meta, fmt.Errorf("snapshot graph %d/%d: %w", i, graphCount, err)
+		}
+		if err := c.Add(g); err != nil {
+			return nil, meta, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	// A clean snapshot ends exactly after its last graph frame.
+	if _, err := readFrame(r); err != io.EOF {
+		return nil, meta, fmt.Errorf("%w: trailing data after %d graphs", ErrCorrupt, graphCount)
+	}
+	if obs.On() {
+		obsSnapLoads.Inc()
+	}
+	return c, meta, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,269 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the background fsync interval under SyncInterval.
+	SyncEvery time.Duration
+	// Inject is an optional fault injector armed by robustness tests at
+	// the sites store.wal.append, store.wal.fsync, store.snapshot.write,
+	// and store.recover.replay. nil in production.
+	Inject *faultinject.Injector
+}
+
+// Recovery is what Open reconstructed from the data directory.
+type Recovery struct {
+	// Corpus is the newest valid snapshot's corpus, or nil when the
+	// directory holds no snapshot (a fresh directory awaiting a seed).
+	Corpus *graph.Corpus
+	// Meta is the snapshot's index metadata (shard count + epochs).
+	Meta SnapshotMeta
+	// Batches is the WAL suffix to replay: every durable record with
+	// seq > Meta.Seq, in sequence order. The caller replays them through
+	// its index-maintenance path (gindex.ApplyBatch).
+	Batches []Batch
+	// TailTruncated reports that a torn or corrupt WAL tail was detected
+	// by checksum and cut at the last valid record.
+	TailTruncated bool
+	// SnapshotsSkipped counts newer snapshots that failed validation and
+	// were passed over for an older durable one.
+	SnapshotsSkipped int
+}
+
+// LastSeq returns the sequence number of the recovered state: the
+// snapshot's seq when no WAL records follow it.
+func (r *Recovery) LastSeq() uint64 {
+	if n := len(r.Batches); n > 0 {
+		return r.Batches[n-1].Seq
+	}
+	return r.Meta.Seq
+}
+
+// Store is the durable home of a corpus: snapshots plus a write-ahead
+// log in one directory. Safe for concurrent use; appends serialize.
+type Store struct {
+	dir       string
+	inject    *faultinject.Injector
+	policy    SyncPolicy
+	syncEvery time.Duration
+
+	mu      sync.Mutex
+	w       *wal
+	lastSeq uint64 // highest sequence number ever made durable
+	closed  bool
+}
+
+// Open mounts a data directory (creating it if needed) and recovers its
+// durable state: the newest snapshot that validates, with corrupted ones
+// skipped, and the WAL suffix past it, with any torn tail truncated at
+// the first invalid record. The returned Store continues the sequence
+// numbering where the recovered state ends.
+func Open(ctx context.Context, dir string, opts Options) (*Store, *Recovery, error) {
+	if dir == "" {
+		return nil, nil, fmt.Errorf("store: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if opts.Sync == SyncInterval && opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	st := &Store{dir: dir, inject: opts.Inject, policy: opts.Sync, syncEvery: opts.SyncEvery}
+	rec := &Recovery{}
+
+	// Stage 1: newest valid snapshot. Corrupt snapshots (bit flips,
+	// partial writes that somehow reached the final name) are detected by
+	// frame checksums and skipped in favor of the previous retained one.
+	_, span := obs.StartSpan(ctx, "store.recover.snapshot")
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, seq := range seqs {
+		c, meta, lerr := loadSnapshotFile(dir, seq)
+		if lerr != nil {
+			if obs.On() {
+				obsSnapCorrupt.Inc()
+			}
+			rec.SnapshotsSkipped++
+			continue
+		}
+		rec.Corpus = c
+		rec.Meta = meta
+		break
+	}
+	span.End()
+	if rec.Corpus == nil && rec.SnapshotsSkipped > 0 {
+		return nil, nil, fmt.Errorf("store: all %d snapshots in %s are corrupt", rec.SnapshotsSkipped, dir)
+	}
+
+	// Stage 2: WAL scan + torn-tail truncation + suffix selection.
+	_, span = obs.StartSpan(ctx, "store.recover.replay")
+	walPath := filepath.Join(dir, walFileName)
+	records, validEnd, torn, err := scanWAL(walPath, opts.Inject)
+	span.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	if torn {
+		if terr := os.Truncate(walPath, validEnd); terr != nil {
+			return nil, nil, fmt.Errorf("store: truncating torn WAL tail: %w", terr)
+		}
+		rec.TailTruncated = true
+		if obs.On() {
+			obsWALTornTails.Inc()
+		}
+	}
+	st.lastSeq = rec.Meta.Seq
+	for _, b := range records {
+		if b.Seq <= rec.Meta.Seq {
+			// Already folded into the snapshot; validated but not replayed.
+			continue
+		}
+		if b.Seq != st.maxSeq(rec)+1 {
+			return nil, nil, fmt.Errorf("store: WAL sequence gap: snapshot covers seq %d, next record is seq %d",
+				st.maxSeq(rec), b.Seq)
+		}
+		rec.Batches = append(rec.Batches, b)
+	}
+	if n := len(records); n > 0 && records[n-1].Seq > st.lastSeq {
+		st.lastSeq = records[n-1].Seq
+	}
+
+	// Stage 3: open the append handle; new records continue the sequence.
+	st.w, err = openWAL(dir, opts.Sync, opts.SyncEvery)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, rec, nil
+}
+
+// maxSeq is the highest seq currently accounted for in rec.
+func (st *Store) maxSeq(rec *Recovery) uint64 { return rec.LastSeq() }
+
+// Dir returns the data directory.
+func (st *Store) Dir() string { return st.dir }
+
+// LastSeq returns the highest durable sequence number.
+func (st *Store) LastSeq() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastSeq
+}
+
+// Append durably logs one batch and returns its sequence number. Under
+// SyncAlways the batch has reached stable storage when Append returns
+// nil — the caller may acknowledge it. On error the batch MUST NOT be
+// applied: the on-disk log may hold a torn prefix of the record, which
+// the next recovery will truncate, so the in-memory state must not get
+// ahead of the durable state.
+func (st *Store) Append(b Batch) (uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return 0, fmt.Errorf("store: append on closed store")
+	}
+	seq := st.lastSeq + 1
+	frame := appendFrame(nil, encodeBatch(seq, b))
+	if err := st.w.append(frame, st.inject); err != nil {
+		return 0, err
+	}
+	st.lastSeq = seq
+	return seq, nil
+}
+
+// WriteSnapshot persists a full corpus image covering every record up to
+// and including the store's current last sequence number, then prunes:
+// the previous snapshot is retained as the corruption fallback, older
+// ones are deleted, and the WAL is rewritten (atomically, via rename) to
+// keep only records newer than the retained fallback — the "fold the WAL
+// into a snapshot" compaction step.
+func (st *Store) WriteSnapshot(c *graph.Corpus, shards int, epochs []uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("store: snapshot on closed store")
+	}
+	meta := SnapshotMeta{Seq: st.lastSeq, Shards: shards, Epochs: epochs}
+	prev, err := listSnapshots(st.dir)
+	if err != nil {
+		return err
+	}
+	if len(prev) > 0 && prev[0] == meta.Seq {
+		// A snapshot at this exact seq already exists; nothing to fold.
+		return nil
+	}
+	if err := st.writeSnapshotFile(c, meta); err != nil {
+		return err
+	}
+	// Retain the newest pre-existing snapshot as fallback; drop the rest.
+	var keepSeq uint64
+	if len(prev) > 0 {
+		keepSeq = prev[0]
+		for _, old := range prev[1:] {
+			os.Remove(filepath.Join(st.dir, snapName(old)))
+		}
+	}
+	// Fold: drop WAL records covered by both retained snapshots.
+	return st.truncateWALLocked(keepSeq)
+}
+
+// truncateWALLocked rewrites the WAL keeping only records with
+// seq > keep, swapping the new file in atomically via rename. The append
+// handle is re-opened on the new file. Callers hold st.mu.
+func (st *Store) truncateWALLocked(keep uint64) error {
+	path := filepath.Join(st.dir, walFileName)
+	records, _, _, err := scanWAL(path, nil)
+	if err != nil {
+		return err
+	}
+	var out []byte
+	for _, b := range records {
+		if b.Seq > keep {
+			out = appendFrame(out, encodeBatch(b.Seq, b))
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return err
+	}
+	if f, err := os.Open(tmp); err == nil {
+		f.Sync()
+		f.Close()
+	}
+	// Swap under the old handle, then re-open appends on the new file.
+	old := st.w
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(st.dir)
+	old.close()
+	st.w, err = openWAL(st.dir, st.policy, st.syncEvery)
+	return err
+}
+
+// Close flushes and releases the WAL handle.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	return st.w.close()
+}

@@ -1,0 +1,388 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+func testCorpus(n int) *graph.Corpus {
+	return datagen.ChemicalCorpus(7, n, datagen.ChemicalOptions{MinNodes: 6, MaxNodes: 14})
+}
+
+func testBatch(t *testing.T, i int) Batch {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(100 + i)))
+	var added []*graph.Graph
+	for j := 0; j < 2; j++ {
+		added = append(added, datagen.Chemical(rng, fmt.Sprintf("up-%d-%d", i, j),
+			datagen.ChemicalOptions{MinNodes: 5, MaxNodes: 10}))
+	}
+	return Batch{Added: added}
+}
+
+// applyToCorpus mirrors the batch semantics (removals preserve order,
+// additions append) — the oracle the recovered corpus is compared to.
+func applyToCorpus(c *graph.Corpus, b Batch) *graph.Corpus {
+	rm := make(map[string]bool, len(b.Removed))
+	for _, n := range b.Removed {
+		rm[n] = true
+	}
+	out := graph.NewCorpus()
+	c.Each(func(_ int, g *graph.Graph) {
+		if !rm[g.Name()] {
+			out.MustAdd(g)
+		}
+	})
+	for _, g := range b.Added {
+		out.MustAdd(g)
+	}
+	return out
+}
+
+// sameCorpus asserts exact equality: same order, same names, same
+// node/edge structure (Dump is a full listing).
+func sameCorpus(t *testing.T, got, want *graph.Corpus) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("corpus length = %d, want %d", got.Len(), want.Len())
+	}
+	want.Each(func(i int, wg *graph.Graph) {
+		gg := got.Graph(i)
+		if gg.Name() != wg.Name() {
+			t.Fatalf("graph %d name = %q, want %q", i, gg.Name(), wg.Name())
+		}
+		if gg.Dump() != wg.Dump() {
+			t.Fatalf("graph %q differs after round-trip:\ngot:\n%s\nwant:\n%s", wg.Name(), gg.Dump(), wg.Dump())
+		}
+	})
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Store, *Recovery) {
+	t.Helper()
+	st, rec, err := Open(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, rec
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := testCorpus(12)
+	st, rec := mustOpen(t, dir, Options{})
+	if rec.Corpus != nil {
+		t.Fatal("fresh directory recovered a corpus")
+	}
+	epochs := []uint64{3, 0, 7, 1}
+	if err := st.WriteSnapshot(c, 4, epochs); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec2 := mustOpen(t, dir, Options{})
+	if rec2.Corpus == nil {
+		t.Fatal("no corpus recovered")
+	}
+	sameCorpus(t, rec2.Corpus, c)
+	if rec2.Meta.Shards != 4 {
+		t.Fatalf("shards = %d, want 4", rec2.Meta.Shards)
+	}
+	for i, e := range epochs {
+		if rec2.Meta.Epochs[i] != e {
+			t.Fatalf("epoch[%d] = %d, want %d", i, rec2.Meta.Epochs[i], e)
+		}
+	}
+	if len(rec2.Batches) != 0 {
+		t.Fatalf("unexpected WAL suffix: %d batches", len(rec2.Batches))
+	}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	base := testCorpus(10)
+	st, _ := mustOpen(t, dir, Options{})
+	if err := st.WriteSnapshot(base, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	oracle := base
+	var batches []Batch
+	for i := 0; i < 5; i++ {
+		b := testBatch(t, i)
+		if i >= 2 {
+			// Later batches also remove a graph added earlier.
+			b.Removed = []string{fmt.Sprintf("up-%d-0", i-2)}
+		}
+		seq, err := st.Append(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+		batches = append(batches, b)
+		oracle = applyToCorpus(oracle, b)
+	}
+	st.Close()
+
+	_, rec := mustOpen(t, dir, Options{})
+	if len(rec.Batches) != len(batches) {
+		t.Fatalf("replayed %d batches, want %d", len(rec.Batches), len(batches))
+	}
+	got := rec.Corpus
+	for i, b := range rec.Batches {
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("replayed batch %d has seq %d", i, b.Seq)
+		}
+		got = applyToCorpus(got, b)
+	}
+	sameCorpus(t, got, oracle)
+	if rec.TailTruncated {
+		t.Fatal("clean WAL reported a torn tail")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir, Options{})
+	if err := st.WriteSnapshot(testCorpus(6), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Append(testBatch(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Tear the last record: chop off its final bytes.
+	walPath := filepath.Join(dir, walFileName)
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := mustOpen(t, dir, Options{})
+	if !rec.TailTruncated {
+		t.Fatal("torn tail not reported")
+	}
+	if len(rec.Batches) != 2 {
+		t.Fatalf("replayed %d batches past a torn tail, want 2", len(rec.Batches))
+	}
+	// The truncation must be persistent: a second recovery sees a clean log.
+	_, rec2 := mustOpen(t, dir, Options{})
+	if rec2.TailTruncated {
+		t.Fatal("tail reported torn again after truncation")
+	}
+	if len(rec2.Batches) != 2 {
+		t.Fatalf("second recovery replayed %d batches, want 2", len(rec2.Batches))
+	}
+}
+
+func TestBitFlipInWALDetected(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir, Options{})
+	if err := st.WriteSnapshot(testCorpus(6), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int64
+	for i := 0; i < 4; i++ {
+		if _, err := st.Append(testBatch(t, i)); err != nil {
+			t.Fatal(err)
+		}
+		fi, _ := os.Stat(filepath.Join(dir, walFileName))
+		offsets = append(offsets, fi.Size())
+	}
+	st.Close()
+
+	// Flip one bit inside the third record's payload.
+	walPath := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := offsets[1] + frameHeaderSize + 3
+	data[pos] ^= 0x10
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := mustOpen(t, dir, Options{})
+	if !rec.TailTruncated {
+		t.Fatal("bit flip not detected")
+	}
+	// Everything from the corrupted record on is dropped — corrupted data
+	// is never replayed, even though record 4 after it was intact.
+	if len(rec.Batches) != 2 {
+		t.Fatalf("replayed %d batches, want the 2 before the corruption", len(rec.Batches))
+	}
+}
+
+func TestCorruptSnapshotFallsBackToPrevious(t *testing.T) {
+	dir := t.TempDir()
+	base := testCorpus(8)
+	st, _ := mustOpen(t, dir, Options{})
+	if err := st.WriteSnapshot(base, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Advance and compact so two snapshots exist.
+	b := testBatch(t, 0)
+	if _, err := st.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	next := applyToCorpus(base, b)
+	if err := st.WriteSnapshot(next, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("retained %d snapshots, want 2", len(seqs))
+	}
+	// Corrupt the newest snapshot with a single bit flip.
+	newest := filepath.Join(dir, snapName(seqs[0]))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := mustOpen(t, dir, Options{})
+	if rec.SnapshotsSkipped != 1 {
+		t.Fatalf("SnapshotsSkipped = %d, want 1", rec.SnapshotsSkipped)
+	}
+	// Fallback: previous snapshot + the WAL record that the corrupt
+	// snapshot had folded in — the exact same final state.
+	got := rec.Corpus
+	for _, rb := range rec.Batches {
+		got = applyToCorpus(got, rb)
+	}
+	sameCorpus(t, got, next)
+}
+
+func TestCompactionFoldsWAL(t *testing.T) {
+	dir := t.TempDir()
+	base := testCorpus(8)
+	st, _ := mustOpen(t, dir, Options{})
+	if err := st.WriteSnapshot(base, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	oracle := base
+	for i := 0; i < 4; i++ {
+		b := testBatch(t, i)
+		if _, err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		oracle = applyToCorpus(oracle, b)
+	}
+	if err := st.WriteSnapshot(oracle, 2, []uint64{5, 9}); err != nil {
+		t.Fatal(err)
+	}
+	// Appends continue past the compaction point.
+	b := testBatch(t, 9)
+	seq, err := st.Append(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 5 {
+		t.Fatalf("post-compaction seq = %d, want 5", seq)
+	}
+	oracle = applyToCorpus(oracle, b)
+	st.Close()
+
+	_, rec := mustOpen(t, dir, Options{})
+	if rec.Meta.Seq != 4 || rec.Meta.Shards != 2 || rec.Meta.Epochs[1] != 9 {
+		t.Fatalf("recovered meta = %+v", rec.Meta)
+	}
+	if len(rec.Batches) != 1 || rec.Batches[0].Seq != 5 {
+		t.Fatalf("WAL suffix after compaction = %+v", rec.Batches)
+	}
+	got := applyToCorpus(rec.Corpus, rec.Batches[0])
+	sameCorpus(t, got, oracle)
+}
+
+func TestSyncPolicyParsing(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		policy SyncPolicy
+		ok     bool
+	}{
+		{"always", SyncAlways, true},
+		{"", SyncAlways, true},
+		{"none", SyncNone, true},
+		{"250ms", SyncInterval, true},
+		{"sometimes", 0, false},
+		{"-5s", 0, false},
+	} {
+		p, _, err := ParseSyncPolicy(tc.in)
+		if tc.ok != (err == nil) {
+			t.Fatalf("ParseSyncPolicy(%q) err = %v", tc.in, err)
+		}
+		if tc.ok && p != tc.policy {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, want %v", tc.in, p, tc.policy)
+		}
+	}
+}
+
+func TestSyncIntervalAppendsSurviveClose(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir, Options{Sync: SyncInterval, SyncEvery: 50 * time.Millisecond})
+	if err := st.WriteSnapshot(testCorpus(5), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(testBatch(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	_, rec := mustOpen(t, dir, Options{})
+	if len(rec.Batches) != 1 {
+		t.Fatalf("interval-sync append lost: %d batches recovered", len(rec.Batches))
+	}
+}
+
+func TestEmptyBatchAndNameEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir, Options{})
+	c := graph.NewCorpus()
+	g := graph.New("weird name \x00 \n with // t # tokens")
+	g.AddNode("α-label")
+	g.AddNode("β")
+	g.MustAddEdge(0, 1, "edge label")
+	c.MustAdd(g)
+	empty := graph.New("no-edges")
+	empty.AddNode("solo")
+	c.MustAdd(empty)
+	zero := graph.New("zero-nodes")
+	c.MustAdd(zero)
+	if err := st.WriteSnapshot(c, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(Batch{Removed: []string{"no-edges"}}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	_, rec := mustOpen(t, dir, Options{})
+	sameCorpus(t, rec.Corpus, c)
+	if len(rec.Batches) != 1 || rec.Batches[0].Removed[0] != "no-edges" {
+		t.Fatalf("batches = %+v", rec.Batches)
+	}
+}

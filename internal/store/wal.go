@@ -1,0 +1,303 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// WAL record layout (one frame per record, see format.go):
+//
+//	u32 payload length
+//	u32 CRC32C(payload)
+//	payload:
+//	  u64 seq        monotonically increasing, no gaps
+//	  u8  type       recBatch
+//	  batch body:    removed names, then added graphs (labels inline)
+//
+// The torn-tail rule: a WAL is valid exactly up to its first invalid
+// record. Recovery truncates the file there — a torn frame from a
+// mid-write crash and a checksum-corrupted record are both "the log ends
+// here", never data. Records are only appended under the store lock, so
+// sequence numbers are dense; a gap after the snapshot's seq means lost
+// state and fails recovery loudly instead of replaying a wrong suffix.
+
+const (
+	walFileName = "wal.vqilog"
+	recBatch    = 1
+)
+
+var (
+	obsWALAppends     = obs.Default.Counter("store_wal_appends_total")
+	obsWALAppendBytes = obs.Default.Counter("store_wal_append_bytes_total")
+	obsWALFsyncs      = obs.Default.Counter("store_wal_fsyncs_total")
+	obsWALFsyncSec    = obs.Default.Histogram("store_wal_fsync_seconds")
+	obsWALReplayed    = obs.Default.Counter("store_wal_replayed_records_total")
+	obsWALTornTails   = obs.Default.Counter("store_wal_torn_tails_total")
+)
+
+// Batch is one durable corpus update: the MIDAS batch shape (removals
+// applied before additions) with its WAL sequence number.
+type Batch struct {
+	Seq     uint64
+	Added   []*graph.Graph
+	Removed []string
+}
+
+// encodeBatch builds the record payload for b at the given seq.
+func encodeBatch(seq uint64, b Batch) []byte {
+	var e enc
+	e.u64(seq)
+	e.u8(recBatch)
+	e.uvarint(uint64(len(b.Removed)))
+	for _, name := range b.Removed {
+		e.str(name)
+	}
+	e.uvarint(uint64(len(b.Added)))
+	for _, g := range b.Added {
+		encodeGraphInline(&e, g)
+	}
+	return e.b
+}
+
+// decodeBatch parses a record payload.
+func decodeBatch(payload []byte) (Batch, error) {
+	d := dec{b: payload}
+	b := Batch{Seq: d.u64()}
+	if t := d.u8(); t != recBatch {
+		if d.err == nil {
+			return b, fmt.Errorf("%w: unknown WAL record type %d", ErrCorrupt, t)
+		}
+		return b, d.err
+	}
+	nr := d.uvarint()
+	if d.err != nil {
+		return b, d.err
+	}
+	if nr > maxFrameSize {
+		return b, fmt.Errorf("%w: removal count %d", ErrCorrupt, nr)
+	}
+	for i := uint64(0); i < nr; i++ {
+		b.Removed = append(b.Removed, d.str())
+	}
+	na := d.uvarint()
+	if d.err != nil {
+		return b, d.err
+	}
+	if na > maxFrameSize {
+		return b, fmt.Errorf("%w: addition count %d", ErrCorrupt, na)
+	}
+	for i := uint64(0); i < na; i++ {
+		g, err := decodeGraphInline(&d)
+		if err != nil {
+			return b, err
+		}
+		b.Added = append(b.Added, g)
+	}
+	if err := d.done(); err != nil {
+		return b, err
+	}
+	return b, nil
+}
+
+// scanWAL reads every valid record from path, returning the records and
+// the byte offset of the end of the valid prefix. A missing file is an
+// empty log. torn reports whether invalid bytes followed the valid
+// prefix (the caller truncates the file at validEnd).
+func scanWAL(path string, inject *faultinject.Injector) (records []Batch, validEnd int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer f.Close()
+	// Frame-by-frame read with explicit offset accounting so the torn-tail
+	// truncation point is exact.
+	br := &countingReader{r: f}
+	for {
+		payload, rerr := readFrame(br)
+		if rerr == io.EOF {
+			return records, validEnd, false, nil
+		}
+		if rerr != nil {
+			// Torn or corrupt: the log ends at the last valid record.
+			return records, validEnd, true, nil
+		}
+		b, derr := decodeBatch(payload)
+		if derr != nil {
+			return records, validEnd, true, nil
+		}
+		if ierr := inject.Fire("store.recover.replay"); ierr != nil {
+			return records, validEnd, false, fmt.Errorf("store: recover replay: %w", ierr)
+		}
+		records = append(records, b)
+		validEnd = br.n
+		if obs.On() {
+			obsWALReplayed.Inc()
+		}
+	}
+}
+
+// countingReader tracks how many bytes have been consumed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// SyncPolicy controls when WAL appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged batch is
+	// durable against power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (Options.SyncEvery):
+	// acknowledged batches are durable within that window. Appends still
+	// reach the OS page cache immediately, so they survive a process
+	// crash — only a machine crash inside the window can lose them.
+	SyncInterval
+	// SyncNone never fsyncs explicitly (the OS flushes on its own
+	// schedule). For bulk loads and benchmarks.
+	SyncNone
+)
+
+// ParseSyncPolicy maps a -wal-sync flag value to a policy: "always",
+// "none", or a Go duration (e.g. "100ms") selecting interval sync.
+func ParseSyncPolicy(s string) (SyncPolicy, time.Duration, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, 0, nil
+	case "none":
+		return SyncNone, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("store: bad sync policy %q (want always, none, or a positive duration)", s)
+	}
+	return SyncInterval, d, nil
+}
+
+// wal is the open append handle plus sync machinery.
+type wal struct {
+	f      *os.File
+	path   string
+	policy SyncPolicy
+
+	// Interval sync: a background ticker fsyncs when dirty. Guarded by
+	// the owning Store's mutex except for the ticker goroutine, which
+	// only touches dirtyCh/stopCh.
+	dirtyCh chan struct{}
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+}
+
+func openWAL(dir string, policy SyncPolicy, every time.Duration) (*wal, error) {
+	path := filepath.Join(dir, walFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &wal{f: f, path: path, policy: policy}
+	if policy == SyncInterval {
+		w.dirtyCh = make(chan struct{}, 1)
+		w.stopCh = make(chan struct{})
+		w.doneCh = make(chan struct{})
+		go w.syncLoop(every)
+	}
+	return w, nil
+}
+
+// syncLoop flushes dirty appends every tick until stopped.
+func (w *wal) syncLoop(every time.Duration) {
+	defer close(w.doneCh)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	dirty := false
+	for {
+		select {
+		case <-w.dirtyCh:
+			dirty = true
+		case <-t.C:
+			if dirty {
+				w.fsync(nil)
+				dirty = false
+			}
+		case <-w.stopCh:
+			if dirty {
+				w.fsync(nil)
+			}
+			return
+		}
+	}
+}
+
+// append writes one framed record. Under SyncAlways it is durable when
+// append returns nil. The injector models crashes: "store.wal.append"
+// fires before the full frame lands and leaves a torn prefix on disk
+// (exactly what a mid-write power cut produces); "store.wal.fsync" fails
+// the durability step after the full frame landed.
+func (w *wal) append(frame []byte, inject *faultinject.Injector) error {
+	if err := inject.Fire("store.wal.append"); err != nil {
+		// Simulate the crash mid-write: a prefix of the frame reaches the
+		// file, then the process dies. Recovery must truncate this tail.
+		w.f.Write(frame[:len(frame)/2])
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if obs.On() {
+		obsWALAppends.Inc()
+		obsWALAppendBytes.Add(int64(len(frame)))
+	}
+	switch w.policy {
+	case SyncAlways:
+		if err := w.fsync(inject); err != nil {
+			return err
+		}
+	case SyncInterval:
+		select {
+		case w.dirtyCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+func (w *wal) fsync(inject *faultinject.Injector) error {
+	if err := inject.Fire("store.wal.fsync"); err != nil {
+		return fmt.Errorf("store: wal fsync: %w", err)
+	}
+	t0 := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal fsync: %w", err)
+	}
+	if obs.On() {
+		obsWALFsyncs.Inc()
+		obsWALFsyncSec.Observe(time.Since(t0).Seconds())
+	}
+	return nil
+}
+
+func (w *wal) close() error {
+	if w.policy == SyncInterval {
+		close(w.stopCh)
+		<-w.doneCh
+	}
+	w.fsync(nil)
+	return w.f.Close()
+}

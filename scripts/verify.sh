@@ -89,4 +89,49 @@ kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
 server_pid=""
 echo "similarity endpoint: OK"
 
+echo "== benchmark smoke (D1 durability suite) =="
+go run ./cmd/benchvqi -exp D1
+grep -q '"compacted snapshot"' BENCH_store.json \
+  || { echo "D1: BENCH_store.json missing the cold-boot variants"; exit 1; }
+
+echo "== crash-recovery smoke (kill -9 mid-stream, restart, re-query) =="
+datadir="$tmpdir/data"
+start_durable() {
+  "$tmpdir/vqiserve" -spec "$tmpdir/vqi.json" -data "$tmpdir/corpus.lg" \
+    -data-dir "$datadir" -addr 127.0.0.1:0 >"$1" 2>&1 &
+  server_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$1" | head -1)"
+    [[ -n "$addr" ]] && curl -fsS "http://$addr/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "durable vqiserve never became ready"; cat "$1"; exit 1
+}
+start_durable "$tmpdir/durable1.log"
+update_resp="$(curl -fsS "http://$addr/admin/update" \
+  -d '{"add":[{"name":"crash-added","nodes":["C","C"],"edges":[{"u":0,"v":1,"label":"s"}]}]}')"
+grep -q '"seq":1' <<<"$update_resp" \
+  || { echo "durable update not acknowledged at seq 1: $update_resp"; exit 1; }
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+start_durable "$tmpdir/durable2.log"
+grep -q 'replaying 1 WAL batches' "$tmpdir/durable2.log" \
+  || { echo "restart did not replay the acknowledged WAL batch"; cat "$tmpdir/durable2.log"; exit 1; }
+curl -fsS "http://$addr/api/query" \
+  -d '{"nodes":["C","C"],"edges":[{"u":0,"v":1,"label":"s"}]}' \
+  | grep -q '"crash-added"' \
+  || { echo "restart lost the acknowledged update"; exit 1; }
+echo "crash recovery: OK"
+
+echo "== SIGINT graceful drain =="
+kill -INT "$server_pid"
+rc=0; wait "$server_pid" || rc=$?
+[[ "$rc" == 0 ]] \
+  || { echo "SIGINT exit code $rc, want 0"; cat "$tmpdir/durable2.log"; exit 1; }
+grep -q 'drained cleanly' "$tmpdir/durable2.log" \
+  || { echo "SIGINT did not drain cleanly"; cat "$tmpdir/durable2.log"; exit 1; }
+server_pid=""
+echo "SIGINT drain: OK"
+
 echo "verify: OK"
