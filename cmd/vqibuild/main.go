@@ -58,7 +58,7 @@ func main() {
 		if rec.Corpus != nil {
 			fatal(fmt.Errorf("data directory %s already holds durable state at seq %d; refusing to overwrite it with a fresh seed", *dataDir, rec.LastSeq()))
 		}
-		if err := st.WriteSnapshot(corpus, 0, nil); err != nil {
+		if err := st.Seed(corpus); err != nil {
 			fatal(err)
 		}
 		if err := st.Close(); err != nil {

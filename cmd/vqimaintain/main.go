@@ -190,8 +190,10 @@ func main() {
 // recover (snapshot + replay, which re-derives the per-shard epochs
 // exactly as a serving instance would), write the new snapshot via
 // tmp-file + atomic rename, retain the previous snapshot as the
-// corruption fallback, and prune the folded WAL records. Safe to run
-// offline between server restarts; the shard count should match the
+// corruption fallback, and prune the folded WAL records. The store's
+// exclusive directory lock makes running this against a live vqiserve's
+// data directory fail fast instead of racing its appends — stop the
+// server (or point at a copy) first; the shard count should match the
 // serving -shards so the snapshotted epochs carry over on the next boot.
 func compactDataDir(dir string, shards, workers int) error {
 	start := time.Now()

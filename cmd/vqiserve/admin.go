@@ -46,10 +46,10 @@ type updateRequest struct {
 type updateResponse struct {
 	Added   int    `json:"added"`
 	Removed int    `json:"removed"`
-	Graphs  int    `json:"graphs"`  // corpus size after the batch
-	Shards  int    `json:"shards"`  // total shard count
-	Rebuilt []int  `json:"rebuilt"` // shards whose index was rebuilt
-	Millis  int64  `json:"millis"`  // wall-clock for apply+install
+	Graphs  int    `json:"graphs"`        // corpus size after the batch
+	Shards  int    `json:"shards"`        // total shard count
+	Rebuilt []int  `json:"rebuilt"`       // shards whose index was rebuilt
+	Millis  int64  `json:"millis"`        // wall-clock for apply+install
 	Seq     uint64 `json:"seq,omitempty"` // durable WAL sequence number (persistent servers only)
 }
 

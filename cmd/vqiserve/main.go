@@ -404,7 +404,10 @@ func main() {
 		}
 		if st != nil {
 			// Seed the directory so the next boot recovers without the .lg.
-			if err := st.WriteSnapshot(corpus, 0, nil); err != nil {
+			// Seed refuses a directory holding WAL records but no snapshot —
+			// booting a fresh seed over orphaned records would silently
+			// diverge across restarts.
+			if err := st.Seed(corpus); err != nil {
 				log.Fatalf("vqiserve: writing seed snapshot: %v", err)
 			}
 			log.Printf("vqiserve: seeded %s with %d graphs", *dataDir, corpus.Len())

@@ -30,7 +30,7 @@ func durableServer(t *testing.T, dir string, inj *faultinject.Injector) *server 
 	corpus := rec.Corpus
 	if corpus == nil {
 		corpus = datagen.ChemicalCorpus(2, 24, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14})
-		if err := st.WriteSnapshot(corpus, 0, nil); err != nil {
+		if err := st.Seed(corpus); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -72,8 +72,9 @@ func TestDurableServerRecoversUpdates(t *testing.T) {
 		t.Fatalf("added graph not matched live: %v", liveMatched)
 	}
 
-	// "Crash": abandon the server without closing the store, then boot a
+	// "Crash": abandon the server without a clean store close, then boot a
 	// fresh one from the same directory.
+	s.st.Abandon()
 	s2 := durableServer(t, dir, nil)
 	h2 := s2.routes()
 	if got := queryMatched(t, h2); !slices.Equal(got, liveMatched) {
@@ -107,8 +108,8 @@ func TestDurableServerRecoversUpdates(t *testing.T) {
 
 // TestDurableServerWALAppendFailure: when the durable append fails the
 // batch must NOT be applied or acknowledged — the 500 carries wal_append,
-// the in-memory corpus is unchanged, and a restart recovers the
-// pre-batch state (truncating the torn record the fault left behind).
+// the in-memory corpus is unchanged (the torn frame is rolled back on the
+// spot), and a restart recovers the pre-batch state.
 func TestDurableServerWALAppendFailure(t *testing.T) {
 	dir := t.TempDir()
 	inj := faultinject.New(5, faultinject.Fault{
@@ -129,6 +130,7 @@ func TestDurableServerWALAppendFailure(t *testing.T) {
 		t.Fatal("failed durable append mutated in-memory state")
 	}
 
+	s.st.Abandon()
 	s2 := durableServer(t, dir, nil)
 	if got := queryMatched(t, s2.routes()); !slices.Equal(got, before) {
 		t.Fatalf("recovered state includes unacknowledged batch: %v", got)
@@ -189,6 +191,7 @@ func TestDurableServerSkipsSeedWhenRecovered(t *testing.T) {
 	if _, body := post(t, s.routes(), "/admin/update", durableAdd); !json.Valid(body) {
 		t.Fatal("bad update response")
 	}
+	s.st.Abandon()
 
 	st, rec, err := store.Open(context.Background(), dir, store.Options{})
 	if err != nil {

@@ -153,7 +153,9 @@ func TestDurableIndexCrashRecovery(t *testing.T) {
 						}
 					}
 				}
-				// Crash: abandon di without Close.
+				// Crash: abandon di without Close (releases the directory
+				// lock the way a process death would, flushes nothing).
+				di.Abandon()
 
 				rec, rep, err := OpenDurableIndex(context.Background(), dir, seed.Clone(), baseOpts)
 				if err != nil {

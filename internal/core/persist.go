@@ -83,7 +83,9 @@ func OpenDurableIndex(ctx context.Context, dir string, seed *graph.Corpus, opts 
 			return nil, nil, fmt.Errorf("core: data directory %s is empty and no seed corpus was provided", dir)
 		}
 		corpus = seed
-		if err := st.WriteSnapshot(corpus, 0, nil); err != nil {
+		// Seed refuses a directory that holds WAL records without any
+		// snapshot — that is lost state, not a fresh directory.
+		if err := st.Seed(corpus); err != nil {
 			st.Close()
 			return nil, nil, fmt.Errorf("core: writing seed snapshot: %w", err)
 		}
@@ -193,3 +195,7 @@ func (di *DurableIndex) Compact() error {
 // Close releases the store. The index stays readable; further ApplyBatch
 // calls fail.
 func (di *DurableIndex) Close() error { return di.st.Close() }
+
+// Abandon releases the store's OS resources without flushing — the
+// crash-test stand-in for a process death (see store.Store.Abandon).
+func (di *DurableIndex) Abandon() { di.st.Abandon() }

@@ -80,8 +80,9 @@ func TestCrashRecoveryProperty(t *testing.T) {
 						}
 					}
 				}
-				// Crash: abandon st without Close.
-				_ = st
+				// Crash: abandon st without Close (releases the directory
+				// lock the way a process death would, flushes nothing).
+				st.Abandon()
 
 				// Recovery may itself be the injected site; retry without
 				// the fault after the first "crash during recovery".
@@ -168,10 +169,12 @@ func TestCrashDuringRecoveryReplay(t *testing.T) {
 	}
 }
 
-// TestTornAppendIsTruncatedOnRecovery pins the exact torn-write shape the
-// injector produces: half a frame on disk, then recovery truncates it and
-// the next append reuses the failed record's sequence number.
-func TestTornAppendIsTruncatedOnRecovery(t *testing.T) {
+// TestFailedAppendRollsBack pins the surviving-process contract: a failed
+// append (torn write) is truncated away before Append returns, so the
+// store keeps accepting appends on a clean log — later acknowledged
+// records are never swallowed by a torn prefix at the next recovery, and
+// the reused sequence number never becomes an on-disk duplicate.
+func TestFailedAppendRollsBack(t *testing.T) {
 	dir := t.TempDir()
 	inj := faultinject.New(1, faultinject.Fault{
 		Site:  "store.wal.append",
@@ -191,20 +194,77 @@ func TestTornAppendIsTruncatedOnRecovery(t *testing.T) {
 	if _, err := st.Append(testBatch(t, 2)); err == nil {
 		t.Fatal("armed append succeeded")
 	}
-
-	st2, rec := mustOpen(t, dir, Options{})
-	defer st2.Close()
-	if !rec.TailTruncated {
-		t.Fatal("torn append left no tail to truncate")
-	}
-	if len(rec.Batches) != 2 {
-		t.Fatalf("recovered %d batches, want 2", len(rec.Batches))
-	}
-	seq, err := st2.Append(testBatch(t, 2))
+	// The same process keeps serving: the retried append reuses seq 3 and
+	// lands on a log with no torn prefix in the middle.
+	seq, err := st.Append(testBatch(t, 2))
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("append after rolled-back failure: %v", err)
 	}
 	if seq != 3 {
 		t.Fatalf("retried append got seq %d, want 3", seq)
+	}
+	if _, err := st.Append(testBatch(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st.Abandon()
+
+	st2, rec := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	if rec.TailTruncated {
+		t.Fatal("rolled-back append still left a torn tail for recovery")
+	}
+	if len(rec.Batches) != 4 {
+		t.Fatalf("recovered %d batches, want 4", len(rec.Batches))
+	}
+	for i, b := range rec.Batches {
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("recovered batch %d has seq %d", i, b.Seq)
+		}
+	}
+}
+
+// TestFailedFsyncRollsBack pins the complete-frame shape: the frame lands
+// in full but its fsync fails, so it must not survive on disk — the store
+// reuses the sequence number, and recovery must neither reject the log as
+// a duplicate-seq gap nor replay the unacknowledged batch.
+func TestFailedFsyncRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(1, faultinject.Fault{
+		Site:  "store.wal.fsync",
+		Err:   errors.New("injected fsync failure"),
+		After: 1, // the first append syncs fine, the second append's fsync fails
+		Count: 1,
+	})
+	st, _ := mustOpen(t, dir, Options{Inject: inj})
+	if err := st.WriteSnapshot(testCorpus(5), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(testBatch(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	failed := testBatch(t, 1)
+	if _, err := st.Append(failed); err == nil {
+		t.Fatal("armed fsync append succeeded")
+	}
+	// Seq 2 is reused by the next acknowledged batch; before the rollback
+	// fix the failed frame stayed on disk and this wrote a duplicate seq 2
+	// that made the next recovery refuse to boot.
+	other := testBatch(t, 7)
+	seq, err := st.Append(other)
+	if err != nil {
+		t.Fatalf("append after failed fsync: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("append after failed fsync got seq %d, want 2", seq)
+	}
+	st.Abandon()
+
+	st2, rec := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	if len(rec.Batches) != 2 {
+		t.Fatalf("recovered %d batches, want 2", len(rec.Batches))
+	}
+	if got := rec.Batches[1].Added[0].Name(); got != other.Added[0].Name() {
+		t.Fatalf("seq 2 recovered as %q, want the acknowledged batch %q (not the failed one)", got, other.Added[0].Name())
 	}
 }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockDataDir on platforms without flock degrades to creating the LOCK
+// file with no advisory locking: single-process safety only.
+func lockDataDir(dir string) (*os.File, error) {
+	return os.OpenFile(lockFilePath(dir), os.O_CREATE|os.O_RDWR, 0o644)
+}

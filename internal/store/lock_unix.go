@@ -1,0 +1,26 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDataDir takes the exclusive advisory lock on dir's LOCK file,
+// failing fast (no blocking) when another process holds it. flock locks
+// belong to the open file description, so two Opens conflict even within
+// one process, and the kernel releases the lock automatically when the
+// holder dies — a crashed server never wedges its data directory.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(lockFilePath(dir), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: data directory %s is locked by another process (a live vqiserve, or a concurrent vqimaintain/vqibuild): %w", dir, err)
+	}
+	return f, nil
+}

@@ -60,19 +60,32 @@ type Store struct {
 	inject    *faultinject.Injector
 	policy    SyncPolicy
 	syncEvery time.Duration
+	lock      *os.File // exclusive flock on <dir>/LOCK, held for the store's lifetime
 
 	mu      sync.Mutex
-	w       *wal
+	w       *wal   // nil after a failed WAL rotation; Append then errors
 	lastSeq uint64 // highest sequence number ever made durable
 	closed  bool
 }
+
+// lockFileName is the advisory-lock file guarding a data directory: one
+// Store (server, compactor, or seeder) at a time. The file itself is
+// never removed — only its lock is held and released.
+const lockFileName = "LOCK"
+
+func lockFilePath(dir string) string { return filepath.Join(dir, lockFileName) }
 
 // Open mounts a data directory (creating it if needed) and recovers its
 // durable state: the newest snapshot that validates, with corrupted ones
 // skipped, and the WAL suffix past it, with any torn tail truncated at
 // the first invalid record. The returned Store continues the sequence
 // numbering where the recovered state ends.
-func Open(ctx context.Context, dir string, opts Options) (*Store, *Recovery, error) {
+//
+// Open takes an exclusive lock on the directory and fails fast if another
+// process holds it — a compaction (vqimaintain -compact) can never race a
+// live server's appends over the same WAL. The lock is released by Close
+// or, if the process dies, by the kernel.
+func Open(ctx context.Context, dir string, opts Options) (st *Store, rec *Recovery, err error) {
 	if dir == "" {
 		return nil, nil, fmt.Errorf("store: empty data directory")
 	}
@@ -82,8 +95,17 @@ func Open(ctx context.Context, dir string, opts Options) (*Store, *Recovery, err
 	if opts.Sync == SyncInterval && opts.SyncEvery <= 0 {
 		opts.SyncEvery = 100 * time.Millisecond
 	}
-	st := &Store{dir: dir, inject: opts.Inject, policy: opts.Sync, syncEvery: opts.SyncEvery}
-	rec := &Recovery{}
+	lock, err := lockDataDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		if err != nil {
+			lock.Close()
+		}
+	}()
+	st = &Store{dir: dir, inject: opts.Inject, policy: opts.Sync, syncEvery: opts.SyncEvery, lock: lock}
+	rec = &Recovery{}
 
 	// Stage 1: newest valid snapshot. Corrupt snapshots (bit flips,
 	// partial writes that somehow reached the final name) are detected by
@@ -168,14 +190,19 @@ func (st *Store) LastSeq() uint64 {
 // Append durably logs one batch and returns its sequence number. Under
 // SyncAlways the batch has reached stable storage when Append returns
 // nil — the caller may acknowledge it. On error the batch MUST NOT be
-// applied: the on-disk log may hold a torn prefix of the record, which
-// the next recovery will truncate, so the in-memory state must not get
-// ahead of the durable state.
+// applied and is no longer on disk either: the failed frame is rolled
+// back (truncated away) before Append returns, so the store keeps
+// accepting appends with the log exactly as the last acknowledgement left
+// it. If the rollback itself fails the store fail-stops — every further
+// Append returns the latched error.
 func (st *Store) Append(b Batch) (uint64, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
 		return 0, fmt.Errorf("store: append on closed store")
+	}
+	if st.w == nil {
+		return 0, fmt.Errorf("store: WAL unavailable after a failed rotation; restart to recover")
 	}
 	seq := st.lastSeq + 1
 	frame := appendFrame(nil, encodeBatch(seq, b))
@@ -184,6 +211,24 @@ func (st *Store) Append(b Batch) (uint64, error) {
 	}
 	st.lastSeq = seq
 	return seq, nil
+}
+
+// Seed writes the initial snapshot into a directory that recovered no
+// snapshot. It refuses when the directory nevertheless holds WAL records:
+// that state means snapshot files were deleted or lost, and stamping a
+// fresh seed at the WAL's last sequence number would silently diverge —
+// this boot would replay the orphaned records onto the seed while every
+// later boot skips them as "already folded in".
+func (st *Store) Seed(c *graph.Corpus) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("store: seed on closed store")
+	}
+	if st.lastSeq != 0 {
+		return fmt.Errorf("store: refusing to seed %s: it holds WAL records through seq %d but no snapshot (snapshot files deleted?); restore a snapshot or clear the directory", st.dir, st.lastSeq)
+	}
+	return st.writeSnapshotLocked(c, 0, nil)
 }
 
 // WriteSnapshot persists a full corpus image covering every record up to
@@ -198,6 +243,10 @@ func (st *Store) WriteSnapshot(c *graph.Corpus, shards int, epochs []uint64) err
 	if st.closed {
 		return fmt.Errorf("store: snapshot on closed store")
 	}
+	return st.writeSnapshotLocked(c, shards, epochs)
+}
+
+func (st *Store) writeSnapshotLocked(c *graph.Corpus, shards int, epochs []uint64) error {
 	meta := SnapshotMeta{Seq: st.lastSeq, Shards: shards, Epochs: epochs}
 	prev, err := listSnapshots(st.dir)
 	if err != nil {
@@ -245,7 +294,10 @@ func (st *Store) truncateWALLocked(keep uint64) error {
 		f.Sync()
 		f.Close()
 	}
-	// Swap under the old handle, then re-open appends on the new file.
+	// Swap under the old handle, then re-open appends on the new file. The
+	// old handle is useless either way once the rename lands (it points at
+	// the unlinked inode), so if the re-open fails the store is left with
+	// no WAL handle and Append reports that instead of panicking.
 	old := st.w
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
@@ -254,10 +306,16 @@ func (st *Store) truncateWALLocked(keep uint64) error {
 	syncDir(st.dir)
 	old.close()
 	st.w, err = openWAL(st.dir, st.policy, st.syncEvery)
-	return err
+	if err != nil {
+		st.w = nil
+		return fmt.Errorf("store: re-opening WAL after rewrite: %w", err)
+	}
+	return nil
 }
 
-// Close flushes and releases the WAL handle.
+// Close flushes and releases the WAL handle and the directory lock. It
+// returns any failure the WAL latched while running (e.g. a background
+// fsync error under interval sync).
 func (st *Store) Close() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -265,5 +323,33 @@ func (st *Store) Close() error {
 		return nil
 	}
 	st.closed = true
-	return st.w.close()
+	var err error
+	if st.w != nil {
+		err = st.w.close()
+	}
+	if st.lock != nil {
+		if cerr := st.lock.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Abandon simulates an abrupt process death for crash-recovery tests: it
+// releases the store's OS resources — the WAL handle and the directory
+// lock — without flushing anything, leaving the directory exactly as a
+// kill -9 would. Production code uses Close.
+func (st *Store) Abandon() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.closed = true
+	if st.w != nil {
+		st.w.abandon()
+	}
+	if st.lock != nil {
+		st.lock.Close()
+	}
 }

@@ -71,6 +71,9 @@ func mustOpen(t *testing.T, dir string, opts Options) (*Store, *Recovery) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Release the directory lock at test end; a no-op for stores the test
+	// already closed or abandoned.
+	t.Cleanup(st.Abandon)
 	return st, rec
 }
 
@@ -174,13 +177,14 @@ func TestTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, rec := mustOpen(t, dir, Options{})
+	st1, rec := mustOpen(t, dir, Options{})
 	if !rec.TailTruncated {
 		t.Fatal("torn tail not reported")
 	}
 	if len(rec.Batches) != 2 {
 		t.Fatalf("replayed %d batches past a torn tail, want 2", len(rec.Batches))
 	}
+	st1.Close()
 	// The truncation must be persistent: a second recovery sees a clean log.
 	_, rec2 := mustOpen(t, dir, Options{})
 	if rec2.TailTruncated {
@@ -318,6 +322,76 @@ func TestCompactionFoldsWAL(t *testing.T) {
 	}
 	got := applyToCorpus(rec.Corpus, rec.Batches[0])
 	sameCorpus(t, got, oracle)
+}
+
+// TestSeedRefusesWALWithoutSnapshot: a directory whose snapshot files
+// were deleted but whose WAL survived is lost state, not a fresh
+// directory — seeding it would stamp the seed at the WAL's last seq, so
+// this boot replays the orphaned records but every later boot skips them,
+// silently diverging. Seed must fail loudly instead.
+func TestSeedRefusesWALWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir, Options{})
+	if err := st.Seed(testCorpus(5)); err != nil {
+		t.Fatalf("seeding a fresh directory: %v", err)
+	}
+	if _, err := st.Append(testBatch(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seqs {
+		if err := os.Remove(filepath.Join(dir, snapName(s))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2, rec := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	if rec.Corpus != nil {
+		t.Fatal("recovered a corpus with every snapshot deleted")
+	}
+	if err := st2.Seed(testCorpus(5)); err == nil {
+		t.Fatal("seed over orphaned WAL records succeeded")
+	}
+}
+
+// TestDataDirLockExcludesSecondOpen: the exclusive directory lock makes a
+// concurrent second mount (e.g. vqimaintain -compact against a live
+// vqiserve) fail fast instead of racing appends over the same WAL.
+func TestDataDirLockExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir, Options{})
+	defer st.Close()
+	if _, _, err := Open(context.Background(), dir, Options{}); err == nil {
+		t.Fatal("second Open on a locked data directory succeeded")
+	}
+	// Close releases the lock; the directory mounts again.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := mustOpen(t, dir, Options{})
+	st2.Close()
+}
+
+// TestAppendWithoutWALHandleErrors: if the post-rewrite WAL re-open ever
+// fails the store is left handle-less; Append must return an error, not
+// nil-pointer panic.
+func TestAppendWithoutWALHandleErrors(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir, Options{})
+	defer st.Close()
+	st.mu.Lock()
+	st.w.f.Close()
+	st.w = nil
+	st.mu.Unlock()
+	if _, err := st.Append(testBatch(t, 0)); err == nil {
+		t.Fatal("append with no WAL handle succeeded")
+	}
 }
 
 func TestSyncPolicyParsing(t *testing.T) {

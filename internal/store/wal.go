@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/faultinject"
@@ -40,6 +41,8 @@ var (
 	obsWALFsyncSec    = obs.Default.Histogram("store_wal_fsync_seconds")
 	obsWALReplayed    = obs.Default.Counter("store_wal_replayed_records_total")
 	obsWALTornTails   = obs.Default.Counter("store_wal_torn_tails_total")
+	obsWALFsyncErrs   = obs.Default.Counter("store_wal_fsync_errors_total")
+	obsWALRollbacks   = obs.Default.Counter("store_wal_rollbacks_total")
 )
 
 // Batch is one durable corpus update: the MIDAS batch shape (removals
@@ -196,6 +199,18 @@ type wal struct {
 	f      *os.File
 	path   string
 	policy SyncPolicy
+	// good is the byte offset of the end of the last acknowledged record:
+	// a failed append rolls the file back to it so a torn or complete-but-
+	// unacknowledged frame can never reach recovery. Guarded by the owning
+	// Store's mutex (only append/rollback touch it).
+	good int64
+
+	// failMu guards failErr, the latched unrecoverable failure: a rollback
+	// that could not truncate, or a background fsync error. Once latched,
+	// every further append (and the final close) returns it — the WAL
+	// fail-stops rather than risk acknowledging writes it cannot keep.
+	failMu  sync.Mutex
+	failErr error
 
 	// Interval sync: a background ticker fsyncs when dirty. Guarded by
 	// the owning Store's mutex except for the ticker goroutine, which
@@ -211,7 +226,15 @@ func openWAL(dir string, policy SyncPolicy, every time.Duration) (*wal, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &wal{f: f, path: path, policy: policy}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Everything already in the file is acknowledged: Open truncates any
+	// torn tail before opening the append handle, and rewrites keep only
+	// complete records.
+	w := &wal{f: f, path: path, policy: policy, good: fi.Size()}
 	if policy == SyncInterval {
 		w.dirtyCh = make(chan struct{}, 1)
 		w.stopCh = make(chan struct{})
@@ -221,7 +244,26 @@ func openWAL(dir string, policy SyncPolicy, every time.Duration) (*wal, error) {
 	return w, nil
 }
 
-// syncLoop flushes dirty appends every tick until stopped.
+// latch records the first unrecoverable failure; later ones are dropped.
+func (w *wal) latch(err error) {
+	w.failMu.Lock()
+	if w.failErr == nil {
+		w.failErr = err
+	}
+	w.failMu.Unlock()
+}
+
+// failed returns the latched unrecoverable failure, if any.
+func (w *wal) failed() error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failErr
+}
+
+// syncLoop flushes dirty appends every tick until stopped. A failing
+// fsync is latched — the next Append (and the final Close) surfaces it —
+// because under interval sync the batches in this window were already
+// acknowledged and silence would turn a dying disk into silent loss.
 func (w *wal) syncLoop(every time.Duration) {
 	defer close(w.doneCh)
 	t := time.NewTicker(every)
@@ -233,12 +275,17 @@ func (w *wal) syncLoop(every time.Duration) {
 			dirty = true
 		case <-t.C:
 			if dirty {
-				w.fsync(nil)
+				if err := w.fsync(nil); err != nil {
+					w.latch(err)
+					return
+				}
 				dirty = false
 			}
 		case <-w.stopCh:
 			if dirty {
-				w.fsync(nil)
+				if err := w.fsync(nil); err != nil {
+					w.latch(err)
+				}
 			}
 			return
 		}
@@ -250,14 +297,27 @@ func (w *wal) syncLoop(every time.Duration) {
 // fires before the full frame lands and leaves a torn prefix on disk
 // (exactly what a mid-write power cut produces); "store.wal.fsync" fails
 // the durability step after the full frame landed.
+//
+// Every failure path rolls the file back to the end of the last
+// acknowledged record before returning. If the failed frame were left
+// behind, a surviving process would corrupt the log as it kept serving: a
+// torn prefix makes the next recovery truncate every later acknowledged
+// record, and a complete-but-unacknowledged frame makes the reused
+// sequence number a duplicate that recovery rejects as a gap.
 func (w *wal) append(frame []byte, inject *faultinject.Injector) error {
+	if err := w.failed(); err != nil {
+		return fmt.Errorf("store: wal unusable after earlier failure: %w", err)
+	}
 	if err := inject.Fire("store.wal.append"); err != nil {
 		// Simulate the crash mid-write: a prefix of the frame reaches the
-		// file, then the process dies. Recovery must truncate this tail.
+		// file. If the process dies here, recovery truncates the torn tail;
+		// if it survives, the rollback below removes it immediately.
 		w.f.Write(frame[:len(frame)/2])
+		w.rollback()
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	if _, err := w.f.Write(frame); err != nil {
+		w.rollback()
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	if obs.On() {
@@ -267,6 +327,10 @@ func (w *wal) append(frame []byte, inject *faultinject.Injector) error {
 	switch w.policy {
 	case SyncAlways:
 		if err := w.fsync(inject); err != nil {
+			// The frame is complete in the file but its durability failed;
+			// the store will not acknowledge it and will reuse its sequence
+			// number, so the frame must not survive on disk.
+			w.rollback()
 			return err
 		}
 	case SyncInterval:
@@ -275,15 +339,41 @@ func (w *wal) append(frame []byte, inject *faultinject.Injector) error {
 		default:
 		}
 	}
+	w.good += int64(len(frame))
 	return nil
+}
+
+// rollback truncates the log to the end of the last acknowledged record,
+// discarding whatever a failed append left behind. A rollback that cannot
+// truncate (or cannot make the truncation durable) latches the error: the
+// on-disk log is in an unknown state, so the WAL refuses all further
+// appends instead of stacking new records on top of it.
+func (w *wal) rollback() {
+	if err := w.f.Truncate(w.good); err != nil {
+		w.latch(fmt.Errorf("store: wal rollback truncate: %w", err))
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		w.latch(fmt.Errorf("store: wal rollback fsync: %w", err))
+		return
+	}
+	if obs.On() {
+		obsWALRollbacks.Inc()
+	}
 }
 
 func (w *wal) fsync(inject *faultinject.Injector) error {
 	if err := inject.Fire("store.wal.fsync"); err != nil {
+		if obs.On() {
+			obsWALFsyncErrs.Inc()
+		}
 		return fmt.Errorf("store: wal fsync: %w", err)
 	}
 	t0 := time.Now()
 	if err := w.f.Sync(); err != nil {
+		if obs.On() {
+			obsWALFsyncErrs.Inc()
+		}
 		return fmt.Errorf("store: wal fsync: %w", err)
 	}
 	if obs.On() {
@@ -293,11 +383,33 @@ func (w *wal) fsync(inject *faultinject.Injector) error {
 	return nil
 }
 
+// close stops the sync loop, flushes, and releases the handle. Any
+// latched background failure — and the final fsync's own error — is
+// returned: batches acknowledged under interval sync were only durable if
+// these succeeded, and the caller deserves to know they were not.
 func (w *wal) close() error {
 	if w.policy == SyncInterval {
 		close(w.stopCh)
 		<-w.doneCh
 	}
-	w.fsync(nil)
-	return w.f.Close()
+	err := w.failed()
+	if serr := w.fsync(nil); serr != nil && err == nil {
+		err = serr
+	}
+	if cerr := w.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// abandon releases the WAL's OS resources without flushing anything — the
+// in-process stand-in for an abrupt process death, used by crash-recovery
+// tests via Store.Abandon. The file is closed before the sync loop stops
+// so its final flush cannot run.
+func (w *wal) abandon() {
+	w.f.Close()
+	if w.policy == SyncInterval {
+		close(w.stopCh)
+		<-w.doneCh
+	}
 }
