@@ -1,0 +1,244 @@
+package main
+
+// Experiment M1: the snapshot-v2 capacity suite. Measures what the mmap
+// boot path buys as the corpus grows: time-to-ready and Go heap residency
+// for an eager (decode everything) boot versus an mmap boot (validate
+// header + frame index, restore persisted per-shard index sections, leave
+// every graph cold) at 1x/4x/16x corpus scale, plus the price of lazy
+// hydration on the query path — first-touch p99 (each query faults in the
+// graphs it verifies against) versus warm p99 on the same query pool.
+// Asserts the contract the boot path is sold on: a clean mmap boot
+// restores every shard from sections (restores > 0, rebuilds == 0,
+// nothing replayed). Emits BENCH_mmap.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/store"
+)
+
+func init() {
+	register("M1", "mmap capacity: cold-ready + heap eager vs mapped at 1x/4x/16x, first-touch vs warm p99 (emits BENCH_mmap.json)", runM1)
+}
+
+type mmapScaleResult struct {
+	Scale            int     `json:"scale"`
+	Graphs           int     `json:"graphs"`
+	SnapshotBytes    int64   `json:"snapshot_bytes"`
+	EagerReadyMillis float64 `json:"eager_ready_ms"`
+	MmapReadyMillis  float64 `json:"mmap_ready_ms"`
+	EagerHeapBytes   int64   `json:"eager_heap_bytes"`
+	MmapHeapBytes    int64   `json:"mmap_heap_bytes"`
+	SectionsRestored int     `json:"sections_restored"`
+	SectionsRebuilt  int     `json:"sections_rebuilt"`
+	Replayed         int     `json:"replayed"`
+	FirstTouchP99    float64 `json:"first_touch_p99_ms"`
+	WarmP99          float64 `json:"warm_p99_ms"`
+}
+
+type mmapReport struct {
+	CPUs   int               `json:"cpus"`
+	Full   bool              `json:"full"`
+	Seed   int64             `json:"seed"`
+	Shards int               `json:"shards"`
+	Scales []mmapScaleResult `json:"scales"`
+	// Cold-ready growth from 1x to 16x corpus, per boot mode. The mmap
+	// ratio is the headline: boot cost tracks index size, not corpus
+	// size, so it must stay well under the 16x corpus growth.
+	EagerReady16xOver1x float64 `json:"eager_ready_16x_over_1x"`
+	MmapReady16xOver1x  float64 `json:"mmap_ready_16x_over_1x"`
+	ContractViolations  int     `json:"contract_violations"`
+}
+
+// heapInUse forces a collection and reports live heap. Mapped snapshot
+// pages live outside the Go heap, so this is the eager-vs-mmap contrast
+// we care about: what boot itself forces resident.
+func heapInUse() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapInuse)
+}
+
+func runM1(cfg runConfig, w *tabwriter.Writer) {
+	base, batchN, queryN := 60, 2, 12
+	if cfg.full {
+		base, batchN, queryN = 250, 4, 30
+	}
+	const shards = 4
+	annCfg := ann.Config{Tables: 6, Bits: 10, Seed: cfg.seed}
+	report := mmapReport{CPUs: runtime.NumCPU(), Full: cfg.full, Seed: cfg.seed, Shards: shards}
+
+	fmt.Fprintf(w, "scale\tgraphs\tsnap bytes\teager ready (ms)\tmmap ready (ms)\teager heap\tmmap heap\tsections\tfirst-touch p99\twarm p99\n")
+	for _, scale := range []int{1, 4, 16} {
+		n := base * scale
+		res, ok := runM1Scale(cfg, w, scale, n, batchN, queryN, shards, annCfg, &report)
+		if !ok {
+			return
+		}
+		report.Scales = append(report.Scales, res)
+		fmt.Fprintf(w, "%dx\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%d/%d\t%.3f\t%.3f\n",
+			scale, res.Graphs, res.SnapshotBytes, res.EagerReadyMillis, res.MmapReadyMillis,
+			fmtBytes(res.EagerHeapBytes), fmtBytes(res.MmapHeapBytes),
+			res.SectionsRestored, res.SectionsRestored+res.SectionsRebuilt,
+			res.FirstTouchP99, res.WarmP99)
+	}
+
+	first, last := report.Scales[0], report.Scales[len(report.Scales)-1]
+	if first.EagerReadyMillis > 0 {
+		report.EagerReady16xOver1x = last.EagerReadyMillis / first.EagerReadyMillis
+	}
+	if first.MmapReadyMillis > 0 {
+		report.MmapReady16xOver1x = last.MmapReadyMillis / first.MmapReadyMillis
+	}
+	fmt.Fprintf(w, "cold-ready growth 1x->16x\teager %.2fx\tmmap %.2fx\t(corpus grew 16x)\n",
+		report.EagerReady16xOver1x, report.MmapReady16xOver1x)
+	if report.ContractViolations > 0 {
+		fmt.Fprintf(w, "CONTRACT VIOLATIONS: %d (see lines above)\n", report.ContractViolations)
+	}
+
+	payload, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		if err := os.WriteFile("BENCH_mmap.json", payload, 0o644); err != nil {
+			fmt.Fprintf(w, "write BENCH_mmap.json: %v\n", err)
+		} else {
+			fmt.Fprintln(w, "wrote BENCH_mmap.json")
+		}
+	}
+}
+
+func runM1Scale(cfg runConfig, w *tabwriter.Writer, scale, n, batchN, queryN, shards int, annCfg ann.Config, report *mmapReport) (mmapScaleResult, bool) {
+	res := mmapScaleResult{Scale: scale, Graphs: n}
+	dir, err := os.MkdirTemp("", "benchvqi-m1-*")
+	if err != nil {
+		fmt.Fprintf(w, "tempdir: %v\n", err)
+		return res, false
+	}
+	defer os.RemoveAll(dir)
+
+	// Seed a durable instance, run a few batches so epochs are non-zero,
+	// then compact: the compacted snapshot is v2 with per-shard sections,
+	// which is what both boot variants below recover from.
+	seedCorpus := datagen.ChemicalCorpus(cfg.seed, n, chemOpts())
+	opts := core.DurableIndexOptions{Shards: shards, ANN: &annCfg}
+	di, _, err := core.OpenDurableIndex(context.Background(), dir, seedCorpus, opts)
+	if err != nil {
+		fmt.Fprintf(w, "%dx seed: %v\n", scale, err)
+		return res, false
+	}
+	rng := rand.New(rand.NewSource(cfg.seed + int64(scale)))
+	for b := 0; b < batchN; b++ {
+		g := datagen.Chemical(rng, fmt.Sprintf("m1-%dx-add-%d", scale, b), chemOpts())
+		if _, _, err := di.ApplyBatch([]*graph.Graph{g}, nil); err != nil {
+			fmt.Fprintf(w, "%dx batch: %v\n", scale, err)
+			return res, false
+		}
+	}
+	if _, err := di.Compact(); err != nil {
+		fmt.Fprintf(w, "%dx compact: %v\n", scale, err)
+		return res, false
+	}
+	res.Graphs = di.Corpus().Len()
+	di.Close()
+	di = nil
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			if fi, err := e.Info(); err == nil && !e.IsDir() {
+				res.SnapshotBytes += fi.Size()
+			}
+		}
+	}
+
+	// The query pool is drawn from an in-memory regeneration of the same
+	// deterministic corpus so building it never touches (and never warms)
+	// the instance under measurement.
+	var queries []*graph.Graph
+	for len(queries) < queryN {
+		q := datagen.RandomConnectedSubgraph(rng, seedCorpus.Graph(rng.Intn(seedCorpus.Len())), 5+rng.Intn(4))
+		if q != nil {
+			queries = append(queries, q)
+		}
+	}
+	seedCorpus = nil
+
+	boot := func(mmap bool) (*core.DurableIndex, *core.BootReport, float64, int64, bool) {
+		before := heapInUse()
+		t0 := time.Now()
+		bo := opts
+		bo.Store = store.Options{Mmap: mmap}
+		bdi, rep, err := core.OpenDurableIndex(context.Background(), dir, nil, bo)
+		elapsed := float64(time.Since(t0).Microseconds()) / 1000
+		if err != nil {
+			fmt.Fprintf(w, "%dx boot mmap=%v: %v\n", scale, mmap, err)
+			return nil, nil, 0, 0, false
+		}
+		heap := heapInUse() - before
+		if heap < 0 {
+			heap = 0
+		}
+		return bdi, rep, elapsed, heap, true
+	}
+
+	edi, _, eagerMs, eagerHeap, ok := boot(false)
+	if !ok {
+		return res, false
+	}
+	res.EagerReadyMillis, res.EagerHeapBytes = eagerMs, eagerHeap
+	edi.Close()
+	edi = nil
+
+	mdi, mrep, mmapMs, mmapHeap, ok := boot(true)
+	if !ok {
+		return res, false
+	}
+	defer mdi.Close()
+	res.MmapReadyMillis, res.MmapHeapBytes = mmapMs, mmapHeap
+	res.SectionsRestored, res.SectionsRebuilt = mrep.SectionsRestored, mrep.SectionsRebuilt
+	res.Replayed = mrep.Replayed
+	if !mrep.Mapped || mrep.SectionsRestored == 0 || mrep.SectionsRebuilt != 0 || mrep.Replayed != 0 {
+		report.ContractViolations++
+		fmt.Fprintf(w, "%dx CONTRACT: mapped=%v restored=%d rebuilt=%d replayed=%d (want mapped, >0, 0, 0)\n",
+			scale, mrep.Mapped, mrep.SectionsRestored, mrep.SectionsRebuilt, mrep.Replayed)
+	}
+
+	// First pass hydrates every graph a query verifies against straight
+	// from the mapping; the second pass runs against warm state.
+	mopts := pattern.MatchOptions()
+	mopts.MaxResults = 10
+	measure := func() []float64 {
+		lat := make([]float64, 0, len(queries))
+		for _, q := range queries {
+			t0 := time.Now()
+			mdi.Index().Search(q, mopts)
+			lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+		}
+		sort.Float64s(lat)
+		return lat
+	}
+	res.FirstTouchP99 = percentile(measure(), 0.99)
+	res.WarmP99 = percentile(measure(), 0.99)
+	return res, true
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -167,7 +167,7 @@ func runD1(cfg runConfig, w *tabwriter.Writer) {
 		return
 	}
 	finalCorpus := di.Corpus()
-	if err := di.Compact(); err != nil {
+	if _, err := di.Compact(); err != nil {
 		fmt.Fprintf(w, "compact: %v\n", err)
 		return
 	}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/gio"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 type multiFlag []string
@@ -54,7 +55,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "per-batch maintenance budget; corpus bookkeeping always completes, pattern improvement stops at the deadline (0 = unlimited)")
 		metrics = flag.Bool("metrics", false, "print a per-stage timing table for each maintenance batch")
 		dataDir = flag.String("data-dir", "", "durable data directory (snapshots + write-ahead log) to operate on; required by -compact")
-		compact = flag.Bool("compact", false, "fold the data directory's WAL into a fresh snapshot (atomic rename swap) and exit; pass the serving -shards so recovered epochs stay exact")
+		compact = flag.Bool("compact", false, "fold the data directory's WAL into a fresh snapshot (atomic rename swap), prune superseded snapshots and stale temp files, and exit; pass the serving -shards so recovered epochs stay exact")
+		mmap    = flag.Bool("mmap", false, "with -compact: recover via the mapped O(index) boot path (persisted index sections; graphs hydrate lazily)")
 	)
 	flag.Var(&adds, "add", ".lg file of graphs to insert (repeatable; one batch each)")
 	flag.Parse()
@@ -63,7 +65,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vqimaintain: -compact requires -data-dir")
 			os.Exit(2)
 		}
-		if err := compactDataDir(*dataDir, *shards, *workers); err != nil {
+		if err := compactDataDir(*dataDir, *shards, *workers, *mmap, *metrics); err != nil {
 			fatal(err)
 		}
 		return
@@ -195,10 +197,16 @@ func main() {
 // data directory fail fast instead of racing its appends — stop the
 // server (or point at a copy) first; the shard count should match the
 // serving -shards so the snapshotted epochs carry over on the next boot.
-func compactDataDir(dir string, shards, workers int) error {
+func compactDataDir(dir string, shards, workers int, mmap, metrics bool) error {
 	start := time.Now()
-	di, rep, err := core.OpenDurableIndex(context.Background(), dir, nil,
-		core.DurableIndexOptions{Shards: shards, Workers: workers})
+	ctx := context.Background()
+	var tr *obs.Trace
+	if metrics {
+		ctx, tr = obs.StartTrace(ctx, "compact")
+	}
+	di, rep, err := core.OpenDurableIndex(ctx, dir, nil,
+		core.DurableIndexOptions{Shards: shards, Workers: workers,
+			Store: store.Options{Mmap: mmap}})
 	if err != nil {
 		return err
 	}
@@ -210,13 +218,26 @@ func compactDataDir(dir string, shards, workers int) error {
 	if rep.SnapshotsSkipped > 0 {
 		fmt.Printf(", skipped %d corrupt snapshots", rep.SnapshotsSkipped)
 	}
-	fmt.Printf(")\n")
-	if rep.Replayed == 0 {
-		fmt.Println("WAL already folded; nothing to compact")
-		return nil
+	if mmap {
+		fmt.Printf(", mapped=%v, sections restored/rebuilt %d/%d",
+			rep.Mapped, rep.SectionsRestored, rep.SectionsRebuilt)
 	}
-	if err := di.Compact(); err != nil {
+	fmt.Printf(")\n")
+	// Even a fully-folded WAL still gets a prune pass: superseded
+	// snapshots beyond the single fallback and stale temp files are
+	// reclaimed, so repeated runs keep the directory bounded.
+	pr, err := di.Compact()
+	if err != nil {
 		return err
+	}
+	if !pr.SnapshotWritten {
+		fmt.Println("WAL already folded; snapshot up to date")
+	}
+	fmt.Printf("pruned: %d snapshots (%d bytes), %d temp files, %d WAL records (%d bytes)\n",
+		pr.SnapshotsRemoved, pr.SnapshotBytesReclaimed, pr.TmpFilesRemoved,
+		pr.WALRecordsFolded, pr.WALBytesReclaimed)
+	if tr != nil {
+		fmt.Print(tr.Table())
 	}
 	fmt.Printf("compacted %s to seq %d in %v\n", dir, rep.Seq, time.Since(start).Round(time.Millisecond))
 	return nil

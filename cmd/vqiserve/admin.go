@@ -69,10 +69,13 @@ func (s *server) applyValidatedLocked(added []*graph.Graph, removed []string) (*
 	for _, n := range removed {
 		rm[n] = true
 	}
+	// Survivors are adopted by name so a lazy (mmap-backed) corpus is not
+	// forced resident by an unrelated batch; hydration state is shared
+	// with the outgoing corpus, which in-flight queries still hold.
 	nc := graph.NewCorpus()
-	corpus.Each(func(_ int, g *graph.Graph) {
-		if !rm[g.Name()] {
-			nc.MustAdd(g)
+	corpus.EachName(func(i int, name string) {
+		if !rm[name] {
+			nc.MustAdopt(corpus, i)
 		}
 	})
 	for _, g := range added {

@@ -51,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -143,6 +144,10 @@ type server struct {
 	// the normal apply path before declaring the server ready.
 	bootMeta store.SnapshotMeta
 	replay   []store.Batch
+	// bootSections are the persisted per-shard index sections surfaced by
+	// an -mmap recovery; buildIndex restores matching shards from them
+	// instead of rebuilding from graphs.
+	bootSections []store.IndexSection
 
 	// updateMu serializes admin batch updates (read-copy-update writers);
 	// queries never take it.
@@ -224,6 +229,7 @@ func (s *server) attachStore(st *store.Store, rec *store.Recovery) {
 	if rec != nil {
 		s.bootMeta = rec.Meta
 		s.replay = rec.Batches
+		s.bootSections = rec.Sections
 	}
 }
 
@@ -239,11 +245,34 @@ func (s *server) buildIndex() {
 	corpus, _ := s.snapshot()
 	if !s.network {
 		var idx *gindex.Sharded
+		k := s.shards
+		if k <= 0 {
+			k = runtime.GOMAXPROCS(0)
+		}
+		var annCfg *ann.Config
 		if s.annEnabled {
+			cfg := s.annCfg
+			annCfg = &cfg
+		}
+		if len(s.bootSections) > 0 && s.bootMeta.Shards == k {
+			// Persisted sections from an -mmap recovery: shards whose section
+			// epoch matches the snapshot restore without decoding graphs.
+			secs := make(map[int][]byte, len(s.bootSections))
+			for _, sec := range s.bootSections {
+				if sec.Shard < len(s.bootMeta.Epochs) && sec.Epoch == s.bootMeta.Epochs[sec.Shard] {
+					secs[sec.Shard] = sec.Data
+				}
+			}
+			var rr *gindex.RestoreReport
+			idx, rr = gindex.RestoreSharded(corpus, k, s.workers, annCfg, secs)
+			log.Printf("vqiserve: restored %d/%d shards from persisted index sections (%d rebuilt)",
+				rr.Restored, idx.NumShards(), rr.Rebuilt)
+		} else if s.annEnabled {
 			idx = gindex.BuildShardedANN(corpus, s.shards, s.workers, s.annCfg)
 		} else {
 			idx = gindex.BuildSharded(corpus, s.shards, s.workers)
 		}
+		s.bootSections = nil
 		if s.bootMeta.Shards == idx.NumShards() {
 			// Same shard count as the snapshotted instance: carry its epochs
 			// so this boot's epoch-keyed cache entries line up with where the
@@ -342,6 +371,7 @@ func main() {
 		cacheSz  = flag.Int("cache-size", 512, "maximum cached query results (LRU eviction)")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default; profiles expose internals)")
 		dataDir  = flag.String("data-dir", "", "durable data directory (snapshots + write-ahead log); empty disables persistence. On a non-empty directory the corpus is recovered from it and -data is ignored; on an empty one -data seeds the initial snapshot")
+		mmapBoot = flag.Bool("mmap", false, "boot by mapping the snapshot read-only instead of decoding it: cold start validates only the header + frame index + persisted index sections, graphs hydrate lazily on first touch, and shards whose section epoch matches skip their rebuild (requires -data-dir; v1 snapshots fall back to the eager load)")
 		walSync  = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync before acknowledging each /admin/update), none, or a duration like 100ms (background interval sync)")
 		annOn    = flag.Bool("ann", false, "build per-shard LSH similarity tables and serve POST /api/similar (sub-linear approximate top-k with exact re-ranking)")
 		annTabs  = flag.Int("ann-tables", 0, "LSH hash tables per shard (0 = default 12); more tables raise recall at linear memory cost")
@@ -378,7 +408,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("vqiserve: %v", err)
 		}
-		st, rec, err = store.Open(context.Background(), *dataDir, store.Options{Sync: policy, SyncEvery: every})
+		st, rec, err = store.Open(context.Background(), *dataDir, store.Options{Sync: policy, SyncEvery: every, Mmap: *mmapBoot})
 		if err != nil {
 			log.Fatalf("vqiserve: %v", err)
 		}
@@ -390,9 +420,18 @@ func main() {
 		}
 		corpus = rec.Corpus
 		if corpus != nil {
-			log.Printf("vqiserve: recovered %d graphs at seq %d (+%d WAL batches) from %s",
-				corpus.Len(), rec.Meta.Seq, len(rec.Batches), *dataDir)
+			how := "decoded"
+			if *mmapBoot {
+				how = "read-backed lazy"
+				if rec.Mapped {
+					how = "mapped lazy"
+				}
+			}
+			log.Printf("vqiserve: recovered %d graphs at seq %d (+%d WAL batches, %d index sections, %s) from %s",
+				corpus.Len(), rec.Meta.Seq, len(rec.Batches), len(rec.Sections), how, *dataDir)
 		}
+	} else if *mmapBoot {
+		log.Fatalf("vqiserve: -mmap requires -data-dir")
 	}
 	if corpus == nil {
 		if *dataPath == "" {

@@ -19,6 +19,7 @@ package ann
 // how a candidate is ranked.
 
 import (
+	"fmt"
 	"math/rand"
 	"slices"
 
@@ -152,6 +153,100 @@ func Build(vecs [][]float32, dim int, cfg Config) *Index {
 		ix.tables[t] = m
 	})
 	return ix
+}
+
+// Signatures returns every indexed item's per-table signature — row i is
+// item i, column t its bucket in table t. This is the persistable half of
+// the index: hyperplanes regenerate from cfg.Seed alone, and tables
+// regenerate from signatures without re-hashing a single vector (see
+// BuildFromSignatures). O(n·Tables), no dot products.
+func (ix *Index) Signatures() [][]uint64 {
+	sigs := make([][]uint64, len(ix.vecs))
+	for i := range sigs {
+		sigs[i] = make([]uint64, ix.cfg.Tables)
+	}
+	for t, m := range ix.tables {
+		for sig, ids := range m {
+			for _, id := range ids {
+				sigs[id][t] = sig
+			}
+		}
+	}
+	return sigs
+}
+
+// BuildFromSignatures is Build with the signature pass replaced by
+// precomputed per-item signatures (from Signatures on an equivalent
+// index). Hyperplanes, centering state, and norms are regenerated — they
+// are O(planes·dim) and O(n·dim) — but the n·Tables·Bits·dim hashing that
+// dominates Build is skipped, so reconstruction cost is bucket insertion.
+// Given the signatures Build would have produced for (vecs, dim, cfg),
+// the result is byte-identical to Build's.
+//
+// Signatures are validated structurally (row count, table count, no bits
+// set past cfg.Bits); a semantically wrong signature cannot be detected
+// without re-hashing and only ever mis-buckets an item, which downstream
+// exact re-ranking already tolerates.
+func BuildFromSignatures(vecs [][]float32, dim int, cfg Config, sigs [][]uint64) (*Index, error) {
+	cfg.defaults()
+	if len(sigs) != len(vecs) {
+		return nil, fmt.Errorf("ann: %d signature rows for %d vectors", len(sigs), len(vecs))
+	}
+	for i, row := range sigs {
+		if len(row) != cfg.Tables {
+			return nil, fmt.Errorf("ann: signature row %d has %d tables, config has %d", i, len(row), cfg.Tables)
+		}
+		for _, s := range row {
+			if cfg.Bits < 64 && s>>uint(cfg.Bits) != 0 {
+				return nil, fmt.Errorf("ann: signature row %d has bits set past width %d", i, cfg.Bits)
+			}
+		}
+	}
+	ix := &Index{
+		cfg:    cfg,
+		dim:    dim,
+		planes: make([][]float32, cfg.Tables*cfg.Bits),
+		tables: make([]map[uint64][]int32, cfg.Tables),
+		vecs:   vecs,
+		norms:  make([]float64, len(vecs)),
+	}
+	par.ForEachN(len(ix.planes), cfg.Workers, func(p int) {
+		rng := rand.New(rand.NewSource(par.ChildSeed(cfg.Seed, p)))
+		plane := make([]float32, dim)
+		for d := range plane {
+			plane[d] = float32(rng.NormFloat64())
+		}
+		ix.planes[p] = plane
+	})
+	if cfg.Center && len(vecs) > 0 {
+		mean := make([]float64, dim)
+		for _, v := range vecs {
+			for d, x := range v {
+				mean[d] += float64(x)
+			}
+		}
+		ix.mean = make([]float32, dim)
+		inv := 1 / float64(len(vecs))
+		for d := range mean {
+			ix.mean[d] = float32(mean[d] * inv)
+		}
+		ix.meanDot = make([]float64, len(ix.planes))
+		par.ForEachN(len(ix.planes), cfg.Workers, func(p int) {
+			ix.meanDot[p] = Dot(ix.planes[p], ix.mean)
+		})
+	}
+	for i, v := range vecs {
+		ix.norms[i] = Norm(v)
+	}
+	par.ForEachN(cfg.Tables, cfg.Workers, func(t int) {
+		m := make(map[uint64][]int32)
+		for i := range sigs {
+			s := sigs[i][t]
+			m[s] = append(m[s], int32(i))
+		}
+		ix.tables[t] = m
+	})
+	return ix, nil
 }
 
 // Len returns the number of indexed vectors.

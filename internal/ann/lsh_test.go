@@ -193,3 +193,67 @@ func TestProbeSequence(t *testing.T) {
 		seen[s] = true
 	}
 }
+
+// TestSignatureRoundTrip: BuildFromSignatures(vecs, Signatures(Build(...)))
+// reproduces the built index exactly — same tables, same query answers —
+// and rejects structurally invalid signature sets.
+func TestSignatureRoundTrip(t *testing.T) {
+	vecs := testVectors(t, 19, 90)
+	dim := NewEmbedder().Dim()
+	for _, cfg := range []Config{NewConfig(), {Tables: 4, Bits: 6, Seed: 3}} {
+		built := Build(vecs, dim, cfg)
+		sigs := built.Signatures()
+		restored, err := BuildFromSignatures(vecs, dim, cfg, sigs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(restored.tables) != len(built.tables) {
+			t.Fatalf("table count %d, want %d", len(restored.tables), len(built.tables))
+		}
+		for tt := range built.tables {
+			if len(restored.tables[tt]) != len(built.tables[tt]) {
+				t.Fatalf("table %d bucket count differs", tt)
+			}
+			for sig, ids := range built.tables[tt] {
+				got := restored.tables[tt][sig]
+				if len(got) != len(ids) {
+					t.Fatalf("table %d bucket %x differs", tt, sig)
+				}
+				for i := range ids {
+					if got[i] != ids[i] {
+						t.Fatalf("table %d bucket %x member %d differs", tt, sig, i)
+					}
+				}
+			}
+		}
+		for i := 0; i < 10; i++ {
+			want, _ := built.TopK(vecs[i], 5, 0)
+			got, _ := restored.TopK(vecs[i], 5, 0)
+			if len(got) != len(want) {
+				t.Fatalf("query %d: %d items, want %d", i, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("query %d item %d: %v, want %v", i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+
+	cfg := Config{Tables: 4, Bits: 6, Seed: 3}
+	built := Build(vecs, dim, cfg)
+	sigs := built.Signatures()
+	if _, err := BuildFromSignatures(vecs, dim, cfg, sigs[:len(sigs)-1]); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+	bad := make([][]uint64, len(sigs))
+	copy(bad, sigs)
+	bad[0] = []uint64{1, 2}
+	if _, err := BuildFromSignatures(vecs, dim, cfg, bad); err == nil {
+		t.Fatal("table-count mismatch accepted")
+	}
+	bad[0] = []uint64{1 << 63, 0, 0, 0}
+	if _, err := BuildFromSignatures(vecs, dim, cfg, bad); err == nil {
+		t.Fatal("out-of-width signature accepted")
+	}
+}

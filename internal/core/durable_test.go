@@ -107,81 +107,205 @@ func TestDurableIndexCrashRecovery(t *testing.T) {
 	}
 
 	sites := []string{"store.wal.append", "store.wal.fsync", "store.snapshot.write", "store.recover.replay"}
-	for _, site := range sites {
-		for call := 0; call < nBatches+1; call++ {
-			t.Run(fmt.Sprintf("%s/call-%d", site, call), func(t *testing.T) {
-				dir := t.TempDir()
-				inj := faultinject.New(13, faultinject.Fault{
-					Site:  site,
-					Err:   errors.New("injected crash"),
-					After: call,
-					Count: 1,
-				})
-				opts := baseOpts
-				opts.Store = store.Options{Inject: inj}
-				di, _, err := OpenDurableIndex(context.Background(), dir, seed.Clone(), opts)
-				if err != nil {
-					// Crash during seeding: nothing durable yet — recovery from
-					// the same seed must reach a clean initial state.
-					rec, rep, rerr := OpenDurableIndex(context.Background(), dir, seed.Clone(), baseOpts)
-					if rerr != nil {
-						t.Fatalf("recovery after seed crash: %v", rerr)
+	for _, mmap := range []bool{false, true} {
+		recOpts := baseOpts
+		recOpts.Store = store.Options{Mmap: mmap}
+		for _, site := range sites {
+			for call := 0; call < nBatches+1; call++ {
+				t.Run(fmt.Sprintf("mmap-%v/%s/call-%d", mmap, site, call), func(t *testing.T) {
+					dir := t.TempDir()
+					inj := faultinject.New(13, faultinject.Fault{
+						Site:  site,
+						Err:   errors.New("injected crash"),
+						After: call,
+						Count: 1,
+					})
+					opts := baseOpts
+					opts.Store = store.Options{Inject: inj}
+					di, _, err := OpenDurableIndex(context.Background(), dir, seed.Clone(), opts)
+					if err != nil {
+						// Crash during seeding: nothing durable yet — recovery from
+						// the same seed must reach a clean initial state.
+						rec, rep, rerr := OpenDurableIndex(context.Background(), dir, seed.Clone(), recOpts)
+						if rerr != nil {
+							t.Fatalf("recovery after seed crash: %v", rerr)
+						}
+						defer rec.Close()
+						if rep.Seq != 0 {
+							t.Fatalf("seed-crash recovery at seq %d", rep.Seq)
+						}
+						oracle := buildOracle(t, 0)
+						defer oracle.Close()
+						assertEquivalent(t, rec, oracle)
+						return
 					}
-					defer rec.Close()
-					if rep.Seq != 0 {
-						t.Fatalf("seed-crash recovery at seq %d", rep.Seq)
-					}
-					oracle := buildOracle(t, 0)
-					defer oracle.Close()
-					assertEquivalent(t, rec, oracle)
-					return
-				}
-				acked := 0
-				attempted := 0
-				for i := 0; i < nBatches; i++ {
-					added, removed := persistBatch(i)
-					attempted++
-					if _, _, err := di.ApplyBatch(added, removed); err != nil {
-						break
-					}
-					acked++
-					if i == 2 {
-						// Mid-stream compaction: snapshot write + WAL fold under
-						// the armed fault too.
-						if err := di.Compact(); err != nil {
+					acked := 0
+					attempted := 0
+					for i := 0; i < nBatches; i++ {
+						added, removed := persistBatch(i)
+						attempted++
+						if _, _, err := di.ApplyBatch(added, removed); err != nil {
 							break
 						}
+						acked++
+						if i == 2 {
+							// Mid-stream compaction: snapshot write + WAL fold under
+							// the armed fault too.
+							if _, err := di.Compact(); err != nil {
+								break
+							}
+						}
 					}
-				}
-				// Crash: abandon di without Close (releases the directory
-				// lock the way a process death would, flushes nothing).
-				di.Abandon()
+					// Crash: abandon di without Close (releases the directory
+					// lock the way a process death would, flushes nothing).
+					di.Abandon()
 
-				rec, rep, err := OpenDurableIndex(context.Background(), dir, seed.Clone(), baseOpts)
-				if err != nil {
-					t.Fatalf("recovery failed: %v", err)
-				}
-				defer rec.Close()
-				k := int(rep.Seq)
-				if k < acked || k > attempted {
-					t.Fatalf("recovered seq %d outside [acked=%d, attempted=%d]", k, acked, attempted)
-				}
-				oracle := buildOracle(t, k)
-				defer oracle.Close()
-				assertEquivalent(t, rec, oracle)
+					rec, rep, err := OpenDurableIndex(context.Background(), dir, seed.Clone(), recOpts)
+					if err != nil {
+						t.Fatalf("recovery failed: %v", err)
+					}
+					defer rec.Close()
+					k := int(rep.Seq)
+					if k < acked || k > attempted {
+						t.Fatalf("recovered seq %d outside [acked=%d, attempted=%d]", k, acked, attempted)
+					}
+					oracle := buildOracle(t, k)
+					defer oracle.Close()
+					assertEquivalent(t, rec, oracle)
 
-				// Recovered instance must accept further durable updates.
-				added, removed := persistBatch(k)
-				seq, _, err := rec.ApplyBatch(added, removed)
-				if err != nil {
-					t.Fatalf("post-recovery apply: %v", err)
-				}
-				if seq != uint64(k+1) {
-					t.Fatalf("post-recovery seq %d, want %d", seq, k+1)
-				}
-			})
+					// Recovered instance must accept further durable updates.
+					added, removed := persistBatch(k)
+					seq, _, err := rec.ApplyBatch(added, removed)
+					if err != nil {
+						t.Fatalf("post-recovery apply: %v", err)
+					}
+					if seq != uint64(k+1) {
+						t.Fatalf("post-recovery seq %d, want %d", seq, k+1)
+					}
+				})
+			}
 		}
 	}
+}
+
+// TestDurableIndexMmapColdBoot pins the O(index) boot contract: after a
+// compaction wrote sections, an -mmap reopen restores every shard from
+// its persisted section without hydrating a single graph, and still
+// answers exactly like the eager boot.
+func TestDurableIndexMmapColdBoot(t *testing.T) {
+	dir := t.TempDir()
+	seed := persistCorpus(12)
+	annCfg := ann.Config{Tables: 4, Bits: 6, Seed: 3}
+	opts := DurableIndexOptions{Shards: 4, Workers: 2, ANN: &annCfg}
+	di, _, err := OpenDurableIndex(context.Background(), dir, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		added, removed := persistBatch(i)
+		if _, _, err := di.ApplyBatch(added, removed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := di.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	di.Close()
+
+	mopts := opts
+	mopts.Store = store.Options{Mmap: true}
+	rec, rep, err := OpenDurableIndex(context.Background(), dir, nil, mopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SectionsRestored != 4 || rep.SectionsRebuilt != 0 {
+		t.Fatalf("sections restored/rebuilt = %d/%d, want 4/0", rep.SectionsRestored, rep.SectionsRebuilt)
+	}
+	if rep.Replayed != 0 {
+		t.Fatalf("replayed %d batches after compaction", rep.Replayed)
+	}
+	if !rep.EpochsRestored {
+		t.Fatal("epochs not restored")
+	}
+	// The whole point: nothing was decoded at boot.
+	rc := rec.Corpus()
+	for i := 0; i < rc.Len(); i++ {
+		if rc.Hydrated(i) {
+			t.Fatalf("graph %d hydrated during mmap cold boot", i)
+		}
+	}
+	// Answers match a never-restarted instance that applied the same
+	// batch chain (hydrating on demand as queries touch graphs).
+	eager, _, err := OpenDurableIndex(context.Background(), t.TempDir(), persistCorpus(12), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eager.Close()
+	for i := 0; i < 3; i++ {
+		added, removed := persistBatch(i)
+		if _, _, err := eager.ApplyBatch(added, removed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertEquivalent(t, rec, eager)
+	rec.Close()
+}
+
+// TestDurableIndexMmapSectionEpochMismatchRebuilds: a snapshot whose
+// sections disagree with the recovered epochs (here: stale sections from
+// an older compaction followed by more batches) must rebuild, not restore
+// stale index state.
+func TestDurableIndexMmapSuffixReplayRebuildsTouchedShards(t *testing.T) {
+	dir := t.TempDir()
+	seed := persistCorpus(10)
+	opts := DurableIndexOptions{Shards: 4, Workers: 2}
+	di, _, err := OpenDurableIndex(context.Background(), dir, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added0, removed0 := persistBatch(0)
+	if _, _, err := di.ApplyBatch(added0, removed0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := di.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// A post-compaction batch leaves a WAL suffix past the sections.
+	added1, removed1 := persistBatch(1)
+	if _, _, err := di.ApplyBatch(added1, removed1); err != nil {
+		t.Fatal(err)
+	}
+	di.Close()
+
+	mopts := opts
+	mopts.Store = store.Options{Mmap: true}
+	rec, rep, err := OpenDurableIndex(context.Background(), dir, nil, mopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rep.Replayed != 1 {
+		t.Fatalf("replayed %d, want 1", rep.Replayed)
+	}
+	if rep.SectionsRestored == 0 {
+		t.Fatal("no sections restored despite matching epochs at snapshot seq")
+	}
+	// Replay went through ApplyBatch, so epochs must match the live chain.
+	eager, _, err := OpenDurableIndex(context.Background(), t.TempDir(), seed.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eager.Close()
+	if _, _, err := eager.ApplyBatch(added0, removed0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eager.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eager.ApplyBatch(added1, removed1); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, rec, eager)
 }
 
 // TestDurableIndexCompactThenRecover pins the compaction path end to end:
@@ -204,7 +328,7 @@ func TestDurableIndexCompactThenRecover(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := di.Compact(); err != nil {
+	if _, err := di.Compact(); err != nil {
 		t.Fatal(err)
 	}
 	di.Close()
@@ -242,7 +366,7 @@ func TestDurableIndexShardCountChange(t *testing.T) {
 	if _, _, err := di.ApplyBatch(added, removed); err != nil {
 		t.Fatal(err)
 	}
-	if err := di.Compact(); err != nil {
+	if _, err := di.Compact(); err != nil {
 		t.Fatal(err)
 	}
 	di.Close()

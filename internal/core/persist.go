@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/ann"
@@ -44,6 +45,15 @@ type BootReport struct {
 	// carried over (shard counts matched); false means the index restarted
 	// at epoch zero, which only costs cache warmth, never correctness.
 	EpochsRestored bool
+	// SectionsRestored / SectionsRebuilt split the shards between those
+	// reconstructed from persisted index sections (no graph decoded) and
+	// those rebuilt from graphs. Both zero on a non-mmap boot, where no
+	// sections are surfaced.
+	SectionsRestored int
+	SectionsRebuilt  int
+	// Mapped reports that the corpus is served from an OS mapping of the
+	// snapshot (store.Recovery.Mapped).
+	Mapped bool
 }
 
 // DurableIndex is a sharded filter-verify index bound to a crash-safe
@@ -92,9 +102,28 @@ func OpenDurableIndex(ctx context.Context, dir string, seed *graph.Corpus, opts 
 		rep.Seeded = true
 	}
 
+	rep.Mapped = rec.Mapped
 	_, span := obs.StartSpan(ctx, "core.boot.build")
 	var idx *gindex.Sharded
-	if opts.ANN != nil {
+	k := opts.Shards
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if len(rec.Sections) > 0 && rec.Meta.Shards == k {
+		// Persisted per-shard index sections whose epoch matches the
+		// recovered snapshot restore without decoding a single graph; any
+		// shard whose section is missing, stale, or invalid is rebuilt from
+		// graphs by RestoreSharded itself.
+		secs := make(map[int][]byte, len(rec.Sections))
+		for _, s := range rec.Sections {
+			if s.Shard < len(rec.Meta.Epochs) && s.Epoch == rec.Meta.Epochs[s.Shard] {
+				secs[s.Shard] = s.Data
+			}
+		}
+		var rr *gindex.RestoreReport
+		idx, rr = gindex.RestoreSharded(corpus, k, opts.Workers, opts.ANN, secs)
+		rep.SectionsRestored, rep.SectionsRebuilt = rr.Restored, rr.Rebuilt
+	} else if opts.ANN != nil {
 		idx = gindex.BuildShardedANN(corpus, opts.Shards, opts.Workers, *opts.ANN)
 	} else {
 		idx = gindex.BuildSharded(corpus, opts.Shards, opts.Workers)
@@ -181,15 +210,17 @@ func (di *DurableIndex) ApplyBatch(added []*graph.Graph, removedNames []string) 
 	return seq, irep, nil
 }
 
-// Compact folds the WAL into a fresh snapshot of the current corpus and
-// index metadata: after it returns, recovery needs only the new snapshot
-// (plus any batches appended later). The previous snapshot is retained as
-// the corruption fallback; older ones and fully-covered WAL records are
-// pruned.
-func (di *DurableIndex) Compact() error {
+// Compact folds the WAL into a fresh snapshot of the current corpus,
+// index metadata, and serialized per-shard index sections (the mmap boot
+// path restores shards from them instead of rebuilding): after it
+// returns, recovery needs only the new snapshot (plus any batches
+// appended later). The previous snapshot is retained as the corruption
+// fallback; older ones, stale temp files, and fully-covered WAL records
+// are pruned — the report says what was reclaimed.
+func (di *DurableIndex) Compact() (store.PruneReport, error) {
 	di.mu.Lock()
 	defer di.mu.Unlock()
-	return di.st.WriteSnapshot(di.corpus, di.idx.NumShards(), di.idx.Epochs())
+	return di.st.Compact(di.corpus, di.idx.NumShards(), di.idx.Epochs(), di.idx.EncodeSections()...)
 }
 
 // Close releases the store. The index stays readable; further ApplyBatch

@@ -15,6 +15,7 @@ import (
 	"context"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/isomorph"
@@ -110,7 +111,23 @@ type Index struct {
 	numEdges  []int
 	sizeNodes sizeClass
 	sizeEdges sizeClass
-	labelIdx  []*isomorph.LabelIndex // per-graph node-label index for VF2
+	// labelIdx holds the per-graph node-label index for VF2. Eager builds
+	// fill every slot; an index restored from a persisted section leaves
+	// them nil and fills each on first verification of that graph (atomic,
+	// so concurrent shard searches race benignly to an identical value).
+	labelIdx []atomic.Pointer[isomorph.LabelIndex]
+}
+
+// targetIndexFor returns graph gi's label index, building and caching it
+// if the slot is still empty (a section-restored index never paid the
+// eager pass).
+func (idx *Index) targetIndexFor(gi int, g *graph.Graph) *isomorph.LabelIndex {
+	if li := idx.labelIdx[gi].Load(); li != nil {
+		return li
+	}
+	li := isomorph.BuildLabelIndex(g)
+	idx.labelIdx[gi].CompareAndSwap(nil, li)
+	return li
 }
 
 // Build indexes the corpus.
@@ -122,7 +139,7 @@ func Build(c *graph.Corpus) *Index {
 		triples:   make(map[triple]pattern.Bitset),
 		numNodes:  make([]int, c.Len()),
 		numEdges:  make([]int, c.Len()),
-		labelIdx:  make([]*isomorph.LabelIndex, c.Len()),
+		labelIdx:  make([]atomic.Pointer[isomorph.LabelIndex], c.Len()),
 	}
 	n := c.Len()
 	bs := func(m map[string]pattern.Bitset, key string) pattern.Bitset {
@@ -136,7 +153,7 @@ func Build(c *graph.Corpus) *Index {
 	c.Each(func(gi int, g *graph.Graph) {
 		idx.numNodes[gi] = g.NumNodes()
 		idx.numEdges[gi] = g.NumEdges()
-		idx.labelIdx[gi] = isomorph.BuildLabelIndex(g)
+		idx.labelIdx[gi].Store(isomorph.BuildLabelIndex(g))
 		for v := 0; v < g.NumNodes(); v++ {
 			bs(idx.nodeLabel, g.NodeLabel(v)).Set(gi)
 		}
@@ -357,10 +374,15 @@ func (idx *Index) SearchCtx(ctx context.Context, q *graph.Graph, opts isomorph.O
 			res.Truncated = true
 			break
 		}
-		g := idx.corpus.Graph(gi)
+		g, err := idx.corpus.Hydrate(gi)
+		if err != nil {
+			// Corrupt lazy frame: this graph is unknowable, not a non-match.
+			res.Truncated = true
+			continue
+		}
 		// The prebuilt per-graph label index makes VF2 seed its root scan
 		// rarest-label-first instead of sweeping every target node.
-		opts.TargetIndex = idx.labelIdx[gi]
+		opts.TargetIndex = idx.targetIndexFor(gi, g)
 		r := isomorph.Count(q, g, opts)
 		res.Verified++
 		if r.Embeddings > 0 {

@@ -1,0 +1,189 @@
+package gindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ann"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// sectionsMap packages EncodeSections output the way core offers it to
+// RestoreSharded.
+func sectionsMap(secs [][]byte) map[int][]byte {
+	m := make(map[int][]byte, len(secs))
+	for s, b := range secs {
+		m[s] = b
+	}
+	return m
+}
+
+// TestSectionRoundTripMatchesBuild: an index restored entirely from its
+// own sections answers every query — exact search and ANN similarity —
+// identically to the freshly built index it was encoded from.
+func TestSectionRoundTripMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	opts := pattern.MatchOptions()
+	annCfg := ann.Config{Tables: 4, Bits: 6, Seed: 3}
+	for _, n := range []int{1, 17, 60} {
+		c := datagen.ChemicalCorpus(int64(n), n, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+		built := BuildShardedANN(c, 4, 2, annCfg)
+		secs := built.EncodeSections()
+		restored, rep := RestoreSharded(c, 4, 2, &annCfg, sectionsMap(secs))
+		if rep.Rebuilt != 0 {
+			t.Fatalf("n=%d: %d shards rebuilt on clean restore (%v)", n, rep.Rebuilt, rep.RebuiltShards)
+		}
+		if rep.Restored != 4 {
+			t.Fatalf("n=%d: Restored = %d, want 4", n, rep.Restored)
+		}
+		for _, q := range randomQueries(rng, c, 6) {
+			want := built.Search(q, opts)
+			got := restored.Search(q, opts)
+			if !reflect.DeepEqual(got.Matches, want.Matches) {
+				t.Fatalf("n=%d: search mismatch: got %v want %v", n, got.Matches, want.Matches)
+			}
+			wantSim, err := built.Similar(q, SimilarOptions{K: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSim, err := restored.Similar(q, SimilarOptions{K: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotSim.Matches, wantSim.Matches) {
+				t.Fatalf("n=%d: similar mismatch: got %v want %v", n, gotSim.Matches, wantSim.Matches)
+			}
+		}
+	}
+}
+
+// TestSectionRestoreNeverHydrates: restoring from sections must not touch
+// a single graph — that is the entire point of the mmap boot path.
+func TestSectionRestoreNeverHydrates(t *testing.T) {
+	c := datagen.ChemicalCorpus(5, 30, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+	built := BuildSharded(c, 4, 2)
+	secs := built.EncodeSections()
+
+	lazy := graph.NewCorpus()
+	c.EachName(func(i int, name string) {
+		g := c.Graph(i)
+		if err := lazy.AddLazy(name, func() (*graph.Graph, error) {
+			t.Errorf("restore hydrated graph %s", name)
+			return g, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	_, rep := RestoreSharded(lazy, 4, 2, nil, sectionsMap(secs))
+	if rep.Rebuilt != 0 {
+		t.Fatalf("%d shards rebuilt, want 0", rep.Rebuilt)
+	}
+}
+
+// TestCorruptSectionRebuildsShard: a section that fails structural
+// validation falls back to rebuilding exactly that shard, and answers
+// stay correct.
+func TestCorruptSectionRebuildsShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	opts := pattern.MatchOptions()
+	c := datagen.ChemicalCorpus(3, 40, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+	built := BuildSharded(c, 4, 2)
+	secs := built.EncodeSections()
+
+	cases := map[string]func(m map[int][]byte){
+		"truncated":   func(m map[int][]byte) { m[1] = m[1][:len(m[1])/2] },
+		"bad version": func(m map[int][]byte) { b := append([]byte(nil), m[1]...); b[0] = 99; m[1] = b },
+		"missing":     func(m map[int][]byte) { delete(m, 1) },
+		"trailing bit": func(m map[int][]byte) {
+			// Flip a high bit in some bitset word so a position past the
+			// shard's graph count is set.
+			b := append([]byte(nil), m[1]...)
+			b[len(b)-2] ^= 0xFF
+			m[1] = b
+		},
+	}
+	for name, corrupt := range cases {
+		m := sectionsMap(built.EncodeSections())
+		corrupt(m)
+		restored, rep := RestoreSharded(c, 4, 2, nil, m)
+		if rep.Rebuilt == 0 {
+			t.Fatalf("%s: no shard rebuilt", name)
+		}
+		for _, q := range randomQueries(rng, c, 4) {
+			want := built.Search(q, opts)
+			got := restored.Search(q, opts)
+			if !reflect.DeepEqual(got.Matches, want.Matches) {
+				t.Fatalf("%s: search mismatch after fallback: got %v want %v", name, got.Matches, want.Matches)
+			}
+		}
+	}
+	_ = secs
+}
+
+// TestSectionANNConfigMismatchRebuilds: sections encoded without ANN
+// state cannot restore an ANN-enabled index (and vice versa) — the shard
+// is rebuilt, never restored half-configured.
+func TestSectionANNConfigMismatchRebuilds(t *testing.T) {
+	c := datagen.ChemicalCorpus(4, 20, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+	annCfg := ann.Config{Tables: 4, Bits: 6, Seed: 3}
+
+	plain := BuildSharded(c, 2, 2)
+	_, rep := RestoreSharded(c, 2, 2, &annCfg, sectionsMap(plain.EncodeSections()))
+	if rep.Rebuilt != 2 {
+		t.Fatalf("plain sections into ANN index: Rebuilt = %d, want 2", rep.Rebuilt)
+	}
+
+	withANN := BuildShardedANN(c, 2, 2, annCfg)
+	_, rep = RestoreSharded(c, 2, 2, nil, sectionsMap(withANN.EncodeSections()))
+	if rep.Rebuilt != 2 {
+		t.Fatalf("ANN sections into plain index: Rebuilt = %d, want 2", rep.Rebuilt)
+	}
+}
+
+// TestRestoredIndexSupportsApplyBatch: a section-restored index is a
+// first-class Sharded — batch updates rebuild touched shards and the
+// result matches a fresh build over the updated corpus.
+func TestRestoredIndexSupportsApplyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	opts := pattern.MatchOptions()
+	c := datagen.ChemicalCorpus(6, 30, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 16})
+	extra := datagen.ChemicalCorpus(60, 5, datagen.ChemicalOptions{MinNodes: 8, MaxNodes: 14})
+	built := BuildSharded(c, 4, 2)
+	restored, rep := RestoreSharded(c, 4, 2, nil, sectionsMap(built.EncodeSections()))
+	if rep.Rebuilt != 0 {
+		t.Fatal("restore fell back to rebuild")
+	}
+
+	var added []*graph.Graph
+	extra.Each(func(_ int, g *graph.Graph) {
+		ng := g.Clone()
+		ng.SetName("new" + g.Name())
+		added = append(added, ng)
+	})
+	removed := []string{c.Name(0), c.Name(7)}
+	next, _, err := restored.ApplyBatch(added, removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nc := graph.NewCorpus()
+	c.EachName(func(i int, name string) {
+		if name != removed[0] && name != removed[1] {
+			nc.MustAdopt(c, i)
+		}
+	})
+	for _, g := range added {
+		nc.MustAdd(g)
+	}
+	fresh := BuildSharded(nc, 4, 2)
+	for _, q := range randomQueries(rng, nc, 6) {
+		want := fresh.Search(q, opts)
+		got := next.Search(q, opts)
+		if !reflect.DeepEqual(got.Matches, want.Matches) {
+			t.Fatalf("post-batch mismatch: got %v want %v", got.Matches, want.Matches)
+		}
+	}
+}

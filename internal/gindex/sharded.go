@@ -172,12 +172,16 @@ func buildSharded(c *graph.Corpus, k, workers int, annCfg *ann.Config) *Sharded 
 	for s := range subs {
 		subs[s] = graph.NewCorpus()
 	}
-	c.Each(func(gi int, g *graph.Graph) {
-		s := ShardOf(g.Name(), k)
-		subs[s].MustAdd(g)
+	// Partitioning goes by name only (Adopt shares hydration state), so a
+	// lazy mmap-backed corpus is not forced resident just to be sharded —
+	// the eager decode cost is paid by Build below, or skipped entirely
+	// when the caller restores shard indexes from persisted sections.
+	c.EachName(func(gi int, name string) {
+		s := ShardOf(name, k)
+		subs[s].MustAdopt(c, gi)
 		sh.globals[s] = append(sh.globals[s], gi)
-		sh.pos[g.Name()] = gi
-		sh.order = append(sh.order, g.Name())
+		sh.pos[name] = gi
+		sh.order = append(sh.order, name)
 	})
 	par.ForEachN(k, workers, func(s int) {
 		t0 := time.Now()
@@ -333,9 +337,10 @@ func (sh *Sharded) ApplyBatch(added []*graph.Graph, removedNames []string) (*Sha
 		rebuilt = append(rebuilt, s)
 		next.epochs[s] = sh.epochs[s] + 1
 		sub := graph.NewCorpus()
-		sh.shards[s].sub.Each(func(_ int, g *graph.Graph) {
-			if !removedSet[g.Name()] {
-				sub.MustAdd(g)
+		from := sh.shards[s].sub
+		from.EachName(func(i int, name string) {
+			if !removedSet[name] {
+				sub.MustAdopt(from, i)
 			}
 		})
 		subs[s] = sub
@@ -430,8 +435,13 @@ func (sh *Sharded) searchShard(ctx context.Context, s int, q *graph.Graph, opts 
 			}
 			break
 		}
-		g := core.sub.Graph(li)
-		opts.TargetIndex = core.idx.labelIdx[li]
+		g, err := core.sub.Hydrate(li)
+		if err != nil {
+			// Corrupt lazy frame: this graph is unknowable, not a non-match.
+			res.Truncated = true
+			continue
+		}
+		opts.TargetIndex = core.idx.targetIndexFor(li, g)
 		r := isomorph.Count(q, g, opts)
 		res.Verified++
 		if r.Embeddings > 0 {

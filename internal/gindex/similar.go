@@ -209,8 +209,14 @@ func (sh *Sharded) SimilarCtx(ctx context.Context, q *graph.Graph, opts SimilarO
 				break
 			}
 			core := sh.shards[c.shard]
-			vopts.TargetIndex = core.idx.labelIdx[c.local]
-			r := isomorph.Count(q, core.sub.Graph(c.local), vopts)
+			g, err := core.sub.Hydrate(c.local)
+			if err != nil {
+				// Corrupt lazy frame: leave this entry unverified.
+				res.Truncated = true
+				continue
+			}
+			vopts.TargetIndex = core.idx.targetIndexFor(c.local, g)
+			r := isomorph.Count(q, g, vopts)
 			res.Verified++
 			if r.Embeddings > 0 {
 				res.Matches[i].Contains = true

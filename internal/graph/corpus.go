@@ -3,15 +3,54 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
+
+// corpusEntry is one corpus slot. Eager entries carry their graph from the
+// start; lazy entries carry a loader that decodes the graph on first touch
+// (single-flight: concurrent touches share one decode), after which the
+// outcome — graph or error — is latched for the corpus's lifetime.
+type corpusEntry struct {
+	name string
+	load func() (*Graph, error) // nil for eager entries; immutable
+
+	once sync.Once
+	done atomic.Bool
+	g    *Graph
+	err  error
+}
+
+// hydrate resolves the entry's graph, decoding it on the first call.
+func (e *corpusEntry) hydrate() (*Graph, error) {
+	e.once.Do(func() {
+		if e.load != nil {
+			e.g, e.err = e.load()
+		}
+		e.done.Store(true)
+	})
+	return e.g, e.err
+}
+
+// hydrated reports whether the entry's graph is resident (or its load has
+// already failed) without triggering a load.
+func (e *corpusEntry) hydrated() bool { return e.load == nil || e.done.Load() }
 
 // Corpus is an ordered collection of data graphs — the "large collection of
 // small- or medium-sized data graphs" (chemical compounds, protein
 // structures) that CATAPULT and MIDAS operate over. Graphs are addressable
 // both by position and by name; names must be unique within a corpus.
+//
+// Entries may be resident (Add) or lazy (AddLazy): a lazy entry holds only
+// its name plus a loader, and the graph is decoded — e.g. from an mmap'd
+// snapshot frame — on first touch. Name, EachName, Names, Len, and Remove
+// never hydrate; Graph, ByName, Each, Clone, and Stats do. Hydration is
+// single-flight per entry and safe under concurrent readers; the structural
+// operations (Add, Remove, Adopt) are not, matching the repo-wide contract
+// that corpora are built single-threaded and immutable while queried.
 type Corpus struct {
-	graphs []*Graph
-	byName map[string]int
+	entries []*corpusEntry
+	byName  map[string]int
 }
 
 // NewCorpus returns an empty corpus.
@@ -20,7 +59,7 @@ func NewCorpus() *Corpus {
 }
 
 // Len returns the number of graphs in the corpus.
-func (c *Corpus) Len() int { return len(c.graphs) }
+func (c *Corpus) Len() int { return len(c.entries) }
 
 // Add appends g to the corpus. It returns an error if a graph with the same
 // name is already present or if g is nil.
@@ -28,12 +67,7 @@ func (c *Corpus) Add(g *Graph) error {
 	if g == nil {
 		return fmt.Errorf("corpus: Add: nil graph")
 	}
-	if _, dup := c.byName[g.Name()]; dup {
-		return fmt.Errorf("corpus: Add: duplicate graph name %q", g.Name())
-	}
-	c.byName[g.Name()] = len(c.graphs)
-	c.graphs = append(c.graphs, g)
-	return nil
+	return c.addEntry(&corpusEntry{name: g.Name(), g: g})
 }
 
 // MustAdd is Add but panics on error; for fixtures and generators.
@@ -43,55 +77,135 @@ func (c *Corpus) MustAdd(g *Graph) {
 	}
 }
 
-// Graph returns the graph at position i.
-func (c *Corpus) Graph(i int) *Graph { return c.graphs[i] }
+// AddLazy appends a lazy entry: the graph named name is produced by load on
+// first touch. load must return a graph whose Name() equals name; it runs
+// at most once, and its result (or error) is latched.
+func (c *Corpus) AddLazy(name string, load func() (*Graph, error)) error {
+	if load == nil {
+		return fmt.Errorf("corpus: AddLazy: nil loader")
+	}
+	return c.addEntry(&corpusEntry{name: name, load: load})
+}
 
-// ByName returns the graph with the given name, if present.
+// Adopt appends entry i of another corpus, sharing its hydration state:
+// if either corpus later touches the graph, both see the same decoded
+// value without a second load. It is how derived corpora (batch-apply
+// copies, shard partitions) stay lazy instead of forcing a full decode.
+func (c *Corpus) Adopt(from *Corpus, i int) error {
+	return c.addEntry(from.entries[i])
+}
+
+// MustAdopt is Adopt but panics on error.
+func (c *Corpus) MustAdopt(from *Corpus, i int) {
+	if err := c.Adopt(from, i); err != nil {
+		panic(err)
+	}
+}
+
+func (c *Corpus) addEntry(e *corpusEntry) error {
+	if _, dup := c.byName[e.name]; dup {
+		return fmt.Errorf("corpus: Add: duplicate graph name %q", e.name)
+	}
+	c.byName[e.name] = len(c.entries)
+	c.entries = append(c.entries, e)
+	return nil
+}
+
+// Graph returns the graph at position i, hydrating a lazy entry. A failed
+// load (a corrupt on-disk frame) panics with the latched error; callers
+// that must degrade instead of crash use Hydrate.
+func (c *Corpus) Graph(i int) *Graph {
+	g, err := c.entries[i].hydrate()
+	if err != nil {
+		panic(fmt.Errorf("corpus: graph %q: %w", c.entries[i].name, err))
+	}
+	return g
+}
+
+// Hydrate returns the graph at position i, decoding it on first touch. A
+// corrupt frame surfaces here as an error (wrapping store.ErrCorrupt), and
+// every later touch returns the same error — never a wrong graph.
+func (c *Corpus) Hydrate(i int) (*Graph, error) {
+	return c.entries[i].hydrate()
+}
+
+// Hydrated reports whether entry i is resident, without loading it.
+func (c *Corpus) Hydrated(i int) bool { return c.entries[i].hydrated() }
+
+// Name returns the name of the graph at position i without hydrating it.
+func (c *Corpus) Name(i int) string { return c.entries[i].name }
+
+// Has reports whether a graph with the given name is present, without
+// hydrating it.
+func (c *Corpus) Has(name string) bool {
+	_, ok := c.byName[name]
+	return ok
+}
+
+// IndexOf returns the position of the graph with the given name, without
+// hydrating it.
+func (c *Corpus) IndexOf(name string) (int, bool) {
+	i, ok := c.byName[name]
+	return i, ok
+}
+
+// ByName returns the graph with the given name, if present, hydrating a
+// lazy entry (panicking, like Graph, if its frame is corrupt).
 func (c *Corpus) ByName(name string) (*Graph, bool) {
 	i, ok := c.byName[name]
 	if !ok {
 		return nil, false
 	}
-	return c.graphs[i], true
+	return c.Graph(i), true
 }
 
 // Remove deletes the graph with the given name, preserving the relative
 // order of the remaining graphs. It reports whether a graph was removed.
+// Removal never hydrates anything.
 func (c *Corpus) Remove(name string) bool {
 	i, ok := c.byName[name]
 	if !ok {
 		return false
 	}
-	c.graphs = append(c.graphs[:i], c.graphs[i+1:]...)
+	c.entries = append(c.entries[:i], c.entries[i+1:]...)
 	delete(c.byName, name)
-	for j := i; j < len(c.graphs); j++ {
-		c.byName[c.graphs[j].Name()] = j
+	for j := i; j < len(c.entries); j++ {
+		c.byName[c.entries[j].name] = j
 	}
 	return true
 }
 
-// Names returns the graph names in corpus order.
+// Names returns the graph names in corpus order, without hydrating.
 func (c *Corpus) Names() []string {
-	out := make([]string, len(c.graphs))
-	for i, g := range c.graphs {
-		out[i] = g.Name()
+	out := make([]string, len(c.entries))
+	for i, e := range c.entries {
+		out[i] = e.name
 	}
 	return out
 }
 
-// Clone returns a deep copy of the corpus.
+// Clone returns a deep copy of the corpus. Cloning hydrates every entry —
+// a deep copy of an undecoded graph has no meaning.
 func (c *Corpus) Clone() *Corpus {
 	out := NewCorpus()
-	for _, g := range c.graphs {
-		out.MustAdd(g.Clone())
+	for i := range c.entries {
+		out.MustAdd(c.Graph(i).Clone())
 	}
 	return out
 }
 
-// Each calls fn for every graph in corpus order.
+// Each calls fn for every graph in corpus order, hydrating lazy entries
+// (and panicking, like Graph, on a corrupt frame).
 func (c *Corpus) Each(fn func(i int, g *Graph)) {
-	for i, g := range c.graphs {
-		fn(i, g)
+	for i := range c.entries {
+		fn(i, c.Graph(i))
+	}
+}
+
+// EachName calls fn for every entry in corpus order without hydrating any.
+func (c *Corpus) EachName(fn func(i int, name string)) {
+	for i, e := range c.entries {
+		fn(i, e.name)
 	}
 }
 
@@ -109,18 +223,18 @@ type CorpusStats struct {
 	EdgeLabels map[string]int
 }
 
-// Stats computes summary statistics over the corpus.
+// Stats computes summary statistics over the corpus (hydrating it).
 func (c *Corpus) Stats() CorpusStats {
 	s := CorpusStats{
-		Graphs:     len(c.graphs),
+		Graphs:     len(c.entries),
 		NodeLabels: make(map[string]int),
 		EdgeLabels: make(map[string]int),
 	}
-	if len(c.graphs) == 0 {
+	if len(c.entries) == 0 {
 		return s
 	}
-	s.MinNodes = c.graphs[0].NumNodes()
-	for _, g := range c.graphs {
+	s.MinNodes = c.Graph(0).NumNodes()
+	c.Each(func(_ int, g *Graph) {
 		n, m := g.NumNodes(), g.NumEdges()
 		s.TotalNodes += n
 		s.TotalEdges += m
@@ -136,9 +250,9 @@ func (c *Corpus) Stats() CorpusStats {
 		for l, k := range g.EdgeLabels() {
 			s.EdgeLabels[l] += k
 		}
-	}
-	s.MeanNodes = float64(s.TotalNodes) / float64(len(c.graphs))
-	s.MeanEdges = float64(s.TotalEdges) / float64(len(c.graphs))
+	})
+	s.MeanNodes = float64(s.TotalNodes) / float64(len(c.entries))
+	s.MeanEdges = float64(s.TotalEdges) / float64(len(c.entries))
 	return s
 }
 

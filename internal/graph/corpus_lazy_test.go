@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func lazyGraph(name string) *Graph {
+	g := New(name)
+	a := g.AddNode("C")
+	b := g.AddNode("O")
+	g.AddEdge(a, b, "s")
+	return g
+}
+
+func TestAddLazyHydratesOnFirstTouch(t *testing.T) {
+	c := NewCorpus()
+	var loads atomic.Int32
+	if err := c.AddLazy("g1", func() (*Graph, error) {
+		loads.Add(1)
+		return lazyGraph("g1"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hydrated(0) {
+		t.Fatal("lazy entry reports hydrated before first touch")
+	}
+	if got := c.Name(0); got != "g1" {
+		t.Fatalf("Name = %q before hydration", got)
+	}
+	if loads.Load() != 0 {
+		t.Fatal("Name hydrated the entry")
+	}
+	g, err := c.Hydrate(0)
+	if err != nil || g.Name() != "g1" {
+		t.Fatalf("Hydrate = %v, %v", g, err)
+	}
+	if !c.Hydrated(0) {
+		t.Fatal("entry not hydrated after touch")
+	}
+	c.Graph(0)
+	if loads.Load() != 1 {
+		t.Fatalf("loader ran %d times, want 1", loads.Load())
+	}
+}
+
+func TestAddLazySingleFlight(t *testing.T) {
+	c := NewCorpus()
+	var loads atomic.Int32
+	c.AddLazy("g1", func() (*Graph, error) {
+		loads.Add(1)
+		return lazyGraph("g1"), nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if g, err := c.Hydrate(0); err != nil || g == nil {
+				t.Errorf("Hydrate = %v, %v", g, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if loads.Load() != 1 {
+		t.Fatalf("loader ran %d times under concurrency, want 1", loads.Load())
+	}
+}
+
+func TestAddLazyErrorIsLatched(t *testing.T) {
+	c := NewCorpus()
+	boom := errors.New("bad frame")
+	var loads atomic.Int32
+	c.AddLazy("bad", func() (*Graph, error) {
+		loads.Add(1)
+		return nil, boom
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Hydrate(0); !errors.Is(err, boom) {
+			t.Fatalf("Hydrate = %v, want latched %v", err, boom)
+		}
+	}
+	if loads.Load() != 1 {
+		t.Fatalf("failed loader re-ran %d times", loads.Load())
+	}
+	// Graph() escalates the latched error to a panic (serving layers
+	// recover it into a 500).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Graph on a corrupt entry did not panic")
+		}
+	}()
+	c.Graph(0)
+}
+
+func TestAdoptSharesHydration(t *testing.T) {
+	a := NewCorpus()
+	var loads atomic.Int32
+	a.AddLazy("g1", func() (*Graph, error) {
+		loads.Add(1)
+		return lazyGraph("g1"), nil
+	})
+	b := NewCorpus()
+	if err := b.Adopt(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	g1 := b.Graph(0)
+	g2 := a.Graph(0)
+	if g1 != g2 {
+		t.Fatal("adopted entry decoded separately")
+	}
+	if loads.Load() != 1 {
+		t.Fatalf("loader ran %d times across corpora, want 1", loads.Load())
+	}
+	if !a.Hydrated(0) || !b.Hydrated(0) {
+		t.Fatal("hydration state not shared")
+	}
+}
+
+func TestRemoveAndNamesNeverHydrate(t *testing.T) {
+	c := NewCorpus()
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("g%d", i)
+		c.AddLazy(name, func() (*Graph, error) {
+			t.Errorf("loader for %s ran", name)
+			return lazyGraph(name), nil
+		})
+	}
+	if got := c.Names(); len(got) != 4 {
+		t.Fatalf("Names = %v", got)
+	}
+	if !c.Has("g2") || c.Has("nope") {
+		t.Fatal("Has wrong")
+	}
+	if !c.Remove("g1") {
+		t.Fatal("Remove failed")
+	}
+	if c.Len() != 3 || c.Name(1) != "g2" {
+		t.Fatalf("order after Remove: %v", c.Names())
+	}
+	seen := 0
+	c.EachName(func(i int, name string) { seen++ })
+	if seen != 3 {
+		t.Fatalf("EachName visited %d", seen)
+	}
+	if i, ok := c.IndexOf("g3"); !ok || i != 2 {
+		t.Fatalf("IndexOf(g3) = %d, %v", i, ok)
+	}
+}
+
+func TestAddLazyRejectsDuplicatesAndNilLoader(t *testing.T) {
+	c := NewCorpus()
+	if err := c.AddLazy("x", nil); err == nil {
+		t.Fatal("nil loader accepted")
+	}
+	c.MustAdd(lazyGraph("x"))
+	if err := c.AddLazy("x", func() (*Graph, error) { return lazyGraph("x"), nil }); err == nil {
+		t.Fatal("duplicate lazy name accepted")
+	}
+}

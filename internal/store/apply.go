@@ -16,7 +16,7 @@ import (
 func ApplyToCorpus(c *graph.Corpus, b Batch) (*graph.Corpus, error) {
 	rm := make(map[string]bool, len(b.Removed))
 	for _, name := range b.Removed {
-		if _, ok := c.ByName(name); !ok {
+		if !c.Has(name) {
 			return nil, fmt.Errorf("store: batch seq %d removes %q which is not in the corpus", b.Seq, name)
 		}
 		if rm[name] {
@@ -24,10 +24,12 @@ func ApplyToCorpus(c *graph.Corpus, b Batch) (*graph.Corpus, error) {
 		}
 		rm[name] = true
 	}
+	// Survivors are adopted, not copied: a lazy (mmap-backed) corpus stays
+	// lazy through replay, and hydration state is shared with the input.
 	out := graph.NewCorpus()
-	c.Each(func(_ int, g *graph.Graph) {
-		if !rm[g.Name()] {
-			out.MustAdd(g)
+	c.EachName(func(i int, name string) {
+		if !rm[name] {
+			out.MustAdopt(c, i)
 		}
 	})
 	for _, g := range b.Added {

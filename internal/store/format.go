@@ -91,6 +91,28 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// frameAt validates the frame spanning data[off : off+length] — length
+// includes the 8-byte header — and returns its payload, aliasing data (the
+// caller treats it as read-only; this is the zero-copy hydration path over
+// an mmap'd snapshot). The CRC is checked on every call, so a bit flipped
+// under the mapping is detected at touch time, never decoded as data.
+func frameAt(data []byte, off, length uint64) ([]byte, error) {
+	if length < frameHeaderSize || length > maxFrameSize+frameHeaderSize ||
+		off > uint64(len(data)) || length > uint64(len(data))-off {
+		return nil, fmt.Errorf("%w: frame bounds [%d,+%d) outside %d-byte snapshot", ErrCorrupt, off, length, len(data))
+	}
+	b := data[off : off+length]
+	if uint64(binary.LittleEndian.Uint32(b[0:4])) != length-frameHeaderSize {
+		return nil, fmt.Errorf("%w: frame length field disagrees with frame index", ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(b[4:8])
+	payload := b[frameHeaderSize:]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
+
 // enc is a tiny append-only encoder over a byte slice.
 type enc struct{ b []byte }
 

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile on platforms without syscall.Mmap reports "no mapping" so the
+// caller falls back to reading the file into memory. Boot is still
+// O(index) in work — only residency differs — and the format, lazy
+// hydration, and section restore behave identically.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	return nil, false, nil
+}
+
+// unmapFile matches the unix seam; nothing is ever mapped here.
+func unmapFile(data []byte) error { return nil }

@@ -1,0 +1,28 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only into memory. mapped reports whether the bytes
+// are a real mapping (and must eventually go back through unmapFile) or a
+// plain read. On platforms — or filesystems — where mmap fails, the caller
+// falls back to reading the file.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size <= 0 {
+		return nil, false, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapping created by mapFile.
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,6 +20,13 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the background fsync interval under SyncInterval.
 	SyncEvery time.Duration
+	// Mmap boots from the snapshot's index structures instead of decoding
+	// the corpus: the file is mapped read-only (syscall.Mmap on unix, a
+	// plain read elsewhere), Recovery.Corpus hydrates graphs lazily from
+	// their mapped frames on first touch, and persisted per-shard index
+	// sections are surfaced in Recovery.Sections. Version-1 snapshots fall
+	// back to the eager load transparently.
+	Mmap bool
 	// Inject is an optional fault injector armed by robustness tests at
 	// the sites store.wal.append, store.wal.fsync, store.snapshot.write,
 	// and store.recover.replay. nil in production.
@@ -29,6 +37,9 @@ type Options struct {
 type Recovery struct {
 	// Corpus is the newest valid snapshot's corpus, or nil when the
 	// directory holds no snapshot (a fresh directory awaiting a seed).
+	// Under Options.Mmap it is lazy: graphs decode from the mapped
+	// snapshot on first touch, and a corrupt frame surfaces there as
+	// ErrCorrupt instead of failing the boot.
 	Corpus *graph.Corpus
 	// Meta is the snapshot's index metadata (shard count + epochs).
 	Meta SnapshotMeta
@@ -36,6 +47,14 @@ type Recovery struct {
 	// seq > Meta.Seq, in sequence order. The caller replays them through
 	// its index-maintenance path (gindex.ApplyBatch).
 	Batches []Batch
+	// Sections are the persisted per-shard index sections recovered from
+	// the snapshot, surfaced only under Options.Mmap (the eager path
+	// rebuilds indexes from the decoded corpus anyway). Corrupt sections
+	// are dropped here; callers rebuild those shards.
+	Sections []IndexSection
+	// Mapped reports that the corpus really is backed by an OS mapping
+	// (false on the non-unix read fallback and for v1 snapshots).
+	Mapped bool
 	// TailTruncated reports that a torn or corrupt WAL tail was detected
 	// by checksum and cut at the last valid record.
 	TailTruncated bool
@@ -67,6 +86,14 @@ type Store struct {
 	lastSeq uint64 // highest sequence number ever made durable
 	closed  bool
 }
+
+// Boot-phase timings, exported as gauges so the last boot's cost is
+// scrapeable from /metrics: how long snapshot validation (or mapping)
+// took, and how long the WAL scan took.
+var (
+	obsBootValidateSec = obs.Default.Gauge("store_boot_snapshot_validate_seconds")
+	obsBootReplaySec   = obs.Default.Gauge("store_boot_wal_replay_seconds")
+)
 
 // lockFileName is the advisory-lock file guarding a data directory: one
 // Store (server, compactor, or seeder) at a time. The file itself is
@@ -110,18 +137,35 @@ func Open(ctx context.Context, dir string, opts Options) (st *Store, rec *Recove
 	// Stage 1: newest valid snapshot. Corrupt snapshots (bit flips,
 	// partial writes that somehow reached the final name) are detected by
 	// frame checksums and skipped in favor of the previous retained one.
-	_, span := obs.StartSpan(ctx, "store.recover.snapshot")
+	// Under Options.Mmap the snapshot is validated by header + frame index
+	// + sections only and the corpus comes back lazy.
+	t0 := time.Now()
+	spanName := "store.recover.snapshot"
+	if opts.Mmap {
+		spanName = "store.recover.map"
+	}
+	_, span := obs.StartSpan(ctx, spanName)
 	seqs, err := listSnapshots(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, seq := range seqs {
-		c, meta, lerr := loadSnapshotFile(dir, seq)
+		var (
+			c    *graph.Corpus
+			meta SnapshotMeta
+			lerr error
+		)
+		if opts.Mmap {
+			c, meta, rec.Sections, rec.Mapped, lerr = loadSnapshotMapped(dir, seq)
+		} else {
+			c, meta, lerr = loadSnapshotFile(dir, seq)
+		}
 		if lerr != nil {
 			if obs.On() {
 				obsSnapCorrupt.Inc()
 			}
 			rec.SnapshotsSkipped++
+			rec.Sections, rec.Mapped = nil, false
 			continue
 		}
 		rec.Corpus = c
@@ -129,15 +173,22 @@ func Open(ctx context.Context, dir string, opts Options) (st *Store, rec *Recove
 		break
 	}
 	span.End()
+	if obs.On() {
+		obsBootValidateSec.Set(time.Since(t0).Seconds())
+	}
 	if rec.Corpus == nil && rec.SnapshotsSkipped > 0 {
 		return nil, nil, fmt.Errorf("store: all %d snapshots in %s are corrupt", rec.SnapshotsSkipped, dir)
 	}
 
 	// Stage 2: WAL scan + torn-tail truncation + suffix selection.
+	t0 = time.Now()
 	_, span = obs.StartSpan(ctx, "store.recover.replay")
 	walPath := filepath.Join(dir, walFileName)
 	records, validEnd, torn, err := scanWAL(walPath, opts.Inject)
 	span.End()
+	if obs.On() {
+		obsBootReplaySec.Set(time.Since(t0).Seconds())
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -228,7 +279,28 @@ func (st *Store) Seed(c *graph.Corpus) error {
 	if st.lastSeq != 0 {
 		return fmt.Errorf("store: refusing to seed %s: it holds WAL records through seq %d but no snapshot (snapshot files deleted?); restore a snapshot or clear the directory", st.dir, st.lastSeq)
 	}
-	return st.writeSnapshotLocked(c, 0, nil)
+	_, err := st.writeSnapshotLocked(c, 0, nil, nil)
+	return err
+}
+
+// PruneReport accounts what one snapshot/compaction pass reclaimed.
+type PruneReport struct {
+	// SnapshotWritten reports that a new snapshot file was created (false
+	// when one already covered the current sequence number — the pass then
+	// only prunes).
+	SnapshotWritten bool
+	// SnapshotsRemoved / SnapshotBytesReclaimed cover superseded snapshot
+	// files beyond the newest one plus its single retained fallback.
+	SnapshotsRemoved       int
+	SnapshotBytesReclaimed int64
+	// TmpFilesRemoved counts stale temporary files (crashed mid-write
+	// leftovers) deleted from the directory.
+	TmpFilesRemoved int
+	// WALRecordsFolded / WALBytesReclaimed cover write-ahead-log records
+	// already covered by the retained snapshots and dropped by the
+	// rewrite.
+	WALRecordsFolded  int
+	WALBytesReclaimed int64
 }
 
 // WriteSnapshot persists a full corpus image covering every record up to
@@ -236,59 +308,114 @@ func (st *Store) Seed(c *graph.Corpus) error {
 // the previous snapshot is retained as the corruption fallback, older
 // ones are deleted, and the WAL is rewritten (atomically, via rename) to
 // keep only records newer than the retained fallback — the "fold the WAL
-// into a snapshot" compaction step.
-func (st *Store) WriteSnapshot(c *graph.Corpus, shards int, epochs []uint64) error {
+// into a snapshot" compaction step. sections, when given, are the
+// serialized per-shard index sections (indexed by shard; nil/empty
+// entries are skipped) persisted for the mmap boot path.
+func (st *Store) WriteSnapshot(c *graph.Corpus, shards int, epochs []uint64, sections ...[]byte) error {
+	_, err := st.Compact(c, shards, epochs, sections...)
+	return err
+}
+
+// Compact is WriteSnapshot plus accounting: it returns what the pass
+// wrote and reclaimed. Unlike earlier revisions, a pass whose snapshot
+// already exists still prunes — long-lived data directories stop growing
+// without bound even when nothing new needs folding.
+func (st *Store) Compact(c *graph.Corpus, shards int, epochs []uint64, sections ...[]byte) (PruneReport, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
-		return fmt.Errorf("store: snapshot on closed store")
+		return PruneReport{}, fmt.Errorf("store: snapshot on closed store")
 	}
-	return st.writeSnapshotLocked(c, shards, epochs)
+	return st.writeSnapshotLocked(c, shards, epochs, sections)
 }
 
-func (st *Store) writeSnapshotLocked(c *graph.Corpus, shards int, epochs []uint64) error {
+func (st *Store) writeSnapshotLocked(c *graph.Corpus, shards int, epochs []uint64, sections [][]byte) (PruneReport, error) {
+	var pr PruneReport
 	meta := SnapshotMeta{Seq: st.lastSeq, Shards: shards, Epochs: epochs}
 	prev, err := listSnapshots(st.dir)
 	if err != nil {
-		return err
+		return pr, err
 	}
-	if len(prev) > 0 && prev[0] == meta.Seq {
-		// A snapshot at this exact seq already exists; nothing to fold.
-		return nil
+	if len(prev) == 0 || prev[0] != meta.Seq {
+		if err := st.writeSnapshotFile(c, meta, sections); err != nil {
+			return pr, err
+		}
+		pr.SnapshotWritten = true
+		prev = append([]uint64{meta.Seq}, prev...)
 	}
-	if err := st.writeSnapshotFile(c, meta); err != nil {
-		return err
-	}
-	// Retain the newest pre-existing snapshot as fallback; drop the rest.
+	// Retention: the newest snapshot plus one fallback. Everything older
+	// is superseded — recovery never reads past the first valid snapshot —
+	// so it is deleted and accounted.
 	var keepSeq uint64
-	if len(prev) > 0 {
-		keepSeq = prev[0]
-		for _, old := range prev[1:] {
-			os.Remove(filepath.Join(st.dir, snapName(old)))
+	if len(prev) > 1 {
+		keepSeq = prev[1]
+	}
+	if len(prev) > 2 {
+		for _, old := range prev[2:] {
+			path := filepath.Join(st.dir, snapName(old))
+			if fi, err := os.Stat(path); err == nil {
+				pr.SnapshotBytesReclaimed += fi.Size()
+			}
+			if os.Remove(path) == nil {
+				pr.SnapshotsRemoved++
+			}
 		}
 	}
+	pr.TmpFilesRemoved = st.removeStaleTmpLocked()
 	// Fold: drop WAL records covered by both retained snapshots.
-	return st.truncateWALLocked(keepSeq)
+	folded, reclaimed, err := st.truncateWALLocked(keepSeq)
+	pr.WALRecordsFolded, pr.WALBytesReclaimed = folded, reclaimed
+	return pr, err
+}
+
+// removeStaleTmpLocked deletes leftover *.tmp files (crashed mid-write
+// snapshots or WAL rewrites). Safe under st.mu: every live tmp writer in
+// this process also holds st.mu, and the directory lock excludes other
+// processes.
+func (st *Store) removeStaleTmpLocked() int {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".tmp") {
+			continue
+		}
+		if os.Remove(filepath.Join(st.dir, ent.Name())) == nil {
+			removed++
+		}
+	}
+	return removed
 }
 
 // truncateWALLocked rewrites the WAL keeping only records with
 // seq > keep, swapping the new file in atomically via rename. The append
-// handle is re-opened on the new file. Callers hold st.mu.
-func (st *Store) truncateWALLocked(keep uint64) error {
+// handle is re-opened on the new file. Callers hold st.mu. Returns how
+// many records were dropped and how many bytes the file shrank by.
+func (st *Store) truncateWALLocked(keep uint64) (folded int, reclaimed int64, err error) {
 	path := filepath.Join(st.dir, walFileName)
 	records, _, _, err := scanWAL(path, nil)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	var out []byte
 	for _, b := range records {
 		if b.Seq > keep {
 			out = appendFrame(out, encodeBatch(b.Seq, b))
+		} else {
+			folded++
+		}
+	}
+	if fi, serr := os.Stat(path); serr == nil {
+		reclaimed = fi.Size() - int64(len(out))
+		if reclaimed < 0 {
+			reclaimed = 0
 		}
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, out, 0o644); err != nil {
-		return err
+		return 0, 0, err
 	}
 	if f, err := os.Open(tmp); err == nil {
 		f.Sync()
@@ -301,16 +428,16 @@ func (st *Store) truncateWALLocked(keep uint64) error {
 	old := st.w
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, 0, err
 	}
 	syncDir(st.dir)
 	old.close()
 	st.w, err = openWAL(st.dir, st.policy, st.syncEvery)
 	if err != nil {
 		st.w = nil
-		return fmt.Errorf("store: re-opening WAL after rewrite: %w", err)
+		return folded, reclaimed, fmt.Errorf("store: re-opening WAL after rewrite: %w", err)
 	}
-	return nil
+	return folded, reclaimed, nil
 }
 
 // Close flushes and releases the WAL handle and the directory lock. It
