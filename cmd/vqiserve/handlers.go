@@ -13,8 +13,10 @@ import (
 	"repro/internal/gindex"
 	"repro/internal/graph"
 	"repro/internal/isomorph"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pattern"
+	"repro/internal/plan"
 	"repro/internal/qcache"
 	"repro/internal/results"
 	"repro/internal/vqi"
@@ -151,6 +153,25 @@ type queryResponse struct {
 	// Truncated marks a response whose budget ran out: what is present is
 	// valid, but more matches may exist.
 	Truncated bool `json:"truncated"`
+	// Plan and Stages are attached only when the request carried a ?plan=
+	// parameter: the compiled plan summary and this request's stage-span
+	// timings (plan.compile, plan.fragment-probe, plan.join, plan.verify,
+	// ...). Never cached — they describe this request, not the answer.
+	Plan   *planInfo    `json:"plan,omitempty"`
+	Stages []stageEntry `json:"stages,omitempty"`
+}
+
+// planInfo is the compiled-plan summary echoed to a ?plan= request.
+type planInfo struct {
+	Mode     string `json:"mode"`     // resolved planning mode (auto/off/forced)
+	Strategy string `json:"strategy"` // chosen execution strategy, "" when off
+	Summary  string `json:"summary"`  // human-readable plan line
+}
+
+// stageEntry is one stage span of this request's trace.
+type stageEntry struct {
+	Name string  `json:"name"`
+	Ms   float64 `json:"ms"`
 }
 
 // facetEntry groups matches by the canned pattern they contain, so the
@@ -212,15 +233,36 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "injected", err.Error())
 		return
 	}
+	mode, ok := s.planParam(w, r)
+	if !ok {
+		return
+	}
 	ctx := r.Context()
 	corpus, idx := s.snapshot()
-	if s.qc == nil {
-		resp, status := s.execQuery(ctx, q, corpus, idx)
+	// Compile (or fetch) the plan before the response cache: compilation is
+	// cheap and plan-cached, and a ?plan= request needs the summary even
+	// when the answer itself is served from cache.
+	var pl *plan.Plan
+	if mode != "off" && !s.network && idx != nil {
+		_, span := obs.StartSpan(ctx, "plan.compile")
+		pl = s.compiledPlan(idx, q, mode)
+		span.End()
+	}
+	finish := func(resp queryResponse, status int) {
+		if r.URL.Query().Has("plan") {
+			s.attachPlanTrace(&resp, r, mode, pl)
+		}
 		writeJSON(w, status, resp)
+	}
+	if s.qc == nil {
+		resp, status := s.execQuery(ctx, q, corpus, idx, pl)
+		finish(resp, status)
 		return
 	}
 	// Isomorphic queries share one cache line regardless of how the user
-	// drew them: the key starts from the canonical code of the query graph.
+	// drew them: the key starts from the canonical code of the query graph,
+	// scoped by the resolved planning mode (different modes may produce
+	// differently-truncated outcomes and must not alias).
 	// With a sharded index the key is additionally scoped to the full
 	// shard-epoch vector, so a batch update silently retires every cached
 	// answer that could have changed — no Reset, and answers computed
@@ -229,16 +271,85 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// its waiters but never cached. Waiters de-duplicated onto an in-flight
 	// computation share the leader's outcome (including its budget), which
 	// is the desired behavior for a stampede of identical queries.
-	key := canon.String(q)
+	key := canon.String(q) + "|plan=" + mode
 	if idx != nil {
 		key = qcache.EpochKey(key, idx.Epochs())
 	}
 	out := s.qc.Do(key, func() (cachedResponse, bool) {
-		resp, status := s.execQuery(ctx, q, corpus, idx)
+		resp, status := s.execQuery(ctx, q, corpus, idx, pl)
 		return cachedResponse{resp: resp, status: status},
 			status == http.StatusOK && !resp.Truncated
 	})
-	writeJSON(w, out.status, out.resp)
+	finish(out.resp, out.status)
+}
+
+// planParam resolves the request's planning mode: the ?plan= parameter
+// when present (400 bad_plan on unknown values; empty means auto), else
+// the -plan flag's default. The returned mode is one of off, auto,
+// monolithic, decompose, ann.
+func (s *server) planParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if !r.URL.Query().Has("plan") {
+		if s.planEnabled {
+			return "auto", true
+		}
+		return "off", true
+	}
+	mode := r.URL.Query().Get("plan")
+	switch mode {
+	case "":
+		return "auto", true
+	case "auto", "off", "monolithic", "decompose", "ann":
+		return mode, true
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_plan",
+			fmt.Sprintf("plan mode %q is not supported; use auto, off, monolithic, decompose, or ann", mode))
+		return "", false
+	}
+}
+
+// compiledPlan compiles q for the given mode, serving repeats from the
+// plan cache. PlanKey scopes the entry to the full epoch vector: plans
+// bake in corpus-wide label statistics, so any shard rebuild retires them.
+func (s *server) compiledPlan(idx *gindex.Sharded, q *graph.Graph, mode string) *plan.Plan {
+	cfg := pattern.PlanConfig()
+	cfg.ANN = s.annEnabled
+	cfg.MaxResults = s.maxResults
+	cfg.HasViewCache = s.viewQC != nil
+	switch mode {
+	case "monolithic":
+		cfg.Force = plan.StrategyMonolithic
+	case "decompose":
+		cfg.Force = plan.StrategyDecomposed
+	case "ann":
+		cfg.Force = plan.StrategyANN
+	}
+	if s.planQC == nil {
+		return idx.CompilePlan(q, cfg)
+	}
+	key := qcache.PlanKey(canon.String(q)+"|m="+mode, idx.Epochs())
+	return s.planQC.Do(key, func() (*plan.Plan, bool) {
+		return idx.CompilePlan(q, cfg), true
+	})
+}
+
+// attachPlanTrace adds the plan summary and this request's stage timings
+// to an (uncached copy of the) response — only for explicit ?plan=
+// requests, and always after the response cache, so cached entries stay
+// free of per-request data.
+func (s *server) attachPlanTrace(resp *queryResponse, r *http.Request, mode string, pl *plan.Plan) {
+	info := &planInfo{Mode: mode}
+	if pl != nil {
+		info.Strategy = string(pl.Strategy)
+		info.Summary = pl.String()
+	} else {
+		info.Summary = "planner off"
+	}
+	resp.Plan = info
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		for _, sp := range tr.Spans() {
+			resp.Stages = append(resp.Stages, stageEntry{Name: sp.Name, Ms: sp.Dur.Seconds() * 1000})
+		}
+	}
 }
 
 // execQuery answers a decoded query graph against one (corpus, index)
@@ -247,7 +358,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // serve it with. Taking the snapshot as parameters (rather than reading
 // s.corpus/s.index) keeps one request on one corpus version even if an
 // admin update lands mid-query.
-func (s *server) execQuery(ctx context.Context, q *graph.Graph, corpus *graph.Corpus, idx *gindex.Sharded) (queryResponse, int) {
+func (s *server) execQuery(ctx context.Context, q *graph.Graph, corpus *graph.Corpus, idx *gindex.Sharded, pl *plan.Plan) (queryResponse, int) {
 	var resp queryResponse
 	status := http.StatusOK
 	if s.network {
@@ -259,7 +370,7 @@ func (s *server) execQuery(ctx context.Context, q *graph.Graph, corpus *graph.Co
 			status = http.StatusGatewayTimeout
 		}
 	} else if idx != nil {
-		res := s.searchSharded(ctx, idx, q)
+		res := s.searchSharded(ctx, idx, q, pl)
 		resp.Matched = res.Matches
 		resp.Truncated = res.Truncated
 		if ctx.Err() != nil {
@@ -291,19 +402,29 @@ func (s *server) execQuery(ctx context.Context, q *graph.Graph, corpus *graph.Co
 	return resp, status
 }
 
-// searchSharded runs the query over the sharded index. With the partial
-// cache enabled, each shard's result is fetched (or computed) under a
-// (query, shard, epoch) key and the partials are merged to the exact
-// global answer — after a batch update only the rebuilt shards recompute.
-// Per-shard partials are computed independently (each capped at
-// MaxResults) rather than under the shared cross-shard budget, precisely
-// so they are a pure function of (query, shard content) and therefore
-// cacheable; MergeShardResults re-applies the global cap. Without the
-// cache, the shared-budget fan-out in SearchCtx is cheaper and is used
-// directly.
-func (s *server) searchSharded(ctx context.Context, idx *gindex.Sharded, q *graph.Graph) gindex.Result {
+// searchSharded runs the query over the sharded index. A compiled plan
+// routes decomposed and ANN strategies to the plan executor (with the
+// fragment-view cache and the fault injector); a monolithic plan just
+// applies its compiled matching order to the existing paths — the order
+// changes Steps, never the match set, so order-agnostic cache keys stay
+// sound. With the partial cache enabled, each shard's result is fetched
+// (or computed) under a (query, shard, epoch) key and the partials are
+// merged to the exact global answer — after a batch update only the
+// rebuilt shards recompute. Per-shard partials are computed independently
+// (each capped at MaxResults) rather than under the shared cross-shard
+// budget, precisely so they are a pure function of (query, shard content)
+// and therefore cacheable; MergeShardResults re-applies the global cap.
+// Without the cache, the shared-budget fan-out in SearchCtx is cheaper
+// and is used directly.
+func (s *server) searchSharded(ctx context.Context, idx *gindex.Sharded, q *graph.Graph, pl *plan.Plan) gindex.Result {
 	opts := pattern.MatchOptions()
 	opts.MaxResults = s.maxResults
+	if pl != nil {
+		if pl.Strategy != plan.StrategyMonolithic {
+			return idx.SearchPlan(ctx, q, opts, pl, gindex.PlanOptions{Views: s.viewQC, Inject: s.inject})
+		}
+		opts.Order = pl.Order
+	}
 	if s.shardQC == nil {
 		return idx.SearchCtx(ctx, q, opts)
 	}

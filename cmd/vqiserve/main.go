@@ -12,6 +12,11 @@
 //	GET  /api/spec    the VQI spec JSON
 //	POST /api/query   {"nodes":["C",...],"edges":[{"u":0,"v":1,"label":"s"}]}
 //	                  → {"matched":[...names...],"embeddings":N,"truncated":false}
+//	                  ?plan= selects the query planner per request: auto
+//	                  (cost model, the default with -plan), off, or a forced
+//	                  strategy (monolithic, decompose, ann); when the
+//	                  parameter is present the response carries the compiled
+//	                  plan summary and the request's stage timings
 //	POST /api/suggest partial query → suggested pattern completions
 //	POST /api/similar {"graph":"mol7","k":10,"mode":"approx","verify":true}
 //	                  (or an inline nodes/edges pattern) → top-k most
@@ -63,6 +68,7 @@ import (
 	"repro/internal/gio"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/qcache"
 	"repro/internal/store"
 	"repro/internal/vqi"
@@ -130,6 +136,23 @@ type server struct {
 	// so any rebuilt shard retires the entry. nil when caching is disabled.
 	simQC *qcache.Cache[cachedSimilar]
 
+	// planEnabled routes queries through the plan compiler by default
+	// (-plan); ?plan= overrides per request either way.
+	planEnabled bool
+
+	// planQC caches compiled plans under qcache.PlanKey (canonical query
+	// code + compile mode, scoped to the full epoch vector — plans bake in
+	// corpus-wide label statistics, so any shard rebuild invalidates them).
+	// nil when caching is disabled.
+	planQC *qcache.Cache[*plan.Plan]
+
+	// viewQC caches fragment containment views for decomposed plans under
+	// qcache.ViewKey (fragment canon x shard x epoch). Views are the
+	// sub-pattern materialized views two queries sharing a fragment reuse;
+	// epoch keying retires exactly the rebuilt shards' views. nil when
+	// caching is disabled.
+	viewQC *qcache.Cache[gindex.ShardResult]
+
 	// phase is the boot state machine (building → replaying → ready).
 	// Query-shaped endpoints and /readyz gate on it; /healthz does not.
 	phase atomic.Int32
@@ -187,6 +210,7 @@ type serverConfig struct {
 	maxQuerySize int
 	cacheSize    int  // query-cache capacity; 0 disables caching
 	pprofEnabled bool // serve /debug/pprof/ (opt-in)
+	planEnabled  bool // compile query plans by default (-plan)
 
 	annEnabled bool       // build similarity state; serve /api/similar
 	annCfg     ann.Config // LSH shape (zero fields = ann defaults)
@@ -213,11 +237,14 @@ func newServer(spec *vqi.Spec, corpus *graph.Corpus, cfg serverConfig) *server {
 		pprofEnabled: cfg.pprofEnabled,
 		annEnabled:   cfg.annEnabled,
 		annCfg:       cfg.annCfg,
+		planEnabled:  cfg.planEnabled,
 	}
 	if cfg.cacheSize > 0 {
 		s.qc = qcache.New[cachedResponse](cfg.cacheSize)
 		s.shardQC = qcache.New[gindex.ShardResult](cfg.cacheSize)
 		s.simQC = qcache.New[cachedSimilar](cfg.cacheSize)
+		s.planQC = qcache.New[*plan.Plan](cfg.cacheSize)
+		s.viewQC = qcache.New[gindex.ShardResult](cfg.cacheSize)
 	}
 	return s
 }
@@ -310,6 +337,12 @@ func (s *server) buildIndex() {
 	if s.simQC != nil {
 		s.simQC.Reset()
 	}
+	if s.planQC != nil {
+		s.planQC.Reset()
+	}
+	if s.viewQC != nil {
+		s.viewQC.Reset()
+	}
 	s.phase.Store(phaseReady)
 	corpus, _ = s.snapshot()
 	log.Printf("vqiserve: ready (%d data graphs)", corpus.Len())
@@ -368,6 +401,7 @@ func main() {
 		maxBody  = flag.Int64("max-body-bytes", 1<<20, "request body size cap (413 beyond it)")
 		maxQuery = flag.Int("max-query-size", 256, "posted query node+edge cap (422 beyond it)")
 		useCache = flag.Bool("cache", true, "cache query results by canonical query code (repeated and concurrent identical queries hit memory)")
+		planOn   = flag.Bool("plan", true, "compile each query into an optimized physical plan (rarest-edge-first matching order; large patterns decompose into cached sub-pattern views joined and verified exactly); ?plan= overrides per request")
 		cacheSz  = flag.Int("cache-size", 512, "maximum cached query results (LRU eviction)")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default; profiles expose internals)")
 		dataDir  = flag.String("data-dir", "", "durable data directory (snapshots + write-ahead log); empty disables persistence. On a non-empty directory the corpus is recovered from it and -data is ignored; on an empty one -data seeds the initial snapshot")
@@ -469,6 +503,7 @@ func main() {
 		maxQuerySize: *maxQuery,
 		cacheSize:    size,
 		pprofEnabled: *pprofOn,
+		planEnabled:  *planOn,
 		annEnabled:   *annOn,
 		annCfg:       annCfg,
 	})

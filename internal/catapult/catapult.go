@@ -85,7 +85,7 @@ func (c *Config) defaults(corpusLen int) {
 	if c.Weights == (pattern.Weights{}) {
 		c.Weights = pattern.DefaultWeights()
 	}
-	if c.Match == (isomorph.Options{}) {
+	if c.Match.IsZero() {
 		c.Match = pattern.MatchOptions()
 	}
 }

@@ -102,6 +102,11 @@ type Sharded struct {
 	// hash with the identical hyperplane family.
 	annCfg *ann.Config
 	emb    *ann.Embedder
+
+	// stats caches this generation's aggregated corpus label statistics
+	// (PlanStats). Lazily filled; never shared across generations because
+	// ApplyBatch allocates a fresh Sharded.
+	stats atomic.Pointer[planStats]
 }
 
 // buildCore builds one shard's immutable state: the filter-verify index,

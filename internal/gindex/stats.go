@@ -1,0 +1,86 @@
+package gindex
+
+// Corpus label statistics for the plan compiler. The numbers are exact
+// document frequencies read straight off the inverted bitsets the filter
+// already maintains — one popcount per label — aggregated across shards.
+// The aggregate is computed lazily on first use and cached on the Sharded
+// value; ApplyBatch produces a new value, so a generation's statistics
+// are immutable once computed and stale statistics can never leak across
+// an RCU swap.
+
+import (
+	"repro/internal/plan"
+)
+
+// planStats implements plan.Stats over aggregated per-shard counts.
+type planStats struct {
+	n    int
+	node map[string]int
+	edge map[string]int
+	trip map[triple]int
+}
+
+func newPlanStats() *planStats {
+	return &planStats{
+		node: make(map[string]int),
+		edge: make(map[string]int),
+		trip: make(map[triple]int),
+	}
+}
+
+// Graphs implements plan.Stats.
+func (ps *planStats) Graphs() int { return ps.n }
+
+// NodeLabelGraphs implements plan.Stats.
+func (ps *planStats) NodeLabelGraphs(l string) int { return ps.node[l] }
+
+// EdgeLabelGraphs implements plan.Stats.
+func (ps *planStats) EdgeLabelGraphs(l string) int { return ps.edge[l] }
+
+// TripleGraphs implements plan.Stats (a <= b, matching the index's triple
+// normalization; un-normalized calls are normalized here defensively).
+func (ps *planStats) TripleGraphs(a, e, b string) int {
+	if a > b {
+		a, b = b, a
+	}
+	return ps.trip[triple{a, e, b}]
+}
+
+// addStats accumulates this index's per-label graph counts into ps.
+func (idx *Index) addStats(ps *planStats) {
+	ps.n += idx.corpus.Len()
+	for l, b := range idx.nodeLabel {
+		ps.node[l] += b.Popcount()
+	}
+	for l, b := range idx.edgeLabel {
+		ps.edge[l] += b.Popcount()
+	}
+	for tr, b := range idx.triples {
+		ps.trip[tr] += b.Popcount()
+	}
+}
+
+// PlanStats returns corpus label statistics for the plan compiler.
+func (idx *Index) PlanStats() plan.Stats {
+	ps := newPlanStats()
+	idx.addStats(ps)
+	return ps
+}
+
+// PlanStats returns corpus-wide label statistics aggregated across all
+// shards, computed lazily on first use and cached on this generation
+// (concurrent first calls may both compute; they produce identical
+// values and the CAS keeps one). ApplyBatch returns a new Sharded with
+// an empty cache, so statistics always describe exactly this epoch
+// vector's contents.
+func (sh *Sharded) PlanStats() plan.Stats {
+	if ps := sh.stats.Load(); ps != nil {
+		return ps
+	}
+	ps := newPlanStats()
+	for _, core := range sh.shards {
+		core.idx.addStats(ps)
+	}
+	sh.stats.CompareAndSwap(nil, ps)
+	return sh.stats.Load()
+}

@@ -95,6 +95,26 @@ type Options struct {
 	// are found in the same order and counts are identical to the unindexed
 	// search — only Result.Steps shrinks.
 	TargetIndex *LabelIndex
+	// Order, when it is a permutation of the pattern's nodes, replaces the
+	// per-target matching-order heuristic with a precomputed order — the
+	// hook a compiled query plan (internal/plan) uses to rank pattern nodes
+	// by corpus-level label rarity once instead of per target graph.
+	// Anchors are derived from the order (each node anchors on its first
+	// earlier neighbor), so a connectivity-preserving order keeps candidate
+	// generation neighbor-driven. The matching order never changes which
+	// embeddings exist — only Result.Steps — so any permutation is safe;
+	// anything that is not a permutation is ignored and the heuristic runs.
+	Order []graph.NodeID
+}
+
+// IsZero reports whether o is the zero Options (no budgets, no context,
+// no index, no order) — the "caller didn't configure matching" sentinel
+// some call sites replace with their own defaults. Needed as a method
+// because the Order slice makes Options non-comparable with ==.
+func (o Options) IsZero() bool {
+	return o.MaxEmbeddings == 0 && o.MaxSteps == 0 && o.MaxResults == 0 &&
+		!o.Induced && o.Ctx == nil && o.CheckEvery == 0 &&
+		o.TargetIndex == nil && o.Order == nil
 }
 
 // StopReason says why a search gave up before exhausting its space.
@@ -219,6 +239,7 @@ func enumerate(pattern, target *graph.Graph, opts Options, fn func(mapping []gra
 // starts at the most constrained node (rarest label, then highest degree)
 // and always extends the matched frontier when possible (patterns may be
 // disconnected; each new component restarts at its most constrained node).
+// A valid Options.Order short-circuits the heuristic entirely.
 func (m *matcher) prepare() {
 	n := m.p.NumNodes()
 	m.pAdj = make([][]pedge, n)
@@ -227,6 +248,9 @@ func (m *matcher) prepare() {
 			m.pAdj[i] = append(m.pAdj[i], pedge{to: nbr, label: m.p.EdgeLabel(e)})
 			return true
 		})
+	}
+	if m.adoptOrder(m.opts.Order) {
+		return
 	}
 	// Rarity of node labels in the target guides the start node: a
 	// prebuilt LabelIndex answers frequencies directly, otherwise count
@@ -269,6 +293,13 @@ func (m *matcher) prepare() {
 			if dv != db {
 				return dv > db
 			}
+			// Equal rarity and degree: break the tie by label, not node
+			// index, so two drawings of the same pattern (nodes inserted in
+			// different orders) compute label-identical matching orders —
+			// required for compiled plans to be byte-stable across runs.
+			if lv, lb := m.p.NodeLabel(v), m.p.NodeLabel(best); lv != lb {
+				return lv < lb
+			}
 			return v < best
 		}
 		for v := 0; v < n; v++ {
@@ -300,6 +331,82 @@ func (m *matcher) prepare() {
 			}
 		}
 	}
+}
+
+// adoptOrder installs a caller-supplied matching order (Options.Order) if
+// it is a permutation of the pattern's nodes, deriving each node's anchor
+// from its first neighbor that appears earlier in the order. Non-
+// permutations are rejected (heuristic runs instead); a permutation that
+// is not connectivity-preserving merely leaves some anchors empty, which
+// costs full root scans but stays correct — tryExtend checks every
+// matched neighbor regardless of anchoring.
+func (m *matcher) adoptOrder(ord []graph.NodeID) bool {
+	n := m.p.NumNodes()
+	if len(ord) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range ord {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	m.order = append(m.order[:0], ord...)
+	m.anchors = make([]anchor, n)
+	inOrder := make([]bool, n)
+	for i, v := range ord {
+		m.anchors[i] = anchor{prev: -1}
+		for _, pe := range m.pAdj[v] {
+			if pe.to != v && inOrder[pe.to] {
+				m.anchors[i] = anchor{prev: pe.to, label: pe.label}
+				break
+			}
+		}
+		inOrder[v] = true
+	}
+	return true
+}
+
+// VerifyMapping reports whether mapping (pattern node -> target node,
+// len == pattern.NumNodes()) is an embedding of pattern in target: node
+// labels compatible, mapping injective, every pattern edge present in the
+// target with a compatible label, and — under induced semantics — no
+// target adjacency between images of non-adjacent pattern nodes. This is
+// the exact final check a query plan runs on a match stitched together
+// from sub-pattern embeddings; anything that passes here is as good as a
+// from-scratch VF2 hit.
+func VerifyMapping(pattern, target *graph.Graph, mapping []graph.NodeID, induced bool) bool {
+	n := pattern.NumNodes()
+	if len(mapping) != n {
+		return false
+	}
+	used := make(map[graph.NodeID]bool, n)
+	for pv, tv := range mapping {
+		if tv < 0 || tv >= target.NumNodes() || used[tv] {
+			return false
+		}
+		used[tv] = true
+		if !labelMatch(pattern.NodeLabel(pv), target.NodeLabel(tv)) {
+			return false
+		}
+	}
+	for _, pe := range pattern.Edges() {
+		te, ok := target.EdgeBetween(mapping[pe.U], mapping[pe.V])
+		if !ok || !labelMatch(pe.Label, target.EdgeLabel(te)) {
+			return false
+		}
+	}
+	if induced {
+		for pu := 0; pu < n; pu++ {
+			for pv := pu + 1; pv < n; pv++ {
+				if !pattern.HasEdge(pu, pv) && target.HasEdge(mapping[pu], mapping[pv]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 func containsNode(s []graph.NodeID, v graph.NodeID) bool {

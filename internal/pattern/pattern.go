@@ -23,6 +23,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphlet"
 	"repro/internal/isomorph"
+	"repro/internal/plan"
 )
 
 // BasicMaxSize is the maximum size (in edges) of a basic pattern; larger
@@ -128,6 +129,21 @@ func Basic() []*Pattern {
 // graphs; coverage becomes a sound under-approximation when budgets bind.
 func MatchOptions() isomorph.Options {
 	return isomorph.Options{MaxEmbeddings: 64, MaxSteps: 200000}
+}
+
+// PlanConfig returns the plan-compiler configuration matched to this
+// package's pattern model and MatchOptions budgets: queries up to
+// double the basic-pattern size stay monolithic (fragment overhead always
+// loses on shapes a user assembles in a couple of gestures), larger
+// canned-pattern-sized queries become decomposition candidates, and the
+// stitch buffer is sized against the embedding budget. Deployment
+// capabilities (ANN state, result budget, view cache) are the caller's to
+// fill in.
+func PlanConfig() plan.Config {
+	return plan.Config{
+		MinDecomposeEdges: 2*BasicMaxSize + 2,
+		JoinBuffer:        4 * MatchOptions().MaxEmbeddings,
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,126 @@
+package plan
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+)
+
+// AST is the parsed form of a visual query: nodes and edges annotated with
+// interned label ids. The intern table is the sorted list of distinct
+// labels appearing anywhere in the pattern (node and edge labels share
+// one table), so label ids depend only on the label set — never on the
+// order the user drew the pattern in. That is what makes every id-based
+// tie-break below byte-stable across runs.
+type AST struct {
+	Nodes []ASTNode
+	Edges []ASTEdge
+	// Labels is the intern table: sorted distinct labels.
+	Labels []string
+	// Connected reports whether the pattern is connected (ignoring the
+	// degenerate empty pattern, which counts as connected).
+	Connected bool
+
+	adj [][]int // node -> indexes into Edges
+}
+
+// ASTNode is one pattern node.
+type ASTNode struct {
+	Label   string
+	LabelID int
+}
+
+// ASTEdge is one pattern edge.
+type ASTEdge struct {
+	U, V    int
+	Label   string
+	LabelID int
+}
+
+// Parse lifts a query graph into an AST.
+func Parse(q *graph.Graph) *AST {
+	n := q.NumNodes()
+	a := &AST{
+		Nodes: make([]ASTNode, n),
+		Edges: make([]ASTEdge, 0, q.NumEdges()),
+		adj:   make([][]int, n),
+	}
+	seen := make(map[string]bool)
+	for v := 0; v < n; v++ {
+		l := q.NodeLabel(v)
+		a.Nodes[v] = ASTNode{Label: l}
+		if !seen[l] {
+			seen[l] = true
+			a.Labels = append(a.Labels, l)
+		}
+	}
+	for _, e := range q.Edges() {
+		ei := len(a.Edges)
+		a.Edges = append(a.Edges, ASTEdge{U: int(e.U), V: int(e.V), Label: e.Label})
+		a.adj[e.U] = append(a.adj[e.U], ei)
+		a.adj[e.V] = append(a.adj[e.V], ei)
+		if !seen[e.Label] {
+			seen[e.Label] = true
+			a.Labels = append(a.Labels, e.Label)
+		}
+	}
+	sort.Strings(a.Labels)
+	id := make(map[string]int, len(a.Labels))
+	for i, l := range a.Labels {
+		id[l] = i
+	}
+	for v := range a.Nodes {
+		a.Nodes[v].LabelID = id[a.Nodes[v].Label]
+	}
+	for ei := range a.Edges {
+		a.Edges[ei].LabelID = id[a.Edges[ei].Label]
+	}
+	a.Connected = a.connected()
+	return a
+}
+
+// LabelID returns the interned id of l, or -1 if l does not occur in the
+// pattern.
+func (a *AST) LabelID(l string) int {
+	i := sort.SearchStrings(a.Labels, l)
+	if i < len(a.Labels) && a.Labels[i] == l {
+		return i
+	}
+	return -1
+}
+
+// other returns the endpoint of edge ei that is not v.
+func (a *AST) other(ei, v int) int {
+	e := a.Edges[ei]
+	if e.U == v {
+		return e.V
+	}
+	return e.U
+}
+
+func (a *AST) connected() bool {
+	n := len(a.Nodes)
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	visited := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ei := range a.adj[v] {
+			if w := a.other(ei, v); !seen[w] {
+				seen[w] = true
+				visited++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return visited == n
+}
+
+// wildcard reports whether l is the match-anything label.
+func wildcard(l string) bool { return l == isomorph.Wildcard }

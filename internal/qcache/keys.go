@@ -17,6 +17,28 @@ func ShardKey(base string, shard int, epoch uint64) string {
 	return base + "|s" + strconv.Itoa(shard) + "@" + strconv.FormatUint(epoch, 10)
 }
 
+// ViewKey keys a materialized sub-pattern view: the complete per-shard
+// containment result for one plan fragment (base is the fragment's
+// canonical code plus any matching-option signature). The "v|" prefix
+// keeps views in a namespace of their own — a fragment that happens to
+// equal a user query must never alias the query's budgeted partial,
+// because views are computed unbudgeted (they must be complete to make
+// join intersection sound). Epoch scoping works exactly like ShardKey:
+// an RCU batch update bumps rebuilt shards' epochs, orphaning precisely
+// the views over stale shard contents.
+func ViewKey(base string, shard int, epoch uint64) string {
+	return "v|" + ShardKey(base, shard, epoch)
+}
+
+// PlanKey keys a compiled query plan by canonical query code (plus any
+// compile-config signature in base) against the full epoch vector: plans
+// bake in corpus-wide label statistics, so any shard rebuild invalidates
+// them. The "p|" prefix namespaces plans away from whole-query answers
+// cached under the same base.
+func PlanKey(base string, epochs []uint64) string {
+	return EpochKey("p|"+base, epochs)
+}
+
 // EpochKey keys a whole-corpus answer: base scoped to the full epoch
 // vector. Any shard rebuild changes the key, so a full answer is reused
 // only when no shard changed since it was computed — the sound criterion

@@ -65,7 +65,7 @@ func Summarize(g *graph.Graph, patterns []*pattern.Pattern, opts Options) (*Resu
 		return nil, fmt.Errorf("summary: empty graph")
 	}
 	match := opts.Match
-	if match == (isomorph.Options{}) {
+	if match.IsZero() {
 		match = isomorph.Options{MaxEmbeddings: 4096, MaxSteps: 2_000_000}
 	}
 
