@@ -1,0 +1,68 @@
+package gindex
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+)
+
+// fragInducedClosed reports whether every pattern edge between two
+// fragment nodes is present in the fragment.
+func fragInducedClosed(q *graph.Graph, f plan.Fragment) bool {
+	inFrag := make(map[int]int)
+	for li, pv := range f.Nodes {
+		inFrag[pv] = li
+	}
+	for _, e := range q.Edges() {
+		lu, uok := inFrag[int(e.U)]
+		lv, vok := inFrag[int(e.V)]
+		if uok && vok {
+			if _, ok := f.G.EdgeBetween(graph.NodeID(lu), graph.NodeID(lv)); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestInducedDecomposedRepro(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	opts := pattern.MatchOptions()
+	opts.Induced = true
+	nonClosed := 0
+	mismatch := 0
+	for _, seed := range []int64{1, 2, 3, 4, 5, 6, 7} {
+		c := datagen.ChemicalCorpus(seed, 60, datagen.ChemicalOptions{MinNodes: 10, MaxNodes: 24})
+		sh := BuildSharded(c, 3, 2)
+		for _, q := range planQueries(rng, c, 15, 6, 14) {
+			pl := sh.CompilePlan(q, plan.Config{Force: plan.StrategyDecomposed})
+			if pl.Strategy != plan.StrategyDecomposed {
+				continue
+			}
+			for _, f := range pl.Fragments {
+				if !fragInducedClosed(q, f) {
+					nonClosed++
+					break
+				}
+			}
+			got := sh.SearchPlan(context.Background(), q, opts, pl, PlanOptions{})
+			want := sh.SearchCtx(context.Background(), q, opts)
+			if !reflect.DeepEqual(got.Matches, want.Matches) {
+				mismatch++
+				if mismatch <= 3 {
+					t.Logf("MISMATCH seed=%d q edges=%d: plan=%v oracle=%v", seed, q.NumEdges(), got.Matches, want.Matches)
+				}
+			}
+		}
+	}
+	t.Logf("non-induced-closed fragments seen in %d plans; induced mismatches: %d", nonClosed, mismatch)
+	if mismatch > 0 {
+		t.Fatalf("induced decomposed mismatches: %d", mismatch)
+	}
+}
